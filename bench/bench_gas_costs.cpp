@@ -1,0 +1,195 @@
+// E6 — Membership gas costs: WAKU-RLN-RELAY's flat list vs Semaphore's
+// on-chain tree.
+//
+// Paper claims reproduced:
+//   §IV-A: "the cost associated with membership is 40k gas which
+//           translates to more than 20 USD"; "by using batch insertion and
+//           deletion, the cost can be reduced to 20k gas".
+//   §III-A: Semaphore's insertion/deletion is "logarithmic in the number
+//           of registered members" and was the reason to move the tree
+//           off-chain; Waku's flat list is O(1) per member.
+#include <cstdio>
+
+#include "chain/blockchain.hpp"
+#include "chain/rln_contract.hpp"
+#include "chain/semaphore_contract.hpp"
+#include "common/serde.hpp"
+#include "hash/poseidon.hpp"
+
+using namespace waku;         // NOLINT
+using namespace waku::chain;  // NOLINT
+
+namespace {
+
+// USD conversion calibrated to the paper's writing period (early 2022):
+// gas ~150 gwei, ETH ~3300 USD -> 40k gas ~ 19.8 USD.
+constexpr double kGasPriceGwei = 150.0;
+constexpr double kEthUsd = 3300.0;
+
+double gas_to_usd(std::uint64_t gas) {
+  return static_cast<double>(gas) * kGasPriceGwei * 1e-9 * kEthUsd;
+}
+
+constexpr Gwei kDeposit = 10'000'000;
+
+struct Runner {
+  Blockchain chain;
+  Address account = Address::from_u64(0xBEEF);
+  std::uint64_t clock = 0;
+
+  Runner() { chain.create_account(account, 1'000'000 * kGweiPerEth); }
+
+  TxReceipt run(Transaction tx) {
+    const auto h = chain.submit(std::move(tx));
+    chain.mine_block(clock += 12'000);
+    return *chain.receipt(h);
+  }
+};
+
+ff::Fr pk_of(std::uint64_t i) { return hash::poseidon1(ff::Fr::from_u64(i)); }
+
+}  // namespace
+
+int main() {
+  std::printf("E6: membership gas — flat list (WAKU-RLN-RELAY) vs on-chain "
+              "tree (Semaphore)\n");
+  std::printf("(paper: ~40k gas/membership ≈ >20 USD; batch -> ~20k; "
+              "Semaphore O(log N))\n");
+  std::printf("[gas->USD at %.0f gwei, ETH=%.0f USD]\n\n", kGasPriceGwei,
+              kEthUsd);
+
+  // ---- WAKU flat-list contract -------------------------------------------
+  Runner waku_runner;
+  const Address rln = waku_runner.chain.deploy(
+      std::make_unique<RlnMembershipContract>(kDeposit));
+
+  std::printf("%-44s %10s %8s\n", "operation", "gas", "USD");
+
+  // Warm up the count slot, then measure steady state.
+  {
+    Transaction tx;
+    tx.from = waku_runner.account;
+    tx.to = rln;
+    tx.method = "register";
+    tx.calldata = pk_of(0).to_bytes_be();
+    tx.value = kDeposit;
+    (void)waku_runner.run(tx);
+  }
+  std::uint64_t single_gas = 0;
+  {
+    Transaction tx;
+    tx.from = waku_runner.account;
+    tx.to = rln;
+    tx.method = "register";
+    tx.calldata = pk_of(1).to_bytes_be();
+    tx.value = kDeposit;
+    single_gas = waku_runner.run(tx).gas_used;
+    std::printf("%-44s %10llu %8.2f\n", "waku register (single)",
+                static_cast<unsigned long long>(single_gas),
+                gas_to_usd(single_gas));
+  }
+  for (const std::uint32_t batch : {4u, 16u, 64u}) {
+    ByteWriter w;
+    w.write_u32(batch);
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      w.write_raw(pk_of(1000 + i + batch * 100).to_bytes_be());
+    }
+    Transaction tx;
+    tx.from = waku_runner.account;
+    tx.to = rln;
+    tx.method = "register_batch";
+    tx.calldata = std::move(w).take();
+    tx.value = kDeposit * batch;
+    const TxReceipt r = waku_runner.run(tx);
+    char label[64];
+    std::snprintf(label, sizeof label, "waku register (batch %u, per member)",
+                  batch);
+    const std::uint64_t per = r.gas_used / batch;
+    std::printf("%-44s %10llu %8.2f\n", label,
+                static_cast<unsigned long long>(per), gas_to_usd(per));
+  }
+
+  // Slashing path (commit + reveal).
+  {
+    Rng rng(0xE6);
+    const ff::Fr sk = ff::Fr::random(rng);
+    Transaction reg;
+    reg.from = waku_runner.account;
+    reg.to = rln;
+    reg.method = "register";
+    reg.calldata = hash::poseidon1(sk).to_bytes_be();
+    reg.value = kDeposit;
+    (void)waku_runner.run(reg);
+    const std::uint64_t index =
+        waku_runner.chain.contract_at<RlnMembershipContract>(rln)
+            .member_count_view() -
+        1;
+
+    const ff::U256 salt{123};
+    Transaction commit;
+    commit.from = waku_runner.account;
+    commit.to = rln;
+    commit.method = "commit_slash";
+    commit.calldata = ff::u256_to_bytes_be(
+        RlnMembershipContract::make_slash_commitment(sk, salt,
+                                                     waku_runner.account));
+    const TxReceipt rc = waku_runner.run(commit);
+
+    ByteWriter w;
+    w.write_raw(sk.to_bytes_be());
+    w.write_raw(ff::u256_to_bytes_be(salt));
+    w.write_u64(index);
+    Transaction reveal;
+    reveal.from = waku_runner.account;
+    reveal.to = rln;
+    reveal.method = "reveal_slash";
+    reveal.calldata = std::move(w).take();
+    const TxReceipt rr = waku_runner.run(reveal);
+    std::printf("%-44s %10llu %8.2f\n", "waku slash commit",
+                static_cast<unsigned long long>(rc.gas_used),
+                gas_to_usd(rc.gas_used));
+    std::printf("%-44s %10llu %8.2f\n", "waku slash reveal (incl. deletion)",
+                static_cast<unsigned long long>(rr.gas_used),
+                gas_to_usd(rr.gas_used));
+  }
+
+  // ---- Semaphore baseline: on-chain tree ---------------------------------
+  std::printf("\n%-10s %26s %26s\n", "depth", "semaphore insert (gas)",
+              "semaphore delete (gas)");
+  for (const std::size_t depth : {10u, 16u, 20u, 24u, 32u}) {
+    Runner sem_runner;
+    const Address sem = sem_runner.chain.deploy(
+        std::make_unique<SemaphoreContract>(depth, kDeposit));
+    Transaction ins;
+    ins.from = sem_runner.account;
+    ins.to = sem;
+    ins.method = "register";
+    ins.calldata = pk_of(7).to_bytes_be();
+    ins.value = kDeposit;
+    const TxReceipt ri = sem_runner.run(ins);
+
+    ByteWriter w;
+    w.write_u64(0);
+    Transaction del;
+    del.from = sem_runner.account;
+    del.to = sem;
+    del.method = "remove";
+    del.calldata = std::move(w).take();
+    const TxReceipt rd = sem_runner.run(del);
+
+    std::printf("%-10zu %18llu (%6.0f$) %18llu (%6.0f$)\n", depth,
+                static_cast<unsigned long long>(ri.gas_used),
+                gas_to_usd(ri.gas_used),
+                static_cast<unsigned long long>(rd.gas_used),
+                gas_to_usd(rd.gas_used));
+  }
+
+  std::printf(
+      "\nShape check: the flat list costs ~constant gas per membership\n"
+      "(single ~%llu, large-batch per-member about half of that), while the\n"
+      "Semaphore tree costs grow linearly with depth (= log of capacity)\n"
+      "and are 1-2 orders of magnitude larger — the paper's §III-A\n"
+      "motivation for moving the tree off-chain.\n",
+      static_cast<unsigned long long>(single_gas));
+  return 0;
+}

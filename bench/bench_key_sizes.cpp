@@ -1,0 +1,42 @@
+// E3 — Key-material sizes.
+//
+// Paper §IV: "Each peer persists a 32B public and secret key and a prover
+// key with ~3.89 MB in size". This harness prints the serialized sizes of
+// every persistent artifact a peer holds, across tree depths, plus the
+// per-message overhead (proof bundle) the wire carries.
+#include <cstdio>
+
+#include "rln/identity.hpp"
+#include "rln/rate_limit_proof.hpp"
+#include "zksnark/rln_circuit.hpp"
+
+using namespace waku;  // NOLINT
+
+int main() {
+  std::printf("E3: per-peer key material and per-message overhead\n");
+  std::printf("(paper: sk/pk 32 B each; prover key ~3.89 MB at depth 32;\n");
+  std::printf(" Groth16 proof constant-size)\n\n");
+
+  Rng rng(0xE3);
+  const rln::Identity id = rln::Identity::generate(rng);
+  std::printf("identity secret key : %zu B\n", id.sk_bytes().size());
+  std::printf("identity commitment : %zu B\n", id.pk_bytes().size());
+  std::printf("proof (pi)          : %zu B (constant)\n",
+              zksnark::Proof::kSerializedSize);
+  std::printf("proof bundle on wire: %zu B (x,y,phi,epoch,tau,pi)\n\n",
+              rln::RateLimitProof::kSerializedSize);
+
+  std::printf("%-6s %14s %14s %14s\n", "depth", "prover key (B)",
+              "verify key (B)", "constraints");
+  for (const std::size_t depth : {10u, 14u, 16u, 20u, 24u, 32u}) {
+    const zksnark::Keypair& kp = zksnark::rln_keypair(depth);
+    std::printf("%-6zu %14zu %14zu %14llu\n", depth,
+                kp.pk.serialized_size(), kp.vk.serialized_size(),
+                static_cast<unsigned long long>(kp.pk.num_constraints));
+  }
+  std::printf(
+      "\nShape check: prover key grows ~linearly with depth (circuit size);\n"
+      "verifying key and proof are constant — matching the paper's claim\n"
+      "that only the prover-side artifact is megabytes.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E9 — Off-chain messaging (WAKU-RELAY) vs on-chain signaling (Semaphore).
+//
+// Paper §III-A adjustment 2: Waku moved messages off-chain because
+// (1) on-chain messages are invisible until their block is mined — an
+//     unacceptable delay for messaging workloads, and
+// (2) every on-chain message costs gas, which is "far from practical" at
+//     messaging rates (the paper cites WhatsApp-scale 1.1M msg/s).
+//
+// This harness publishes the same message stream both ways and reports
+// visibility latency and per-message cost.
+#include <cstdio>
+#include <vector>
+
+#include "chain/semaphore_contract.hpp"
+#include "common/serde.hpp"
+#include "rln/harness.hpp"
+
+using namespace waku;  // NOLINT
+
+namespace {
+
+constexpr double kGasPriceGwei = 150.0;
+constexpr double kEthUsd = 3300.0;
+constexpr int kMessages = 10;
+
+void offchain_series() {
+  rln::HarnessConfig cfg;
+  cfg.num_nodes = 30;
+  cfg.degree = 6;
+  cfg.block_interval_ms = 12'000;
+  cfg.node.tree_depth = 10;
+  cfg.node.validator.epoch.epoch_length_ms = 5'000;
+  rln::RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(5'000);
+
+  std::vector<double> latencies;
+  net::TimeMs published_at = 0;
+  std::size_t current_seen = 0;
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    h.node(i).set_message_handler([&](const WakuMessage&) {
+      ++current_seen;
+      if (current_seen == h.size() - 1) {  // reached everyone
+        latencies.push_back(static_cast<double>(h.sim().now() - published_at));
+      }
+    });
+  }
+
+  for (int m = 0; m < kMessages; ++m) {
+    current_seen = 0;
+    published_at = h.sim().now();
+    (void)h.node(0).try_publish(to_bytes("msg " + std::to_string(m)));
+    h.run_ms(cfg.node.validator.epoch.epoch_length_ms);  // next epoch
+  }
+  h.run_ms(10'000);
+
+  double sum = 0;
+  for (const double l : latencies) sum += l;
+  std::printf("%-26s %6d %18.0f %14s %12s\n", "off-chain (WAKU-RELAY)",
+              kMessages,
+              latencies.empty() ? 0.0
+                                : sum / static_cast<double>(latencies.size()),
+              "0", "0.00");
+}
+
+void onchain_series() {
+  chain::Blockchain::Config ccfg;
+  ccfg.block_interval_ms = 12'000;
+  chain::Blockchain chain(ccfg);
+  const chain::Address account = chain::Address::from_u64(0xE9);
+  chain.create_account(account, 1'000 * chain::kGweiPerEth);
+  const chain::Address sem = chain.deploy(
+      std::make_unique<chain::SemaphoreContract>(16, 10'000'000));
+
+  // Register the publisher once.
+  {
+    chain::Transaction tx;
+    tx.from = account;
+    tx.to = sem;
+    tx.method = "register";
+    tx.calldata = ff::Fr::from_u64(7).to_bytes_be();
+    tx.value = 10'000'000;
+    chain.submit(std::move(tx));
+    chain.mine_block(0);
+  }
+
+  std::uint64_t clock = 0;
+  double total_latency = 0;
+  std::uint64_t total_gas = 0;
+  Rng rng(0xE99);
+  for (int m = 0; m < kMessages; ++m) {
+    ByteWriter w;
+    w.write_raw(ff::u256_to_bytes_be(ff::U256{1000 + static_cast<std::uint64_t>(m)}));
+    const Bytes payload = to_bytes("msg " + std::to_string(m) +
+                                   " padded to a chat-sized payload......");
+    w.write_u32(static_cast<std::uint32_t>(payload.size()));
+    w.write_raw(payload);
+    chain::Transaction tx;
+    tx.from = account;
+    tx.to = sem;
+    tx.method = "broadcast_signal";
+    tx.calldata = std::move(w).take();
+    const std::uint64_t submit_time = clock + rng.next_below(12'000);
+    const auto handle = chain.submit(std::move(tx));
+    clock += 12'000;
+    chain.mine_block(clock);  // visible only now
+    const auto receipt = *chain.receipt(handle);
+    total_latency += static_cast<double>(clock - submit_time);
+    total_gas += receipt.gas_used;
+  }
+  const double avg_gas =
+      static_cast<double>(total_gas) / static_cast<double>(kMessages);
+  std::printf("%-26s %6d %18.0f %14.0f %12.2f\n",
+              "on-chain (Semaphore)", kMessages,
+              total_latency / kMessages, avg_gas,
+              avg_gas * kGasPriceGwei * 1e-9 * kEthUsd);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: message visibility latency and per-message cost\n");
+  std::printf("(paper §III-A: off-chain transport avoids block delay and "
+              "per-message gas)\n\n");
+  std::printf("%-26s %6s %18s %14s %12s\n", "transport", "msgs",
+              "visibility (ms)", "gas/msg", "USD/msg");
+  offchain_series();
+  onchain_series();
+  std::printf(
+      "\nShape check: relay visibility is sub-second (gossip propagation),\n"
+      "on-chain visibility averages half a block interval (~6 s at 12 s\n"
+      "blocks) and every message costs real gas — the reason messaging is\n"
+      "free and fast in WAKU-RLN-RELAY and neither in Semaphore.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E2 — RLN proof verification time.
+//
+// Paper §IV: "Proof verification run time is constant and takes ~30 ms".
+// The reproduction target is the SHAPE: verification time must be flat in
+// both tree depth and group population (it only touches the 5 public
+// inputs and the constant-size proof), unlike proof generation.
+#include <benchmark/benchmark.h>
+
+#include "hash/poseidon.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "rln/identity.hpp"
+#include "zksnark/rln_circuit.hpp"
+
+namespace {
+
+using namespace waku;  // NOLINT
+
+struct VerifySetup {
+  std::vector<ff::Fr> public_inputs;
+  zksnark::Proof proof;
+
+  explicit VerifySetup(std::size_t depth, std::uint64_t members) {
+    Rng rng(0xE2);
+    const rln::Identity id = rln::Identity::generate(rng);
+    merkle::IncrementalMerkleTree tree(depth);
+    const std::uint64_t index = tree.insert(id.pk);
+    for (std::uint64_t i = 1; i < members; ++i) {
+      tree.insert(hash::poseidon1(ff::Fr::from_u64(i)));
+    }
+    zksnark::RlnProverInput input;
+    input.sk = id.sk;
+    input.path = tree.auth_path(index);
+    input.x = ff::Fr::from_u64(42);
+    input.epoch = ff::Fr::from_u64(54'827'003);
+    zksnark::RlnCircuit c = zksnark::build_rln_circuit(input);
+    public_inputs = c.publics.to_vector();
+    proof = zksnark::prove(zksnark::rln_keypair(depth).pk, c.builder.cs(),
+                           c.builder.assignment(), rng);
+  }
+};
+
+// Verification vs tree depth: must be flat.
+void BM_RlnProofVerification_Depth(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const VerifySetup setup(depth, 8);
+  const zksnark::VerifyingKey& vk = zksnark::rln_keypair(depth).vk;
+  for (auto _ : state) {
+    const bool ok = zksnark::verify(vk, setup.public_inputs, setup.proof);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+BENCHMARK(BM_RlnProofVerification_Depth)
+    ->Arg(10)
+    ->Arg(14)
+    ->Arg(16)
+    ->Arg(20)
+    ->Arg(24)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+// Verification vs group population at fixed depth: must also be flat.
+void BM_RlnProofVerification_Members(benchmark::State& state) {
+  const auto members = static_cast<std::uint64_t>(state.range(0));
+  const VerifySetup setup(16, members);
+  const zksnark::VerifyingKey& vk = zksnark::rln_keypair(16).vk;
+  for (auto _ : state) {
+    const bool ok = zksnark::verify(vk, setup.public_inputs, setup.proof);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+BENCHMARK(BM_RlnProofVerification_Members)
+    ->Arg(8)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+// Rejecting garbage must cost the same as accepting (no early-out oracle).
+void BM_RlnProofVerification_Garbage(benchmark::State& state) {
+  VerifySetup setup(16, 8);
+  setup.proof.binding[0] ^= 1;
+  const zksnark::VerifyingKey& vk = zksnark::rln_keypair(16).vk;
+  for (auto _ : state) {
+    const bool ok = zksnark::verify(vk, setup.public_inputs, setup.proof);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+BENCHMARK(BM_RlnProofVerification_Garbage)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

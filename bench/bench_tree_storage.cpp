@@ -1,0 +1,92 @@
+// E4 — Per-peer membership-tree storage: full replica vs partial view.
+//
+// Paper §IV: "Storage of a membership tree with depth 20 takes up 67 MB
+// from each peer (this can be optimized to 0.128 KB using the proposal of
+// [18])". This harness measures bytes held by a full IncrementalMerkleTree
+// replica vs the O(log N) PartialMerkleView, for growing populations at
+// depth 20, and checks the views stay root-consistent while only the full
+// replica's footprint grows.
+#include <cstdio>
+
+#include "hash/poseidon.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "merkle/partial_view.hpp"
+
+using namespace waku;  // NOLINT
+using merkle::IncrementalMerkleTree;
+using merkle::PartialMerkleView;
+
+namespace {
+
+const char* human(std::size_t bytes, char* buf) {
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, 32, "%.1f MB", static_cast<double>(bytes) / 1048576.0);
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, 32, "%.1f KB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, 32, "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kDepth = 20;
+  std::printf("E4: membership-tree storage per peer, depth %zu\n", kDepth);
+  std::printf("(paper: 67 MB full tree at depth 20 vs 0.128 KB with [18])\n\n");
+  std::printf("%-10s %16s %16s %10s\n", "members", "full replica",
+              "partial view", "ratio");
+
+  IncrementalMerkleTree tree(kDepth);
+  tree.insert(hash::poseidon1(ff::Fr::from_u64(0)));
+  PartialMerkleView view = PartialMerkleView::from_tree(tree, 0);
+
+  std::uint64_t next = 1;
+  char b1[32], b2[32];
+  // Measured up to 2^14 members (larger populations extrapolated below:
+  // the full replica is exactly linear at ~64 B/member).
+  for (const std::uint64_t target :
+       {std::uint64_t{1} << 10, std::uint64_t{1} << 12,
+        std::uint64_t{1} << 14}) {
+    while (next < target) {
+      const ff::Fr leaf = hash::poseidon1(ff::Fr::from_u64(next));
+      tree.insert(leaf);
+      view.on_insert(leaf);
+      ++next;
+    }
+    if (view.root() != tree.root()) {
+      std::printf("ERROR: partial view diverged at %llu members\n",
+                  static_cast<unsigned long long>(target));
+      return 1;
+    }
+    const std::size_t full = tree.storage_bytes();
+    const std::size_t partial = view.storage_bytes();
+    std::printf("%-10llu %16s %16s %9.0fx\n",
+                static_cast<unsigned long long>(target), human(full, b1),
+                human(partial, b2),
+                static_cast<double>(full) / static_cast<double>(partial));
+  }
+
+  // Extrapolate the linear full replica to larger populations.
+  const double bytes_per_member =
+      static_cast<double>(tree.storage_bytes()) / static_cast<double>(next);
+  for (const double members : {1 << 16, 1 << 18, 1 << 20}) {
+    std::snprintf(b1, sizeof b1, "%.1f MB",
+                  members * bytes_per_member / 1048576.0);
+    std::snprintf(b2, sizeof b2, "%zu B", view.storage_bytes());
+    std::printf("%-10.0f %16s %16s %9.0fx   (extrapolated)\n", members, b1, b2,
+                members * bytes_per_member /
+                    static_cast<double>(view.storage_bytes()));
+  }
+
+  std::printf(
+      "\nFull capacity (2^%zu members) costs %.0f MB of nodes — the paper's\n"
+      "67 MB figure counts the full static tree; the partial view stays\n"
+      "constant at ~%zu bytes = O(log N) [18] (paper quotes 0.128 KB for\n"
+      "the minimal variant storing only the frontier).\n",
+      kDepth,
+      (static_cast<double>(std::uint64_t{2} << kDepth) - 1) * 32.0 / 1048576.0,
+      view.storage_bytes());
+  return 0;
+}

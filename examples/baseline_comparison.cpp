@@ -1,0 +1,117 @@
+// Baseline comparison: what the paper's introduction argues, as a runnable
+// scenario. The same spam burst is thrown at three networks —
+// unprotected gossipsub, Whisper-style PoW, and WAKU-RLN-RELAY — and the
+// honest-publisher experience is compared side by side (§I: PoW prices out
+// resource-restricted devices; peer scoring is Sybil-evadable; RLN keeps
+// honest publishing cheap and drops spam at the first hop).
+//
+// Build & run:  ./build/examples/baseline_comparison
+#include <chrono>
+#include <cstdio>
+
+#include "gossipsub/router.hpp"
+#include "pow/pow.hpp"
+#include "rln/harness.hpp"
+
+using namespace waku;  // NOLINT
+
+namespace {
+
+constexpr int kSpam = 10;
+const char* kTopic = "cmp-topic";
+
+struct GossipNet {
+  net::Simulator sim;
+  net::Network net{sim, {.base_latency_ms = 30, .jitter_ms = 10,
+                         .loss_rate = 0}, 91};
+  std::vector<std::unique_ptr<gossipsub::GossipSubRouter>> routers;
+  std::uint64_t spam_delivered = 0;
+
+  explicit GossipNet(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      routers.push_back(std::make_unique<gossipsub::GossipSubRouter>(
+          net, gossipsub::GossipSubConfig{}, gossipsub::PeerScoreConfig{},
+          700 + i));
+    }
+    Rng rng(93);
+    net.connect_random(4, rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      routers[i]->subscribe(kTopic, [this](const gossipsub::PubSubMessage&) {
+        ++spam_delivered;
+      });
+      routers[i]->start();
+    }
+    sim.run_until(4'000);
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== spam protection baseline comparison (20 nodes, %d spam) ==\n\n",
+              kSpam);
+
+  // --- 1. unprotected gossipsub -------------------------------------------
+  {
+    GossipNet g(20);
+    for (int i = 0; i < kSpam; ++i) {
+      g.routers[0]->publish(kTopic, to_bytes("spam " + std::to_string(i)));
+      g.sim.run_until(g.sim.now() + 150);
+    }
+    g.sim.run_until(g.sim.now() + 10'000);
+    std::printf("unprotected gossipsub:\n");
+    std::printf("  spam deliveries network-wide : %llu (everything floods)\n\n",
+                static_cast<unsigned long long>(g.spam_delivered));
+  }
+
+  // --- 2. Whisper-style proof of work --------------------------------------
+  {
+    constexpr int kDifficulty = 18;  // strong enough to slow the attacker
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sol = pow::mine(to_bytes("honest hello"), kDifficulty);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    std::printf("whisper-style PoW (difficulty %d bits):\n", kDifficulty);
+    std::printf("  honest publisher mined %llu hashes (%lld ms on THIS "
+                "machine)\n",
+                static_cast<unsigned long long>(sol->attempts),
+                static_cast<long long>(ms));
+    std::printf("  a phone is ~10-50x slower; the paper's point: the honest\n"
+                "  cost is identical to the attacker's cost per message\n\n");
+  }
+
+  // --- 3. WAKU-RLN-RELAY ----------------------------------------------------
+  {
+    rln::HarnessConfig cfg;
+    cfg.num_nodes = 20;
+    cfg.degree = 4;
+    cfg.block_interval_ms = 10'000;
+    cfg.node.tree_depth = 12;
+    cfg.node.validator.epoch.epoch_length_ms = 30'000;
+    rln::RlnHarness h(cfg);
+    h.register_all();
+    h.run_ms(4'000);
+
+    for (int i = 0; i < kSpam; ++i) {
+      h.node(0).force_publish(to_bytes("spam " + std::to_string(i)));
+      h.run_ms(150);
+    }
+    h.run_ms(30'000);
+
+    std::uint64_t honest_saw_spam = 0;
+    for (std::size_t i = 1; i < h.size(); ++i) {
+      honest_saw_spam += h.node(i).stats().delivered;
+    }
+    std::printf("waku-rln-relay:\n");
+    std::printf("  spam deliveries to honest nodes : %llu of %d sent "
+                "(1/epoch quota; rest dropped at first hop)\n",
+                static_cast<unsigned long long>(honest_saw_spam / (h.size() - 1)),
+                kSpam);
+    std::printf("  attacker slashed                : %s, 0.01 ETH stake gone\n",
+                h.node(0).is_registered() ? "no" : "yes");
+    std::printf("  honest publish cost             : one zk proof (~ms), no "
+                "mining, no reputation\n");
+  }
+  return 0;
+}

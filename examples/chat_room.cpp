@@ -1,0 +1,82 @@
+// Chat room: the paper's motivating workload (§I cites a chat application
+// tolerating an epoch of ~1 message/second). Several participants exchange
+// messages across epochs on a content topic; one store-enabled node
+// archives the room's history (13/WAKU2-STORE) and serves a paginated
+// query at the end — the off-chain storage half of §III-A.
+//
+// Build & run:  ./build/examples/chat_room
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rln/harness.hpp"
+
+using namespace waku;  // NOLINT
+
+namespace {
+const char* kRoomTopic = "/chatroom/1/lobby/proto";
+const char* kNames[] = {"archive", "alice", "bob", "carol", "dave", "erin"};
+}  // namespace
+
+int main() {
+  std::printf("== WAKU-RLN-RELAY chat room ==\n\n");
+
+  rln::HarnessConfig cfg;
+  cfg.num_nodes = 6;  // node 0 is the store/archive node
+  cfg.degree = 3;
+  cfg.block_interval_ms = 12'000;
+  cfg.node.tree_depth = 16;
+  cfg.node.validator.epoch.epoch_length_ms = 5'000;  // chat-friendly rate
+  cfg.node.enable_store = true;
+  rln::RlnHarness net(cfg);
+  net.register_all();
+  net.run_ms(5'000);
+
+  // Script a little conversation: (speaker, line), one epoch per round.
+  const std::vector<std::pair<std::size_t, std::string>> script = {
+      {1, "hey everyone, is this thing spam-proof?"},
+      {2, "one message per epoch per member, cryptographically"},
+      {3, "and no phone numbers or emails at signup"},
+      {4, "just a stake; spam it and you lose the stake"},
+      {5, "routing peers get paid to catch spammers, neat"},
+      {1, "love it. privacy AND economics"},
+  };
+
+  for (const auto& [who, line] : script) {
+    const auto status = net.node(who).try_publish(to_bytes(line), kRoomTopic);
+    std::printf("[epoch %llu] %-7s: %s%s\n",
+                static_cast<unsigned long long>(net.node(who).current_epoch()),
+                kNames[who], line.c_str(),
+                status == rln::WakuRlnRelayNode::PublishStatus::kOk
+                    ? ""
+                    : "  (REFUSED)");
+    net.run_ms(cfg.node.validator.epoch.epoch_length_ms);  // next epoch
+  }
+  net.run_ms(5'000);
+
+  // Everyone got everything exactly once.
+  std::printf("\ndeliveries per participant:");
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    std::printf(" %s=%llu", kNames[i],
+                static_cast<unsigned long long>(net.node(i).stats().delivered));
+  }
+
+  // Query the archive like a late-joining client would.
+  std::printf("\n\nhistory replay from the archive node (WAKU2-STORE):\n");
+  HistoryQuery query;
+  query.content_topic = kRoomTopic;
+  query.page_size = 4;
+  std::size_t page = 1;
+  for (;;) {
+    const HistoryResponse resp = net.node(0).store().query(query);
+    for (const WakuMessage& m : resp.messages) {
+      std::printf("  page %zu | %s\n", page, to_string(m.payload).c_str());
+    }
+    if (!resp.next_cursor.has_value()) break;
+    query.cursor = *resp.next_cursor;
+    ++page;
+  }
+  std::printf("\narchive holds %zu messages (%zu payload bytes)\n",
+              net.node(0).store().size(), net.node(0).store().bytes_stored());
+  return 0;
+}

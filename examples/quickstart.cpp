@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end WAKU-RLN-RELAY deployment.
+//
+//   1. deploy the membership contract on a (simulated) chain;
+//   2. spin up five relay nodes in a p2p network;
+//   3. register each node's identity commitment with a deposit;
+//   4. publish a rate-limited, privacy-preserving message;
+//   5. watch it arrive everywhere, validated by the RLN proof.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "rln/harness.hpp"
+
+using namespace waku;  // NOLINT
+
+int main() {
+  std::printf("== WAKU-RLN-RELAY quickstart ==\n\n");
+
+  // A 5-node network; 12 s blocks; 10 s epochs (1 message per epoch).
+  rln::HarnessConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.degree = 3;
+  cfg.block_interval_ms = 12'000;
+  cfg.node.tree_depth = 16;  // room for 65k members
+  cfg.node.validator.epoch.epoch_length_ms = 10'000;
+  cfg.node.validator.max_epoch_gap = 2;
+  rln::RlnHarness net(cfg);
+
+  std::printf("deployed membership contract at %s (deposit %.3f ETH)\n",
+              net.contract().hex().c_str(),
+              static_cast<double>(cfg.deposit_gwei) / chain::kGweiPerEth);
+
+  // Every node submits its identity commitment pk = Poseidon(sk) plus the
+  // deposit; membership becomes usable once the block is mined.
+  net.register_all();
+  std::printf("all %zu nodes registered; group root = %s...\n\n", net.size(),
+              ff::fr_to_hex(net.node(0).group().root()).substr(0, 18).c_str());
+
+  // Print every delivery as it happens.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    net.node(i).set_message_handler([i, &net](const WakuMessage& msg) {
+      std::printf("  [t=%6llu ms] node %zu delivered: \"%s\"\n",
+                  static_cast<unsigned long long>(net.sim().now()), i,
+                  to_string(msg.payload).c_str());
+    });
+  }
+
+  // Node 0 publishes. The message carries the §III-E proof bundle:
+  // (x,y) Shamir share, internal nullifier, epoch, tree root, zk proof.
+  std::printf("node 0 publishes...\n");
+  const auto status = net.node(0).try_publish(to_bytes("Hello, spam-free world!"));
+  if (status != rln::WakuRlnRelayNode::PublishStatus::kOk) {
+    std::printf("publish failed!\n");
+    return 1;
+  }
+  net.run_ms(5'000);
+
+  // A second message in the same epoch is refused locally — the honest
+  // rate limit of one message per epoch.
+  const auto again = net.node(0).try_publish(to_bytes("too soon"));
+  std::printf("\nsecond publish in the same epoch -> %s\n",
+              again == rln::WakuRlnRelayNode::PublishStatus::kRateLimited
+                  ? "rate-limited (as designed)"
+                  : "unexpected!");
+
+  // Next epoch it flows again.
+  net.run_ms(cfg.node.validator.epoch.epoch_length_ms);
+  std::printf("next epoch, node 0 publishes again...\n");
+  (void)net.node(0).try_publish(to_bytes("One message per epoch is plenty."));
+  net.run_ms(5'000);
+
+  std::printf("\ntotal deliveries across the network: %llu\n",
+              static_cast<unsigned long long>(net.total_delivered()));
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "chain/contract.hpp"
+
+#include "chain/blockchain.hpp"
+
+namespace waku::chain {
+
+ff::U256 Storage::load(GasMeter& gas, const ff::U256& key) const {
+  gas.charge(gas.schedule().sload);
+  return peek(key);
+}
+
+ff::U256 Storage::peek(const ff::U256& key) const {
+  const auto it = slots_.find(key);
+  return it == slots_.end() ? ff::U256{} : it->second;
+}
+
+void Storage::store(GasMeter& gas, const ff::U256& key,
+                    const ff::U256& value) {
+  const ff::U256 old = peek(key);
+  const GasSchedule& s = gas.schedule();
+  if (old.is_zero() && !value.is_zero()) {
+    gas.charge(s.sstore_set);
+  } else if (!old.is_zero() && value.is_zero()) {
+    gas.charge(s.sstore_clear);
+    gas.add_refund(s.sstore_clear_refund);
+  } else {
+    gas.charge(s.sstore_update);
+  }
+  if (journaling_) journal_.emplace_back(key, old);
+  raw_set(key, value);
+}
+
+void Storage::raw_set(const ff::U256& key, const ff::U256& value) {
+  if (value.is_zero()) {
+    slots_.erase(key);
+  } else {
+    slots_[key] = value;
+  }
+}
+
+void Storage::begin_journal() {
+  journaling_ = true;
+  journal_.clear();
+}
+
+void Storage::commit_journal() {
+  journaling_ = false;
+  journal_.clear();
+}
+
+void Storage::rollback_journal() {
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    raw_set(it->first, it->second);
+  }
+  journaling_ = false;
+  journal_.clear();
+}
+
+void CallContext::emit(std::string name, std::vector<ff::U256> topics,
+                       Bytes data) {
+  const GasSchedule& s = schedule();
+  gas_.charge(s.log_base + s.log_topic * topics.size() +
+              s.log_data_byte * data.size());
+  Event ev;
+  ev.contract = self_;
+  ev.name = std::move(name);
+  ev.topics = std::move(topics);
+  ev.data = std::move(data);
+  ev.block_number = block_number_;
+  events_.push_back(std::move(ev));
+}
+
+void CallContext::transfer_out(const Address& to, Gwei amount) {
+  gas_.charge(schedule().transfer_stipend);
+  chain_.internal_transfer(self_, to, amount);
+}
+
+}  // namespace waku::chain

@@ -1,0 +1,67 @@
+// EVM-style gas metering (paper §IV-A prices membership at ~40k gas and
+// batch insertion at ~20k; E6 reproduces those numbers with this schedule).
+//
+// Costs follow the post-Berlin fee schedule for the operations the
+// membership contracts use. ZK-friendly hashing on-chain (Poseidon/MiMC via
+// precompile-less Solidity) is priced at its commonly reported ~50k gas.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace waku::chain {
+
+struct GasSchedule {
+  std::uint64_t tx_intrinsic = 21'000;
+  std::uint64_t sstore_set = 20'000;     ///< zero -> non-zero
+  std::uint64_t sstore_update = 2'900;   ///< non-zero -> non-zero (warm)
+  std::uint64_t sstore_clear = 2'900;    ///< non-zero -> zero (before refund)
+  std::uint64_t sstore_clear_refund = 4'800;
+  std::uint64_t sload = 2'100;
+  std::uint64_t log_base = 375;
+  std::uint64_t log_topic = 375;
+  std::uint64_t log_data_byte = 8;
+  std::uint64_t calldata_byte = 16;
+  std::uint64_t keccak_base = 30;
+  std::uint64_t keccak_word = 6;
+  std::uint64_t poseidon_hash = 50'000;  ///< on-chain ZK-friendly hash
+  std::uint64_t transfer_stipend = 2'300;
+};
+
+/// Thrown when a transaction exceeds its gas limit; the chain converts it
+/// into a failed receipt that still charges the limit.
+class OutOfGas : public std::runtime_error {
+ public:
+  OutOfGas() : std::runtime_error("out of gas") {}
+};
+
+/// Meters gas usage against a limit; accumulates EIP-3529-capped refunds.
+class GasMeter {
+ public:
+  GasMeter(std::uint64_t limit, const GasSchedule& schedule)
+      : limit_(limit), schedule_(schedule) {}
+
+  void charge(std::uint64_t amount) {
+    used_ += amount;
+    if (used_ > limit_) throw OutOfGas();
+  }
+
+  void add_refund(std::uint64_t amount) { refund_ += amount; }
+
+  /// Gas used after applying the refund cap (max 1/5 of used, EIP-3529).
+  [[nodiscard]] std::uint64_t settled_gas() const {
+    const std::uint64_t cap = used_ / 5;
+    return used_ - (refund_ < cap ? refund_ : cap);
+  }
+
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] const GasSchedule& schedule() const { return schedule_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t used_ = 0;
+  std::uint64_t refund_ = 0;
+  const GasSchedule& schedule_;
+};
+
+}  // namespace waku::chain

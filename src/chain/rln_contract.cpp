@@ -1,0 +1,176 @@
+#include "chain/rln_contract.hpp"
+
+#include "common/serde.hpp"
+#include "hash/keccak256.hpp"
+#include "hash/poseidon.hpp"
+
+namespace waku::chain {
+
+using ff::Fr;
+using ff::U256;
+
+namespace {
+
+Fr read_fr(ByteReader& r) {
+  return Fr::from_bytes_reduce(r.read_raw(32));
+}
+
+U256 read_u256(ByteReader& r) { return ff::u256_from_bytes_be(r.read_raw(32)); }
+
+}  // namespace
+
+U256 RlnMembershipContract::commitment_key(const U256& commitment) {
+  Bytes preimage = {0x02};  // commitment-map domain
+  const Bytes c = u256_to_bytes_be(commitment);
+  preimage.insert(preimage.end(), c.begin(), c.end());
+  return ff::u256_from_bytes_be(hash::keccak256_bytes(preimage));
+}
+
+U256 RlnMembershipContract::make_slash_commitment(const Fr& sk,
+                                                  const U256& salt,
+                                                  const Address& slasher) {
+  Bytes preimage = sk.to_bytes_be();
+  const Bytes s = u256_to_bytes_be(salt);
+  preimage.insert(preimage.end(), s.begin(), s.end());
+  preimage.insert(preimage.end(), slasher.bytes.begin(), slasher.bytes.end());
+  return ff::u256_from_bytes_be(hash::keccak256_bytes(preimage));
+}
+
+Bytes RlnMembershipContract::call(CallContext& ctx, const std::string& method,
+                                  BytesView calldata) {
+  if (method == "register") return do_register(ctx, calldata);
+  if (method == "register_batch") return do_register_batch(ctx, calldata);
+  if (method == "commit_slash") return do_commit_slash(ctx, calldata);
+  if (method == "reveal_slash") return do_reveal_slash(ctx, calldata);
+  if (method == "slash_direct") return do_slash_direct(ctx, calldata);
+  if (method == "withdraw") return do_withdraw(ctx, calldata);
+  if (method == "member_count") {
+    ByteWriter w;
+    w.write_u64(ctx.sload(count_key()).limb[0]);
+    return std::move(w).take();
+  }
+  if (method == "member_at") {
+    ByteReader r(calldata);
+    const std::uint64_t index = r.read_u64();
+    return u256_to_bytes_be(ctx.sload(member_key(index)));
+  }
+  throw Revert("unknown method: " + method);
+}
+
+void RlnMembershipContract::register_one(CallContext& ctx, const U256& pk) {
+  ctx.require(!pk.is_zero(), "zero identity commitment");
+  const U256 count = ctx.sload(count_key());
+  const std::uint64_t index = count.limb[0];
+  ctx.sstore(member_key(index), pk);
+  ctx.sstore(count_key(), U256{index + 1});
+  ctx.emit("MemberRegistered", {U256{index}, pk});
+}
+
+Bytes RlnMembershipContract::do_register(CallContext& ctx, BytesView calldata) {
+  ctx.require(ctx.value() == deposit_, "register: wrong deposit");
+  ByteReader r(calldata);
+  register_one(ctx, read_u256(r));
+  return {};
+}
+
+Bytes RlnMembershipContract::do_register_batch(CallContext& ctx,
+                                               BytesView calldata) {
+  ByteReader r(calldata);
+  const std::uint32_t n = r.read_u32();
+  ctx.require(n > 0, "register_batch: empty batch");
+  ctx.require(ctx.value() == deposit_ * n, "register_batch: wrong deposit");
+  // One count read/write for the whole batch — the amortization the paper
+  // credits with halving per-member registration gas.
+  const std::uint64_t base = ctx.sload(count_key()).limb[0];
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const U256 pk = read_u256(r);
+    ctx.require(!pk.is_zero(), "zero identity commitment");
+    ctx.sstore(member_key(base + i), pk);
+    ctx.emit("MemberRegistered", {U256{base + i}, pk});
+  }
+  ctx.sstore(count_key(), U256{base + n});
+  return {};
+}
+
+Bytes RlnMembershipContract::do_commit_slash(CallContext& ctx,
+                                             BytesView calldata) {
+  ByteReader r(calldata);
+  const U256 commitment = read_u256(r);
+  ctx.gas().charge(ctx.schedule().keccak_base + 2 * ctx.schedule().keccak_word);
+  const U256 key = commitment_key(commitment);
+  ctx.require(ctx.sload(key).is_zero(), "commit_slash: already committed");
+  ctx.sstore(key, U256{ctx.block_number()});
+  ctx.emit("SlashCommitted", {commitment});
+  return {};
+}
+
+void RlnMembershipContract::remove_member(CallContext& ctx, const Fr& sk,
+                                          std::uint64_t index,
+                                          const Address& payee,
+                                          const char* event_name,
+                                          BytesView path_data) {
+  ctx.charge_poseidon();
+  const U256 pk = hash::poseidon1(sk).to_u256();
+  const U256 stored = ctx.sload(member_key(index));
+  ctx.require(!stored.is_zero(), "member slot already empty");
+  ctx.require(stored == pk, "identity key does not match member");
+  ctx.sstore(member_key(index), U256{});
+  ctx.transfer_out(payee, deposit_);
+  ctx.emit(event_name, {U256{index}, pk, payee.to_u256()},
+           Bytes(path_data.begin(), path_data.end()));
+}
+
+Bytes RlnMembershipContract::do_reveal_slash(CallContext& ctx,
+                                             BytesView calldata) {
+  ByteReader r(calldata);
+  const Fr sk = read_fr(r);
+  const U256 salt = read_u256(r);
+  const std::uint64_t index = r.read_u64();
+
+  ctx.gas().charge(ctx.schedule().keccak_base + 3 * ctx.schedule().keccak_word);
+  const U256 commitment = make_slash_commitment(sk, salt, ctx.sender());
+  const U256 key = commitment_key(commitment);
+  const U256 commit_block = ctx.sload(key);
+  ctx.require(!commit_block.is_zero(), "reveal_slash: no matching commitment");
+  // The reveal must come strictly after the commit's block, so a mempool
+  // observer cannot copy the reveal into the same block (paper §III-F race).
+  ctx.require(commit_block.limb[0] < ctx.block_number(),
+              "reveal_slash: commit not yet mature");
+  ctx.sstore(key, U256{});
+  remove_member(ctx, sk, index, ctx.sender(), "MemberSlashed",
+                r.read_raw(r.remaining()));
+  return {};
+}
+
+Bytes RlnMembershipContract::do_slash_direct(CallContext& ctx,
+                                             BytesView calldata) {
+  ByteReader r(calldata);
+  const Fr sk = read_fr(r);
+  const std::uint64_t index = r.read_u64();
+  // No commitment: first transaction to land wins the reward — the
+  // front-running race the commit-reveal scheme exists to prevent.
+  remove_member(ctx, sk, index, ctx.sender(), "MemberSlashed",
+                r.read_raw(r.remaining()));
+  return {};
+}
+
+Bytes RlnMembershipContract::do_withdraw(CallContext& ctx, BytesView calldata) {
+  ByteReader r(calldata);
+  const Fr sk = read_fr(r);
+  const std::uint64_t index = r.read_u64();
+  // Knowing sk proves ownership; the deposit returns to the caller. This is
+  // the "escape punishment by early withdrawal" open problem of §IV-B.
+  remove_member(ctx, sk, index, ctx.sender(), "MemberWithdrawn",
+                r.read_raw(r.remaining()));
+  return {};
+}
+
+std::uint64_t RlnMembershipContract::member_count_view() const {
+  return storage().peek(count_key()).limb[0];
+}
+
+ff::U256 RlnMembershipContract::member_at_view(std::uint64_t index) const {
+  return storage().peek(member_key(index));
+}
+
+}  // namespace waku::chain

@@ -1,0 +1,73 @@
+// The WAKU-RLN-RELAY membership contract (paper §III-A/§III-B).
+//
+// Design shift vs Semaphore that the paper motivates: the contract keeps a
+// *flat append-only list* of identity commitments — insertion and deletion
+// touch a single storage slot — and the Merkle tree lives off-chain with
+// the peers. Messages never touch the contract.
+//
+// Methods (native dispatch, calldata layouts documented per method):
+//   register        pk(32B)                          value == deposit
+//   register_batch  u32 n, n * pk(32B)               value == n * deposit
+//   commit_slash    commitment(32B)                  commit-reveal step 1
+//   reveal_slash    sk(32B) salt(32B) index(u64) path  commit-reveal step 2
+//   slash_direct    sk(32B) index(u64) path          race-prone variant
+//   withdraw        sk(32B) index(u64) path          exit with deposit
+//   member_count    -> u64
+//   member_at       index(u64) -> pk(32B)
+//
+// `path` is the removed leaf's serialized auth path: the contract does not
+// interpret it (no gas beyond calldata + log) but echoes it in the removal
+// event so peers holding only the O(log N) partial view [18] can apply the
+// deletion — the availability assumption of paper §IV-A.
+#pragma once
+
+#include "chain/contract.hpp"
+#include "ff/fr.hpp"
+
+namespace waku::chain {
+
+class RlnMembershipContract : public Contract {
+ public:
+  /// `deposit` is the stake v required to register (paper §III-B).
+  explicit RlnMembershipContract(Gwei deposit) : deposit_(deposit) {}
+
+  Bytes call(CallContext& ctx, const std::string& method,
+             BytesView calldata) override;
+
+  [[nodiscard]] Gwei deposit() const { return deposit_; }
+
+  /// Unmetered views for off-chain indexers/tests.
+  [[nodiscard]] std::uint64_t member_count_view() const;
+  [[nodiscard]] ff::U256 member_at_view(std::uint64_t index) const;
+
+  // Storage layout helpers (exposed for tests).
+  static ff::U256 count_key() { return ff::U256{0}; }
+  static ff::U256 member_key(std::uint64_t index) {
+    return ff::U256{index, 0, 1, 0};
+  }
+  static ff::U256 commitment_key(const ff::U256& commitment);
+
+  /// The commitment binding a slasher to (sk, salt, slasher address) —
+  /// computed off-chain by the slasher, checked on reveal.
+  static ff::U256 make_slash_commitment(const ff::Fr& sk, const ff::U256& salt,
+                                        const Address& slasher);
+
+ private:
+  Bytes do_register(CallContext& ctx, BytesView calldata);
+  Bytes do_register_batch(CallContext& ctx, BytesView calldata);
+  Bytes do_commit_slash(CallContext& ctx, BytesView calldata);
+  Bytes do_reveal_slash(CallContext& ctx, BytesView calldata);
+  Bytes do_slash_direct(CallContext& ctx, BytesView calldata);
+  Bytes do_withdraw(CallContext& ctx, BytesView calldata);
+
+  void register_one(CallContext& ctx, const ff::U256& pk);
+  /// Shared by reveal/direct slash and withdraw: verify pk at index matches
+  /// H(sk), clear the slot, pay `payee`, echo `path_data` in the event.
+  void remove_member(CallContext& ctx, const ff::Fr& sk, std::uint64_t index,
+                     const Address& payee, const char* event_name,
+                     BytesView path_data);
+
+  Gwei deposit_;
+};
+
+}  // namespace waku::chain

@@ -1,0 +1,129 @@
+#include "chain/semaphore_contract.hpp"
+
+#include "common/serde.hpp"
+#include "hash/keccak256.hpp"
+#include "hash/poseidon.hpp"
+#include "merkle/merkle_tree.hpp"
+
+namespace waku::chain {
+
+using ff::Fr;
+using ff::U256;
+
+SemaphoreContract::SemaphoreContract(std::size_t tree_depth, Gwei deposit)
+    : depth_(tree_depth), deposit_(deposit) {}
+
+U256 SemaphoreContract::nullifier_key(const U256& nullifier) {
+  Bytes preimage = {0x03};
+  const Bytes n = u256_to_bytes_be(nullifier);
+  preimage.insert(preimage.end(), n.begin(), n.end());
+  return ff::u256_from_bytes_be(hash::keccak256_bytes(preimage));
+}
+
+U256 SemaphoreContract::signal_key(std::uint64_t signal_index,
+                                   std::uint64_t word) {
+  return U256{word, signal_index, 3, 0};
+}
+
+Bytes SemaphoreContract::call(CallContext& ctx, const std::string& method,
+                              BytesView calldata) {
+  if (method == "register") return do_register(ctx, calldata);
+  if (method == "remove") return do_remove(ctx, calldata);
+  if (method == "broadcast_signal") return do_broadcast(ctx, calldata);
+  if (method == "root") return u256_to_bytes_be(ctx.sload(root_key()));
+  if (method == "member_count") {
+    ByteWriter w;
+    w.write_u64(ctx.sload(count_key()).limb[0]);
+    return std::move(w).take();
+  }
+  throw Revert("unknown method: " + method);
+}
+
+void SemaphoreContract::set_leaf(CallContext& ctx, std::uint64_t index,
+                                 const Fr& leaf) {
+  // Walk the path to the root: at each level, load the sibling, hash, and
+  // store the parent — the O(depth) on-chain cost the paper's §III-A
+  // redesign eliminates.
+  ctx.sstore(node_key(0, index), leaf.to_u256());
+  Fr cur = leaf;
+  std::uint64_t idx = index;
+  for (std::size_t level = 0; level < depth_; ++level) {
+    const U256 sibling_raw = ctx.sload(node_key(level, idx ^ 1));
+    const Fr sibling = sibling_raw.is_zero()
+                           ? merkle::zero_at(level)
+                           : Fr::from_u256_reduce(sibling_raw);
+    ctx.charge_poseidon();
+    cur = (idx & 1) ? hash::poseidon2(sibling, cur)
+                    : hash::poseidon2(cur, sibling);
+    idx >>= 1;
+    ctx.sstore(node_key(level + 1, idx), cur.to_u256());
+  }
+  ctx.sstore(root_key(), cur.to_u256());
+}
+
+Bytes SemaphoreContract::do_register(CallContext& ctx, BytesView calldata) {
+  ctx.require(ctx.value() == deposit_, "register: wrong deposit");
+  ByteReader r(calldata);
+  const U256 pk_raw = ff::u256_from_bytes_be(r.read_raw(32));
+  ctx.require(!pk_raw.is_zero(), "zero identity commitment");
+  const std::uint64_t index = ctx.sload(count_key()).limb[0];
+  ctx.require(index < (std::uint64_t{1} << depth_), "tree full");
+  set_leaf(ctx, index, Fr::from_u256_reduce(pk_raw));
+  ctx.sstore(count_key(), U256{index + 1});
+  ctx.emit("MemberRegistered", {U256{index}, pk_raw});
+  return {};
+}
+
+Bytes SemaphoreContract::do_remove(CallContext& ctx, BytesView calldata) {
+  ByteReader r(calldata);
+  const std::uint64_t index = r.read_u64();
+  const U256 existing = ctx.sload(node_key(0, index));
+  ctx.require(!existing.is_zero(), "remove: empty slot");
+  set_leaf(ctx, index, Fr::zero());
+  ctx.emit("MemberRemoved", {U256{index}, existing});
+  return {};
+}
+
+Bytes SemaphoreContract::do_broadcast(CallContext& ctx, BytesView calldata) {
+  ByteReader r(calldata);
+  const U256 nullifier = ff::u256_from_bytes_be(r.read_raw(32));
+  const std::uint32_t len = r.read_u32();
+  const Bytes payload = r.read_raw(len);
+
+  // On-chain Groth16 verification of the membership proof.
+  ctx.gas().charge(kGroth16VerifyGas);
+
+  // Double-signal check via the nullifier map held in contract storage.
+  const U256 nkey = nullifier_key(nullifier);
+  ctx.gas().charge(ctx.schedule().keccak_base + 2 * ctx.schedule().keccak_word);
+  ctx.require(ctx.sload(nkey).is_zero(), "double signal");
+  ctx.sstore(nkey, U256{1});
+
+  // Store the signal payload word by word — Semaphore keeps messages in
+  // contract state (paper §III-A adjustment 2 removes exactly this).
+  const std::uint64_t signal_index = ctx.sload(signal_count_key()).limb[0];
+  for (std::uint64_t w = 0; w * 32 < payload.size(); ++w) {
+    Bytes word(32, 0);
+    const std::size_t take = std::min<std::size_t>(32, payload.size() - w * 32);
+    std::copy_n(payload.begin() + static_cast<std::ptrdiff_t>(w * 32), take,
+                word.begin());
+    ctx.sstore(signal_key(signal_index, w), ff::u256_from_bytes_be(word));
+  }
+  ctx.sstore(signal_count_key(), U256{signal_index + 1});
+  ctx.emit("SignalBroadcast", {U256{signal_index}, nullifier});
+  return {};
+}
+
+U256 SemaphoreContract::root_view() const {
+  return storage().peek(root_key());
+}
+
+std::uint64_t SemaphoreContract::member_count_view() const {
+  return storage().peek(count_key()).limb[0];
+}
+
+std::uint64_t SemaphoreContract::signal_count_view() const {
+  return storage().peek(signal_count_key()).limb[0];
+}
+
+}  // namespace waku::chain

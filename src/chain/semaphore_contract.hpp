@@ -1,0 +1,66 @@
+// Semaphore-style membership contract — the baseline the paper's §III-A
+// argues against. Two deliberate cost centers, faithful to the original:
+//
+//   1. the identity-commitment Merkle tree lives ON-CHAIN: every insert or
+//      delete walks the path, costing O(depth) storage writes and O(depth)
+//      on-chain Poseidon evaluations (the "logarithmic gas" the paper
+//      cites);
+//   2. signals (messages) are broadcast THROUGH the contract: per-message
+//      proof verification plus on-chain payload storage, and a message only
+//      becomes visible when its block is mined (the latency E9 measures).
+//
+// Methods:
+//   register          pk(32B)                          value == deposit
+//   remove            index(u64)
+//   broadcast_signal  nullifier(32B), u32 len, payload
+//   root              -> 32B
+//   member_count      -> u64
+#pragma once
+
+#include "chain/contract.hpp"
+#include "ff/fr.hpp"
+
+namespace waku::chain {
+
+class SemaphoreContract : public Contract {
+ public:
+  SemaphoreContract(std::size_t tree_depth, Gwei deposit);
+
+  Bytes call(CallContext& ctx, const std::string& method,
+             BytesView calldata) override;
+
+  [[nodiscard]] std::size_t tree_depth() const { return depth_; }
+
+  /// Unmetered views.
+  [[nodiscard]] ff::U256 root_view() const;
+  [[nodiscard]] std::uint64_t member_count_view() const;
+  [[nodiscard]] std::uint64_t signal_count_view() const;
+
+  // Storage layout (exposed for tests).
+  static ff::U256 count_key() { return ff::U256{0}; }
+  static ff::U256 root_key() { return ff::U256{1}; }
+  static ff::U256 signal_count_key() { return ff::U256{2}; }
+  static ff::U256 node_key(std::size_t level, std::uint64_t index) {
+    return ff::U256{index, static_cast<std::uint64_t>(level), 2, 0};
+  }
+  static ff::U256 nullifier_key(const ff::U256& nullifier);
+  static ff::U256 signal_key(std::uint64_t signal_index, std::uint64_t word);
+
+  /// Gas charged for on-chain Groth16 verification (pairing-dominated,
+  /// ~250k on mainnet deployments).
+  static constexpr std::uint64_t kGroth16VerifyGas = 250'000;
+
+ private:
+  Bytes do_register(CallContext& ctx, BytesView calldata);
+  Bytes do_remove(CallContext& ctx, BytesView calldata);
+  Bytes do_broadcast(CallContext& ctx, BytesView calldata);
+
+  /// Writes `leaf` at `index` and re-hashes the path to the root, charging
+  /// per-level storage and Poseidon gas.
+  void set_leaf(CallContext& ctx, std::uint64_t index, const ff::Fr& leaf);
+
+  std::size_t depth_;
+  Gwei deposit_;
+};
+
+}  // namespace waku::chain

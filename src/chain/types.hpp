@@ -1,0 +1,98 @@
+// Core types of the simulated Ethereum chain: addresses, money, events,
+// transactions, receipts, blocks.
+//
+// Money is denominated in gwei (1e9 gwei = 1 ETH) so balances, deposits and
+// gas fees fit comfortably in 64 bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ff/u256.hpp"
+
+namespace waku::chain {
+
+/// 20-byte account/contract address.
+struct Address {
+  std::array<std::uint8_t, 20> bytes{};
+
+  static Address from_u64(std::uint64_t v) {
+    Address a;
+    for (int i = 0; i < 8; ++i) {
+      a.bytes[19 - static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    return a;
+  }
+
+  [[nodiscard]] std::string hex() const {
+    return to_hex0x(BytesView(bytes.data(), bytes.size()));
+  }
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  /// Zero-extended 256-bit form (for event topics, Ethereum-style).
+  [[nodiscard]] ff::U256 to_u256() const {
+    Bytes padded(12, 0);
+    padded.insert(padded.end(), bytes.begin(), bytes.end());
+    return ff::u256_from_bytes_be(padded);
+  }
+};
+
+struct AddressHash {
+  std::size_t operator()(const Address& a) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint8_t b : a.bytes) h = (h ^ b) * 1099511628211ULL;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Amount in gwei.
+using Gwei = std::uint64_t;
+
+constexpr Gwei kGweiPerEth = 1'000'000'000ULL;
+
+/// An emitted contract event (log).
+struct Event {
+  Address contract;
+  std::string name;
+  std::vector<ff::U256> topics;
+  Bytes data;
+  std::uint64_t block_number = 0;
+};
+
+/// Result of executing a transaction inside a block.
+struct TxReceipt {
+  bool success = false;
+  std::string revert_reason;
+  std::uint64_t gas_used = 0;
+  Gwei fee_paid = 0;
+  std::uint64_t block_number = 0;
+  std::vector<Event> events;
+  Bytes return_data;
+};
+
+/// A transaction: native-dispatch call of `method` on the contract at `to`.
+struct Transaction {
+  Address from;
+  Address to;
+  std::string method;
+  Bytes calldata;
+  Gwei value = 0;
+  std::uint64_t gas_limit = 10'000'000;
+  Gwei gas_price = 50;  // gwei per gas
+};
+
+/// A mined block.
+struct Block {
+  std::uint64_t number = 0;
+  std::uint64_t timestamp_ms = 0;
+  std::vector<TxReceipt> receipts;
+};
+
+}  // namespace waku::chain

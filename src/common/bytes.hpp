@@ -1,0 +1,43 @@
+// Byte-buffer primitives shared across the library: the Bytes alias,
+// hex encoding/decoding, and constant-time comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace waku {
+
+/// Owning byte buffer used throughout the library for wire payloads,
+/// hashes, and serialized structures.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over a byte buffer (non-owning).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex without a 0x prefix.
+std::string to_hex(BytesView data);
+
+/// Encodes `data` as lowercase hex with a 0x prefix (Ethereum convention).
+std::string to_hex0x(BytesView data);
+
+/// Decodes a hex string (with or without 0x prefix, case-insensitive).
+/// Throws std::invalid_argument on malformed input or odd length.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality over equal-length buffers; returns false if
+/// lengths differ. Used when comparing secret material.
+bool ct_equal(BytesView a, BytesView b) noexcept;
+
+/// Converts a string literal/body to bytes (UTF-8 passthrough).
+Bytes to_bytes(std::string_view s);
+
+/// Converts bytes back to a std::string (UTF-8 passthrough).
+std::string to_string(BytesView b);
+
+/// Concatenates buffers.
+Bytes concat(BytesView a, BytesView b);
+
+}  // namespace waku

@@ -1,0 +1,50 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions").
+//
+// WAKU_EXPECTS  - precondition on the caller; violation is a programming
+//                 error and throws ContractViolation so tests can assert it.
+// WAKU_ENSURES  - postcondition of the callee.
+// WAKU_ASSERT   - internal invariant.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace waku {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace waku
+
+#define WAKU_EXPECTS(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::waku::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                    __LINE__);                            \
+  } while (false)
+
+#define WAKU_ENSURES(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::waku::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                    __LINE__);                            \
+  } while (false)
+
+#define WAKU_ASSERT(cond)                                                 \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::waku::detail::contract_fail("invariant", #cond, __FILE__,         \
+                                    __LINE__);                            \
+  } while (false)

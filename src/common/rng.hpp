@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that simulations,
+// tests, and benches are reproducible from a single seed. The generator is
+// xoshiro256** seeded through SplitMix64 (the construction recommended by
+// its authors for seeding from a single 64-bit value).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace waku {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** deterministic PRNG. Not cryptographically secure; key
+/// material in examples/tests is explicitly labeled as demo-only.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform value in [0, bound) using rejection sampling; bound must be >0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Fills `n` random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  /// Bernoulli trial with probability p in [0,1].
+  bool chance(double p) noexcept { return next_double() < p; }
+
+  // UniformRandomBitGenerator interface so Rng works with <algorithm>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace waku

@@ -1,0 +1,301 @@
+#include "dht/kademlia.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/serde.hpp"
+#include "hash/sha256.hpp"
+
+namespace waku::dht {
+
+namespace {
+
+enum class DhtFrame : std::uint8_t {
+  kFindNode = 1,   // lookup_id u64, target key 32B
+  kNodes = 2,      // lookup_id u64, u32 n, n * u32 node id
+  kStore = 3,      // key 32B, value bytes
+  kFindValue = 4,  // lookup_id u64, key 32B
+  kValue = 5,      // lookup_id u64, value bytes
+};
+
+Key key_from_digest(const hash::Sha256Digest& digest) {
+  Key key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+}  // namespace
+
+Key xor_distance(const Key& a, const Key& b) {
+  Key out;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+bool closer(const Key& a, const Key& b) { return a < b; }
+
+int bucket_index(const Key& distance) {
+  for (std::size_t i = 0; i < distance.size(); ++i) {
+    if (distance[i] != 0) {
+      int bit = 7;
+      while (((distance[i] >> bit) & 1) == 0) --bit;
+      return static_cast<int>((31 - i) * 8 + static_cast<std::size_t>(bit));
+    }
+  }
+  return -1;
+}
+
+Key key_of_node(net::NodeId id) {
+  ByteWriter w;
+  w.write_string("dht-node");
+  w.write_u32(id);
+  return key_from_digest(hash::sha256(w.data()));
+}
+
+Key key_of_content(BytesView content) {
+  Bytes tagged = to_bytes("dht-content:");
+  tagged.insert(tagged.end(), content.begin(), content.end());
+  return key_from_digest(hash::sha256(tagged));
+}
+
+DhtNode::DhtNode(net::Network& network, DhtConfig config)
+    : network_(network),
+      config_(config),
+      id_(network.add_node(this)),
+      key_(key_of_node(id_)),
+      buckets_(256) {}
+
+void DhtNode::observe_peer(net::NodeId peer) {
+  if (peer == id_) return;
+  const int idx = bucket_index(xor_distance(key_, key_of_node(peer)));
+  if (idx < 0) return;
+  auto& bucket = buckets_[static_cast<std::size_t>(idx)];
+  const auto it = std::find(bucket.begin(), bucket.end(), peer);
+  if (it != bucket.end()) {
+    // Move to the tail (most recently seen).
+    bucket.erase(it);
+    bucket.push_back(peer);
+    return;
+  }
+  if (bucket.size() < config_.k) {
+    bucket.push_back(peer);
+  }
+  // Full bucket: drop the newcomer (simplified eviction; no ping).
+}
+
+std::size_t DhtNode::known_peers() const {
+  std::size_t n = 0;
+  for (const auto& bucket : buckets_) n += bucket.size();
+  return n;
+}
+
+std::vector<net::NodeId> DhtNode::closest_known(const Key& target,
+                                                std::size_t count) const {
+  std::vector<net::NodeId> all;
+  for (const auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(all.begin(), all.end(), [&target](net::NodeId a, net::NodeId b) {
+    return closer(xor_distance(key_of_node(a), target),
+                  xor_distance(key_of_node(b), target));
+  });
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+void DhtNode::bootstrap(net::NodeId seed) {
+  observe_peer(seed);
+  start_lookup(key_, /*want_value=*/false, nullptr,
+               [](std::vector<net::NodeId>) {});
+}
+
+void DhtNode::put(const Key& key, Bytes value, PutCallback done) {
+  start_lookup(
+      key, /*want_value=*/false, nullptr,
+      [this, key, value = std::move(value),
+       done = std::move(done)](std::vector<net::NodeId> nodes) {
+        // Replicate to the k closest, counting ourselves as a candidate.
+        std::vector<std::pair<Key, net::NodeId>> candidates;
+        candidates.reserve(nodes.size() + 1);
+        for (const net::NodeId n : nodes) {
+          candidates.emplace_back(xor_distance(key_of_node(n), key), n);
+        }
+        candidates.emplace_back(xor_distance(key_, key), id_);
+        std::sort(candidates.begin(), candidates.end());
+        if (candidates.size() > config_.k) candidates.resize(config_.k);
+
+        std::size_t replicas = 0;
+        for (const auto& [dist, node] : candidates) {
+          ++replicas;
+          if (node == id_) {
+            store_[key] = value;
+            continue;
+          }
+          ByteWriter w;
+          w.write_u8(static_cast<std::uint8_t>(DhtFrame::kStore));
+          w.write_raw(BytesView(key.data(), key.size()));
+          w.write_bytes(value);
+          network_.send(id_, node, std::move(w).take());
+        }
+        if (done) done(replicas);
+      });
+}
+
+void DhtNode::get(const Key& key, GetCallback done) {
+  const auto local = store_.find(key);
+  if (local != store_.end()) {
+    done(local->second);
+    return;
+  }
+  start_lookup(key, /*want_value=*/true, std::move(done), nullptr);
+}
+
+void DhtNode::start_lookup(
+    const Key& target, bool want_value, GetCallback on_value,
+    std::function<void(std::vector<net::NodeId>)> on_nodes) {
+  const std::uint64_t lookup_id = next_lookup_id_++;
+  Lookup lookup;
+  lookup.target = target;
+  lookup.want_value = want_value;
+  lookup.shortlist = closest_known(target, config_.k * 2);
+  lookup.on_value = std::move(on_value);
+  lookup.on_nodes = std::move(on_nodes);
+  lookups_.emplace(lookup_id, std::move(lookup));
+  advance_lookup(lookup_id);
+}
+
+void DhtNode::advance_lookup(std::uint64_t lookup_id) {
+  const auto it = lookups_.find(lookup_id);
+  if (it == lookups_.end() || it->second.finished) return;
+  Lookup& lookup = it->second;
+
+  // Query up to alpha unqueried nodes among the k closest.
+  std::size_t considered = 0;
+  for (const net::NodeId node : lookup.shortlist) {
+    if (considered >= config_.k) break;
+    ++considered;
+    if (lookup.in_flight >= config_.alpha) return;
+    if (std::find(lookup.queried.begin(), lookup.queried.end(), node) !=
+        lookup.queried.end()) {
+      continue;
+    }
+    lookup.queried.push_back(node);
+    ++lookup.in_flight;
+    ByteWriter w;
+    w.write_u8(static_cast<std::uint8_t>(
+        lookup.want_value ? DhtFrame::kFindValue : DhtFrame::kFindNode));
+    w.write_u64(lookup_id);
+    w.write_raw(BytesView(lookup.target.data(), lookup.target.size()));
+    network_.send(id_, node, std::move(w).take());
+  }
+  if (lookup.in_flight == 0) {
+    finish_lookup(lookup_id, std::nullopt);
+  }
+}
+
+void DhtNode::finish_lookup(std::uint64_t lookup_id,
+                            std::optional<Bytes> value) {
+  const auto it = lookups_.find(lookup_id);
+  if (it == lookups_.end() || it->second.finished) return;
+  Lookup& lookup = it->second;
+  lookup.finished = true;
+  if (lookup.want_value) {
+    if (lookup.on_value) lookup.on_value(std::move(value));
+  } else if (lookup.on_nodes) {
+    std::vector<net::NodeId> closest = lookup.shortlist;
+    if (closest.size() > config_.k) closest.resize(config_.k);
+    lookup.on_nodes(std::move(closest));
+  }
+  lookups_.erase(it);
+}
+
+void DhtNode::on_message(net::NodeId from, BytesView payload) {
+  observe_peer(from);
+  ByteReader r(payload);
+  const auto type = static_cast<DhtFrame>(r.read_u8());
+  switch (type) {
+    case DhtFrame::kFindNode:
+    case DhtFrame::kFindValue: {
+      const std::uint64_t lookup_id = r.read_u64();
+      Key target;
+      const Bytes raw = r.read_raw(32);
+      std::copy(raw.begin(), raw.end(), target.begin());
+
+      if (type == DhtFrame::kFindValue) {
+        const auto it = store_.find(target);
+        if (it != store_.end()) {
+          ByteWriter w;
+          w.write_u8(static_cast<std::uint8_t>(DhtFrame::kValue));
+          w.write_u64(lookup_id);
+          w.write_bytes(it->second);
+          network_.send(id_, from, std::move(w).take());
+          return;
+        }
+      }
+      ByteWriter w;
+      w.write_u8(static_cast<std::uint8_t>(DhtFrame::kNodes));
+      w.write_u64(lookup_id);
+      const auto nodes = closest_known(target, config_.k);
+      w.write_u32(static_cast<std::uint32_t>(nodes.size()));
+      for (const net::NodeId n : nodes) w.write_u32(n);
+      network_.send(id_, from, std::move(w).take());
+      break;
+    }
+    case DhtFrame::kNodes: {
+      const std::uint64_t lookup_id = r.read_u64();
+      const std::uint32_t n = r.read_u32();
+      const auto it = lookups_.find(lookup_id);
+      std::vector<net::NodeId> received;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        received.push_back(r.read_u32());
+      }
+      for (const net::NodeId node : received) observe_peer(node);
+      if (it == lookups_.end() || it->second.finished) return;
+      Lookup& lookup = it->second;
+      --lookup.in_flight;
+      for (const net::NodeId node : received) {
+        if (node == id_) continue;
+        if (std::find(lookup.shortlist.begin(), lookup.shortlist.end(),
+                      node) == lookup.shortlist.end()) {
+          lookup.shortlist.push_back(node);
+        }
+      }
+      const Key target = lookup.target;
+      std::sort(lookup.shortlist.begin(), lookup.shortlist.end(),
+                [&target](net::NodeId a, net::NodeId b) {
+                  return closer(xor_distance(key_of_node(a), target),
+                                xor_distance(key_of_node(b), target));
+                });
+      // Finished when the k closest have all been queried.
+      bool all_queried = true;
+      for (std::size_t i = 0;
+           i < std::min(config_.k, lookup.shortlist.size()); ++i) {
+        if (std::find(lookup.queried.begin(), lookup.queried.end(),
+                      lookup.shortlist[i]) == lookup.queried.end()) {
+          all_queried = false;
+          break;
+        }
+      }
+      if (all_queried && lookup.in_flight == 0) {
+        finish_lookup(lookup_id, std::nullopt);
+      } else {
+        advance_lookup(lookup_id);
+      }
+      break;
+    }
+    case DhtFrame::kStore: {
+      Key key;
+      const Bytes raw = r.read_raw(32);
+      std::copy(raw.begin(), raw.end(), key.begin());
+      store_[key] = r.read_bytes();
+      break;
+    }
+    case DhtFrame::kValue: {
+      const std::uint64_t lookup_id = r.read_u64();
+      finish_lookup(lookup_id, r.read_bytes());
+      break;
+    }
+  }
+}
+
+}  // namespace waku::dht

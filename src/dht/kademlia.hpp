@@ -1,0 +1,100 @@
+// Kademlia-style distributed hash table over the simulated network.
+//
+// This is the substrate for the paper's §IV-A future-work direction:
+// "replace the membership contract with a distributed group management
+// scheme e.g., through distributed hash tables ... to address possible
+// performance issues that the interaction with the public Ethereum
+// blockchain may cause" (registration latency bounded by block mining).
+//
+// Implements the classic primitives: 256-bit XOR metric, k-buckets,
+// FIND_NODE / STORE / FIND_VALUE RPCs, and iterative lookups with
+// parallelism alpha. Values are replicated to the k closest nodes.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace waku::dht {
+
+/// 256-bit DHT key.
+using Key = std::array<std::uint8_t, 32>;
+
+/// XOR distance between keys.
+Key xor_distance(const Key& a, const Key& b);
+
+/// Lexicographic comparison of distances (smaller = closer).
+bool closer(const Key& a, const Key& b);
+
+/// Index of the highest set bit of a distance (bucket index), -1 if zero.
+int bucket_index(const Key& distance);
+
+/// Key of a node id (hash of the id), or of arbitrary content.
+Key key_of_node(net::NodeId id);
+Key key_of_content(BytesView content);
+
+struct DhtConfig {
+  std::size_t k = 8;      ///< bucket size / replication factor
+  std::size_t alpha = 3;  ///< lookup parallelism
+};
+
+class DhtNode : public net::NetNode {
+ public:
+  using GetCallback = std::function<void(std::optional<Bytes>)>;
+  using PutCallback = std::function<void(std::size_t replicas)>;
+
+  DhtNode(net::Network& network, DhtConfig config = {});
+
+  /// Introduces this node to the network via `seed` (a lookup for our own
+  /// key, populating buckets on both sides).
+  void bootstrap(net::NodeId seed);
+
+  /// Stores `value` on the k nodes closest to `key`.
+  void put(const Key& key, Bytes value, PutCallback done = nullptr);
+
+  /// Iterative FIND_VALUE.
+  void get(const Key& key, GetCallback done);
+
+  // net::NetNode
+  void on_message(net::NodeId from, BytesView payload) override;
+
+  [[nodiscard]] net::NodeId node_id() const { return id_; }
+  [[nodiscard]] const Key& node_key() const { return key_; }
+  [[nodiscard]] std::size_t stored_values() const { return store_.size(); }
+  [[nodiscard]] std::size_t known_peers() const;
+
+ private:
+  struct Lookup {
+    Key target;
+    bool want_value = false;
+    std::vector<net::NodeId> shortlist;  // sorted by distance to target
+    std::vector<net::NodeId> queried;
+    std::size_t in_flight = 0;
+    GetCallback on_value;
+    std::function<void(std::vector<net::NodeId>)> on_nodes;
+    bool finished = false;
+  };
+
+  void observe_peer(net::NodeId peer);
+  std::vector<net::NodeId> closest_known(const Key& target,
+                                         std::size_t count) const;
+  void start_lookup(const Key& target, bool want_value, GetCallback on_value,
+                    std::function<void(std::vector<net::NodeId>)> on_nodes);
+  void advance_lookup(std::uint64_t lookup_id);
+  void finish_lookup(std::uint64_t lookup_id, std::optional<Bytes> value);
+
+  net::Network& network_;
+  DhtConfig config_;
+  net::NodeId id_;
+  Key key_;
+  std::vector<std::vector<net::NodeId>> buckets_;  // 256 k-buckets
+  std::map<Key, Bytes> store_;
+  std::map<std::uint64_t, Lookup> lookups_;
+  std::uint64_t next_lookup_id_ = 1;
+};
+
+}  // namespace waku::dht

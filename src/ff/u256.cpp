@@ -1,0 +1,74 @@
+#include "ff/u256.hpp"
+
+#include <stdexcept>
+
+#include "common/expect.hpp"
+
+namespace waku::ff {
+
+Bytes u256_to_bytes_be(const U256& v) {
+  Bytes out(32);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t l = v.limb[3 - i];
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[i * 8 + b] = static_cast<std::uint8_t>(l >> (56 - 8 * b));
+    }
+  }
+  return out;
+}
+
+U256 u256_from_bytes_be(BytesView bytes) {
+  WAKU_EXPECTS(bytes.size() == 32);
+  U256 v;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t l = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      l = (l << 8) | bytes[i * 8 + b];
+    }
+    v.limb[3 - i] = l;
+  }
+  return v;
+}
+
+namespace {
+
+// v * 10 + d, ignoring overflow past 256 bits (inputs are validated to fit).
+U256 mul10_add(const U256& v, std::uint64_t d) {
+  U256 r;
+  unsigned __int128 carry = d;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 cur =
+        static_cast<unsigned __int128>(v.limb[i]) * 10 + carry;
+    r.limb[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  if (carry != 0) throw std::overflow_error("u256_from_string: overflow");
+  return r;
+}
+
+}  // namespace
+
+U256 u256_from_string(const std::string& s) {
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    std::string hex = s.substr(2);
+    if (hex.empty() || hex.size() > 64) {
+      throw std::invalid_argument("u256_from_string: bad hex length");
+    }
+    // Left-pad to 64 nibbles then reuse byte parsing.
+    hex.insert(0, 64 - hex.size(), '0');
+    return u256_from_bytes_be(from_hex(hex));
+  }
+  if (s.empty()) throw std::invalid_argument("u256_from_string: empty");
+  U256 v;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("u256_from_string: bad decimal digit");
+    }
+    v = mul10_add(v, static_cast<std::uint64_t>(c - '0'));
+  }
+  return v;
+}
+
+std::string u256_to_hex(const U256& v) { return to_hex0x(u256_to_bytes_be(v)); }
+
+}  // namespace waku::ff

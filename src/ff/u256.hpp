@@ -1,0 +1,135 @@
+// 256-bit unsigned integer with constexpr arithmetic.
+//
+// Little-endian limb order (limb[0] is least significant). This type is the
+// carrier for canonical field element values, exponents, and contract
+// storage words; field arithmetic itself lives in fr.hpp.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace waku::ff {
+
+struct U256 {
+  std::array<std::uint64_t, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                 std::uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+
+  [[nodiscard]] constexpr bool bit(unsigned i) const {
+    return (limb[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Index of the highest set bit, or -1 for zero.
+  [[nodiscard]] constexpr int highest_bit() const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[static_cast<std::size_t>(i)] != 0) {
+        std::uint64_t v = limb[static_cast<std::size_t>(i)];
+        int b = 0;
+        while (v >>= 1) ++b;
+        return i * 64 + b;
+      }
+    }
+    return -1;
+  }
+
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+
+  friend constexpr std::strong_ordering operator<=>(const U256& a,
+                                                    const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+      const auto ia = static_cast<std::size_t>(i);
+      if (a.limb[ia] != b.limb[ia]) {
+        return a.limb[ia] < b.limb[ia] ? std::strong_ordering::less
+                                       : std::strong_ordering::greater;
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+};
+
+/// a + b, returning the carry-out bit.
+constexpr U256 add_carry(const U256& a, const U256& b, bool& carry_out) {
+  U256 r;
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(a.limb[i]) + b.limb[i] + carry;
+    r.limb[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  carry_out = carry != 0;
+  return r;
+}
+
+/// a - b, returning the borrow-out bit.
+constexpr U256 sub_borrow(const U256& a, const U256& b, bool& borrow_out) {
+  U256 r;
+  unsigned __int128 borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 d = static_cast<unsigned __int128>(a.limb[i]) -
+                                b.limb[i] - borrow;
+    r.limb[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;  // two's-complement wrap indicates borrow
+  }
+  borrow_out = borrow != 0;
+  return r;
+}
+
+constexpr U256 operator+(const U256& a, const U256& b) {
+  bool c = false;
+  return add_carry(a, b, c);
+}
+
+constexpr U256 operator-(const U256& a, const U256& b) {
+  bool br = false;
+  return sub_borrow(a, b, br);
+}
+
+/// Doubling modulo `mod`; requires a < mod.
+constexpr U256 double_mod(const U256& a, const U256& mod) {
+  bool carry = false;
+  U256 r = add_carry(a, a, carry);
+  if (carry || r >= mod) {
+    bool br = false;
+    r = sub_borrow(r, mod, br);
+  }
+  return r;
+}
+
+/// Big-endian 32-byte serialization (Ethereum / zkSNARK convention).
+Bytes u256_to_bytes_be(const U256& v);
+
+/// Parses exactly 32 big-endian bytes.
+U256 u256_from_bytes_be(BytesView bytes);
+
+/// Parses a decimal or 0x-prefixed hex string; throws on malformed input.
+U256 u256_from_string(const std::string& s);
+
+/// Lowercase 0x-prefixed hex, no leading-zero trimming.
+std::string u256_to_hex(const U256& v);
+
+/// Functor so U256 can key unordered containers.
+struct U256Hash {
+  std::size_t operator()(const U256& v) const noexcept {
+    // Limbs of field elements are already uniformly distributed; fold them.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t l : v.limb) {
+      h ^= l + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace waku::ff

@@ -1,0 +1,363 @@
+#include "gossipsub/router.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace waku::gossipsub {
+
+GossipSubRouter::GossipSubRouter(net::Network& network, GossipSubConfig config,
+                                 PeerScoreConfig score_config,
+                                 std::uint64_t seed)
+    : network_(network),
+      config_(config),
+      id_(network.add_node(this)),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id_ + 1))),
+      scores_(score_config) {
+  mcache_windows_.emplace_back();
+}
+
+void GossipSubRouter::start() {
+  network_.sim().schedule_every(config_.heartbeat_interval_ms,
+                                [this] { heartbeat(); });
+}
+
+void GossipSubRouter::subscribe(const std::string& topic,
+                                DeliveryHandler handler) {
+  WAKU_EXPECTS(handler != nullptr);
+  handlers_[topic] = std::move(handler);
+  Frame frame;
+  frame.type = FrameType::kSubscribe;
+  frame.topic = topic;
+  for (const NodeId peer : network_.neighbors(id_)) send_frame(peer, frame);
+}
+
+void GossipSubRouter::unsubscribe(const std::string& topic) {
+  handlers_.erase(topic);
+  validators_.erase(topic);
+  Frame frame;
+  frame.type = FrameType::kUnsubscribe;
+  frame.topic = topic;
+  for (const NodeId peer : network_.neighbors(id_)) send_frame(peer, frame);
+  // Leave the mesh politely.
+  if (const auto it = mesh_.find(topic); it != mesh_.end()) {
+    Frame prune;
+    prune.type = FrameType::kPrune;
+    prune.topic = topic;
+    for (const NodeId peer : it->second) send_frame(peer, prune);
+    mesh_.erase(it);
+  }
+}
+
+void GossipSubRouter::set_validator(const std::string& topic,
+                                    Validator validator) {
+  validators_[topic] = std::move(validator);
+}
+
+std::vector<NodeId> GossipSubRouter::topic_peers(
+    const std::string& topic) const {
+  std::vector<NodeId> out;
+  for (const NodeId peer : network_.neighbors(id_)) {
+    const auto it = peer_topics_.find(peer);
+    if (it != peer_topics_.end() && it->second.contains(topic)) {
+      out.push_back(peer);
+    }
+  }
+  return out;
+}
+
+MessageId GossipSubRouter::publish(const std::string& topic, Bytes data) {
+  PubSubMessage msg;
+  msg.topic = topic;
+  msg.data = std::move(data);
+  msg.origin = id_;
+  msg.seqno = seqno_++;
+  const MessageId id = msg.id();
+
+  seen_.emplace(id, network_.sim().now());
+  mcache_.emplace(id, msg);
+  mcache_windows_.front().emplace_back(topic, id);
+
+  // Deliver locally.
+  if (const auto it = handlers_.find(topic); it != handlers_.end()) {
+    ++stats_.delivered;
+    it->second(msg);
+  }
+
+  Frame frame;
+  frame.type = FrameType::kPublish;
+  frame.topic = topic;
+  frame.message = msg;
+
+  if (config_.flood_publish) {
+    for (const NodeId peer : topic_peers(topic)) {
+      if (scores_.below_publish(peer)) continue;
+      send_frame(peer, frame);
+    }
+  } else {
+    const auto it = mesh_.find(topic);
+    if (it != mesh_.end()) {
+      for (const NodeId peer : it->second) send_frame(peer, frame);
+    } else {
+      // Fanout: not in the mesh for this topic (e.g. publish-only peer).
+      auto peers = topic_peers(topic);
+      std::shuffle(peers.begin(), peers.end(), rng_);
+      if (peers.size() > config_.mesh_n) peers.resize(config_.mesh_n);
+      for (const NodeId peer : peers) send_frame(peer, frame);
+    }
+  }
+  return id;
+}
+
+void GossipSubRouter::send_frame(NodeId to, const Frame& frame) {
+  network_.send(id_, to, encode_frame(frame));
+}
+
+void GossipSubRouter::on_message(NodeId from, BytesView payload) {
+  Frame frame;
+  try {
+    frame = decode_frame(payload);
+  } catch (const std::exception&) {
+    scores_.record_behaviour_penalty(from);
+    return;
+  }
+
+  if (scores_.graylisted(from)) {
+    // Graylisted peers are ignored wholesale (libp2p behaviour).
+    if (frame.type == FrameType::kGraft) {
+      scores_.record_behaviour_penalty(from);
+    }
+    return;
+  }
+
+  switch (frame.type) {
+    case FrameType::kPublish:
+      handle_publish(from, *frame.message);
+      break;
+    case FrameType::kIHave:
+      handle_ihave(from, frame.topic, frame.ids);
+      break;
+    case FrameType::kIWant:
+      handle_iwant(from, frame.ids);
+      break;
+    case FrameType::kGraft:
+      handle_graft(from, frame.topic);
+      break;
+    case FrameType::kPrune:
+      handle_prune(from, frame.topic);
+      break;
+    case FrameType::kSubscribe:
+      peer_topics_[from].insert(frame.topic);
+      break;
+    case FrameType::kUnsubscribe:
+      peer_topics_[from].erase(frame.topic);
+      if (const auto it = mesh_.find(frame.topic); it != mesh_.end()) {
+        it->second.erase(from);
+      }
+      break;
+  }
+}
+
+void GossipSubRouter::handle_publish(NodeId from, const PubSubMessage& msg) {
+  const MessageId id = msg.id();
+  if (seen_.contains(id)) {
+    ++stats_.duplicates;
+    return;
+  }
+  seen_.emplace(id, network_.sim().now());
+
+  // Validation gate — spam dies here, at the first hop (paper §IV).
+  if (const auto vit = validators_.find(msg.topic); vit != validators_.end()) {
+    const ValidationResult result = vit->second(from, msg);
+    if (result == ValidationResult::kReject) {
+      ++stats_.rejected;
+      scores_.record_invalid_message(from);
+      return;
+    }
+    if (result == ValidationResult::kIgnore) {
+      ++stats_.ignored;
+      return;
+    }
+  }
+
+  scores_.record_first_delivery(from);
+  mcache_.emplace(id, msg);
+  mcache_windows_.front().emplace_back(msg.topic, id);
+
+  if (const auto hit = handlers_.find(msg.topic); hit != handlers_.end()) {
+    ++stats_.delivered;
+    hit->second(msg);
+  }
+  relay(msg, id, from);
+}
+
+void GossipSubRouter::relay(const PubSubMessage& msg, const MessageId&,
+                            NodeId except) {
+  const auto it = mesh_.find(msg.topic);
+  if (it == mesh_.end()) return;
+  Frame frame;
+  frame.type = FrameType::kPublish;
+  frame.topic = msg.topic;
+  frame.message = msg;
+  for (const NodeId peer : it->second) {
+    if (peer == except || peer == msg.origin) continue;
+    send_frame(peer, frame);
+    ++stats_.forwarded;
+  }
+}
+
+void GossipSubRouter::handle_ihave(NodeId from, const std::string& topic,
+                                   const std::vector<MessageId>& ids) {
+  if (scores_.below_gossip(from)) return;
+  if (!handlers_.contains(topic)) return;
+  std::vector<MessageId> wanted;
+  for (const MessageId& id : ids) {
+    if (!seen_.contains(id)) wanted.push_back(id);
+  }
+  if (wanted.empty()) return;
+  Frame frame;
+  frame.type = FrameType::kIWant;
+  frame.topic = topic;
+  frame.ids = std::move(wanted);
+  send_frame(from, frame);
+}
+
+void GossipSubRouter::handle_iwant(NodeId from,
+                                   const std::vector<MessageId>& ids) {
+  if (scores_.below_gossip(from)) return;
+  for (const MessageId& id : ids) {
+    const auto it = mcache_.find(id);
+    if (it == mcache_.end()) continue;
+    Frame frame;
+    frame.type = FrameType::kPublish;
+    frame.topic = it->second.topic;
+    frame.message = it->second;
+    send_frame(from, frame);
+    ++stats_.iwant_served;
+  }
+}
+
+void GossipSubRouter::handle_graft(NodeId from, const std::string& topic) {
+  if (!handlers_.contains(topic) ||
+      mesh_[topic].size() >= config_.mesh_n_high) {
+    Frame prune;
+    prune.type = FrameType::kPrune;
+    prune.topic = topic;
+    send_frame(from, prune);
+    return;
+  }
+  mesh_[topic].insert(from);
+}
+
+void GossipSubRouter::handle_prune(NodeId from, const std::string& topic) {
+  if (const auto it = mesh_.find(topic); it != mesh_.end()) {
+    it->second.erase(from);
+  }
+}
+
+std::vector<NodeId> GossipSubRouter::mesh_peers(
+    const std::string& topic) const {
+  const auto it = mesh_.find(topic);
+  if (it == mesh_.end()) return {};
+  return std::vector<NodeId>(it->second.begin(), it->second.end());
+}
+
+void GossipSubRouter::heartbeat() {
+  // Score upkeep.
+  for (const auto& [topic, peers] : mesh_) {
+    for (const NodeId peer : peers) scores_.record_mesh_tick(peer);
+  }
+  scores_.decay_all();
+
+  // Mesh maintenance per subscribed topic.
+  for (const auto& [topic, handler] : handlers_) {
+    auto& mesh = mesh_[topic];
+
+    // Drop graylisted or disconnected peers.
+    for (auto it = mesh.begin(); it != mesh.end();) {
+      if (scores_.graylisted(*it) || !network_.connected(id_, *it)) {
+        it = mesh.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (mesh.size() < config_.mesh_n_low) {
+      auto candidates = topic_peers(topic);
+      std::erase_if(candidates, [&](NodeId p) {
+        return mesh.contains(p) || scores_.graylisted(p);
+      });
+      std::shuffle(candidates.begin(), candidates.end(), rng_);
+      while (mesh.size() < config_.mesh_n && !candidates.empty()) {
+        const NodeId peer = candidates.back();
+        candidates.pop_back();
+        mesh.insert(peer);
+        Frame graft;
+        graft.type = FrameType::kGraft;
+        graft.topic = topic;
+        send_frame(peer, graft);
+      }
+    } else if (mesh.size() > config_.mesh_n_high) {
+      std::vector<NodeId> members(mesh.begin(), mesh.end());
+      std::shuffle(members.begin(), members.end(), rng_);
+      while (mesh.size() > config_.mesh_n && !members.empty()) {
+        const NodeId peer = members.back();
+        members.pop_back();
+        mesh.erase(peer);
+        Frame prune;
+        prune.type = FrameType::kPrune;
+        prune.topic = topic;
+        send_frame(peer, prune);
+      }
+    }
+
+    // Lazy gossip: IHAVE recent ids to non-mesh topic peers.
+    std::vector<MessageId> recent;
+    std::size_t windows = 0;
+    for (const auto& window : mcache_windows_) {
+      if (windows++ >= config_.history_gossip) break;
+      for (const auto& [wtopic, id] : window) {
+        if (wtopic == topic) recent.push_back(id);
+      }
+    }
+    if (!recent.empty()) {
+      auto gossip_to = topic_peers(topic);
+      std::erase_if(gossip_to, [&](NodeId p) {
+        return mesh.contains(p) || scores_.below_gossip(p);
+      });
+      std::shuffle(gossip_to.begin(), gossip_to.end(), rng_);
+      if (gossip_to.size() > config_.gossip_degree) {
+        gossip_to.resize(config_.gossip_degree);
+      }
+      for (const NodeId peer : gossip_to) {
+        Frame ihave;
+        ihave.type = FrameType::kIHave;
+        ihave.topic = topic;
+        ihave.ids = recent;
+        send_frame(peer, ihave);
+        ++stats_.ihave_sent;
+      }
+    }
+  }
+
+  // Shift the message-cache window and expire old entries.
+  mcache_windows_.emplace_front();
+  while (mcache_windows_.size() > config_.history_length) {
+    for (const auto& [topic, id] : mcache_windows_.back()) {
+      mcache_.erase(id);
+    }
+    mcache_windows_.pop_back();
+  }
+
+  // TTL-prune the dedup cache.
+  const TimeMs now = network_.sim().now();
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (now - it->second > config_.seen_ttl_ms) {
+      it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace waku::gossipsub

@@ -1,0 +1,101 @@
+// GossipSub v1.1-style router (paper [2]): mesh overlay per topic, eager
+// push within the mesh, lazy IHAVE/IWANT gossip outside it, heartbeat mesh
+// maintenance, and score-gated interactions. One router instance per
+// simulated node; frames travel over net::Network links.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gossipsub/peer_score.hpp"
+#include "gossipsub/types.hpp"
+#include "gossipsub/wire.hpp"
+
+namespace waku::gossipsub {
+
+/// Per-router counters consumed by the spam experiments.
+struct RouterStats {
+  std::uint64_t delivered = 0;        ///< unique valid messages delivered
+  std::uint64_t duplicates = 0;       ///< already-seen publishes received
+  std::uint64_t rejected = 0;         ///< validation -> kReject
+  std::uint64_t ignored = 0;          ///< validation -> kIgnore
+  std::uint64_t forwarded = 0;        ///< publishes relayed onward
+  std::uint64_t ihave_sent = 0;
+  std::uint64_t iwant_served = 0;
+};
+
+class GossipSubRouter : public net::NetNode {
+ public:
+  /// Registers itself with `network`; the router's NodeId is node_id().
+  GossipSubRouter(net::Network& network, GossipSubConfig config = {},
+                  PeerScoreConfig score_config = {},
+                  std::uint64_t seed = 1);
+
+  GossipSubRouter(const GossipSubRouter&) = delete;
+  GossipSubRouter& operator=(const GossipSubRouter&) = delete;
+
+  /// Begins heartbeating; call after the topology is wired.
+  void start();
+
+  /// Subscribes to `topic`; `handler` fires for each delivered message.
+  void subscribe(const std::string& topic, DeliveryHandler handler);
+  void unsubscribe(const std::string& topic);
+
+  /// Installs the validation hook for `topic` (the RLN/PoW plug point).
+  void set_validator(const std::string& topic, Validator validator);
+
+  /// Publishes data under `topic`; returns the message id.
+  MessageId publish(const std::string& topic, Bytes data);
+
+  // net::NetNode
+  void on_message(NodeId from, BytesView payload) override;
+
+  // Introspection for tests and benches.
+  [[nodiscard]] NodeId node_id() const { return id_; }
+  [[nodiscard]] bool subscribed(const std::string& topic) const {
+    return handlers_.contains(topic);
+  }
+  [[nodiscard]] std::vector<NodeId> mesh_peers(const std::string& topic) const;
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] PeerScore& scores() { return scores_; }
+  [[nodiscard]] bool has_seen(const MessageId& id) const {
+    return seen_.contains(id);
+  }
+
+ private:
+  void heartbeat();
+  void handle_publish(NodeId from, const PubSubMessage& msg);
+  void handle_ihave(NodeId from, const std::string& topic,
+                    const std::vector<MessageId>& ids);
+  void handle_iwant(NodeId from, const std::vector<MessageId>& ids);
+  void handle_graft(NodeId from, const std::string& topic);
+  void handle_prune(NodeId from, const std::string& topic);
+  void send_frame(NodeId to, const Frame& frame);
+  void relay(const PubSubMessage& msg, const MessageId& id, NodeId except);
+  std::vector<NodeId> topic_peers(const std::string& topic) const;
+
+  net::Network& network_;
+  GossipSubConfig config_;
+  NodeId id_;
+  Rng rng_;
+  std::uint64_t seqno_ = 0;
+
+  std::unordered_map<std::string, DeliveryHandler> handlers_;
+  std::unordered_map<std::string, Validator> validators_;
+  std::unordered_map<NodeId, std::set<std::string>> peer_topics_;
+  std::unordered_map<std::string, std::set<NodeId>> mesh_;
+
+  // Dedup cache with insertion timestamps (TTL-pruned on heartbeat).
+  std::unordered_map<MessageId, TimeMs, MessageIdHash> seen_;
+
+  // Message cache: windowed ids for gossip + payload store for IWANT.
+  std::deque<std::vector<std::pair<std::string, MessageId>>> mcache_windows_;
+  std::unordered_map<MessageId, PubSubMessage, MessageIdHash> mcache_;
+
+  PeerScore scores_;
+  RouterStats stats_;
+};
+
+}  // namespace waku::gossipsub

@@ -1,0 +1,70 @@
+// Shared gossipsub types: configuration (libp2p GossipSub v1.1 defaults),
+// pubsub messages, message ids, and validation results. WAKU-RELAY is a
+// thin layer over this router (paper §I), and the peer-scoring baseline
+// the paper critiques lives in peer_score.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "net/network.hpp"
+
+namespace waku::gossipsub {
+
+using net::NodeId;
+using net::TimeMs;
+
+/// Message identifier: hash of (topic, origin, sequence number).
+using MessageId = std::array<std::uint8_t, 32>;
+
+struct MessageIdHash {
+  std::size_t operator()(const MessageId& id) const noexcept {
+    std::uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | id[static_cast<std::size_t>(i)];
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A pubsub message in flight.
+struct PubSubMessage {
+  std::string topic;
+  Bytes data;
+  NodeId origin = 0;
+  std::uint64_t seqno = 0;
+
+  [[nodiscard]] MessageId id() const;
+};
+
+/// Outcome of topic validation (the hook WAKU-RLN-RELAY plugs into).
+enum class ValidationResult {
+  kAccept,  ///< deliver and relay
+  kIgnore,  ///< drop silently (e.g. duplicate / stale epoch)
+  kReject,  ///< drop and penalize the sender (invalid proof, spam)
+};
+
+/// Validator callback: (sender, message) -> result.
+using Validator =
+    std::function<ValidationResult(NodeId from, const PubSubMessage&)>;
+
+/// Local delivery callback for subscribed topics.
+using DeliveryHandler = std::function<void(const PubSubMessage&)>;
+
+struct GossipSubConfig {
+  // Mesh degree bounds (libp2p defaults).
+  std::size_t mesh_n = 6;        ///< D
+  std::size_t mesh_n_low = 4;    ///< D_lo
+  std::size_t mesh_n_high = 12;  ///< D_hi
+  std::size_t gossip_degree = 6; ///< IHAVE fanout per heartbeat
+
+  TimeMs heartbeat_interval_ms = 1000;
+  std::size_t history_length = 5;  ///< mcache windows kept
+  std::size_t history_gossip = 3;  ///< windows advertised in IHAVE
+  TimeMs seen_ttl_ms = 120'000;    ///< dedup cache retention
+
+  bool flood_publish = true;  ///< publish to all subscribed neighbors
+};
+
+}  // namespace waku::gossipsub

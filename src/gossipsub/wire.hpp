@@ -1,0 +1,38 @@
+// Gossipsub wire frames: PUBLISH carries full messages; IHAVE/IWANT carry
+// gossip metadata; GRAFT/PRUNE maintain meshes; SUBSCRIBE/UNSUBSCRIBE
+// announce topic interest. Frames are length-delimited binary via serde.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gossipsub/types.hpp"
+
+namespace waku::gossipsub {
+
+enum class FrameType : std::uint8_t {
+  kPublish = 1,
+  kIHave = 2,
+  kIWant = 3,
+  kGraft = 4,
+  kPrune = 5,
+  kSubscribe = 6,
+  kUnsubscribe = 7,
+};
+
+struct Frame {
+  FrameType type = FrameType::kPublish;
+  std::string topic;                 // publish/ihave/graft/prune/sub/unsub
+  std::optional<PubSubMessage> message;  // publish
+  std::vector<MessageId> ids;        // ihave/iwant
+};
+
+/// Serializes a frame for Network::send.
+Bytes encode_frame(const Frame& frame);
+
+/// Parses a frame; throws std::out_of_range / std::invalid_argument on
+/// malformed input (callers treat that as a misbehaving peer).
+Frame decode_frame(BytesView bytes);
+
+}  // namespace waku::gossipsub

@@ -1,0 +1,249 @@
+#include "hash/chacha20poly1305.hpp"
+
+#include <cstring>
+
+#include "common/expect.hpp"
+
+namespace waku::hash {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            std::uint32_t counter,
+                                            const ChaChaNonce& nonce) {
+  std::uint32_t state[16];
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t w[16];
+  std::memcpy(w, state, sizeof w);
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, w[i] + state[i]);
+  }
+  return out;
+}
+
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   BytesView data, std::uint32_t initial_counter) {
+  Bytes out(data.begin(), data.end());
+  std::uint32_t counter = initial_counter;
+  for (std::size_t off = 0; off < out.size(); off += 64, ++counter) {
+    const auto keystream = chacha20_block(key, counter, nonce);
+    const std::size_t n = std::min<std::size_t>(64, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+  }
+  return out;
+}
+
+Poly1305Tag poly1305(BytesView msg, const std::array<std::uint8_t, 32>& key) {
+  // h = (h + block) * r mod 2^130-5, with 26-bit limbs.
+  std::uint32_t r[5], h[5] = {0, 0, 0, 0, 0};
+  // Load and clamp r.
+  r[0] = load_le32(key.data()) & 0x3ffffff;
+  r[1] = (load_le32(key.data() + 3) >> 2) & 0x3ffff03;
+  r[2] = (load_le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  r[3] = (load_le32(key.data() + 9) >> 6) & 0x3f03fff;
+  r[4] = (load_le32(key.data() + 12) >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r[1] * 5, s2 = r[2] * 5, s3 = r[3] * 5,
+                      s4 = r[4] * 5;
+
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    // Load a 16-byte block with the 2^128 padding bit.
+    std::uint8_t block[17] = {0};
+    const std::size_t n = std::min<std::size_t>(16, msg.size() - off);
+    std::memcpy(block, msg.data() + off, n);
+    block[n] = 1;
+    off += n;
+
+    h[0] += load_le32(block) & 0x3ffffff;
+    h[1] += (load_le32(block + 3) >> 2) & 0x3ffffff;
+    h[2] += (load_le32(block + 6) >> 4) & 0x3ffffff;
+    h[3] += (load_le32(block + 9) >> 6) & 0x3ffffff;
+    h[4] += (load_le32(block + 12) >> 8) | (static_cast<std::uint32_t>(block[16]) << 24);
+
+    // h *= r (mod 2^130 - 5).
+    std::uint64_t d0 = static_cast<std::uint64_t>(h[0]) * r[0] +
+                       static_cast<std::uint64_t>(h[1]) * s4 +
+                       static_cast<std::uint64_t>(h[2]) * s3 +
+                       static_cast<std::uint64_t>(h[3]) * s2 +
+                       static_cast<std::uint64_t>(h[4]) * s1;
+    std::uint64_t d1 = static_cast<std::uint64_t>(h[0]) * r[1] +
+                       static_cast<std::uint64_t>(h[1]) * r[0] +
+                       static_cast<std::uint64_t>(h[2]) * s4 +
+                       static_cast<std::uint64_t>(h[3]) * s3 +
+                       static_cast<std::uint64_t>(h[4]) * s2;
+    std::uint64_t d2 = static_cast<std::uint64_t>(h[0]) * r[2] +
+                       static_cast<std::uint64_t>(h[1]) * r[1] +
+                       static_cast<std::uint64_t>(h[2]) * r[0] +
+                       static_cast<std::uint64_t>(h[3]) * s4 +
+                       static_cast<std::uint64_t>(h[4]) * s3;
+    std::uint64_t d3 = static_cast<std::uint64_t>(h[0]) * r[3] +
+                       static_cast<std::uint64_t>(h[1]) * r[2] +
+                       static_cast<std::uint64_t>(h[2]) * r[1] +
+                       static_cast<std::uint64_t>(h[3]) * r[0] +
+                       static_cast<std::uint64_t>(h[4]) * s4;
+    std::uint64_t d4 = static_cast<std::uint64_t>(h[0]) * r[4] +
+                       static_cast<std::uint64_t>(h[1]) * r[3] +
+                       static_cast<std::uint64_t>(h[2]) * r[2] +
+                       static_cast<std::uint64_t>(h[3]) * r[1] +
+                       static_cast<std::uint64_t>(h[4]) * r[0];
+
+    // Carry propagation.
+    std::uint64_t c;
+    c = d0 >> 26; h[0] = d0 & 0x3ffffff; d1 += c;
+    c = d1 >> 26; h[1] = d1 & 0x3ffffff; d2 += c;
+    c = d2 >> 26; h[2] = d2 & 0x3ffffff; d3 += c;
+    c = d3 >> 26; h[3] = d3 & 0x3ffffff; d4 += c;
+    c = d4 >> 26; h[4] = d4 & 0x3ffffff;
+    h[0] += static_cast<std::uint32_t>(c * 5);
+    c = h[0] >> 26; h[0] &= 0x3ffffff;
+    h[1] += static_cast<std::uint32_t>(c);
+  }
+
+  // Full carry.
+  std::uint32_t c = h[1] >> 26; h[1] &= 0x3ffffff;
+  h[2] += c; c = h[2] >> 26; h[2] &= 0x3ffffff;
+  h[3] += c; c = h[3] >> 26; h[3] &= 0x3ffffff;
+  h[4] += c; c = h[4] >> 26; h[4] &= 0x3ffffff;
+  h[0] += c * 5; c = h[0] >> 26; h[0] &= 0x3ffffff;
+  h[1] += c;
+
+  // Compute h + -p and select.
+  std::uint32_t g[5];
+  g[0] = h[0] + 5; c = g[0] >> 26; g[0] &= 0x3ffffff;
+  g[1] = h[1] + c; c = g[1] >> 26; g[1] &= 0x3ffffff;
+  g[2] = h[2] + c; c = g[2] >> 26; g[2] &= 0x3ffffff;
+  g[3] = h[3] + c; c = g[3] >> 26; g[3] &= 0x3ffffff;
+  g[4] = h[4] + c - (1u << 26);
+
+  const std::uint32_t mask = (g[4] >> 31) - 1;  // all-ones if g >= p
+  for (int i = 0; i < 5; ++i) {
+    h[i] = (h[i] & ~mask) | (g[i] & mask);
+  }
+
+  // Serialize h (mod 2^128) and add s, the second half of the key.
+  const std::uint64_t lo_h =
+      static_cast<std::uint64_t>(h[0]) | (static_cast<std::uint64_t>(h[1]) << 26) |
+      (static_cast<std::uint64_t>(h[2]) << 52);
+  const std::uint64_t hi_h =
+      (static_cast<std::uint64_t>(h[2]) >> 12) |
+      (static_cast<std::uint64_t>(h[3]) << 14) |
+      (static_cast<std::uint64_t>(h[4]) << 40);
+  const std::uint64_t s_lo =
+      load_le32(key.data() + 16) |
+      (static_cast<std::uint64_t>(load_le32(key.data() + 20)) << 32);
+  const std::uint64_t s_hi =
+      load_le32(key.data() + 24) |
+      (static_cast<std::uint64_t>(load_le32(key.data() + 28)) << 32);
+
+  unsigned __int128 total =
+      (static_cast<unsigned __int128>(hi_h) << 64 | lo_h) +
+      (static_cast<unsigned __int128>(s_hi) << 64 | s_lo);
+
+  Poly1305Tag tag;
+  for (int i = 0; i < 16; ++i) {
+    tag[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(total >> (8 * i));
+  }
+  return tag;
+}
+
+namespace {
+
+Bytes poly1305_aead_input(BytesView aad, BytesView ciphertext) {
+  Bytes mac_data(aad.begin(), aad.end());
+  mac_data.resize((mac_data.size() + 15) & ~std::size_t{15}, 0);
+  mac_data.insert(mac_data.end(), ciphertext.begin(), ciphertext.end());
+  mac_data.resize((mac_data.size() + 15) & ~std::size_t{15}, 0);
+  for (const std::uint64_t len : {static_cast<std::uint64_t>(aad.size()),
+                                  static_cast<std::uint64_t>(ciphertext.size())}) {
+    for (int i = 0; i < 8; ++i) {
+      mac_data.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    }
+  }
+  return mac_data;
+}
+
+std::array<std::uint8_t, 32> poly_key(const ChaChaKey& key,
+                                      const ChaChaNonce& nonce) {
+  const auto block0 = chacha20_block(key, 0, nonce);
+  std::array<std::uint8_t, 32> pk;
+  std::copy(block0.begin(), block0.begin() + 32, pk.begin());
+  return pk;
+}
+
+}  // namespace
+
+Bytes aead_encrypt(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   BytesView plaintext, BytesView aad) {
+  Bytes ciphertext = chacha20_xor(key, nonce, plaintext);
+  const Poly1305Tag tag =
+      poly1305(poly1305_aead_input(aad, ciphertext), poly_key(key, nonce));
+  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
+  return ciphertext;
+}
+
+std::optional<Bytes> aead_decrypt(const ChaChaKey& key,
+                                  const ChaChaNonce& nonce,
+                                  BytesView ciphertext_and_tag,
+                                  BytesView aad) {
+  if (ciphertext_and_tag.size() < 16) return std::nullopt;
+  const BytesView ciphertext(ciphertext_and_tag.data(),
+                             ciphertext_and_tag.size() - 16);
+  const BytesView tag(ciphertext_and_tag.data() + ciphertext.size(), 16);
+  const Poly1305Tag expected =
+      poly1305(poly1305_aead_input(aad, ciphertext), poly_key(key, nonce));
+  if (!ct_equal(BytesView(expected.data(), expected.size()), tag)) {
+    return std::nullopt;
+  }
+  return chacha20_xor(key, nonce, ciphertext);
+}
+
+}  // namespace waku::hash

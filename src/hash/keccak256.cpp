@@ -1,0 +1,122 @@
+#include "hash/keccak256.hpp"
+
+namespace waku::hash {
+
+namespace {
+
+constexpr int kRounds = 24;
+constexpr std::size_t kRateBytes = 136;  // 1088-bit rate for Keccak-256
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRotation[5][5] = {{0, 36, 3, 41, 18},
+                                 {1, 44, 10, 45, 2},
+                                 {62, 6, 43, 15, 61},
+                                 {28, 55, 25, 21, 56},
+                                 {27, 20, 39, 8, 14}};
+
+inline std::uint64_t rotl64(std::uint64_t x, int n) noexcept {
+  return n == 0 ? x : (x << n) | (x >> (64 - n));
+}
+
+void keccak_f1600(std::uint64_t a[5][5]) noexcept {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+    }
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x][y] ^= d;
+    }
+    // Rho + Pi
+    std::uint64_t b[5][5];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y][(2 * x + 3 * y) % 5] = rotl64(a[x][y], kRotation[x][y]);
+      }
+    }
+    // Chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x][y] = b[x][y] ^ (~b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+      }
+    }
+    // Iota
+    a[0][0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Keccak256Digest keccak256(BytesView data) noexcept {
+  std::uint64_t state[5][5] = {};
+
+  // Absorb full rate blocks.
+  std::size_t offset = 0;
+  auto absorb = [&state](const std::uint8_t* block) {
+    for (std::size_t i = 0; i < kRateBytes / 8; ++i) {
+      std::uint64_t lane = 0;
+      for (int b = 7; b >= 0; --b) {
+        lane = (lane << 8) | block[i * 8 + static_cast<std::size_t>(b)];
+      }
+      state[i % 5][i / 5] ^= lane;
+    }
+    keccak_f1600(state);
+  };
+
+  while (data.size() - offset >= kRateBytes) {
+    absorb(data.data() + offset);
+    offset += kRateBytes;
+  }
+
+  // Pad final block: Keccak (pre-SHA3) multi-rate padding 0x01 .. 0x80.
+  std::uint8_t block[kRateBytes] = {};
+  const std::size_t tail = data.size() - offset;
+  for (std::size_t i = 0; i < tail; ++i) block[i] = data[offset + i];
+  block[tail] = 0x01;
+  block[kRateBytes - 1] |= 0x80;
+  absorb(block);
+
+  // Squeeze 32 bytes.
+  Keccak256Digest digest;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t lane = state[i % 5][i / 5];
+    for (int b = 0; b < 8; ++b) {
+      digest[i * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(lane >> (8 * b));
+    }
+  }
+  return digest;
+}
+
+Bytes keccak256_bytes(BytesView data) {
+  const Keccak256Digest d = keccak256(data);
+  return Bytes(d.begin(), d.end());
+}
+
+int leading_zero_bits(const Keccak256Digest& digest) noexcept {
+  int bits = 0;
+  for (std::uint8_t byte : digest) {
+    if (byte == 0) {
+      bits += 8;
+      continue;
+    }
+    for (int b = 7; b >= 0; --b) {
+      if ((byte >> b) & 1) return bits;
+      ++bits;
+    }
+  }
+  return bits;
+}
+
+}  // namespace waku::hash

@@ -1,0 +1,25 @@
+// Keccak-256 (the pre-NIST padding variant used by Ethereum), from scratch.
+//
+// Used by the chain simulator for addresses/transaction hashes and by the
+// Whisper-style proof-of-work baseline (EIP-627 uses Keccak for its PoW).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace waku::hash {
+
+using Keccak256Digest = std::array<std::uint8_t, 32>;
+
+/// One-shot Keccak-256 (rate 1088, capacity 512, 0x01 domain padding).
+Keccak256Digest keccak256(BytesView data) noexcept;
+
+/// One-shot returning an owning Bytes (32 bytes).
+Bytes keccak256_bytes(BytesView data);
+
+/// Counts leading zero bits of a digest — the Whisper PoW "work" measure.
+int leading_zero_bits(const Keccak256Digest& digest) noexcept;
+
+}  // namespace waku::hash

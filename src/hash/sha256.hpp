@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used outside the zk circuit: message ids, commit–reveal commitments, and
+// as the nothing-up-my-sleeve PRF that derives Poseidon parameters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace waku::hash {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(BytesView data) noexcept;
+  /// Finalizes and returns the digest; the hasher must be reset() to reuse.
+  Sha256Digest finalize() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Sha256Digest sha256(BytesView data) noexcept;
+
+/// One-shot returning an owning Bytes (32 bytes).
+Bytes sha256_bytes(BytesView data);
+
+}  // namespace waku::hash

@@ -1,0 +1,138 @@
+#include "merkle/merkle_tree.hpp"
+
+#include <array>
+#include <mutex>
+
+#include "common/expect.hpp"
+#include "common/serde.hpp"
+#include "hash/poseidon.hpp"
+
+namespace waku::merkle {
+
+namespace {
+constexpr std::size_t kMaxDepth = 40;
+
+Fr hash_pair(const Fr& l, const Fr& r) { return hash::poseidon2(l, r); }
+}  // namespace
+
+const Fr& zero_at(std::size_t level) {
+  WAKU_EXPECTS(level <= kMaxDepth);
+  static std::vector<Fr> cache;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    cache.resize(kMaxDepth + 1);
+    cache[0] = Fr::zero();
+    for (std::size_t l = 1; l <= kMaxDepth; ++l) {
+      cache[l] = hash_pair(cache[l - 1], cache[l - 1]);
+    }
+  });
+  return cache[level];
+}
+
+Bytes serialize_path(const MerklePath& path) {
+  ByteWriter w;
+  w.write_u64(path.index);
+  w.write_u32(static_cast<std::uint32_t>(path.siblings.size()));
+  for (const Fr& s : path.siblings) w.write_raw(s.to_bytes_be());
+  return std::move(w).take();
+}
+
+MerklePath deserialize_path(BytesView bytes) {
+  ByteReader r(bytes);
+  MerklePath path;
+  path.index = r.read_u64();
+  const std::uint32_t n = r.read_u32();
+  WAKU_EXPECTS(n <= kMaxDepth);
+  path.siblings.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    path.siblings.push_back(Fr::from_bytes_reduce(r.read_raw(32)));
+  }
+  return path;
+}
+
+Fr compute_root(const Fr& leaf, const MerklePath& path) {
+  Fr cur = leaf;
+  for (std::size_t l = 0; l < path.siblings.size(); ++l) {
+    const bool is_right = (path.index >> l) & 1;
+    cur = is_right ? hash_pair(path.siblings[l], cur)
+                   : hash_pair(cur, path.siblings[l]);
+  }
+  return cur;
+}
+
+bool verify_path(const Fr& root, const Fr& leaf, const MerklePath& path) {
+  return compute_root(leaf, path) == root;
+}
+
+IncrementalMerkleTree::IncrementalMerkleTree(std::size_t depth)
+    : depth_(depth), levels_(depth + 1) {
+  WAKU_EXPECTS(depth >= 1 && depth <= kMaxDepth);
+}
+
+void IncrementalMerkleTree::store(std::size_t level, std::uint64_t idx,
+                                  const Fr& value) {
+  auto& lvl = levels_[level];
+  if (idx >= lvl.size()) {
+    lvl.resize(idx + 1, zero_at(level));
+  }
+  lvl[idx] = value;
+}
+
+Fr IncrementalMerkleTree::node_at(std::size_t level, std::uint64_t idx) const {
+  WAKU_EXPECTS(level <= depth_);
+  const auto& lvl = levels_[level];
+  return idx < lvl.size() ? lvl[idx] : zero_at(level);
+}
+
+void IncrementalMerkleTree::recompute_path(std::uint64_t leaf_index) {
+  std::uint64_t idx = leaf_index;
+  for (std::size_t l = 0; l < depth_; ++l) {
+    const std::uint64_t parent = idx >> 1;
+    const Fr left = node_at(l, parent * 2);
+    const Fr right = node_at(l, parent * 2 + 1);
+    store(l + 1, parent, hash_pair(left, right));
+    idx = parent;
+  }
+}
+
+std::uint64_t IncrementalMerkleTree::insert(const Fr& leaf) {
+  WAKU_EXPECTS(leaf_count_ < capacity());
+  const std::uint64_t index = leaf_count_++;
+  store(0, index, leaf);
+  recompute_path(index);
+  return index;
+}
+
+void IncrementalMerkleTree::update(std::uint64_t index, const Fr& leaf) {
+  WAKU_EXPECTS(index < leaf_count_);
+  store(0, index, leaf);
+  recompute_path(index);
+}
+
+Fr IncrementalMerkleTree::root() const { return node_at(depth_, 0); }
+
+MerklePath IncrementalMerkleTree::auth_path(std::uint64_t index) const {
+  WAKU_EXPECTS(index < leaf_count_);
+  MerklePath path;
+  path.index = index;
+  path.siblings.reserve(depth_);
+  std::uint64_t idx = index;
+  for (std::size_t l = 0; l < depth_; ++l) {
+    path.siblings.push_back(node_at(l, idx ^ 1));
+    idx >>= 1;
+  }
+  return path;
+}
+
+const Fr& IncrementalMerkleTree::leaf(std::uint64_t index) const {
+  WAKU_EXPECTS(index < leaf_count_ && index < levels_[0].size());
+  return levels_[0][index];
+}
+
+std::size_t IncrementalMerkleTree::storage_bytes() const {
+  std::size_t nodes = 0;
+  for (const auto& lvl : levels_) nodes += lvl.size();
+  return nodes * 32;  // canonical Fr serialization is 32 bytes
+}
+
+}  // namespace waku::merkle

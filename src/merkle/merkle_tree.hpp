@@ -1,0 +1,91 @@
+// Identity-commitment Merkle tree (paper §II-B, §III-C).
+//
+// Fixed-depth binary tree over Poseidon2 with zero-subtree padding: an
+// empty leaf is Fr(0) and the empty subtree hash at level l+1 is
+// H(z_l, z_l). Deletion (slashing) writes the zero leaf back, exactly as
+// the contract's "delete" semantics in the paper.
+//
+// IncrementalMerkleTree stores every computed node — O(N) per peer, the
+// configuration whose cost §IV quotes as 67 MB at depth 20. The O(log N)
+// alternative lives in partial_view.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ff/fr.hpp"
+
+namespace waku::merkle {
+
+using ff::Fr;
+
+/// Authentication path: the sibling node at every level from leaf to root.
+/// Bit i of `index` gives the direction at level i (0 = current node is a
+/// left child, sibling on the right).
+struct MerklePath {
+  std::uint64_t index = 0;
+  std::vector<Fr> siblings;
+
+  [[nodiscard]] std::size_t depth() const { return siblings.size(); }
+  friend bool operator==(const MerklePath&, const MerklePath&) = default;
+};
+
+/// Hash of an empty subtree whose root sits at `level` (level 0 = leaf).
+const Fr& zero_at(std::size_t level);
+
+/// Wire encoding of an auth path (used in slashing-event payloads so light
+/// peers can apply removals to their partial views, cf. [18]).
+Bytes serialize_path(const MerklePath& path);
+MerklePath deserialize_path(BytesView bytes);
+
+/// Recomputes the root implied by `leaf` and `path`.
+Fr compute_root(const Fr& leaf, const MerklePath& path);
+
+/// Verifies that (leaf, path) hashes to `root`.
+bool verify_path(const Fr& root, const Fr& leaf, const MerklePath& path);
+
+/// Append-friendly Merkle tree holding all computed nodes.
+class IncrementalMerkleTree {
+ public:
+  /// Depth in [1, 40]; capacity is 2^depth leaves.
+  explicit IncrementalMerkleTree(std::size_t depth);
+
+  /// Appends a leaf; returns its index. Throws if the tree is full.
+  std::uint64_t insert(const Fr& leaf);
+
+  /// Overwrites the leaf at `index` (must be < size()).
+  void update(std::uint64_t index, const Fr& leaf);
+
+  /// Deletion per the paper: reset the leaf to the zero value.
+  void remove(std::uint64_t index) { update(index, Fr::zero()); }
+
+  [[nodiscard]] Fr root() const;
+  [[nodiscard]] MerklePath auth_path(std::uint64_t index) const;
+  [[nodiscard]] const Fr& leaf(std::uint64_t index) const;
+
+  /// Value of the node at (level, idx), zero-subtree hash if not stored.
+  [[nodiscard]] Fr node_at(std::size_t level, std::uint64_t idx) const;
+
+  /// Number of appended leaves (zeroed leaves still count; indices are
+  /// never reused, matching the contract's append-only member list).
+  [[nodiscard]] std::uint64_t size() const { return leaf_count_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t capacity() const {
+    return std::uint64_t{1} << depth_;
+  }
+
+  /// Bytes of node storage currently held — the quantity E4 measures.
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ private:
+  void recompute_path(std::uint64_t leaf_index);
+  void store(std::size_t level, std::uint64_t idx, const Fr& value);
+
+  std::size_t depth_;
+  std::uint64_t leaf_count_ = 0;
+  // levels_[l][i] = node i at level l; levels_[0] are leaves. Vectors only
+  // grow as leaves are appended, so storage is O(inserted leaves).
+  std::vector<std::vector<Fr>> levels_;
+};
+
+}  // namespace waku::merkle

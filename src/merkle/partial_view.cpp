@@ -1,0 +1,118 @@
+#include "merkle/partial_view.hpp"
+
+#include "common/expect.hpp"
+#include "hash/poseidon.hpp"
+
+namespace waku::merkle {
+
+namespace {
+Fr hash_pair(const Fr& l, const Fr& r) { return hash::poseidon2(l, r); }
+
+// Index (at `level`) of the node the append frontier currently caches:
+// the most recently written left child, i.e. ((count-1) >> level) & ~1.
+std::uint64_t frontier_index(std::uint64_t leaf_count, std::size_t level) {
+  WAKU_EXPECTS(leaf_count > 0);
+  return ((leaf_count - 1) >> level) & ~std::uint64_t{1};
+}
+}  // namespace
+
+PartialMerkleView::PartialMerkleView(std::size_t depth, std::uint64_t index)
+    : depth_(depth),
+      my_index_(index),
+      siblings_(depth, Fr::zero()),
+      filled_subtrees_(depth, Fr::zero()) {}
+
+PartialMerkleView PartialMerkleView::from_tree(
+    const IncrementalMerkleTree& tree, std::uint64_t index) {
+  WAKU_EXPECTS(index < tree.size());
+  PartialMerkleView view(tree.depth(), index);
+  view.leaf_count_ = tree.size();
+  view.my_leaf_ = tree.leaf(index);
+  view.root_ = tree.root();
+  view.siblings_ = tree.auth_path(index).siblings;
+  for (std::size_t l = 0; l < tree.depth(); ++l) {
+    view.filled_subtrees_[l] =
+        tree.node_at(l, frontier_index(view.leaf_count_, l));
+  }
+  return view;
+}
+
+PartialMerkleView PartialMerkleView::root_tracker(
+    const IncrementalMerkleTree& tree) {
+  PartialMerkleView view(tree.depth(), kNoMember);
+  view.leaf_count_ = tree.size();
+  view.root_ = tree.root();
+  for (std::size_t l = 0; l < tree.depth(); ++l) {
+    view.filled_subtrees_[l] =
+        view.leaf_count_ == 0
+            ? zero_at(l)
+            : tree.node_at(l, frontier_index(view.leaf_count_, l));
+  }
+  return view;
+}
+
+void PartialMerkleView::on_insert(const Fr& leaf) {
+  WAKU_EXPECTS(leaf_count_ < (std::uint64_t{1} << depth_));
+  const std::uint64_t n = leaf_count_;
+  Fr cur = leaf;
+  for (std::size_t l = 0; l < depth_; ++l) {
+    const std::uint64_t j = n >> l;
+    if (tracks_member() && j == ((my_index_ >> l) ^ 1)) {
+      siblings_[l] = cur;  // the appended leaf lives in my sibling subtree
+    }
+    if ((j & 1) == 0) {
+      filled_subtrees_[l] = cur;
+      cur = hash_pair(cur, zero_at(l));
+    } else {
+      cur = hash_pair(filled_subtrees_[l], cur);
+    }
+  }
+  root_ = cur;
+  ++leaf_count_;
+}
+
+void PartialMerkleView::on_update(std::uint64_t index, const Fr& old_leaf,
+                                  const Fr& new_leaf, const MerklePath& path) {
+  WAKU_EXPECTS(index < leaf_count_);
+  WAKU_EXPECTS(path.index == index);
+  WAKU_EXPECTS(path.siblings.size() == depth_);
+
+  // A stale path means this view is out of sync with the contract event
+  // stream; the caller must resync (paper §III-C).
+  const std::vector<Fr>& walk =
+      index == my_index_ ? siblings_ : path.siblings;
+  const MerklePath walk_path{index, walk};
+  if (compute_root(old_leaf, walk_path) != root_) {
+    throw ContractViolation("PartialMerkleView: update path does not match root");
+  }
+  if (index == my_index_) {
+    WAKU_EXPECTS(old_leaf == my_leaf_);
+    my_leaf_ = new_leaf;
+  }
+
+  Fr cur = new_leaf;
+  for (std::size_t l = 0; l < depth_; ++l) {
+    const std::uint64_t j = index >> l;
+    if (tracks_member() && index != my_index_ &&
+        j == ((my_index_ >> l) ^ 1)) {
+      siblings_[l] = cur;
+    }
+    if ((j & 1) == 0 && j == frontier_index(leaf_count_, l)) {
+      filled_subtrees_[l] = cur;  // keep the append frontier coherent
+    }
+    cur = ((j & 1) == 0) ? hash_pair(cur, walk[l]) : hash_pair(walk[l], cur);
+  }
+  root_ = cur;
+}
+
+MerklePath PartialMerkleView::auth_path() const {
+  WAKU_EXPECTS(tracks_member());
+  return MerklePath{my_index_, siblings_};
+}
+
+std::size_t PartialMerkleView::storage_bytes() const {
+  // my_leaf + root + auth path + frontier, 32 bytes each, plus two indices.
+  return (2 + siblings_.size() + filled_subtrees_.size()) * 32 + 16;
+}
+
+}  // namespace waku::merkle

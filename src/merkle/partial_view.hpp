@@ -1,0 +1,71 @@
+// Storage-efficient partial Merkle view (paper §IV-A, reference [18]).
+//
+// A peer keeps only O(log N) state — its own leaf, its authentication path,
+// the append frontier, and the root — yet can process the contract's member
+// insertion/deletion event stream and keep both the root and its own auth
+// path current. This is the optimization the paper credits with reducing
+// per-peer storage from 67 MB (full depth-20 tree) to well under a kilobyte.
+//
+// Event requirements mirror the paper's discussion: appends need no extra
+// data (the frontier suffices); arbitrary-position updates (deletions /
+// slashing) need the affected leaf's current auth path, which the slasher
+// supplies alongside the contract call (cf. the encrypted-auth-path
+// registration idea in §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "merkle/merkle_tree.hpp"
+
+namespace waku::merkle {
+
+class PartialMerkleView {
+ public:
+  /// Snapshots the O(log N) view of `tree` for the member at `index`.
+  static PartialMerkleView from_tree(const IncrementalMerkleTree& tree,
+                                     std::uint64_t index);
+
+  /// Root-tracking-only view (no member leaf): follows inserts/updates and
+  /// maintains the root, for relay-only peers that validate proofs but
+  /// never publish. auth_path()/my_leaf() are unavailable in this mode.
+  static PartialMerkleView root_tracker(const IncrementalMerkleTree& tree);
+
+  /// False for root_tracker views.
+  [[nodiscard]] bool tracks_member() const { return my_index_ != kNoMember; }
+
+  /// Processes a MemberInserted event (append at the next free index).
+  void on_insert(const Fr& leaf);
+
+  /// Processes an update/delete event at an arbitrary index. `path` must be
+  /// the affected leaf's auth path in the *current* tree and `old_leaf` its
+  /// current value; throws ContractViolation if they do not match the
+  /// tracked root (a desynced peer must resync, §III-C).
+  void on_update(std::uint64_t index, const Fr& old_leaf, const Fr& new_leaf,
+                 const MerklePath& path);
+
+  [[nodiscard]] const Fr& root() const { return root_; }
+  [[nodiscard]] MerklePath auth_path() const;
+  [[nodiscard]] std::uint64_t my_index() const { return my_index_; }
+  [[nodiscard]] const Fr& my_leaf() const { return my_leaf_; }
+  [[nodiscard]] std::uint64_t size() const { return leaf_count_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  /// Bytes of Merkle state held — the E4 comparison against the full tree.
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ private:
+  static constexpr std::uint64_t kNoMember = ~std::uint64_t{0};
+
+  PartialMerkleView(std::size_t depth, std::uint64_t index);
+
+  std::size_t depth_;
+  std::uint64_t my_index_;
+  std::uint64_t leaf_count_ = 0;
+  Fr my_leaf_;
+  Fr root_;
+  std::vector<Fr> siblings_;          // my auth path, levels 0..depth-1
+  std::vector<Fr> filled_subtrees_;   // append frontier, levels 0..depth-1
+};
+
+}  // namespace waku::merkle

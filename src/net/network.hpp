@@ -1,0 +1,86 @@
+// Simulated p2p network: nodes joined by bidirectional links with
+// configurable latency, jitter, and loss; per-node clock skew (the
+// "ClockAsynchrony" of paper §III-F); and traffic accounting used by the
+// spam-containment experiments (E7/E8).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/simulator.hpp"
+
+namespace waku::net {
+
+using NodeId = std::uint32_t;
+
+/// Interface implemented by protocol endpoints (gossipsub routers, etc).
+class NetNode {
+ public:
+  virtual ~NetNode() = default;
+  virtual void on_message(NodeId from, BytesView payload) = 0;
+};
+
+struct LinkConfig {
+  TimeMs base_latency_ms = 40;  ///< one-way propagation delay
+  TimeMs jitter_ms = 20;        ///< uniform extra delay in [0, jitter]
+  double loss_rate = 0.0;       ///< probability a message is dropped
+};
+
+/// Per-node traffic counters.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, LinkConfig link, std::uint64_t seed = 7);
+
+  /// Registers a node; the caller retains ownership of `endpoint`.
+  NodeId add_node(NetNode* endpoint);
+
+  /// Creates (idempotently) a bidirectional link.
+  void connect(NodeId a, NodeId b);
+  void disconnect(NodeId a, NodeId b);
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId n) const;
+
+  /// Wires every node into a random graph of the given target degree
+  /// (plus a ring for connectivity).
+  void connect_random(std::size_t degree, Rng& rng);
+
+  /// Sends `payload` from `from` to its neighbor `to`; delivery is
+  /// scheduled after link latency (or dropped per loss_rate).
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  // -- Clock skew (ClockAsynchrony, §III-F) --------------------------------
+
+  void set_clock_skew(NodeId n, std::int64_t skew_ms);
+  /// Node-local wall clock: simulated time + skew (never negative).
+  [[nodiscard]] TimeMs local_time(NodeId n) const;
+
+  // -- Accounting -----------------------------------------------------------
+
+  [[nodiscard]] const TrafficStats& stats(NodeId n) const;
+  [[nodiscard]] TrafficStats total_stats() const;
+  void reset_stats();
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  LinkConfig link_;
+  Rng rng_;
+  std::vector<NetNode*> nodes_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::int64_t> skew_ms_;
+  std::vector<TrafficStats> stats_;
+};
+
+}  // namespace waku::net

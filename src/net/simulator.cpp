@@ -1,0 +1,63 @@
+#include "net/simulator.hpp"
+
+#include <memory>
+
+#include "common/expect.hpp"
+
+namespace waku::net {
+
+Simulator::TaskId Simulator::schedule_at(TimeMs t, Callback fn) {
+  WAKU_EXPECTS(t >= now_);
+  const TaskId id = next_id_++;
+  queue_.push(Scheduled{t, seq_++, id, std::move(fn)});
+  return id;
+}
+
+Simulator::TaskId Simulator::schedule_every(TimeMs interval, Callback fn) {
+  WAKU_EXPECTS(interval > 0);
+  const TaskId id = next_id_++;
+  // Self-rescheduling wrapper; keeps the same public id so cancel() works
+  // across repetitions.
+  auto repeat = std::make_shared<std::function<void()>>();
+  *repeat = [this, interval, id, fn = std::move(fn), repeat]() {
+    if (cancelled_.contains(id)) {
+      cancelled_.erase(id);
+      return;
+    }
+    fn();
+    queue_.push(Scheduled{now_ + interval, seq_++, id, *repeat});
+  };
+  queue_.push(Scheduled{now_ + interval, seq_++, id, *repeat});
+  return id;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.contains(ev.id)) {
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    WAKU_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimeMs t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace waku::net

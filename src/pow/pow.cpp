@@ -1,0 +1,47 @@
+#include "pow/pow.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "hash/keccak256.hpp"
+
+namespace waku::pow {
+
+namespace {
+
+Bytes with_nonce(BytesView payload, std::uint64_t nonce) {
+  Bytes buf(payload.begin(), payload.end());
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::optional<PowSolution> mine(BytesView payload, int difficulty_bits,
+                                std::uint64_t start_nonce,
+                                std::uint64_t max_attempts) {
+  WAKU_EXPECTS(difficulty_bits >= 0 && difficulty_bits <= 64);
+  std::uint64_t nonce = start_nonce;
+  std::uint64_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    if (verify(payload, nonce, difficulty_bits)) {
+      return PowSolution{nonce, attempts};
+    }
+    if (max_attempts != 0 && attempts >= max_attempts) return std::nullopt;
+    ++nonce;
+  }
+}
+
+bool verify(BytesView payload, std::uint64_t nonce, int difficulty_bits) {
+  const auto digest = hash::keccak256(with_nonce(payload, nonce));
+  return hash::leading_zero_bits(digest) >= difficulty_bits;
+}
+
+double expected_attempts(int difficulty_bits) {
+  return std::pow(2.0, difficulty_bits);
+}
+
+}  // namespace waku::pow

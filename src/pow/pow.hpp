@@ -1,0 +1,34 @@
+// Whisper-style proof-of-work spam protection (paper [4], [5]; EIP-627) —
+// the computational baseline WAKU-RLN-RELAY replaces. A message is valid
+// if Keccak-256(envelope || nonce) has at least `difficulty` leading zero
+// bits; mining cost is exponential in difficulty while verification is one
+// hash. The paper's critique: the work requirement prices low-power
+// devices out of the network (E7 measures exactly this asymmetry).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace waku::pow {
+
+struct PowSolution {
+  std::uint64_t nonce = 0;
+  std::uint64_t attempts = 0;  ///< hash evaluations spent mining
+};
+
+/// Mines a nonce such that keccak256(payload || nonce_le) has at least
+/// `difficulty_bits` leading zero bits. `max_attempts` bounds the search
+/// (0 = unbounded); returns nullopt if the bound is hit.
+std::optional<PowSolution> mine(BytesView payload, int difficulty_bits,
+                                std::uint64_t start_nonce = 0,
+                                std::uint64_t max_attempts = 0);
+
+/// Verifies a mined nonce (one hash evaluation).
+bool verify(BytesView payload, std::uint64_t nonce, int difficulty_bits);
+
+/// Expected number of hash attempts for a difficulty (2^bits).
+double expected_attempts(int difficulty_bits);
+
+}  // namespace waku::pow

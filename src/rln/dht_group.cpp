@@ -1,0 +1,86 @@
+#include "rln/dht_group.hpp"
+
+#include "common/serde.hpp"
+
+namespace waku::rln {
+
+DhtGroupDirectory::DhtGroupDirectory(dht::DhtNode& dht, std::string group_name)
+    : dht_(dht), name_(std::move(group_name)) {}
+
+dht::Key DhtGroupDirectory::count_key() const {
+  return dht::key_of_content(to_bytes("rln-group/" + name_ + "/count"));
+}
+
+dht::Key DhtGroupDirectory::member_key(std::uint64_t index) const {
+  return dht::key_of_content(to_bytes("rln-group/" + name_ + "/member/" +
+                                      std::to_string(index)));
+}
+
+void DhtGroupDirectory::register_member(
+    const Fr& pk, std::function<void(std::uint64_t)> done) {
+  // Read-claim-write: fetch the count, claim that index, bump the count.
+  // Concurrent registrants can race for an index — a known open problem of
+  // contract-less group management (see header).
+  dht_.get(count_key(), [this, pk, done = std::move(done)](
+                            std::optional<Bytes> count_value) {
+    std::uint64_t index = 0;
+    if (count_value.has_value()) {
+      ByteReader r(*count_value);
+      index = r.read_u64();
+    }
+    dht_.put(member_key(index), pk.to_bytes_be(),
+             [this, index, done](std::size_t) {
+               ByteWriter w;
+               w.write_u64(index + 1);
+               dht_.put(count_key(), std::move(w).take(),
+                        [index, done](std::size_t) {
+                          if (done) done(index);
+                        });
+             });
+  });
+}
+
+void DhtGroupDirectory::fetch_members(
+    std::shared_ptr<std::uint64_t> fetched, std::uint64_t upto,
+    GroupManager& group, std::function<void(std::uint64_t)> done,
+    std::uint64_t new_members) {
+  if (*fetched >= upto) {
+    if (done) done(new_members);
+    return;
+  }
+  const std::uint64_t index = (*fetched)++;
+  dht_.get(member_key(index),
+           [this, fetched, upto, &group, done = std::move(done), new_members,
+            index](std::optional<Bytes> value) mutable {
+             std::uint64_t added = new_members;
+             if (value.has_value() && value->size() == 32) {
+               // Feed through the standard contract-event path so the same
+               // tree maintenance code runs for DHT-managed groups.
+               chain::Event ev;
+               ev.name = "MemberRegistered";
+               ev.topics = {ff::U256{index},
+                            ff::u256_from_bytes_be(*value)};
+               group.on_event(ev);
+               ++added;
+             }
+             fetch_members(fetched, upto, group, std::move(done), added);
+           });
+}
+
+void DhtGroupDirectory::sync(GroupManager& group,
+                             std::function<void(std::uint64_t)> done) {
+  dht_.get(count_key(), [this, &group, done = std::move(done)](
+                            std::optional<Bytes> count_value) mutable {
+    if (!count_value.has_value()) {
+      if (done) done(0);
+      return;
+    }
+    ByteReader r(*count_value);
+    const std::uint64_t count = r.read_u64();
+    const auto fetched =
+        std::make_shared<std::uint64_t>(group.member_count());
+    fetch_members(fetched, count, group, std::move(done), 0);
+  });
+}
+
+}  // namespace waku::rln

@@ -1,0 +1,54 @@
+// Distributed group management over a DHT — the paper's §IV-A future-work
+// direction implemented: registration and membership discovery go through
+// a Kademlia DHT instead of the Ethereum contract, removing the
+// block-mining delay from the registration path ("registration
+// transactions are subject to delay as they have to be mined").
+//
+// Records:
+//   count record  : "rln-group/<name>/count"  -> u64 next free index
+//   member record : "rln-group/<name>/member/<index>" -> pk (32B)
+//
+// Trade-offs faithfully preserved (this is why the paper calls it an open
+// direction, not a drop-in): no deposits, so no economic slashing — only
+// removal-by-consensus is possible — and index assignment is a
+// read-modify-write that can race under concurrent registrations. The
+// ablation bench (bench_dht_group) quantifies the latency side.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dht/kademlia.hpp"
+#include "rln/group_manager.hpp"
+
+namespace waku::rln {
+
+class DhtGroupDirectory {
+ public:
+  /// `dht` is this peer's DHT endpoint; `group_name` namespaces records.
+  DhtGroupDirectory(dht::DhtNode& dht, std::string group_name = "default");
+
+  /// Claims the next free index and publishes the member record.
+  /// `done(index)` fires once both records are replicated.
+  void register_member(const Fr& pk,
+                       std::function<void(std::uint64_t index)> done);
+
+  /// Fetches member records this GroupManager has not seen yet and feeds
+  /// them in contract-event form (so the same tree/sync code paths run).
+  /// `done(new_members)` fires when the directory has been drained.
+  void sync(GroupManager& group, std::function<void(std::uint64_t)> done);
+
+ private:
+  dht::Key count_key() const;
+  dht::Key member_key(std::uint64_t index) const;
+  void fetch_members(std::shared_ptr<std::uint64_t> fetched,
+                     std::uint64_t upto, GroupManager& group,
+                     std::function<void(std::uint64_t)> done,
+                     std::uint64_t new_members);
+
+  dht::DhtNode& dht_;
+  std::string name_;
+};
+
+}  // namespace waku::rln

@@ -1,0 +1,15 @@
+#include "rln/epoch.hpp"
+
+#include "common/expect.hpp"
+
+namespace waku::rln {
+
+std::uint64_t max_epoch_gap(std::uint64_t network_delay_ms,
+                            std::uint64_t clock_asynchrony_ms,
+                            std::uint64_t epoch_length_ms) {
+  WAKU_EXPECTS(epoch_length_ms > 0);
+  const std::uint64_t total = network_delay_ms + clock_asynchrony_ms;
+  return (total + epoch_length_ms - 1) / epoch_length_ms;  // ceil
+}
+
+}  // namespace waku::rln

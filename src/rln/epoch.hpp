@@ -1,0 +1,43 @@
+// Epoch arithmetic (paper §III-D): the external nullifier is the current
+// epoch, "some unit of time elapsed since the Unix epoch", epoch =
+// UnixTime / T. One message per identity per epoch is the rate limit.
+//
+// Also computes the maximum epoch gap Thr of §III-F:
+//   Thr = ceil((NetworkDelay + ClockAsynchrony) / T).
+#pragma once
+
+#include <cstdint>
+
+#include "ff/fr.hpp"
+
+namespace waku::rln {
+
+using ff::Fr;
+
+struct EpochConfig {
+  /// Epoch length T in milliseconds (the paper discusses T in seconds; ms
+  /// matches the simulator clock).
+  std::uint64_t epoch_length_ms = 30'000;
+
+  /// Epoch index for a Unix-style timestamp in ms.
+  [[nodiscard]] std::uint64_t epoch_at(std::uint64_t unix_ms) const {
+    return unix_ms / epoch_length_ms;
+  }
+
+  /// The epoch as the field element fed to the circuit.
+  [[nodiscard]] Fr epoch_fr(std::uint64_t unix_ms) const {
+    return Fr::from_u64(epoch_at(unix_ms));
+  }
+};
+
+/// Thr from the paper's formula; all quantities in milliseconds.
+std::uint64_t max_epoch_gap(std::uint64_t network_delay_ms,
+                            std::uint64_t clock_asynchrony_ms,
+                            std::uint64_t epoch_length_ms);
+
+/// |a - b| for epoch indices.
+inline std::uint64_t epoch_distance(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace waku::rln

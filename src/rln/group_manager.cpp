@@ -1,0 +1,136 @@
+#include "rln/group_manager.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace waku::rln {
+
+using merkle::IncrementalMerkleTree;
+using merkle::MerklePath;
+using merkle::PartialMerkleView;
+
+GroupManager::GroupManager(std::size_t depth, TreeMode mode,
+                           std::size_t root_window)
+    : depth_(depth), mode_(mode), root_window_(root_window) {
+  WAKU_EXPECTS(root_window >= 1);
+  tree_.emplace(depth);
+  push_root();
+}
+
+void GroupManager::set_own_identity(const Identity& identity) {
+  WAKU_EXPECTS(!own_identity_.has_value());
+  own_identity_ = identity;
+}
+
+void GroupManager::push_root() {
+  const Fr r = root();
+  if (!recent_roots_.empty() && recent_roots_.back() == r) return;
+  recent_roots_.push_back(r);
+  while (recent_roots_.size() > root_window_) recent_roots_.pop_front();
+}
+
+void GroupManager::on_event(const chain::Event& event) {
+  if (event.name == "MemberRegistered") {
+    WAKU_EXPECTS(event.topics.size() >= 2);
+    handle_registered(event.topics[0].limb[0],
+                      Fr::from_u256_reduce(event.topics[1]));
+  } else if (event.name == "MemberSlashed" ||
+             event.name == "MemberWithdrawn") {
+    WAKU_EXPECTS(event.topics.size() >= 2);
+    // The auth path in the event data is only needed by partial views;
+    // full-tree peers recompute locally and tolerate its absence.
+    MerklePath path;
+    if (view_.has_value()) {
+      path = merkle::deserialize_path(event.data);
+    }
+    handle_removed(event.topics[0].limb[0],
+                   Fr::from_u256_reduce(event.topics[1]), path);
+  }
+  // Other events (SlashCommitted, ...) do not affect the tree.
+}
+
+void GroupManager::handle_registered(std::uint64_t index, const Fr& pk) {
+  WAKU_EXPECTS(index == member_count_);
+  ++member_count_;
+
+  if (view_.has_value()) {
+    view_->on_insert(pk);
+  } else {
+    tree_->insert(pk);
+  }
+  if (mode_ == TreeMode::kFullTree) {
+    pk_index_[pk.to_u256()] = index;
+  }
+
+  if (own_identity_.has_value() && !own_index_.has_value() &&
+      pk == own_identity_->pk) {
+    own_index_ = index;
+    if (mode_ == TreeMode::kPartialView) {
+      // Bootstrap complete: shrink to the O(log N) view (paper [18]).
+      view_ = PartialMerkleView::from_tree(*tree_, index);
+      tree_.reset();
+    }
+  }
+  push_root();
+}
+
+void GroupManager::handle_removed(std::uint64_t index, const Fr& pk,
+                                  const MerklePath& path) {
+  ++removed_count_;
+  if (view_.has_value()) {
+    view_->on_update(index, pk, Fr::zero(), path);
+  } else {
+    WAKU_EXPECTS(index < tree_->size());
+    WAKU_EXPECTS(tree_->leaf(index) == pk);
+    tree_->remove(index);
+  }
+  if (mode_ == TreeMode::kFullTree) {
+    pk_index_.erase(pk.to_u256());
+  }
+  if (own_index_.has_value() && *own_index_ == index) {
+    own_index_.reset();  // we were slashed/withdrawn; publishing must stop
+  }
+  push_root();
+}
+
+Fr GroupManager::root() const {
+  return view_.has_value() ? view_->root() : tree_->root();
+}
+
+bool GroupManager::is_recent_root(const Fr& r) const {
+  return std::find(recent_roots_.begin(), recent_roots_.end(), r) !=
+         recent_roots_.end();
+}
+
+merkle::MerklePath GroupManager::own_path() const {
+  WAKU_EXPECTS(own_index_.has_value());
+  return view_.has_value() ? view_->auth_path()
+                           : tree_->auth_path(*own_index_);
+}
+
+std::optional<std::uint64_t> GroupManager::index_of(const Fr& pk) const {
+  const auto it = pk_index_.find(pk.to_u256());
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+merkle::MerklePath GroupManager::path_of(std::uint64_t index) const {
+  WAKU_EXPECTS(mode_ == TreeMode::kFullTree && tree_.has_value());
+  return tree_->auth_path(index);
+}
+
+std::size_t GroupManager::storage_bytes() const {
+  std::size_t bytes = recent_roots_.size() * 32;
+  if (view_.has_value()) {
+    bytes += view_->storage_bytes();
+  } else {
+    bytes += tree_->storage_bytes();
+  }
+  if (mode_ == TreeMode::kFullTree) {
+    bytes += pk_index_.size() * (32 + 8);
+  }
+  return bytes;
+}
+
+}  // namespace waku::rln

@@ -1,0 +1,98 @@
+// Off-chain identity-commitment tree maintenance (paper §III-C): every
+// peer follows the membership contract's event stream and mirrors the tree
+// locally. Two storage profiles:
+//
+//   kFullTree    — the whole tree (the 67 MB-at-depth-20 configuration);
+//   kPartialView — O(log N) via the [18] partial view; removal events carry
+//                  the affected leaf's auth path so light peers can apply
+//                  them (the paper's §IV-A availability assumption).
+//
+// Publishing peers must stay in sync with the latest root or risk exposing
+// their leaf position by proving against a stale root (§III-C); validators
+// therefore accept proofs only against a short window of recent roots.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <variant>
+
+#include "chain/types.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "merkle/partial_view.hpp"
+#include "rln/identity.hpp"
+
+namespace waku::rln {
+
+enum class TreeMode {
+  kFullTree,
+  kPartialView,
+};
+
+class GroupManager {
+ public:
+  GroupManager(std::size_t depth, TreeMode mode,
+               std::size_t root_window = 10);
+
+  /// Sets the identity whose registration this peer is waiting for; when
+  /// the matching MemberRegistered event arrives, own_index() is set and
+  /// (in partial mode) the view switches to O(log N) tracking.
+  void set_own_identity(const Identity& identity);
+
+  /// Feeds one contract event (MemberRegistered / MemberSlashed /
+  /// MemberWithdrawn); events must arrive in emission order.
+  void on_event(const chain::Event& event);
+
+  [[nodiscard]] Fr root() const;
+  /// True if `root` is the current root or one of the last `root_window`
+  /// roots (tolerates proof/event races).
+  [[nodiscard]] bool is_recent_root(const Fr& root) const;
+
+  [[nodiscard]] std::optional<std::uint64_t> own_index() const {
+    return own_index_;
+  }
+  [[nodiscard]] merkle::MerklePath own_path() const;
+
+  /// Index lookup for slashing (full mode only; light peers ask a full
+  /// peer). nullopt if unknown or removed.
+  [[nodiscard]] std::optional<std::uint64_t> index_of(const Fr& pk) const;
+
+  /// Auth-path service for other peers (the §IV-A "hybrid architecture":
+  /// storage-rich peers serve paths to light ones). Full mode only.
+  [[nodiscard]] merkle::MerklePath path_of(std::uint64_t index) const;
+
+  [[nodiscard]] std::uint64_t member_count() const { return member_count_; }
+  [[nodiscard]] std::uint64_t removed_count() const { return removed_count_; }
+  [[nodiscard]] TreeMode mode() const { return mode_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  /// Merkle state bytes held by this peer — the E4 measurement.
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ private:
+  void handle_registered(std::uint64_t index, const Fr& pk);
+  void handle_removed(std::uint64_t index, const Fr& pk,
+                      const merkle::MerklePath& path);
+  void push_root();
+
+  std::size_t depth_;
+  TreeMode mode_;
+  std::size_t root_window_;
+
+  // Full tree (always present in full mode; present in partial mode only
+  // until our own registration lets us snapshot a view).
+  std::optional<merkle::IncrementalMerkleTree> tree_;
+  std::optional<merkle::PartialMerkleView> view_;
+
+  std::optional<Identity> own_identity_;
+  std::optional<std::uint64_t> own_index_;
+  std::uint64_t member_count_ = 0;
+  std::uint64_t removed_count_ = 0;
+
+  // pk -> index (full mode only; used to locate spammers for slashing).
+  std::unordered_map<ff::U256, std::uint64_t, ff::U256Hash> pk_index_;
+
+  std::deque<Fr> recent_roots_;
+};
+
+}  // namespace waku::rln

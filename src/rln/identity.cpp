@@ -1,0 +1,15 @@
+#include "rln/identity.hpp"
+
+#include "hash/poseidon.hpp"
+
+namespace waku::rln {
+
+Identity Identity::generate(Rng& rng) {
+  return from_secret(Fr::random(rng));
+}
+
+Identity Identity::from_secret(const Fr& sk) {
+  return Identity{sk, hash::poseidon1(sk)};
+}
+
+}  // namespace waku::rln

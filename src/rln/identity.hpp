@@ -1,0 +1,32 @@
+// RLN identity key pair (paper §II-B): a secret identity key sk and its
+// commitment pk = Poseidon(sk). The pk is what registers on-chain; the sk
+// never leaves the peer — unless the peer double-signals, in which case two
+// Shamir shares reconstruct it (the whole point of the scheme).
+#pragma once
+
+#include "common/rng.hpp"
+#include "ff/fr.hpp"
+
+namespace waku::rln {
+
+using ff::Fr;
+
+struct Identity {
+  Fr sk;  ///< identity secret key
+  Fr pk;  ///< identity commitment, Poseidon(sk)
+
+  /// Samples a fresh identity.
+  static Identity generate(Rng& rng);
+
+  /// Rebuilds the commitment from a known secret key.
+  static Identity from_secret(const Fr& sk);
+
+  /// 32-byte canonical serializations (the paper's "32B public and secret
+  /// keys" storage figure, E3).
+  [[nodiscard]] Bytes sk_bytes() const { return sk.to_bytes_be(); }
+  [[nodiscard]] Bytes pk_bytes() const { return pk.to_bytes_be(); }
+
+  friend bool operator==(const Identity&, const Identity&) = default;
+};
+
+}  // namespace waku::rln

@@ -1,0 +1,94 @@
+#include "rln/keystore.hpp"
+
+#include "common/serde.hpp"
+#include "hash/chacha20poly1305.hpp"
+#include "hash/sha256.hpp"
+
+namespace waku::rln {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'W', 'R', 'L', 'N'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kSaltLen = 16;
+
+// Password-based key derivation: iterated salted SHA-256. The iteration
+// count mimics a (cheap) PBKDF work factor; real deployments would use a
+// memory-hard KDF, which is orthogonal to everything tested here.
+hash::ChaChaKey derive_key(std::string_view password, BytesView salt) {
+  Bytes state = to_bytes("waku-rln-keystore-v1");
+  state.insert(state.end(), salt.begin(), salt.end());
+  const Bytes pw = to_bytes(password);
+  state.insert(state.end(), pw.begin(), pw.end());
+  hash::Sha256Digest digest = hash::sha256(state);
+  for (int i = 0; i < 1000; ++i) {
+    digest = hash::sha256(BytesView(digest.data(), digest.size()));
+  }
+  hash::ChaChaKey key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+Bytes encode_credential(const MembershipCredential& credential) {
+  ByteWriter w;
+  w.write_raw(credential.identity.sk_bytes());
+  w.write_u64(credential.member_index);
+  w.write_string(credential.contract_address);
+  return std::move(w).take();
+}
+
+MembershipCredential decode_credential(BytesView plain) {
+  ByteReader r(plain);
+  MembershipCredential credential;
+  credential.identity =
+      Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
+  credential.member_index = r.read_u64();
+  credential.contract_address = r.read_string();
+  return credential;
+}
+
+}  // namespace
+
+Bytes keystore_seal(const MembershipCredential& credential,
+                    std::string_view password, Rng& rng) {
+  const Bytes salt = rng.next_bytes(kSaltLen);
+  const hash::ChaChaKey key = derive_key(password, salt);
+  hash::ChaChaNonce nonce;
+  const Bytes nonce_bytes = rng.next_bytes(nonce.size());
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+
+  Bytes out(kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  out.insert(out.end(), salt.begin(), salt.end());
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  const Bytes sealed =
+      hash::aead_encrypt(key, nonce, encode_credential(credential),
+                         BytesView(kMagic, 4));
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<MembershipCredential> keystore_open(BytesView sealed,
+                                                  std::string_view password) {
+  constexpr std::size_t kHeader = 4 + 1 + kSaltLen + 12;
+  if (sealed.size() < kHeader + 16) return std::nullopt;
+  if (!std::equal(kMagic, kMagic + 4, sealed.begin())) return std::nullopt;
+  if (sealed[4] != kVersion) return std::nullopt;
+
+  const BytesView salt(sealed.data() + 5, kSaltLen);
+  hash::ChaChaNonce nonce;
+  std::copy(sealed.begin() + 5 + kSaltLen,
+            sealed.begin() + 5 + kSaltLen + 12, nonce.begin());
+  const hash::ChaChaKey key = derive_key(password, salt);
+  const auto plain = hash::aead_decrypt(
+      key, nonce, BytesView(sealed.data() + kHeader, sealed.size() - kHeader),
+      BytesView(kMagic, 4));
+  if (!plain.has_value()) return std::nullopt;
+  try {
+    return decode_credential(*plain);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace waku::rln

@@ -1,0 +1,39 @@
+// Encrypted identity keystore.
+//
+// An RLN membership is worth real money (the stake) and real consequences
+// (leaking sk means anyone can slash you), so identities at rest are
+// sealed: ChaCha20-Poly1305 under a password-derived key with a random
+// salt, plus the member index and contract metadata needed to resume
+// operation after a restart. Mirrors the credential files nwaku/zerokit
+// keep for RLN memberships.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "rln/identity.hpp"
+
+namespace waku::rln {
+
+/// What a peer must persist to come back as the same member.
+struct MembershipCredential {
+  Identity identity;
+  std::uint64_t member_index = 0;
+  std::string contract_address;  ///< hex, for sanity checks on restore
+
+  friend bool operator==(const MembershipCredential&,
+                         const MembershipCredential&) = default;
+};
+
+/// Seals a credential under `password`. Output layout:
+/// magic(4) version(1) salt(16) nonce(12) ciphertext+tag.
+Bytes keystore_seal(const MembershipCredential& credential,
+                    std::string_view password, Rng& rng);
+
+/// Opens a sealed credential; nullopt on wrong password, tampering, or a
+/// malformed blob.
+std::optional<MembershipCredential> keystore_open(BytesView sealed,
+                                                  std::string_view password);
+
+}  // namespace waku::rln

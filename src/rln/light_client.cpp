@@ -1,0 +1,158 @@
+#include "rln/light_client.hpp"
+
+#include "common/expect.hpp"
+#include "common/serde.hpp"
+#include "zksnark/rln_circuit.hpp"
+
+namespace waku::rln {
+
+namespace {
+
+enum class LightFrame : std::uint8_t {
+  kTreeReq = 1,   // u64 member index
+  kTreeResp = 2,  // root(32) u64 count, path
+  kPushReq = 3,   // serialized WakuMessage
+  kPushResp = 4,  // u8 accepted
+};
+
+}  // namespace
+
+RlnFullServiceNode::RlnFullServiceNode(net::Network& network,
+                                       WakuRlnRelayNode& node)
+    : network_(network), node_(node), id_(network.add_node(this)) {
+  WAKU_EXPECTS(node.group().mode() == TreeMode::kFullTree);
+}
+
+void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
+  ByteReader r(payload);
+  const auto type = static_cast<LightFrame>(r.read_u8());
+  switch (type) {
+    case LightFrame::kTreeReq: {
+      ++tree_requests_;
+      const std::uint64_t index = r.read_u64();
+      if (index >= node_.group().member_count()) return;  // unknown member
+      ByteWriter w;
+      w.write_u8(static_cast<std::uint8_t>(LightFrame::kTreeResp));
+      w.write_raw(node_.group().root().to_bytes_be());
+      w.write_u64(node_.group().member_count());
+      w.write_bytes(merkle::serialize_path(node_.group().path_of(index)));
+      network_.send(id_, from, std::move(w).take());
+      break;
+    }
+    case LightFrame::kPushReq: {
+      WakuMessage msg;
+      bool accepted = false;
+      try {
+        msg = WakuMessage::deserialize(r.read_bytes());
+        // The service vouches for what it relays: run the full RLN check
+        // before pushing into the mesh.
+        const ValidationOutcome outcome = node_.validator().validate(
+            msg, network_.local_time(node_.node_id()));
+        accepted = outcome.verdict == Verdict::kAccept;
+      } catch (const std::exception&) {
+        accepted = false;
+      }
+      if (accepted) {
+        node_.relay().publish(msg);
+        ++pushes_accepted_;
+      } else {
+        ++pushes_rejected_;
+      }
+      ByteWriter w;
+      w.write_u8(static_cast<std::uint8_t>(LightFrame::kPushResp));
+      w.write_u8(accepted ? 1 : 0);
+      network_.send(id_, from, std::move(w).take());
+      break;
+    }
+    default:
+      break;  // not addressed to a service
+  }
+}
+
+RlnLightClient::RlnLightClient(net::Network& network, Identity identity,
+                               std::uint64_t member_index, EpochConfig epoch,
+                               std::uint64_t seed)
+    : network_(network),
+      identity_(identity),
+      member_index_(member_index),
+      epoch_(epoch),
+      rng_(seed),
+      id_(network.add_node(this)) {}
+
+void RlnLightClient::publish(net::NodeId service, Bytes payload,
+                             const std::string& content_topic,
+                             PushResult done) {
+  pending_.push_back(PendingPublish{std::move(payload), content_topic,
+                                    service, std::move(done)});
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(LightFrame::kTreeReq));
+  w.write_u64(member_index_);
+  network_.send(id_, service, std::move(w).take());
+}
+
+void RlnLightClient::on_message(net::NodeId from, BytesView payload) {
+  ByteReader r(payload);
+  const auto type = static_cast<LightFrame>(r.read_u8());
+  switch (type) {
+    case LightFrame::kTreeResp: {
+      if (pending_.empty()) return;
+      PendingPublish job = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+
+      (void)Fr::from_bytes_reduce(r.read_raw(32));  // root (implied by path)
+      (void)r.read_u64();                           // member count
+      const merkle::MerklePath path = merkle::deserialize_path(r.read_bytes());
+
+      // Build the proof bundle locally: the secret key never leaves us.
+      WakuMessage msg;
+      msg.payload = std::move(job.payload);
+      msg.content_topic = job.content_topic;
+      msg.timestamp_ms = network_.local_time(id_);
+
+      const std::uint64_t epoch = epoch_.epoch_at(network_.local_time(id_));
+      zksnark::RlnProverInput input;
+      input.sk = identity_.sk;
+      input.path = path;
+      input.x = message_hash(msg);
+      input.epoch = Fr::from_u64(epoch);
+      zksnark::RlnCircuit circuit = zksnark::build_rln_circuit(input);
+      const zksnark::Keypair& kp =
+          zksnark::rln_keypair(path.siblings.size());
+      RateLimitProof bundle;
+      bundle.share_x = circuit.publics.x;
+      bundle.share_y = circuit.publics.y;
+      bundle.nullifier = circuit.publics.nullifier;
+      bundle.epoch = epoch;
+      bundle.root = circuit.publics.root;
+      bundle.proof = zksnark::prove(kp.pk, circuit.builder.cs(),
+                                    circuit.builder.assignment(), rng_);
+      attach_proof(msg, bundle);
+
+      ByteWriter w;
+      w.write_u8(static_cast<std::uint8_t>(LightFrame::kPushReq));
+      w.write_bytes(msg.serialize());
+      network_.send(id_, job.service, std::move(w).take());
+      ++published_;
+      if (job.done) {
+        // Ack arrives via kPushResp; remember the callback.
+        pending_acks_.push_back(std::move(job.done));
+      }
+      break;
+    }
+    case LightFrame::kPushResp: {
+      const bool accepted = r.read_u8() != 0;
+      if (accepted) ++acked_;
+      if (!pending_acks_.empty()) {
+        auto cb = std::move(pending_acks_.front());
+        pending_acks_.erase(pending_acks_.begin());
+        cb(accepted);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  (void)from;
+}
+
+}  // namespace waku::rln

@@ -1,0 +1,93 @@
+// Light-client publishing: the §IV-A hybrid architecture plus
+// 19/WAKU2-LIGHTPUSH.
+//
+// A resource-restricted member holds only its 32-byte identity key. To
+// publish it needs (a) a fresh auth path + root — served on demand by a
+// storage-rich full node ("peers with adequate storage capacity retain the
+// tree and supply the necessary information to the resource-limited peers
+// upon request", §IV-A) — and (b) a relay — the lightpush service publishes
+// the finished, proof-carrying message on the client's behalf. The client
+// never joins the mesh and never stores the tree; proof generation stays
+// client-side so the sk never leaves the device.
+#pragma once
+
+#include <functional>
+
+#include "net/network.hpp"
+#include "rln/epoch.hpp"
+#include "rln/node.hpp"
+
+namespace waku::rln {
+
+/// Service half: answers tree-sync queries from the node's full
+/// GroupManager and lightpush requests via the node's relay (after running
+/// the pushed message through the node's own RLN validation).
+class RlnFullServiceNode : public net::NetNode {
+ public:
+  /// `node` must run a kFullTree group manager and outlive the service.
+  RlnFullServiceNode(net::Network& network, WakuRlnRelayNode& node);
+
+  void on_message(net::NodeId from, BytesView payload) override;
+
+  [[nodiscard]] net::NodeId node_id() const { return id_; }
+  [[nodiscard]] std::uint64_t tree_requests() const { return tree_requests_; }
+  [[nodiscard]] std::uint64_t pushes_accepted() const {
+    return pushes_accepted_;
+  }
+  [[nodiscard]] std::uint64_t pushes_rejected() const {
+    return pushes_rejected_;
+  }
+
+ private:
+  net::Network& network_;
+  WakuRlnRelayNode& node_;
+  net::NodeId id_;
+  std::uint64_t tree_requests_ = 0;
+  std::uint64_t pushes_accepted_ = 0;
+  std::uint64_t pushes_rejected_ = 0;
+};
+
+/// Client half: a registered member (identity + member index known, e.g.
+/// registration performed out of band) that publishes via a service node.
+class RlnLightClient : public net::NetNode {
+ public:
+  /// Called when the service acknowledges (or refuses) a push.
+  using PushResult = std::function<void(bool accepted)>;
+
+  RlnLightClient(net::Network& network, Identity identity,
+                 std::uint64_t member_index, EpochConfig epoch,
+                 std::uint64_t seed);
+
+  /// Fetches a fresh path from `service`, builds the proof bundle locally,
+  /// and lightpushes the message. Asynchronous; `done` fires on the ack.
+  void publish(net::NodeId service, Bytes payload,
+               const std::string& content_topic, PushResult done = nullptr);
+
+  void on_message(net::NodeId from, BytesView payload) override;
+
+  [[nodiscard]] net::NodeId node_id() const { return id_; }
+  [[nodiscard]] const Identity& identity() const { return identity_; }
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::uint64_t acked() const { return acked_; }
+
+ private:
+  struct PendingPublish {
+    Bytes payload;
+    std::string content_topic;
+    net::NodeId service;
+    PushResult done;
+  };
+
+  net::Network& network_;
+  Identity identity_;
+  std::uint64_t member_index_;
+  EpochConfig epoch_;
+  Rng rng_;
+  net::NodeId id_;
+  std::vector<PendingPublish> pending_;
+  std::vector<PushResult> pending_acks_;
+  std::uint64_t published_ = 0;
+  std::uint64_t acked_ = 0;
+};
+
+}  // namespace waku::rln

@@ -1,0 +1,218 @@
+#include "rln/node.hpp"
+
+#include "common/serde.hpp"
+#include "hash/poseidon.hpp"
+#include "zksnark/rln_circuit.hpp"
+
+namespace waku::rln {
+
+using chain::Transaction;
+using gossipsub::ValidationResult;
+
+WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
+                                   chain::Blockchain& chain,
+                                   chain::Address contract, NodeConfig config,
+                                   std::uint64_t seed)
+    : network_(network),
+      chain_(chain),
+      contract_(contract),
+      config_(config),
+      rng_(seed),
+      identity_(Identity::generate(rng_)),
+      relay_(network, config.gossip, config.score, seed),
+      group_(config.tree_depth, config.tree_mode),
+      validator_(zksnark::rln_keypair(config.tree_depth).vk, group_,
+                 config.validator) {
+  group_.set_own_identity(identity_);
+}
+
+void WakuRlnRelayNode::start() {
+  relay_.set_validator([this](net::NodeId, const WakuMessage& msg)
+                           -> ValidationResult {
+    const ValidationOutcome outcome =
+        validator_.validate(msg, network_.local_time(node_id()));
+    switch (outcome.verdict) {
+      case Verdict::kAccept:
+        return ValidationResult::kAccept;
+      case Verdict::kIgnoreEpochGap:
+      case Verdict::kIgnoreDuplicate:
+        return ValidationResult::kIgnore;
+      case Verdict::kRejectSpam:
+        // Double-signal: the recovered sk is slashing material (§III-F).
+        trigger_slash(*outcome.recovered_sk);
+        return ValidationResult::kReject;
+      case Verdict::kRejectNoProof:
+      case Verdict::kRejectBadProof:
+      case Verdict::kRejectStaleRoot:
+        return ValidationResult::kReject;
+    }
+    return ValidationResult::kReject;
+  });
+
+  relay_.subscribe([this](const WakuMessage& msg) {
+    ++stats_.delivered;
+    if (config_.enable_store) {
+      store_.archive(msg, network_.sim().now());
+    }
+    if (handler_) handler_(msg);
+  });
+
+  chain_.subscribe_events(
+      [this](const chain::Event& ev) { handle_chain_event(ev); });
+
+  // Periodic upkeep: nullifier-log GC once per epoch.
+  network_.sim().schedule_every(
+      config_.validator.epoch.epoch_length_ms,
+      [this] { validator_.gc(network_.local_time(node_id())); });
+
+  relay_.start();
+}
+
+void WakuRlnRelayNode::register_membership() {
+  Transaction tx;
+  tx.from = config_.account;
+  tx.to = contract_;
+  tx.method = "register";
+  tx.calldata = identity_.pk_bytes();
+  tx.value = chain_.contract_at<chain::RlnMembershipContract>(contract_)
+                 .deposit();
+  chain_.submit(std::move(tx));
+}
+
+std::uint64_t WakuRlnRelayNode::current_epoch() const {
+  return config_.validator.epoch.epoch_at(network_.local_time(node_id()));
+}
+
+WakuMessage WakuRlnRelayNode::build_message(Bytes payload,
+                                            const std::string& content_topic,
+                                            std::uint64_t epoch) {
+  WakuMessage msg;
+  msg.payload = std::move(payload);
+  msg.content_topic = content_topic;
+  msg.timestamp_ms = network_.local_time(node_id());
+
+  zksnark::RlnProverInput input;
+  input.sk = identity_.sk;
+  input.path = group_.own_path();
+  input.x = message_hash(msg);
+  input.epoch = Fr::from_u64(epoch);
+
+  zksnark::RlnCircuit circuit = zksnark::build_rln_circuit(input);
+  const zksnark::Keypair& kp = zksnark::rln_keypair(config_.tree_depth);
+  const zksnark::Proof proof = zksnark::prove(
+      kp.pk, circuit.builder.cs(), circuit.builder.assignment(), rng_);
+
+  RateLimitProof bundle;
+  bundle.share_x = circuit.publics.x;
+  bundle.share_y = circuit.publics.y;
+  bundle.nullifier = circuit.publics.nullifier;
+  bundle.epoch = epoch;
+  bundle.root = circuit.publics.root;
+  bundle.proof = proof;
+  attach_proof(msg, bundle);
+  return msg;
+}
+
+WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
+    Bytes payload, const std::string& content_topic) {
+  if (!is_registered()) return PublishStatus::kNotRegistered;
+  const std::uint64_t epoch = current_epoch();
+  if (last_published_epoch_.has_value() && *last_published_epoch_ == epoch) {
+    ++stats_.publish_rate_limited;
+    return PublishStatus::kRateLimited;  // honest 1-message-per-epoch limit
+  }
+  last_published_epoch_ = epoch;
+  relay_.publish(build_message(std::move(payload), content_topic, epoch));
+  ++stats_.published;
+  return PublishStatus::kOk;
+}
+
+WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::force_publish(
+    Bytes payload, const std::string& content_topic) {
+  if (!is_registered()) return PublishStatus::kNotRegistered;
+  relay_.publish(
+      build_message(std::move(payload), content_topic, current_epoch()));
+  ++stats_.published;
+  return PublishStatus::kOk;
+}
+
+void WakuRlnRelayNode::publish_with_invalid_proof(Bytes payload) {
+  WakuMessage msg;
+  msg.payload = std::move(payload);
+  msg.timestamp_ms = network_.local_time(node_id());
+
+  RateLimitProof junk;
+  junk.share_x = message_hash(msg);
+  junk.share_y = Fr::random(rng_);
+  junk.nullifier = Fr::random(rng_);
+  junk.epoch = current_epoch();
+  junk.root = group_.root();  // recent root, but the proof is garbage
+  const Bytes garbage = rng_.next_bytes(zksnark::Proof::kSerializedSize);
+  junk.proof = zksnark::Proof::deserialize(garbage);
+  attach_proof(msg, junk);
+  relay_.publish(msg);
+  ++stats_.published;
+}
+
+void WakuRlnRelayNode::trigger_slash(const Fr& spammer_sk) {
+  const Fr pk = hash::poseidon1(spammer_sk);
+  const std::optional<std::uint64_t> index = group_.index_of(pk);
+  if (!index.has_value()) return;  // unknown/already slashed, or light node
+  if (slashes_in_flight_.contains(*index)) return;
+  slashes_in_flight_.insert(*index);
+
+  PendingSlash pending;
+  pending.sk = spammer_sk;
+  pending.index = *index;
+  pending.salt = ff::U256{rng_.next_u64(), rng_.next_u64(), rng_.next_u64(),
+                          rng_.next_u64()};
+  pending.commitment = chain::RlnMembershipContract::make_slash_commitment(
+      spammer_sk, pending.salt, config_.account);
+
+  Transaction commit;
+  commit.from = config_.account;
+  commit.to = contract_;
+  commit.method = "commit_slash";
+  commit.calldata = ff::u256_to_bytes_be(pending.commitment);
+  chain_.submit(std::move(commit));
+  ++stats_.slash_commits;
+  pending_slashes_.push_back(pending);
+}
+
+void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
+  group_.on_event(event);
+
+  if (event.name == "SlashCommitted") {
+    // Our commitment is mined: submit the reveal (it lands in a later
+    // block, satisfying the contract's maturity check).
+    for (PendingSlash& pending : pending_slashes_) {
+      if (pending.revealed || event.topics[0] != pending.commitment) continue;
+      pending.revealed = true;
+
+      ByteWriter w;
+      w.write_raw(pending.sk.to_bytes_be());
+      w.write_raw(ff::u256_to_bytes_be(pending.salt));
+      w.write_u64(pending.index);
+      // Attach the pre-removal auth path for partial-view peers ([18]).
+      if (group_.mode() == TreeMode::kFullTree) {
+        w.write_raw(merkle::serialize_path(group_.path_of(pending.index)));
+      }
+      Transaction reveal;
+      reveal.from = config_.account;
+      reveal.to = contract_;
+      reveal.method = "reveal_slash";
+      reveal.calldata = std::move(w).take();
+      chain_.submit(std::move(reveal));
+      ++stats_.slash_reveals;
+    }
+  } else if (event.name == "MemberSlashed") {
+    slashes_in_flight_.erase(event.topics[0].limb[0]);
+    // The third topic names the rewarded slasher.
+    if (event.topics.size() >= 3 &&
+        event.topics[2] == config_.account.to_u256()) {
+      ++stats_.slash_rewards;
+    }
+  }
+}
+
+}  // namespace waku::rln

@@ -1,0 +1,142 @@
+// WakuRlnRelayNode: a complete WAKU-RLN-RELAY peer (paper §III).
+//
+// Composition per the paper's architecture:
+//   * WAKU-RELAY transport (gossipsub mesh) for messages;
+//   * membership via the on-chain contract (registration, §III-B);
+//   * local identity-commitment tree synced from contract events (§III-C);
+//   * epoch-based external nullifier (§III-D);
+//   * proof-bundle generation on publish (§III-E);
+//   * routing-time validation, nullifier log, and slashing with
+//     commit-reveal on double-signals (§III-F);
+//   * optional 13/WAKU2-STORE archive.
+//
+// Attacker hooks (force_publish / publish_with_invalid_proof) exist so the
+// spam experiments can drive misbehaving-but-registered peers through the
+// exact same code paths.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+
+#include "chain/blockchain.hpp"
+#include "chain/rln_contract.hpp"
+#include "rln/group_manager.hpp"
+#include "rln/identity.hpp"
+#include "rln/validator.hpp"
+#include "waku/relay.hpp"
+#include "waku/store.hpp"
+
+namespace waku::rln {
+
+struct NodeConfig {
+  std::size_t tree_depth = 20;
+  TreeMode tree_mode = TreeMode::kFullTree;
+  ValidatorConfig validator;
+  chain::Address account;      ///< chain account paying gas/deposit
+  bool enable_store = false;   ///< archive delivered messages (WAKU2-STORE)
+  gossipsub::GossipSubConfig gossip;
+  gossipsub::PeerScoreConfig score;
+};
+
+struct NodeStats {
+  std::uint64_t published = 0;
+  std::uint64_t publish_rate_limited = 0;  ///< honest self-throttle hits
+  std::uint64_t delivered = 0;
+  std::uint64_t slash_commits = 0;
+  std::uint64_t slash_reveals = 0;
+  std::uint64_t slash_rewards = 0;  ///< MemberSlashed where we were payee
+};
+
+class WakuRlnRelayNode {
+ public:
+  enum class PublishStatus { kOk, kNotRegistered, kRateLimited };
+
+  using MessageHandler = std::function<void(const WakuMessage&)>;
+
+  WakuRlnRelayNode(net::Network& network, chain::Blockchain& chain,
+                   chain::Address contract, NodeConfig config,
+                   std::uint64_t seed);
+
+  /// Installs the validator, subscribes to the relay topic and the chain
+  /// event feed, and starts gossip heartbeats. Call once, after wiring.
+  void start();
+
+  /// Submits the registration transaction (pk + deposit, §III-B). The
+  /// membership becomes usable once the block is mined and the
+  /// MemberRegistered event round-trips (the §IV-A registration delay).
+  void register_membership();
+  [[nodiscard]] bool is_registered() const {
+    return group_.own_index().has_value();
+  }
+
+  /// Honest publish: refuses to exceed one message per epoch (§III-E).
+  PublishStatus try_publish(Bytes payload,
+                            const std::string& content_topic =
+                                "/waku/2/default-content/proto");
+
+  /// Spammer publish: generates a *valid* proof but ignores the local rate
+  /// limit — the double-signaling attack the scheme exists to punish.
+  PublishStatus force_publish(Bytes payload,
+                              const std::string& content_topic =
+                                  "/waku/2/default-content/proto");
+
+  /// Resource-exhaustion attacker: attaches a garbage proof.
+  void publish_with_invalid_proof(Bytes payload);
+
+  /// Registers a callback for delivered (validated) messages.
+  void set_message_handler(MessageHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] net::NodeId node_id() const { return relay_.node_id(); }
+  [[nodiscard]] const Identity& identity() const { return identity_; }
+  [[nodiscard]] const chain::Address& account() const {
+    return config_.account;
+  }
+  [[nodiscard]] std::uint64_t current_epoch() const;
+
+  [[nodiscard]] WakuRelay& relay() { return relay_; }
+  [[nodiscard]] GroupManager& group() { return group_; }
+  [[nodiscard]] RlnValidator& validator() { return validator_; }
+  [[nodiscard]] WakuStore& store() { return store_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+
+ private:
+  /// Builds the §III-E message bundle: proof over (sk, path, H(m), epoch).
+  WakuMessage build_message(Bytes payload, const std::string& content_topic,
+                            std::uint64_t epoch);
+  void handle_chain_event(const chain::Event& event);
+  /// Kicks off commit-reveal slashing for a recovered secret key (§III-F).
+  void trigger_slash(const Fr& spammer_sk);
+
+  net::Network& network_;
+  chain::Blockchain& chain_;
+  chain::Address contract_;
+  NodeConfig config_;
+  Rng rng_;
+
+  Identity identity_;
+  WakuRelay relay_;
+  GroupManager group_;
+  RlnValidator validator_;
+  WakuStore store_;
+
+  MessageHandler handler_;
+  std::optional<std::uint64_t> last_published_epoch_;
+  NodeStats stats_;
+
+  struct PendingSlash {
+    Fr sk;
+    ff::U256 salt;
+    std::uint64_t index;
+    ff::U256 commitment;
+    bool revealed = false;
+  };
+  std::deque<PendingSlash> pending_slashes_;
+  std::unordered_set<std::uint64_t> slashes_in_flight_;  // by member index
+};
+
+}  // namespace waku::rln

@@ -1,0 +1,37 @@
+#include "rln/nullifier_log.hpp"
+
+namespace waku::rln {
+
+NullifierLog::Result NullifierLog::observe(std::uint64_t epoch,
+                                           const Fr& nullifier,
+                                           const sss::Share& share) {
+  EpochMap& log = epochs_[epoch];
+  const auto it = log.find(nullifier);
+  if (it == log.end()) {
+    log.emplace(nullifier, share);
+    return Result{Outcome::kNew, std::nullopt};
+  }
+  if (it->second == share) {
+    return Result{Outcome::kDuplicate, std::nullopt};
+  }
+  return Result{Outcome::kConflict, it->second};
+}
+
+void NullifierLog::gc(std::uint64_t current_epoch, std::uint64_t thr) {
+  const std::uint64_t cutoff =
+      current_epoch > thr ? current_epoch - thr : 0;
+  epochs_.erase(epochs_.begin(), epochs_.lower_bound(cutoff));
+}
+
+std::size_t NullifierLog::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [epoch, log] : epochs_) n += log.size();
+  return n;
+}
+
+std::size_t NullifierLog::storage_bytes() const {
+  // nullifier (32) + share x,y (64) per entry, plus per-epoch key.
+  return entry_count() * 96 + epoch_count() * 8;
+}
+
+}  // namespace waku::rln

@@ -1,0 +1,54 @@
+// The nullifier map (paper §III-F): every routing peer records the
+// (x, y) share and internal nullifier of each valid message for the last
+// Thr epochs. A repeated nullifier within an epoch is either a duplicate
+// (same share) or a double-signal (different share), in which case the two
+// shares reconstruct the spammer's secret key.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "sss/shamir.hpp"
+
+namespace waku::rln {
+
+using ff::Fr;
+
+class NullifierLog {
+ public:
+  enum class Outcome {
+    kNew,        ///< first message for this nullifier: relay it
+    kDuplicate,  ///< identical share seen before: drop silently
+    kConflict,   ///< different share: double-signal -> slash
+  };
+
+  struct Result {
+    Outcome outcome = Outcome::kNew;
+    /// On kConflict: the previously recorded share (to pair with the new
+    /// one for secret recovery).
+    std::optional<sss::Share> previous_share;
+  };
+
+  /// Checks the (epoch, nullifier, share) triple against the log and
+  /// records it if new.
+  Result observe(std::uint64_t epoch, const Fr& nullifier,
+                 const sss::Share& share);
+
+  /// Drops entries older than `thr` epochs before `current_epoch`
+  /// (messages that old are rejected up front, so the log never needs
+  /// them, §III-F).
+  void gc(std::uint64_t current_epoch, std::uint64_t thr);
+
+  [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
+  [[nodiscard]] std::size_t entry_count() const;
+  /// Approximate in-memory footprint (E4/E5 bookkeeping).
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ private:
+  using EpochMap = std::unordered_map<Fr, sss::Share, ff::FrHash>;
+  std::map<std::uint64_t, EpochMap> epochs_;  // ordered for cheap gc
+};
+
+}  // namespace waku::rln

@@ -1,0 +1,85 @@
+#include "rln/validator.hpp"
+
+namespace waku::rln {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kAccept:
+      return "accept";
+    case Verdict::kIgnoreEpochGap:
+      return "ignore-epoch-gap";
+    case Verdict::kIgnoreDuplicate:
+      return "ignore-duplicate";
+    case Verdict::kRejectNoProof:
+      return "reject-no-proof";
+    case Verdict::kRejectBadProof:
+      return "reject-bad-proof";
+    case Verdict::kRejectStaleRoot:
+      return "reject-stale-root";
+    case Verdict::kRejectSpam:
+      return "reject-spam";
+  }
+  return "unknown";
+}
+
+RlnValidator::RlnValidator(const zksnark::VerifyingKey& vk,
+                           const GroupManager& group, ValidatorConfig config)
+    : vk_(vk), group_(group), config_(config) {}
+
+ValidationOutcome RlnValidator::validate(const WakuMessage& message,
+                                         std::uint64_t local_now_ms) {
+  const std::optional<RateLimitProof> bundle = extract_proof(message);
+  if (!bundle.has_value()) {
+    ++stats_.no_proof;
+    return {Verdict::kRejectNoProof, std::nullopt};
+  }
+
+  // 1. Epoch gap (cheapest check first, §III-F item 1).
+  const std::uint64_t local_epoch = config_.epoch.epoch_at(local_now_ms);
+  if (epoch_distance(local_epoch, bundle->epoch) > config_.max_epoch_gap) {
+    ++stats_.epoch_gap;
+    return {Verdict::kIgnoreEpochGap, std::nullopt};
+  }
+
+  // 2. Root freshness: the tau in the bundle must be a recent local root,
+  //    otherwise removed members could keep proving against old trees.
+  if (!group_.is_recent_root(bundle->root)) {
+    ++stats_.stale_root;
+    return {Verdict::kRejectStaleRoot, std::nullopt};
+  }
+
+  // 3. Proof verification. The x coordinate is recomputed from the payload
+  //    so the share is bound to this exact message.
+  const Fr x = message_hash(message);
+  if (x != bundle->share_x ||
+      !zksnark::verify(vk_, bundle->public_inputs(x), bundle->proof)) {
+    ++stats_.bad_proof;
+    return {Verdict::kRejectBadProof, std::nullopt};
+  }
+
+  // 4. Rate limit via the nullifier log (§III-F item 3).
+  const sss::Share share{bundle->share_x, bundle->share_y};
+  const NullifierLog::Result seen =
+      log_.observe(bundle->epoch, bundle->nullifier, share);
+  switch (seen.outcome) {
+    case NullifierLog::Outcome::kNew:
+      ++stats_.accepted;
+      return {Verdict::kAccept, std::nullopt};
+    case NullifierLog::Outcome::kDuplicate:
+      ++stats_.duplicates;
+      return {Verdict::kIgnoreDuplicate, std::nullopt};
+    case NullifierLog::Outcome::kConflict: {
+      ++stats_.spam_detected;
+      // Two distinct shares on the same line: reconstruct sk (§II-B).
+      const Fr sk = sss::rln_recover_secret(*seen.previous_share, share);
+      return {Verdict::kRejectSpam, sk};
+    }
+  }
+  return {Verdict::kRejectBadProof, std::nullopt};  // unreachable
+}
+
+void RlnValidator::gc(std::uint64_t local_now_ms) {
+  log_.gc(config_.epoch.epoch_at(local_now_ms), config_.max_epoch_gap);
+}
+
+}  // namespace waku::rln

@@ -1,0 +1,65 @@
+#include "sss/shamir.hpp"
+
+#include "common/expect.hpp"
+
+namespace waku::sss {
+
+std::vector<Share> split(const Fr& secret, std::size_t k, std::size_t n,
+                         Rng& rng) {
+  WAKU_EXPECTS(k >= 1 && k <= n);
+  // Polynomial p(x) = secret + c1 x + ... + c_{k-1} x^{k-1}.
+  std::vector<Fr> coeffs;
+  coeffs.reserve(k);
+  coeffs.push_back(secret);
+  for (std::size_t i = 1; i < k; ++i) coeffs.push_back(Fr::random(rng));
+
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const Fr x = Fr::from_u64(i);
+    // Horner evaluation.
+    Fr y = Fr::zero();
+    for (std::size_t j = coeffs.size(); j-- > 0;) {
+      y = y * x + coeffs[j];
+    }
+    shares.push_back(Share{x, y});
+  }
+  return shares;
+}
+
+Fr reconstruct(std::span<const Share> shares) {
+  WAKU_EXPECTS(!shares.empty());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    for (std::size_t j = i + 1; j < shares.size(); ++j) {
+      WAKU_EXPECTS(shares[i].x != shares[j].x);
+    }
+  }
+  // Lagrange interpolation evaluated at x = 0:
+  //   p(0) = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)
+  Fr secret = Fr::zero();
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    Fr num = Fr::one();
+    Fr den = Fr::one();
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      num *= shares[j].x;
+      den *= shares[j].x - shares[i].x;
+    }
+    secret += shares[i].y * num * den.inverse();
+  }
+  return secret;
+}
+
+Fr rln_share_y(const Fr& secret, const Fr& slope, const Fr& x) {
+  return secret + slope * x;
+}
+
+Fr rln_recover_secret(const Share& s1, const Share& s2) {
+  WAKU_EXPECTS(s1.x != s2.x);
+  // Line through (x1,y1),(x2,y2) evaluated at 0.
+  const Fr num = s1.y * s2.x - s2.y * s1.x;
+  const Fr den = s2.x - s1.x;
+  return num * den.inverse();
+}
+
+}  // namespace waku::sss

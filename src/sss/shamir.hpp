@@ -1,0 +1,47 @@
+// Shamir secret sharing over the BN254 scalar field (paper §II-B, [8]).
+//
+// RLN uses the degree-1 special case: a member publishing a message reveals
+// one point (x, y) on the line y = sk + a1·x, where a1 = H(sk, epoch).
+// Two messages in the same epoch reveal two distinct points, which uniquely
+// reconstruct the line and hence sk = line(0). The general (k, n) scheme is
+// provided as well, both for completeness and to property-test the
+// interpolation machinery the slashing path depends on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ff/fr.hpp"
+
+namespace waku::sss {
+
+using ff::Fr;
+
+/// One evaluation point of a sharing polynomial.
+struct Share {
+  Fr x;
+  Fr y;
+
+  friend bool operator==(const Share&, const Share&) = default;
+};
+
+/// Splits `secret` into n shares, any k of which reconstruct it.
+/// Requires 1 <= k <= n. Coefficients are drawn from `rng`.
+std::vector<Share> split(const Fr& secret, std::size_t k, std::size_t n,
+                         Rng& rng);
+
+/// Reconstructs the secret (polynomial evaluated at x=0) from exactly k
+/// shares by Lagrange interpolation. Shares must have pairwise distinct x
+/// coordinates; throws ContractViolation otherwise.
+Fr reconstruct(std::span<const Share> shares);
+
+/// Evaluates the RLN degree-1 polynomial: y = secret + slope * x.
+Fr rln_share_y(const Fr& secret, const Fr& slope, const Fr& x);
+
+/// Recovers the secret from two distinct points on the RLN line:
+/// sk = (y1·x2 − y2·x1) / (x2 − x1). Requires s1.x != s2.x.
+Fr rln_recover_secret(const Share& s1, const Share& s2);
+
+}  // namespace waku::sss

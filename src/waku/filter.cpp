@@ -1,0 +1,90 @@
+#include "waku/filter.hpp"
+
+#include "common/serde.hpp"
+
+namespace waku {
+
+namespace {
+
+Bytes encode_filter_frame(FilterFrameType type, const std::string& topic,
+                          const WakuMessage* message) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(type));
+  w.write_string(topic);
+  if (message != nullptr) {
+    w.write_bytes(message->serialize());
+  }
+  return std::move(w).take();
+}
+
+}  // namespace
+
+FilterService::FilterService(net::Network& network)
+    : network_(network), id_(network.add_node(this)) {}
+
+void FilterService::on_relay_message(const WakuMessage& message) {
+  for (const auto& [client, topics] : filters_) {
+    if (!topics.contains(message.content_topic)) continue;
+    network_.send(id_, client,
+                  encode_filter_frame(FilterFrameType::kPush,
+                                      message.content_topic, &message));
+    ++pushed_;
+  }
+}
+
+void FilterService::on_message(net::NodeId from, BytesView payload) {
+  ByteReader r(payload);
+  const auto type = static_cast<FilterFrameType>(r.read_u8());
+  const std::string topic = r.read_string();
+  switch (type) {
+    case FilterFrameType::kSubscribe:
+      filters_[from].insert(topic);
+      break;
+    case FilterFrameType::kUnsubscribe: {
+      const auto it = filters_.find(from);
+      if (it != filters_.end()) {
+        it->second.erase(topic);
+        if (it->second.empty()) filters_.erase(it);
+      }
+      break;
+    }
+    case FilterFrameType::kPush:
+      break;  // services do not accept pushes
+  }
+}
+
+std::size_t FilterService::subscription_count() const {
+  std::size_t n = 0;
+  for (const auto& [client, topics] : filters_) n += topics.size();
+  return n;
+}
+
+FilterClient::FilterClient(net::Network& network, PushHandler handler)
+    : network_(network), id_(network.add_node(this)),
+      handler_(std::move(handler)) {}
+
+void FilterClient::subscribe(net::NodeId service,
+                             const std::string& content_topic) {
+  network_.send(id_, service,
+                encode_filter_frame(FilterFrameType::kSubscribe, content_topic,
+                                    nullptr));
+}
+
+void FilterClient::unsubscribe(net::NodeId service,
+                               const std::string& content_topic) {
+  network_.send(id_, service,
+                encode_filter_frame(FilterFrameType::kUnsubscribe,
+                                    content_topic, nullptr));
+}
+
+void FilterClient::on_message(net::NodeId, BytesView payload) {
+  ByteReader r(payload);
+  const auto type = static_cast<FilterFrameType>(r.read_u8());
+  if (type != FilterFrameType::kPush) return;
+  (void)r.read_string();  // content topic (redundant with the message)
+  const WakuMessage message = WakuMessage::deserialize(r.read_bytes());
+  ++received_;
+  if (handler_) handler_(message);
+}
+
+}  // namespace waku

@@ -1,0 +1,73 @@
+// 12/WAKU2-FILTER (paper §I): "a lightweight version of WAKU-RELAY for
+// devices with limited bandwidth". A light client registers content-topic
+// filters with a full node; the full node pushes only matching messages, so
+// the light client never joins the gossip mesh.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "waku/message.hpp"
+
+namespace waku {
+
+/// Wire frames of the filter protocol.
+enum class FilterFrameType : std::uint8_t {
+  kSubscribe = 1,
+  kUnsubscribe = 2,
+  kPush = 3,
+};
+
+/// Full-node side: tracks light-client filters and pushes matches.
+/// Wire it to a relay subscription via on_relay_message().
+class FilterService : public net::NetNode {
+ public:
+  explicit FilterService(net::Network& network);
+
+  /// Feed every message the full node receives from the relay.
+  void on_relay_message(const WakuMessage& message);
+
+  // net::NetNode — handles subscribe/unsubscribe frames from clients.
+  void on_message(net::NodeId from, BytesView payload) override;
+
+  [[nodiscard]] net::NodeId node_id() const { return id_; }
+  [[nodiscard]] std::size_t subscription_count() const;
+  [[nodiscard]] std::uint64_t pushed_count() const { return pushed_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId id_;
+  // client -> set of content topics
+  std::unordered_map<net::NodeId, std::set<std::string>> filters_;
+  std::uint64_t pushed_ = 0;
+};
+
+/// Light-client side: subscribes to content topics on a FilterService and
+/// receives pushed messages without participating in relay.
+class FilterClient : public net::NetNode {
+ public:
+  using PushHandler = std::function<void(const WakuMessage&)>;
+
+  FilterClient(net::Network& network, PushHandler handler);
+
+  /// Registers interest in `content_topic` with the service node.
+  void subscribe(net::NodeId service, const std::string& content_topic);
+  void unsubscribe(net::NodeId service, const std::string& content_topic);
+
+  // net::NetNode — handles push frames.
+  void on_message(net::NodeId from, BytesView payload) override;
+
+  [[nodiscard]] net::NodeId node_id() const { return id_; }
+  [[nodiscard]] std::uint64_t received_count() const { return received_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId id_;
+  PushHandler handler_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace waku

@@ -1,0 +1,40 @@
+#include "waku/message.hpp"
+
+#include "common/serde.hpp"
+
+namespace waku {
+
+Bytes WakuMessage::serialize() const {
+  ByteWriter w;
+  w.write_bytes(payload);
+  w.write_string(content_topic);
+  w.write_u32(version);
+  w.write_u64(timestamp_ms);
+  w.write_u8(rate_limit_proof.has_value() ? 1 : 0);
+  if (rate_limit_proof.has_value()) {
+    w.write_bytes(*rate_limit_proof);
+  }
+  return std::move(w).take();
+}
+
+WakuMessage WakuMessage::deserialize(BytesView bytes) {
+  ByteReader r(bytes);
+  WakuMessage m;
+  m.payload = r.read_bytes();
+  m.content_topic = r.read_string();
+  m.version = r.read_u32();
+  m.timestamp_ms = r.read_u64();
+  if (r.read_u8() != 0) {
+    m.rate_limit_proof = r.read_bytes();
+  }
+  return m;
+}
+
+Bytes WakuMessage::signal_bytes() const {
+  ByteWriter w;
+  w.write_bytes(payload);
+  w.write_string(content_topic);
+  return std::move(w).take();
+}
+
+}  // namespace waku

@@ -1,0 +1,32 @@
+// WakuMessage (14/WAKU2-MESSAGE): the payload unit carried by WAKU-RELAY.
+// The rate_limit_proof field is the RLN extension: it carries the proof
+// bundle (m, (x,y), phi, epoch, tau, pi) of paper §III-E.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace waku {
+
+struct WakuMessage {
+  Bytes payload;
+  std::string content_topic = "/waku/2/default-content/proto";
+  std::uint32_t version = 2;
+  std::uint64_t timestamp_ms = 0;  ///< sender clock (Unix ms)
+  /// Serialized rln::RateLimitProof when RLN is enabled; absent otherwise.
+  std::optional<Bytes> rate_limit_proof;
+
+  [[nodiscard]] Bytes serialize() const;
+  static WakuMessage deserialize(BytesView bytes);
+
+  /// Bytes signed by the proof: payload + content topic (the "m" whose
+  /// hash forms the Shamir x-coordinate).
+  [[nodiscard]] Bytes signal_bytes() const;
+
+  friend bool operator==(const WakuMessage&, const WakuMessage&) = default;
+};
+
+}  // namespace waku

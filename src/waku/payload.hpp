@@ -1,0 +1,27 @@
+// Waku payload encryption (the 26/WAKU2-PAYLOAD layer of the spec family
+// the paper references): application payloads are sealed with
+// ChaCha20-Poly1305 under a symmetric content-topic key before they enter
+// the (public, relayed) WakuMessage. Routing metadata stays visible to
+// relays; content does not.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "hash/chacha20poly1305.hpp"
+
+namespace waku {
+
+/// Derives a symmetric key from an application secret (HKDF-lite:
+/// SHA-256 over a domain tag and the secret).
+hash::ChaChaKey derive_payload_key(std::string_view app_secret);
+
+/// Seals `plaintext`: returns version(1) || nonce(12) || ct || tag(16).
+/// The nonce is drawn from `rng`; never reuse an rng state across keys.
+Bytes seal_payload(const hash::ChaChaKey& key, BytesView plaintext, Rng& rng);
+
+/// Opens a sealed payload; nullopt if malformed or tampered.
+std::optional<Bytes> open_payload(const hash::ChaChaKey& key, BytesView sealed);
+
+}  // namespace waku

@@ -1,0 +1,38 @@
+#include "waku/relay.hpp"
+
+namespace waku {
+
+WakuRelay::WakuRelay(net::Network& network, gossipsub::GossipSubConfig config,
+                     gossipsub::PeerScoreConfig score_config,
+                     std::uint64_t seed, std::string pubsub_topic)
+    : topic_(std::move(pubsub_topic)),
+      router_(network, config, score_config, seed) {}
+
+void WakuRelay::subscribe(MessageHandler handler) {
+  router_.subscribe(topic_,
+                    [handler = std::move(handler)](
+                        const gossipsub::PubSubMessage& msg) {
+                      handler(WakuMessage::deserialize(msg.data));
+                    });
+}
+
+void WakuRelay::set_validator(MessageValidator validator) {
+  router_.set_validator(
+      topic_, [validator = std::move(validator)](
+                  net::NodeId from, const gossipsub::PubSubMessage& msg)
+                  -> gossipsub::ValidationResult {
+        WakuMessage decoded;
+        try {
+          decoded = WakuMessage::deserialize(msg.data);
+        } catch (const std::exception&) {
+          return gossipsub::ValidationResult::kReject;  // malformed envelope
+        }
+        return validator(from, decoded);
+      });
+}
+
+gossipsub::MessageId WakuRelay::publish(const WakuMessage& message) {
+  return router_.publish(topic_, message.serialize());
+}
+
+}  // namespace waku

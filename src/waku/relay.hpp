@@ -1,0 +1,54 @@
+// WAKU-RELAY (11/WAKU2-RELAY): "a thin layer over the libp2p GossipSub
+// routing protocol" (paper §I). It fixes a pubsub topic, moves WakuMessages
+// instead of raw bytes, and exposes the validation hook WAKU-RLN-RELAY
+// plugs its spam check into.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gossipsub/router.hpp"
+#include "waku/message.hpp"
+
+namespace waku {
+
+/// Default pubsub topic of Waku v2.
+inline const std::string kDefaultPubsubTopic = "/waku/2/default-waku/proto";
+
+class WakuRelay {
+ public:
+  using MessageHandler = std::function<void(const WakuMessage&)>;
+  /// Validator over the decoded WakuMessage; plugs into gossipsub.
+  using MessageValidator = std::function<gossipsub::ValidationResult(
+      net::NodeId from, const WakuMessage&)>;
+
+  WakuRelay(net::Network& network, gossipsub::GossipSubConfig config = {},
+            gossipsub::PeerScoreConfig score_config = {},
+            std::uint64_t seed = 1,
+            std::string pubsub_topic = kDefaultPubsubTopic);
+
+  /// Starts heartbeating (call after wiring the topology).
+  void start() { router_.start(); }
+
+  /// Subscribes to the relay topic.
+  void subscribe(MessageHandler handler);
+
+  /// Installs the message validator (e.g. the RLN or PoW check).
+  void set_validator(MessageValidator validator);
+
+  /// Publishes a message; returns its gossipsub id.
+  gossipsub::MessageId publish(const WakuMessage& message);
+
+  [[nodiscard]] net::NodeId node_id() const { return router_.node_id(); }
+  [[nodiscard]] const std::string& pubsub_topic() const { return topic_; }
+  [[nodiscard]] gossipsub::GossipSubRouter& router() { return router_; }
+  [[nodiscard]] const gossipsub::RouterStats& stats() const {
+    return router_.stats();
+  }
+
+ private:
+  std::string topic_;
+  gossipsub::GossipSubRouter router_;
+};
+
+}  // namespace waku

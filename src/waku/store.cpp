@@ -1,0 +1,37 @@
+#include "waku/store.hpp"
+
+namespace waku {
+
+void WakuStore::archive(const WakuMessage& message,
+                        std::uint64_t received_at_ms) {
+  bytes_ += message.payload.size();
+  entries_.push_back(Entry{message, received_at_ms});
+  if (entries_.size() > max_messages_) {
+    bytes_ -= entries_.front().message.payload.size();
+    entries_.erase(entries_.begin());
+    ++evicted_;
+  }
+}
+
+HistoryResponse WakuStore::query(const HistoryQuery& q) const {
+  HistoryResponse resp;
+  // Cursors are absolute archive positions so pagination survives eviction.
+  std::size_t i = q.cursor > evicted_ ? q.cursor - evicted_ : 0;
+  for (; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.received_at_ms < q.start_time_ms) continue;
+    if (e.received_at_ms > q.end_time_ms) continue;
+    if (q.content_topic.has_value() &&
+        e.message.content_topic != *q.content_topic) {
+      continue;
+    }
+    if (resp.messages.size() == q.page_size) {
+      resp.next_cursor = evicted_ + i;
+      return resp;
+    }
+    resp.messages.push_back(e.message);
+  }
+  return resp;
+}
+
+}  // namespace waku

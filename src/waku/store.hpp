@@ -1,0 +1,56 @@
+// 13/WAKU2-STORE (paper §I): resourceful peers persist relayed messages and
+// serve history to querying nodes — the off-chain storage half of the
+// paper's §III-A adjustment 2 (messages live here, not in the contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "waku/message.hpp"
+
+namespace waku {
+
+/// Time/topic-filtered, cursor-paginated history query.
+struct HistoryQuery {
+  std::optional<std::string> content_topic;
+  std::uint64_t start_time_ms = 0;
+  std::uint64_t end_time_ms = UINT64_MAX;
+  std::size_t page_size = 20;
+  std::size_t cursor = 0;  ///< archive index to resume from
+};
+
+struct HistoryResponse {
+  std::vector<WakuMessage> messages;
+  std::optional<std::size_t> next_cursor;  ///< absent when exhausted
+};
+
+/// Message archive with bounded capacity (oldest evicted first).
+class WakuStore {
+ public:
+  explicit WakuStore(std::size_t max_messages = 100'000)
+      : max_messages_(max_messages) {}
+
+  /// Archives a message at its receive time (typically wired to a relay
+  /// subscription on a store-enabled node).
+  void archive(const WakuMessage& message, std::uint64_t received_at_ms);
+
+  [[nodiscard]] HistoryResponse query(const HistoryQuery& q) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes_stored() const { return bytes_; }
+
+ private:
+  struct Entry {
+    WakuMessage message;
+    std::uint64_t received_at_ms;
+  };
+
+  std::size_t max_messages_;
+  std::size_t evicted_ = 0;  ///< count of evicted entries (cursor stability)
+  std::size_t bytes_ = 0;
+  std::vector<Entry> entries_;  // ordered by receive time
+};
+
+}  // namespace waku

@@ -1,0 +1,74 @@
+#include "zksnark/circuit.hpp"
+
+#include "common/expect.hpp"
+
+namespace waku::zksnark {
+
+Wire CircuitBuilder::allocate(const Fr& value, bool is_public) {
+  const VarIndex v =
+      is_public ? cs_.allocate_public() : cs_.allocate_private();
+  WAKU_ASSERT(v == assignment_.size());
+  assignment_.push_back(value);
+  return Wire{LinearCombination::variable(v), value};
+}
+
+Wire CircuitBuilder::public_input(const Fr& value) {
+  return allocate(value, /*is_public=*/true);
+}
+
+Wire CircuitBuilder::witness(const Fr& value) {
+  return allocate(value, /*is_public=*/false);
+}
+
+Wire CircuitBuilder::constant(const Fr& c) {
+  return Wire{LinearCombination::constant(c), c};
+}
+
+Wire CircuitBuilder::add(const Wire& a, const Wire& b) {
+  return Wire{a.lc + b.lc, a.value + b.value};
+}
+
+Wire CircuitBuilder::sub(const Wire& a, const Wire& b) {
+  return Wire{a.lc - b.lc, a.value - b.value};
+}
+
+Wire CircuitBuilder::scale(const Wire& a, const Fr& k) {
+  return Wire{a.lc.scaled(k), a.value * k};
+}
+
+Wire CircuitBuilder::mul(const Wire& a, const Wire& b,
+                         const std::string& note) {
+  const Wire out = witness(a.value * b.value);
+  cs_.enforce(a.lc, b.lc, out.lc, note.empty() ? "mul" : note);
+  return out;
+}
+
+Wire CircuitBuilder::materialize(const Wire& a, const std::string& note) {
+  const Wire out = witness(a.value);
+  cs_.enforce(a.lc, LinearCombination::constant(Fr::one()), out.lc,
+              note.empty() ? "materialize" : note);
+  return out;
+}
+
+void CircuitBuilder::assert_equal(const Wire& a, const Wire& b,
+                                  const std::string& note) {
+  cs_.enforce(a.lc - b.lc, LinearCombination::constant(Fr::one()),
+              LinearCombination{}, note.empty() ? "assert_equal" : note);
+}
+
+void CircuitBuilder::assert_boolean(const Wire& bit, const std::string& note) {
+  // bit * (1 - bit) = 0
+  cs_.enforce(bit.lc,
+              LinearCombination::constant(Fr::one()) - bit.lc,
+              LinearCombination{}, note.empty() ? "boolean" : note);
+}
+
+std::pair<Wire, Wire> CircuitBuilder::conditional_swap(const Wire& s,
+                                                       const Wire& l,
+                                                       const Wire& r) {
+  // t = s * (r - l); first = l + t; second = r - t.
+  const Wire t = mul(s, sub(r, l), "cond_swap");
+  return {add(l, t), sub(r, t)};
+}
+
+}  // namespace waku::zksnark

@@ -1,0 +1,73 @@
+// Circuit builder: simultaneously constructs R1CS constraints and the
+// witness assignment, gadget-style. Linear operations are free (folded into
+// linear combinations); each multiplication or materialization costs one
+// constraint, mirroring how Semaphore/RLN circuits are written in circom.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "zksnark/r1cs.hpp"
+
+namespace waku::zksnark {
+
+/// A value flowing through the circuit: a linear combination over allocated
+/// variables plus its concrete witness value.
+struct Wire {
+  LinearCombination lc;
+  Fr value;
+};
+
+class CircuitBuilder {
+ public:
+  CircuitBuilder() { assignment_.push_back(Fr::one()); }
+
+  /// Allocates a public input carrying `value`.
+  Wire public_input(const Fr& value);
+
+  /// Allocates a private witness variable carrying `value`.
+  Wire witness(const Fr& value);
+
+  /// The constant-one wire scaled by c.
+  static Wire constant(const Fr& c);
+
+  // Linear operations: no constraints added.
+  static Wire add(const Wire& a, const Wire& b);
+  static Wire sub(const Wire& a, const Wire& b);
+  static Wire scale(const Wire& a, const Fr& k);
+
+  /// a * b; allocates one product variable and one constraint.
+  Wire mul(const Wire& a, const Wire& b, const std::string& note = {});
+
+  /// Returns a single-variable wire equal to `a` (one constraint). Used to
+  /// stop linear-combination growth in iterated constructions (Poseidon).
+  Wire materialize(const Wire& a, const std::string& note = {});
+
+  /// Enforces a == b (one constraint).
+  void assert_equal(const Wire& a, const Wire& b, const std::string& note = {});
+
+  /// Enforces that `bit` is 0 or 1 (one constraint).
+  void assert_boolean(const Wire& bit, const std::string& note = {});
+
+  /// (s == 0) ? (l, r) : (r, l) — the Merkle path ordering switch.
+  /// Costs one constraint; `s` must already be boolean-constrained.
+  std::pair<Wire, Wire> conditional_swap(const Wire& s, const Wire& l,
+                                         const Wire& r);
+
+  [[nodiscard]] const ConstraintSystem& cs() const { return cs_; }
+  [[nodiscard]] std::span<const Fr> assignment() const { return assignment_; }
+
+  /// Sanity: the built witness satisfies the built constraints.
+  [[nodiscard]] bool satisfied(std::string* first_violation = nullptr) const {
+    return cs_.is_satisfied(assignment_, first_violation);
+  }
+
+ private:
+  Wire allocate(const Fr& value, bool is_public);
+
+  ConstraintSystem cs_;
+  std::vector<Fr> assignment_;
+};
+
+}  // namespace waku::zksnark

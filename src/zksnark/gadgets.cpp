@@ -1,0 +1,136 @@
+#include "zksnark/gadgets.hpp"
+
+#include "common/expect.hpp"
+#include "hash/poseidon.hpp"
+
+namespace waku::zksnark {
+
+using hash::PoseidonParams;
+
+Wire sbox_gadget(CircuitBuilder& b, const Wire& x) {
+  const Wire x2 = b.mul(x, x, "sbox_x2");
+  const Wire x4 = b.mul(x2, x2, "sbox_x4");
+  return b.mul(x4, x, "sbox_x5");
+}
+
+void poseidon_permute_gadget(CircuitBuilder& b, std::vector<Wire>& state) {
+  const std::size_t t = state.size();
+  const PoseidonParams& p = hash::poseidon_params(t);
+  const std::size_t half_full = p.full_rounds / 2;
+
+  auto mix = [&](std::vector<Wire>& s) {
+    std::vector<Wire> next;
+    next.reserve(t);
+    for (std::size_t i = 0; i < t; ++i) {
+      Wire acc = CircuitBuilder::constant(Fr::zero());
+      for (std::size_t j = 0; j < t; ++j) {
+        acc = CircuitBuilder::add(acc, CircuitBuilder::scale(s[j], p.m(i, j)));
+      }
+      next.push_back(acc);
+    }
+    s = std::move(next);
+  };
+
+  std::size_t round = 0;
+  for (std::size_t r = 0; r < half_full; ++r, ++round) {
+    for (std::size_t i = 0; i < t; ++i) {
+      const Wire arc =
+          CircuitBuilder::add(state[i], CircuitBuilder::constant(p.rc(round, i)));
+      state[i] = sbox_gadget(b, arc);
+    }
+    mix(state);
+  }
+  for (std::size_t r = 0; r < p.partial_rounds; ++r, ++round) {
+    for (std::size_t i = 0; i < t; ++i) {
+      state[i] = CircuitBuilder::add(state[i],
+                                     CircuitBuilder::constant(p.rc(round, i)));
+    }
+    state[0] = sbox_gadget(b, state[0]);
+    // Materialize the linear lanes so combination sizes stay bounded across
+    // the 56+ partial rounds (cost: t-1 constraints per round).
+    for (std::size_t i = 1; i < t; ++i) {
+      state[i] = b.materialize(state[i], "poseidon_partial_lane");
+    }
+    mix(state);
+  }
+  for (std::size_t r = 0; r < half_full; ++r, ++round) {
+    for (std::size_t i = 0; i < t; ++i) {
+      const Wire arc =
+          CircuitBuilder::add(state[i], CircuitBuilder::constant(p.rc(round, i)));
+      state[i] = sbox_gadget(b, arc);
+    }
+    mix(state);
+  }
+}
+
+Wire poseidon_gadget(CircuitBuilder& b, std::span<const Wire> inputs) {
+  WAKU_EXPECTS(!inputs.empty() && inputs.size() <= 4);
+  std::vector<Wire> state;
+  state.reserve(inputs.size() + 1);
+  state.push_back(CircuitBuilder::constant(Fr::zero()));
+  for (const Wire& w : inputs) state.push_back(w);
+  poseidon_permute_gadget(b, state);
+  return state[0];
+}
+
+Wire poseidon1_gadget(CircuitBuilder& b, const Wire& a) {
+  const std::array<Wire, 1> in{a};
+  return poseidon_gadget(b, in);
+}
+
+Wire poseidon2_gadget(CircuitBuilder& b, const Wire& a, const Wire& c) {
+  const std::array<Wire, 2> in{a, c};
+  return poseidon_gadget(b, in);
+}
+
+std::vector<Wire> bits_gadget(CircuitBuilder& b, const Wire& value,
+                              std::size_t bits) {
+  WAKU_EXPECTS(bits >= 1 && bits <= 64);
+  // Witness values must fit: extract the low 64 bits of the canonical form.
+  const std::uint64_t v = value.value.to_u256().limb[0];
+  WAKU_EXPECTS(value.value.to_u256() == ff::U256{v});
+  WAKU_EXPECTS(bits == 64 || v < (std::uint64_t{1} << bits));
+
+  std::vector<Wire> out;
+  out.reserve(bits);
+  Wire sum = CircuitBuilder::constant(Fr::zero());
+  Fr weight = Fr::one();
+  for (std::size_t i = 0; i < bits; ++i) {
+    const Wire bit = b.witness(((v >> i) & 1) ? Fr::one() : Fr::zero());
+    b.assert_boolean(bit, "range_bit");
+    sum = CircuitBuilder::add(sum, CircuitBuilder::scale(bit, weight));
+    weight += weight;
+    out.push_back(bit);
+  }
+  b.assert_equal(sum, value, "range_recompose");
+  return out;
+}
+
+void assert_less_than(CircuitBuilder& b, const Wire& a, const Wire& b_bound,
+                      std::size_t bits) {
+  WAKU_EXPECTS(bits >= 1 && bits <= 62);
+  // t = a + 2^bits - b; a < b  <=>  t < 2^bits  <=>  bit `bits` of t is 0.
+  const Wire t = CircuitBuilder::add(
+      CircuitBuilder::sub(a, b_bound),
+      CircuitBuilder::constant(Fr::from_u64(std::uint64_t{1} << bits)));
+  const std::vector<Wire> t_bits = bits_gadget(b, t, bits + 1);
+  b.assert_equal(t_bits[bits], CircuitBuilder::constant(Fr::zero()),
+                 "less_than_top_bit");
+}
+
+Wire merkle_root_gadget(CircuitBuilder& b, const Wire& leaf,
+                        const merkle::MerklePath& path) {
+  Wire cur = leaf;
+  for (std::size_t l = 0; l < path.siblings.size(); ++l) {
+    const bool bit_val = (path.index >> l) & 1;
+    const Wire bit = b.witness(bit_val ? Fr::one() : Fr::zero());
+    b.assert_boolean(bit, "merkle_index_bit");
+    const Wire sibling = b.witness(path.siblings[l]);
+    // bit == 0: cur is the left child; bit == 1: sibling is.
+    const auto [left, right] = b.conditional_swap(bit, cur, sibling);
+    cur = poseidon2_gadget(b, left, right);
+  }
+  return cur;
+}
+
+}  // namespace waku::zksnark

@@ -1,0 +1,85 @@
+#include "zksnark/rln_circuit.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/expect.hpp"
+#include "hash/poseidon.hpp"
+#include "zksnark/gadgets.hpp"
+
+namespace waku::zksnark {
+
+RlnPublicInputs rln_compute_publics(const RlnProverInput& input) {
+  const Fr pk = hash::poseidon1(input.sk);
+  const Fr a1 = hash::poseidon2(input.sk, input.epoch);
+  RlnPublicInputs out;
+  out.x = input.x;
+  out.y = input.sk + a1 * input.x;
+  out.nullifier = hash::poseidon1(a1);
+  out.epoch = input.epoch;
+  out.root = merkle::compute_root(pk, input.path);
+  return out;
+}
+
+RlnCircuit build_rln_circuit(const RlnProverInput& input) {
+  WAKU_EXPECTS(!input.path.siblings.empty());
+  RlnCircuit circuit;
+  circuit.publics = rln_compute_publics(input);
+  CircuitBuilder& b = circuit.builder;
+
+  // Public inputs first (Groth16 variable layout).
+  const Wire x = b.public_input(circuit.publics.x);
+  const Wire y = b.public_input(circuit.publics.y);
+  const Wire nullifier = b.public_input(circuit.publics.nullifier);
+  const Wire epoch = b.public_input(circuit.publics.epoch);
+  const Wire root = b.public_input(circuit.publics.root);
+
+  // Private witness.
+  const Wire sk = b.witness(input.sk);
+
+  // (1) membership: pk = Poseidon(sk) sits in the tree under `root`.
+  const Wire pk = poseidon1_gadget(b, sk);
+  const Wire computed_root = merkle_root_gadget(b, pk, input.path);
+  b.assert_equal(computed_root, root, "membership_root");
+
+  // (2) share validity: y = sk + a1 * x, a1 = Poseidon(sk, epoch).
+  const Wire a1 = poseidon2_gadget(b, sk, epoch);
+  const Wire a1x = b.mul(a1, x, "share_slope_times_x");
+  b.assert_equal(CircuitBuilder::add(sk, a1x), y, "share_validity");
+
+  // (3) nullifier correctness: phi = Poseidon(a1).
+  const Wire phi = poseidon1_gadget(b, a1);
+  b.assert_equal(phi, nullifier, "nullifier_correctness");
+
+  WAKU_ENSURES(circuit.builder.satisfied());
+  return circuit;
+}
+
+ConstraintSystem rln_constraint_system(std::size_t depth) {
+  WAKU_EXPECTS(depth >= 1);
+  RlnProverInput dummy;
+  dummy.sk = Fr::from_u64(1);
+  dummy.path.index = 0;
+  dummy.path.siblings.assign(depth, Fr::zero());
+  dummy.x = Fr::from_u64(2);
+  dummy.epoch = Fr::from_u64(3);
+  RlnCircuit circuit = build_rln_circuit(dummy);
+  return circuit.builder.cs();
+}
+
+const Keypair& rln_keypair(std::size_t depth) {
+  static std::map<std::size_t, Keypair> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(depth);
+  if (it == cache.end()) {
+    // Deterministic ceremony randomness per depth: reproducible benches,
+    // and every node in a simulation shares the same artifact.
+    Rng rng(0x524c4e00 + depth);  // "RLN" + depth
+    const ConstraintSystem cs = rln_constraint_system(depth);
+    it = cache.emplace(depth, trusted_setup(cs, rng)).first;
+  }
+  return it->second;
+}
+
+}  // namespace waku::zksnark

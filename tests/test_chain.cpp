@@ -1,0 +1,455 @@
+// Tests for the chain simulator and both membership contracts: gas
+// accounting, balances, reverts, events, the flat-list vs on-chain-tree
+// cost asymmetry (paper §III-A), commit-reveal slashing (§III-F), and the
+// early-withdrawal escape (§IV-B).
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "chain/rln_contract.hpp"
+#include "chain/semaphore_contract.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "hash/poseidon.hpp"
+#include "merkle/merkle_tree.hpp"
+
+namespace waku::chain {
+namespace {
+
+using ff::Fr;
+using ff::U256;
+
+constexpr Gwei kDeposit = 1'000'000;  // 0.001 ETH in gwei
+
+struct ChainFixture : ::testing::Test {
+  Blockchain chain;
+  Address rln_addr;
+  Address alice = Address::from_u64(0xA11CE);
+  Address bob = Address::from_u64(0xB0B);
+  Rng rng{31337};
+
+  void SetUp() override {
+    rln_addr = chain.deploy(std::make_unique<RlnMembershipContract>(kDeposit));
+    chain.create_account(alice, 100 * kGweiPerEth);
+    chain.create_account(bob, 100 * kGweiPerEth);
+  }
+
+  RlnMembershipContract& rln() {
+    return chain.contract_at<RlnMembershipContract>(rln_addr);
+  }
+
+  Transaction register_tx(const Address& from, const Fr& pk) {
+    Transaction tx;
+    tx.from = from;
+    tx.to = rln_addr;
+    tx.method = "register";
+    tx.calldata = pk.to_bytes_be();
+    tx.value = kDeposit;
+    return tx;
+  }
+
+  TxReceipt run(Transaction tx) {
+    const auto handle = chain.submit(std::move(tx));
+    chain.mine_block(chain.height() * 12'000);
+    return *chain.receipt(handle);
+  }
+};
+
+TEST_F(ChainFixture, AccountsAndBalances) {
+  EXPECT_EQ(chain.balance(alice), 100 * kGweiPerEth);
+  EXPECT_EQ(chain.balance(Address::from_u64(999)), 0u);
+}
+
+TEST_F(ChainFixture, RegisterSucceedsAndDepositsStake) {
+  const Fr sk = Fr::random(rng);
+  const Fr pk = hash::poseidon1(sk);
+  const TxReceipt r = run(register_tx(alice, pk));
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  EXPECT_EQ(rln().member_count_view(), 1u);
+  EXPECT_EQ(rln().member_at_view(0), pk.to_u256());
+  EXPECT_EQ(chain.balance(rln_addr), kDeposit);
+}
+
+TEST_F(ChainFixture, RegisterEmitsEvent) {
+  const Fr pk = hash::poseidon1(Fr::random(rng));
+  const TxReceipt r = run(register_tx(alice, pk));
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].name, "MemberRegistered");
+  EXPECT_EQ(r.events[0].topics[0], U256{0});
+  EXPECT_EQ(r.events[0].topics[1], pk.to_u256());
+}
+
+TEST_F(ChainFixture, RegisterChargesFeeFromSender) {
+  const Gwei before = chain.balance(alice);
+  const TxReceipt r = run(register_tx(alice, hash::poseidon1(Fr::one())));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(chain.balance(alice), before - kDeposit - r.fee_paid);
+}
+
+TEST_F(ChainFixture, RegisterGasIsNearPaperFigure) {
+  // Paper §IV-A: ~40k gas per membership on the flat-list contract. The
+  // first registration pays a one-time count-slot initialization, so the
+  // steady-state figure is the second one.
+  ASSERT_TRUE(run(register_tx(bob, hash::poseidon1(Fr::from_u64(2)))).success);
+  const TxReceipt r = run(register_tx(alice, hash::poseidon1(Fr::one())));
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.gas_used, 30'000u);
+  EXPECT_LT(r.gas_used, 55'000u);
+}
+
+TEST_F(ChainFixture, WrongDepositReverts) {
+  Transaction tx = register_tx(alice, hash::poseidon1(Fr::one()));
+  tx.value = kDeposit / 2;
+  const TxReceipt r = run(std::move(tx));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.revert_reason, "register: wrong deposit");
+  EXPECT_EQ(rln().member_count_view(), 0u);
+  EXPECT_EQ(chain.balance(rln_addr), 0u);  // value transfer unwound
+}
+
+TEST_F(ChainFixture, ZeroCommitmentReverts) {
+  const TxReceipt r = run(register_tx(alice, Fr::zero()));
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(ChainFixture, RevertRefundsValueButChargesGas) {
+  const Gwei before = chain.balance(alice);
+  Transaction tx = register_tx(alice, hash::poseidon1(Fr::one()));
+  tx.value = 1;  // wrong deposit
+  const TxReceipt r = run(std::move(tx));
+  ASSERT_FALSE(r.success);
+  EXPECT_GT(r.fee_paid, 0u);
+  EXPECT_EQ(chain.balance(alice), before - r.fee_paid);
+}
+
+TEST_F(ChainFixture, InsufficientFundsFailsWithoutStateChange) {
+  const Address pauper = Address::from_u64(0xDEAD);
+  chain.create_account(pauper, 10);  // can't even cover gas
+  const TxReceipt r = run(register_tx(pauper, hash::poseidon1(Fr::one())));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(chain.balance(pauper), 10u);
+}
+
+TEST_F(ChainFixture, BatchRegistrationAmortizesGas) {
+  // Paper §IV-A: batching halves per-member insertion cost (~40k -> ~20k).
+  const TxReceipt single = run(register_tx(alice, hash::poseidon1(Fr::one())));
+
+  constexpr std::uint32_t kBatch = 16;
+  ByteWriter w;
+  w.write_u32(kBatch);
+  for (std::uint32_t i = 0; i < kBatch; ++i) {
+    w.write_raw(hash::poseidon1(Fr::from_u64(100 + i)).to_bytes_be());
+  }
+  Transaction tx;
+  tx.from = bob;
+  tx.to = rln_addr;
+  tx.method = "register_batch";
+  tx.calldata = std::move(w).take();
+  tx.value = kDeposit * kBatch;
+  const TxReceipt batch = run(std::move(tx));
+  ASSERT_TRUE(batch.success) << batch.revert_reason;
+  EXPECT_EQ(rln().member_count_view(), 1 + kBatch);
+
+  const std::uint64_t per_member = batch.gas_used / kBatch;
+  EXPECT_LT(per_member, single.gas_used * 6 / 10);  // >=40% saving
+}
+
+TEST_F(ChainFixture, BatchWithWrongValueReverts) {
+  ByteWriter w;
+  w.write_u32(2);
+  w.write_raw(hash::poseidon1(Fr::from_u64(1)).to_bytes_be());
+  w.write_raw(hash::poseidon1(Fr::from_u64(2)).to_bytes_be());
+  Transaction tx;
+  tx.from = alice;
+  tx.to = rln_addr;
+  tx.method = "register_batch";
+  tx.calldata = std::move(w).take();
+  tx.value = kDeposit;  // should be 2x
+  EXPECT_FALSE(run(std::move(tx)).success);
+}
+
+struct SlashFixture : ChainFixture {
+  Fr spammer_sk;
+  std::uint64_t spammer_index = 0;
+
+  void SetUp() override {
+    ChainFixture::SetUp();
+    spammer_sk = Fr::random(rng);
+    const TxReceipt r = run(register_tx(alice, hash::poseidon1(spammer_sk)));
+    ASSERT_TRUE(r.success);
+    spammer_index = 0;
+  }
+
+  Transaction commit_tx(const Address& slasher, const U256& salt) {
+    Transaction tx;
+    tx.from = slasher;
+    tx.to = rln_addr;
+    tx.method = "commit_slash";
+    tx.calldata = u256_to_bytes_be(RlnMembershipContract::make_slash_commitment(
+        spammer_sk, salt, slasher));
+    return tx;
+  }
+
+  Transaction reveal_tx(const Address& slasher, const U256& salt) {
+    ByteWriter w;
+    w.write_raw(spammer_sk.to_bytes_be());
+    w.write_raw(u256_to_bytes_be(salt));
+    w.write_u64(spammer_index);
+    Transaction tx;
+    tx.from = slasher;
+    tx.to = rln_addr;
+    tx.method = "reveal_slash";
+    tx.calldata = std::move(w).take();
+    return tx;
+  }
+};
+
+TEST_F(SlashFixture, CommitRevealSlashPaysReward) {
+  const U256 salt{777};
+  ASSERT_TRUE(run(commit_tx(bob, salt)).success);
+
+  const Gwei before = chain.balance(bob);
+  const TxReceipt r = run(reveal_tx(bob, salt));
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  EXPECT_EQ(chain.balance(bob), before + kDeposit - r.fee_paid);
+  EXPECT_TRUE(rln().member_at_view(spammer_index).is_zero());
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].name, "MemberSlashed");
+}
+
+TEST_F(SlashFixture, RevealInSameBlockAsCommitReverts) {
+  const U256 salt{778};
+  chain.submit(commit_tx(bob, salt));
+  const auto h = chain.submit(reveal_tx(bob, salt));
+  chain.mine_block(24'000);
+  EXPECT_FALSE(chain.receipt(h)->success);  // commit not yet mature
+}
+
+TEST_F(SlashFixture, RevealWithoutCommitReverts) {
+  const TxReceipt r = run(reveal_tx(bob, U256{779}));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.revert_reason, "reveal_slash: no matching commitment");
+}
+
+TEST_F(SlashFixture, CopiedRevealCannotStealReward) {
+  // The §III-F race: alice observes bob's reveal in the mempool and copies
+  // the sk. With commit-reveal, her reveal fails (commitment binds bob).
+  const U256 salt{780};
+  ASSERT_TRUE(run(commit_tx(bob, salt)).success);
+
+  // Alice's copied reveal, front-running bob's in the same block.
+  ByteWriter w;
+  w.write_raw(spammer_sk.to_bytes_be());
+  w.write_raw(u256_to_bytes_be(salt));
+  w.write_u64(spammer_index);
+  Transaction steal;
+  steal.from = alice;
+  steal.to = rln_addr;
+  steal.method = "reveal_slash";
+  steal.calldata = std::move(w).take();
+
+  const auto h_alice = chain.submit(std::move(steal));
+  const auto h_bob = chain.submit(reveal_tx(bob, salt));
+  chain.mine_block(36'000);
+  EXPECT_FALSE(chain.receipt(h_alice)->success);
+  EXPECT_TRUE(chain.receipt(h_bob)->success);
+}
+
+TEST_F(SlashFixture, DirectSlashIsFrontRunnable) {
+  // Without commit-reveal the copier who lands first wins — the race the
+  // paper warns about (E10 quantifies it).
+  ByteWriter w;
+  w.write_raw(spammer_sk.to_bytes_be());
+  w.write_u64(spammer_index);
+  Transaction honest;
+  honest.from = bob;
+  honest.to = rln_addr;
+  honest.method = "slash_direct";
+  honest.calldata = w.data();
+
+  Transaction thief = honest;
+  thief.from = alice;  // front-runner
+
+  const auto h_thief = chain.submit(std::move(thief));
+  const auto h_honest = chain.submit(std::move(honest));
+  chain.mine_block(12'000);
+  EXPECT_TRUE(chain.receipt(h_thief)->success);
+  EXPECT_FALSE(chain.receipt(h_honest)->success);
+}
+
+TEST_F(SlashFixture, SlashWithWrongSkReverts) {
+  ByteWriter w;
+  w.write_raw(Fr::random(rng).to_bytes_be());
+  w.write_u64(spammer_index);
+  Transaction tx;
+  tx.from = bob;
+  tx.to = rln_addr;
+  tx.method = "slash_direct";
+  tx.calldata = std::move(w).take();
+  const TxReceipt r = run(std::move(tx));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.revert_reason, "identity key does not match member");
+}
+
+TEST_F(SlashFixture, WithdrawReturnsDeposit) {
+  // §IV-B "escaping punishment by early withdrawal": the spammer exits
+  // before being slashed and reclaims the stake.
+  ByteWriter w;
+  w.write_raw(spammer_sk.to_bytes_be());
+  w.write_u64(spammer_index);
+  Transaction tx;
+  tx.from = alice;
+  tx.to = rln_addr;
+  tx.method = "withdraw";
+  tx.calldata = std::move(w).take();
+  const Gwei before = chain.balance(alice);
+  const TxReceipt r = run(std::move(tx));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(chain.balance(alice), before + kDeposit - r.fee_paid);
+
+  // Late slashing attempt now fails: the slot is empty.
+  ByteWriter w2;
+  w2.write_raw(spammer_sk.to_bytes_be());
+  w2.write_u64(spammer_index);
+  Transaction slash;
+  slash.from = bob;
+  slash.to = rln_addr;
+  slash.method = "slash_direct";
+  slash.calldata = std::move(w2).take();
+  EXPECT_FALSE(run(std::move(slash)).success);
+}
+
+TEST_F(ChainFixture, EventsReachSubscribers) {
+  std::vector<std::string> seen;
+  chain.subscribe_events([&](const Event& ev) { seen.push_back(ev.name); });
+  run(register_tx(alice, hash::poseidon1(Fr::one())));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "MemberRegistered");
+}
+
+TEST_F(ChainFixture, PendingTransactionsWaitForBlock) {
+  chain.submit(register_tx(alice, hash::poseidon1(Fr::one())));
+  EXPECT_EQ(chain.pending_count(), 1u);
+  EXPECT_EQ(rln().member_count_view(), 0u);  // not yet visible (§IV-A delay)
+  chain.mine_block(12'000);
+  EXPECT_EQ(chain.pending_count(), 0u);
+  EXPECT_EQ(rln().member_count_view(), 1u);
+}
+
+TEST_F(ChainFixture, StaticCallDoesNotMutate) {
+  run(register_tx(alice, hash::poseidon1(Fr::one())));
+  const Bytes out = chain.static_call(rln_addr, "member_count", {});
+  ByteReader r(out);
+  EXPECT_EQ(r.read_u64(), 1u);
+  EXPECT_EQ(chain.balance(alice), chain.balance(alice));
+}
+
+TEST_F(ChainFixture, UnknownMethodReverts) {
+  Transaction tx;
+  tx.from = alice;
+  tx.to = rln_addr;
+  tx.method = "no_such_method";
+  EXPECT_FALSE(run(std::move(tx)).success);
+}
+
+// --- Semaphore baseline contract ---
+
+struct SemaphoreFixture : ::testing::Test {
+  static constexpr std::size_t kDepth = 16;
+  Blockchain chain;
+  Address sem_addr;
+  Address alice = Address::from_u64(0xA11CE);
+  Rng rng{271828};
+
+  void SetUp() override {
+    sem_addr =
+        chain.deploy(std::make_unique<SemaphoreContract>(kDepth, kDeposit));
+    chain.create_account(alice, 1000 * kGweiPerEth);
+  }
+
+  SemaphoreContract& sem() {
+    return chain.contract_at<SemaphoreContract>(sem_addr);
+  }
+
+  TxReceipt register_pk(const Fr& pk) {
+    Transaction tx;
+    tx.from = alice;
+    tx.to = sem_addr;
+    tx.method = "register";
+    tx.calldata = pk.to_bytes_be();
+    tx.value = kDeposit;
+    const auto h = chain.submit(std::move(tx));
+    chain.mine_block(chain.height() * 12'000);
+    return *chain.receipt(h);
+  }
+};
+
+TEST_F(SemaphoreFixture, OnChainTreeMatchesOffChainTree) {
+  merkle::IncrementalMerkleTree reference(kDepth);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const Fr pk = hash::poseidon1(Fr::from_u64(500 + i));
+    ASSERT_TRUE(register_pk(pk).success);
+    reference.insert(pk);
+    EXPECT_EQ(sem().root_view(), reference.root().to_u256()) << "member " << i;
+  }
+}
+
+TEST_F(SemaphoreFixture, InsertionGasIsLogarithmicAndLarge) {
+  // The §III-A motivation: on-chain tree maintenance costs orders of
+  // magnitude more than the flat list (which is ~40k).
+  const TxReceipt r = register_pk(hash::poseidon1(Fr::one()));
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.gas_used, 500'000u);  // ~depth * (poseidon + sstore)
+}
+
+TEST_F(SemaphoreFixture, RemovalCostsAsMuchAsInsertion) {
+  ASSERT_TRUE(register_pk(hash::poseidon1(Fr::one())).success);
+  ByteWriter w;
+  w.write_u64(0);
+  Transaction tx;
+  tx.from = alice;
+  tx.to = sem_addr;
+  tx.method = "remove";
+  tx.calldata = std::move(w).take();
+  const auto h = chain.submit(std::move(tx));
+  chain.mine_block(99'000);
+  const TxReceipt r = *chain.receipt(h);
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  EXPECT_GT(r.gas_used, 500'000u);
+
+  merkle::IncrementalMerkleTree reference(kDepth);
+  reference.insert(hash::poseidon1(Fr::one()));
+  reference.remove(0);
+  EXPECT_EQ(sem().root_view(), reference.root().to_u256());
+}
+
+TEST_F(SemaphoreFixture, BroadcastStoresSignalAndBlocksDoubles) {
+  ASSERT_TRUE(register_pk(hash::poseidon1(Fr::one())).success);
+
+  const U256 nullifier{42};
+  ByteWriter w;
+  w.write_raw(u256_to_bytes_be(nullifier));
+  const Bytes payload = to_bytes("hello semaphore");
+  w.write_u32(static_cast<std::uint32_t>(payload.size()));
+  w.write_raw(payload);
+
+  Transaction tx;
+  tx.from = alice;
+  tx.to = sem_addr;
+  tx.method = "broadcast_signal";
+  tx.calldata = w.data();
+  const auto h1 = chain.submit(tx);
+  chain.mine_block(50'000);
+  const TxReceipt r1 = *chain.receipt(h1);
+  ASSERT_TRUE(r1.success) << r1.revert_reason;
+  EXPECT_EQ(sem().signal_count_view(), 1u);
+  // Messaging through the contract costs real gas per message (E9).
+  EXPECT_GT(r1.gas_used, SemaphoreContract::kGroth16VerifyGas);
+
+  // Same nullifier again: double-signal rejected on-chain.
+  const auto h2 = chain.submit(tx);
+  chain.mine_block(62'000);
+  EXPECT_FALSE(chain.receipt(h2)->success);
+}
+
+}  // namespace
+}  // namespace waku::chain

@@ -1,0 +1,168 @@
+// Property tests over the chain simulator: conservation of value and gas
+// accounting invariants under randomized transaction workloads.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "chain/rln_contract.hpp"
+#include "common/serde.hpp"
+#include "hash/poseidon.hpp"
+
+namespace waku::chain {
+namespace {
+
+using ff::Fr;
+
+constexpr Gwei kDeposit = 1'000'000;
+
+// Total gwei held by accounts+contracts plus fees burned must equal the
+// initially minted supply, whatever mix of transactions executes.
+class ConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationTest, ValueIsConserved) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  Blockchain chain;
+  const Address contract =
+      chain.deploy(std::make_unique<RlnMembershipContract>(kDeposit));
+
+  constexpr std::size_t kUsers = 6;
+  constexpr Gwei kInitial = 10 * kGweiPerEth;
+  std::vector<Address> users;
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    users.push_back(Address::from_u64(0xA0000 + i));
+    chain.create_account(users.back(), kInitial);
+  }
+  const Gwei minted = kUsers * kInitial;
+
+  // Track members we know the secret of, to drive slashes/withdrawals.
+  struct Member {
+    Fr sk;
+    std::uint64_t index;
+  };
+  std::vector<Member> members;
+  Gwei fees_burned = 0;
+  std::uint64_t next_sk = 1;
+
+  for (int block = 0; block < 20; ++block) {
+    const std::size_t txs = 1 + rng.next_below(4);
+    std::vector<std::uint64_t> handles;
+    for (std::size_t t = 0; t < txs; ++t) {
+      const Address from = users[rng.next_below(kUsers)];
+      const double dice = rng.next_double();
+      Transaction tx;
+      tx.from = from;
+      tx.to = contract;
+      if (dice < 0.5 || members.empty()) {
+        const Fr sk = Fr::from_u64(1000 + next_sk++);
+        tx.method = "register";
+        tx.calldata = hash::poseidon1(sk).to_bytes_be();
+        tx.value = rng.chance(0.8) ? kDeposit : kDeposit / 2;  // some revert
+        if (tx.value == kDeposit) {
+          members.push_back(Member{sk, 0});  // index fixed up below
+        }
+      } else if (dice < 0.75) {
+        const std::size_t victim = rng.next_below(members.size());
+        ByteWriter w;
+        w.write_raw(members[victim].sk.to_bytes_be());
+        w.write_u64(members[victim].index);
+        tx.method = "slash_direct";
+        tx.calldata = std::move(w).take();
+        members.erase(members.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+      } else {
+        const std::size_t quitter = rng.next_below(members.size());
+        ByteWriter w;
+        w.write_raw(members[quitter].sk.to_bytes_be());
+        w.write_u64(members[quitter].index);
+        tx.method = "withdraw";
+        tx.calldata = std::move(w).take();
+        members.erase(members.begin() +
+                      static_cast<std::ptrdiff_t>(quitter));
+      }
+      handles.push_back(chain.submit(std::move(tx)));
+    }
+    const Block& mined =
+        chain.mine_block(static_cast<std::uint64_t>(block + 1) * 12'000);
+
+    for (const TxReceipt& r : mined.receipts) {
+      fees_burned += r.fee_paid;
+      // Learn assigned indices from events.
+      for (const Event& ev : r.events) {
+        if (ev.name == "MemberRegistered") {
+          const ff::U256 pk = ev.topics[1];
+          for (Member& m : members) {
+            if (hash::poseidon1(m.sk).to_u256() == pk) {
+              m.index = ev.topics[0].limb[0];
+            }
+          }
+        }
+      }
+    }
+    // Members whose registration reverted must be dropped. Simplest: keep
+    // only members whose pk is actually in the contract.
+    std::erase_if(members, [&](const Member& m) {
+      auto& c = chain.contract_at<RlnMembershipContract>(contract);
+      for (std::uint64_t i = 0; i < c.member_count_view(); ++i) {
+        if (c.member_at_view(i) == hash::poseidon1(m.sk).to_u256()) {
+          return false;
+        }
+      }
+      return true;
+    });
+
+    // The conservation invariant, checked after every block.
+    Gwei held = chain.balance(contract);
+    for (const Address& u : users) held += chain.balance(u);
+    ASSERT_EQ(held + fees_burned, minted)
+        << "seed " << seed << " block " << block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 0xC0FFEEu));
+
+TEST(GasInvariants, FeeEqualsGasTimesPrice) {
+  Blockchain chain;
+  const Address contract =
+      chain.deploy(std::make_unique<RlnMembershipContract>(kDeposit));
+  const Address user = Address::from_u64(0x99);
+  chain.create_account(user, 10 * kGweiPerEth);
+
+  Transaction tx;
+  tx.from = user;
+  tx.to = contract;
+  tx.method = "register";
+  tx.calldata = hash::poseidon1(Fr::one()).to_bytes_be();
+  tx.value = kDeposit;
+  tx.gas_price = 73;
+  const auto h = chain.submit(std::move(tx));
+  chain.mine_block(1000);
+  const TxReceipt r = *chain.receipt(h);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.fee_paid, r.gas_used * 73);
+}
+
+TEST(GasInvariants, RevertedTxStillConservesValue) {
+  Blockchain chain;
+  const Address contract =
+      chain.deploy(std::make_unique<RlnMembershipContract>(kDeposit));
+  const Address user = Address::from_u64(0x98);
+  chain.create_account(user, 10 * kGweiPerEth);
+
+  Transaction tx;
+  tx.from = user;
+  tx.to = contract;
+  tx.method = "register";
+  tx.calldata = hash::poseidon1(Fr::one()).to_bytes_be();
+  tx.value = kDeposit / 3;  // wrong deposit -> revert
+  const auto h = chain.submit(std::move(tx));
+  chain.mine_block(1000);
+  const TxReceipt r = *chain.receipt(h);
+  ASSERT_FALSE(r.success);
+  EXPECT_EQ(chain.balance(user) + r.fee_paid, 10 * kGweiPerEth);
+  EXPECT_EQ(chain.balance(contract), 0u);
+}
+
+}  // namespace
+}  // namespace waku::chain

@@ -1,0 +1,165 @@
+// Tests for mempool priority ordering (gas price) and block gas limits —
+// the chain mechanics behind the §III-F front-running race that
+// commit-reveal slashing defends against.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "chain/rln_contract.hpp"
+#include "common/serde.hpp"
+#include "hash/poseidon.hpp"
+
+namespace waku::chain {
+namespace {
+
+using ff::Fr;
+
+struct OrderingFixture : ::testing::Test {
+  Blockchain chain;
+  Address contract;
+  Address honest = Address::from_u64(0xAAAA);
+  Address thief = Address::from_u64(0xBBBB);
+  Fr spammer_sk = Fr::from_u64(0x5EC4E7);
+  static constexpr Gwei kDeposit = 1'000'000;
+
+  void SetUp() override {
+    contract = chain.deploy(std::make_unique<RlnMembershipContract>(kDeposit));
+    chain.create_account(honest, 10 * kGweiPerEth);
+    chain.create_account(thief, 10 * kGweiPerEth);
+    Transaction reg;
+    reg.from = honest;
+    reg.to = contract;
+    reg.method = "register";
+    reg.calldata = hash::poseidon1(spammer_sk).to_bytes_be();
+    reg.value = kDeposit;
+    chain.submit(std::move(reg));
+    chain.mine_block(0);
+  }
+
+  Transaction direct_slash(const Address& from, Gwei gas_price) {
+    ByteWriter w;
+    w.write_raw(spammer_sk.to_bytes_be());
+    w.write_u64(0);
+    Transaction tx;
+    tx.from = from;
+    tx.to = contract;
+    tx.method = "slash_direct";
+    tx.calldata = std::move(w).take();
+    tx.gas_price = gas_price;
+    return tx;
+  }
+};
+
+TEST_F(OrderingFixture, HigherGasPriceWinsTheBlock) {
+  // Thief submits SECOND but outbids -> executes first -> steals reward.
+  const auto h_honest = chain.submit(direct_slash(honest, 50));
+  const auto h_thief = chain.submit(direct_slash(thief, 500));
+  chain.mine_block(12'000);
+  EXPECT_FALSE(chain.receipt(h_honest)->success);
+  EXPECT_TRUE(chain.receipt(h_thief)->success);
+  // The thief collected the deposit (even if the 10x gas bid cost more
+  // than this small test deposit is worth).
+  EXPECT_EQ(chain.balance(thief),
+            10 * kGweiPerEth - chain.receipt(h_thief)->fee_paid + kDeposit);
+}
+
+TEST_F(OrderingFixture, EqualBidsKeepSubmissionOrder) {
+  const auto h_first = chain.submit(direct_slash(honest, 50));
+  const auto h_second = chain.submit(direct_slash(thief, 50));
+  chain.mine_block(12'000);
+  EXPECT_TRUE(chain.receipt(h_first)->success);
+  EXPECT_FALSE(chain.receipt(h_second)->success);
+}
+
+TEST_F(OrderingFixture, CommitRevealDefeatsOutbidding) {
+  // Even with 10x the gas price, a copied reveal reverts: the commitment
+  // hashes the slasher's own address.
+  const ff::U256 salt{7};
+  Transaction commit;
+  commit.from = honest;
+  commit.to = contract;
+  commit.method = "commit_slash";
+  commit.calldata = ff::u256_to_bytes_be(
+      RlnMembershipContract::make_slash_commitment(spammer_sk, salt, honest));
+  chain.submit(std::move(commit));
+  chain.mine_block(12'000);
+
+  ByteWriter w;
+  w.write_raw(spammer_sk.to_bytes_be());
+  w.write_raw(ff::u256_to_bytes_be(salt));
+  w.write_u64(0);
+  Transaction reveal;
+  reveal.from = honest;
+  reveal.to = contract;
+  reveal.method = "reveal_slash";
+  reveal.calldata = w.data();
+  reveal.gas_price = 50;
+
+  Transaction stolen = reveal;
+  stolen.from = thief;
+  stolen.gas_price = 500;  // front-run attempt
+
+  const auto h_honest = chain.submit(std::move(reveal));
+  const auto h_thief = chain.submit(std::move(stolen));
+  chain.mine_block(24'000);
+  EXPECT_FALSE(chain.receipt(h_thief)->success);
+  EXPECT_TRUE(chain.receipt(h_honest)->success);
+}
+
+TEST(BlockGasLimit, OverflowingTransactionsWaitForNextBlock) {
+  Blockchain::Config cfg;
+  cfg.block_gas_limit = 60'000;  // fits ~1 registration + change
+  Blockchain chain(cfg);
+  const Address contract =
+      chain.deploy(std::make_unique<RlnMembershipContract>(1'000'000));
+  const Address user = Address::from_u64(0xCC);
+  chain.create_account(user, 10 * kGweiPerEth);
+
+  std::vector<std::uint64_t> handles;
+  for (int i = 0; i < 3; ++i) {
+    Transaction tx;
+    tx.from = user;
+    tx.to = contract;
+    tx.method = "register";
+    tx.calldata = hash::poseidon1(Fr::from_u64(10 + i)).to_bytes_be();
+    tx.value = 1'000'000;
+    handles.push_back(chain.submit(std::move(tx)));
+  }
+  chain.mine_block(1'000);
+  // Only part of the queue fit.
+  EXPECT_TRUE(chain.receipt(handles[0]).has_value());
+  EXPECT_FALSE(chain.receipt(handles[2]).has_value());
+  EXPECT_GT(chain.pending_count(), 0u);
+  chain.mine_block(2'000);
+  chain.mine_block(3'000);
+  EXPECT_TRUE(chain.receipt(handles[2]).has_value());
+  EXPECT_TRUE(chain.receipt(handles[2])->success);
+}
+
+TEST(OutOfGasHandling, GasLimitExceededFailsButCharges) {
+  Blockchain chain;
+  const Address contract =
+      chain.deploy(std::make_unique<RlnMembershipContract>(1'000'000));
+  const Address user = Address::from_u64(0xDD);
+  chain.create_account(user, 10 * kGweiPerEth);
+
+  Transaction tx;
+  tx.from = user;
+  tx.to = contract;
+  tx.method = "register";
+  tx.calldata = hash::poseidon1(Fr::one()).to_bytes_be();
+  tx.value = 1'000'000;
+  tx.gas_limit = 30'000;  // below the ~65k a first registration needs
+  const auto h = chain.submit(std::move(tx));
+  chain.mine_block(1'000);
+  const TxReceipt r = *chain.receipt(h);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.revert_reason, "out of gas");
+  EXPECT_GT(r.fee_paid, 0u);
+  // State rolled back: no member registered, deposit refunded.
+  EXPECT_EQ(
+      chain.contract_at<RlnMembershipContract>(contract).member_count_view(),
+      0u);
+}
+
+}  // namespace
+}  // namespace waku::chain

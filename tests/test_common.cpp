@@ -1,0 +1,143 @@
+// Unit tests for the common substrate: hex, serde, rng, contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+
+namespace waku {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(to_hex0x(data), "0x0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0x0001ABff7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+  EXPECT_TRUE(from_hex("0x").empty());
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, FromHexRejectsBadDigit) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(from_hex("deadbeef"), from_hex("deadbeef")));
+  EXPECT_FALSE(ct_equal(from_hex("deadbeef"), from_hex("deadbeee")));
+  EXPECT_FALSE(ct_equal(from_hex("dead"), from_hex("deadbeef")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello waku";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, Concat) {
+  EXPECT_EQ(concat(from_hex("dead"), from_hex("beef")), from_hex("deadbeef"));
+}
+
+TEST(Serde, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xab);
+  w.write_u16(0x1234);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_bytes(from_hex("cafe"));
+  w.write_string("topic");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_u8(), 0xab);
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefU);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.read_bytes(), from_hex("cafe"));
+  EXPECT_EQ(r.read_string(), "topic");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, LittleEndianLayout) {
+  ByteWriter w;
+  w.write_u32(0x01020304);
+  EXPECT_EQ(to_hex(w.data()), "04030201");
+}
+
+TEST(Serde, TruncatedInputThrows) {
+  ByteWriter w;
+  w.write_u16(7);
+  ByteReader r(w.data());
+  EXPECT_NO_THROW(r.read_u8());
+  EXPECT_THROW(r.read_u32(), std::out_of_range);
+}
+
+TEST(Serde, TruncatedLengthPrefixThrows) {
+  ByteWriter w;
+  w.write_u32(100);  // claims 100 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_THROW(r.read_bytes(), std::out_of_range);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BytesLength) {
+  Rng rng(5);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 31u, 32u, 100u}) {
+    EXPECT_EQ(rng.next_bytes(n).size(), n);
+  }
+}
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(WAKU_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(WAKU_EXPECTS(true));
+}
+
+}  // namespace
+}  // namespace waku

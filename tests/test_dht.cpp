@@ -1,0 +1,250 @@
+// Tests for the Kademlia DHT substrate and the DHT-backed group directory
+// (the paper's §IV-A future-work extension).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dht/kademlia.hpp"
+#include "hash/poseidon.hpp"
+#include "rln/dht_group.hpp"
+
+namespace waku::dht {
+namespace {
+
+TEST(XorMetric, Identity) {
+  const Key a = key_of_content(to_bytes("a"));
+  EXPECT_EQ(bucket_index(xor_distance(a, a)), -1);
+}
+
+TEST(XorMetric, Symmetry) {
+  const Key a = key_of_content(to_bytes("a"));
+  const Key b = key_of_content(to_bytes("b"));
+  EXPECT_EQ(xor_distance(a, b), xor_distance(b, a));
+}
+
+TEST(XorMetric, TriangleViaXor) {
+  // d(a,c) = d(a,b) XOR d(b,c) — the defining Kademlia property.
+  const Key a = key_of_content(to_bytes("a"));
+  const Key b = key_of_content(to_bytes("b"));
+  const Key c = key_of_content(to_bytes("c"));
+  EXPECT_EQ(xor_distance(a, c),
+            xor_distance(xor_distance(a, b), xor_distance(b, c)));
+}
+
+TEST(XorMetric, BucketIndexMatchesHighBit) {
+  Key d{};
+  d[0] = 0x80;
+  EXPECT_EQ(bucket_index(d), 255);
+  d[0] = 0x01;
+  EXPECT_EQ(bucket_index(d), 248);
+  d[0] = 0;
+  d[31] = 0x01;
+  EXPECT_EQ(bucket_index(d), 0);
+}
+
+struct DhtSwarm {
+  net::Simulator sim;
+  net::Network net{sim, {.base_latency_ms = 10, .jitter_ms = 5,
+                         .loss_rate = 0}, 0xD47};
+  std::vector<std::unique_ptr<DhtNode>> nodes;
+
+  explicit DhtSwarm(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<DhtNode>(net));
+    }
+    // Full mesh links (the DHT's own routing chooses who to talk to).
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        net.connect(nodes[i]->node_id(), nodes[j]->node_id());
+      }
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      nodes[i]->bootstrap(nodes[0]->node_id());
+      sim.run_until(sim.now() + 500);
+    }
+    sim.run_until(sim.now() + 2'000);
+  }
+};
+
+TEST(Dht, BootstrapPopulatesRoutingTables) {
+  DhtSwarm swarm(20);
+  for (const auto& node : swarm.nodes) {
+    EXPECT_GE(node->known_peers(), 3u);
+  }
+}
+
+TEST(Dht, PutThenGetFromAnyNode) {
+  DhtSwarm swarm(20);
+  const Key key = key_of_content(to_bytes("the-answer"));
+  bool stored = false;
+  swarm.nodes[3]->put(key, to_bytes("42"), [&](std::size_t) { stored = true; });
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  ASSERT_TRUE(stored);
+
+  // Every node can retrieve it, not just the writer.
+  for (const std::size_t reader : {0u, 7u, 19u}) {
+    std::optional<Bytes> got;
+    swarm.nodes[reader]->get(key, [&](std::optional<Bytes> v) { got = v; });
+    swarm.sim.run_until(swarm.sim.now() + 3'000);
+    ASSERT_TRUE(got.has_value()) << "reader " << reader;
+    EXPECT_EQ(to_string(*got), "42");
+  }
+}
+
+TEST(Dht, ValuesAreReplicated) {
+  DhtSwarm swarm(20);
+  const Key key = key_of_content(to_bytes("replicated"));
+  std::size_t replicas = 0;
+  swarm.nodes[0]->put(key, to_bytes("v"),
+                      [&](std::size_t n) { replicas = n; });
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  EXPECT_GE(replicas, DhtConfig{}.k / 2);
+
+  std::size_t holders = 0;
+  for (const auto& node : swarm.nodes) {
+    holders += node->stored_values() > 0 ? 1 : 0;
+  }
+  EXPECT_GE(holders, 2u);
+}
+
+TEST(Dht, MissingKeyReturnsNullopt) {
+  DhtSwarm swarm(10);
+  std::optional<Bytes> got = to_bytes("sentinel");
+  bool called = false;
+  swarm.nodes[2]->get(key_of_content(to_bytes("never-stored")),
+                      [&](std::optional<Bytes> v) {
+                        got = std::move(v);
+                        called = true;
+                      });
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Dht, OverwriteUpdatesValue) {
+  DhtSwarm swarm(12);
+  const Key key = key_of_content(to_bytes("counter"));
+  swarm.nodes[1]->put(key, to_bytes("one"), nullptr);
+  swarm.sim.run_until(swarm.sim.now() + 2'000);
+  swarm.nodes[5]->put(key, to_bytes("two"), nullptr);
+  swarm.sim.run_until(swarm.sim.now() + 2'000);
+
+  std::optional<Bytes> got;
+  swarm.nodes[9]->get(key, [&](std::optional<Bytes> v) { got = v; });
+  swarm.sim.run_until(swarm.sim.now() + 2'000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(to_string(*got), "two");
+}
+
+}  // namespace
+}  // namespace waku::dht
+
+namespace waku::rln {
+namespace {
+
+using dht::DhtNode;
+
+struct DirectorySwarm {
+  net::Simulator sim;
+  net::Network net{sim, {.base_latency_ms = 10, .jitter_ms = 5,
+                         .loss_rate = 0}, 0xD48};
+  std::vector<std::unique_ptr<DhtNode>> nodes;
+
+  explicit DirectorySwarm(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<DhtNode>(net));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        net.connect(nodes[i]->node_id(), nodes[j]->node_id());
+      }
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      nodes[i]->bootstrap(nodes[0]->node_id());
+      sim.run_until(sim.now() + 300);
+    }
+    sim.run_until(sim.now() + 2'000);
+  }
+};
+
+TEST(DhtGroup, RegisterAssignsSequentialIndices) {
+  DirectorySwarm swarm(15);
+  DhtGroupDirectory dir_a(*swarm.nodes[1], "g");
+  DhtGroupDirectory dir_b(*swarm.nodes[2], "g");
+
+  std::vector<std::uint64_t> indices;
+  dir_a.register_member(hash::poseidon1(Fr::from_u64(1)),
+                        [&](std::uint64_t i) { indices.push_back(i); });
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  dir_b.register_member(hash::poseidon1(Fr::from_u64(2)),
+                        [&](std::uint64_t i) { indices.push_back(i); });
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_EQ(indices[0], 0u);
+  EXPECT_EQ(indices[1], 1u);
+}
+
+TEST(DhtGroup, SyncFeedsGroupManagerAndRootsConverge) {
+  DirectorySwarm swarm(15);
+  DhtGroupDirectory writer(*swarm.nodes[1], "g2");
+
+  // Register three members through the DHT.
+  for (std::uint64_t m = 0; m < 3; ++m) {
+    bool done = false;
+    writer.register_member(hash::poseidon1(Fr::from_u64(100 + m)),
+                           [&](std::uint64_t) { done = true; });
+    swarm.sim.run_until(swarm.sim.now() + 3'000);
+    ASSERT_TRUE(done) << "member " << m;
+  }
+
+  // Two independent peers sync their trees from the directory.
+  GroupManager group_a(10, TreeMode::kFullTree);
+  GroupManager group_b(10, TreeMode::kFullTree);
+  DhtGroupDirectory reader_a(*swarm.nodes[5], "g2");
+  DhtGroupDirectory reader_b(*swarm.nodes[9], "g2");
+  std::uint64_t added_a = 0;
+  std::uint64_t added_b = 0;
+  reader_a.sync(group_a, [&](std::uint64_t n) { added_a = n; });
+  reader_b.sync(group_b, [&](std::uint64_t n) { added_b = n; });
+  swarm.sim.run_until(swarm.sim.now() + 5'000);
+
+  EXPECT_EQ(added_a, 3u);
+  EXPECT_EQ(added_b, 3u);
+  EXPECT_EQ(group_a.member_count(), 3u);
+  EXPECT_EQ(group_a.root(), group_b.root());
+
+  // The resulting tree matches a contract-style build of the same group.
+  GroupManager reference(10, TreeMode::kFullTree);
+  for (std::uint64_t m = 0; m < 3; ++m) {
+    chain::Event ev;
+    ev.name = "MemberRegistered";
+    ev.topics = {ff::U256{m}, hash::poseidon1(Fr::from_u64(100 + m)).to_u256()};
+    reference.on_event(ev);
+  }
+  EXPECT_EQ(group_a.root(), reference.root());
+}
+
+TEST(DhtGroup, IncrementalSyncOnlyFetchesNewMembers) {
+  DirectorySwarm swarm(12);
+  DhtGroupDirectory writer(*swarm.nodes[1], "g3");
+  GroupManager group(10, TreeMode::kFullTree);
+  DhtGroupDirectory reader(*swarm.nodes[4], "g3");
+
+  writer.register_member(hash::poseidon1(Fr::from_u64(1)), nullptr);
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  reader.sync(group, nullptr);
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  ASSERT_EQ(group.member_count(), 1u);
+
+  writer.register_member(hash::poseidon1(Fr::from_u64(2)), nullptr);
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  std::uint64_t added = 99;
+  reader.sync(group, [&](std::uint64_t n) { added = n; });
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  EXPECT_EQ(added, 1u);  // only the new member was fetched
+  EXPECT_EQ(group.member_count(), 2u);
+}
+
+}  // namespace
+}  // namespace waku::rln

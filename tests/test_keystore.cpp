@@ -1,0 +1,83 @@
+// Tests for the encrypted membership keystore.
+#include <gtest/gtest.h>
+
+#include "rln/keystore.hpp"
+
+namespace waku::rln {
+namespace {
+
+MembershipCredential sample_credential(std::uint64_t seed = 0xC4ED) {
+  Rng rng(seed);
+  MembershipCredential credential;
+  credential.identity = Identity::generate(rng);
+  credential.member_index = 42;
+  credential.contract_address = "0x0000000000000000000000000000000000001000";
+  return credential;
+}
+
+TEST(Keystore, SealOpenRoundTrip) {
+  Rng rng(1);
+  const MembershipCredential credential = sample_credential();
+  const Bytes sealed = keystore_seal(credential, "hunter2", rng);
+  const auto opened = keystore_open(sealed, "hunter2");
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, credential);
+}
+
+TEST(Keystore, WrongPasswordFails) {
+  Rng rng(2);
+  const Bytes sealed = keystore_seal(sample_credential(), "correct", rng);
+  EXPECT_FALSE(keystore_open(sealed, "incorrect").has_value());
+  EXPECT_FALSE(keystore_open(sealed, "").has_value());
+}
+
+TEST(Keystore, TamperedBlobFails) {
+  Rng rng(3);
+  Bytes sealed = keystore_seal(sample_credential(), "pw", rng);
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_FALSE(keystore_open(sealed, "pw").has_value());
+}
+
+TEST(Keystore, TruncatedOrGarbageFails) {
+  EXPECT_FALSE(keystore_open(Bytes{}, "pw").has_value());
+  EXPECT_FALSE(keystore_open(Bytes(10, 0), "pw").has_value());
+  EXPECT_FALSE(keystore_open(to_bytes("not a keystore at all......"), "pw")
+                   .has_value());
+}
+
+TEST(Keystore, WrongMagicOrVersionRejected) {
+  Rng rng(4);
+  Bytes sealed = keystore_seal(sample_credential(), "pw", rng);
+  Bytes bad_magic = sealed;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(keystore_open(bad_magic, "pw").has_value());
+  Bytes bad_version = sealed;
+  bad_version[4] = 9;
+  EXPECT_FALSE(keystore_open(bad_version, "pw").has_value());
+}
+
+TEST(Keystore, FreshSaltPerSeal) {
+  Rng rng(5);
+  const MembershipCredential credential = sample_credential();
+  const Bytes a = keystore_seal(credential, "pw", rng);
+  const Bytes b = keystore_seal(credential, "pw", rng);
+  EXPECT_NE(a, b);  // salted: identical plaintext, distinct blobs
+  EXPECT_TRUE(keystore_open(a, "pw").has_value());
+  EXPECT_TRUE(keystore_open(b, "pw").has_value());
+}
+
+TEST(Keystore, SecretKeyRoundTripsExactly) {
+  Rng rng(6);
+  const MembershipCredential credential = sample_credential(0xFEED);
+  const Bytes sealed = keystore_seal(credential, "pw", rng);
+  const auto opened = keystore_open(sealed, "pw");
+  ASSERT_TRUE(opened.has_value());
+  // The restored identity can keep producing the same commitments.
+  EXPECT_EQ(opened->identity.sk, credential.identity.sk);
+  EXPECT_EQ(opened->identity.pk, credential.identity.pk);
+  EXPECT_EQ(opened->member_index, credential.member_index);
+  EXPECT_EQ(opened->contract_address, credential.contract_address);
+}
+
+}  // namespace
+}  // namespace waku::rln

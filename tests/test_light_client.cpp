@@ -1,0 +1,107 @@
+// Tests for the light-client path: tree-sync + lightpush via a full
+// service node (§IV-A hybrid architecture + 19/WAKU2-LIGHTPUSH).
+#include <gtest/gtest.h>
+
+#include "rln/harness.hpp"
+#include "rln/light_client.hpp"
+
+namespace waku::rln {
+namespace {
+
+struct LightFixture : ::testing::Test {
+  HarnessConfig cfg;
+  std::unique_ptr<RlnHarness> h;
+  std::unique_ptr<RlnFullServiceNode> service;
+  std::unique_ptr<RlnLightClient> client;
+
+  void SetUp() override {
+    cfg.num_nodes = 8;
+    cfg.degree = 3;
+    cfg.block_interval_ms = 2'000;
+    cfg.node.tree_depth = 10;
+    cfg.node.validator.epoch.epoch_length_ms = 10'000;
+    h = std::make_unique<RlnHarness>(cfg);
+    h->register_all();
+    h->run_ms(3'000);
+
+    // The light client's identity was registered out of band: reuse a
+    // registered node's identity/index but speak only via the service.
+    service = std::make_unique<RlnFullServiceNode>(h->network(), h->node(0));
+    client = std::make_unique<RlnLightClient>(
+        h->network(), h->node(7).identity(),
+        *h->node(7).group().own_index(),
+        cfg.node.validator.epoch, 0x11C);
+    h->network().connect(service->node_id(), client->node_id());
+  }
+};
+
+TEST_F(LightFixture, LightPublishReachesTheMesh) {
+  bool acked = false;
+  client->publish(service->node_id(), to_bytes("hello from a light client"),
+                  "/light/1/chat/proto", [&](bool ok) { acked = ok; });
+  h->run_ms(8'000);
+
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(client->published(), 1u);
+  EXPECT_EQ(client->acked(), 1u);
+  EXPECT_EQ(service->tree_requests(), 1u);
+  EXPECT_EQ(service->pushes_accepted(), 1u);
+
+  // Everyone in the mesh (minus the impersonated node 7, which would
+  // dedup by nullifier) received it.
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 0; i < h->size(); ++i) {
+    delivered += h->node(i).stats().delivered;
+  }
+  EXPECT_GE(delivered, h->size() - 1);
+}
+
+TEST_F(LightFixture, DoubleLightPublishInOneEpochIsRefused) {
+  // The service validates pushes with its own RLN validator: the second
+  // message in the same epoch is a double-signal and is refused (and the
+  // spammer would be slashed by the normal pipeline).
+  bool first = false;
+  bool second = true;
+  client->publish(service->node_id(), to_bytes("one"), "/t",
+                  [&](bool ok) { first = ok; });
+  h->run_ms(2'000);
+  client->publish(service->node_id(), to_bytes("two"), "/t",
+                  [&](bool ok) { second = ok; });
+  h->run_ms(2'000);
+
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(service->pushes_rejected(), 1u);
+}
+
+TEST_F(LightFixture, UnknownMemberIndexGetsNoTreeResponse) {
+  RlnLightClient stranger(h->network(), Identity::from_secret(Fr::from_u64(7)),
+                          /*member_index=*/999,
+                          cfg.node.validator.epoch, 0x11D);
+  h->network().connect(service->node_id(), stranger.node_id());
+  bool called = false;
+  stranger.publish(service->node_id(), to_bytes("hi"), "/t",
+                   [&](bool) { called = true; });
+  h->run_ms(3'000);
+  EXPECT_FALSE(called);  // service ignores out-of-range requests
+  EXPECT_EQ(stranger.published(), 0u);
+}
+
+TEST_F(LightFixture, ClientSecretNeverNeededByService) {
+  // Structural check: the proof is generated client-side; the service only
+  // ever sees the finished message. (The API makes this true by
+  // construction — this test documents it.)
+  client->publish(service->node_id(), to_bytes("sovereign"), "/t", nullptr);
+  h->run_ms(5'000);
+  EXPECT_EQ(service->pushes_accepted(), 1u);
+  // The pushed message carried a valid bundle without the service holding
+  // the client identity: validation passed at every relay hop.
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < h->size(); ++i) {
+    rejected += h->node(i).relay().stats().rejected;
+  }
+  EXPECT_EQ(rejected, 0u);
+}
+
+}  // namespace
+}  // namespace waku::rln

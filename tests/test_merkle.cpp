@@ -1,0 +1,309 @@
+// Tests for the identity-commitment Merkle tree and the O(log N) partial
+// view: auth paths, deletion semantics, event-stream synchronization, and
+// the storage claims behind experiment E4.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "merkle/partial_view.hpp"
+
+namespace waku::merkle {
+namespace {
+
+using ff::Fr;
+
+Fr leaf_of(std::uint64_t i) { return Fr::from_u64(1000 + i); }
+
+TEST(MerkleTree, EmptyTreeRootIsZeroSubtree) {
+  const IncrementalMerkleTree tree(10);
+  EXPECT_EQ(tree.root(), zero_at(10));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(MerkleTree, ZeroHashChainIsConsistent) {
+  // z_{l+1} = H(z_l, z_l) by definition.
+  for (std::size_t l = 0; l + 1 <= 20; ++l) {
+    const MerklePath path{0, {zero_at(l)}};
+    EXPECT_EQ(compute_root(zero_at(l), path), zero_at(l + 1));
+  }
+}
+
+TEST(MerkleTree, InsertReturnsSequentialIndices) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(tree.insert(leaf_of(i)), i);
+  }
+  EXPECT_EQ(tree.size(), 10u);
+}
+
+TEST(MerkleTree, RootChangesOnInsert) {
+  IncrementalMerkleTree tree(8);
+  const Fr r0 = tree.root();
+  tree.insert(leaf_of(1));
+  const Fr r1 = tree.root();
+  tree.insert(leaf_of(2));
+  EXPECT_NE(r0, r1);
+  EXPECT_NE(r1, tree.root());
+}
+
+TEST(MerkleTree, AuthPathVerifies) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 30; ++i) tree.insert(leaf_of(i));
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const MerklePath path = tree.auth_path(i);
+    EXPECT_TRUE(verify_path(tree.root(), leaf_of(i), path)) << "leaf " << i;
+  }
+}
+
+TEST(MerkleTree, WrongLeafFailsVerification) {
+  IncrementalMerkleTree tree(8);
+  tree.insert(leaf_of(0));
+  tree.insert(leaf_of(1));
+  const MerklePath path = tree.auth_path(0);
+  EXPECT_FALSE(verify_path(tree.root(), leaf_of(1), path));
+}
+
+TEST(MerkleTree, WrongRootFailsVerification) {
+  IncrementalMerkleTree tree(8);
+  tree.insert(leaf_of(0));
+  const MerklePath path = tree.auth_path(0);
+  EXPECT_FALSE(verify_path(Fr::from_u64(123), leaf_of(0), path));
+}
+
+TEST(MerkleTree, TamperedPathFailsVerification) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 5; ++i) tree.insert(leaf_of(i));
+  MerklePath path = tree.auth_path(2);
+  path.siblings[3] += Fr::one();
+  EXPECT_FALSE(verify_path(tree.root(), leaf_of(2), path));
+}
+
+TEST(MerkleTree, UpdateChangesRootAndPathsStayValid) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 16; ++i) tree.insert(leaf_of(i));
+  const Fr before = tree.root();
+  tree.update(7, Fr::from_u64(9999));
+  EXPECT_NE(tree.root(), before);
+  EXPECT_TRUE(verify_path(tree.root(), Fr::from_u64(9999), tree.auth_path(7)));
+  EXPECT_TRUE(verify_path(tree.root(), leaf_of(3), tree.auth_path(3)));
+}
+
+TEST(MerkleTree, RemoveRestoresZeroLeaf) {
+  IncrementalMerkleTree tree(8);
+  tree.insert(leaf_of(0));
+  tree.insert(leaf_of(1));
+  tree.remove(1);
+  EXPECT_EQ(tree.leaf(1), Fr::zero());
+  EXPECT_TRUE(verify_path(tree.root(), Fr::zero(), tree.auth_path(1)));
+}
+
+TEST(MerkleTree, RemoveAllReturnsToEmptyRoot) {
+  // Deleting every member restores the all-zero tree root: deletion is
+  // exactly "write the zero leaf" (paper §III-A).
+  IncrementalMerkleTree tree(6);
+  const Fr empty_root = tree.root();
+  for (std::uint64_t i = 0; i < 8; ++i) tree.insert(leaf_of(i));
+  for (std::uint64_t i = 0; i < 8; ++i) tree.remove(i);
+  EXPECT_EQ(tree.root(), empty_root);
+}
+
+TEST(MerkleTree, IndicesNeverReused) {
+  IncrementalMerkleTree tree(6);
+  tree.insert(leaf_of(0));
+  tree.remove(0);
+  EXPECT_EQ(tree.insert(leaf_of(1)), 1u);  // slot 0 is not recycled
+}
+
+TEST(MerkleTree, CapacityEnforced) {
+  IncrementalMerkleTree tree(2);
+  for (int i = 0; i < 4; ++i) tree.insert(leaf_of(static_cast<unsigned>(i)));
+  EXPECT_THROW(tree.insert(leaf_of(4)), ContractViolation);
+}
+
+TEST(MerkleTree, OutOfRangeAccessThrows) {
+  IncrementalMerkleTree tree(4);
+  tree.insert(leaf_of(0));
+  EXPECT_THROW(tree.auth_path(1), ContractViolation);
+  EXPECT_THROW(tree.update(1, Fr::one()), ContractViolation);
+  EXPECT_THROW((void)tree.leaf(1), ContractViolation);
+}
+
+TEST(MerkleTree, RejectsBadDepth) {
+  EXPECT_THROW(IncrementalMerkleTree(0), ContractViolation);
+  EXPECT_THROW(IncrementalMerkleTree(41), ContractViolation);
+}
+
+TEST(MerkleTree, StorageGrowsLinearly) {
+  // A tree with N leaves stores ~2N nodes (leaves + internal levels), so
+  // storage is linear in membership: ~64 bytes per member amortized.
+  IncrementalMerkleTree tree(20);
+  for (std::uint64_t i = 0; i < 1000; ++i) tree.insert(leaf_of(i));
+  const std::size_t s1000 = tree.storage_bytes();
+  EXPECT_GT(s1000, 1000u * 2 * 32 * 9 / 10);
+  EXPECT_LT(s1000, 1000u * 2 * 32 + 21 * 32 * 20);
+}
+
+TEST(MerkleTree, DifferentInsertionOrdersGiveDifferentRoots) {
+  IncrementalMerkleTree a(6);
+  IncrementalMerkleTree b(6);
+  a.insert(leaf_of(1));
+  a.insert(leaf_of(2));
+  b.insert(leaf_of(2));
+  b.insert(leaf_of(1));
+  EXPECT_NE(a.root(), b.root());
+}
+
+// --- Partial (O(log N)) view ---
+
+TEST(PartialView, SnapshotMatchesTree) {
+  IncrementalMerkleTree tree(10);
+  for (std::uint64_t i = 0; i < 20; ++i) tree.insert(leaf_of(i));
+  const auto view = PartialMerkleView::from_tree(tree, 5);
+  EXPECT_EQ(view.root(), tree.root());
+  EXPECT_EQ(view.auth_path(), tree.auth_path(5));
+  EXPECT_EQ(view.size(), tree.size());
+}
+
+TEST(PartialView, TracksAppends) {
+  IncrementalMerkleTree tree(10);
+  for (std::uint64_t i = 0; i < 3; ++i) tree.insert(leaf_of(i));
+  auto view = PartialMerkleView::from_tree(tree, 1);
+
+  for (std::uint64_t i = 3; i < 50; ++i) {
+    tree.insert(leaf_of(i));
+    view.on_insert(leaf_of(i));
+    ASSERT_EQ(view.root(), tree.root()) << "after insert " << i;
+    ASSERT_EQ(view.auth_path(), tree.auth_path(1)) << "after insert " << i;
+  }
+}
+
+TEST(PartialView, TracksUpdatesAtOtherIndices) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 12; ++i) tree.insert(leaf_of(i));
+  auto view = PartialMerkleView::from_tree(tree, 4);
+
+  Rng rng(173);
+  for (int step = 0; step < 30; ++step) {
+    const std::uint64_t target = rng.next_below(12);
+    if (target == 4) continue;
+    const Fr old_leaf = tree.leaf(target);
+    const Fr new_leaf = Fr::random(rng);
+    const MerklePath path = tree.auth_path(target);
+    tree.update(target, new_leaf);
+    view.on_update(target, old_leaf, new_leaf, path);
+    ASSERT_EQ(view.root(), tree.root()) << "step " << step;
+    ASSERT_EQ(view.auth_path(), tree.auth_path(4)) << "step " << step;
+  }
+}
+
+TEST(PartialView, TracksOwnUpdate) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 6; ++i) tree.insert(leaf_of(i));
+  auto view = PartialMerkleView::from_tree(tree, 2);
+
+  const Fr new_leaf = Fr::from_u64(777);
+  const MerklePath path = tree.auth_path(2);
+  const Fr old_leaf = tree.leaf(2);
+  tree.update(2, new_leaf);
+  view.on_update(2, old_leaf, new_leaf, path);
+  EXPECT_EQ(view.root(), tree.root());
+  EXPECT_EQ(view.my_leaf(), new_leaf);
+}
+
+TEST(PartialView, InterleavedInsertsAndDeletes) {
+  // The real event stream: registrations interleaved with slashings.
+  IncrementalMerkleTree tree(10);
+  for (std::uint64_t i = 0; i < 4; ++i) tree.insert(leaf_of(i));
+  auto view = PartialMerkleView::from_tree(tree, 0);
+
+  Rng rng(179);
+  for (int step = 0; step < 100; ++step) {
+    if (rng.chance(0.6) && tree.size() < 1000) {
+      const Fr leaf = Fr::random(rng);
+      tree.insert(leaf);
+      view.on_insert(leaf);
+    } else {
+      const std::uint64_t target = 1 + rng.next_below(tree.size() - 1);
+      const Fr old_leaf = tree.leaf(target);
+      const MerklePath path = tree.auth_path(target);
+      tree.remove(target);
+      view.on_update(target, old_leaf, Fr::zero(), path);
+    }
+    ASSERT_EQ(view.root(), tree.root()) << "step " << step;
+    ASSERT_EQ(view.auth_path(), tree.auth_path(0)) << "step " << step;
+  }
+}
+
+TEST(PartialView, StalePathRejected) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 8; ++i) tree.insert(leaf_of(i));
+  auto view = PartialMerkleView::from_tree(tree, 0);
+
+  // Capture index 3's path, then let another update land (which the view
+  // processes correctly). Indices 3 and 5 share ancestry at level 2, so
+  // the captured path is now stale and must be rejected.
+  const MerklePath stale = tree.auth_path(3);
+  const Fr old3 = tree.leaf(3);
+  const Fr old5 = tree.leaf(5);
+  const MerklePath path5 = tree.auth_path(5);
+  tree.update(5, Fr::from_u64(555));
+  view.on_update(5, old5, Fr::from_u64(555), path5);
+  ASSERT_EQ(view.root(), tree.root());
+
+  EXPECT_THROW(view.on_update(3, old3, Fr::zero(), stale), ContractViolation);
+}
+
+TEST(PartialView, WrongOldLeafRejected) {
+  IncrementalMerkleTree tree(8);
+  for (std::uint64_t i = 0; i < 8; ++i) tree.insert(leaf_of(i));
+  auto view = PartialMerkleView::from_tree(tree, 0);
+  const MerklePath path = tree.auth_path(3);
+  EXPECT_THROW(view.on_update(3, Fr::from_u64(424242), Fr::zero(), path),
+               ContractViolation);
+}
+
+TEST(PartialView, StorageIsLogarithmic) {
+  IncrementalMerkleTree tree(20);
+  for (std::uint64_t i = 0; i < 4096; ++i) tree.insert(leaf_of(i));
+  const auto view = PartialMerkleView::from_tree(tree, 100);
+
+  // Full tree: megabytes at scale. Partial view: ~(2*depth+2)*32 bytes.
+  EXPECT_LT(view.storage_bytes(), 2048u);
+  EXPECT_GT(tree.storage_bytes(), 100'000u);
+}
+
+// Parameterized: views at several member positions all stay in sync.
+class PartialViewPositions : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartialViewPositions, StaysInSyncThroughMixedEvents) {
+  const std::uint64_t pos = GetParam();
+  IncrementalMerkleTree tree(9);
+  for (std::uint64_t i = 0; i <= pos; ++i) tree.insert(leaf_of(i));
+  auto view = PartialMerkleView::from_tree(tree, pos);
+
+  Rng rng(181 + pos);
+  for (int step = 0; step < 40; ++step) {
+    if (rng.chance(0.5)) {
+      const Fr leaf = Fr::random(rng);
+      tree.insert(leaf);
+      view.on_insert(leaf);
+    } else {
+      const std::uint64_t target = rng.next_below(tree.size());
+      if (target == pos) continue;
+      const Fr old_leaf = tree.leaf(target);
+      const MerklePath path = tree.auth_path(target);
+      const Fr new_leaf = rng.chance(0.5) ? Fr::zero() : Fr::random(rng);
+      tree.update(target, new_leaf);
+      view.on_update(target, old_leaf, new_leaf, path);
+    }
+    ASSERT_EQ(view.root(), tree.root());
+    ASSERT_EQ(view.auth_path(), tree.auth_path(pos));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartialViewPositions,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 8u, 15u));
+
+}  // namespace
+}  // namespace waku::merkle

@@ -1,0 +1,123 @@
+// Tests reproducing the paper's §IV-B open problems — behaviours the
+// design explicitly does NOT prevent. These document the attack surface:
+// if a future change accidentally "fixes" one by breaking the protocol,
+// or regresses the economics, these tests flag it.
+#include <gtest/gtest.h>
+
+#include "common/serde.hpp"
+#include "rln/harness.hpp"
+
+namespace waku::rln {
+namespace {
+
+HarnessConfig config(std::size_t nodes) {
+  HarnessConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.degree = std::min<std::size_t>(4, nodes - 1);
+  cfg.block_interval_ms = 2'000;
+  cfg.node.tree_depth = 10;
+  cfg.node.validator.epoch.epoch_length_ms = 10'000;
+  cfg.node.validator.max_epoch_gap = 2;
+  return cfg;
+}
+
+TEST(OpenProblems, MultipleRegistrationsMultiplyTheQuota) {
+  // §IV-B "Exceeding the messaging rate via multiple registrations": an
+  // attacker paying k deposits gets k messages per epoch. The attack works
+  // — but costs k deposits, which is exactly the economic barrier the
+  // paper proposes (raising the fee raises the attack price).
+  HarnessConfig cfg = config(8);
+  RlnHarness h(cfg);
+  h.register_all();
+
+  // Nodes 0,1,2 are all controlled by the attacker (three identities).
+  h.run_ms(5'000);
+  const chain::Gwei paid = 3 * cfg.deposit_gwei;
+  for (std::size_t sybil = 0; sybil < 3; ++sybil) {
+    ASSERT_EQ(h.node(sybil).try_publish(to_bytes("k-quota message")),
+              WakuRlnRelayNode::PublishStatus::kOk);
+  }
+  h.run_ms(10'000);
+
+  // All three messages flow: the aggregate quota is k per epoch...
+  std::uint64_t delivered_at_3 = h.node(3).stats().delivered;
+  EXPECT_EQ(delivered_at_3, 3u);
+  // ...no one is slashed (each identity stayed within its own limit)...
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_TRUE(h.node(i).is_registered());
+  }
+  // ...and the price was k deposits held by the contract.
+  EXPECT_GE(h.chain().balance(h.contract()), paid);
+}
+
+TEST(OpenProblems, EarlyWithdrawalSavesTheStakeButBurnsMembership) {
+  // §IV-B "Escaping punishment by early withdrawal": spam, then withdraw
+  // before slashers land. The attacker saves the reward portion (the
+  // deposit returns to them) but its membership — the registration fee in
+  // a fee-bearing deployment — is spent and it cannot publish again.
+  HarnessConfig cfg = config(8);
+  cfg.block_interval_ms = 6'000;  // slow blocks give the withdrawal a window
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(3'000);
+
+  WakuRlnRelayNode& attacker = h.node(0);
+  const std::uint64_t index = *attacker.group().own_index();
+
+  // Double-signal (slashing material is now in the network)...
+  attacker.force_publish(to_bytes("spam 1"));
+  attacker.force_publish(to_bytes("spam 2"));
+
+  // ...and immediately withdraw, before any commit matures. The withdrawal
+  // is a single transaction; commit-reveal needs two blocks.
+  chain::Transaction tx;
+  tx.from = attacker.account();
+  tx.to = h.contract();
+  tx.method = "withdraw";
+  ByteWriter w;
+  w.write_raw(attacker.identity().sk.to_bytes_be());
+  w.write_u64(index);
+  w.write_raw(merkle::serialize_path(attacker.group().path_of(index)));
+  tx.calldata = std::move(w).take();
+  h.chain().submit(std::move(tx));
+
+  h.run_ms(10 * cfg.block_interval_ms);
+
+  // The attacker escaped: no slasher collected its deposit.
+  std::uint64_t rewards = 0;
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    rewards += h.node(i).stats().slash_rewards;
+  }
+  EXPECT_EQ(rewards, 0u);
+  // The contract holds only the other members' deposits.
+  EXPECT_EQ(h.chain().balance(h.contract()),
+            cfg.deposit_gwei * (h.size() - 1));
+  // But the attacker is out of the group and silenced.
+  EXPECT_FALSE(attacker.is_registered());
+  EXPECT_EQ(attacker.try_publish(to_bytes("back again?")),
+            WakuRlnRelayNode::PublishStatus::kNotRegistered);
+}
+
+TEST(OpenProblems, HigherDepositRaisesSybilAttackPrice) {
+  // §IV-B's proposed mitigation: "increasing the entry barrier via a
+  // higher membership fee". Verify the contract enforces the configured
+  // deposit exactly — an attacker cannot register below it.
+  HarnessConfig cfg = config(4);
+  cfg.deposit_gwei = 50'000'000;  // 0.05 ETH
+  RlnHarness h(cfg);
+
+  chain::Transaction tx;
+  tx.from = h.node(0).account();
+  tx.to = h.contract();
+  tx.method = "register";
+  tx.calldata = h.node(0).identity().pk_bytes();
+  tx.value = cfg.deposit_gwei / 2;  // lowball
+  const auto handle = h.chain().submit(std::move(tx));
+  h.run_ms(3 * cfg.block_interval_ms);
+  ASSERT_TRUE(h.chain().receipt(handle).has_value());
+  EXPECT_FALSE(h.chain().receipt(handle)->success);
+  EXPECT_FALSE(h.node(0).is_registered());
+}
+
+}  // namespace
+}  // namespace waku::rln

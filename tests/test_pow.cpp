@@ -1,0 +1,100 @@
+// Tests for the Whisper-style PoW baseline: mining, verification, and the
+// exponential cost asymmetry the paper critiques.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/expect.hpp"
+#include "pow/pow.hpp"
+
+namespace waku::pow {
+namespace {
+
+TEST(Pow, MinedNonceVerifies) {
+  const Bytes payload = to_bytes("whisper envelope");
+  const auto solution = mine(payload, 8);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(verify(payload, solution->nonce, 8));
+}
+
+TEST(Pow, HigherDifficultyStillSatisfiesLower) {
+  const Bytes payload = to_bytes("msg");
+  const auto solution = mine(payload, 12);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(verify(payload, solution->nonce, 8));
+  EXPECT_TRUE(verify(payload, solution->nonce, 0));
+}
+
+TEST(Pow, WrongNonceFails) {
+  const Bytes payload = to_bytes("msg");
+  const auto solution = mine(payload, 12);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_FALSE(verify(payload, solution->nonce + 1, 12) &&
+               verify(payload, solution->nonce + 2, 12) &&
+               verify(payload, solution->nonce + 3, 12));
+}
+
+TEST(Pow, DifferentPayloadInvalidatesNonce) {
+  const Bytes payload = to_bytes("original");
+  const auto solution = mine(payload, 10);
+  ASSERT_TRUE(solution.has_value());
+  // A tampered payload almost surely breaks the work.
+  int valid = 0;
+  for (int i = 0; i < 5; ++i) {
+    Bytes tampered = payload;
+    tampered[0] = static_cast<std::uint8_t>('a' + i);
+    valid += verify(tampered, solution->nonce, 10) ? 1 : 0;
+  }
+  EXPECT_LE(valid, 1);
+}
+
+TEST(Pow, ZeroDifficultyIsFree) {
+  const auto solution = mine(to_bytes("free"), 0);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->attempts, 1u);
+}
+
+TEST(Pow, MaxAttemptsBoundsSearch) {
+  // Difficulty 48 is unreachable in 100 attempts with overwhelming odds.
+  const auto solution = mine(to_bytes("hard"), 48, 0, 100);
+  EXPECT_FALSE(solution.has_value());
+}
+
+TEST(Pow, RejectsInvalidDifficulty) {
+  EXPECT_THROW(mine(to_bytes("x"), -1), ContractViolation);
+  EXPECT_THROW(mine(to_bytes("x"), 65), ContractViolation);
+}
+
+TEST(Pow, CostGrowsExponentially) {
+  // Average attempts over several payloads should roughly double per bit.
+  // (The core economics of PoW spam protection — and its cost to honest
+  // low-power publishers.)
+  auto average_attempts = [](int bits) {
+    std::uint64_t total = 0;
+    for (int i = 0; i < 24; ++i) {
+      const Bytes payload = to_bytes("payload" + std::to_string(i));
+      const auto solution = mine(payload, bits);
+      total += solution->attempts;
+    }
+    return static_cast<double>(total) / 24.0;
+  };
+  const double a8 = average_attempts(8);
+  const double a12 = average_attempts(12);
+  EXPECT_GT(a12, a8 * 4);  // expect ~16x, allow wide variance
+  EXPECT_NEAR(expected_attempts(12) / expected_attempts(8), 16.0, 1e-9);
+}
+
+TEST(Pow, AttemptsMatchExpectationOrderOfMagnitude) {
+  std::uint64_t total = 0;
+  constexpr int kBits = 10;
+  constexpr int kRuns = 32;
+  for (int i = 0; i < kRuns; ++i) {
+    const Bytes payload = to_bytes("sample" + std::to_string(i));
+    total += mine(payload, kBits)->attempts;
+  }
+  const double avg = static_cast<double>(total) / kRuns;
+  EXPECT_GT(avg, expected_attempts(kBits) / 4);
+  EXPECT_LT(avg, expected_attempts(kBits) * 4);
+}
+
+}  // namespace
+}  // namespace waku::pow

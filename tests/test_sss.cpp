@@ -1,0 +1,177 @@
+// Tests for Shamir secret sharing, including the RLN degree-1 slashing math
+// (paper §II-B): two shares in one epoch reconstruct sk; one share reveals
+// nothing about which line was used.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "hash/poseidon.hpp"
+#include "sss/shamir.hpp"
+
+namespace waku::sss {
+namespace {
+
+using ff::Fr;
+
+TEST(Shamir, SplitProducesNShares) {
+  Rng rng(101);
+  const auto shares = split(Fr::from_u64(42), 3, 5, rng);
+  EXPECT_EQ(shares.size(), 5u);
+}
+
+TEST(Shamir, KSharesReconstruct) {
+  Rng rng(103);
+  const Fr secret = Fr::random(rng);
+  const auto shares = split(secret, 3, 5, rng);
+  const std::vector<Share> subset(shares.begin(), shares.begin() + 3);
+  EXPECT_EQ(reconstruct(subset), secret);
+}
+
+TEST(Shamir, AnyKSubsetReconstructs) {
+  Rng rng(107);
+  const Fr secret = Fr::random(rng);
+  const auto shares = split(secret, 2, 4, rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      const std::vector<Share> subset = {shares[i], shares[j]};
+      EXPECT_EQ(reconstruct(subset), secret);
+    }
+  }
+}
+
+TEST(Shamir, AllNSharesAlsoReconstruct) {
+  Rng rng(109);
+  const Fr secret = Fr::random(rng);
+  const auto shares = split(secret, 3, 6, rng);
+  EXPECT_EQ(reconstruct(shares), secret);
+}
+
+TEST(Shamir, FewerThanKSharesGiveWrongSecret) {
+  // With k-1 shares the interpolated degree-(k-2) polynomial almost surely
+  // misses the secret (information-theoretic hiding).
+  Rng rng(113);
+  const Fr secret = Fr::random(rng);
+  const auto shares = split(secret, 3, 5, rng);
+  const std::vector<Share> subset(shares.begin(), shares.begin() + 2);
+  EXPECT_NE(reconstruct(subset), secret);
+}
+
+TEST(Shamir, KEqualsOneIsConstantPolynomial) {
+  Rng rng(127);
+  const Fr secret = Fr::random(rng);
+  const auto shares = split(secret, 1, 3, rng);
+  for (const auto& s : shares) EXPECT_EQ(s.y, secret);
+}
+
+TEST(Shamir, RejectsInvalidParameters) {
+  Rng rng(131);
+  EXPECT_THROW(split(Fr::one(), 0, 3, rng), ContractViolation);
+  EXPECT_THROW(split(Fr::one(), 4, 3, rng), ContractViolation);
+}
+
+TEST(Shamir, ReconstructRejectsDuplicateX) {
+  const Share s{Fr::one(), Fr::from_u64(9)};
+  const std::vector<Share> dup = {s, s};
+  EXPECT_THROW(reconstruct(dup), ContractViolation);
+}
+
+TEST(Shamir, ReconstructRejectsEmpty) {
+  const std::vector<Share> none;
+  EXPECT_THROW(reconstruct(none), ContractViolation);
+}
+
+// --- RLN degree-1 specialisation (the slashing path) ---
+
+TEST(RlnShare, TwoSharesRecoverSecretKey) {
+  Rng rng(137);
+  const Fr sk = Fr::random(rng);
+  const Fr epoch = Fr::from_u64(54827003);  // example epoch from the paper
+  const Fr a1 = hash::poseidon2(sk, epoch);
+
+  // Two distinct messages in the same epoch -> two x values.
+  const Fr x1 = Fr::random(rng);
+  const Fr x2 = Fr::random(rng);
+  const Share s1{x1, rln_share_y(sk, a1, x1)};
+  const Share s2{x2, rln_share_y(sk, a1, x2)};
+
+  EXPECT_EQ(rln_recover_secret(s1, s2), sk);
+}
+
+TEST(RlnShare, RecoveryMatchesGeneralLagrange) {
+  Rng rng(139);
+  const Fr sk = Fr::random(rng);
+  const Fr a1 = Fr::random(rng);
+  const Fr x1 = Fr::from_u64(11);
+  const Fr x2 = Fr::from_u64(22);
+  const Share s1{x1, rln_share_y(sk, a1, x1)};
+  const Share s2{x2, rln_share_y(sk, a1, x2)};
+  const std::vector<Share> both = {s1, s2};
+  EXPECT_EQ(reconstruct(both), rln_recover_secret(s1, s2));
+}
+
+TEST(RlnShare, SameXRejected) {
+  Rng rng(149);
+  const Fr sk = Fr::random(rng);
+  const Fr a1 = Fr::random(rng);
+  const Fr x = Fr::random(rng);
+  const Share s{x, rln_share_y(sk, a1, x)};
+  EXPECT_THROW(rln_recover_secret(s, s), ContractViolation);
+}
+
+TEST(RlnShare, DifferentEpochsDoNotLeakSecret) {
+  // Shares from different epochs lie on different lines, so recovery
+  // yields garbage, not sk — the core privacy property of RLN.
+  Rng rng(151);
+  const Fr sk = Fr::random(rng);
+  const Fr a1 = hash::poseidon2(sk, Fr::from_u64(1000));
+  const Fr a1b = hash::poseidon2(sk, Fr::from_u64(1001));
+  ASSERT_NE(a1, a1b);
+
+  const Fr x1 = Fr::from_u64(5);
+  const Fr x2 = Fr::from_u64(6);
+  const Share e1{x1, rln_share_y(sk, a1, x1)};
+  const Share e2{x2, rln_share_y(sk, a1b, x2)};
+  EXPECT_NE(rln_recover_secret(e1, e2), sk);
+}
+
+TEST(RlnShare, PropertySweepOverManyKeys) {
+  Rng rng(157);
+  for (int i = 0; i < 50; ++i) {
+    const Fr sk = Fr::random(rng);
+    const Fr epoch = Fr::from_u64(rng.next_u64());
+    const Fr a1 = hash::poseidon2(sk, epoch);
+    const Fr x1 = Fr::random(rng);
+    Fr x2 = Fr::random(rng);
+    while (x2 == x1) x2 = Fr::random(rng);
+    const Share s1{x1, rln_share_y(sk, a1, x1)};
+    const Share s2{x2, rln_share_y(sk, a1, x2)};
+    ASSERT_EQ(rln_recover_secret(s1, s2), sk);
+    ASSERT_EQ(rln_recover_secret(s2, s1), sk);  // order-independent
+  }
+}
+
+// Parameterized sweep over (k, n) combinations.
+class ShamirParams : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShamirParams, RoundTrip) {
+  const auto [k, n] = GetParam();
+  Rng rng(163 + static_cast<std::uint64_t>(k * 100 + n));
+  const Fr secret = Fr::random(rng);
+  auto shares = split(secret, static_cast<std::size_t>(k),
+                      static_cast<std::size_t>(n), rng);
+  // Shuffle and take an arbitrary k-subset.
+  std::shuffle(shares.begin(), shares.end(), rng);
+  shares.resize(static_cast<std::size_t>(k));
+  EXPECT_EQ(reconstruct(shares), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShamirParams,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 5}, std::pair{2, 2},
+                      std::pair{2, 7}, std::pair{3, 5}, std::pair{5, 5},
+                      std::pair{7, 10}, std::pair{10, 20}));
+
+}  // namespace
+}  // namespace waku::sss

@@ -1,0 +1,403 @@
+// Tests for the R1CS layer, circuit gadgets, the RLN circuit, and the
+// simulated Groth16 backend: completeness, soundness against tampering,
+// and the structural properties the benches rely on.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "hash/poseidon.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "sss/shamir.hpp"
+#include "zksnark/gadgets.hpp"
+#include "zksnark/rln_circuit.hpp"
+
+namespace waku::zksnark {
+namespace {
+
+using ff::Fr;
+using merkle::IncrementalMerkleTree;
+using merkle::MerklePath;
+
+TEST(LinearCombination, EvaluatesTerms) {
+  // assignment: [1, 10, 20]
+  const std::vector<Fr> s = {Fr::one(), Fr::from_u64(10), Fr::from_u64(20)};
+  LinearCombination lc;
+  lc.add_term(1, Fr::from_u64(2));
+  lc.add_term(2, Fr::from_u64(3));
+  lc.add_term(0, Fr::from_u64(5));
+  EXPECT_EQ(lc.evaluate(s), Fr::from_u64(2 * 10 + 3 * 20 + 5));
+}
+
+TEST(LinearCombination, MergesDuplicateTerms) {
+  LinearCombination lc;
+  lc.add_term(3, Fr::from_u64(2));
+  lc.add_term(3, Fr::from_u64(5));
+  ASSERT_EQ(lc.terms().size(), 1u);
+  EXPECT_EQ(lc.terms()[0].second, Fr::from_u64(7));
+}
+
+TEST(LinearCombination, CancellingTermsVanish) {
+  LinearCombination lc;
+  lc.add_term(2, Fr::from_u64(4));
+  lc.add_term(2, Fr::from_u64(4).neg());
+  EXPECT_TRUE(lc.empty());
+}
+
+TEST(LinearCombination, ArithmeticOps) {
+  const std::vector<Fr> s = {Fr::one(), Fr::from_u64(3)};
+  const auto a = LinearCombination::variable(1);
+  const auto b = LinearCombination::constant(Fr::from_u64(10));
+  EXPECT_EQ((a + b).evaluate(s), Fr::from_u64(13));
+  EXPECT_EQ((b - a).evaluate(s), Fr::from_u64(7));
+  EXPECT_EQ(a.scaled(Fr::from_u64(4)).evaluate(s), Fr::from_u64(12));
+}
+
+TEST(ConstraintSystem, PublicBeforePrivateEnforced) {
+  ConstraintSystem cs;
+  cs.allocate_public();
+  cs.allocate_private();
+  EXPECT_THROW(cs.allocate_public(), ContractViolation);
+}
+
+TEST(ConstraintSystem, SatisfactionCheck) {
+  // x * y = z with x=3, y=4, z=12.
+  ConstraintSystem cs;
+  const VarIndex x = cs.allocate_public();
+  const VarIndex y = cs.allocate_private();
+  const VarIndex z = cs.allocate_private();
+  cs.enforce(LinearCombination::variable(x), LinearCombination::variable(y),
+             LinearCombination::variable(z), "xy=z");
+
+  const std::vector<Fr> good = {Fr::one(), Fr::from_u64(3), Fr::from_u64(4),
+                                Fr::from_u64(12)};
+  EXPECT_TRUE(cs.is_satisfied(good));
+
+  const std::vector<Fr> bad = {Fr::one(), Fr::from_u64(3), Fr::from_u64(4),
+                               Fr::from_u64(13)};
+  std::string where;
+  EXPECT_FALSE(cs.is_satisfied(bad, &where));
+  EXPECT_EQ(where, "xy=z");
+}
+
+TEST(ConstraintSystem, RejectsMalformedAssignment) {
+  ConstraintSystem cs;
+  cs.allocate_public();
+  const std::vector<Fr> wrong_one = {Fr::from_u64(2), Fr::one()};
+  EXPECT_FALSE(cs.is_satisfied(wrong_one));
+  const std::vector<Fr> wrong_size = {Fr::one()};
+  EXPECT_FALSE(cs.is_satisfied(wrong_size));
+}
+
+TEST(ConstraintSystem, DigestDistinguishesCircuits) {
+  EXPECT_NE(rln_constraint_system(4).digest(),
+            rln_constraint_system(5).digest());
+  EXPECT_EQ(rln_constraint_system(4).digest(),
+            rln_constraint_system(4).digest());
+}
+
+TEST(CircuitBuilder, MulAddsOneConstraint) {
+  CircuitBuilder b;
+  const Wire x = b.witness(Fr::from_u64(6));
+  const Wire y = b.witness(Fr::from_u64(7));
+  const Wire z = b.mul(x, y);
+  EXPECT_EQ(z.value, Fr::from_u64(42));
+  EXPECT_EQ(b.cs().num_constraints(), 1u);
+  EXPECT_TRUE(b.satisfied());
+}
+
+TEST(CircuitBuilder, LinearOpsAddNoConstraints) {
+  CircuitBuilder b;
+  const Wire x = b.witness(Fr::from_u64(6));
+  const Wire y = b.witness(Fr::from_u64(7));
+  const Wire s = CircuitBuilder::add(x, y);
+  const Wire d = CircuitBuilder::sub(x, y);
+  const Wire k = CircuitBuilder::scale(x, Fr::from_u64(3));
+  EXPECT_EQ(s.value, Fr::from_u64(13));
+  EXPECT_EQ(d.value, Fr::from_u64(6) - Fr::from_u64(7));
+  EXPECT_EQ(k.value, Fr::from_u64(18));
+  EXPECT_EQ(b.cs().num_constraints(), 0u);
+}
+
+TEST(CircuitBuilder, AssertBooleanAcceptsBits) {
+  CircuitBuilder b;
+  b.assert_boolean(b.witness(Fr::zero()));
+  b.assert_boolean(b.witness(Fr::one()));
+  EXPECT_TRUE(b.satisfied());
+}
+
+TEST(CircuitBuilder, AssertBooleanRejectsNonBits) {
+  CircuitBuilder b;
+  b.assert_boolean(b.witness(Fr::from_u64(2)));
+  EXPECT_FALSE(b.satisfied());
+}
+
+TEST(CircuitBuilder, ConditionalSwap) {
+  CircuitBuilder b;
+  const Wire l = b.witness(Fr::from_u64(10));
+  const Wire r = b.witness(Fr::from_u64(20));
+  const auto [a0, b0] = b.conditional_swap(b.witness(Fr::zero()), l, r);
+  EXPECT_EQ(a0.value, Fr::from_u64(10));
+  EXPECT_EQ(b0.value, Fr::from_u64(20));
+  const auto [a1, b1] = b.conditional_swap(b.witness(Fr::one()), l, r);
+  EXPECT_EQ(a1.value, Fr::from_u64(20));
+  EXPECT_EQ(b1.value, Fr::from_u64(10));
+  EXPECT_TRUE(b.satisfied());
+}
+
+TEST(Gadgets, PoseidonMatchesNative) {
+  Rng rng(211);
+  for (std::size_t arity = 1; arity <= 4; ++arity) {
+    CircuitBuilder b;
+    std::vector<Fr> values;
+    std::vector<Wire> wires;
+    for (std::size_t i = 0; i < arity; ++i) {
+      values.push_back(Fr::random(rng));
+      wires.push_back(b.witness(values.back()));
+    }
+    const Wire out = poseidon_gadget(b, wires);
+    EXPECT_EQ(out.value, hash::poseidon_hash(values)) << "arity " << arity;
+    EXPECT_TRUE(b.satisfied()) << "arity " << arity;
+  }
+}
+
+TEST(Gadgets, PoseidonConstraintCountBounded) {
+  // t=3: 8 full rounds * 3 sboxes * 3 + 57 partial * (3 + 2 materialize)
+  CircuitBuilder b;
+  const Wire x = b.witness(Fr::one());
+  const Wire y = b.witness(Fr::from_u64(2));
+  (void)poseidon2_gadget(b, x, y);
+  EXPECT_LE(b.cs().num_constraints(), 400u);
+  EXPECT_GE(b.cs().num_constraints(), 200u);
+}
+
+TEST(Gadgets, MerkleRootMatchesNative) {
+  IncrementalMerkleTree tree(6);
+  for (std::uint64_t i = 0; i < 9; ++i) tree.insert(Fr::from_u64(100 + i));
+  for (std::uint64_t idx : {0u, 3u, 8u}) {
+    const MerklePath path = tree.auth_path(idx);
+    CircuitBuilder b;
+    const Wire leaf = b.witness(Fr::from_u64(100 + idx));
+    const Wire root = merkle_root_gadget(b, leaf, path);
+    EXPECT_EQ(root.value, tree.root()) << "index " << idx;
+    EXPECT_TRUE(b.satisfied());
+  }
+}
+
+// --- RLN circuit ---
+
+struct RlnFixture {
+  IncrementalMerkleTree tree{8};
+  Fr sk;
+  std::uint64_t index = 0;
+
+  explicit RlnFixture(std::uint64_t seed = 223) {
+    Rng rng(seed);
+    sk = Fr::random(rng);
+    // Surround our member with others.
+    tree.insert(Fr::random(rng));
+    index = tree.insert(hash::poseidon1(sk));
+    tree.insert(Fr::random(rng));
+  }
+
+  RlnProverInput prover_input(const Fr& x, const Fr& epoch) const {
+    return RlnProverInput{sk, tree.auth_path(index), x, epoch};
+  }
+};
+
+TEST(RlnCircuit, PublicsMatchSpec) {
+  const RlnFixture fx;
+  const Fr x = Fr::from_u64(42);
+  const Fr epoch = Fr::from_u64(54827003);
+  const RlnPublicInputs pub = rln_compute_publics(fx.prover_input(x, epoch));
+
+  const Fr a1 = hash::poseidon2(fx.sk, epoch);
+  EXPECT_EQ(pub.x, x);
+  EXPECT_EQ(pub.y, fx.sk + a1 * x);
+  EXPECT_EQ(pub.nullifier, hash::poseidon1(a1));
+  EXPECT_EQ(pub.epoch, epoch);
+  EXPECT_EQ(pub.root, fx.tree.root());
+}
+
+TEST(RlnCircuit, WitnessSatisfiesConstraints) {
+  const RlnFixture fx;
+  RlnCircuit c = build_rln_circuit(
+      fx.prover_input(Fr::from_u64(7), Fr::from_u64(1000)));
+  std::string violation;
+  EXPECT_TRUE(c.builder.satisfied(&violation)) << violation;
+}
+
+TEST(RlnCircuit, TwoSharesFromCircuitRecoverSk) {
+  // End-to-end RLN property at the circuit level: the public outputs of two
+  // same-epoch proofs expose sk via Shamir recovery.
+  const RlnFixture fx;
+  const Fr epoch = Fr::from_u64(999);
+  const auto p1 = rln_compute_publics(fx.prover_input(Fr::from_u64(11), epoch));
+  const auto p2 = rln_compute_publics(fx.prover_input(Fr::from_u64(22), epoch));
+  EXPECT_EQ(p1.nullifier, p2.nullifier);  // double-signal detection signal
+  const Fr recovered = sss::rln_recover_secret(sss::Share{p1.x, p1.y},
+                                               sss::Share{p2.x, p2.y});
+  EXPECT_EQ(recovered, fx.sk);
+}
+
+TEST(RlnCircuit, DifferentEpochsGiveDifferentNullifiers) {
+  const RlnFixture fx;
+  const auto p1 =
+      rln_compute_publics(fx.prover_input(Fr::from_u64(1), Fr::from_u64(10)));
+  const auto p2 =
+      rln_compute_publics(fx.prover_input(Fr::from_u64(1), Fr::from_u64(11)));
+  EXPECT_NE(p1.nullifier, p2.nullifier);
+}
+
+TEST(RlnCircuit, ConstraintCountGrowsWithDepth) {
+  const std::size_t c8 = rln_constraint_system(8).num_constraints();
+  const std::size_t c16 = rln_constraint_system(16).num_constraints();
+  const std::size_t c32 = rln_constraint_system(32).num_constraints();
+  EXPECT_LT(c8, c16);
+  EXPECT_LT(c16, c32);
+  // Each level adds one Poseidon2 + swap + bit: roughly constant increment.
+  const std::size_t inc1 = c16 - c8;
+  const std::size_t inc2 = c32 - c16;
+  EXPECT_EQ(inc1 / 8, inc2 / 16);
+}
+
+// --- Simulated Groth16 ---
+
+class Groth16Rln : public ::testing::Test {
+ protected:
+  RlnFixture fx;
+  const Keypair& kp = rln_keypair(8);
+
+  Proof make_proof(const Fr& x, const Fr& epoch, RlnPublicInputs* pub,
+                   std::uint64_t seed = 1) {
+    RlnCircuit c = build_rln_circuit(fx.prover_input(x, epoch));
+    if (pub) *pub = c.publics;
+    Rng rng(seed);
+    return prove(kp.pk, c.builder.cs(), c.builder.assignment(), rng);
+  }
+};
+
+TEST_F(Groth16Rln, Completeness) {
+  RlnPublicInputs pub;
+  const Proof proof = make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub);
+  EXPECT_TRUE(verify(kp.vk, pub.to_vector(), proof));
+}
+
+TEST_F(Groth16Rln, RejectsTamperedPublicInputs) {
+  RlnPublicInputs pub;
+  const Proof proof = make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub);
+  for (int field = 0; field < 5; ++field) {
+    auto inputs = pub.to_vector();
+    inputs[static_cast<std::size_t>(field)] += Fr::one();
+    EXPECT_FALSE(verify(kp.vk, inputs, proof)) << "field " << field;
+  }
+}
+
+TEST_F(Groth16Rln, RejectsTamperedProof) {
+  RlnPublicInputs pub;
+  Proof proof = make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub);
+  proof.binding[0] ^= 1;
+  EXPECT_FALSE(verify(kp.vk, pub.to_vector(), proof));
+}
+
+TEST_F(Groth16Rln, RejectsProofElementSwap) {
+  RlnPublicInputs pub;
+  Proof proof = make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub);
+  std::swap(proof.a, proof.b);
+  EXPECT_FALSE(verify(kp.vk, pub.to_vector(), proof));
+}
+
+TEST_F(Groth16Rln, RejectsWrongInputCount) {
+  RlnPublicInputs pub;
+  const Proof proof = make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub);
+  auto inputs = pub.to_vector();
+  inputs.pop_back();
+  EXPECT_FALSE(verify(kp.vk, inputs, proof));
+}
+
+TEST_F(Groth16Rln, RejectsGarbageProof) {
+  RlnPublicInputs pub;
+  (void)make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub);
+  Proof garbage;  // all zero
+  EXPECT_FALSE(verify(kp.vk, pub.to_vector(), garbage));
+}
+
+TEST_F(Groth16Rln, ProofsAreRandomized) {
+  RlnPublicInputs pub;
+  const Proof p1 = make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub, 1);
+  const Proof p2 = make_proof(Fr::from_u64(5), Fr::from_u64(100), &pub, 2);
+  EXPECT_NE(p1, p2);  // zero-knowledge: same statement, different proofs
+  EXPECT_TRUE(verify(kp.vk, pub.to_vector(), p1));
+  EXPECT_TRUE(verify(kp.vk, pub.to_vector(), p2));
+}
+
+TEST_F(Groth16Rln, ProveRejectsCorruptedWitness) {
+  RlnCircuit c =
+      build_rln_circuit(fx.prover_input(Fr::from_u64(5), Fr::from_u64(100)));
+  std::vector<Fr> assignment(c.builder.assignment().begin(),
+                             c.builder.assignment().end());
+  assignment[6] += Fr::one();  // corrupt a witness variable
+  Rng rng(3);
+  EXPECT_THROW(prove(kp.pk, c.builder.cs(), assignment, rng), ProofError);
+}
+
+TEST_F(Groth16Rln, ProveRejectsMismatchedCircuit) {
+  RlnCircuit c =
+      build_rln_circuit(fx.prover_input(Fr::from_u64(5), Fr::from_u64(100)));
+  const Keypair& other = rln_keypair(10);  // wrong depth
+  Rng rng(4);
+  EXPECT_THROW(
+      prove(other.pk, c.builder.cs(), c.builder.assignment(), rng),
+      ProofError);
+}
+
+TEST_F(Groth16Rln, NonMemberCannotProve) {
+  // A prover whose pk is NOT in the tree fails witness generation: the
+  // circuit's membership constraint is violated if they claim the root.
+  Rng rng(229);
+  const Fr outsider_sk = Fr::random(rng);
+  // Forge a path: siblings from a tree that doesn't contain the outsider.
+  RlnProverInput input{outsider_sk, fx.tree.auth_path(fx.index),
+                       Fr::from_u64(5), Fr::from_u64(100)};
+  // The honest publics computation yields a root != the real tree root.
+  const RlnPublicInputs pub = rln_compute_publics(input);
+  EXPECT_NE(pub.root, fx.tree.root());
+}
+
+TEST(Groth16, ProofSerializationRoundTrip) {
+  Rng rng(233);
+  Proof p;
+  const Bytes a = rng.next_bytes(32);
+  std::copy(a.begin(), a.end(), p.a.begin());
+  const Bytes bytes = p.serialize();
+  ASSERT_EQ(bytes.size(), Proof::kSerializedSize);
+  EXPECT_EQ(Proof::deserialize(bytes), p);
+}
+
+TEST(Groth16, DeserializeRejectsWrongSize) {
+  EXPECT_THROW(Proof::deserialize(Bytes(127, 0)), ProofError);
+  EXPECT_THROW(Proof::deserialize(Bytes(129, 0)), ProofError);
+}
+
+TEST(Groth16, ProvingKeySizeGrowsWithDepth) {
+  const Keypair& k8 = rln_keypair(8);
+  const Keypair& k16 = rln_keypair(16);
+  EXPECT_GT(k16.pk.serialized_size(), k8.pk.serialized_size());
+  // Verifying key stays small and constant-ish.
+  EXPECT_EQ(k8.vk.serialized_size(), k16.vk.serialized_size());
+  EXPECT_LT(k8.vk.serialized_size(), 1024u);
+}
+
+TEST(Groth16, ProvingKeySerializeMatchesReportedSize) {
+  const Keypair& kp = rln_keypair(4);
+  EXPECT_EQ(kp.pk.serialize().size(), kp.pk.serialized_size());
+}
+
+TEST(Groth16, KeypairDeterministicPerDepth) {
+  const Keypair& a = rln_keypair(6);
+  const Keypair& b = rln_keypair(6);
+  EXPECT_EQ(&a, &b);  // cached
+  EXPECT_EQ(a.pk.circuit_digest, rln_constraint_system(6).digest());
+}
+
+}  // namespace
+}  // namespace waku::zksnark
