@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Builds all bench targets in Release and emits one BENCH_<name>.json per
+# bench into the output directory (default: repo root), so successive PRs
+# have a comparable perf trajectory.
+#
+# Usage: scripts/run_benches.sh [output-dir] [bench-name ...]
+#   output-dir   where the JSON files land (created if missing)
+#   bench-name   optional subset (e.g. bench_batch_validation); default all
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-release"
+OUT="${1:-$ROOT}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+ONLY=("$@")
+
+mkdir -p "$OUT"
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target benches -j"$(nproc)"
+
+want() {
+  [ ${#ONLY[@]} -eq 0 ] && return 0
+  local name
+  for name in "${ONLY[@]}"; do
+    [ "$name" = "$1" ] && return 0
+  done
+  return 1
+}
+
+for bin in "$BUILD"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  want "$name" || continue
+  echo "== $name"
+  case "$name" in
+    bench_batch_validation)
+      # Standalone bench: writes its own JSON schema.
+      "$bin" "$OUT/BENCH_batch_validation.json"
+      ;;
+    *)
+      # google-benchmark benches: native JSON reporter.
+      "$bin" --benchmark_format=console \
+             --benchmark_out_format=json \
+             --benchmark_out="$OUT/BENCH_${name#bench_}.json"
+      ;;
+  esac
+done
+echo "bench JSONs written to $OUT"

@@ -33,8 +33,13 @@ void GossipSubRouter::subscribe(const std::string& topic,
 }
 
 void GossipSubRouter::unsubscribe(const std::string& topic) {
+  // Settle buffered publishes while the handler/validator are still
+  // installed: their ids already sit in seen_, so silently discarding
+  // them would make them undeliverable until the seen TTL expires.
+  flush_topic_validation(topic);
   handlers_.erase(topic);
   validators_.erase(topic);
+  pending_validation_.erase(topic);
   Frame frame;
   frame.type = FrameType::kUnsubscribe;
   frame.topic = topic;
@@ -51,7 +56,25 @@ void GossipSubRouter::unsubscribe(const std::string& topic) {
 
 void GossipSubRouter::set_validator(const std::string& topic,
                                     Validator validator) {
-  validators_[topic] = std::move(validator);
+  // Single-message validators ride the batch entry point (a loop over the
+  // window) when batching is on; the original callable is kept alongside
+  // so unbatched inline validation stays a direct, allocation-free call.
+  TopicValidator& hooks = validators_[topic];
+  hooks.single = validator;
+  hooks.batch = [validator = std::move(validator)](
+                    std::span<const IncomingMessage> batch) {
+    std::vector<ValidationResult> results;
+    results.reserve(batch.size());
+    for (const IncomingMessage& incoming : batch) {
+      results.push_back(validator(incoming.from, incoming.msg));
+    }
+    return results;
+  };
+}
+
+void GossipSubRouter::set_batch_validator(const std::string& topic,
+                                          BatchValidator validator) {
+  validators_[topic] = TopicValidator{nullptr, std::move(validator)};
 }
 
 std::vector<NodeId> GossipSubRouter::topic_peers(
@@ -166,18 +189,47 @@ void GossipSubRouter::handle_publish(NodeId from, const PubSubMessage& msg) {
   }
   seen_.emplace(id, network_.sim().now());
 
-  // Validation gate — spam dies here, at the first hop (paper §IV).
-  if (const auto vit = validators_.find(msg.topic); vit != validators_.end()) {
-    const ValidationResult result = vit->second(from, msg);
-    if (result == ValidationResult::kReject) {
-      ++stats_.rejected;
-      scores_.record_invalid_message(from);
+  // Validation gate — spam dies here, at the first hop (paper §IV). With
+  // batching enabled the message waits for a validation window; buffered
+  // messages already count as seen, so echoes keep deduplicating.
+  const auto vit = validators_.find(msg.topic);
+  if (vit == validators_.end()) {
+    dispatch_validated(from, msg, id, ValidationResult::kAccept);
+    return;
+  }
+  const TimeMs now = network_.local_time(id_);
+  if (config_.validation_batch_max <= 1) {
+    if (vit->second.single != nullptr) {
+      // Direct call — no result vector on the unbatched hot path.
+      dispatch_validated(from, msg, id, vit->second.single(from, msg));
       return;
     }
-    if (result == ValidationResult::kIgnore) {
-      ++stats_.ignored;
-      return;
-    }
+    const IncomingMessage one{from, now, msg};
+    const std::vector<ValidationResult> results =
+        vit->second.batch(std::span<const IncomingMessage>(&one, 1));
+    dispatch_validated(
+        from, msg, id,
+        results.empty() ? ValidationResult::kIgnore : results.front());
+    return;
+  }
+  auto& pending = pending_validation_[msg.topic];
+  pending.push_back(BufferedPublish{from, now, id, msg});
+  if (pending.size() >= config_.validation_batch_max) {
+    flush_topic_validation(msg.topic);
+  }
+}
+
+void GossipSubRouter::dispatch_validated(NodeId from, const PubSubMessage& msg,
+                                         const MessageId& id,
+                                         ValidationResult result) {
+  if (result == ValidationResult::kReject) {
+    ++stats_.rejected;
+    scores_.record_invalid_message(from);
+    return;
+  }
+  if (result == ValidationResult::kIgnore) {
+    ++stats_.ignored;
+    return;
   }
 
   scores_.record_first_delivery(from);
@@ -189,6 +241,46 @@ void GossipSubRouter::handle_publish(NodeId from, const PubSubMessage& msg) {
     hit->second(msg);
   }
   relay(msg, id, from);
+}
+
+void GossipSubRouter::flush_topic_validation(const std::string& topic) {
+  const auto pit = pending_validation_.find(topic);
+  if (pit == pending_validation_.end() || pit->second.empty()) return;
+  std::vector<BufferedPublish> batch = std::move(pit->second);
+  pit->second = {};
+
+  const auto vit = validators_.find(topic);
+  if (vit == validators_.end()) {
+    // Validator removed while messages were buffered: treat as unvalidated.
+    for (const BufferedPublish& buffered : batch) {
+      dispatch_validated(buffered.from, buffered.msg, buffered.id,
+                         ValidationResult::kAccept);
+    }
+    return;
+  }
+  std::vector<IncomingMessage> views;
+  views.reserve(batch.size());
+  for (const BufferedPublish& buffered : batch) {
+    views.push_back(
+        IncomingMessage{buffered.from, buffered.received_at, buffered.msg});
+  }
+  const std::vector<ValidationResult> results = vit->second.batch(views);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    dispatch_validated(batch[i].from, batch[i].msg, batch[i].id,
+                       i < results.size() ? results[i]
+                                          : ValidationResult::kIgnore);
+  }
+}
+
+void GossipSubRouter::flush_pending_validation() {
+  // Snapshot the topic list: dispatching can reach user code that mutates
+  // the pending map (e.g. a handler that publishes).
+  std::vector<std::string> topics;
+  topics.reserve(pending_validation_.size());
+  for (const auto& [topic, pending] : pending_validation_) {
+    if (!pending.empty()) topics.push_back(topic);
+  }
+  for (const std::string& topic : topics) flush_topic_validation(topic);
 }
 
 void GossipSubRouter::relay(const PubSubMessage& msg, const MessageId&,
@@ -263,6 +355,9 @@ std::vector<NodeId> GossipSubRouter::mesh_peers(
 }
 
 void GossipSubRouter::heartbeat() {
+  // Validation windows never outlive a heartbeat (bounded latency).
+  flush_pending_validation();
+
   // Score upkeep.
   for (const auto& [topic, peers] : mesh_) {
     for (const NodeId peer : peers) scores_.record_mesh_tick(peer);

@@ -44,7 +44,18 @@ class GossipSubRouter : public net::NetNode {
   void unsubscribe(const std::string& topic);
 
   /// Installs the validation hook for `topic` (the RLN/PoW plug point).
+  /// Adapted onto the batch hook below, so batching config applies.
   void set_validator(const std::string& topic, Validator validator);
+
+  /// Installs the batched validation hook for `topic` — the router's one
+  /// validation entry point. With validation_batch_max > 1, received
+  /// publishes are buffered and validated in windows (flushed when the
+  /// window fills and on every heartbeat); otherwise each message is
+  /// validated inline as a window of one.
+  void set_batch_validator(const std::string& topic, BatchValidator validator);
+
+  /// Validates and dispatches any buffered publishes for all topics now.
+  void flush_pending_validation();
 
   /// Publishes data under `topic`; returns the message id.
   MessageId publish(const std::string& topic, Bytes data);
@@ -67,6 +78,10 @@ class GossipSubRouter : public net::NetNode {
  private:
   void heartbeat();
   void handle_publish(NodeId from, const PubSubMessage& msg);
+  void flush_topic_validation(const std::string& topic);
+  /// Applies one validation result: deliver + relay, or penalize/drop.
+  void dispatch_validated(NodeId from, const PubSubMessage& msg,
+                          const MessageId& id, ValidationResult result);
   void handle_ihave(NodeId from, const std::string& topic,
                     const std::vector<MessageId>& ids);
   void handle_iwant(NodeId from, const std::vector<MessageId>& ids);
@@ -83,7 +98,27 @@ class GossipSubRouter : public net::NetNode {
   std::uint64_t seqno_ = 0;
 
   std::unordered_map<std::string, DeliveryHandler> handlers_;
-  std::unordered_map<std::string, Validator> validators_;
+  // Per-topic validation hooks. `batch` is the one entry point; `single`
+  // is kept (when installed via set_validator) as a zero-allocation fast
+  // path for unbatched inline validation.
+  struct TopicValidator {
+    Validator single;  ///< may be null (batch-only installation)
+    BatchValidator batch;
+  };
+  std::unordered_map<std::string, TopicValidator> validators_;
+  // A publish buffered for batched validation. Owns its message copy (the
+  // wire frame is gone by flush time); the id is kept so it is hashed
+  // once per message, at arrival.
+  struct BufferedPublish {
+    NodeId from;
+    TimeMs received_at;
+    MessageId id;
+    PubSubMessage msg;
+  };
+  // Publishes awaiting batched validation, per topic (see
+  // GossipSubConfig::validation_batch_max).
+  std::unordered_map<std::string, std::vector<BufferedPublish>>
+      pending_validation_;
   std::unordered_map<NodeId, std::set<std::string>> peer_topics_;
   std::unordered_map<std::string, std::set<NodeId>> mesh_;
 

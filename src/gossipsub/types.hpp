@@ -7,7 +7,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "net/network.hpp"
@@ -49,6 +51,25 @@ enum class ValidationResult {
 using Validator =
     std::function<ValidationResult(NodeId from, const PubSubMessage&)>;
 
+/// A received publish as a batch validator sees it. A non-owning view:
+/// `msg` references the in-flight frame (inline validation) or the
+/// router's pending buffer (batched validation) for the duration of the
+/// validator call only. `received_at` is the local arrival time — epoch
+/// checks must use it, not the flush time, or messages near the gap
+/// boundary would expire while buffered.
+struct IncomingMessage {
+  NodeId from;
+  TimeMs received_at;
+  const PubSubMessage& msg;
+};
+
+/// Batch validator callback: one result per input, same order. The single
+/// message Validator is adapted onto this internally, so a batch validator
+/// is the router's one validation entry point.
+using BatchValidator =
+    std::function<std::vector<ValidationResult>(
+        std::span<const IncomingMessage>)>;
+
 /// Local delivery callback for subscribed topics.
 using DeliveryHandler = std::function<void(const PubSubMessage&)>;
 
@@ -65,6 +86,12 @@ struct GossipSubConfig {
   TimeMs seen_ttl_ms = 120'000;    ///< dedup cache retention
 
   bool flood_publish = true;  ///< publish to all subscribed neighbors
+
+  /// Validation batching: buffer up to this many received publishes per
+  /// topic and validate them in one BatchValidator call. Buffers flush
+  /// when full and on every heartbeat (bounded added latency). 1 =
+  /// validate inline on arrival (the historical behavior, the default).
+  std::size_t validation_batch_max = 1;
 };
 
 }  // namespace waku::gossipsub

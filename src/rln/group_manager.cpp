@@ -1,7 +1,5 @@
 #include "rln/group_manager.hpp"
 
-#include <algorithm>
-
 #include "common/expect.hpp"
 
 namespace waku::rln {
@@ -14,6 +12,7 @@ GroupManager::GroupManager(std::size_t depth, TreeMode mode,
                            std::size_t root_window)
     : depth_(depth), mode_(mode), root_window_(root_window) {
   WAKU_EXPECTS(root_window >= 1);
+  root_ring_.resize(root_window_);
   tree_.emplace(depth);
   push_root();
 }
@@ -25,9 +24,22 @@ void GroupManager::set_own_identity(const Identity& identity) {
 
 void GroupManager::push_root() {
   const Fr r = root();
-  if (!recent_roots_.empty() && recent_roots_.back() == r) return;
-  recent_roots_.push_back(r);
-  while (recent_roots_.size() > root_window_) recent_roots_.pop_front();
+  if (ring_size_ > 0) {
+    const std::size_t newest =
+        (ring_head_ + root_window_ - 1) % root_window_;
+    if (root_ring_[newest] == r) return;  // no-op event; window unchanged
+  }
+  if (ring_size_ == root_window_) {
+    // Evict the oldest slot (the one the head is about to overwrite).
+    const Fr& old = root_ring_[ring_head_];
+    const auto it = root_index_.find(old);
+    if (--it->second == 0) root_index_.erase(it);
+  } else {
+    ++ring_size_;
+  }
+  root_ring_[ring_head_] = r;
+  ++root_index_[r];
+  ring_head_ = (ring_head_ + 1) % root_window_;
 }
 
 void GroupManager::on_event(const chain::Event& event) {
@@ -99,8 +111,7 @@ Fr GroupManager::root() const {
 }
 
 bool GroupManager::is_recent_root(const Fr& r) const {
-  return std::find(recent_roots_.begin(), recent_roots_.end(), r) !=
-         recent_roots_.end();
+  return root_index_.contains(r);
 }
 
 merkle::MerklePath GroupManager::own_path() const {
@@ -121,7 +132,8 @@ merkle::MerklePath GroupManager::path_of(std::uint64_t index) const {
 }
 
 std::size_t GroupManager::storage_bytes() const {
-  std::size_t bytes = recent_roots_.size() * 32;
+  // Ring slots plus the membership index (32-byte root + 4-byte refcount).
+  std::size_t bytes = root_ring_.size() * 32 + root_index_.size() * (32 + 4);
   if (view_.has_value()) {
     bytes += view_->storage_bytes();
   } else {

@@ -12,10 +12,10 @@
 // therefore accept proofs only against a short window of recent roots.
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <variant>
+#include <vector>
 
 #include "chain/types.hpp"
 #include "merkle/merkle_tree.hpp"
@@ -45,8 +45,11 @@ class GroupManager {
 
   [[nodiscard]] Fr root() const;
   /// True if `root` is the current root or one of the last `root_window`
-  /// roots (tolerates proof/event races).
+  /// roots (tolerates proof/event races). O(1): backed by the rolling root
+  /// cache, not a scan — this sits on the per-message validation hot path.
   [[nodiscard]] bool is_recent_root(const Fr& root) const;
+  /// Number of distinct roots currently held by the rolling cache.
+  [[nodiscard]] std::size_t recent_root_count() const { return ring_size_; }
 
   [[nodiscard]] std::optional<std::uint64_t> own_index() const {
     return own_index_;
@@ -92,7 +95,15 @@ class GroupManager {
   // pk -> index (full mode only; used to locate spammers for slashing).
   std::unordered_map<ff::U256, std::uint64_t, ff::U256Hash> pk_index_;
 
-  std::deque<Fr> recent_roots_;
+  // Rolling root cache: ring buffer of the last `root_window_` distinct
+  // roots plus a refcounted hash index for O(1) membership tests. The
+  // refcount matters because a root can legitimately re-enter the window
+  // (a removal can restore an earlier tree state); evicting one ring slot
+  // must not forget the other occurrence.
+  std::vector<Fr> root_ring_;
+  std::size_t ring_head_ = 0;  ///< next slot to overwrite
+  std::size_t ring_size_ = 0;
+  std::unordered_map<Fr, std::uint32_t, ff::FrHash> root_index_;
 };
 
 }  // namespace waku::rln

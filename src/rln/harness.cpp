@@ -62,4 +62,10 @@ std::uint64_t RlnHarness::total_rejected() {
   return n;
 }
 
+ValidatorStats RlnHarness::total_validation_stats() const {
+  ValidatorStats total;
+  for (const auto& node : nodes_) total += node->validator().stats();
+  return total;
+}
+
 }  // namespace waku::rln

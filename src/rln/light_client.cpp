@@ -44,9 +44,9 @@ void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
       bool accepted = false;
       try {
         msg = WakuMessage::deserialize(r.read_bytes());
-        // The service vouches for what it relays: run the full RLN check
-        // before pushing into the mesh.
-        const ValidationOutcome outcome = node_.validator().validate(
+        // The service vouches for what it relays: run the full RLN
+        // pipeline (a window of one) before pushing into the mesh.
+        const ValidationOutcome outcome = node_.pipeline().validate_one(
             msg, network_.local_time(node_.node_id()));
         accepted = outcome.verdict == Verdict::kAccept;
       } catch (const std::exception&) {

@@ -21,33 +21,61 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       identity_(Identity::generate(rng_)),
       relay_(network, config.gossip, config.score, seed),
       group_(config.tree_depth, config.tree_mode),
+      // Per-node seed for the batch verifier's RLC weights: senders must
+      // not be able to predict another node's weight stream.
       validator_(zksnark::rln_keypair(config.tree_depth).vk, group_,
-                 config.validator) {
+                 config.validator, seed ^ 0x52C4A55E9D1ULL) {
   group_.set_own_identity(identity_);
 }
 
 void WakuRlnRelayNode::start() {
-  relay_.set_validator([this](net::NodeId, const WakuMessage& msg)
-                           -> ValidationResult {
-    const ValidationOutcome outcome =
-        validator_.validate(msg, network_.local_time(node_id()));
-    switch (outcome.verdict) {
-      case Verdict::kAccept:
-        return ValidationResult::kAccept;
-      case Verdict::kIgnoreEpochGap:
-      case Verdict::kIgnoreDuplicate:
-        return ValidationResult::kIgnore;
-      case Verdict::kRejectSpam:
-        // Double-signal: the recovered sk is slashing material (§III-F).
-        trigger_slash(*outcome.recovered_sk);
-        return ValidationResult::kReject;
-      case Verdict::kRejectNoProof:
-      case Verdict::kRejectBadProof:
-      case Verdict::kRejectStaleRoot:
-        return ValidationResult::kReject;
-    }
-    return ValidationResult::kReject;
-  });
+  // All relayed traffic funnels through the staged validation pipeline;
+  // with gossip validation batching enabled, whole windows share one
+  // RLC-aggregated Groth16 check.
+  relay_.set_batch_validator(
+      [this](const std::vector<net::NodeId>&,
+             const std::vector<net::TimeMs>& received_at,
+             const std::vector<WakuMessage>& messages) {
+        const std::vector<ValidationOutcome> outcomes =
+            validator_.validate_batch(messages, received_at);
+        std::vector<ValidationResult> results;
+        results.reserve(outcomes.size());
+        for (const ValidationOutcome& outcome : outcomes) {
+          switch (outcome.verdict) {
+            case Verdict::kAccept:
+              results.push_back(ValidationResult::kAccept);
+              continue;
+            case Verdict::kIgnoreEpochGap:
+            case Verdict::kIgnoreDuplicate:
+              results.push_back(ValidationResult::kIgnore);
+              continue;
+            case Verdict::kRejectSpam:
+              // Double-signal: the recovered sk is slashing material
+              // (§III-F). Same-x equivocation yields none to recover.
+              if (outcome.recovered_sk.has_value()) {
+                trigger_slash(*outcome.recovered_sk);
+              }
+              results.push_back(ValidationResult::kReject);
+              continue;
+            case Verdict::kRejectStaleRoot:
+              // With windowed validation a proof can go stale while it
+              // sits buffered (membership churn between arrival and
+              // flush) — not the sender's fault, so drop it without a
+              // score penalty. Unbatched validation keeps the strict
+              // reject: there the root was stale on arrival.
+              results.push_back(config_.gossip.validation_batch_max > 1
+                                    ? ValidationResult::kIgnore
+                                    : ValidationResult::kReject);
+              continue;
+            case Verdict::kRejectNoProof:
+            case Verdict::kRejectBadProof:
+              results.push_back(ValidationResult::kReject);
+              continue;
+          }
+          results.push_back(ValidationResult::kReject);
+        }
+        return results;
+      });
 
   relay_.subscribe([this](const WakuMessage& msg) {
     ++stats_.delivered;

@@ -100,6 +100,11 @@ class WakuRlnRelayNode {
   [[nodiscard]] WakuRelay& relay() { return relay_; }
   [[nodiscard]] GroupManager& group() { return group_; }
   [[nodiscard]] RlnValidator& validator() { return validator_; }
+  /// The staged validation pipeline behind validator() — the node's one
+  /// validation entry point.
+  [[nodiscard]] ValidationPipeline& pipeline() {
+    return validator_.pipeline();
+  }
   [[nodiscard]] WakuStore& store() { return store_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
   [[nodiscard]] const NodeConfig& config() const { return config_; }

@@ -1,37 +1,79 @@
 #include "rln/nullifier_log.hpp"
 
+#include <algorithm>
+
 namespace waku::rln {
 
 NullifierLog::Result NullifierLog::observe(std::uint64_t epoch,
                                            const Fr& nullifier,
-                                           const sss::Share& share) {
-  EpochMap& log = epochs_[epoch];
-  const auto it = log.find(nullifier);
-  if (it == log.end()) {
-    log.emplace(nullifier, share);
-    return Result{Outcome::kNew, std::nullopt};
+                                           const sss::Share& share,
+                                           std::uint64_t proof_fp) {
+  if (buckets_.empty()) {
+    min_epoch_ = epoch;
+  } else {
+    min_epoch_ = std::min(min_epoch_, epoch);
   }
-  if (it->second == share) {
-    return Result{Outcome::kDuplicate, std::nullopt};
+  Bucket& bucket = buckets_[epoch];
+  const auto it = bucket.find(nullifier);
+  if (it == bucket.end()) {
+    bucket.emplace(nullifier, Entry{share, proof_fp});
+    ++entries_;
+    return Result{Outcome::kNew, std::nullopt, false};
   }
-  return Result{Outcome::kConflict, it->second};
+  if (it->second.share == share) {
+    return Result{Outcome::kDuplicate, std::nullopt, false};
+  }
+  // Equivocation. Two distinct x coordinates pin down the line and hence
+  // sk; an identical x with a different y cannot (interpolation needs
+  // distinct points) but is still a double-signal, never a duplicate.
+  ++conflicts_;
+  return Result{Outcome::kConflict, it->second.share,
+                it->second.share.x != share.x};
+}
+
+std::optional<NullifierLog::Entry> NullifierLog::peek(
+    std::uint64_t epoch, const Fr& nullifier) const {
+  const auto bit = buckets_.find(epoch);
+  if (bit == buckets_.end()) return std::nullopt;
+  const auto it = bit->second.find(nullifier);
+  if (it == bit->second.end()) return std::nullopt;
+  return it->second;
 }
 
 void NullifierLog::gc(std::uint64_t current_epoch, std::uint64_t thr) {
   const std::uint64_t cutoff =
       current_epoch > thr ? current_epoch - thr : 0;
-  epochs_.erase(epochs_.begin(), epochs_.lower_bound(cutoff));
-}
-
-std::size_t NullifierLog::entry_count() const {
-  std::size_t n = 0;
-  for (const auto& [epoch, log] : epochs_) n += log.size();
-  return n;
+  if (buckets_.empty() || cutoff <= min_epoch_) {
+    if (buckets_.empty()) min_epoch_ = cutoff;
+    return;
+  }
+  // Expire whole epoch buckets. Walk the epoch range when it is dense
+  // (the steady state: at most thr+1 live epochs), otherwise sweep the
+  // bucket keys so a sparse log never pays for the numeric gap.
+  if (cutoff - min_epoch_ <= buckets_.size() + 1) {
+    for (std::uint64_t e = min_epoch_; e < cutoff; ++e) {
+      const auto it = buckets_.find(e);
+      if (it == buckets_.end()) continue;
+      entries_ -= it->second.size();
+      buckets_.erase(it);
+    }
+  } else {
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      if (it->first < cutoff) {
+        entries_ -= it->second.size();
+        it = buckets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  min_epoch_ = cutoff;
 }
 
 std::size_t NullifierLog::storage_bytes() const {
-  // nullifier (32) + share x,y (64) per entry, plus per-epoch key.
-  return entry_count() * 96 + epoch_count() * 8;
+  // nullifier (32) + share x,y (64) + proof fingerprint (8) per entry,
+  // plus per-epoch key.
+  return entry_count() * 104 + epoch_count() * 8;
 }
 
 }  // namespace waku::rln

@@ -3,10 +3,13 @@
 // Thr epochs. A repeated nullifier within an epoch is either a duplicate
 // (same share) or a double-signal (different share), in which case the two
 // shares reconstruct the spammer's secret key.
+//
+// Storage is sharded into one hash bucket per epoch with a min-epoch
+// watermark, so expiring an epoch is one bucket drop (O(1) per epoch)
+// instead of a sweep over every record.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <unordered_map>
 
@@ -29,26 +32,61 @@ class NullifierLog {
     /// On kConflict: the previously recorded share (to pair with the new
     /// one for secret recovery).
     std::optional<sss::Share> previous_share;
+    /// On kConflict: whether the two shares can reconstruct sk. False when
+    /// the equivocating share reuses the recorded x with a different y —
+    /// identical-x points cannot be interpolated (Shamir needs distinct x),
+    /// but mismatched y on the same x is still equivocation, not an echo.
+    bool sk_recoverable = false;
+  };
+
+  struct Stats {
+    std::size_t entries = 0;    ///< recorded (nullifier, share) pairs
+    std::size_t buckets = 0;    ///< live epoch shards
+    std::uint64_t conflicts = 0;  ///< double-signals observed since start
+  };
+
+  /// What the log remembers per (epoch, nullifier): the Shamir share plus
+  /// a fingerprint of the exact proof bytes that were verified with it.
+  /// The fingerprint lets the validation pipeline's echo precheck skip the
+  /// SNARK only for byte-identical replays — a replay with tampered proof
+  /// bytes must still reach the verifier and earn its reject penalty.
+  struct Entry {
+    sss::Share share;
+    std::uint64_t proof_fp = 0;
   };
 
   /// Checks the (epoch, nullifier, share) triple against the log and
-  /// records it if new.
+  /// records it (with `proof_fp`) if new. Duplicate/conflict is decided
+  /// by the share alone: a re-proof of the same share (proof bytes differ
+  /// by randomization) is still a duplicate signal, never a conflict.
   Result observe(std::uint64_t epoch, const Fr& nullifier,
-                 const sss::Share& share);
+                 const sss::Share& share, std::uint64_t proof_fp = 0);
+
+  /// Read-only probe: the entry recorded for (epoch, nullifier), if any.
+  /// Lets the validation pipeline short-circuit gossip echoes before the
+  /// SNARK verifier without mutating the log.
+  [[nodiscard]] std::optional<Entry> peek(std::uint64_t epoch,
+                                          const Fr& nullifier) const;
 
   /// Drops entries older than `thr` epochs before `current_epoch`
   /// (messages that old are rejected up front, so the log never needs
-  /// them, §III-F).
+  /// them, §III-F). Amortized O(1) per expired epoch via the watermark.
   void gc(std::uint64_t current_epoch, std::uint64_t thr);
 
-  [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
-  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] Stats stats() const {
+    return Stats{entries_, buckets_.size(), conflicts_};
+  }
+  [[nodiscard]] std::size_t epoch_count() const { return buckets_.size(); }
+  [[nodiscard]] std::size_t entry_count() const { return entries_; }
   /// Approximate in-memory footprint (E4/E5 bookkeeping).
   [[nodiscard]] std::size_t storage_bytes() const;
 
  private:
-  using EpochMap = std::unordered_map<Fr, sss::Share, ff::FrHash>;
-  std::map<std::uint64_t, EpochMap> epochs_;  // ordered for cheap gc
+  using Bucket = std::unordered_map<Fr, Entry, ff::FrHash>;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::uint64_t min_epoch_ = 0;  ///< no bucket is older than this watermark
+  std::size_t entries_ = 0;
+  std::uint64_t conflicts_ = 0;
 };
 
 }  // namespace waku::rln

@@ -1,0 +1,243 @@
+#include "rln/validation_pipeline.hpp"
+
+#include "common/expect.hpp"
+
+namespace waku::rln {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kAccept:
+      return "accept";
+    case Verdict::kIgnoreEpochGap:
+      return "ignore-epoch-gap";
+    case Verdict::kIgnoreDuplicate:
+      return "ignore-duplicate";
+    case Verdict::kRejectNoProof:
+      return "reject-no-proof";
+    case Verdict::kRejectBadProof:
+      return "reject-bad-proof";
+    case Verdict::kRejectStaleRoot:
+      return "reject-stale-root";
+    case Verdict::kRejectSpam:
+      return "reject-spam";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-message working state threaded through the stages.
+struct Slot {
+  std::optional<RateLimitProof> bundle;
+  Fr x;                     ///< recomputed message hash H(m)
+  std::uint64_t proof_fp = 0;
+  bool settled = false;     ///< verdict already written by a cheap stage
+  bool verified = false;    ///< survived stage 4
+};
+
+/// FNV-1a over the 128 proof bytes. Distinguishes a byte-identical echo
+/// (safe to drop without re-verifying) from a replay with tampered proof
+/// bytes (must reach the verifier and earn its reject penalty). Not
+/// collision-resistant — a collision only downgrades a reject to an
+/// ignore for one echo, never accepts anything.
+std::uint64_t proof_fingerprint(const zksnark::Proof& proof) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::array<std::uint8_t, 32>& part) {
+    for (const std::uint8_t b : part) {
+      h = (h ^ b) * 0x100000001b3ULL;
+    }
+  };
+  mix(proof.a);
+  mix(proof.b);
+  mix(proof.c);
+  mix(proof.binding);
+  return h;
+}
+
+}  // namespace
+
+ValidationPipeline::ValidationPipeline(const zksnark::VerifyingKey& vk,
+                                       const GroupManager& group,
+                                       ValidatorConfig config,
+                                       std::uint64_t seed)
+    : vk_(vk), group_(group), config_(config), rng_(seed) {}
+
+std::vector<ValidationOutcome> ValidationPipeline::validate_batch(
+    std::span<const WakuMessage> messages, std::uint64_t local_now_ms) {
+  return validate_impl(messages, {}, local_now_ms);
+}
+
+std::vector<ValidationOutcome> ValidationPipeline::validate_batch(
+    std::span<const WakuMessage> messages,
+    std::span<const std::uint64_t> received_at_ms) {
+  WAKU_EXPECTS(received_at_ms.size() == messages.size());
+  return validate_impl(messages, received_at_ms, 0);
+}
+
+std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
+    std::span<const WakuMessage> messages,
+    std::span<const std::uint64_t> received_at_ms,
+    std::uint64_t uniform_now_ms) {
+  ++stats_.batches;
+  const std::size_t n = messages.size();
+  std::vector<ValidationOutcome> out(n);
+  std::vector<Slot> slots(n);
+
+  // Stages 1-3, per message, cheapest first. Everything that can be
+  // decided without touching the SNARK verifier is decided here.
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    slot.bundle = extract_proof(messages[i]);
+    if (!slot.bundle.has_value()) {
+      ++stats_.no_proof;
+      out[i] = {Verdict::kRejectNoProof, std::nullopt};
+      slot.settled = true;
+      continue;
+    }
+
+    // 1. Epoch gap (§III-F item 1), against this message's arrival time.
+    const std::uint64_t local_epoch = config_.epoch.epoch_at(
+        received_at_ms.empty() ? uniform_now_ms : received_at_ms[i]);
+    if (epoch_distance(local_epoch, slot.bundle->epoch) >
+        config_.max_epoch_gap) {
+      ++stats_.epoch_gap;
+      out[i] = {Verdict::kIgnoreEpochGap, std::nullopt};
+      slot.settled = true;
+      continue;
+    }
+
+    // 2. Root freshness against the rolling root cache: removed members
+    //    must not keep proving against trees that still contain them.
+    if (!group_.is_recent_root(slot.bundle->root)) {
+      ++stats_.stale_root;
+      out[i] = {Verdict::kRejectStaleRoot, std::nullopt};
+      slot.settled = true;
+      continue;
+    }
+
+    // The share must be bound to this exact message: x = H(m). A mismatch
+    // can never verify (x is a public input), so reject before the SNARK.
+    slot.x = message_hash(messages[i]);
+    if (slot.x != slot.bundle->share_x) {
+      ++stats_.bad_proof;
+      out[i] = {Verdict::kRejectBadProof, std::nullopt};
+      slot.settled = true;
+      continue;
+    }
+
+    // 3. Nullifier precheck: a byte-identical gossip echo (same share AND
+    //    same proof bytes as the entry we already verified) is dropped
+    //    without re-verifying. A matching share with *different* proof
+    //    bytes is not short-circuited — it must reach the verifier so a
+    //    tampered replay still earns its reject penalty. A different
+    //    recorded share is a double-signal candidate and must also pass
+    //    the verifier before it becomes slashing material (otherwise
+    //    garbage shares could frame members).
+    slot.proof_fp = proof_fingerprint(slot.bundle->proof);
+    const std::optional<NullifierLog::Entry> prior =
+        log_.peek(slot.bundle->epoch, slot.bundle->nullifier);
+    if (prior.has_value() && prior->proof_fp == slot.proof_fp &&
+        prior->share ==
+            sss::Share{slot.bundle->share_x, slot.bundle->share_y}) {
+      ++stats_.duplicates;
+      ++stats_.precheck_duplicates;
+      out[i] = {Verdict::kIgnoreDuplicate, std::nullopt};
+      slot.settled = true;
+      continue;
+    }
+  }
+
+  // Stage 4: batched Groth16 over the survivors.
+  std::vector<zksnark::BatchEntry> entries;
+  std::vector<std::size_t> entry_slot;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slots[i].settled) continue;
+    entries.push_back(zksnark::BatchEntry{
+        slots[i].bundle->public_inputs(slots[i].x), slots[i].bundle->proof});
+    entry_slot.push_back(i);
+  }
+  if (!entries.empty()) {
+    const zksnark::BatchVerifyOutcome batch =
+        zksnark::verify_batch(vk_, entries, rng_);
+    if (batch.aggregated) {
+      ++stats_.batch_aggregated;
+    } else {
+      ++stats_.batch_fallbacks;
+    }
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      slots[entry_slot[k]].verified = batch.ok[k];
+    }
+  }
+
+  // Stage 5: rate limit + double-signal detection, in arrival order so a
+  // batch is indistinguishable from the same messages fed one at a time.
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    if (slot.settled) continue;
+    const sss::Share share{slot.bundle->share_x, slot.bundle->share_y};
+    if (!slot.verified) {
+      // Partition invariance: fed one at a time, this message would have
+      // been prechecked against a log that already holds the earlier batch
+      // entries. A byte-identical recorded entry means it is an echo of an
+      // already-proven signal — a duplicate, not a bad proof.
+      const std::optional<NullifierLog::Entry> prior =
+          log_.peek(slot.bundle->epoch, slot.bundle->nullifier);
+      if (prior.has_value() && prior->proof_fp == slot.proof_fp &&
+          prior->share == share) {
+        // Not counted as a precheck duplicate: this one did reach the
+        // SNARK stage (its twin hadn't been logged yet at precheck time).
+        ++stats_.duplicates;
+        out[i] = {Verdict::kIgnoreDuplicate, std::nullopt};
+      } else {
+        ++stats_.bad_proof;
+        out[i] = {Verdict::kRejectBadProof, std::nullopt};
+      }
+      continue;
+    }
+    const NullifierLog::Result seen = log_.observe(
+        slot.bundle->epoch, slot.bundle->nullifier, share, slot.proof_fp);
+    switch (seen.outcome) {
+      case NullifierLog::Outcome::kNew:
+        ++stats_.accepted;
+        out[i] = {Verdict::kAccept, std::nullopt};
+        break;
+      case NullifierLog::Outcome::kDuplicate:
+        ++stats_.duplicates;
+        out[i] = {Verdict::kIgnoreDuplicate, std::nullopt};
+        break;
+      case NullifierLog::Outcome::kConflict: {
+        ++stats_.spam_detected;
+        // Two distinct shares on the same line reconstruct sk (§II-B);
+        // the same-x corner is equivocation without slashing material.
+        std::optional<Fr> sk;
+        if (seen.sk_recoverable) {
+          sk = sss::rln_recover_secret(*seen.previous_share, share);
+        }
+        out[i] = {Verdict::kRejectSpam, sk};
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ValidationOutcome ValidationPipeline::validate_one(
+    const WakuMessage& message, std::uint64_t local_now_ms) {
+  return validate_batch(std::span<const WakuMessage>(&message, 1),
+                        local_now_ms)[0];
+}
+
+void ValidationPipeline::gc(std::uint64_t local_now_ms) {
+  log_.gc(config_.epoch.epoch_at(local_now_ms), config_.max_epoch_gap);
+}
+
+ValidatorStats ValidationPipeline::stats() const {
+  ValidatorStats s = stats_;
+  const NullifierLog::Stats ls = log_.stats();
+  s.log_entries = ls.entries;
+  s.log_buckets = ls.buckets;
+  s.log_conflicts = ls.conflicts;
+  return s;
+}
+
+}  // namespace waku::rln

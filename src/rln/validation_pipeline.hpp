@@ -1,0 +1,151 @@
+// Staged batch-validation pipeline: the routing-time spam check (paper
+// §III-F) restructured so a relay can validate a *window* of incoming
+// messages at once instead of one at a time. Stages run in cost order,
+// cheapest first, so attack traffic dies before it can buy CPU:
+//
+//   1. epoch-gap gate      |msg.epoch - local epoch| <= Thr        O(1)
+//   2. root check          tau against the rolling root cache      O(1)
+//   3. nullifier precheck  gossip echoes drop before the verifier  O(1)
+//   4. batched Groth16     one RLC-aggregated pairing check for
+//                          the survivors, per-proof fallback       amortized
+//   5. double-signal       nullifier-log observe + Shamir recovery
+//
+// The single-message path is the batch path with a window of one;
+// rln::RlnValidator (validator.hpp) stays as a thin adapter so existing
+// call sites keep their shape. See src/rln/README.md for the data
+// structures behind stages 2 and 5.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rln/epoch.hpp"
+#include "rln/group_manager.hpp"
+#include "rln/nullifier_log.hpp"
+#include "rln/rate_limit_proof.hpp"
+#include "zksnark/groth16.hpp"
+
+namespace waku::rln {
+
+/// Why a message was accepted or dropped; the relay maps this onto
+/// gossipsub validation results (Reject penalizes the sender).
+enum class Verdict {
+  kAccept,
+  kIgnoreEpochGap,    ///< too old / too far in the future (benign: skew)
+  kIgnoreDuplicate,   ///< same share seen already (gossip echo)
+  kRejectNoProof,     ///< missing/malformed proof bundle
+  kRejectBadProof,    ///< zkSNARK verification failed
+  kRejectStaleRoot,   ///< proof made against an unknown/old tree root
+  kRejectSpam,        ///< double-signal detected -> slashing material
+};
+
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+struct ValidationOutcome {
+  Verdict verdict = Verdict::kAccept;
+  /// Set on kRejectSpam when the two shares have distinct x coordinates:
+  /// the recovered identity secret key of the spammer. Unset for the
+  /// same-x equivocation corner (still spam, no slashing material).
+  std::optional<Fr> recovered_sk;
+};
+
+struct ValidatorConfig {
+  EpochConfig epoch;
+  std::uint64_t max_epoch_gap = 2;  ///< Thr (paper §III-F)
+};
+
+struct ValidatorStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t epoch_gap = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t no_proof = 0;
+  std::uint64_t bad_proof = 0;
+  std::uint64_t stale_root = 0;
+  std::uint64_t spam_detected = 0;
+  // Pipeline internals. Every window that reaches the verifier counts as
+  // exactly one of aggregated/fallback; windows fully settled by the
+  // cheap stages count in `batches` alone.
+  std::uint64_t batches = 0;             ///< validate_batch invocations
+  std::uint64_t batch_aggregated = 0;    ///< windows settled by one RLC check
+  std::uint64_t batch_fallbacks = 0;     ///< windows that isolated per proof
+  std::uint64_t precheck_duplicates = 0; ///< echoes dropped before the SNARK
+  // Mirror of NullifierLog::stats() at the time stats() was called.
+  std::uint64_t log_entries = 0;
+  std::uint64_t log_buckets = 0;
+  std::uint64_t log_conflicts = 0;
+
+  /// Field-wise accumulation (deployment-wide aggregation). Keep in sync
+  /// when adding a counter — aggregators rely on this, not hand-sums.
+  ValidatorStats& operator+=(const ValidatorStats& o) {
+    accepted += o.accepted;
+    epoch_gap += o.epoch_gap;
+    duplicates += o.duplicates;
+    no_proof += o.no_proof;
+    bad_proof += o.bad_proof;
+    stale_root += o.stale_root;
+    spam_detected += o.spam_detected;
+    batches += o.batches;
+    batch_aggregated += o.batch_aggregated;
+    batch_fallbacks += o.batch_fallbacks;
+    precheck_duplicates += o.precheck_duplicates;
+    log_entries += o.log_entries;
+    log_buckets += o.log_buckets;
+    log_conflicts += o.log_conflicts;
+    return *this;
+  }
+};
+
+class ValidationPipeline {
+ public:
+  /// `vk` and `group` must outlive the pipeline. `seed` feeds the RLC
+  /// weights of the batched verifier: it must be unpredictable to senders
+  /// (a shared constant would let an attacker craft proof pairs whose
+  /// weighted binding errors cancel in the aggregate). Deployed nodes
+  /// pass per-node entropy; the default is for single-process tests.
+  ValidationPipeline(const zksnark::VerifyingKey& vk,
+                     const GroupManager& group, ValidatorConfig config,
+                     std::uint64_t seed = 0x9D1);
+
+  /// Validates a window of messages as seen at local wall-clock
+  /// `local_now_ms`. Returns one outcome per message, same order.
+  /// Verdicts are independent of the batch partition: any split of the
+  /// same (message, timestamp) sequence yields the same per-message
+  /// verdicts.
+  std::vector<ValidationOutcome> validate_batch(
+      std::span<const WakuMessage> messages, std::uint64_t local_now_ms);
+
+  /// Same, with per-message arrival times (one per message): a window
+  /// buffered upstream must be epoch-checked against when each message
+  /// arrived, not when the window flushed.
+  std::vector<ValidationOutcome> validate_batch(
+      std::span<const WakuMessage> messages,
+      std::span<const std::uint64_t> received_at_ms);
+
+  /// Single-message convenience: a batch of one.
+  ValidationOutcome validate_one(const WakuMessage& message,
+                                 std::uint64_t local_now_ms);
+
+  /// Drops nullifier records older than Thr epochs.
+  void gc(std::uint64_t local_now_ms);
+
+  /// Counters plus a point-in-time mirror of the nullifier-log stats.
+  [[nodiscard]] ValidatorStats stats() const;
+  [[nodiscard]] const NullifierLog& log() const { return log_; }
+  [[nodiscard]] const ValidatorConfig& config() const { return config_; }
+
+ private:
+  std::vector<ValidationOutcome> validate_impl(
+      std::span<const WakuMessage> messages,
+      std::span<const std::uint64_t> received_at_ms,
+      std::uint64_t uniform_now_ms);
+
+  const zksnark::VerifyingKey& vk_;
+  const GroupManager& group_;
+  ValidatorConfig config_;
+  NullifierLog log_;
+  ValidatorStats stats_;
+  Rng rng_;
+};
+
+}  // namespace waku::rln

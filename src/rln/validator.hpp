@@ -1,81 +1,56 @@
-// The routing-time spam check (paper §III-F): every relaying peer runs
-// this over each incoming message, in cost order —
+// The routing-time spam check (paper §III-F) as a single-message facade.
 //
-//   1. epoch gap:  |msg.epoch - local epoch| <= Thr, else drop;
-//   2. proof:      zkSNARK verifies against (H(m), y, phi, epoch, tau)
-//                  with tau restricted to recent local roots;
-//   3. rate:       the nullifier log detects duplicates and double-signals;
-//                  a double-signal yields the spammer's sk via Shamir
-//                  recovery — the slashing trigger.
+// All verdict logic lives in the staged batch pipeline
+// (rln/validation_pipeline.hpp); RlnValidator is a thin adapter that keeps
+// the historical one-message-at-a-time shape for call sites that validate
+// synchronously (tests, the lightpush service, benches). The relay path
+// feeds windows of messages to the pipeline directly.
 #pragma once
 
-#include <optional>
-
-#include "rln/epoch.hpp"
-#include "rln/group_manager.hpp"
-#include "rln/nullifier_log.hpp"
-#include "rln/rate_limit_proof.hpp"
-#include "zksnark/groth16.hpp"
+#include "rln/validation_pipeline.hpp"
 
 namespace waku::rln {
-
-/// Why a message was accepted or dropped; the relay maps this onto
-/// gossipsub validation results (Reject penalizes the sender).
-enum class Verdict {
-  kAccept,
-  kIgnoreEpochGap,    ///< too old / too far in the future (benign: skew)
-  kIgnoreDuplicate,   ///< same share seen already (gossip echo)
-  kRejectNoProof,     ///< missing/malformed proof bundle
-  kRejectBadProof,    ///< zkSNARK verification failed
-  kRejectStaleRoot,   ///< proof made against an unknown/old tree root
-  kRejectSpam,        ///< double-signal detected -> slashing material
-};
-
-[[nodiscard]] const char* verdict_name(Verdict v);
-
-struct ValidationOutcome {
-  Verdict verdict = Verdict::kAccept;
-  /// Set on kRejectSpam: the recovered identity secret key of the spammer.
-  std::optional<Fr> recovered_sk;
-};
-
-struct ValidatorConfig {
-  EpochConfig epoch;
-  std::uint64_t max_epoch_gap = 2;  ///< Thr (paper §III-F)
-};
-
-struct ValidatorStats {
-  std::uint64_t accepted = 0;
-  std::uint64_t epoch_gap = 0;
-  std::uint64_t duplicates = 0;
-  std::uint64_t no_proof = 0;
-  std::uint64_t bad_proof = 0;
-  std::uint64_t stale_root = 0;
-  std::uint64_t spam_detected = 0;
-};
 
 class RlnValidator {
  public:
   RlnValidator(const zksnark::VerifyingKey& vk, const GroupManager& group,
-               ValidatorConfig config);
+               ValidatorConfig config, std::uint64_t seed = 0x9D1)
+      : pipeline_(vk, group, config, seed) {}
 
   /// Validates `message` as seen at local wall-clock `local_now_ms`.
   ValidationOutcome validate(const WakuMessage& message,
-                             std::uint64_t local_now_ms);
+                             std::uint64_t local_now_ms) {
+    return pipeline_.validate_one(message, local_now_ms);
+  }
+
+  /// Validates a window of messages in one pipeline pass.
+  std::vector<ValidationOutcome> validate_batch(
+      std::span<const WakuMessage> messages, std::uint64_t local_now_ms) {
+    return pipeline_.validate_batch(messages, local_now_ms);
+  }
+
+  /// Same, with per-message arrival times.
+  std::vector<ValidationOutcome> validate_batch(
+      std::span<const WakuMessage> messages,
+      std::span<const std::uint64_t> received_at_ms) {
+    return pipeline_.validate_batch(messages, received_at_ms);
+  }
 
   /// Drops nullifier records older than Thr epochs.
-  void gc(std::uint64_t local_now_ms);
+  void gc(std::uint64_t local_now_ms) { pipeline_.gc(local_now_ms); }
 
-  [[nodiscard]] const ValidatorStats& stats() const { return stats_; }
-  [[nodiscard]] const NullifierLog& log() const { return log_; }
-  [[nodiscard]] const ValidatorConfig& config() const { return config_; }
+  [[nodiscard]] ValidatorStats stats() const { return pipeline_.stats(); }
+  [[nodiscard]] const NullifierLog& log() const { return pipeline_.log(); }
+  [[nodiscard]] const ValidatorConfig& config() const {
+    return pipeline_.config();
+  }
+  [[nodiscard]] ValidationPipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const ValidationPipeline& pipeline() const {
+    return pipeline_;
+  }
 
  private:
-  const zksnark::VerifyingKey& vk_;
-  const GroupManager& group_;
-  ValidatorConfig config_;
-  NullifierLog log_;
-  ValidatorStats stats_;
+  ValidationPipeline pipeline_;
 };
 
 }  // namespace waku::rln

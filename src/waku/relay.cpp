@@ -17,6 +17,9 @@ void WakuRelay::subscribe(MessageHandler handler) {
 }
 
 void WakuRelay::set_validator(MessageValidator validator) {
+  // Installed as the router's single-message validator: unbatched inline
+  // validation stays a direct, allocation-free call (the router derives
+  // the batch adapter itself, so window configs still apply uniformly).
   router_.set_validator(
       topic_, [validator = std::move(validator)](
                   net::NodeId from, const gossipsub::PubSubMessage& msg)
@@ -28,6 +31,46 @@ void WakuRelay::set_validator(MessageValidator validator) {
           return gossipsub::ValidationResult::kReject;  // malformed envelope
         }
         return validator(from, decoded);
+      });
+}
+
+void WakuRelay::set_batch_validator(BatchMessageValidator validator) {
+  router_.set_batch_validator(
+      topic_,
+      [validator = std::move(validator)](
+          std::span<const gossipsub::IncomingMessage> batch) {
+        // Decode the envelopes first; only well-formed messages reach the
+        // validator, and malformed ones are rejected in place.
+        std::vector<gossipsub::ValidationResult> results(
+            batch.size(), gossipsub::ValidationResult::kReject);
+        std::vector<net::NodeId> froms;
+        std::vector<net::TimeMs> times;
+        std::vector<WakuMessage> decoded;
+        std::vector<std::size_t> positions;
+        froms.reserve(batch.size());
+        times.reserve(batch.size());
+        decoded.reserve(batch.size());
+        positions.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          try {
+            decoded.push_back(WakuMessage::deserialize(batch[i].msg.data));
+            froms.push_back(batch[i].from);
+            times.push_back(batch[i].received_at);
+            positions.push_back(i);
+          } catch (const std::exception&) {
+            // malformed envelope: stays kReject
+          }
+        }
+        if (!decoded.empty()) {
+          const std::vector<gossipsub::ValidationResult> inner =
+              validator(froms, times, decoded);
+          for (std::size_t k = 0; k < positions.size(); ++k) {
+            results[positions[k]] = k < inner.size()
+                                        ? inner[k]
+                                        : gossipsub::ValidationResult::kIgnore;
+          }
+        }
+        return results;
       });
 }
 

@@ -21,6 +21,14 @@ class WakuRelay {
   /// Validator over the decoded WakuMessage; plugs into gossipsub.
   using MessageValidator = std::function<gossipsub::ValidationResult(
       net::NodeId from, const WakuMessage&)>;
+  /// Batch validator over decoded WakuMessages: one result per message,
+  /// same order. `from[i]` sent `messages[i]`, which arrived at local time
+  /// `received_at[i]` (epoch checks must use arrival time, not flush time).
+  using BatchMessageValidator =
+      std::function<std::vector<gossipsub::ValidationResult>(
+          const std::vector<net::NodeId>& from,
+          const std::vector<net::TimeMs>& received_at,
+          const std::vector<WakuMessage>& messages)>;
 
   WakuRelay(net::Network& network, gossipsub::GossipSubConfig config = {},
             gossipsub::PeerScoreConfig score_config = {},
@@ -33,8 +41,13 @@ class WakuRelay {
   /// Subscribes to the relay topic.
   void subscribe(MessageHandler handler);
 
-  /// Installs the message validator (e.g. the RLN or PoW check).
+  /// Installs the message validator (e.g. the PoW check). A convenience
+  /// adapter over set_batch_validator — batching config still applies.
   void set_validator(MessageValidator validator);
+
+  /// Installs the batched message validator (the RLN validation pipeline).
+  /// Malformed envelopes are rejected before the validator sees them.
+  void set_batch_validator(BatchMessageValidator validator);
 
   /// Publishes a message; returns its gossipsub id.
   gossipsub::MessageId publish(const WakuMessage& message);

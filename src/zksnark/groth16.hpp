@@ -93,8 +93,36 @@ Proof prove(const ProvingKey& pk, const ConstraintSystem& cs,
             std::span<const Fr> assignment, Rng& rng);
 
 /// Verifies `proof` against the claimed public inputs. Constant-time in the
-/// circuit size; linear in the number of public inputs.
+/// circuit size; linear in the number of public inputs. Cost-shaped like a
+/// real verifier: IC accumulation plus three Miller loops and one final
+/// exponentiation (the pairing-product check the binding MAC stands in for).
 bool verify(const VerifyingKey& vk, std::span<const Fr> public_inputs,
             const Proof& proof);
+
+/// One (public inputs, proof) pair of a verification batch.
+struct BatchEntry {
+  std::vector<Fr> public_inputs;
+  Proof proof;
+};
+
+struct BatchVerifyOutcome {
+  /// Per-entry results, same order as the input.
+  std::vector<bool> ok;
+  /// True when the whole batch was settled by the single aggregated check;
+  /// false when a mismatch forced the per-proof fallback pass.
+  bool aggregated = false;
+};
+
+/// Batched verification via random-linear-combination aggregation: each
+/// entry's pairing check is scaled by a fresh random weight from `rng` and
+/// the weighted checks are collapsed into one aggregate equation, so the
+/// batch shares the C/IC/alpha-beta Miller loops and the final
+/// exponentiation; only the per-proof e(A_i, B_i) loop stays per entry.
+/// If the aggregate fails, every entry is re-verified individually to
+/// isolate the bad proofs (per-proof fallback), so the result vector is
+/// always exact. Equivalent to calling verify() per entry, just cheaper
+/// in the all-valid common case.
+BatchVerifyOutcome verify_batch(const VerifyingKey& vk,
+                                std::span<const BatchEntry> entries, Rng& rng);
 
 }  // namespace waku::zksnark
