@@ -33,9 +33,9 @@ for bin in "$BUILD"/bench_*; do
   want "$name" || continue
   echo "== $name"
   case "$name" in
-    bench_batch_validation)
-      # Standalone bench: writes its own JSON schema.
-      "$bin" "$OUT/BENCH_batch_validation.json"
+    bench_batch_validation|bench_bootstrap)
+      # Standalone benches: each writes its own JSON schema.
+      "$bin" "$OUT/BENCH_${name#bench_}.json"
       ;;
     *)
       # google-benchmark benches: native JSON reporter.

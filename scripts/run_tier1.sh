@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Builds into build-asan/ with -DWAKU_SANITIZE=address,undefined and runs
+# the full ctest suite. Memory errors in the persistence layer (file IO,
+# torn-tail truncation, byte juggling) are exactly the class of bug a
+# sanitizer catches and a green test run hides.
+#
+# Usage: scripts/run_tier1.sh [sanitizer-spec]
+#   sanitizer-spec  passed to -fsanitize= (default: address,undefined)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SAN="${1:-address,undefined}"
+BUILD="$ROOT/build-asan"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DWAKU_SANITIZE="$SAN" >/dev/null
+cmake --build "$BUILD" -j"$(nproc)"
+
+# halt_on_error so ctest reports sanitizer findings as failures; UBSan
+# prints stacks for every hit.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cd "$BUILD"
+ctest --output-on-failure -j"$(nproc)"
+echo "tier-1 suite passed under -fsanitize=$SAN"

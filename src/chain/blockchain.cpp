@@ -149,7 +149,10 @@ const Block& Blockchain::mine_block(std::uint64_t timestamp_ms) {
   const Block& mined = blocks_.back();
   for (const TxReceipt& r : mined.receipts) {
     for (const Event& ev : r.events) {
-      for (const auto& sub : subscribers_) sub(ev);
+      event_log_.push_back(ev);
+      for (const auto& sub : subscribers_) {
+        if (sub) sub(ev);
+      }
     }
   }
   return mined;
@@ -205,8 +208,24 @@ const Block& Blockchain::block(std::uint64_t number) const {
   return blocks_[number - 1];
 }
 
-void Blockchain::subscribe_events(std::function<void(const Event&)> callback) {
+std::uint64_t Blockchain::subscribe_events(
+    std::function<void(const Event&)> callback) {
   subscribers_.push_back(std::move(callback));
+  return subscribers_.size() - 1;
+}
+
+void Blockchain::unsubscribe_events(std::uint64_t subscription_id) {
+  if (subscription_id < subscribers_.size()) {
+    subscribers_[subscription_id] = nullptr;
+  }
+}
+
+void Blockchain::replay_events(
+    std::uint64_t from_seq,
+    const std::function<void(const Event&)>& fn) const {
+  for (std::uint64_t seq = from_seq; seq < event_log_.size(); ++seq) {
+    fn(event_log_[seq]);
+  }
 }
 
 }  // namespace waku::chain

@@ -71,8 +71,26 @@ class Blockchain {
   [[nodiscard]] const Config& config() const { return config_; }
 
   /// Registers a callback invoked for every event of every newly mined
-  /// block (the eth_subscribe("logs") analog).
-  void subscribe_events(std::function<void(const Event&)> callback);
+  /// block (the eth_subscribe("logs") analog). Returns a subscription id
+  /// for unsubscribe_events (a restarting node must detach its old
+  /// callback before re-subscribing).
+  std::uint64_t subscribe_events(std::function<void(const Event&)> callback);
+  void unsubscribe_events(std::uint64_t subscription_id);
+
+  // -- Event history (the eth_getLogs analog) -------------------------------
+  //
+  // Every mined event is retained in emission order under a global
+  // sequence number (0-based). A durable node persists the count of events
+  // it has applied as its replay cursor; after a restart it resumes from
+  // that cursor instead of genesis.
+
+  /// Total events emitted so far (== the next event's sequence number).
+  [[nodiscard]] std::uint64_t event_count() const {
+    return event_log_.size();
+  }
+  /// Replays events [from_seq, event_count()) in emission order.
+  void replay_events(std::uint64_t from_seq,
+                     const std::function<void(const Event&)>& fn) const;
 
  private:
   TxReceipt execute(const Transaction& tx, std::uint64_t block_number);
@@ -88,7 +106,9 @@ class Blockchain {
   // Contract addresses live in a distinctive range so ad-hoc test account
   // addresses (small integers) can never collide with them.
   std::uint64_t next_contract_id_ = 0xC0DE00000000ULL;
+  // Slot index == subscription id; unsubscribed slots become null.
   std::vector<std::function<void(const Event&)>> subscribers_;
+  std::vector<Event> event_log_;  // every mined event, emission order
 
   friend class CallContext;
   void internal_transfer(const Address& from, const Address& to, Gwei amount);

@@ -66,6 +66,13 @@ struct Event {
   std::uint64_t block_number = 0;
 };
 
+/// Binary codec for events: what an event costs on the wire when a peer
+/// must fetch history (the cold-bootstrap byte accounting in
+/// bench_bootstrap) and the frame format for serving event ranges to
+/// peers that cannot reach the chain directly.
+Bytes serialize_event(const Event& event);
+Event deserialize_event(BytesView bytes);
+
 /// Result of executing a transaction inside a block.
 struct TxReceipt {
   bool success = false;

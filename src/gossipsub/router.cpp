@@ -18,8 +18,15 @@ GossipSubRouter::GossipSubRouter(net::Network& network, GossipSubConfig config,
 }
 
 void GossipSubRouter::start() {
-  network_.sim().schedule_every(config_.heartbeat_interval_ms,
-                                [this] { heartbeat(); });
+  heartbeat_task_ = network_.sim().schedule_every(
+      config_.heartbeat_interval_ms, [this] { heartbeat(); });
+}
+
+void GossipSubRouter::stop() {
+  if (heartbeat_task_ != 0) {
+    network_.sim().cancel(heartbeat_task_);
+    heartbeat_task_ = 0;
+  }
 }
 
 void GossipSubRouter::subscribe(const std::string& topic,

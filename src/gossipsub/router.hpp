@@ -39,6 +39,9 @@ class GossipSubRouter : public net::NetNode {
   /// Begins heartbeating; call after the topology is wired.
   void start();
 
+  /// Cancels the heartbeat (node shutdown). Safe to call when not started.
+  void stop();
+
   /// Subscribes to `topic`; `handler` fires for each delivered message.
   void subscribe(const std::string& topic, DeliveryHandler handler);
   void unsubscribe(const std::string& topic);
@@ -96,6 +99,7 @@ class GossipSubRouter : public net::NetNode {
   NodeId id_;
   Rng rng_;
   std::uint64_t seqno_ = 0;
+  net::Simulator::TaskId heartbeat_task_ = 0;  // 0 = not started
 
   std::unordered_map<std::string, DeliveryHandler> handlers_;
   // Per-topic validation hooks. `batch` is the one entry point; `single`

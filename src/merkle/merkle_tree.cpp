@@ -129,6 +129,36 @@ const Fr& IncrementalMerkleTree::leaf(std::uint64_t index) const {
   return levels_[0][index];
 }
 
+Bytes IncrementalMerkleTree::serialize() const {
+  ByteWriter w;
+  w.write_u32(static_cast<std::uint32_t>(depth_));
+  w.write_u64(leaf_count_);
+  for (const auto& lvl : levels_) {
+    w.write_u64(lvl.size());
+    for (const Fr& node : lvl) w.write_raw(node.to_bytes_be());
+  }
+  return std::move(w).take();
+}
+
+IncrementalMerkleTree IncrementalMerkleTree::deserialize(BytesView bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t depth = r.read_u32();
+  WAKU_EXPECTS(depth >= 1 && depth <= kMaxDepth);
+  IncrementalMerkleTree tree(depth);
+  tree.leaf_count_ = r.read_u64();
+  WAKU_EXPECTS(tree.leaf_count_ <= tree.capacity());
+  for (std::size_t l = 0; l <= depth; ++l) {
+    const std::uint64_t n = r.read_u64();
+    WAKU_EXPECTS(n <= (std::uint64_t{1} << (depth - l)));
+    auto& lvl = tree.levels_[l];
+    lvl.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      lvl.push_back(Fr::from_bytes_reduce(r.read_raw(32)));
+    }
+  }
+  return tree;
+}
+
 std::size_t IncrementalMerkleTree::storage_bytes() const {
   std::size_t nodes = 0;
   for (const auto& lvl : levels_) nodes += lvl.size();

@@ -77,6 +77,12 @@ class IncrementalMerkleTree {
   /// Bytes of node storage currently held — the quantity E4 measures.
   [[nodiscard]] std::size_t storage_bytes() const;
 
+  /// Full-state serialization (every stored node), so a restart restores
+  /// the tree by memcpy-speed deserialization instead of re-hashing the
+  /// whole insert history. serialize(deserialize(b)) == b.
+  [[nodiscard]] Bytes serialize() const;
+  static IncrementalMerkleTree deserialize(BytesView bytes);
+
  private:
   void recompute_path(std::uint64_t leaf_index);
   void store(std::size_t level, std::uint64_t idx, const Fr& value);

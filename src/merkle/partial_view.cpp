@@ -1,6 +1,7 @@
 #include "merkle/partial_view.hpp"
 
 #include "common/expect.hpp"
+#include "common/serde.hpp"
 #include "hash/poseidon.hpp"
 
 namespace waku::merkle {
@@ -108,6 +109,36 @@ void PartialMerkleView::on_update(std::uint64_t index, const Fr& old_leaf,
 MerklePath PartialMerkleView::auth_path() const {
   WAKU_EXPECTS(tracks_member());
   return MerklePath{my_index_, siblings_};
+}
+
+Bytes PartialMerkleView::serialize() const {
+  ByteWriter w;
+  w.write_u32(static_cast<std::uint32_t>(depth_));
+  w.write_u64(my_index_);  // kNoMember round-trips for root-tracker views
+  w.write_u64(leaf_count_);
+  w.write_raw(my_leaf_.to_bytes_be());
+  w.write_raw(root_.to_bytes_be());
+  for (const Fr& s : siblings_) w.write_raw(s.to_bytes_be());
+  for (const Fr& f : filled_subtrees_) w.write_raw(f.to_bytes_be());
+  return std::move(w).take();
+}
+
+PartialMerkleView PartialMerkleView::deserialize(BytesView bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t depth = r.read_u32();
+  WAKU_EXPECTS(depth >= 1 && depth <= 40);
+  const std::uint64_t my_index = r.read_u64();
+  PartialMerkleView view(depth, my_index);
+  view.leaf_count_ = r.read_u64();
+  view.my_leaf_ = Fr::from_bytes_reduce(r.read_raw(32));
+  view.root_ = Fr::from_bytes_reduce(r.read_raw(32));
+  for (std::size_t l = 0; l < depth; ++l) {
+    view.siblings_[l] = Fr::from_bytes_reduce(r.read_raw(32));
+  }
+  for (std::size_t l = 0; l < depth; ++l) {
+    view.filled_subtrees_[l] = Fr::from_bytes_reduce(r.read_raw(32));
+  }
+  return view;
 }
 
 std::size_t PartialMerkleView::storage_bytes() const {

@@ -54,6 +54,11 @@ class PartialMerkleView {
   /// Bytes of Merkle state held — the E4 comparison against the full tree.
   [[nodiscard]] std::size_t storage_bytes() const;
 
+  /// O(log N) serialization — this is what rides in light-client bootstrap
+  /// checkpoints and node snapshots. serialize(deserialize(b)) == b.
+  [[nodiscard]] Bytes serialize() const;
+  static PartialMerkleView deserialize(BytesView bytes);
+
  private:
   static constexpr std::uint64_t kNoMember = ~std::uint64_t{0};
 

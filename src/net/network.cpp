@@ -19,6 +19,13 @@ NodeId Network::add_node(NetNode* endpoint) {
   return id;
 }
 
+void Network::remove_node(NodeId n) {
+  WAKU_EXPECTS(n < nodes_.size());
+  const std::vector<NodeId> peers = adjacency_[n];  // copy: disconnect mutates
+  for (const NodeId peer : peers) disconnect(n, peer);
+  nodes_[n] = nullptr;
+}
+
 void Network::connect(NodeId a, NodeId b) {
   WAKU_EXPECTS(a < nodes_.size() && b < nodes_.size() && a != b);
   if (connected(a, b)) return;
@@ -74,6 +81,7 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   const TimeMs delay = link_.base_latency_ms + jitter;
   sim_.schedule_after(delay, [this, from, to,
                               payload = std::move(payload)]() {
+    if (nodes_[to] == nullptr) return;  // receiver died while in flight
     stats_[to].messages_received += 1;
     stats_[to].bytes_received += payload.size();
     nodes_[to]->on_message(from, payload);

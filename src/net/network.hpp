@@ -44,6 +44,15 @@ class Network {
   /// Registers a node; the caller retains ownership of `endpoint`.
   NodeId add_node(NetNode* endpoint);
 
+  /// Detaches a node (crash/shutdown): severs all its links and forgets
+  /// the endpoint pointer. In-flight deliveries to it are dropped; the id
+  /// is never reused (a restarted peer joins with a fresh id, exactly as a
+  /// rebooted libp2p host gets a fresh connection set).
+  void remove_node(NodeId n);
+  [[nodiscard]] bool node_alive(NodeId n) const {
+    return n < nodes_.size() && nodes_[n] != nullptr;
+  }
+
   /// Creates (idempotently) a bidirectional link.
   void connect(NodeId a, NodeId b);
   void disconnect(NodeId a, NodeId b);

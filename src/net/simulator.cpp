@@ -16,19 +16,25 @@ Simulator::TaskId Simulator::schedule_at(TimeMs t, Callback fn) {
 Simulator::TaskId Simulator::schedule_every(TimeMs interval, Callback fn) {
   WAKU_EXPECTS(interval > 0);
   const TaskId id = next_id_++;
-  // Self-rescheduling wrapper; keeps the same public id so cancel() works
-  // across repetitions.
-  auto repeat = std::make_shared<std::function<void()>>();
-  *repeat = [this, interval, id, fn = std::move(fn), repeat]() {
-    if (cancelled_.contains(id)) {
-      cancelled_.erase(id);
-      return;
-    }
-    fn();
-    queue_.push(Scheduled{now_ + interval, seq_++, id, *repeat});
-  };
-  queue_.push(Scheduled{now_ + interval, seq_++, id, *repeat});
+  push_repeating(id, interval, std::move(fn));
   return id;
+}
+
+void Simulator::push_repeating(TaskId id, TimeMs interval, Callback fn) {
+  // Self-rescheduling wrapper; keeps the same public id so cancel() works
+  // across repetitions. The callback is owned by the queue entry and moved
+  // into the next repetition — no self-referencing shared state (a strong
+  // self-capture would be a reference cycle that never frees).
+  queue_.push(Scheduled{
+      now_ + interval, seq_++, id,
+      [this, id, interval, fn = std::move(fn)]() mutable {
+        if (cancelled_.contains(id)) {
+          cancelled_.erase(id);
+          return;
+        }
+        fn();
+        push_repeating(id, interval, std::move(fn));
+      }});
 }
 
 bool Simulator::step() {

@@ -52,6 +52,9 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
+  /// Queues the next repetition of a schedule_every task.
+  void push_repeating(TaskId id, TimeMs interval, Callback fn);
+
   struct Scheduled {
     TimeMs time;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps

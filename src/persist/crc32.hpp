@@ -1,0 +1,17 @@
+// CRC-32C (Castagnoli polynomial, the iSCSI/ext4 checksum) used to frame
+// every durable record the persistence subsystem writes. Chosen over
+// CRC-32/IEEE for its better error-detection properties on short records;
+// table-driven, byte-at-a-time — plenty for restart-time scans.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace waku::persist {
+
+/// CRC-32C over `data`, seeded/finalized per the standard (init 0xFFFFFFFF,
+/// final xor 0xFFFFFFFF).
+std::uint32_t crc32c(BytesView data) noexcept;
+
+}  // namespace waku::persist

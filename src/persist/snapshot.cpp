@@ -1,0 +1,149 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/serde.hpp"
+#include "persist/crc32.hpp"
+
+namespace waku::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'S', 'N', 'P'};
+constexpr std::uint8_t kVersion = 1;
+constexpr const char* kPrefix = "snapshot-";
+constexpr const char* kSuffix = ".snap";
+
+std::string snapshot_name(std::uint64_t generation) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%010llu%s", kPrefix,
+                static_cast<unsigned long long>(generation), kSuffix);
+  return buf;
+}
+
+/// Parses `snapshot-<gen>.snap`; nullopt for any other file name.
+std::optional<std::uint64_t> parse_generation(const std::string& name) {
+  const std::string prefix = kPrefix;
+  const std::string suffix = kSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t gen = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    gen = gen * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return gen;
+}
+
+/// All generations on disk, newest first.
+std::vector<std::uint64_t> list_generations(const std::string& dir) {
+  std::vector<std::uint64_t> gens;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (const auto gen = parse_generation(entry.path().filename().string())) {
+      gens.push_back(*gen);
+    }
+  }
+  std::sort(gens.rbegin(), gens.rend());
+  return gens;
+}
+
+std::optional<SnapshotEngine::Loaded> load_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  const Bytes file{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  constexpr std::size_t kHeader = 4 + 1 + 8 + 8 + 4 + 4;
+  if (file.size() < kHeader) return std::nullopt;
+  if (!std::equal(kMagic, kMagic + 4, file.begin())) return std::nullopt;
+  if (file[4] != kVersion) return std::nullopt;
+  try {
+    ByteReader r(BytesView(file.data() + 5, file.size() - 5));
+    SnapshotEngine::Loaded loaded;
+    loaded.meta.generation = r.read_u64();
+    loaded.meta.last_lsn = r.read_u64();
+    const std::uint32_t payload_len = r.read_u32();
+    const std::uint32_t crc = r.read_u32();
+    if (r.remaining() < payload_len) return std::nullopt;  // truncated
+    loaded.payload = r.read_raw(payload_len);
+    if (crc32c(loaded.payload) != crc) return std::nullopt;  // corrupt
+    return loaded;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+SnapshotEngine::SnapshotEngine(std::string dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  WAKU_EXPECTS(keep_ >= 1);
+}
+
+void SnapshotEngine::write(const SnapshotMeta& meta, BytesView payload) {
+  WAKU_EXPECTS(meta.generation > latest_generation());
+  ByteWriter w;
+  w.write_raw(BytesView(reinterpret_cast<const std::uint8_t*>(kMagic), 4));
+  w.write_u8(kVersion);
+  w.write_u64(meta.generation);
+  w.write_u64(meta.last_lsn);
+  w.write_u32(static_cast<std::uint32_t>(payload.size()));
+  w.write_u32(crc32c(payload));
+  w.write_raw(payload);
+  const Bytes bytes = std::move(w).take();
+
+  const fs::path final_path = fs::path(dir_) / snapshot_name(meta.generation);
+  const fs::path tmp_path = fs::path(final_path).replace_extension(".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("SnapshotEngine: cannot write " +
+                               tmp_path.string());
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("SnapshotEngine: short write to " +
+                               tmp_path.string());
+    }
+  }
+  // The atomicity point: readers see the old generation set or the new
+  // one, never a partial file.
+  fs::rename(tmp_path, final_path);
+  ++snapshots_written_;
+
+  // Prune: keep the newest `keep_` generations.
+  const std::vector<std::uint64_t> gens = list_generations(dir_);
+  for (std::size_t i = keep_; i < gens.size(); ++i) {
+    std::error_code ec;  // best effort; a leftover old snapshot is harmless
+    fs::remove(fs::path(dir_) / snapshot_name(gens[i]), ec);
+  }
+}
+
+std::optional<SnapshotEngine::Loaded> SnapshotEngine::load_latest() const {
+  for (const std::uint64_t gen : list_generations(dir_)) {
+    if (auto loaded = load_file(fs::path(dir_) / snapshot_name(gen))) {
+      return loaded;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SnapshotEngine::latest_generation() const {
+  const std::vector<std::uint64_t> gens = list_generations(dir_);
+  return gens.empty() ? 0 : gens.front();
+}
+
+}  // namespace waku::persist

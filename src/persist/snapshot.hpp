@@ -1,0 +1,64 @@
+// Snapshot engine: full-state checkpoints written atomically next to the
+// WAL, so restart cost is O(state) instead of O(history).
+//
+// Each snapshot is one file, `snapshot-<generation>.snap`:
+//
+//   magic "WSNP" (4) | version u8 | generation u64 LE | last_lsn u64 LE
+//   | payload_len u32 LE | crc32c(payload) u32 LE | payload
+//
+// Writes go to a `.tmp` sibling first and are renamed into place — a crash
+// mid-write leaves at most a dangling temp file, never a half-written
+// `.snap`. Generations are monotonically increasing; the engine keeps the
+// newest `keep` generations so a corrupt latest (e.g. media error) still
+// falls back to its predecessor on load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace waku::persist {
+
+struct SnapshotMeta {
+  std::uint64_t generation = 0;
+  /// Highest WAL LSN folded into this snapshot; replay skips records at or
+  /// below it.
+  std::uint64_t last_lsn = 0;
+};
+
+class SnapshotEngine {
+ public:
+  /// `dir` must exist (StateStore creates it). `keep` >= 1 generations are
+  /// retained after each write.
+  explicit SnapshotEngine(std::string dir, std::size_t keep = 2);
+
+  /// Atomically writes a snapshot. `meta.generation` must be greater than
+  /// any generation already on disk.
+  void write(const SnapshotMeta& meta, BytesView payload);
+
+  struct Loaded {
+    SnapshotMeta meta;
+    Bytes payload;
+  };
+
+  /// Newest snapshot that parses and CRC-checks; corrupt generations are
+  /// skipped in favour of older intact ones.
+  [[nodiscard]] std::optional<Loaded> load_latest() const;
+
+  /// Highest generation present on disk (intact or not); 0 if none.
+  [[nodiscard]] std::uint64_t latest_generation() const;
+
+  [[nodiscard]] std::uint64_t snapshots_written() const {
+    return snapshots_written_;
+  }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::size_t keep_;
+  std::uint64_t snapshots_written_ = 0;
+};
+
+}  // namespace waku::persist

@@ -1,0 +1,69 @@
+#include "persist/state_store.hpp"
+
+#include <filesystem>
+
+namespace waku::persist {
+
+StateStore::StateStore(std::string dir, StateStoreConfig config)
+    : dir_(std::move(dir)),
+      config_(config),
+      engine_((std::filesystem::create_directories(dir_), dir_),
+              config.keep_snapshots),
+      wal_((std::filesystem::path(dir_) / "wal.log").string()) {
+  if (const auto loaded = engine_.load_latest()) {
+    snapshot_lsn_ = loaded->meta.last_lsn;
+    // A compacted (empty) WAL no longer remembers how far LSNs got; left
+    // alone it would restart them at 1 and every new record would be
+    // silently skipped by the `lsn > snapshot_lsn_` replay filter.
+    wal_.ensure_next_lsn(snapshot_lsn_ + 1);
+  }
+}
+
+std::optional<Bytes> StateStore::load_snapshot() const {
+  const auto loaded = engine_.load_latest();
+  if (!loaded.has_value()) return std::nullopt;
+  return loaded->payload;
+}
+
+void StateStore::replay_wal(const ReplayHandler& fn) const {
+  wal_.replay([&](const WalRecord& rec) {
+    // Records at or below the snapshot LSN are already folded into the
+    // snapshot (the WAL reset after that snapshot may not have happened if
+    // the process died in between).
+    if (rec.lsn > snapshot_lsn_) fn(rec.type, rec.payload);
+  });
+}
+
+std::uint64_t StateStore::append(std::uint8_t type, BytesView payload) {
+  const std::uint64_t lsn = wal_.append(type, payload);
+  ++appends_since_snapshot_;
+  if (provider_ && config_.snapshot_every_records > 0 &&
+      appends_since_snapshot_ >= config_.snapshot_every_records) {
+    force_snapshot();
+  }
+  return lsn;
+}
+
+void StateStore::force_snapshot() {
+  if (!provider_) return;
+  const Bytes payload = provider_();
+  SnapshotMeta meta;
+  meta.generation = engine_.latest_generation() + 1;
+  meta.last_lsn = wal_.last_lsn();
+  engine_.write(meta, payload);
+  snapshot_lsn_ = meta.last_lsn;
+  wal_.reset();  // every live record is now folded into the snapshot
+  appends_since_snapshot_ = 0;
+}
+
+StateStore::Stats StateStore::stats() const {
+  Stats s;
+  s.wal_records = wal_.record_count();
+  s.wal_bytes = wal_.size_bytes();
+  s.snapshot_generation = engine_.latest_generation();
+  s.snapshots_written = engine_.snapshots_written();
+  s.torn_bytes_dropped = wal_.torn_bytes_dropped();
+  return s;
+}
+
+}  // namespace waku::persist

@@ -1,0 +1,148 @@
+#include "persist/wal.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/serde.hpp"
+#include "persist/crc32.hpp"
+
+namespace waku::persist {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'W', 'A', 'L'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kFileHeader = sizeof(kMagic) + 1;
+constexpr std::size_t kRecordHeader = 4 + 4;        // body_len + crc
+constexpr std::size_t kBodyPrefix = 1 + 8;          // type + lsn
+constexpr std::uint32_t kMaxBody = 64u << 20;       // sanity bound
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+std::uint32_t read_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+/// Walks the records in `file` (which must start with a valid header).
+/// Returns the offset one past the last intact record; `fn` (if non-null)
+/// sees each intact record, `last_lsn` tracks the highest LSN delivered.
+std::size_t scan_records(BytesView file,
+                         const std::function<void(const WalRecord&)>* fn,
+                         std::uint64_t& last_lsn, std::uint64_t& count) {
+  std::size_t off = kFileHeader;
+  while (true) {
+    if (file.size() - off < kRecordHeader) break;  // torn/short header
+    const std::uint32_t body_len = read_u32_le(file.data() + off);
+    const std::uint32_t crc = read_u32_le(file.data() + off + 4);
+    if (body_len < kBodyPrefix || body_len > kMaxBody) break;  // garbage len
+    if (file.size() - off - kRecordHeader < body_len) break;   // torn body
+    const BytesView body(file.data() + off + kRecordHeader, body_len);
+    if (crc32c(body) != crc) break;  // torn/corrupt record
+    if (fn != nullptr) {
+      ByteReader r(body);
+      WalRecord rec;
+      rec.type = r.read_u8();
+      rec.lsn = r.read_u64();
+      rec.payload = r.read_raw(r.remaining());
+      (*fn)(rec);
+      last_lsn = rec.lsn;
+    } else {
+      ByteReader r(body);
+      (void)r.read_u8();
+      last_lsn = r.read_u64();
+    }
+    ++count;
+    off += kRecordHeader + body_len;
+  }
+  return off;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
+  namespace fs = std::filesystem;
+  const Bytes existing = read_file(path_);
+  if (existing.empty()) {
+    // Fresh log: write the file header.
+    std::ofstream header(path_, std::ios::binary | std::ios::trunc);
+    if (!header) {
+      throw std::runtime_error("WriteAheadLog: cannot create " + path_);
+    }
+    header.write(kMagic, sizeof(kMagic));
+    header.put(static_cast<char>(kVersion));
+    header.flush();
+    size_bytes_ = kFileHeader;
+  } else {
+    if (existing.size() < kFileHeader ||
+        !std::equal(kMagic, kMagic + sizeof(kMagic), existing.begin()) ||
+        existing[4] != kVersion) {
+      throw std::runtime_error("WriteAheadLog: unrecognized header in " +
+                               path_);
+    }
+    std::uint64_t last_lsn = 0;
+    const std::size_t clean_end =
+        scan_records(existing, nullptr, last_lsn, record_count_);
+    next_lsn_ = last_lsn + 1;
+    if (clean_end < existing.size()) {
+      torn_bytes_dropped_ = existing.size() - clean_end;
+      fs::resize_file(path_, clean_end);
+    }
+    size_bytes_ = clean_end;
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("WriteAheadLog: cannot open " + path_);
+  }
+}
+
+std::uint64_t WriteAheadLog::append(std::uint8_t type, BytesView payload) {
+  const std::uint64_t lsn = next_lsn_++;
+  ByteWriter body;
+  body.write_u8(type);
+  body.write_u64(lsn);
+  body.write_raw(payload);
+
+  ByteWriter frame;
+  frame.write_u32(static_cast<std::uint32_t>(body.size()));
+  frame.write_u32(crc32c(body.data()));
+  frame.write_raw(body.data());
+  const Bytes bytes = std::move(frame).take();
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  out_.flush();  // write-ahead: durable before the state change it covers
+  if (!out_) {
+    // ENOSPC and friends: a WAL that silently drops records while
+    // handing out LSNs defeats its purpose — fail loudly instead.
+    throw std::runtime_error("WriteAheadLog: append failed on " + path_);
+  }
+  ++record_count_;
+  size_bytes_ += bytes.size();
+  return lsn;
+}
+
+void WriteAheadLog::replay(
+    const std::function<void(const WalRecord&)>& fn) const {
+  const Bytes file = read_file(path_);
+  if (file.size() < kFileHeader) return;
+  std::uint64_t last_lsn = 0;
+  std::uint64_t count = 0;
+  scan_records(file, &fn, last_lsn, count);
+}
+
+void WriteAheadLog::reset() {
+  out_.close();
+  std::filesystem::resize_file(path_, kFileHeader);
+  out_.open(path_, std::ios::binary | std::ios::app);
+  record_count_ = 0;
+  size_bytes_ = kFileHeader;
+}
+
+}  // namespace waku::persist

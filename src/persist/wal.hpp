@@ -1,0 +1,87 @@
+// Append-only write-ahead log: the durability primitive under StateStore.
+//
+// On-disk layout:
+//
+//   file   := magic "WWAL" (4) | version u8 | record*
+//   record := body_len u32 LE | crc32c(body) u32 LE | body
+//   body   := type u8 | lsn u64 LE | payload bytes
+//
+// Records carry a monotonically increasing log sequence number (LSN) that
+// survives compaction (reset() truncates the file but never rewinds the
+// LSN counter), so a snapshot can record "state as of LSN n" and replay
+// can skip records already folded in — even if a crash lands between
+// snapshot write and log truncation.
+//
+// Open scans the whole file and truncates a *torn tail*: the first record
+// whose header is short, whose body is cut off, or whose CRC mismatches
+// ends the valid prefix, and everything from there on is discarded (a
+// crash mid-append must not poison the log). A corrupt file header is not
+// recoverable and throws.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace waku::persist {
+
+struct WalRecord {
+  std::uint8_t type = 0;
+  std::uint64_t lsn = 0;
+  Bytes payload;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log at `path`; truncates any torn
+  /// tail. Throws std::runtime_error on an unrecognized file header or an
+  /// unopenable path.
+  explicit WriteAheadLog(std::string path);
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and flushes it; returns the assigned LSN.
+  std::uint64_t append(std::uint8_t type, BytesView payload);
+
+  /// Replays every intact record in append order (re-reads from disk, so
+  /// it sees exactly what a restart would).
+  void replay(const std::function<void(const WalRecord&)>& fn) const;
+
+  /// Compaction: truncates the log back to the bare header. LSNs keep
+  /// counting from where they were — see the file comment.
+  void reset();
+
+  /// Raises the next LSN to at least `next_lsn`. The LSN high-water mark
+  /// lives in the records themselves, so a log emptied by compaction
+  /// forgets it across a restart; the StateStore re-seeds it from the
+  /// snapshot's last_lsn (records must never slip under the snapshot's
+  /// replay filter).
+  void ensure_next_lsn(std::uint64_t next_lsn) {
+    if (next_lsn > next_lsn_) next_lsn_ = next_lsn;
+  }
+
+  [[nodiscard]] std::uint64_t record_count() const { return record_count_; }
+  /// LSN of the most recently appended record (0 if none ever).
+  [[nodiscard]] std::uint64_t last_lsn() const { return next_lsn_ - 1; }
+  /// Current file size in bytes, header included.
+  [[nodiscard]] std::uint64_t size_bytes() const { return size_bytes_; }
+  /// Bytes discarded as a torn tail when the log was opened.
+  [[nodiscard]] std::uint64_t torn_bytes_dropped() const {
+    return torn_bytes_dropped_;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t size_bytes_ = 0;
+  std::uint64_t torn_bytes_dropped_ = 0;
+};
+
+}  // namespace waku::persist

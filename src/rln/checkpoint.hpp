@@ -1,0 +1,57 @@
+// Signed membership checkpoints: the O(log N) bootstrap artifact a
+// storage-rich full peer serves so a joining light client can validate
+// live traffic immediately instead of replaying the contract event stream
+// from genesis (the fast-join counterpart of the paper's §IV-A hybrid
+// architecture; cf. the membership-snapshot shipping of zk-SNARK-gated
+// spam-prevention systems).
+//
+// Contents: the group state (root window + root-tracker partial view +
+// member counters), the chain event cursor the state corresponds to, and
+// the serving peer's nullifier-log GC watermark. The attestation is a
+// keyed Keccak-256 MAC over the payload — a stand-in for a real signature
+// scheme (the simulator has no PKI); what it models is that the client
+// only accepts checkpoints from peers it exchanged a key with out of band.
+// Independent of the MAC, the client cross-checks the checkpoint against
+// the contract (member count) and against itself (view root must close the
+// root window) before trusting it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rln/group_manager.hpp"
+
+namespace waku::rln {
+
+struct Checkpoint {
+  /// Chain event sequence the group state reflects; the client resumes the
+  /// event stream here.
+  std::uint64_t event_cursor = 0;
+  std::uint64_t member_count = 0;
+  std::uint64_t removed_count = 0;
+  /// Serving peer's nullifier GC watermark: epochs below this were already
+  /// expired server-side, so the client must not treat them as fresh.
+  std::uint64_t nullifier_min_epoch = 0;
+  std::vector<Fr> recent_roots;  ///< oldest → newest root window
+  Bytes view;                    ///< serialized root-tracker partial view
+  std::array<std::uint8_t, 32> attestation{};  ///< keyed MAC (see above)
+
+  [[nodiscard]] Bytes serialize() const;
+  static Checkpoint deserialize(BytesView bytes);
+
+  /// Computes and stores the attestation under `key`.
+  void sign(BytesView key);
+  /// True if the attestation matches `key` over the current payload.
+  [[nodiscard]] bool verify(BytesView key) const;
+
+  [[nodiscard]] GroupCheckpoint group_checkpoint() const {
+    return GroupCheckpoint{member_count, removed_count, recent_roots, view};
+  }
+};
+
+/// Builds the unsigned checkpoint for a full peer's group state.
+Checkpoint make_group_checkpoint(const GroupManager& group,
+                                 std::uint64_t event_cursor,
+                                 std::uint64_t nullifier_min_epoch);
+
+}  // namespace waku::rln

@@ -1,6 +1,7 @@
 #include "rln/group_manager.hpp"
 
 #include "common/expect.hpp"
+#include "common/serde.hpp"
 
 namespace waku::rln {
 
@@ -29,6 +30,10 @@ void GroupManager::push_root() {
         (ring_head_ + root_window_ - 1) % root_window_;
     if (root_ring_[newest] == r) return;  // no-op event; window unchanged
   }
+  ring_push(r);
+}
+
+void GroupManager::ring_push(const Fr& r) {
   if (ring_size_ == root_window_) {
     // Evict the oldest slot (the one the head is about to overwrite).
     const Fr& old = root_ring_[ring_head_];
@@ -40,6 +45,12 @@ void GroupManager::push_root() {
   root_ring_[ring_head_] = r;
   ++root_index_[r];
   ring_head_ = (ring_head_ + 1) % root_window_;
+}
+
+void GroupManager::ring_clear() {
+  ring_head_ = 0;
+  ring_size_ = 0;
+  root_index_.clear();
 }
 
 void GroupManager::on_event(const chain::Event& event) {
@@ -129,6 +140,121 @@ std::optional<std::uint64_t> GroupManager::index_of(const Fr& pk) const {
 merkle::MerklePath GroupManager::path_of(std::uint64_t index) const {
   WAKU_EXPECTS(mode_ == TreeMode::kFullTree && tree_.has_value());
   return tree_->auth_path(index);
+}
+
+std::vector<Fr> GroupManager::recent_roots() const {
+  std::vector<Fr> roots;
+  roots.reserve(ring_size_);
+  for (std::size_t k = 0; k < ring_size_; ++k) {
+    const std::size_t slot =
+        (ring_head_ + root_window_ - ring_size_ + k) % root_window_;
+    roots.push_back(root_ring_[slot]);
+  }
+  return roots;
+}
+
+Bytes GroupManager::serialize() const {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(mode_));
+  w.write_u32(static_cast<std::uint32_t>(depth_));
+  w.write_u64(root_window_);
+  w.write_u64(member_count_);
+  w.write_u64(removed_count_);
+
+  w.write_u8(own_identity_.has_value() ? 1 : 0);
+  if (own_identity_.has_value()) {
+    w.write_raw(own_identity_->sk.to_bytes_be());
+  }
+  w.write_u8(own_index_.has_value() ? 1 : 0);
+  if (own_index_.has_value()) w.write_u64(*own_index_);
+
+  w.write_u8(tree_.has_value() ? 1 : 0);
+  if (tree_.has_value()) w.write_bytes(tree_->serialize());
+  w.write_u8(view_.has_value() ? 1 : 0);
+  if (view_.has_value()) w.write_bytes(view_->serialize());
+
+  // The root window is historical state (older roots are not recomputable
+  // from the current tree), so it is serialized verbatim.
+  const std::vector<Fr> roots = recent_roots();
+  w.write_u64(roots.size());
+  for (const Fr& r : roots) w.write_raw(r.to_bytes_be());
+  return std::move(w).take();
+}
+
+void GroupManager::restore(BytesView bytes) {
+  ByteReader r(bytes);
+  mode_ = static_cast<TreeMode>(r.read_u8());
+  depth_ = r.read_u32();
+  root_window_ = r.read_u64();
+  WAKU_EXPECTS(root_window_ >= 1);
+  member_count_ = r.read_u64();
+  removed_count_ = r.read_u64();
+
+  own_identity_.reset();
+  if (r.read_u8() != 0) {
+    own_identity_ =
+        Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
+  }
+  own_index_.reset();
+  if (r.read_u8() != 0) own_index_ = r.read_u64();
+
+  tree_.reset();
+  if (r.read_u8() != 0) {
+    tree_ = merkle::IncrementalMerkleTree::deserialize(r.read_bytes());
+  }
+  view_.reset();
+  if (r.read_u8() != 0) {
+    view_ = merkle::PartialMerkleView::deserialize(r.read_bytes());
+  }
+
+  root_ring_.assign(root_window_, Fr::zero());
+  ring_clear();
+  const std::uint64_t root_count = r.read_u64();
+  for (std::uint64_t i = 0; i < root_count; ++i) {
+    ring_push(Fr::from_bytes_reduce(r.read_raw(32)));
+  }
+  rebuild_pk_index();
+}
+
+void GroupManager::rebuild_pk_index() {
+  pk_index_.clear();
+  if (mode_ != TreeMode::kFullTree || !tree_.has_value()) return;
+  for (std::uint64_t i = 0; i < tree_->size(); ++i) {
+    const Fr& leaf = tree_->leaf(i);
+    if (!leaf.is_zero()) pk_index_[leaf.to_u256()] = i;
+  }
+}
+
+GroupCheckpoint GroupManager::export_checkpoint() const {
+  WAKU_EXPECTS(mode_ == TreeMode::kFullTree && tree_.has_value());
+  GroupCheckpoint checkpoint;
+  checkpoint.member_count = member_count_;
+  checkpoint.removed_count = removed_count_;
+  checkpoint.recent_roots = recent_roots();
+  checkpoint.view = merkle::PartialMerkleView::root_tracker(*tree_).serialize();
+  return checkpoint;
+}
+
+GroupManager GroupManager::from_checkpoint(const GroupCheckpoint& checkpoint,
+                                           std::size_t root_window) {
+  merkle::PartialMerkleView view =
+      merkle::PartialMerkleView::deserialize(checkpoint.view);
+  WAKU_EXPECTS(!checkpoint.recent_roots.empty());
+  WAKU_EXPECTS(checkpoint.recent_roots.back() == view.root());
+
+  GroupManager group(view.depth(), TreeMode::kPartialView, root_window);
+  group.tree_.reset();
+  group.view_ = std::move(view);
+  group.member_count_ = checkpoint.member_count;
+  group.removed_count_ = checkpoint.removed_count;
+  group.ring_clear();
+  // Adopt the exporter's window (clipped to our own capacity) so proofs
+  // made against slightly older roots keep validating right after join.
+  const std::size_t n = checkpoint.recent_roots.size();
+  for (std::size_t k = n > root_window ? n - root_window : 0; k < n; ++k) {
+    group.ring_push(checkpoint.recent_roots[k]);
+  }
+  return group;
 }
 
 std::size_t GroupManager::storage_bytes() const {

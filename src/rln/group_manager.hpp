@@ -29,6 +29,17 @@ enum class TreeMode {
   kPartialView,
 };
 
+/// O(log N) membership checkpoint a storage-rich full peer exports so a
+/// joining light peer can skip the contract-event replay from genesis: the
+/// current root window, member counters, and a root-tracker partial view
+/// (append frontier + root) that can follow the event stream from here on.
+struct GroupCheckpoint {
+  std::uint64_t member_count = 0;
+  std::uint64_t removed_count = 0;
+  std::vector<Fr> recent_roots;  ///< oldest → newest; back() is current
+  Bytes view;                    ///< serialized root-tracker PartialMerkleView
+};
+
 class GroupManager {
  public:
   GroupManager(std::size_t depth, TreeMode mode,
@@ -72,11 +83,35 @@ class GroupManager {
   /// Merkle state bytes held by this peer — the E4 measurement.
   [[nodiscard]] std::size_t storage_bytes() const;
 
+  /// The rolling root window, oldest → newest (checkpoint export and
+  /// restart equality assertions).
+  [[nodiscard]] std::vector<Fr> recent_roots() const;
+
+  /// Full-state serialization for the durable-state subsystem: tree or
+  /// view, counters, own identity/index, and the exact root window.
+  /// restore(serialize()) reproduces serialize() byte-identically.
+  [[nodiscard]] Bytes serialize() const;
+  void restore(BytesView bytes);
+
+  /// Exports the O(log N) bootstrap checkpoint (full-tree mode only).
+  [[nodiscard]] GroupCheckpoint export_checkpoint() const;
+  /// Builds a relay-only (root-tracking) partial-view manager from a
+  /// checkpoint; it can follow the contract event stream from the
+  /// checkpoint's position onward.
+  static GroupManager from_checkpoint(const GroupCheckpoint& checkpoint,
+                                      std::size_t root_window = 10);
+
  private:
   void handle_registered(std::uint64_t index, const Fr& pk);
   void handle_removed(std::uint64_t index, const Fr& pk,
                       const merkle::MerklePath& path);
   void push_root();
+  /// Appends one root to the ring + index (push_root minus the dedup
+  /// check; also used when rebuilding the window on restore).
+  void ring_push(const Fr& r);
+  void ring_clear();
+  /// Rebuilds pk -> index from the tree's live leaves (full mode).
+  void rebuild_pk_index();
 
   std::size_t depth_;
   TreeMode mode_;

@@ -17,11 +17,10 @@ RlnHarness::RlnHarness(HarnessConfig config)
 
   Rng rng(config_.seed);
   for (std::size_t i = 0; i < config_.num_nodes; ++i) {
-    NodeConfig nc = config_.node;
-    nc.account = chain::Address::from_u64(0xACC00000 + i);
+    const NodeConfig nc = node_config(i);
     chain_.create_account(nc.account, config_.initial_balance_gwei);
     nodes_.push_back(std::make_unique<WakuRlnRelayNode>(
-        network_, chain_, contract_, nc, config_.seed * 1000 + i));
+        network_, chain_, contract_, nc, node_seed(i)));
   }
 
   network_.connect_random(config_.degree, rng);
@@ -50,21 +49,56 @@ void RlnHarness::run_ms(net::TimeMs duration) {
   sim_.run_until(sim_.now() + duration);
 }
 
+NodeConfig RlnHarness::node_config(std::size_t i) const {
+  NodeConfig nc = config_.node;
+  nc.account = chain::Address::from_u64(0xACC00000 + i);
+  if (!config_.persist_dir.empty()) {
+    nc.persist_dir = config_.persist_dir + "/node" + std::to_string(i);
+  }
+  return nc;
+}
+
+void RlnHarness::kill_node(std::size_t i) {
+  WAKU_EXPECTS(nodes_[i] != nullptr);
+  nodes_[i]->shutdown();
+  nodes_[i].reset();
+}
+
+void RlnHarness::restart_node(std::size_t i) {
+  WAKU_EXPECTS(nodes_[i] == nullptr);
+  nodes_[i] = std::make_unique<WakuRlnRelayNode>(
+      network_, chain_, contract_, node_config(i), node_seed(i));
+  // Rejoin the overlay: link to every surviving peer (test-scale meshes),
+  // then start — subscription frames go out to the new links and the next
+  // heartbeats graft it back into the mesh.
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    if (j == i || nodes_[j] == nullptr) continue;
+    network_.connect(nodes_[i]->node_id(), nodes_[j]->node_id());
+  }
+  nodes_[i]->start();
+}
+
 std::uint64_t RlnHarness::total_delivered() const {
   std::uint64_t n = 0;
-  for (const auto& node : nodes_) n += node->stats().delivered;
+  for (const auto& node : nodes_) {
+    if (node) n += node->stats().delivered;
+  }
   return n;
 }
 
 std::uint64_t RlnHarness::total_rejected() {
   std::uint64_t n = 0;
-  for (const auto& node : nodes_) n += node->relay().stats().rejected;
+  for (const auto& node : nodes_) {
+    if (node) n += node->relay().stats().rejected;
+  }
   return n;
 }
 
 ValidatorStats RlnHarness::total_validation_stats() const {
   ValidatorStats total;
-  for (const auto& node : nodes_) total += node->validator().stats();
+  for (const auto& node : nodes_) {
+    if (node) total += node->validator().stats();
+  }
   return total;
 }
 

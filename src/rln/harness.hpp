@@ -21,6 +21,9 @@ struct HarnessConfig {
   chain::Gwei initial_balance_gwei = 100 * chain::kGweiPerEth;
   NodeConfig node;                     ///< template; account/seed set per node
   std::uint64_t seed = 42;
+  /// Base directory for per-node durable state: node i persists under
+  /// `<persist_dir>/node<i>`. Empty keeps every node ephemeral.
+  std::string persist_dir;
 };
 
 class RlnHarness {
@@ -33,6 +36,20 @@ class RlnHarness {
 
   /// Advances simulated time (blocks keep being mined on schedule).
   void run_ms(net::TimeMs duration);
+
+  /// Simulated crash: detaches node `i` from the network/chain/scheduler
+  /// and destroys it. Its durable state (if any) stays on disk; the chain
+  /// keeps mining.
+  void kill_node(std::size_t i);
+
+  /// Brings node `i` back with the same account, seed, and persist
+  /// directory (so it restores and resumes from its replay cursor), wires
+  /// it to the surviving peers, and starts it.
+  void restart_node(std::size_t i);
+
+  [[nodiscard]] bool alive(std::size_t i) const {
+    return nodes_[i] != nullptr;
+  }
 
   [[nodiscard]] WakuRlnRelayNode& node(std::size_t i) { return *nodes_[i]; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
@@ -52,6 +69,14 @@ class RlnHarness {
   [[nodiscard]] ValidatorStats total_validation_stats() const;
 
  private:
+  /// Node config/seed for slot `i` — identical at construction and on
+  /// restart, so a restarted node is the same member (same identity seed,
+  /// same account, same persist directory).
+  [[nodiscard]] NodeConfig node_config(std::size_t i) const;
+  [[nodiscard]] std::uint64_t node_seed(std::size_t i) const {
+    return config_.seed * 1000 + i;
+  }
+
   HarnessConfig config_;
   net::Simulator sim_;
   net::Network network_;

@@ -9,10 +9,12 @@ namespace waku::rln {
 namespace {
 
 enum class LightFrame : std::uint8_t {
-  kTreeReq = 1,   // u64 member index
-  kTreeResp = 2,  // root(32) u64 count, path
-  kPushReq = 3,   // serialized WakuMessage
-  kPushResp = 4,  // u8 accepted
+  kTreeReq = 1,        // u64 member index
+  kTreeResp = 2,       // root(32) u64 count, path
+  kPushReq = 3,        // serialized WakuMessage
+  kPushResp = 4,       // u8 accepted
+  kCheckpointReq = 5,  // (empty)
+  kCheckpointResp = 6, // serialized signed Checkpoint
 };
 
 }  // namespace
@@ -36,6 +38,25 @@ void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
       w.write_raw(node_.group().root().to_bytes_be());
       w.write_u64(node_.group().member_count());
       w.write_bytes(merkle::serialize_path(node_.group().path_of(index)));
+      network_.send(id_, from, std::move(w).take());
+      break;
+    }
+    case LightFrame::kCheckpointReq: {
+      ++checkpoint_requests_;
+      ByteWriter w;
+      w.write_u8(static_cast<std::uint8_t>(LightFrame::kCheckpointResp));
+      // The constructor requires a full-tree node, but a durable node can
+      // restore into partial mode afterwards — a remote frame must never
+      // be able to throw through export_checkpoint's precondition. The
+      // refusal is an empty body (fails checkpoint parsing client-side)
+      // rather than silence, so the client's bootstrap callback fires.
+      if (node_.group().mode() == TreeMode::kFullTree) {
+        Checkpoint checkpoint = node_.make_checkpoint();
+        checkpoint.sign(checkpoint_key_);
+        w.write_bytes(checkpoint.serialize());
+      } else {
+        w.write_bytes({});
+      }
       network_.send(id_, from, std::move(w).take());
       break;
     }
@@ -78,6 +99,94 @@ RlnLightClient::RlnLightClient(net::Network& network, Identity identity,
       epoch_(epoch),
       rng_(seed),
       id_(network.add_node(this)) {}
+
+RlnLightClient::~RlnLightClient() {
+  if (chain_ != nullptr && chain_subscription_.has_value()) {
+    chain_->unsubscribe_events(*chain_subscription_);
+  }
+}
+
+void RlnLightClient::attach_chain(chain::Blockchain& chain,
+                                  chain::Address contract,
+                                  Bytes checkpoint_key) {
+  chain_ = &chain;
+  contract_ = contract;
+  checkpoint_key_ = std::move(checkpoint_key);
+}
+
+void RlnLightClient::bootstrap(net::NodeId service, BootstrapResult done) {
+  WAKU_EXPECTS(chain_ != nullptr);  // attach_chain first
+  pending_bootstraps_.push_back(std::move(done));
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(LightFrame::kCheckpointReq));
+  network_.send(id_, service, std::move(w).take());
+}
+
+bool RlnLightClient::adopt_checkpoint(const Checkpoint& checkpoint) {
+  // An unsolicited kCheckpointResp can arrive before attach_chain(): with
+  // no chain to cross-check against there is nothing to adopt (and the
+  // empty default key would let anyone forge the attestation anyway).
+  if (chain_ == nullptr) return false;
+  // 1. Attestation: the serving peer must hold the key we were given out
+  //    of band.
+  if (!checkpoint.verify(checkpoint_key_)) return false;
+  // 2. Internal consistency: the view's root must close the root window
+  //    (from_checkpoint enforces this; a mismatch throws).
+  // 3. Contract cross-check: the member counter the checkpoint claims can
+  //    be at most what the contract has registered — a forged "future"
+  //    tree fails here even with a stolen key.
+  bool installing = false;
+  try {
+    const Bytes count_bytes =
+        chain_->static_call(contract_, "member_count", {});
+    ByteReader count(count_bytes);
+    if (checkpoint.member_count > count.read_u64()) return false;
+
+    // Everything that can reject the checkpoint runs on locals first: a
+    // refused re-bootstrap must leave an existing good bootstrap intact.
+    GroupManager group =
+        GroupManager::from_checkpoint(checkpoint.group_checkpoint());
+
+    installing = true;
+    pipeline_.reset();
+    group_.emplace(std::move(group));
+    pipeline_.emplace(
+        zksnark::rln_keypair(group_->depth()).vk, *group_,
+        ValidatorConfig{epoch_, /*max_epoch_gap=*/2},
+        rng_.next_u64());
+    pipeline_->seed_nullifier_watermark(checkpoint.nullifier_min_epoch);
+
+    // Resume the contract event stream where the checkpoint left off —
+    // this is the whole point: O(log N) transferred, zero genesis replay.
+    bootstrap_cursor_ = checkpoint.event_cursor;
+    events_applied_ = 0;
+    const auto apply = [this](const chain::Event& ev) {
+      if (!group_.has_value()) return;
+      group_->on_event(ev);
+      ++events_applied_;
+    };
+    chain_->replay_events(bootstrap_cursor_, apply);
+    if (chain_subscription_.has_value()) {
+      chain_->unsubscribe_events(*chain_subscription_);  // re-bootstrap
+    }
+    chain_subscription_ = chain_->subscribe_events(apply);
+    return true;
+  } catch (const std::exception&) {
+    if (installing) {
+      // Partially-installed state (e.g. the event replay rejected the
+      // checkpoint's view) is unusable — tear it down.
+      pipeline_.reset();
+      group_.reset();
+    }
+    return false;
+  }
+}
+
+ValidationOutcome RlnLightClient::validate(const WakuMessage& message,
+                                           std::uint64_t local_now_ms) {
+  WAKU_EXPECTS(pipeline_.has_value());
+  return pipeline_->validate_one(message, local_now_ms);
+}
 
 void RlnLightClient::publish(net::NodeId service, Bytes payload,
                              const std::string& content_topic,
@@ -146,6 +255,20 @@ void RlnLightClient::on_message(net::NodeId from, BytesView payload) {
         auto cb = std::move(pending_acks_.front());
         pending_acks_.erase(pending_acks_.begin());
         cb(accepted);
+      }
+      break;
+    }
+    case LightFrame::kCheckpointResp: {
+      bool ok = false;
+      try {
+        ok = adopt_checkpoint(Checkpoint::deserialize(r.read_bytes()));
+      } catch (const std::exception&) {
+        ok = false;  // malformed response: stay un-bootstrapped
+      }
+      if (!pending_bootstraps_.empty()) {
+        auto cb = std::move(pending_bootstraps_.front());
+        pending_bootstraps_.erase(pending_bootstraps_.begin());
+        if (cb) cb(ok);
       }
       break;
     }

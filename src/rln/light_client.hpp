@@ -1,5 +1,5 @@
-// Light-client publishing: the §IV-A hybrid architecture plus
-// 19/WAKU2-LIGHTPUSH.
+// Light-client publishing and bootstrap: the §IV-A hybrid architecture
+// plus 19/WAKU2-LIGHTPUSH.
 //
 // A resource-restricted member holds only its 32-byte identity key. To
 // publish it needs (a) a fresh auth path + root — served on demand by a
@@ -9,9 +9,17 @@
 // the finished, proof-carrying message on the client's behalf. The client
 // never joins the mesh and never stores the tree; proof generation stays
 // client-side so the sk never leaves the device.
+//
+// Checkpoint bootstrap (rln/checkpoint.hpp): instead of replaying the
+// contract event stream from genesis, a joining client fetches a signed
+// O(log N) checkpoint (root window + root-tracker view + event cursor +
+// nullifier watermark) from a full peer, verifies it, and becomes a
+// *validating* light peer immediately — it follows the event stream from
+// the checkpoint's cursor and runs the full RLN pipeline on live traffic.
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "net/network.hpp"
 #include "rln/epoch.hpp"
@@ -29,8 +37,16 @@ class RlnFullServiceNode : public net::NetNode {
 
   void on_message(net::NodeId from, BytesView payload) override;
 
+  /// Key used to attest served checkpoints (shared with clients out of
+  /// band; see checkpoint.hpp for what the MAC stands in for). Unset, the
+  /// service still serves checkpoints, attested under the empty key.
+  void set_checkpoint_key(Bytes key) { checkpoint_key_ = std::move(key); }
+
   [[nodiscard]] net::NodeId node_id() const { return id_; }
   [[nodiscard]] std::uint64_t tree_requests() const { return tree_requests_; }
+  [[nodiscard]] std::uint64_t checkpoint_requests() const {
+    return checkpoint_requests_;
+  }
   [[nodiscard]] std::uint64_t pushes_accepted() const {
     return pushes_accepted_;
   }
@@ -42,7 +58,9 @@ class RlnFullServiceNode : public net::NetNode {
   net::Network& network_;
   WakuRlnRelayNode& node_;
   net::NodeId id_;
+  Bytes checkpoint_key_;
   std::uint64_t tree_requests_ = 0;
+  std::uint64_t checkpoint_requests_ = 0;
   std::uint64_t pushes_accepted_ = 0;
   std::uint64_t pushes_rejected_ = 0;
 };
@@ -57,11 +75,46 @@ class RlnLightClient : public net::NetNode {
   RlnLightClient(net::Network& network, Identity identity,
                  std::uint64_t member_index, EpochConfig epoch,
                  std::uint64_t seed);
+  ~RlnLightClient() override;
 
   /// Fetches a fresh path from `service`, builds the proof bundle locally,
   /// and lightpushes the message. Asynchronous; `done` fires on the ack.
   void publish(net::NodeId service, Bytes payload,
                const std::string& content_topic, PushResult done = nullptr);
+
+  // -- Checkpoint bootstrap --------------------------------------------------
+
+  using BootstrapResult = std::function<void(bool ok)>;
+
+  /// Attaches the chain the checkpoint is cross-checked against and the
+  /// key the serving peer's attestation must verify under. Call before
+  /// bootstrap().
+  void attach_chain(chain::Blockchain& chain, chain::Address contract,
+                    Bytes checkpoint_key);
+
+  /// Requests a signed checkpoint from `service`. On a verified response
+  /// the client builds an O(log N) root-tracking group view, subscribes to
+  /// the contract event stream from the checkpoint's cursor, and becomes
+  /// able to validate() live traffic. `done` fires with the outcome; a
+  /// response failing verification leaves the client un-bootstrapped.
+  void bootstrap(net::NodeId service, BootstrapResult done = nullptr);
+
+  [[nodiscard]] bool bootstrapped() const { return pipeline_.has_value(); }
+
+  /// Runs the full RLN validation pipeline on a live message (requires
+  /// bootstrapped()).
+  ValidationOutcome validate(const WakuMessage& message,
+                             std::uint64_t local_now_ms);
+
+  /// The bootstrapped group view (requires bootstrapped()).
+  [[nodiscard]] const GroupManager& light_group() const { return *group_; }
+  /// Event cursor the bootstrap started from (0 before bootstrap).
+  [[nodiscard]] std::uint64_t bootstrap_cursor() const {
+    return bootstrap_cursor_;
+  }
+  [[nodiscard]] std::uint64_t events_applied() const {
+    return events_applied_;
+  }
 
   void on_message(net::NodeId from, BytesView payload) override;
 
@@ -78,6 +131,9 @@ class RlnLightClient : public net::NetNode {
     PushResult done;
   };
 
+  /// Verifies and installs a served checkpoint; false leaves state as-is.
+  bool adopt_checkpoint(const Checkpoint& checkpoint);
+
   net::Network& network_;
   Identity identity_;
   std::uint64_t member_index_;
@@ -88,6 +144,18 @@ class RlnLightClient : public net::NetNode {
   std::vector<PushResult> pending_acks_;
   std::uint64_t published_ = 0;
   std::uint64_t acked_ = 0;
+
+  // Checkpoint bootstrap state. `group_` must outlive `pipeline_` (the
+  // pipeline holds a reference); both are torn down together.
+  chain::Blockchain* chain_ = nullptr;
+  chain::Address contract_;
+  Bytes checkpoint_key_;
+  std::vector<BootstrapResult> pending_bootstraps_;
+  std::optional<GroupManager> group_;
+  std::optional<ValidationPipeline> pipeline_;
+  std::optional<std::uint64_t> chain_subscription_;
+  std::uint64_t bootstrap_cursor_ = 0;
+  std::uint64_t events_applied_ = 0;
 };
 
 }  // namespace waku::rln

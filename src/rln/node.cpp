@@ -1,5 +1,8 @@
 #include "rln/node.hpp"
 
+#include <algorithm>
+
+#include "common/expect.hpp"
 #include "common/serde.hpp"
 #include "hash/poseidon.hpp"
 #include "zksnark/rln_circuit.hpp"
@@ -26,9 +29,30 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       validator_(zksnark::rln_keypair(config.tree_depth).vk, group_,
                  config.validator, seed ^ 0x52C4A55E9D1ULL) {
   group_.set_own_identity(identity_);
+
+  if (!config_.persist_dir.empty()) {
+    state_store_.emplace(config_.persist_dir, config_.persist);
+    restore_from_store();
+    state_store_->set_snapshot_provider([this] { return serialize_state(); });
+    // Observed shares exist only in transit — journal them the moment the
+    // pipeline records one, so a crash cannot blind us to double-signals.
+    pipeline().set_observe_hook([this](std::uint64_t epoch,
+                                       const Fr& nullifier,
+                                       const sss::Share& share,
+                                       std::uint64_t proof_fp) {
+      ByteWriter w;
+      w.write_u64(epoch);
+      w.write_raw(nullifier.to_bytes_be());
+      w.write_raw(share.x.to_bytes_be());
+      w.write_raw(share.y.to_bytes_be());
+      w.write_u64(proof_fp);
+      journal(WalTag::kNullifier, w.data());
+    });
+  }
 }
 
 void WakuRlnRelayNode::start() {
+  started_ = true;
   // All relayed traffic funnels through the staged validation pipeline;
   // with gossip validation batching enabled, whole windows share one
   // RLC-aggregated Groth16 check.
@@ -85,15 +109,39 @@ void WakuRlnRelayNode::start() {
     if (handler_) handler_(msg);
   });
 
-  chain_.subscribe_events(
+  // Durable nodes resume the contract event stream from their replay
+  // cursor (everything older is already folded into the restored state);
+  // ephemeral nodes keep the historical live-only behaviour.
+  if (state_store_.has_value()) {
+    chain_.replay_events(event_cursor_,
+                         [this](const chain::Event& ev) {
+                           handle_chain_event(ev);
+                         });
+  }
+  chain_subscription_ = chain_.subscribe_events(
       [this](const chain::Event& ev) { handle_chain_event(ev); });
 
-  // Periodic upkeep: nullifier-log GC once per epoch.
-  network_.sim().schedule_every(
-      config_.validator.epoch.epoch_length_ms,
-      [this] { validator_.gc(network_.local_time(node_id())); });
+  // Periodic upkeep: nullifier-log GC and pending-slash expiry, once per
+  // epoch.
+  upkeep_task_ = network_.sim().schedule_every(
+      config_.validator.epoch.epoch_length_ms, [this] {
+        validator_.gc(network_.local_time(node_id()));
+        expire_pending_slashes();
+      });
 
   relay_.start();
+}
+
+void WakuRlnRelayNode::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  if (upkeep_task_ != 0) {
+    network_.sim().cancel(upkeep_task_);
+    upkeep_task_ = 0;
+  }
+  chain_.unsubscribe_events(chain_subscription_);
+  relay_.stop();
+  network_.remove_node(relay_.node_id());
 }
 
 void WakuRlnRelayNode::register_membership() {
@@ -150,6 +198,12 @@ WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
     return PublishStatus::kRateLimited;  // honest 1-message-per-epoch limit
   }
   last_published_epoch_ = epoch;
+  // Journaled before the message leaves: a node that crashes after
+  // publishing and forgets it published would double-signal against
+  // itself on restart — and forfeit its own stake.
+  ByteWriter w;
+  w.write_u64(epoch);
+  journal(WalTag::kOwnPublish, w.data());
   relay_.publish(build_message(std::move(payload), content_topic, epoch));
   ++stats_.published;
   return PublishStatus::kOk;
@@ -196,6 +250,18 @@ void WakuRlnRelayNode::trigger_slash(const Fr& spammer_sk) {
                           rng_.next_u64()};
   pending.commitment = chain::RlnMembershipContract::make_slash_commitment(
       spammer_sk, pending.salt, config_.account);
+  pending.commit_epoch = current_epoch();
+
+  // Write-ahead: the salt exists nowhere else. A crash between this
+  // commit and the reveal must not forfeit the slashing reward (the
+  // journaled entry lets the restarted node reveal).
+  ByteWriter w;
+  w.write_raw(pending.sk.to_bytes_be());
+  w.write_raw(ff::u256_to_bytes_be(pending.salt));
+  w.write_u64(pending.index);
+  w.write_raw(ff::u256_to_bytes_be(pending.commitment));
+  w.write_u64(pending.commit_epoch);
+  journal(WalTag::kSlashCommit, w.data());
 
   Transaction commit;
   commit.from = config_.account;
@@ -207,12 +273,43 @@ void WakuRlnRelayNode::trigger_slash(const Fr& spammer_sk) {
   pending_slashes_.push_back(pending);
 }
 
+void WakuRlnRelayNode::resolve_slash(std::uint64_t index) {
+  const std::size_t erased = std::erase_if(
+      pending_slashes_,
+      [index](const PendingSlash& p) { return p.index == index; });
+  const bool in_flight = slashes_in_flight_.erase(index) > 0;
+  if (erased > 0 || in_flight) {
+    ByteWriter w;
+    w.write_u64(index);
+    journal(WalTag::kSlashResolve, w.data());
+  }
+}
+
+void WakuRlnRelayNode::expire_pending_slashes() {
+  const std::uint64_t epoch = current_epoch();
+  std::vector<std::uint64_t> expired;
+  for (const PendingSlash& pending : pending_slashes_) {
+    if (epoch_distance(epoch, pending.commit_epoch) >
+        config_.slash_expiry_epochs) {
+      expired.push_back(pending.index);
+    }
+  }
+  for (const std::uint64_t index : expired) {
+    ++stats_.slashes_expired;
+    resolve_slash(index);
+  }
+}
+
 void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
+  ++event_cursor_;
   group_.on_event(event);
 
   if (event.name == "SlashCommitted") {
     // Our commitment is mined: submit the reveal (it lands in a later
-    // block, satisfying the contract's maturity check).
+    // block, satisfying the contract's maturity check). During restart
+    // replay this is exactly where a crash-interrupted commit-reveal
+    // resumes: the journaled pending entry meets its re-replayed
+    // SlashCommitted event.
     for (PendingSlash& pending : pending_slashes_) {
       if (pending.revealed || event.topics[0] != pending.commitment) continue;
       pending.revealed = true;
@@ -232,15 +329,172 @@ void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
       reveal.calldata = std::move(w).take();
       chain_.submit(std::move(reveal));
       ++stats_.slash_reveals;
+
+      // Journaled only after the submit: a crash in between makes the
+      // restarted node re-submit the reveal (the contract rejects the
+      // duplicate — cheap), whereas journaling first would record a
+      // reveal that never reached the chain and forfeit the reward.
+      ByteWriter j;
+      j.write_raw(ff::u256_to_bytes_be(pending.commitment));
+      journal(WalTag::kSlashReveal, j.data());
     }
   } else if (event.name == "MemberSlashed") {
-    slashes_in_flight_.erase(event.topics[0].limb[0]);
+    resolve_slash(event.topics[0].limb[0]);
     // The third topic names the rewarded slasher.
     if (event.topics.size() >= 3 &&
         event.topics[2] == config_.account.to_u256()) {
       ++stats_.slash_rewards;
     }
+  } else if (event.name == "MemberWithdrawn") {
+    // A withdraw that races our commit-reveal would otherwise leave the
+    // index blocked in slashes_in_flight_ forever.
+    resolve_slash(event.topics[0].limb[0]);
   }
+}
+
+// -- Durable state -----------------------------------------------------------
+
+void WakuRlnRelayNode::journal(WalTag tag, BytesView payload) {
+  if (state_store_.has_value()) {
+    state_store_->append(static_cast<std::uint8_t>(tag), payload);
+  }
+}
+
+void WakuRlnRelayNode::force_snapshot() {
+  if (state_store_.has_value()) state_store_->force_snapshot();
+}
+
+Bytes WakuRlnRelayNode::serialize_state() const {
+  ByteWriter w;
+  w.write_u8(1);  // version
+  // The identity secret rides in the snapshot so a restart is
+  // self-contained. Production deployments would keep it in the encrypted
+  // keystore (rln/keystore.hpp) and store only the pk here; the simulator
+  // has no at-rest threat model, so plaintext keeps the restore path
+  // simple and testable.
+  w.write_raw(identity_.sk.to_bytes_be());
+  w.write_u64(event_cursor_);
+  w.write_bytes(group_.serialize());
+  w.write_bytes(validator_.pipeline().serialize_state());
+  w.write_u8(last_published_epoch_.has_value() ? 1 : 0);
+  w.write_u64(last_published_epoch_.value_or(0));
+  w.write_u64(stats_.published);
+  w.write_u64(stats_.publish_rate_limited);
+  w.write_u64(stats_.delivered);
+  w.write_u64(stats_.slash_commits);
+  w.write_u64(stats_.slash_reveals);
+  w.write_u64(stats_.slash_rewards);
+  w.write_u64(stats_.slashes_expired);
+  w.write_u32(static_cast<std::uint32_t>(pending_slashes_.size()));
+  for (const PendingSlash& p : pending_slashes_) {
+    w.write_raw(p.sk.to_bytes_be());
+    w.write_raw(ff::u256_to_bytes_be(p.salt));
+    w.write_u64(p.index);
+    w.write_raw(ff::u256_to_bytes_be(p.commitment));
+    w.write_u8(p.revealed ? 1 : 0);
+    w.write_u64(p.commit_epoch);
+  }
+  return std::move(w).take();
+}
+
+void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
+  ByteReader r(payload);
+  WAKU_EXPECTS(r.read_u8() == 1);
+  identity_ = Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
+  event_cursor_ = r.read_u64();
+  const Bytes group_bytes = r.read_bytes();
+  group_.restore(group_bytes);
+  const Bytes pipeline_bytes = r.read_bytes();
+  validator_.pipeline().restore_state(pipeline_bytes);
+  const bool has_last_published = r.read_u8() != 0;
+  const std::uint64_t last_published = r.read_u64();
+  last_published_epoch_.reset();
+  if (has_last_published) last_published_epoch_ = last_published;
+  stats_ = NodeStats{};
+  stats_.published = r.read_u64();
+  stats_.publish_rate_limited = r.read_u64();
+  stats_.delivered = r.read_u64();
+  stats_.slash_commits = r.read_u64();
+  stats_.slash_reveals = r.read_u64();
+  stats_.slash_rewards = r.read_u64();
+  stats_.slashes_expired = r.read_u64();
+  pending_slashes_.clear();
+  slashes_in_flight_.clear();
+  const std::uint32_t pending_count = r.read_u32();
+  for (std::uint32_t i = 0; i < pending_count; ++i) {
+    PendingSlash p;
+    p.sk = Fr::from_bytes_reduce(r.read_raw(32));
+    p.salt = ff::u256_from_bytes_be(r.read_raw(32));
+    p.index = r.read_u64();
+    p.commitment = ff::u256_from_bytes_be(r.read_raw(32));
+    p.revealed = r.read_u8() != 0;
+    p.commit_epoch = r.read_u64();
+    slashes_in_flight_.insert(p.index);
+    pending_slashes_.push_back(std::move(p));
+  }
+}
+
+void WakuRlnRelayNode::apply_wal_record(std::uint8_t type,
+                                        BytesView payload) {
+  ByteReader r(payload);
+  switch (static_cast<WalTag>(type)) {
+    case WalTag::kNullifier: {
+      const std::uint64_t epoch = r.read_u64();
+      const Fr nullifier = Fr::from_bytes_reduce(r.read_raw(32));
+      sss::Share share;
+      share.x = Fr::from_bytes_reduce(r.read_raw(32));
+      share.y = Fr::from_bytes_reduce(r.read_raw(32));
+      const std::uint64_t proof_fp = r.read_u64();
+      pipeline().inject_observation(epoch, nullifier, share, proof_fp);
+      break;
+    }
+    case WalTag::kSlashCommit: {
+      PendingSlash p;
+      p.sk = Fr::from_bytes_reduce(r.read_raw(32));
+      p.salt = ff::u256_from_bytes_be(r.read_raw(32));
+      p.index = r.read_u64();
+      p.commitment = ff::u256_from_bytes_be(r.read_raw(32));
+      p.commit_epoch = r.read_u64();
+      slashes_in_flight_.insert(p.index);
+      pending_slashes_.push_back(std::move(p));
+      break;
+    }
+    case WalTag::kSlashReveal: {
+      const ff::U256 commitment = ff::u256_from_bytes_be(r.read_raw(32));
+      for (PendingSlash& p : pending_slashes_) {
+        if (p.commitment == commitment) p.revealed = true;
+      }
+      break;
+    }
+    case WalTag::kSlashResolve: {
+      const std::uint64_t index = r.read_u64();
+      std::erase_if(pending_slashes_, [index](const PendingSlash& p) {
+        return p.index == index;
+      });
+      slashes_in_flight_.erase(index);
+      break;
+    }
+    case WalTag::kOwnPublish:
+      last_published_epoch_ = r.read_u64();
+      break;
+  }
+}
+
+void WakuRlnRelayNode::restore_from_store() {
+  if (const std::optional<Bytes> snapshot = state_store_->load_snapshot()) {
+    restore_snapshot(*snapshot);
+  }
+  // WAL records postdate the snapshot; chain events from the cursor are
+  // replayed later (in start()), after which a restored pending slash can
+  // meet its SlashCommitted event and resume the reveal.
+  state_store_->replay_wal([this](std::uint8_t type, BytesView payload) {
+    apply_wal_record(type, payload);
+  });
+}
+
+Checkpoint WakuRlnRelayNode::make_checkpoint() const {
+  return make_group_checkpoint(group_, event_cursor_,
+                               validator_.log().stats().min_epoch);
 }
 
 }  // namespace waku::rln

@@ -8,7 +8,11 @@
 //   * proof-bundle generation on publish (§III-E);
 //   * routing-time validation, nullifier log, and slashing with
 //     commit-reveal on double-signals (§III-F);
-//   * optional 13/WAKU2-STORE archive.
+//   * optional 13/WAKU2-STORE archive;
+//   * optional durable state (src/persist): WAL + snapshots so a restart
+//     restores the tree, root window, nullifier log, rate-limit state, and
+//     in-flight commit-reveal slashes, then resumes the contract event
+//     stream from a replay cursor instead of genesis.
 //
 // Attacker hooks (force_publish / publish_with_invalid_proof) exist so the
 // spam experiments can drive misbehaving-but-registered peers through the
@@ -18,10 +22,13 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_set>
 
 #include "chain/blockchain.hpp"
 #include "chain/rln_contract.hpp"
+#include "persist/state_store.hpp"
+#include "rln/checkpoint.hpp"
 #include "rln/group_manager.hpp"
 #include "rln/identity.hpp"
 #include "rln/validator.hpp"
@@ -38,6 +45,17 @@ struct NodeConfig {
   bool enable_store = false;   ///< archive delivered messages (WAKU2-STORE)
   gossipsub::GossipSubConfig gossip;
   gossipsub::PeerScoreConfig score;
+
+  /// Durable-state directory; empty keeps the node fully ephemeral (the
+  /// pre-persistence behaviour). With a directory set, the node opens a
+  /// persist::StateStore there, restores on construction, and journals /
+  /// snapshots during operation.
+  std::string persist_dir;
+  persist::StateStoreConfig persist;
+  /// A journaled commit-reveal slash whose reveal never lands (lost tx,
+  /// front-run loss, withdraw race) is dropped after this many epochs so
+  /// the index can be re-slashed.
+  std::uint64_t slash_expiry_epochs = 16;
 };
 
 struct NodeStats {
@@ -47,6 +65,7 @@ struct NodeStats {
   std::uint64_t slash_commits = 0;
   std::uint64_t slash_reveals = 0;
   std::uint64_t slash_rewards = 0;  ///< MemberSlashed where we were payee
+  std::uint64_t slashes_expired = 0;  ///< pending slashes dropped by expiry
 };
 
 class WakuRlnRelayNode {
@@ -60,8 +79,15 @@ class WakuRlnRelayNode {
                    std::uint64_t seed);
 
   /// Installs the validator, subscribes to the relay topic and the chain
-  /// event feed, and starts gossip heartbeats. Call once, after wiring.
+  /// event feed (resuming from the persisted replay cursor when durable
+  /// state was restored), and starts gossip heartbeats. Call once.
   void start();
+
+  /// Graceful detach: cancels scheduled work, drops the chain
+  /// subscription, and removes the node from the network. Durable state
+  /// is NOT flushed beyond what the WAL already holds — by design, so the
+  /// crash-restart suite exercises the same path a kill -9 would.
+  void shutdown();
 
   /// Submits the registration transaction (pk + deposit, §III-B). The
   /// membership becomes usable once the block is mined and the
@@ -90,6 +116,29 @@ class WakuRlnRelayNode {
     handler_ = std::move(handler);
   }
 
+  // -- Durable state ---------------------------------------------------------
+
+  /// Writes a snapshot now (no-op for ephemeral nodes).
+  void force_snapshot();
+  /// Contract events applied so far — the replay cursor persisted in
+  /// snapshots and resumed from on restart.
+  [[nodiscard]] std::uint64_t event_cursor() const { return event_cursor_; }
+  [[nodiscard]] bool persistent() const { return state_store_.has_value(); }
+  [[nodiscard]] const persist::StateStore* state_store() const {
+    return state_store_.has_value() ? &*state_store_ : nullptr;
+  }
+  /// Pending commit-reveal slashes currently journaled (tests/operators).
+  [[nodiscard]] std::size_t pending_slash_count() const {
+    return pending_slashes_.size();
+  }
+  /// Canonical serialization of the full durable state — what snapshots
+  /// hold; restart tests assert byte-identity on it.
+  [[nodiscard]] Bytes serialize_state() const;
+
+  /// Exports the unsigned light-client bootstrap checkpoint (full-tree
+  /// nodes only; the lightpush service signs and serves it).
+  [[nodiscard]] Checkpoint make_checkpoint() const;
+
   [[nodiscard]] net::NodeId node_id() const { return relay_.node_id(); }
   [[nodiscard]] const Identity& identity() const { return identity_; }
   [[nodiscard]] const chain::Address& account() const {
@@ -100,6 +149,7 @@ class WakuRlnRelayNode {
   [[nodiscard]] WakuRelay& relay() { return relay_; }
   [[nodiscard]] GroupManager& group() { return group_; }
   [[nodiscard]] RlnValidator& validator() { return validator_; }
+  [[nodiscard]] const RlnValidator& validator() const { return validator_; }
   /// The staged validation pipeline behind validator() — the node's one
   /// validation entry point.
   [[nodiscard]] ValidationPipeline& pipeline() {
@@ -110,12 +160,32 @@ class WakuRlnRelayNode {
   [[nodiscard]] const NodeConfig& config() const { return config_; }
 
  private:
+  /// WAL record schema. Chain-derived state is NOT journaled — the chain's
+  /// event log is authoritative and replayable from the cursor; the WAL
+  /// carries only what exists nowhere else after a crash.
+  enum class WalTag : std::uint8_t {
+    kNullifier = 1,     ///< observed (epoch, nullifier, share, proof fp)
+    kSlashCommit = 2,   ///< local (sk, salt) behind a commit_slash tx
+    kSlashReveal = 3,   ///< reveal submitted for a commitment
+    kSlashResolve = 4,  ///< pending slash retired (slashed/withdrawn/expired)
+    kOwnPublish = 5,    ///< own-publish epoch (rate-limit state, §III-E)
+  };
+
   /// Builds the §III-E message bundle: proof over (sk, path, H(m), epoch).
   WakuMessage build_message(Bytes payload, const std::string& content_topic,
                             std::uint64_t epoch);
   void handle_chain_event(const chain::Event& event);
   /// Kicks off commit-reveal slashing for a recovered secret key (§III-F).
   void trigger_slash(const Fr& spammer_sk);
+  /// Retires any pending slash for `index` (slashed, withdrawn, expired).
+  void resolve_slash(std::uint64_t index);
+  /// Drops journaled slashes older than slash_expiry_epochs.
+  void expire_pending_slashes();
+
+  void journal(WalTag tag, BytesView payload);
+  void restore_from_store();
+  void restore_snapshot(BytesView payload);
+  void apply_wal_record(std::uint8_t type, BytesView payload);
 
   net::Network& network_;
   chain::Blockchain& chain_;
@@ -139,9 +209,16 @@ class WakuRlnRelayNode {
     std::uint64_t index;
     ff::U256 commitment;
     bool revealed = false;
+    std::uint64_t commit_epoch = 0;
   };
   std::deque<PendingSlash> pending_slashes_;
   std::unordered_set<std::uint64_t> slashes_in_flight_;  // by member index
+
+  std::optional<persist::StateStore> state_store_;
+  std::uint64_t event_cursor_ = 0;  ///< contract events applied
+  std::uint64_t chain_subscription_ = 0;
+  net::Simulator::TaskId upkeep_task_ = 0;
+  bool started_ = false;
 };
 
 }  // namespace waku::rln

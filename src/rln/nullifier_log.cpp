@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/expect.hpp"
+#include "common/serde.hpp"
+
 namespace waku::rln {
 
 NullifierLog::Result NullifierLog::observe(std::uint64_t epoch,
@@ -68,6 +71,80 @@ void NullifierLog::gc(std::uint64_t current_epoch, std::uint64_t thr) {
     }
   }
   min_epoch_ = cutoff;
+}
+
+std::vector<std::pair<std::uint64_t, std::size_t>>
+NullifierLog::bucket_sizes() const {
+  std::vector<std::pair<std::uint64_t, std::size_t>> sizes;
+  sizes.reserve(buckets_.size());
+  for (const auto& [epoch, bucket] : buckets_) {
+    sizes.emplace_back(epoch, bucket.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+Bytes NullifierLog::serialize() const {
+  ByteWriter w;
+  w.write_u64(min_epoch_);
+  w.write_u64(conflicts_);
+  w.write_u64(buckets_.size());
+
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(buckets_.size());
+  for (const auto& [epoch, bucket] : buckets_) epochs.push_back(epoch);
+  std::sort(epochs.begin(), epochs.end());
+
+  for (const std::uint64_t epoch : epochs) {
+    const Bucket& bucket = buckets_.at(epoch);
+    w.write_u64(epoch);
+    w.write_u64(bucket.size());
+    // Canonical entry order: sort by the nullifier's integer value so two
+    // logs with equal contents emit equal bytes regardless of hash-table
+    // iteration order.
+    std::vector<const std::pair<const Fr, Entry>*> rows;
+    rows.reserve(bucket.size());
+    for (const auto& row : bucket) rows.push_back(&row);
+    std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+      return a->first.to_u256() < b->first.to_u256();
+    });
+    for (const auto* row : rows) {
+      w.write_raw(row->first.to_bytes_be());
+      w.write_raw(row->second.share.x.to_bytes_be());
+      w.write_raw(row->second.share.y.to_bytes_be());
+      w.write_u64(row->second.proof_fp);
+    }
+  }
+  return std::move(w).take();
+}
+
+void NullifierLog::restore(BytesView bytes) {
+  ByteReader r(bytes);
+  buckets_.clear();
+  entries_ = 0;
+  min_epoch_ = r.read_u64();
+  conflicts_ = r.read_u64();
+  const std::uint64_t bucket_count = r.read_u64();
+  for (std::uint64_t b = 0; b < bucket_count; ++b) {
+    const std::uint64_t epoch = r.read_u64();
+    const std::uint64_t entry_count = r.read_u64();
+    Bucket& bucket = buckets_[epoch];
+    bucket.reserve(entry_count);
+    for (std::uint64_t e = 0; e < entry_count; ++e) {
+      const Fr nullifier = Fr::from_bytes_reduce(r.read_raw(32));
+      Entry entry;
+      entry.share.x = Fr::from_bytes_reduce(r.read_raw(32));
+      entry.share.y = Fr::from_bytes_reduce(r.read_raw(32));
+      entry.proof_fp = r.read_u64();
+      bucket.emplace(nullifier, entry);
+      ++entries_;
+    }
+  }
+}
+
+void NullifierLog::seed_watermark(std::uint64_t min_epoch) {
+  WAKU_EXPECTS(buckets_.empty());
+  min_epoch_ = min_epoch;
 }
 
 std::size_t NullifierLog::storage_bytes() const {

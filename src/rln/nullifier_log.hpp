@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sss/shamir.hpp"
 
@@ -43,6 +45,10 @@ class NullifierLog {
     std::size_t entries = 0;    ///< recorded (nullifier, share) pairs
     std::size_t buckets = 0;    ///< live epoch shards
     std::uint64_t conflicts = 0;  ///< double-signals observed since start
+    /// GC watermark: no bucket is older than this epoch. Restart tests use
+    /// it (with bucket_sizes()) to assert a restored log equals the
+    /// pre-crash log.
+    std::uint64_t min_epoch = 0;
   };
 
   /// What the log remembers per (epoch, nullifier): the Shamir share plus
@@ -74,12 +80,28 @@ class NullifierLog {
   void gc(std::uint64_t current_epoch, std::uint64_t thr);
 
   [[nodiscard]] Stats stats() const {
-    return Stats{entries_, buckets_.size(), conflicts_};
+    return Stats{entries_, buckets_.size(), conflicts_, min_epoch_};
   }
+  /// Entry count per live epoch bucket, sorted by epoch — the per-shard
+  /// view behind Stats, for restart equality assertions and operators.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::size_t>>
+  bucket_sizes() const;
   [[nodiscard]] std::size_t epoch_count() const { return buckets_.size(); }
   [[nodiscard]] std::size_t entry_count() const { return entries_; }
   /// Approximate in-memory footprint (E4/E5 bookkeeping).
   [[nodiscard]] std::size_t storage_bytes() const;
+
+  /// Canonical full-state serialization (buckets sorted by epoch, entries
+  /// by nullifier) — identical logs serialize to identical bytes, which is
+  /// what the crash-restart suite asserts on.
+  [[nodiscard]] Bytes serialize() const;
+  /// Replaces this log's contents with a serialized state.
+  void restore(BytesView bytes);
+
+  /// Sets the GC watermark on an empty log (checkpoint bootstrap: a light
+  /// client must not accept messages from epochs the serving peer already
+  /// expired).
+  void seed_watermark(std::uint64_t min_epoch);
 
  private:
   using Bucket = std::unordered_map<Fr, Entry, ff::FrHash>;

@@ -1,6 +1,7 @@
 #include "rln/validation_pipeline.hpp"
 
 #include "common/expect.hpp"
+#include "common/serde.hpp"
 
 namespace waku::rln {
 
@@ -200,6 +201,13 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
       case NullifierLog::Outcome::kNew:
         ++stats_.accepted;
         out[i] = {Verdict::kAccept, std::nullopt};
+        // Journal the observation before the verdict leaves the pipeline:
+        // shares exist only in transit, so a crash would otherwise blind
+        // the restarted node to double-signals against this entry.
+        if (observe_hook_) {
+          observe_hook_(slot.bundle->epoch, slot.bundle->nullifier, share,
+                        slot.proof_fp);
+        }
         break;
       case NullifierLog::Outcome::kDuplicate:
         ++stats_.duplicates;
@@ -237,7 +245,52 @@ ValidatorStats ValidationPipeline::stats() const {
   s.log_entries = ls.entries;
   s.log_buckets = ls.buckets;
   s.log_conflicts = ls.conflicts;
+  s.log_min_epoch = ls.min_epoch;
   return s;
+}
+
+void ValidationPipeline::inject_observation(std::uint64_t epoch,
+                                            const Fr& nullifier,
+                                            const sss::Share& share,
+                                            std::uint64_t proof_fp) {
+  (void)log_.observe(epoch, nullifier, share, proof_fp);
+}
+
+Bytes ValidationPipeline::serialize_state() const {
+  ByteWriter w;
+  w.write_u8(1);  // version
+  w.write_bytes(log_.serialize());
+  w.write_u64(stats_.accepted);
+  w.write_u64(stats_.epoch_gap);
+  w.write_u64(stats_.duplicates);
+  w.write_u64(stats_.no_proof);
+  w.write_u64(stats_.bad_proof);
+  w.write_u64(stats_.stale_root);
+  w.write_u64(stats_.spam_detected);
+  w.write_u64(stats_.batches);
+  w.write_u64(stats_.batch_aggregated);
+  w.write_u64(stats_.batch_fallbacks);
+  w.write_u64(stats_.precheck_duplicates);
+  return std::move(w).take();
+}
+
+void ValidationPipeline::restore_state(BytesView bytes) {
+  ByteReader r(bytes);
+  WAKU_EXPECTS(r.read_u8() == 1);
+  const Bytes log_bytes = r.read_bytes();
+  log_.restore(log_bytes);
+  stats_ = ValidatorStats{};
+  stats_.accepted = r.read_u64();
+  stats_.epoch_gap = r.read_u64();
+  stats_.duplicates = r.read_u64();
+  stats_.no_proof = r.read_u64();
+  stats_.bad_proof = r.read_u64();
+  stats_.stale_root = r.read_u64();
+  stats_.spam_detected = r.read_u64();
+  stats_.batches = r.read_u64();
+  stats_.batch_aggregated = r.read_u64();
+  stats_.batch_fallbacks = r.read_u64();
+  stats_.precheck_duplicates = r.read_u64();
 }
 
 }  // namespace waku::rln

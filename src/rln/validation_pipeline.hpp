@@ -16,6 +16,7 @@
 // structures behind stages 2 and 5.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -74,9 +75,16 @@ struct ValidatorStats {
   std::uint64_t log_entries = 0;
   std::uint64_t log_buckets = 0;
   std::uint64_t log_conflicts = 0;
+  /// Mirror of the log's GC watermark (oldest live epoch). Defaults to
+  /// the min-aggregation identity so a default-constructed accumulator
+  /// does not drag every operator+= aggregate down to 0; stats() always
+  /// overwrites it with the real watermark.
+  std::uint64_t log_min_epoch = ~std::uint64_t{0};
 
   /// Field-wise accumulation (deployment-wide aggregation). Keep in sync
   /// when adding a counter — aggregators rely on this, not hand-sums.
+  /// Watermarks aggregate by minimum (the deployment-wide oldest live
+  /// epoch), counters by sum.
   ValidatorStats& operator+=(const ValidatorStats& o) {
     accepted += o.accepted;
     epoch_gap += o.epoch_gap;
@@ -92,6 +100,8 @@ struct ValidatorStats {
     log_entries += o.log_entries;
     log_buckets += o.log_buckets;
     log_conflicts += o.log_conflicts;
+    log_min_epoch = log_min_epoch < o.log_min_epoch ? log_min_epoch
+                                                    : o.log_min_epoch;
     return *this;
   }
 };
@@ -134,6 +144,32 @@ class ValidationPipeline {
   [[nodiscard]] const NullifierLog& log() const { return log_; }
   [[nodiscard]] const ValidatorConfig& config() const { return config_; }
 
+  // -- Durable-state hooks (src/persist) -------------------------------------
+
+  /// Fires whenever the nullifier log records a *new* entry — the node's
+  /// WAL journals these, because (unlike tree state) observed shares are
+  /// not recoverable from the contract event stream after a crash.
+  using ObserveHook = std::function<void(
+      std::uint64_t epoch, const Fr& nullifier, const sss::Share& share,
+      std::uint64_t proof_fp)>;
+  void set_observe_hook(ObserveHook hook) { observe_hook_ = std::move(hook); }
+
+  /// WAL replay: re-records an observation without re-firing the hook or
+  /// touching the verdict counters.
+  void inject_observation(std::uint64_t epoch, const Fr& nullifier,
+                          const sss::Share& share, std::uint64_t proof_fp);
+
+  /// Serializes the nullifier log plus the verdict counters (the mirror
+  /// fields of stats() are recomputed, not stored).
+  [[nodiscard]] Bytes serialize_state() const;
+  void restore_state(BytesView bytes);
+
+  /// Checkpoint bootstrap: start the (empty) log at the serving peer's GC
+  /// watermark.
+  void seed_nullifier_watermark(std::uint64_t min_epoch) {
+    log_.seed_watermark(min_epoch);
+  }
+
  private:
   std::vector<ValidationOutcome> validate_impl(
       std::span<const WakuMessage> messages,
@@ -146,6 +182,7 @@ class ValidationPipeline {
   NullifierLog log_;
   ValidatorStats stats_;
   Rng rng_;
+  ObserveHook observe_hook_;
 };
 
 }  // namespace waku::rln

@@ -38,6 +38,9 @@ class WakuRelay {
   /// Starts heartbeating (call after wiring the topology).
   void start() { router_.start(); }
 
+  /// Stops heartbeating (node shutdown / simulated crash).
+  void stop() { router_.stop(); }
+
   /// Subscribes to the relay topic.
   void subscribe(MessageHandler handler);
 

@@ -451,5 +451,78 @@ TEST_F(SemaphoreFixture, BroadcastStoresSignalAndBlocksDoubles) {
   EXPECT_FALSE(chain.receipt(h2)->success);
 }
 
+TEST(EventCodec, RoundTripsEveryField) {
+  Event ev;
+  ev.contract = Address::from_u64(0xC0DE);
+  ev.name = "MemberSlashed";
+  ev.topics = {U256{7}, U256{1, 2, 3, 4}, U256{~std::uint64_t{0}}};
+  ev.data = to_bytes("auth path payload bytes");
+  ev.block_number = 42;
+
+  const Bytes wire = serialize_event(ev);
+  const Event back = deserialize_event(wire);
+  EXPECT_EQ(back.contract, ev.contract);
+  EXPECT_EQ(back.name, ev.name);
+  EXPECT_EQ(back.topics, ev.topics);
+  EXPECT_EQ(back.data, ev.data);
+  EXPECT_EQ(back.block_number, ev.block_number);
+  // Deterministic encoding: same event, same bytes.
+  EXPECT_EQ(serialize_event(back), wire);
+
+  // Truncated frames must throw, not half-parse.
+  const BytesView half(wire.data(), wire.size() / 2);
+  EXPECT_THROW(deserialize_event(half), std::out_of_range);
+}
+
+TEST(EventLog, ReplayFromCursorSeesExactlyTheSuffix) {
+  Blockchain chain;
+  chain.create_account(Address::from_u64(1), 10 * kGweiPerEth);
+  const Address rln =
+      chain.deploy(std::make_unique<RlnMembershipContract>(1'000'000));
+  Rng rng(3);
+  for (int i = 0; i < 3; ++i) {
+    Transaction tx;
+    tx.from = Address::from_u64(1);
+    tx.to = rln;
+    tx.method = "register";
+    tx.calldata = Fr::random(rng).to_bytes_be();
+    tx.value = 1'000'000;
+    chain.submit(std::move(tx));
+    chain.mine_block(10'000 * (i + 1));
+  }
+  ASSERT_EQ(chain.event_count(), 3u);
+  std::vector<std::uint64_t> indices;
+  chain.replay_events(1, [&](const Event& ev) {
+    EXPECT_EQ(ev.name, "MemberRegistered");
+    indices.push_back(ev.topics[0].limb[0]);
+  });
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(EventLog, UnsubscribedCallbackStopsFiring) {
+  Blockchain chain;
+  chain.create_account(Address::from_u64(1), 10 * kGweiPerEth);
+  const Address rln =
+      chain.deploy(std::make_unique<RlnMembershipContract>(1'000'000));
+  int calls = 0;
+  const std::uint64_t sub =
+      chain.subscribe_events([&](const Event&) { ++calls; });
+  auto register_one = [&](std::uint64_t at) {
+    Transaction tx;
+    tx.from = Address::from_u64(1);
+    tx.to = rln;
+    tx.method = "register";
+    tx.calldata = Fr::from_u64(at).to_bytes_be();
+    tx.value = 1'000'000;
+    chain.submit(std::move(tx));
+    chain.mine_block(at);
+  };
+  register_one(10'000);
+  EXPECT_EQ(calls, 1);
+  chain.unsubscribe_events(sub);
+  register_one(20'000);
+  EXPECT_EQ(calls, 1);  // detached: the restarted-node use case
+}
+
 }  // namespace
 }  // namespace waku::chain

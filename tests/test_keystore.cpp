@@ -66,6 +66,46 @@ TEST(Keystore, FreshSaltPerSeal) {
   EXPECT_TRUE(keystore_open(b, "pw").has_value());
 }
 
+TEST(Keystore, EveryTruncationFailsClosed) {
+  // A credential blob cut at *any* point — torn download, partial disk
+  // write — must fail closed: nullopt, never a half-restored identity and
+  // never a crash.
+  Rng rng(7);
+  const Bytes sealed = keystore_seal(sample_credential(), "pw", rng);
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    const Bytes truncated(sealed.begin(),
+                          sealed.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(keystore_open(truncated, "pw").has_value())
+        << "truncation at " << len << " must not open";
+  }
+  // Sanity: the untruncated blob does open.
+  EXPECT_TRUE(keystore_open(sealed, "pw").has_value());
+}
+
+TEST(Keystore, EveryByteCorruptionFailsClosed) {
+  // Flip each byte of the blob in turn: header, salt, nonce, ciphertext,
+  // tag — every region must be covered by a check (magic/version compare,
+  // KDF input, or the AEAD tag). No flipped blob may open.
+  Rng rng(8);
+  const Bytes sealed = keystore_seal(sample_credential(), "pw", rng);
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes corrupted = sealed;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(keystore_open(corrupted, "pw").has_value())
+        << "byte " << i << " flip must not open";
+  }
+}
+
+TEST(Keystore, ExtendedBlobFailsClosed) {
+  // Appended trailing bytes change the ciphertext extent the tag covers.
+  Rng rng(9);
+  Bytes sealed = keystore_seal(sample_credential(), "pw", rng);
+  sealed.push_back(0x00);
+  EXPECT_FALSE(keystore_open(sealed, "pw").has_value());
+  sealed.insert(sealed.end(), 64, 0xAB);
+  EXPECT_FALSE(keystore_open(sealed, "pw").has_value());
+}
+
 TEST(Keystore, SecretKeyRoundTripsExactly) {
   Rng rng(6);
   const MembershipCredential credential = sample_credential(0xFEED);

@@ -87,6 +87,96 @@ TEST_F(LightFixture, UnknownMemberIndexGetsNoTreeResponse) {
   EXPECT_EQ(stranger.published(), 0u);
 }
 
+TEST_F(LightFixture, CheckpointBootstrapValidatesLiveTraffic) {
+  const Bytes key = to_bytes("deployment-checkpoint-key");
+  service->set_checkpoint_key(key);
+  client->attach_chain(h->chain(), h->contract(), key);
+
+  bool ok = false;
+  client->bootstrap(service->node_id(), [&](bool accepted) { ok = accepted; });
+  h->run_ms(2'000);
+
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(client->bootstrapped());
+  // O(log N) transfer, no genesis replay: the checkpoint's cursor covered
+  // the whole registration history, so the client applied zero (or nearly
+  // zero) historical events itself.
+  EXPECT_GT(client->bootstrap_cursor(), 0u);
+  EXPECT_EQ(client->light_group().member_count(),
+            h->node(0).group().member_count());
+  EXPECT_EQ(client->light_group().root(), h->node(0).group().root());
+
+  // The bootstrapped client validates live mesh traffic.
+  WakuMessage live;
+  bool captured = false;
+  h->node(3).set_message_handler([&](const WakuMessage& m) {
+    if (!captured) {
+      live = m;
+      captured = true;
+    }
+  });
+  ASSERT_EQ(h->node(1).try_publish(to_bytes("live traffic")),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  h->run_ms(4'000);
+  ASSERT_TRUE(captured);
+  const ValidationOutcome outcome = client->validate(
+      live, h->network().local_time(client->node_id()));
+  EXPECT_EQ(outcome.verdict, Verdict::kAccept);
+  // A replay of the same message is a duplicate, not fresh traffic: the
+  // client runs the full pipeline, nullifier log included.
+  const ValidationOutcome echo = client->validate(
+      live, h->network().local_time(client->node_id()));
+  EXPECT_EQ(echo.verdict, Verdict::kIgnoreDuplicate);
+}
+
+TEST_F(LightFixture, BootstrappedClientFollowsMembershipChurn) {
+  const Bytes key = to_bytes("k");
+  service->set_checkpoint_key(key);
+  client->attach_chain(h->chain(), h->contract(), key);
+  bool ok = false;
+  client->bootstrap(service->node_id(), [&](bool accepted) { ok = accepted; });
+  h->run_ms(2'000);
+  ASSERT_TRUE(ok);
+
+  // New registration after the checkpoint: the client keeps tracking the
+  // event stream from its cursor, so its root follows the full nodes'.
+  Rng rng(0xFEE7);
+  const Identity newcomer = Identity::generate(rng);
+  const chain::Address account = chain::Address::from_u64(0xE0000042);
+  h->chain().create_account(account, 10 * chain::kGweiPerEth);
+  chain::Transaction tx;
+  tx.from = account;
+  tx.to = h->contract();
+  tx.method = "register";
+  tx.calldata = newcomer.pk_bytes();
+  tx.value = h->chain()
+                 .contract_at<chain::RlnMembershipContract>(h->contract())
+                 .deposit();
+  h->chain().submit(std::move(tx));
+  h->run_ms(2 * cfg.block_interval_ms + 500);
+
+  EXPECT_GT(client->events_applied(), 0u);
+  EXPECT_EQ(client->light_group().member_count(),
+            h->node(0).group().member_count());
+  EXPECT_EQ(client->light_group().root(), h->node(0).group().root());
+}
+
+TEST_F(LightFixture, TamperedOrMiskeyedCheckpointRejected) {
+  service->set_checkpoint_key(to_bytes("the-real-key"));
+  client->attach_chain(h->chain(), h->contract(),
+                       to_bytes("a-different-key"));
+  bool called = false;
+  bool ok = true;
+  client->bootstrap(service->node_id(), [&](bool accepted) {
+    called = true;
+    ok = accepted;
+  });
+  h->run_ms(2'000);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(client->bootstrapped());
+}
+
 TEST_F(LightFixture, ClientSecretNeverNeededByService) {
   // Structural check: the proof is generated client-side; the service only
   // ever sees the finished message. (The API makes this true by

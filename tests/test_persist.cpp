@@ -1,0 +1,358 @@
+// Tests for the durable-state subsystem: WAL framing + torn-tail
+// truncation, atomic snapshot generations, and the StateStore facade's
+// snapshot/compaction policy and LSN-filtered replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/serde.hpp"
+#include "persist/crc32.hpp"
+#include "persist/state_store.hpp"
+
+namespace waku::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "waku_persist_tests" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+Bytes bytes_of(const std::string& s) { return to_bytes(s); }
+
+std::uint64_t file_size(const fs::path& p) {
+  return static_cast<std::uint64_t>(fs::file_size(p));
+}
+
+void append_raw(const fs::path& p, BytesView garbage) {
+  std::ofstream out(p, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(garbage.data()),
+            static_cast<std::streamsize>(garbage.size()));
+}
+
+TEST(Crc32, KnownVectorsAndSensitivity) {
+  // CRC-32C("123456789") is the classic check value.
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(Bytes{}), 0u);
+  Bytes a = bytes_of("payload");
+  const std::uint32_t before = crc32c(a);
+  a[0] ^= 1;
+  EXPECT_NE(crc32c(a), before);
+}
+
+TEST(Wal, AppendReplayRoundTrip) {
+  const fs::path dir = fresh_dir("wal_roundtrip");
+  const std::string path = (dir / "wal.log").string();
+  {
+    WriteAheadLog wal(path);
+    EXPECT_EQ(wal.append(1, bytes_of("first")), 1u);
+    EXPECT_EQ(wal.append(2, bytes_of("second")), 2u);
+    EXPECT_EQ(wal.append(1, bytes_of("")), 3u);
+    EXPECT_EQ(wal.record_count(), 3u);
+  }
+  WriteAheadLog reopened(path);
+  EXPECT_EQ(reopened.record_count(), 3u);
+  EXPECT_EQ(reopened.last_lsn(), 3u);
+  EXPECT_EQ(reopened.torn_bytes_dropped(), 0u);
+
+  std::vector<WalRecord> records;
+  reopened.replay([&](const WalRecord& r) { records.push_back(r); });
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, 1u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  EXPECT_EQ(records[0].payload, bytes_of("first"));
+  EXPECT_EQ(records[1].type, 2u);
+  EXPECT_EQ(records[1].payload, bytes_of("second"));
+  EXPECT_TRUE(records[2].payload.empty());
+}
+
+TEST(Wal, TornTailTruncatedAtEveryCutPoint) {
+  // A crash can cut the file anywhere. For every possible truncation
+  // length, reopening must keep exactly the records whose bytes fully
+  // survived and drop the rest — never throw, never resurrect garbage.
+  const fs::path dir = fresh_dir("wal_torn");
+  const std::string path = (dir / "wal.log").string();
+  std::vector<std::uint64_t> record_ends;  // file size after each append
+  {
+    WriteAheadLog wal(path);
+    for (int i = 0; i < 4; ++i) {
+      wal.append(7, bytes_of("record-" + std::to_string(i)));
+      record_ends.push_back(wal.size_bytes());
+    }
+  }
+  const std::uint64_t full = file_size(path);
+  const Bytes original = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return Bytes{std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>()};
+  }();
+
+  for (std::uint64_t cut = 5; cut <= full; ++cut) {
+    // Restore the original bytes, then cut at `cut`.
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(original.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    WriteAheadLog wal(path);
+    std::size_t expected = 0;
+    for (const std::uint64_t end : record_ends) {
+      if (end <= cut) ++expected;
+    }
+    EXPECT_EQ(wal.record_count(), expected) << "cut at " << cut;
+    // The torn bytes are physically gone: appending after a torn open
+    // must produce a parseable log.
+    wal.append(9, bytes_of("after-crash"));
+    std::size_t replayed = 0;
+    wal.replay([&](const WalRecord&) { ++replayed; });
+    EXPECT_EQ(replayed, expected + 1) << "cut at " << cut;
+  }
+}
+
+TEST(Wal, CorruptRecordDropsItAndEverythingAfter) {
+  const fs::path dir = fresh_dir("wal_corrupt");
+  const std::string path = (dir / "wal.log").string();
+  std::uint64_t first_end = 0;
+  {
+    WriteAheadLog wal(path);
+    wal.append(1, bytes_of("good"));
+    first_end = wal.size_bytes();
+    wal.append(1, bytes_of("to-be-corrupted"));
+    wal.append(1, bytes_of("unreachable"));
+  }
+  // Flip one payload byte of the middle record.
+  {
+    std::ifstream in(path, std::ios::binary);
+    Bytes file{std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>()};
+    in.close();
+    file.at(first_end + 8 + 1 + 8 + 2) ^= 1;  // header(8) type(1) lsn(8) + 2
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(file.data()),
+              static_cast<std::streamsize>(file.size()));
+  }
+  WriteAheadLog wal(path);
+  EXPECT_EQ(wal.record_count(), 1u);
+  EXPECT_GT(wal.torn_bytes_dropped(), 0u);
+  std::vector<Bytes> payloads;
+  wal.replay([&](const WalRecord& r) { payloads.push_back(r.payload); });
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], bytes_of("good"));
+}
+
+TEST(Wal, TrailingGarbageAfterValidRecordsIsDropped) {
+  const fs::path dir = fresh_dir("wal_garbage");
+  const std::string path = (dir / "wal.log").string();
+  {
+    WriteAheadLog wal(path);
+    wal.append(1, bytes_of("keep-me"));
+  }
+  append_raw(path, bytes_of("\xFF\xFF\xFF\xFF partial header junk"));
+  WriteAheadLog wal(path);
+  EXPECT_EQ(wal.record_count(), 1u);
+  EXPECT_GT(wal.torn_bytes_dropped(), 0u);
+}
+
+TEST(Wal, LsnsSurviveReset) {
+  const fs::path dir = fresh_dir("wal_reset");
+  const std::string path = (dir / "wal.log").string();
+  WriteAheadLog wal(path);
+  wal.append(1, bytes_of("a"));
+  wal.append(1, bytes_of("b"));
+  wal.reset();
+  EXPECT_EQ(wal.record_count(), 0u);
+  // LSNs must not rewind: a snapshot at LSN 2 plus a fresh record at LSN 3
+  // is distinguishable from a stale record at LSN 1.
+  EXPECT_EQ(wal.append(1, bytes_of("c")), 3u);
+  std::vector<std::uint64_t> lsns;
+  wal.replay([&](const WalRecord& r) { lsns.push_back(r.lsn); });
+  ASSERT_EQ(lsns.size(), 1u);
+  EXPECT_EQ(lsns[0], 3u);
+}
+
+TEST(Wal, UnrecognizedHeaderThrows) {
+  const fs::path dir = fresh_dir("wal_header");
+  const std::string path = (dir / "wal.log").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAWAL-FILE";
+  }
+  EXPECT_THROW(WriteAheadLog{path}, std::runtime_error);
+}
+
+TEST(Snapshot, WriteLoadRoundTrip) {
+  const fs::path dir = fresh_dir("snap_roundtrip");
+  SnapshotEngine engine(dir.string());
+  EXPECT_FALSE(engine.load_latest().has_value());
+  EXPECT_EQ(engine.latest_generation(), 0u);
+
+  engine.write(SnapshotMeta{1, 42}, bytes_of("state-v1"));
+  const auto loaded = engine.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->meta.generation, 1u);
+  EXPECT_EQ(loaded->meta.last_lsn, 42u);
+  EXPECT_EQ(loaded->payload, bytes_of("state-v1"));
+}
+
+TEST(Snapshot, LatestGenerationWinsAndOldOnesArePruned) {
+  const fs::path dir = fresh_dir("snap_generations");
+  SnapshotEngine engine(dir.string(), /*keep=*/2);
+  for (std::uint64_t g = 1; g <= 4; ++g) {
+    engine.write(SnapshotMeta{g, g * 10},
+                 bytes_of("gen-" + std::to_string(g)));
+  }
+  const auto loaded = engine.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->meta.generation, 4u);
+  EXPECT_EQ(loaded->payload, bytes_of("gen-4"));
+  // keep=2: generations 1 and 2 are gone, 3 and 4 remain.
+  std::size_t snaps = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".snap") ++snaps;
+  }
+  EXPECT_EQ(snaps, 2u);
+}
+
+TEST(Snapshot, CorruptLatestFallsBackToPredecessor) {
+  const fs::path dir = fresh_dir("snap_fallback");
+  SnapshotEngine engine(dir.string(), /*keep=*/2);
+  engine.write(SnapshotMeta{1, 10}, bytes_of("good-old"));
+  engine.write(SnapshotMeta{2, 20}, bytes_of("bad-new"));
+  // Corrupt generation 2's payload byte (CRC must catch it).
+  const fs::path latest = dir / "snapshot-0000000002.snap";
+  {
+    std::fstream f(latest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('X');
+  }
+  const auto loaded = engine.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->meta.generation, 1u);
+  EXPECT_EQ(loaded->payload, bytes_of("good-old"));
+}
+
+TEST(Snapshot, NoTmpFileSurvivesAWrite) {
+  const fs::path dir = fresh_dir("snap_tmp");
+  SnapshotEngine engine(dir.string());
+  engine.write(SnapshotMeta{1, 1}, bytes_of("x"));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp");
+  }
+}
+
+TEST(StateStore, ColdOpenIsEmpty) {
+  const fs::path dir = fresh_dir("store_cold");
+  StateStore store(dir.string());
+  EXPECT_FALSE(store.load_snapshot().has_value());
+  std::size_t replayed = 0;
+  store.replay_wal([&](std::uint8_t, BytesView) { ++replayed; });
+  EXPECT_EQ(replayed, 0u);
+}
+
+TEST(StateStore, PolicySnapshotsAndWalCompaction) {
+  const fs::path dir = fresh_dir("store_policy");
+  StateStoreConfig cfg;
+  cfg.snapshot_every_records = 4;
+  StateStore store(dir.string(), cfg);
+  int snapshots_taken = 0;
+  store.set_snapshot_provider([&] {
+    ++snapshots_taken;
+    return bytes_of("state@" + std::to_string(snapshots_taken));
+  });
+  for (int i = 0; i < 10; ++i) {
+    store.append(1, bytes_of("r" + std::to_string(i)));
+  }
+  // 10 appends at snapshot_every=4 -> snapshots after #4 and #8.
+  EXPECT_EQ(snapshots_taken, 2);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.snapshot_generation, 2u);
+  EXPECT_EQ(stats.wal_records, 2u);  // records 9 and 10 outlive compaction
+}
+
+TEST(StateStore, RestartRestoresSnapshotPlusTail) {
+  const fs::path dir = fresh_dir("store_restart");
+  StateStoreConfig cfg;
+  cfg.snapshot_every_records = 3;
+  {
+    StateStore store(dir.string(), cfg);
+    store.set_snapshot_provider([] { return bytes_of("snapshot-state"); });
+    for (int i = 0; i < 5; ++i) {
+      store.append(static_cast<std::uint8_t>(i),
+                   bytes_of("record-" + std::to_string(i)));
+    }
+    // Snapshot fired after record 2 (0-indexed); records 3 and 4 are tail.
+  }
+  StateStore reopened(dir.string(), cfg);
+  const auto snapshot = reopened.load_snapshot();
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(*snapshot, bytes_of("snapshot-state"));
+  std::vector<std::pair<std::uint8_t, Bytes>> tail;
+  reopened.replay_wal([&](std::uint8_t type, BytesView payload) {
+    tail.emplace_back(type, Bytes(payload.begin(), payload.end()));
+  });
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].first, 3u);
+  EXPECT_EQ(tail[0].second, bytes_of("record-3"));
+  EXPECT_EQ(tail[1].first, 4u);
+}
+
+TEST(StateStore, RecordsAppendedAfterARestartedSnapshotAreReplayed) {
+  // Regression: snapshot -> WAL compacted -> process restart -> append.
+  // The emptied WAL must not restart LSNs at 1, or the post-restart
+  // records would fall under the snapshot's replay filter and vanish on
+  // the *next* restart.
+  const fs::path dir = fresh_dir("store_lsn_reseed");
+  StateStoreConfig cfg;
+  cfg.snapshot_every_records = 2;
+  {
+    StateStore store(dir.string(), cfg);
+    store.set_snapshot_provider([] { return bytes_of("state"); });
+    store.append(1, bytes_of("folded-a"));
+    store.append(1, bytes_of("folded-b"));  // snapshot fires, WAL compacts
+  }
+  {
+    // Run 2: restart, journal one more record, crash before any snapshot.
+    StateStore store(dir.string(), cfg);
+    store.append(2, bytes_of("post-restart"));
+  }
+  // Run 3: the post-restart record must replay.
+  StateStore store(dir.string(), cfg);
+  std::vector<Bytes> tail;
+  store.replay_wal([&](std::uint8_t, BytesView payload) {
+    tail.emplace_back(payload.begin(), payload.end());
+  });
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], bytes_of("post-restart"));
+}
+
+TEST(StateStore, ReplaySkipsRecordsAlreadyInSnapshotEvenWithoutReset) {
+  // Simulate a crash between snapshot write and WAL truncation: write
+  // records, snapshot through the engine directly (bypassing the store's
+  // reset), and verify replay still filters by LSN.
+  const fs::path dir = fresh_dir("store_lsn_filter");
+  {
+    WriteAheadLog wal((fs::path(dir) / "wal.log").string());
+    wal.append(1, bytes_of("folded-1"));
+    wal.append(1, bytes_of("folded-2"));
+    wal.append(1, bytes_of("tail"));
+    SnapshotEngine engine(dir.string());
+    // Snapshot claims it folded LSNs <= 2 — the crash happened before the
+    // WAL could be reset.
+    engine.write(SnapshotMeta{1, 2}, bytes_of("state"));
+  }
+  StateStore store(dir.string());
+  std::vector<Bytes> tail;
+  store.replay_wal([&](std::uint8_t, BytesView payload) {
+    tail.emplace_back(payload.begin(), payload.end());
+  });
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], bytes_of("tail"));
+}
+
+}  // namespace
+}  // namespace waku::persist
