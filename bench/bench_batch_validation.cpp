@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "rln/rate_limit_proof.hpp"
 #include "rln/validation_pipeline.hpp"
 #include "zksnark/rln_circuit.hpp"
@@ -25,10 +26,11 @@ namespace {
 
 using namespace waku;       // NOLINT
 using namespace waku::rln;  // NOLINT
+using benchutil::smoke_mode;
 
 constexpr std::size_t kDepth = 16;
-constexpr std::size_t kMessages = 256;  // = the largest batch size
-constexpr int kRepetitions = 5;
+const std::size_t kMessages = smoke_mode() ? 64 : 256;
+const int kRepetitions = smoke_mode() ? 1 : 5;
 
 struct Workload {
   GroupManager group{kDepth, TreeMode::kFullTree};

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "chain/types.hpp"
 #include "rln/checkpoint.hpp"
 #include "rln/group_manager.hpp"
@@ -27,6 +28,7 @@ namespace {
 
 using namespace waku;       // NOLINT
 using namespace waku::rln;  // NOLINT
+using benchutil::smoke_mode;
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kDepth = 20;
@@ -65,8 +67,10 @@ int main(int argc, char** argv) {
   std::vector<Record> records;
   std::vector<std::string> summary_lines;
 
-  for (const std::size_t members :
-       {std::size_t{1'000}, std::size_t{10'000}}) {
+  const std::vector<std::size_t> member_counts =
+      smoke_mode() ? std::vector<std::size_t>{200}
+                   : std::vector<std::size_t>{1'000, 10'000};
+  for (const std::size_t members : member_counts) {
     std::printf("== %zu members (depth %zu)\n", members, kDepth);
     const std::vector<chain::Event> events =
         registration_events(members, 0xB007 + members);

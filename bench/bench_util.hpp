@@ -1,0 +1,19 @@
+// Shared helpers for the standalone (non-google-benchmark) benches.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace waku::benchutil {
+
+/// One smoke-mode policy for every standalone bench: WAKU_BENCH_SMOKE set
+/// and not "0" (exported by scripts/run_benches.sh --smoke) shrinks the
+/// workload so the full path runs in seconds. Benches may OR in their own
+/// --smoke argv flag, but the env semantics must stay identical across
+/// the suite.
+inline bool smoke_mode() {
+  const char* env = std::getenv("WAKU_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+}  // namespace waku::benchutil

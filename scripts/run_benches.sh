@@ -3,13 +3,23 @@
 # bench into the output directory (default: repo root), so successive PRs
 # have a comparable perf trajectory.
 #
-# Usage: scripts/run_benches.sh [output-dir] [bench-name ...]
+# Usage: scripts/run_benches.sh [--smoke] [output-dir] [bench-name ...]
+#   --smoke      tiny workloads (seconds, not minutes): exports
+#                WAKU_BENCH_SMOKE=1 (honored by the standalone benches) and
+#                caps google-benchmark measuring time
 #   output-dir   where the JSON files land (created if missing)
 #   bench-name   optional subset (e.g. bench_batch_validation); default all
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-release"
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+  SMOKE=1
+  shift
+fi
+
 OUT="${1:-$ROOT}"
 shift $(( $# > 0 ? 1 : 0 )) || true
 ONLY=("$@")
@@ -17,6 +27,12 @@ ONLY=("$@")
 mkdir -p "$OUT"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target benches -j"$(nproc)"
+
+GBENCH_ARGS=()
+if [ "$SMOKE" = 1 ]; then
+  export WAKU_BENCH_SMOKE=1
+  GBENCH_ARGS+=(--benchmark_min_time=0.05)  # plain seconds: gbench 1.7 syntax
+fi
 
 want() {
   [ ${#ONLY[@]} -eq 0 ] && return 0
@@ -33,15 +49,17 @@ for bin in "$BUILD"/bench_*; do
   want "$name" || continue
   echo "== $name"
   case "$name" in
-    bench_batch_validation|bench_bootstrap)
-      # Standalone benches: each writes its own JSON schema.
+    bench_batch_validation|bench_bootstrap|bench_adversarial)
+      # Standalone benches: each writes its own JSON schema and honors
+      # WAKU_BENCH_SMOKE.
       "$bin" "$OUT/BENCH_${name#bench_}.json"
       ;;
     *)
       # google-benchmark benches: native JSON reporter.
       "$bin" --benchmark_format=console \
              --benchmark_out_format=json \
-             --benchmark_out="$OUT/BENCH_${name#bench_}.json"
+             --benchmark_out="$OUT/BENCH_${name#bench_}.json" \
+             "${GBENCH_ARGS[@]}"
       ;;
   esac
 done

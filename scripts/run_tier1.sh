@@ -25,5 +25,14 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 cd "$BUILD"
+# The adversarial scenario suite must be part of every sanitized run — the
+# sim layer drives long event cascades through every subsystem, exactly
+# where lifetime bugs hide. Fail loudly if it ever drops out of the glob.
+# (capture first: `ctest -N | grep -q` would trip pipefail via SIGPIPE)
+registered="$(ctest -N)"
+if ! grep -q test_scenarios <<<"$registered"; then
+  echo "error: test_scenarios missing from the ctest suite" >&2
+  exit 1
+fi
 ctest --output-on-failure -j"$(nproc)"
-echo "tier-1 suite passed under -fsanitize=$SAN"
+echo "tier-1 suite (incl. adversarial scenarios) passed under -fsanitize=$SAN"

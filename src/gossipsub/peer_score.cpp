@@ -39,6 +39,14 @@ void PeerScore::decay_all() {
   }
 }
 
+std::size_t PeerScore::graylist_count() const {
+  std::size_t n = 0;
+  for (const auto& [peer, c] : peers_) {
+    if (score(peer) < config_.graylist_threshold) ++n;
+  }
+  return n;
+}
+
 double PeerScore::score(NodeId peer) const {
   const auto it = peers_.find(peer);
   if (it == peers_.end()) return 0.0;

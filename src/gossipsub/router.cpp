@@ -139,6 +139,30 @@ MessageId GossipSubRouter::publish(const std::string& topic, Bytes data) {
   return id;
 }
 
+MessageId GossipSubRouter::publish_to(const std::string& topic, Bytes data,
+                                      std::span<const NodeId> peers) {
+  PubSubMessage msg;
+  msg.topic = topic;
+  msg.data = std::move(data);
+  msg.origin = id_;
+  msg.seqno = seqno_++;
+  const MessageId id = msg.id();
+
+  // Marked seen/cached like any own publish so echoes deduplicate, but
+  // deliberately NOT delivered locally and NOT flooded: the caller chose
+  // exactly who sees it.
+  seen_.emplace(id, network_.sim().now());
+  mcache_.emplace(id, msg);
+  mcache_windows_.front().emplace_back(topic, id);
+
+  Frame frame;
+  frame.type = FrameType::kPublish;
+  frame.topic = topic;
+  frame.message = msg;
+  for (const NodeId peer : peers) send_frame(peer, frame);
+  return id;
+}
+
 void GossipSubRouter::send_frame(NodeId to, const Frame& frame) {
   network_.send(id_, to, encode_frame(frame));
 }

@@ -63,6 +63,14 @@ class GossipSubRouter : public net::NetNode {
   /// Publishes data under `topic`; returns the message id.
   MessageId publish(const std::string& topic, Bytes data);
 
+  /// Targeted publish: sends the message ONLY to the given peers (no local
+  /// delivery, no mesh flood). This is an attacker capability — the
+  /// split-equivocation adversary uses it to show conflicting shares to
+  /// disjoint mesh neighbors — and a testing tool; honest publishers use
+  /// publish().
+  MessageId publish_to(const std::string& topic, Bytes data,
+                       std::span<const NodeId> peers);
+
   // net::NetNode
   void on_message(NodeId from, BytesView payload) override;
 

@@ -67,6 +67,20 @@ void Network::connect_random(std::size_t degree, Rng& rng) {
   }
 }
 
+void Network::set_link_override(NodeId a, NodeId b, LinkConfig link) {
+  WAKU_EXPECTS(a < nodes_.size() && b < nodes_.size());
+  link_overrides_[link_key(a, b)] = link;
+}
+
+void Network::clear_link_override(NodeId a, NodeId b) {
+  link_overrides_.erase(link_key(a, b));
+}
+
+const LinkConfig& Network::link_config(NodeId a, NodeId b) const {
+  const auto it = link_overrides_.find(link_key(a, b));
+  return it != link_overrides_.end() ? it->second : link_;
+}
+
 void Network::send(NodeId from, NodeId to, Bytes payload) {
   WAKU_EXPECTS(from < nodes_.size() && to < nodes_.size());
   if (!connected(from, to)) return;  // stale mesh entry; drop silently
@@ -74,11 +88,12 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   stats_[from].messages_sent += 1;
   stats_[from].bytes_sent += payload.size();
 
-  if (link_.loss_rate > 0 && rng_.chance(link_.loss_rate)) return;
+  const LinkConfig& link = link_config(from, to);
+  if (link.loss_rate > 0 && rng_.chance(link.loss_rate)) return;
 
   const TimeMs jitter =
-      link_.jitter_ms == 0 ? 0 : rng_.next_below(link_.jitter_ms + 1);
-  const TimeMs delay = link_.base_latency_ms + jitter;
+      link.jitter_ms == 0 ? 0 : rng_.next_below(link.jitter_ms + 1);
+  const TimeMs delay = link.base_latency_ms + jitter;
   sim_.schedule_after(delay, [this, from, to,
                               payload = std::move(payload)]() {
     if (nodes_[to] == nullptr) return;  // receiver died while in flight

@@ -67,6 +67,18 @@ class Network {
   /// scheduled after link latency (or dropped per loss_rate).
   void send(NodeId from, NodeId to, Bytes payload);
 
+  // -- Per-link overrides (adversarial topology shaping) -------------------
+
+  /// Overrides latency/jitter/loss for the (a, b) link in both directions
+  /// (the default LinkConfig keeps applying to every other link). The
+  /// eclipse scenarios use this to park a victim behind lossy links
+  /// without disconnecting it — a disconnect is observable, degraded links
+  /// are not.
+  void set_link_override(NodeId a, NodeId b, LinkConfig link);
+  void clear_link_override(NodeId a, NodeId b);
+  /// Effective config for the (a, b) link (override or the default).
+  [[nodiscard]] const LinkConfig& link_config(NodeId a, NodeId b) const;
+
   // -- Clock skew (ClockAsynchrony, §III-F) --------------------------------
 
   void set_clock_skew(NodeId n, std::int64_t skew_ms);
@@ -83,6 +95,13 @@ class Network {
   [[nodiscard]] Simulator& sim() { return sim_; }
 
  private:
+  /// Canonical (min, max) key for an undirected link.
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
   Simulator& sim_;
   LinkConfig link_;
   Rng rng_;
@@ -90,6 +109,7 @@ class Network {
   std::vector<std::vector<NodeId>> adjacency_;
   std::vector<std::int64_t> skew_ms_;
   std::vector<TrafficStats> stats_;
+  std::unordered_map<std::uint64_t, LinkConfig> link_overrides_;
 };
 
 }  // namespace waku::net

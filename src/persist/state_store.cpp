@@ -10,6 +10,7 @@ StateStore::StateStore(std::string dir, StateStoreConfig config)
       engine_((std::filesystem::create_directories(dir_), dir_),
               config.keep_snapshots),
       wal_((std::filesystem::path(dir_) / "wal.log").string()) {
+  wal_.set_flush_every(config_.fsync_every_n_records);
   if (const auto loaded = engine_.load_latest()) {
     snapshot_lsn_ = loaded->meta.last_lsn;
     // A compacted (empty) WAL no longer remembers how far LSNs got; left
@@ -44,8 +45,14 @@ std::uint64_t StateStore::append(std::uint8_t type, BytesView payload) {
   return lsn;
 }
 
+void StateStore::flush_wal() { wal_.flush(); }
+
 void StateStore::force_snapshot() {
   if (!provider_) return;
+  // Snapshot barrier: buffered appends must hit the OS before the snapshot
+  // claims to cover their LSNs (reset() would discard them either way, but
+  // a crash between provider_() and reset() must not lose them).
+  wal_.flush();
   const Bytes payload = provider_();
   SnapshotMeta meta;
   meta.generation = engine_.latest_generation() + 1;
@@ -63,6 +70,8 @@ StateStore::Stats StateStore::stats() const {
   s.snapshot_generation = engine_.latest_generation();
   s.snapshots_written = engine_.snapshots_written();
   s.torn_bytes_dropped = wal_.torn_bytes_dropped();
+  s.wal_flushes = wal_.flush_count();
+  s.wal_unflushed = wal_.unflushed_records();
   return s;
 }
 

@@ -32,6 +32,12 @@ struct StateStoreConfig {
   std::size_t snapshot_every_records = 512;
   /// Snapshot generations retained on disk.
   std::size_t keep_snapshots = 2;
+  /// WAL flush cadence: flush to the OS after every N appends. 1 (the
+  /// default) keeps the historical always-flush write-ahead guarantee;
+  /// larger values trade a bounded crash-loss window (at most N-1 records)
+  /// for fewer syscalls on hot append paths. Snapshots always flush first,
+  /// so the loss window never spans a snapshot boundary.
+  std::size_t fsync_every_n_records = 1;
 };
 
 class StateStore {
@@ -66,12 +72,17 @@ class StateStore {
   /// Takes a snapshot now (no-op without a provider).
   void force_snapshot();
 
+  /// Flushes buffered WAL appends now (see fsync_every_n_records).
+  void flush_wal();
+
   struct Stats {
     std::uint64_t wal_records = 0;
     std::uint64_t wal_bytes = 0;
     std::uint64_t snapshot_generation = 0;
     std::uint64_t snapshots_written = 0;
     std::uint64_t torn_bytes_dropped = 0;
+    std::uint64_t wal_flushes = 0;
+    std::uint64_t wal_unflushed = 0;  ///< crash-loss window right now
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const std::string& dir() const { return dir_; }

@@ -117,7 +117,7 @@ std::uint64_t WriteAheadLog::append(std::uint8_t type, BytesView payload) {
   const Bytes bytes = std::move(frame).take();
   out_.write(reinterpret_cast<const char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
-  out_.flush();  // write-ahead: durable before the state change it covers
+  if (++unflushed_ >= flush_every_) flush();
   if (!out_) {
     // ENOSPC and friends: a WAL that silently drops records while
     // handing out LSNs defeats its purpose — fail loudly instead.
@@ -126,6 +126,16 @@ std::uint64_t WriteAheadLog::append(std::uint8_t type, BytesView payload) {
   ++record_count_;
   size_bytes_ += bytes.size();
   return lsn;
+}
+
+void WriteAheadLog::flush() {
+  if (unflushed_ == 0) return;
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("WriteAheadLog: flush failed on " + path_);
+  }
+  unflushed_ = 0;
+  ++flush_count_;
 }
 
 void WriteAheadLog::replay(
@@ -138,11 +148,12 @@ void WriteAheadLog::replay(
 }
 
 void WriteAheadLog::reset() {
-  out_.close();
+  out_.close();  // implicit flush of any buffered tail before truncation
   std::filesystem::resize_file(path_, kFileHeader);
   out_.open(path_, std::ios::binary | std::ios::app);
   record_count_ = 0;
   size_bytes_ = kFileHeader;
+  unflushed_ = 0;
 }
 
 }  // namespace waku::persist

@@ -44,8 +44,20 @@ class WriteAheadLog {
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  /// Appends one record and flushes it; returns the assigned LSN.
+  /// Appends one record; returns the assigned LSN. Durability follows the
+  /// flush policy: with flush_every == 1 (the default) every append is
+  /// flushed before return (the historical always-fsync behaviour); with a
+  /// larger interval, up to flush_every - 1 records may sit in the stream
+  /// buffer and be lost by a crash — the bounded-loss window the owner
+  /// opted into.
   std::uint64_t append(std::uint8_t type, BytesView payload);
+
+  /// Sets the flush cadence: flush after every `n` appends (n >= 1).
+  void set_flush_every(std::size_t n) { flush_every_ = n == 0 ? 1 : n; }
+
+  /// Flushes any buffered appends to the OS now (snapshot barriers, owner
+  /// shutdown). Throws like append() on a write error surfacing late.
+  void flush();
 
   /// Replays every intact record in append order (re-reads from disk, so
   /// it sees exactly what a restart would).
@@ -65,6 +77,10 @@ class WriteAheadLog {
   }
 
   [[nodiscard]] std::uint64_t record_count() const { return record_count_; }
+  /// Flushes performed (policy-triggered and explicit).
+  [[nodiscard]] std::uint64_t flush_count() const { return flush_count_; }
+  /// Appends not yet flushed — the records a crash right now would lose.
+  [[nodiscard]] std::size_t unflushed_records() const { return unflushed_; }
   /// LSN of the most recently appended record (0 if none ever).
   [[nodiscard]] std::uint64_t last_lsn() const { return next_lsn_ - 1; }
   /// Current file size in bytes, header included.
@@ -82,6 +98,9 @@ class WriteAheadLog {
   std::uint64_t record_count_ = 0;
   std::uint64_t size_bytes_ = 0;
   std::uint64_t torn_bytes_dropped_ = 0;
+  std::size_t flush_every_ = 1;
+  std::size_t unflushed_ = 0;
+  std::uint64_t flush_count_ = 0;
 };
 
 }  // namespace waku::persist

@@ -153,7 +153,7 @@ std::vector<Fr> GroupManager::recent_roots() const {
   return roots;
 }
 
-Bytes GroupManager::serialize() const {
+Bytes GroupManager::serialize(bool include_identity) const {
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(mode_));
   w.write_u32(static_cast<std::uint32_t>(depth_));
@@ -161,8 +161,9 @@ Bytes GroupManager::serialize() const {
   w.write_u64(member_count_);
   w.write_u64(removed_count_);
 
-  w.write_u8(own_identity_.has_value() ? 1 : 0);
-  if (own_identity_.has_value()) {
+  const bool with_identity = include_identity && own_identity_.has_value();
+  w.write_u8(with_identity ? 1 : 0);
+  if (with_identity) {
     w.write_raw(own_identity_->sk.to_bytes_be());
   }
   w.write_u8(own_index_.has_value() ? 1 : 0);

@@ -89,8 +89,11 @@ class GroupManager {
 
   /// Full-state serialization for the durable-state subsystem: tree or
   /// view, counters, own identity/index, and the exact root window.
-  /// restore(serialize()) reproduces serialize() byte-identically.
-  [[nodiscard]] Bytes serialize() const;
+  /// restore(serialize()) reproduces serialize() byte-identically. With
+  /// include_identity false the own sk is omitted (keystore-sealed
+  /// snapshots carry it separately, encrypted); the restoring owner then
+  /// re-injects it via set_own_identity().
+  [[nodiscard]] Bytes serialize(bool include_identity = true) const;
   void restore(BytesView bytes);
 
   /// Exports the O(log N) bootstrap checkpoint (full-tree mode only).

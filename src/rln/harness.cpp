@@ -76,6 +76,17 @@ void RlnHarness::restart_node(std::size_t i) {
     network_.connect(nodes_[i]->node_id(), nodes_[j]->node_id());
   }
   nodes_[i]->start();
+  // Re-attach instrumentation: the hook ran against the dead instance;
+  // without this the restarted node would deliver into a void.
+  if (node_hook_) node_hook_(i, *nodes_[i]);
+}
+
+void RlnHarness::set_node_hook(NodeHook hook) {
+  node_hook_ = std::move(hook);
+  if (!node_hook_) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]) node_hook_(i, *nodes_[i]);
+  }
 }
 
 std::uint64_t RlnHarness::total_delivered() const {

@@ -4,6 +4,7 @@
 // integration tests, and examples share one correct setup.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,14 @@ class RlnHarness {
     return nodes_[i] != nullptr;
   }
 
+  /// Per-node attachment hook for instrumentation (message handlers, stat
+  /// probes): runs immediately for every live node and again for each node
+  /// restart_node() brings back — counters and handlers survive a
+  /// kill/restart cycle instead of silently detaching with the dead
+  /// instance.
+  using NodeHook = std::function<void(std::size_t, WakuRlnRelayNode&)>;
+  void set_node_hook(NodeHook hook);
+
   [[nodiscard]] WakuRlnRelayNode& node(std::size_t i) { return *nodes_[i]; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 
@@ -83,6 +92,7 @@ class RlnHarness {
   chain::Blockchain chain_;
   chain::Address contract_;
   std::vector<std::unique_ptr<WakuRlnRelayNode>> nodes_;
+  NodeHook node_hook_;
 };
 
 }  // namespace waku::rln

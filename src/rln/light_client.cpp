@@ -6,19 +6,6 @@
 
 namespace waku::rln {
 
-namespace {
-
-enum class LightFrame : std::uint8_t {
-  kTreeReq = 1,        // u64 member index
-  kTreeResp = 2,       // root(32) u64 count, path
-  kPushReq = 3,        // serialized WakuMessage
-  kPushResp = 4,       // u8 accepted
-  kCheckpointReq = 5,  // (empty)
-  kCheckpointResp = 6, // serialized signed Checkpoint
-};
-
-}  // namespace
-
 RlnFullServiceNode::RlnFullServiceNode(net::Network& network,
                                        WakuRlnRelayNode& node)
     : network_(network), node_(node), id_(network.add_node(this)) {
@@ -132,15 +119,23 @@ bool RlnLightClient::adopt_checkpoint(const Checkpoint& checkpoint) {
   if (!checkpoint.verify(checkpoint_key_)) return false;
   // 2. Internal consistency: the view's root must close the root window
   //    (from_checkpoint enforces this; a mismatch throws).
-  // 3. Contract cross-check: the member counter the checkpoint claims can
-  //    be at most what the contract has registered — a forged "future"
-  //    tree fails here even with a stolen key.
+  // 3. Contract cross-check, both directions: the member counter the
+  //    checkpoint claims can be at most what the contract has registered —
+  //    a forged "future" tree fails here even with a stolen key — and at
+  //    least the contract count minus the lag tolerance: a correctly
+  //    signed but outdated checkpoint (the eclipse attack's payload) is
+  //    rejected as stale instead of silently adopted.
   bool installing = false;
   try {
     const Bytes count_bytes =
         chain_->static_call(contract_, "member_count", {});
     ByteReader count(count_bytes);
-    if (checkpoint.member_count > count.read_u64()) return false;
+    const std::uint64_t contract_members = count.read_u64();
+    if (checkpoint.member_count > contract_members) return false;
+    if (checkpoint.member_count + max_bootstrap_lag_ < contract_members) {
+      ++stale_checkpoints_rejected_;
+      return false;
+    }
 
     // Everything that can reject the checkpoint runs on locals first: a
     // refused re-bootstrap must leave an existing good bootstrap intact.

@@ -27,6 +27,18 @@
 
 namespace waku::rln {
 
+/// Light-protocol frame tags (first byte of every service/client message).
+/// Public so the adversarial scenario engine can impersonate a service —
+/// the eclipse campaign's stale-checkpoint server speaks this protocol.
+enum class LightFrame : std::uint8_t {
+  kTreeReq = 1,        // u64 member index
+  kTreeResp = 2,       // root(32) u64 count, path
+  kPushReq = 3,        // serialized WakuMessage
+  kPushResp = 4,       // u8 accepted
+  kCheckpointReq = 5,  // (empty)
+  kCheckpointResp = 6, // serialized signed Checkpoint
+};
+
 /// Service half: answers tree-sync queries from the node's full
 /// GroupManager and lightpush requests via the node's relay (after running
 /// the pushed message through the node's own RLN validation).
@@ -101,6 +113,19 @@ class RlnLightClient : public net::NetNode {
 
   [[nodiscard]] bool bootstrapped() const { return pipeline_.has_value(); }
 
+  /// Freshness tolerance for served checkpoints: a checkpoint whose member
+  /// count lags the contract's by more than this many registrations is
+  /// rejected as stale (eclipse defence — a victim fed an old-but-signed
+  /// checkpoint detects it instead of validating against a dead root).
+  /// The small default absorbs registrations mined between the serve and
+  /// the adopt.
+  void set_max_bootstrap_lag(std::uint64_t members) {
+    max_bootstrap_lag_ = members;
+  }
+  [[nodiscard]] std::uint64_t stale_checkpoints_rejected() const {
+    return stale_checkpoints_rejected_;
+  }
+
   /// Runs the full RLN validation pipeline on a live message (requires
   /// bootstrapped()).
   ValidationOutcome validate(const WakuMessage& message,
@@ -156,6 +181,8 @@ class RlnLightClient : public net::NetNode {
   std::optional<std::uint64_t> chain_subscription_;
   std::uint64_t bootstrap_cursor_ = 0;
   std::uint64_t events_applied_ = 0;
+  std::uint64_t max_bootstrap_lag_ = 2;
+  std::uint64_t stale_checkpoints_rejected_ = 0;
 };
 
 }  // namespace waku::rln

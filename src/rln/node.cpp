@@ -1,16 +1,35 @@
 #include "rln/node.hpp"
 
 #include <algorithm>
+#include <random>
+#include <stdexcept>
 
 #include "common/expect.hpp"
 #include "common/serde.hpp"
 #include "hash/poseidon.hpp"
+#include "rln/keystore.hpp"
 #include "zksnark/rln_circuit.hpp"
 
 namespace waku::rln {
 
 using chain::Transaction;
 using gossipsub::ValidationResult;
+
+namespace {
+
+/// OS entropy for the keystore seal RNG. Deliberately NOT derived from the
+/// deterministic node seed: a restarted node re-seeded deterministically
+/// would replay the exact salt/nonce stream of its previous life, and with
+/// multiple snapshot generations on disk an AEAD nonce reuse under one
+/// derived key breaks both confidentiality and the Poly1305 tamper
+/// guarantee. Sealed snapshots are documented as non-byte-reproducible, so
+/// non-determinism here is free.
+std::uint64_t seal_entropy() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
+}  // namespace
 
 WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
                                    chain::Blockchain& chain,
@@ -21,6 +40,7 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       contract_(contract),
       config_(config),
       rng_(seed),
+      seal_rng_(seal_entropy()),
       identity_(Identity::generate(rng_)),
       relay_(network, config.gossip, config.score, seed),
       group_(config.tree_depth, config.tree_mode),
@@ -31,8 +51,16 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
   group_.set_own_identity(identity_);
 
   if (!config_.persist_dir.empty()) {
-    state_store_.emplace(config_.persist_dir, config_.persist);
-    restore_from_store();
+    try {
+      state_store_.emplace(config_.persist_dir, config_.persist);
+      restore_from_store();
+    } catch (...) {
+      // The relay registered itself with the network in the member-init
+      // list; a restore failure (fail-closed keystore, corrupt store) must
+      // not leave a pointer to the about-to-be-destroyed router behind.
+      network_.remove_node(relay_.node_id());
+      throw;
+    }
     state_store_->set_snapshot_provider([this] { return serialize_state(); });
     // Observed shares exist only in transit — journal them the moment the
     // pipeline records one, so a crash cannot blind us to double-signals.
@@ -236,6 +264,51 @@ void WakuRlnRelayNode::publish_with_invalid_proof(Bytes payload) {
   ++stats_.published;
 }
 
+void WakuRlnRelayNode::publish_with_stale_root(Bytes payload) {
+  WakuMessage msg;
+  msg.payload = std::move(payload);
+  msg.timestamp_ms = network_.local_time(node_id());
+
+  RateLimitProof bundle;
+  bundle.share_x = message_hash(msg);
+  bundle.share_y = Fr::random(rng_);
+  bundle.nullifier = Fr::random(rng_);
+  bundle.epoch = current_epoch();
+  // A root no validator has in its window: the message must die in the
+  // cheap root stage (kRejectStaleRoot), never reaching the verifier.
+  bundle.root = Fr::random(rng_);
+  const Bytes garbage = rng_.next_bytes(zksnark::Proof::kSerializedSize);
+  bundle.proof = zksnark::Proof::deserialize(garbage);
+  attach_proof(msg, bundle);
+  relay_.publish(msg);
+  ++stats_.published;
+}
+
+bool WakuRlnRelayNode::force_publish_split(Bytes payload_a, Bytes payload_b) {
+  if (!is_registered()) return false;
+  // Disjoint targets: prefer the mesh (that is who would relay), fall back
+  // to raw neighbors before the mesh has formed.
+  std::vector<net::NodeId> peers =
+      relay_.router().mesh_peers(relay_.pubsub_topic());
+  if (peers.size() < 2) peers = network_.neighbors(node_id());
+  if (peers.size() < 2) return false;
+
+  const std::uint64_t epoch = current_epoch();
+  const WakuMessage msg_a =
+      build_message(std::move(payload_a), "/waku/2/default-content/proto",
+                    epoch);
+  const WakuMessage msg_b =
+      build_message(std::move(payload_b), "/waku/2/default-content/proto",
+                    epoch);
+  const std::size_t half = peers.size() / 2;
+  relay_.publish_to(msg_a,
+                    std::span<const net::NodeId>(peers.data(), half));
+  relay_.publish_to(msg_b, std::span<const net::NodeId>(peers.data() + half,
+                                                        peers.size() - half));
+  stats_.published += 2;
+  return true;
+}
+
 void WakuRlnRelayNode::trigger_slash(const Fr& spammer_sk) {
   const Fr pk = hash::poseidon1(spammer_sk);
   const std::optional<std::uint64_t> index = group_.index_of(pk);
@@ -366,15 +439,29 @@ void WakuRlnRelayNode::force_snapshot() {
 
 Bytes WakuRlnRelayNode::serialize_state() const {
   ByteWriter w;
-  w.write_u8(1);  // version
+  w.write_u8(2);  // version
   // The identity secret rides in the snapshot so a restart is
-  // self-contained. Production deployments would keep it in the encrypted
-  // keystore (rln/keystore.hpp) and store only the pk here; the simulator
-  // has no at-rest threat model, so plaintext keeps the restore path
-  // simple and testable.
-  w.write_raw(identity_.sk.to_bytes_be());
+  // self-contained. With keystore_password set it travels sealed under the
+  // ChaCha20-Poly1305 keystore (rln/keystore.hpp) — leaking a snapshot
+  // file then leaks a stake-bearing sk only through the password. Sealing
+  // draws a fresh salt/nonce per snapshot, so sealed snapshots are not
+  // byte-reproducible (plaintext ones still are).
+  if (config_.keystore_password.empty()) {
+    w.write_u8(0);  // plaintext sk
+    w.write_raw(identity_.sk.to_bytes_be());
+  } else {
+    w.write_u8(1);  // keystore-sealed credential
+    MembershipCredential credential;
+    credential.identity = identity_;
+    credential.member_index = group_.own_index().value_or(0);
+    w.write_bytes(keystore_seal(credential, config_.keystore_password,
+                                seal_rng_));
+  }
   w.write_u64(event_cursor_);
-  w.write_bytes(group_.serialize());
+  // Sealed snapshots must not leak the sk through the group blob either —
+  // the credential above is its only (encrypted) carrier.
+  w.write_bytes(group_.serialize(
+      /*include_identity=*/config_.keystore_password.empty()));
   w.write_bytes(validator_.pipeline().serialize_state());
   w.write_u8(last_published_epoch_.has_value() ? 1 : 0);
   w.write_u64(last_published_epoch_.value_or(0));
@@ -399,11 +486,31 @@ Bytes WakuRlnRelayNode::serialize_state() const {
 
 void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
   ByteReader r(payload);
-  WAKU_EXPECTS(r.read_u8() == 1);
-  identity_ = Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
+  WAKU_EXPECTS(r.read_u8() == 2);
+  const std::uint8_t sealed = r.read_u8();
+  if (sealed == 0) {
+    identity_ = Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
+  } else {
+    // Fail closed: without the right password there is no identity to run
+    // as, and booting with a fresh one would silently fork the membership.
+    const Bytes blob = r.read_bytes();
+    const std::optional<MembershipCredential> credential =
+        keystore_open(blob, config_.keystore_password);
+    if (!credential.has_value()) {
+      throw std::runtime_error(
+          "snapshot keystore: wrong password or tampered credential "
+          "(refusing to restore)");
+    }
+    identity_ = credential->identity;
+  }
   event_cursor_ = r.read_u64();
   const Bytes group_bytes = r.read_bytes();
   group_.restore(group_bytes);
+  if (sealed != 0) {
+    // The group blob was serialized identity-free; re-inject the unsealed
+    // identity (the restored own_index is kept as-is).
+    group_.set_own_identity(identity_);
+  }
   const Bytes pipeline_bytes = r.read_bytes();
   validator_.pipeline().restore_state(pipeline_bytes);
   const bool has_last_published = r.read_u8() != 0;

@@ -51,6 +51,12 @@ struct NodeConfig {
   /// persist::StateStore there, restores on construction, and journals /
   /// snapshots during operation.
   std::string persist_dir;
+  /// Non-empty: the identity secret key rides in snapshots sealed under
+  /// this password with the ChaCha20-Poly1305 keystore (rln/keystore.hpp)
+  /// instead of plaintext. Restore fails closed: a wrong password or a
+  /// tampered blob aborts node construction rather than booting with a
+  /// guessed identity.
+  std::string keystore_password;
   persist::StateStoreConfig persist;
   /// A journaled commit-reveal slash whose reveal never lands (lost tx,
   /// front-run loss, withdraw race) is dropped after this many epochs so
@@ -110,6 +116,19 @@ class WakuRlnRelayNode {
 
   /// Resource-exhaustion attacker: attaches a garbage proof.
   void publish_with_invalid_proof(Bytes payload);
+
+  /// Stale-root attacker: a well-formed bundle whose tree root is outside
+  /// every validator's rolling root window — dies in the O(1) root stage,
+  /// before the SNARK verifier can be made to spend cycles.
+  void publish_with_stale_root(Bytes payload);
+
+  /// Split-equivocation attacker (§III-F evasion attempt): two conflicting
+  /// messages for the SAME epoch, each shown to a disjoint half of the
+  /// mesh neighbors, so no single first-hop peer sees both shares. Relay
+  /// propagation still brings the halves together at interior peers, which
+  /// recover sk and slash. Returns false when not registered or fewer than
+  /// two peers are reachable.
+  bool force_publish_split(Bytes payload_a, Bytes payload_b);
 
   /// Registers a callback for delivered (validated) messages.
   void set_message_handler(MessageHandler handler) {
@@ -192,6 +211,12 @@ class WakuRlnRelayNode {
   chain::Address contract_;
   NodeConfig config_;
   Rng rng_;
+  /// Salt/nonce entropy for keystore-sealed snapshots. Separate from rng_
+  /// (and mutable) because sealing happens inside the const
+  /// serialize_state() and must not perturb the protocol RNG stream; OS-
+  /// seeded, never from the node seed, so a restarted node cannot replay
+  /// its previous salt/nonce stream (AEAD nonce reuse).
+  mutable Rng seal_rng_;
 
   Identity identity_;
   WakuRelay relay_;

@@ -1,0 +1,265 @@
+#include "sim/metrics.hpp"
+
+#include <cstdio>
+
+namespace waku::sim {
+
+namespace {
+
+void append_kv(std::string& out, const std::string& name, double value,
+               bool first) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  if (!first) out += ", ";
+  out += "\"" + name + "\": " + buf;
+}
+
+void append_kv(std::string& out, const std::string& name, std::uint64_t value,
+               bool first) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  if (!first) out += ", ";
+  out += "\"" + name + "\": " + buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++total_;
+  sum_ += v;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+void MetricsRegistry::sample_epoch(std::uint64_t epoch) {
+  const auto record = [this, epoch](const std::string& name, double value) {
+    std::vector<SeriesPoint>& points = series_[name];
+    if (!points.empty() && points.back().epoch == epoch) {
+      points.back().value = value;  // same-epoch resample overwrites
+    } else {
+      points.push_back({epoch, value});
+    }
+  };
+  for (const auto& [name, c] : counters_) {
+    record(name, static_cast<double>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) record(name, g.value());
+}
+
+const std::vector<MetricsRegistry::SeriesPoint>& MetricsRegistry::series(
+    const std::string& name) const {
+  static const std::vector<SeriesPoint> kEmpty;
+  const auto it = series_.find(name);
+  return it != series_.end() ? it->second : kEmpty;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.value() : 0;
+}
+
+std::string MetricsRegistry::to_json() const {
+  // Metric names are code-controlled identifiers (no quotes/backslashes),
+  // so they are emitted without escaping.
+  std::string out = "{\n\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    append_kv(out, name, c.value(), first);
+    first = false;
+  }
+  out += "},\n\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    append_kv(out, name, g.value(), first);
+    first = false;
+  }
+  out += "},\n\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%s%.6g", i > 0 ? ", " : "",
+                    h.bounds()[i]);
+      out += buf;
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%s%llu", i > 0 ? ", " : "",
+                    static_cast<unsigned long long>(h.counts()[i]));
+      out += buf;
+    }
+    char tail[96];
+    std::snprintf(tail, sizeof tail, "], \"total\": %llu, \"sum\": %.6g}",
+                  static_cast<unsigned long long>(h.total()), h.sum());
+    out += tail;
+  }
+  out += "},\n\"series\": {";
+  first = true;
+  for (const auto& [name, points] : series_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s{\"epoch\": %llu, \"value\": %.6g}",
+                    i > 0 ? ", " : "",
+                    static_cast<unsigned long long>(points[i].epoch),
+                    points[i].value);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "}\n}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// -- HarnessProbe ------------------------------------------------------------
+
+HarnessProbe::HarnessProbe(rln::RlnHarness& harness, MetricsRegistry& registry)
+    : harness_(harness),
+      registry_(registry),
+      per_node_spam_(harness.size(), 0),
+      per_node_honest_(harness.size(), 0) {
+  // Delivery classification, per node. Installed through the harness hook
+  // so restart_node() re-attaches it to the fresh instance (a dead node's
+  // handler dies with it).
+  harness_.set_node_hook([this](std::size_t i, rln::WakuRlnRelayNode& node) {
+    node.set_message_handler([this, i](const WakuMessage& msg) {
+      const std::string_view payload(
+          reinterpret_cast<const char*>(msg.payload.data()),
+          msg.payload.size());
+      if (payload.starts_with(kSpamTag)) {
+        ++per_node_spam_[i];
+        ++spam_delivered_;
+        registry_.counter("spam.delivered").inc();
+      } else if (payload.starts_with(kHonestTag)) {
+        ++per_node_honest_[i];
+        ++honest_delivered_;
+        registry_.counter("honest.delivered").inc();
+      } else {
+        registry_.counter("other.delivered").inc();
+      }
+    });
+  });
+
+  chain_subscription_ =
+      harness_.chain().subscribe_events([this](const chain::Event& ev) {
+        if (ev.name == "MemberSlashed") {
+          const SlashEvent event{ev.topics[0].limb[0], harness_.sim().now()};
+          slashes_.push_back(event);
+          registry_.counter("chain.slashes").inc();
+          if (attack_start_ms_.has_value()) {
+            registry_
+                .histogram("slash.latency_ms",
+                           {5'000, 15'000, 30'000, 60'000, 120'000})
+                .observe(static_cast<double>(event.at_ms -
+                                             *attack_start_ms_));
+          }
+        } else if (ev.name == "MemberWithdrawn") {
+          withdrawals_.push_back(
+              {ev.topics[0].limb[0], harness_.sim().now()});
+          registry_.counter("chain.withdrawals").inc();
+        }
+      });
+}
+
+HarnessProbe::~HarnessProbe() {
+  harness_.chain().unsubscribe_events(chain_subscription_);
+  // The installed handlers capture `this`; detach them so a harness that
+  // outlives the probe cannot call into a dead object.
+  harness_.set_node_hook(nullptr);
+  for (std::size_t i = 0; i < harness_.size(); ++i) {
+    if (harness_.alive(i)) harness_.node(i).set_message_handler(nullptr);
+  }
+}
+
+void HarnessProbe::mark_attack_start() {
+  attack_start_ms_ = harness_.sim().now();
+}
+
+void HarnessProbe::sample(std::uint64_t epoch) {
+  gossipsub::RouterStats router;
+  rln::NodeStats nodes;
+  std::size_t graylisted = 0;
+  for (std::size_t i = 0; i < harness_.size(); ++i) {
+    if (!harness_.alive(i)) continue;
+    rln::WakuRlnRelayNode& node = harness_.node(i);
+    const gossipsub::RouterStats& r = node.relay().stats();
+    router.delivered += r.delivered;
+    router.duplicates += r.duplicates;
+    router.rejected += r.rejected;
+    router.ignored += r.ignored;
+    router.forwarded += r.forwarded;
+    const rln::NodeStats& n = node.stats();
+    nodes.published += n.published;
+    nodes.publish_rate_limited += n.publish_rate_limited;
+    nodes.slash_commits += n.slash_commits;
+    nodes.slash_reveals += n.slash_reveals;
+    nodes.slash_rewards += n.slash_rewards;
+    graylisted += node.relay().router().scores().graylist_count();
+  }
+  const rln::ValidatorStats pipeline = harness_.total_validation_stats();
+
+  const auto set = [this](const char* name, std::uint64_t v) {
+    registry_.gauge(name).set(static_cast<double>(v));
+  };
+  set("router.delivered", router.delivered);
+  set("router.duplicates", router.duplicates);
+  set("router.rejected", router.rejected);
+  set("router.ignored", router.ignored);
+  set("router.forwarded", router.forwarded);
+  set("score.graylisted", graylisted);
+  set("pipeline.accepted", pipeline.accepted);
+  set("pipeline.epoch_gap", pipeline.epoch_gap);
+  set("pipeline.duplicates", pipeline.duplicates);
+  set("pipeline.no_proof", pipeline.no_proof);
+  set("pipeline.bad_proof", pipeline.bad_proof);
+  set("pipeline.stale_root", pipeline.stale_root);
+  set("pipeline.spam_detected", pipeline.spam_detected);
+  set("pipeline.batches", pipeline.batches);
+  set("pipeline.batch_fallbacks", pipeline.batch_fallbacks);
+  set("pipeline.precheck_duplicates", pipeline.precheck_duplicates);
+  set("log.entries", pipeline.log_entries);
+  set("log.conflicts", pipeline.log_conflicts);
+  set("node.published", nodes.published);
+  set("node.publish_rate_limited", nodes.publish_rate_limited);
+  set("node.slash_commits", nodes.slash_commits);
+  set("node.slash_reveals", nodes.slash_reveals);
+  set("node.slash_rewards", nodes.slash_rewards);
+  const net::TrafficStats traffic = harness_.network().total_stats();
+  set("net.messages_sent", traffic.messages_sent);
+  set("net.bytes_sent", traffic.bytes_sent);
+
+  registry_.sample_epoch(epoch);
+}
+
+}  // namespace waku::sim

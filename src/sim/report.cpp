@@ -1,0 +1,81 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+
+namespace waku::sim {
+
+namespace {
+
+void field(std::string& out, const char* name, std::uint64_t v,
+           bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\": %llu%s", name,
+                static_cast<unsigned long long>(v),
+                trailing_comma ? ", " : "");
+  out += buf;
+}
+
+void field(std::string& out, const char* name, double v,
+           bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\": %.6f%s", name, v,
+                trailing_comma ? ", " : "");
+  out += buf;
+}
+
+void optional_field(std::string& out, const char* name,
+                    const std::optional<std::uint64_t>& v) {
+  if (v.has_value()) {
+    field(out, name, *v);
+  } else {
+    out += std::string("\"") + name + "\": null, ";
+  }
+}
+
+}  // namespace
+
+std::string ScenarioVerdict::to_json() const {
+  std::string out = "{";
+  out += "\"scenario\": \"" + scenario + "\", ";
+  field(out, "seed", seed);
+  field(out, "nodes", nodes);
+  field(out, "honest_nodes", honest_nodes);
+  field(out, "adversary_nodes", adversary_nodes);
+  field(out, "spam_sent", spam_sent);
+  field(out, "spam_delivered_honest", spam_delivered_honest);
+  field(out, "spam_containment_ratio", spam_containment_ratio);
+  field(out, "honest_sent", honest_sent);
+  field(out, "honest_delivered_honest", honest_delivered_honest);
+  field(out, "honest_delivery_ratio", honest_delivery_ratio);
+  field(out, "slashes", slashes);
+  field(out, "adversary_slashes", adversary_slashes);
+  field(out, "honest_slashes", honest_slashes);
+  field(out, "honest_false_positive_rate", honest_false_positive_rate);
+  field(out, "withdrawals", withdrawals);
+  optional_field(out, "time_to_slash_ms", time_to_slash_ms);
+  optional_field(out, "time_to_slash_epochs", time_to_slash_epochs);
+  // Trailing sentinel keeps the field() helpers uniform.
+  out += "\"schema\": 1}";
+  return out;
+}
+
+std::string Report::to_json() const {
+  return "{\"verdict\": " + verdict.to_json() +
+         ",\n\"metrics\": " + metrics_json + "}";
+}
+
+bool write_report_file(const std::vector<Report>& reports,
+                       const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\n\"reports\": [\n", f);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const std::string json = reports[i].to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputs(i + 1 < reports.size() ? ",\n" : "\n", f);
+  }
+  std::fputs("]\n}\n", f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace waku::sim

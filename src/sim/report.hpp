@@ -1,0 +1,62 @@
+// Per-scenario verdicts: the containment numbers the paper's claims are
+// judged on, computed by Scenario::run() and exported as JSON (single
+// report or a campaign file the perf trajectory tracks).
+//
+//   spam_containment_ratio   spam deliveries at honest nodes, normalized
+//                            per honest node per spam message — 0 is
+//                            perfect containment, 1 means every spam
+//                            message reached every honest node;
+//   time_to_slash            first MemberSlashed after the attack began;
+//   honest_delivery_ratio    honest deliveries at honest nodes over the
+//                            ideal (every sender reaches every honest
+//                            node, sender included);
+//   honest_false_positive_rate  honest members slashed / honest members.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace waku::sim {
+
+struct ScenarioVerdict {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t honest_nodes = 0;
+  std::uint64_t adversary_nodes = 0;
+
+  std::uint64_t spam_sent = 0;
+  std::uint64_t spam_delivered_honest = 0;
+  double spam_containment_ratio = 0;
+
+  std::uint64_t honest_sent = 0;
+  std::uint64_t honest_delivered_honest = 0;
+  double honest_delivery_ratio = 0;
+
+  std::uint64_t slashes = 0;
+  std::uint64_t adversary_slashes = 0;
+  std::uint64_t honest_slashes = 0;
+  double honest_false_positive_rate = 0;
+  std::uint64_t withdrawals = 0;
+
+  std::optional<std::uint64_t> time_to_slash_ms;
+  std::optional<std::uint64_t> time_to_slash_epochs;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct Report {
+  ScenarioVerdict verdict;
+  std::string metrics_json;  ///< MetricsRegistry::to_json() at scenario end
+
+  /// {"verdict": {...}, "metrics": {...}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Writes a campaign file: {"reports": [...]}; returns false on IO error.
+bool write_report_file(const std::vector<Report>& reports,
+                       const std::string& path);
+
+}  // namespace waku::sim

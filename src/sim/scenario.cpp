@@ -1,0 +1,261 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "chain/rln_contract.hpp"
+#include "common/expect.hpp"
+#include "rln/checkpoint.hpp"
+
+namespace waku::sim {
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      harness_(config_.harness),
+      probe_(harness_, metrics_),
+      traffic_rng_(config_.harness.seed ^ 0x7AF1C0DEULL) {}
+
+Scenario& Scenario::add_phase(PhaseSpec phase) {
+  phases_.push_back(std::move(phase));
+  return *this;
+}
+
+std::uint64_t Scenario::epoch_now() {
+  return config_.harness.node.validator.epoch.epoch_at(harness_.sim().now());
+}
+
+void Scenario::sample_if_epoch_turned() {
+  const std::uint64_t epoch = epoch_now();
+  if (epoch == last_sampled_epoch_) return;
+  last_sampled_epoch_ = epoch;
+  probe_.sample(epoch);
+}
+
+void Scenario::generate_honest_traffic() {
+  const double per_tick_p =
+      config_.honest_rate_per_epoch *
+      static_cast<double>(config_.tick_ms) /
+      static_cast<double>(
+          config_.harness.node.validator.epoch.epoch_length_ms);
+  std::size_t publishers_seen = 0;
+  for (std::size_t i = 0; i < harness_.size(); ++i) {
+    if (is_adversary_slot(i) || !harness_.alive(i)) continue;
+    ++publishers_seen;
+    if (config_.honest_publishers != 0 &&
+        publishers_seen > config_.honest_publishers) {
+      break;  // sampled-sender mode for large deployments
+    }
+    if (!traffic_rng_.chance(per_tick_p)) continue;
+    const auto status = harness_.node(i).try_publish(to_bytes(
+        std::string(kHonestTag) + "n" + std::to_string(i) + "#" +
+        std::to_string(honest_sent_)));
+    if (status == rln::WakuRlnRelayNode::PublishStatus::kOk) {
+      ++honest_sent_;
+      metrics_.counter("honest.sent").inc();
+    }
+  }
+}
+
+void Scenario::run_phase(const PhaseSpec& phase) {
+  AdversaryContext ctx{harness_, metrics_, traffic_rng_, config_.tick_ms};
+  if (!phase.adversaries.empty() && !probe_.attack_start_ms().has_value()) {
+    probe_.mark_attack_start();
+  }
+  for (Adversary* adversary : phase.adversaries) {
+    adversary->on_phase_start(ctx);
+  }
+  const net::TimeMs phase_end = harness_.sim().now() + phase.duration_ms;
+  while (harness_.sim().now() < phase_end) {
+    const net::TimeMs step =
+        std::min<net::TimeMs>(config_.tick_ms,
+                              phase_end - harness_.sim().now());
+    harness_.run_ms(step);
+    if (phase.honest_traffic) generate_honest_traffic();
+    for (Adversary* adversary : phase.adversaries) {
+      adversary->on_tick(ctx);
+    }
+    sample_if_epoch_turned();
+  }
+}
+
+Report Scenario::run() {
+  WAKU_EXPECTS(!ran_);
+  ran_ = true;
+
+  // Who is honest is a property of the whole campaign, not of a phase.
+  std::vector<Adversary*> all_adversaries;
+  for (const PhaseSpec& phase : phases_) {
+    for (Adversary* adversary : phase.adversaries) {
+      if (std::find(all_adversaries.begin(), all_adversaries.end(),
+                    adversary) == all_adversaries.end()) {
+        all_adversaries.push_back(adversary);
+      }
+      for (const std::size_t slot : adversary->controlled_nodes()) {
+        adversary_slots_.insert(slot);
+      }
+    }
+  }
+
+  harness_.register_all();
+
+  // Member index -> honest/adversary classification for slash attribution
+  // (an index outlives the membership it names; capture it while every
+  // adversary is still registered).
+  std::unordered_set<std::uint64_t> adversary_indices;
+  for (const std::size_t slot : adversary_slots_) {
+    if (const auto index = harness_.node(slot).group().own_index()) {
+      adversary_indices.insert(*index);
+    }
+  }
+
+  for (const PhaseSpec& phase : phases_) run_phase(phase);
+
+  // Drain: let in-flight publishes, validation windows, and slash txs
+  // settle before judging delivery ratios.
+  harness_.run_ms(config_.drain_ms);
+  probe_.sample(epoch_now());
+
+  ScenarioVerdict verdict;
+  verdict.scenario = config_.name;
+  verdict.seed = config_.harness.seed;
+  verdict.nodes = harness_.size();
+  verdict.adversary_nodes = adversary_slots_.size();
+  verdict.honest_nodes = harness_.size() - adversary_slots_.size();
+
+  for (const Adversary* adversary : all_adversaries) {
+    verdict.spam_sent += adversary->spam_sent();
+  }
+  for (std::size_t i = 0; i < harness_.size(); ++i) {
+    if (is_adversary_slot(i)) continue;
+    verdict.spam_delivered_honest += probe_.node_spam_delivered(i);
+    verdict.honest_delivered_honest += probe_.node_honest_delivered(i);
+  }
+  verdict.honest_sent = honest_sent_;
+  // Ideal delivery: every spam/honest message reaching every honest node
+  // (local delivery included) scores 1.0.
+  const double honest_nodes = static_cast<double>(verdict.honest_nodes);
+  verdict.spam_containment_ratio =
+      verdict.spam_sent == 0
+          ? 0
+          : static_cast<double>(verdict.spam_delivered_honest) /
+                (static_cast<double>(verdict.spam_sent) * honest_nodes);
+  verdict.honest_delivery_ratio =
+      verdict.honest_sent == 0
+          ? 1.0
+          : static_cast<double>(verdict.honest_delivered_honest) /
+                (static_cast<double>(verdict.honest_sent) * honest_nodes);
+
+  verdict.slashes = probe_.slashes().size();
+  verdict.withdrawals = probe_.withdrawals().size();
+  std::optional<net::TimeMs> first_adversary_slash;
+  for (const HarnessProbe::SlashEvent& slash : probe_.slashes()) {
+    if (adversary_indices.contains(slash.index)) {
+      ++verdict.adversary_slashes;
+      if (!first_adversary_slash.has_value()) {
+        first_adversary_slash = slash.at_ms;
+      }
+    } else {
+      ++verdict.honest_slashes;
+    }
+  }
+  verdict.honest_false_positive_rate =
+      verdict.honest_nodes == 0
+          ? 0
+          : static_cast<double>(verdict.honest_slashes) / honest_nodes;
+  if (first_adversary_slash.has_value() &&
+      probe_.attack_start_ms().has_value()) {
+    const std::uint64_t latency =
+        *first_adversary_slash - *probe_.attack_start_ms();
+    verdict.time_to_slash_ms = latency;
+    verdict.time_to_slash_epochs =
+        (latency + config_.harness.node.validator.epoch.epoch_length_ms - 1) /
+        config_.harness.node.validator.epoch.epoch_length_ms;
+  }
+
+  return Report{verdict, metrics_.to_json()};
+}
+
+// -- Eclipse campaign --------------------------------------------------------
+
+namespace {
+
+/// Registers a brand-new member straight on the contract (no node behind
+/// it) — the membership churn the stale checkpoint is missing.
+void register_external_member(rln::RlnHarness& h, std::uint64_t tag) {
+  Rng rng(0xEC1000 + tag);
+  const rln::Identity member = rln::Identity::generate(rng);
+  const chain::Address account = chain::Address::from_u64(0xEC100000 + tag);
+  h.chain().create_account(account, 10 * chain::kGweiPerEth);
+  chain::Transaction tx;
+  tx.from = account;
+  tx.to = h.contract();
+  tx.method = "register";
+  tx.calldata = member.pk_bytes();
+  tx.value = h.chain()
+                 .contract_at<chain::RlnMembershipContract>(h.contract())
+                 .deposit();
+  h.chain().submit(std::move(tx));
+}
+
+}  // namespace
+
+EclipseOutcome run_eclipse_campaign(const EclipseConfig& config) {
+  rln::RlnHarness h(config.harness);
+  h.register_all();
+  h.run_ms(3'000);
+
+  // The attacker holds a correctly signed checkpoint captured now — honest
+  // at capture time, stale by bootstrap time. (Models a compromised or
+  // merely frozen service replaying its last good artifact.)
+  const Bytes key = to_bytes("eclipse-deployment-key");
+  rln::Checkpoint captured = h.node(0).make_checkpoint();
+  captured.sign(key);
+  StaleCheckpointService attacker(h.network(), captured.serialize());
+
+  // Membership moves on while the attacker's artifact stands still.
+  for (std::uint64_t i = 0; i < config.churn_members; ++i) {
+    register_external_member(h, i);
+  }
+  h.run_ms(2 * config.harness.block_interval_ms + 1'000);
+
+  // The victim: a light client whose honest bootstrap path sits behind
+  // lossy links; the attacker's link is clean.
+  rln::RlnFullServiceNode honest_service(h.network(), h.node(0));
+  honest_service.set_checkpoint_key(key);
+  rln::RlnLightClient victim(h.network(), h.node(1).identity(),
+                             *h.node(1).group().own_index(),
+                             config.harness.node.validator.epoch,
+                             config.harness.seed ^ 0xEC11ULL);
+  victim.attach_chain(h.chain(), h.contract(), key);
+  victim.set_max_bootstrap_lag(config.max_bootstrap_lag);
+  h.network().connect(victim.node_id(), honest_service.node_id());
+  h.network().connect(victim.node_id(), attacker.node_id());
+  net::LinkConfig lossy = config.harness.link;
+  lossy.loss_rate = config.eclipse_loss;
+  h.network().set_link_override(victim.node_id(), honest_service.node_id(),
+                                lossy);
+
+  EclipseOutcome out;
+  // Starved attempt toward the honest service (the link eats it), then the
+  // attacker's stale artifact. Outcomes are judged on client state, not
+  // callbacks: responses lost to the eclipse leave stale entries in the
+  // client's FIFO callback queue.
+  victim.bootstrap(honest_service.node_id(), nullptr);
+  h.run_ms(3'000);
+  victim.bootstrap(attacker.node_id(), nullptr);
+  h.run_ms(3'000);
+  out.stale_served = attacker.served();
+  out.stale_rejections = victim.stale_checkpoints_rejected();
+  out.victim_detected_stale =
+      !victim.bootstrapped() && out.stale_rejections > 0;
+
+  // Recovery: the partition heals and the honest service gets through.
+  h.network().clear_link_override(victim.node_id(),
+                                  honest_service.node_id());
+  victim.bootstrap(honest_service.node_id(), nullptr);
+  h.run_ms(3'000);
+  out.honest_bootstrap_after = victim.bootstrapped();
+  return out;
+}
+
+}  // namespace waku::sim

@@ -1,0 +1,111 @@
+// Declarative adversarial scenarios: a Scenario composes timed phases
+// (warmup / attack / recovery) over an RlnHarness deployment. Each phase
+// runs a Poisson honest-traffic generator over the non-adversarial nodes
+// and ticks the attached Adversary strategies; a HarnessProbe classifies
+// every delivery and timestamps every slash; run() returns a Report with
+// the containment verdict and the full metrics registry.
+//
+// Everything is deterministic from ScenarioConfig::harness.seed — the same
+// config replays the same campaign event-for-event.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "sim/adversary.hpp"
+#include "sim/report.hpp"
+
+namespace waku::sim {
+
+struct ScenarioConfig {
+  std::string name = "scenario";
+  rln::HarnessConfig harness;
+  /// Generator/adversary cadence. One tick = run_ms(tick_ms), then honest
+  /// publishes, then adversary on_tick()s.
+  net::TimeMs tick_ms = 1'000;
+  /// Poisson intensity: expected honest publishes per honest node per
+  /// epoch (the node's own 1-per-epoch limit caps the realized rate).
+  double honest_rate_per_epoch = 0.8;
+  /// Honest senders per phase: every honest node publishes when 0;
+  /// otherwise only the first N honest slots generate traffic (large
+  /// deployments sample senders to keep proof generation tractable).
+  std::size_t honest_publishers = 0;
+  /// Post-phase drain so in-flight traffic settles before the verdict.
+  net::TimeMs drain_ms = 6'000;
+};
+
+struct PhaseSpec {
+  std::string name;  ///< warmup / attack / recovery (free-form)
+  net::TimeMs duration_ms = 10'000;
+  bool honest_traffic = true;
+  /// Borrowed; must outlive the Scenario. Ticked while this phase runs.
+  std::vector<Adversary*> adversaries;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  Scenario& add_phase(PhaseSpec phase);
+
+  /// Registers all members (first call), runs every phase plus the drain,
+  /// and computes the verdict. Callable once.
+  Report run();
+
+  [[nodiscard]] rln::RlnHarness& harness() { return harness_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] HarnessProbe& probe() { return probe_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+ private:
+  void run_phase(const PhaseSpec& phase);
+  void generate_honest_traffic();
+  void sample_if_epoch_turned();
+  [[nodiscard]] std::uint64_t epoch_now();
+  [[nodiscard]] bool is_adversary_slot(std::size_t i) const {
+    return adversary_slots_.contains(i);
+  }
+
+  ScenarioConfig config_;
+  rln::RlnHarness harness_;
+  MetricsRegistry metrics_;
+  HarnessProbe probe_;
+  Rng traffic_rng_;
+  std::vector<PhaseSpec> phases_;
+  std::set<std::size_t> adversary_slots_;
+  std::uint64_t honest_sent_ = 0;
+  std::uint64_t last_sampled_epoch_ = ~std::uint64_t{0};
+  bool ran_ = false;
+};
+
+// -- Eclipse campaign --------------------------------------------------------
+// The light-client eclipse does not fit the node-tick shape: the attack is
+// topological (a bootstrap victim parked behind lossy links, with an
+// attacker-run service replaying a stale checkpoint), so it gets its own
+// declarative runner.
+
+struct EclipseConfig {
+  rln::HarnessConfig harness;
+  /// Loss rate applied (via per-link overrides) to the victim's links
+  /// toward honest services during the eclipse.
+  double eclipse_loss = 1.0;
+  /// Memberships registered after the attacker captured its checkpoint —
+  /// the staleness the victim must detect.
+  std::uint64_t churn_members = 6;
+  /// Freshness tolerance handed to the victim (see
+  /// RlnLightClient::set_max_bootstrap_lag).
+  std::uint64_t max_bootstrap_lag = 2;
+};
+
+struct EclipseOutcome {
+  std::uint64_t stale_served = 0;       ///< attacker responses delivered
+  std::uint64_t stale_rejections = 0;   ///< victim-side staleness rejects
+  bool victim_detected_stale = false;   ///< refused the eclipse checkpoint
+  bool honest_bootstrap_after = false;  ///< recovered once links healed
+};
+
+/// Runs the full eclipse campaign: capture → churn → eclipse bootstrap
+/// (must be detected) → heal links → honest bootstrap (must succeed).
+EclipseOutcome run_eclipse_campaign(const EclipseConfig& config);
+
+}  // namespace waku::sim

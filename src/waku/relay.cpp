@@ -78,4 +78,9 @@ gossipsub::MessageId WakuRelay::publish(const WakuMessage& message) {
   return router_.publish(topic_, message.serialize());
 }
 
+gossipsub::MessageId WakuRelay::publish_to(const WakuMessage& message,
+                                           std::span<const net::NodeId> peers) {
+  return router_.publish_to(topic_, message.serialize(), peers);
+}
+
 }  // namespace waku

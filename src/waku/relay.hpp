@@ -55,6 +55,12 @@ class WakuRelay {
   /// Publishes a message; returns its gossipsub id.
   gossipsub::MessageId publish(const WakuMessage& message);
 
+  /// Targeted publish to a chosen peer set only (no local delivery, no
+  /// flood) — the attacker capability behind the split-equivocation
+  /// adversary. See GossipSubRouter::publish_to.
+  gossipsub::MessageId publish_to(const WakuMessage& message,
+                                  std::span<const net::NodeId> peers);
+
   [[nodiscard]] net::NodeId node_id() const { return router_.node_id(); }
   [[nodiscard]] const std::string& pubsub_topic() const { return topic_; }
   [[nodiscard]] gossipsub::GossipSubRouter& router() { return router_; }

@@ -4,6 +4,7 @@
 // crash-safe commit-reveal slashing, and rate-limit state across restarts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "common/serde.hpp"
@@ -227,6 +228,56 @@ TEST(CrashRestart, OwnRateLimitSurvivesRestartWithoutSnapshot) {
   EXPECT_TRUE(h.node(1).is_registered());  // rebuilt by cold event replay
   EXPECT_EQ(h.node(1).try_publish(to_bytes("twice, same epoch")),
             WakuRlnRelayNode::PublishStatus::kRateLimited);
+}
+
+TEST(CrashRestart, KeystoreSealedSnapshotRestoresSameIdentity) {
+  HarnessConfig cfg = persisted_config(fresh_dir("keystore_sealed"));
+  cfg.node.keystore_password = "hunter2";
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(3'000);
+  const Fr sk_before = h.node(0).identity().sk;
+  h.node(0).force_snapshot();
+
+  // The sealed blob never carries the sk in the clear.
+  const Bytes snapshot = h.node(0).serialize_state();
+  const Bytes sk_bytes = sk_before.to_bytes_be();
+  const auto found = std::search(snapshot.begin(), snapshot.end(),
+                                 sk_bytes.begin(), sk_bytes.end());
+  EXPECT_EQ(found, snapshot.end());
+
+  h.kill_node(0);
+  h.restart_node(0);
+  EXPECT_EQ(h.node(0).identity().sk, sk_before);
+  EXPECT_TRUE(h.node(0).is_registered());
+}
+
+TEST(CrashRestart, KeystoreSealedSnapshotFailsClosedOnWrongPassword) {
+  const std::string dir = fresh_dir("keystore_fail_closed");
+  HarnessConfig cfg = persisted_config(dir);
+  cfg.node.keystore_password = "correct horse";
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(3'000);
+  h.node(0).force_snapshot();
+  h.kill_node(0);
+
+  // A restart with the wrong password must refuse to construct — booting
+  // with a fresh identity would silently fork the membership.
+  NodeConfig wrong = cfg.node;
+  wrong.account = h.node(1).account();  // any funded account
+  wrong.persist_dir = dir + "/node0";
+  wrong.keystore_password = "wrong trombone";
+  EXPECT_THROW(
+      {
+        WakuRlnRelayNode doomed(h.network(), h.chain(), h.contract(), wrong,
+                                /*seed=*/999);
+      },
+      std::runtime_error);
+
+  // The right password still restores.
+  h.restart_node(0);
+  EXPECT_TRUE(h.node(0).is_registered());
 }
 
 TEST(CrashRestart, WithdrawnMemberPurgesPendingSlash) {

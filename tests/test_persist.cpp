@@ -175,6 +175,70 @@ TEST(Wal, LsnsSurviveReset) {
   EXPECT_EQ(lsns[0], 3u);
 }
 
+TEST(Wal, FlushPolicyBoundsTheCrashLossWindow) {
+  const fs::path dir = fresh_dir("wal_flush_policy");
+  const std::string path = (dir / "wal.log").string();
+  WriteAheadLog wal(path);
+  wal.set_flush_every(4);
+
+  // replay() re-reads the file, so it sees exactly what a crash-restart
+  // would: buffered appends are invisible until the policy (or an
+  // explicit flush) pushes them out.
+  const auto on_disk = [&] {
+    std::uint64_t n = 0;
+    wal.replay([&](const WalRecord&) { ++n; });
+    return n;
+  };
+
+  for (int i = 0; i < 3; ++i) wal.append(1, bytes_of("buffered"));
+  EXPECT_EQ(wal.unflushed_records(), 3u);
+  EXPECT_LE(on_disk(), 0u + 3u);  // typically 0: still in the buffer
+  EXPECT_EQ(wal.flush_count(), 0u);
+
+  wal.append(1, bytes_of("fourth"));  // policy boundary
+  EXPECT_EQ(wal.unflushed_records(), 0u);
+  EXPECT_EQ(wal.flush_count(), 1u);
+  EXPECT_EQ(on_disk(), 4u);
+
+  wal.append(1, bytes_of("fifth"));
+  EXPECT_EQ(wal.unflushed_records(), 1u);
+  wal.flush();  // explicit barrier (snapshots, shutdown)
+  EXPECT_EQ(wal.unflushed_records(), 0u);
+  EXPECT_EQ(wal.flush_count(), 2u);
+  EXPECT_EQ(on_disk(), 5u);
+  wal.flush();  // idempotent when clean
+  EXPECT_EQ(wal.flush_count(), 2u);
+}
+
+TEST(StateStore, FsyncPolicyFlushesOnSnapshotBarrier) {
+  const fs::path dir = fresh_dir("store_fsync_policy");
+  StateStoreConfig cfg;
+  cfg.snapshot_every_records = 0;  // manual snapshots only
+  cfg.fsync_every_n_records = 100;
+  StateStore store(dir.string(), cfg);
+  store.set_snapshot_provider([] { return bytes_of("full-state"); });
+
+  store.append(1, bytes_of("a"));
+  store.append(1, bytes_of("b"));
+  EXPECT_EQ(store.stats().wal_unflushed, 2u);
+
+  // force_snapshot flushes first: the loss window never spans a snapshot.
+  store.force_snapshot();
+  EXPECT_EQ(store.stats().wal_unflushed, 0u);
+  EXPECT_GE(store.stats().wal_flushes, 1u);
+
+  store.append(1, bytes_of("tail"));
+  store.flush_wal();
+  EXPECT_EQ(store.stats().wal_unflushed, 0u);
+
+  // Restart: snapshot + flushed tail both restore.
+  StateStore reopened(dir.string(), cfg);
+  EXPECT_EQ(reopened.load_snapshot(), bytes_of("full-state"));
+  std::uint64_t tail = 0;
+  reopened.replay_wal([&](std::uint8_t, BytesView) { ++tail; });
+  EXPECT_EQ(tail, 1u);
+}
+
 TEST(Wal, UnrecognizedHeaderThrows) {
   const fs::path dir = fresh_dir("wal_header");
   const std::string path = (dir / "wal.log").string();
