@@ -60,13 +60,15 @@ ScenarioConfig scenario_config(const char* name, std::size_t nodes,
 }
 
 CampaignResult run_campaign(const char* name, std::size_t nodes,
-                            std::uint64_t seed, Adversary& adversary) {
-  std::printf("== campaign %-16s (%zu nodes, seed %llu)\n", name, nodes,
-              static_cast<unsigned long long>(seed));
+                            std::uint64_t seed,
+                            std::vector<Adversary*> adversaries) {
+  std::printf("== campaign %-16s (%zu nodes, seed %llu, %zu adversaries)\n",
+              name, nodes, static_cast<unsigned long long>(seed),
+              adversaries.size());
   const auto start = Clock::now();
   Scenario scenario(scenario_config(name, nodes, seed));
   scenario.add_phase({"warmup", 10'000, true, {}})
-      .add_phase({"attack", 30'000, true, {&adversary}})
+      .add_phase({"attack", 30'000, true, std::move(adversaries)})
       .add_phase({"recovery", 10'000, true, {}});
   Report report = scenario.run();
   const double wall_ms = std::chrono::duration<double, std::milli>(
@@ -84,6 +86,15 @@ CampaignResult run_campaign(const char* name, std::size_t nodes,
           ? (std::to_string(*v.time_to_slash_ms) + " ms").c_str()
           : "n/a",
       wall_ms / 1000.0);
+  for (const AdversaryVerdict& av : v.per_adversary) {
+    std::printf("   · %-18s spam %llu, slashes %llu, time-to-slash %s\n",
+                av.name.c_str(),
+                static_cast<unsigned long long>(av.spam_sent),
+                static_cast<unsigned long long>(av.slashes),
+                av.time_to_slash_ms.has_value()
+                    ? (std::to_string(*av.time_to_slash_ms) + " ms").c_str()
+                    : "n/a");
+  }
   return CampaignResult{std::move(report), wall_ms};
 }
 
@@ -101,21 +112,32 @@ int main(int argc, char** argv) {
   std::vector<CampaignResult> results;
   {
     RateLimitFlooder flooder(/*slot=*/0, /*burst_per_epoch=*/6);
-    results.push_back(run_campaign("flooder", nodes, 0xADF1, flooder));
+    results.push_back(run_campaign("flooder", nodes, 0xADF1, {&flooder}));
   }
   {
     DepositChurner churner({0, 1, 2}, /*burst=*/3);
-    results.push_back(run_campaign("churner", nodes, 0xADC2, churner));
+    results.push_back(run_campaign("churner", nodes, 0xADC2, {&churner}));
   }
   {
     SplitEquivocator equivocator(/*slot=*/0);
     results.push_back(
-        run_campaign("split-equivocator", nodes, 0xAD53, equivocator));
+        run_campaign("split-equivocator", nodes, 0xAD53, {&equivocator}));
   }
   {
     InvalidProofFlooder garbage(/*slot=*/0, /*per_tick=*/4);
     results.push_back(
-        run_campaign("invalid-proof", nodes, 0xAD14, garbage));
+        run_campaign("invalid-proof", nodes, 0xAD14, {&garbage}));
+  }
+  {
+    // Adversary coalition: a rate-limit flooder and a stale-root replayer
+    // attacking the SAME content topic concurrently. One campaign JSON,
+    // per-adversary verdicts: the flooder must be slashed, the replayer
+    // (no slashing material in a stale-root bundle) must merely die in
+    // the O(1) root stage.
+    RateLimitFlooder flooder(/*slot=*/0, /*burst_per_epoch=*/6);
+    StaleRootReplayer replayer(/*slot=*/1, /*per_tick=*/4);
+    results.push_back(
+        run_campaign("coalition", nodes, 0xADC0, {&flooder, &replayer}));
   }
 
   FILE* f = std::fopen(out_path.c_str(), "w");

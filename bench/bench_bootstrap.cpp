@@ -116,15 +116,17 @@ int main(int argc, char** argv) {
         {members, "snapshot_restore", restore_ms, snapshot.size()});
 
     // -- checkpoint bootstrap -----------------------------------------------
-    Checkpoint checkpoint = make_group_checkpoint(full, events.size(), 0);
-    const Bytes key = to_bytes("bench-key");
+    Checkpoint checkpoint = make_group_checkpoint(
+        full, events.size(), {shard::ShardWatermark{0, 0}});
+    const hash::schnorr::KeyPair key =
+        hash::schnorr::keygen_from_seed(0xB007);
     checkpoint.sign(key);
     const Bytes wire = checkpoint.serialize();
     double checkpoint_ms = 0;
     for (int rep = 0; rep < kRepetitions; ++rep) {
       const auto start = Clock::now();
       const Checkpoint received = Checkpoint::deserialize(wire);
-      if (!received.verify(key)) {
+      if (!received.verify(key.pk)) {
         std::fprintf(stderr, "checkpoint verify failed\n");
         return 1;
       }

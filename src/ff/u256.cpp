@@ -71,4 +71,24 @@ U256 u256_from_string(const std::string& s) {
 
 std::string u256_to_hex(const U256& v) { return to_hex0x(u256_to_bytes_be(v)); }
 
+U256 mul_mod(const U256& a, const U256& b, const U256& mod) {
+  WAKU_EXPECTS(!mod.is_zero() && a < mod && b < mod);
+  U256 acc;  // zero
+  const int top = b.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = double_mod(acc, mod);
+    if (b.bit(static_cast<unsigned>(i))) acc = add_mod(acc, a, mod);
+  }
+  return acc;
+}
+
+U256 reduce_mod(U256 v, const U256& mod) {
+  WAKU_EXPECTS(mod.highest_bit() >= 192);
+  while (v >= mod) {
+    bool borrow = false;
+    v = sub_borrow(v, mod, borrow);
+  }
+  return v;
+}
+
 }  // namespace waku::ff

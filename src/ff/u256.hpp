@@ -108,6 +108,28 @@ constexpr U256 double_mod(const U256& a, const U256& mod) {
   return r;
 }
 
+/// (a + b) mod `mod`; requires a, b < mod.
+constexpr U256 add_mod(const U256& a, const U256& b, const U256& mod) {
+  bool carry = false;
+  U256 r = add_carry(a, b, carry);
+  if (carry || r >= mod) {
+    bool br = false;
+    r = sub_borrow(r, mod, br);
+  }
+  return r;
+}
+
+/// (a * b) mod `mod` via binary double-and-add; requires a, b < mod and a
+/// non-zero modulus. O(256) add/double steps — exponent arithmetic for
+/// signature schemes whose group order is not the Fr modulus (fr.hpp's
+/// Montgomery pipeline is specialized to r and cannot serve here).
+U256 mul_mod(const U256& a, const U256& b, const U256& mod);
+
+/// v mod `mod` for arbitrary v (hash-to-exponent reduction). Requires
+/// mod > 2^192 (true for every group order used here), which bounds the
+/// correction loop to a handful of subtractions.
+U256 reduce_mod(U256 v, const U256& mod);
+
 /// Big-endian 32-byte serialization (Ethereum / zkSNARK convention).
 Bytes u256_to_bytes_be(const U256& v);
 

@@ -36,7 +36,10 @@ void GossipSubRouter::subscribe(const std::string& topic,
   Frame frame;
   frame.type = FrameType::kSubscribe;
   frame.topic = topic;
-  for (const NodeId peer : network_.neighbors(id_)) send_frame(peer, frame);
+  for (const NodeId peer : network_.neighbors(id_)) {
+    send_frame(peer, frame);
+    announced_[peer].insert(topic);
+  }
 }
 
 void GossipSubRouter::unsubscribe(const std::string& topic) {
@@ -51,6 +54,9 @@ void GossipSubRouter::unsubscribe(const std::string& topic) {
   frame.type = FrameType::kUnsubscribe;
   frame.topic = topic;
   for (const NodeId peer : network_.neighbors(id_)) send_frame(peer, frame);
+  // Forget the announcement so a re-subscribe re-announces everywhere
+  // (including to links that appeared while we were unsubscribed).
+  for (auto& [peer, topics] : announced_) topics.erase(topic);
   // Leave the mesh politely.
   if (const auto it = mesh_.find(topic); it != mesh_.end()) {
     Frame prune;
@@ -388,6 +394,23 @@ std::vector<NodeId> GossipSubRouter::mesh_peers(
 void GossipSubRouter::heartbeat() {
   // Validation windows never outlive a heartbeat (bounded latency).
   flush_pending_validation();
+
+  // Subscription upkeep: announce our topics to neighbors that have not
+  // heard them yet. subscribe() only reaches the links that existed at
+  // that moment; topology grown afterwards (sharded deployments stitching
+  // per-shard rings, restarts, operator-added links) learns our
+  // subscriptions here, within one heartbeat of the link appearing.
+  for (const NodeId peer : network_.neighbors(id_)) {
+    auto& told = announced_[peer];
+    for (const auto& [topic, handler] : handlers_) {
+      if (told.contains(topic)) continue;
+      Frame frame;
+      frame.type = FrameType::kSubscribe;
+      frame.topic = topic;
+      send_frame(peer, frame);
+      told.insert(topic);
+    }
+  }
 
   // Score upkeep.
   for (const auto& [topic, peers] : mesh_) {

@@ -132,6 +132,10 @@ class GossipSubRouter : public net::NetNode {
   std::unordered_map<std::string, std::vector<BufferedPublish>>
       pending_validation_;
   std::unordered_map<NodeId, std::set<std::string>> peer_topics_;
+  /// Topics each neighbor has been sent a kSubscribe for — the heartbeat
+  /// announces our subscriptions to links that appeared after subscribe()
+  /// (late-joined peers, post-start topology growth).
+  std::unordered_map<NodeId, std::set<std::string>> announced_;
   std::unordered_map<std::string, std::set<NodeId>> mesh_;
 
   // Dedup cache with insertion timestamps (TTL-pruned on heartbeat).

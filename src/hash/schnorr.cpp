@@ -1,0 +1,87 @@
+#include "hash/schnorr.hpp"
+
+#include "common/serde.hpp"
+#include "hash/keccak256.hpp"
+
+namespace waku::hash::schnorr {
+
+namespace {
+
+constexpr std::string_view kDomain = "waku-schnorr-fr-v1";
+
+/// Hash-to-exponent: keccak over the domain-framed input, reduced mod n.
+U256 hash_to_exponent(std::string_view label, BytesView a, BytesView b,
+                      BytesView message) {
+  ByteWriter w;
+  w.write_string(kDomain);
+  w.write_string(label);
+  w.write_bytes(a);
+  w.write_bytes(b);
+  w.write_bytes(message);
+  const Keccak256Digest digest = keccak256(w.data());
+  return ff::reduce_mod(
+      ff::u256_from_bytes_be(BytesView(digest.data(), digest.size())),
+      kGroupOrder);
+}
+
+}  // namespace
+
+Fr generator() { return Fr::from_u64(7); }
+
+Bytes Signature::serialize() const {
+  Bytes out = r.to_bytes_be();
+  const Bytes s_bytes = ff::u256_to_bytes_be(s);
+  out.insert(out.end(), s_bytes.begin(), s_bytes.end());
+  return out;
+}
+
+Signature Signature::deserialize(BytesView bytes) {
+  ByteReader reader(bytes);
+  Signature sig;
+  sig.r = Fr::from_bytes_reduce(reader.read_raw(32));
+  sig.s = ff::u256_from_bytes_be(reader.read_raw(32));
+  return sig;
+}
+
+KeyPair keygen(Rng& rng) {
+  for (;;) {
+    // Fr::random is uniform on [0, r); folding r-1 -> 0 and rejecting zero
+    // leaves a uniform draw on [1, n).
+    const U256 candidate = ff::reduce_mod(Fr::random(rng).to_u256(),
+                                          kGroupOrder);
+    if (candidate.is_zero()) continue;
+    return KeyPair{candidate, generator().pow(candidate)};
+  }
+}
+
+KeyPair keygen_from_seed(std::uint64_t seed) {
+  Rng rng(seed ^ 0x5C40BB5EEDULL);
+  return keygen(rng);
+}
+
+Signature sign(const KeyPair& key, BytesView message) {
+  // Deterministic nonce bound to (sk, m): distinct messages get distinct
+  // nonces, the same message re-signs identically, and k never repeats
+  // across messages under one key (the classic Schnorr key-recovery trap).
+  const Bytes sk_bytes = ff::u256_to_bytes_be(key.sk);
+  U256 k = hash_to_exponent("nonce", sk_bytes, {}, message);
+  if (k.is_zero()) k = U256{1};  // negligible-probability corner
+
+  Signature sig;
+  sig.r = generator().pow(k);
+  const U256 e = hash_to_exponent("challenge", sig.r.to_bytes_be(),
+                                  key.pk.to_bytes_be(), message);
+  sig.s = ff::add_mod(k, ff::mul_mod(e, key.sk, kGroupOrder), kGroupOrder);
+  return sig;
+}
+
+bool verify(const Fr& pk, BytesView message, const Signature& sig) {
+  if (pk.is_zero() || sig.r.is_zero()) return false;
+  if (!(sig.s < kGroupOrder)) return false;
+  const U256 e = hash_to_exponent("challenge", sig.r.to_bytes_be(),
+                                  pk.to_bytes_be(), message);
+  // g^s == R * pk^e  <=>  g^(k + e*sk) == g^k * (g^sk)^e
+  return generator().pow(sig.s) == sig.r * pk.pow(e);
+}
+
+}  // namespace waku::hash::schnorr

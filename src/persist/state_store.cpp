@@ -31,12 +31,13 @@ void StateStore::replay_wal(const ReplayHandler& fn) const {
     // Records at or below the snapshot LSN are already folded into the
     // snapshot (the WAL reset after that snapshot may not have happened if
     // the process died in between).
-    if (rec.lsn > snapshot_lsn_) fn(rec.type, rec.payload);
+    if (rec.lsn > snapshot_lsn_) fn(rec.type, rec.shard, rec.payload);
   });
 }
 
-std::uint64_t StateStore::append(std::uint8_t type, BytesView payload) {
-  const std::uint64_t lsn = wal_.append(type, payload);
+std::uint64_t StateStore::append(std::uint8_t type, BytesView payload,
+                                 std::uint16_t shard) {
+  const std::uint64_t lsn = wal_.append(type, payload, shard);
   ++appends_since_snapshot_;
   if (provider_ && config_.snapshot_every_records > 0 &&
       appends_since_snapshot_ >= config_.snapshot_every_records) {

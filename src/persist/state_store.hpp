@@ -43,8 +43,11 @@ struct StateStoreConfig {
 class StateStore {
  public:
   using SnapshotProvider = std::function<Bytes()>;
-  using ReplayHandler =
-      std::function<void(std::uint8_t type, BytesView payload)>;
+  /// `shard` is the relay-shard tag the record was appended under (0 for
+  /// unsharded owners) — sharded owners use it to route each replayed
+  /// record into the right per-shard state.
+  using ReplayHandler = std::function<void(
+      std::uint8_t type, std::uint16_t shard, BytesView payload)>;
 
   /// Creates `dir` if needed and opens (or creates) the WAL inside it.
   explicit StateStore(std::string dir, StateStoreConfig config = {});
@@ -66,8 +69,10 @@ class StateStore {
   }
 
   /// Journals one record (durable before return) and runs the snapshot
-  /// policy.
-  std::uint64_t append(std::uint8_t type, BytesView payload);
+  /// policy. `shard` tags the record for per-shard recovery (see
+  /// ReplayHandler); unsharded owners omit it.
+  std::uint64_t append(std::uint8_t type, BytesView payload,
+                       std::uint16_t shard = 0);
 
   /// Takes a snapshot now (no-op without a provider).
   void force_snapshot();

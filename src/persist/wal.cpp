@@ -11,10 +11,10 @@ namespace waku::persist {
 namespace {
 
 constexpr char kMagic[4] = {'W', 'W', 'A', 'L'};
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;  // v2: shard tag in the record body
 constexpr std::size_t kFileHeader = sizeof(kMagic) + 1;
 constexpr std::size_t kRecordHeader = 4 + 4;        // body_len + crc
-constexpr std::size_t kBodyPrefix = 1 + 8;          // type + lsn
+constexpr std::size_t kBodyPrefix = 1 + 2 + 8;      // type + shard + lsn
 constexpr std::uint32_t kMaxBody = 64u << 20;       // sanity bound
 
 Bytes read_file(const std::string& path) {
@@ -50,6 +50,7 @@ std::size_t scan_records(BytesView file,
       ByteReader r(body);
       WalRecord rec;
       rec.type = r.read_u8();
+      rec.shard = r.read_u16();
       rec.lsn = r.read_u64();
       rec.payload = r.read_raw(r.remaining());
       (*fn)(rec);
@@ -57,6 +58,7 @@ std::size_t scan_records(BytesView file,
     } else {
       ByteReader r(body);
       (void)r.read_u8();
+      (void)r.read_u16();
       last_lsn = r.read_u64();
     }
     ++count;
@@ -103,10 +105,12 @@ WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
   }
 }
 
-std::uint64_t WriteAheadLog::append(std::uint8_t type, BytesView payload) {
+std::uint64_t WriteAheadLog::append(std::uint8_t type, BytesView payload,
+                                    std::uint16_t shard) {
   const std::uint64_t lsn = next_lsn_++;
   ByteWriter body;
   body.write_u8(type);
+  body.write_u16(shard);
   body.write_u64(lsn);
   body.write_raw(payload);
 

@@ -4,7 +4,13 @@
 //
 //   file   := magic "WWAL" (4) | version u8 | record*
 //   record := body_len u32 LE | crc32c(body) u32 LE | body
-//   body   := type u8 | lsn u64 LE | payload bytes
+//   body   := type u8 | shard u16 LE | lsn u64 LE | payload bytes
+//
+// `shard` is the relay-shard tag (format v2): owners running the sharded
+// relay stamp each record with the shard whose state it belongs to, so a
+// restart can rebuild every shard's log independently (and a reshard can
+// drop records for shards the node no longer hosts) without the owner
+// re-encoding the shard inside each payload. Unsharded owners leave it 0.
 //
 // Records carry a monotonically increasing log sequence number (LSN) that
 // survives compaction (reset() truncates the file but never rewinds the
@@ -30,6 +36,7 @@ namespace waku::persist {
 
 struct WalRecord {
   std::uint8_t type = 0;
+  std::uint16_t shard = 0;  ///< relay-shard tag; 0 for unsharded owners
   std::uint64_t lsn = 0;
   Bytes payload;
 };
@@ -49,8 +56,10 @@ class WriteAheadLog {
   /// flushed before return (the historical always-fsync behaviour); with a
   /// larger interval, up to flush_every - 1 records may sit in the stream
   /// buffer and be lost by a crash — the bounded-loss window the owner
-  /// opted into.
-  std::uint64_t append(std::uint8_t type, BytesView payload);
+  /// opted into. `shard` is the relay-shard tag carried in the record
+  /// header (0 for unsharded owners).
+  std::uint64_t append(std::uint8_t type, BytesView payload,
+                       std::uint16_t shard = 0);
 
   /// Sets the flush cadence: flush after every `n` appends (n >= 1).
   void set_flush_every(std::size_t n) { flush_every_ = n == 0 ? 1 : n; }

@@ -3,13 +3,12 @@
 #include <stdexcept>
 
 #include "common/serde.hpp"
-#include "hash/keccak256.hpp"
 
 namespace waku::rln {
 
 namespace {
 
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;  // v2: shard watermarks + Schnorr sig
 
 Bytes payload_bytes(const Checkpoint& cp) {
   ByteWriter w;
@@ -17,29 +16,23 @@ Bytes payload_bytes(const Checkpoint& cp) {
   w.write_u64(cp.event_cursor);
   w.write_u64(cp.member_count);
   w.write_u64(cp.removed_count);
-  w.write_u64(cp.nullifier_min_epoch);
+  w.write_u16(static_cast<std::uint16_t>(cp.nullifier_watermarks.size()));
+  for (const shard::ShardWatermark& wm : cp.nullifier_watermarks) {
+    w.write_u16(wm.shard);
+    w.write_u64(wm.min_epoch);
+  }
   w.write_u32(static_cast<std::uint32_t>(cp.recent_roots.size()));
   for (const Fr& root : cp.recent_roots) w.write_raw(root.to_bytes_be());
   w.write_bytes(cp.view);
   return std::move(w).take();
 }
 
-hash::Keccak256Digest mac(BytesView key, BytesView payload) {
-  // keccak(len(key) || key || payload): the sponge is not length-extendable
-  // the way Merkle-Damgård is, but the explicit length framing keeps
-  // key/payload boundaries unambiguous regardless.
-  ByteWriter w;
-  w.write_string("waku-rln-checkpoint-v1");
-  w.write_bytes(key);
-  w.write_raw(payload);
-  return hash::keccak256(w.data());
-}
-
 }  // namespace
 
 Bytes Checkpoint::serialize() const {
   Bytes out = payload_bytes(*this);
-  out.insert(out.end(), attestation.begin(), attestation.end());
+  const Bytes sig = signature.serialize();
+  out.insert(out.end(), sig.begin(), sig.end());
   return out;
 }
 
@@ -52,37 +45,50 @@ Checkpoint Checkpoint::deserialize(BytesView bytes) {
   cp.event_cursor = r.read_u64();
   cp.member_count = r.read_u64();
   cp.removed_count = r.read_u64();
-  cp.nullifier_min_epoch = r.read_u64();
+  const std::uint16_t watermark_count = r.read_u16();
+  cp.nullifier_watermarks.reserve(watermark_count);
+  for (std::uint16_t i = 0; i < watermark_count; ++i) {
+    shard::ShardWatermark wm;
+    wm.shard = r.read_u16();
+    wm.min_epoch = r.read_u64();
+    cp.nullifier_watermarks.push_back(wm);
+  }
   const std::uint32_t root_count = r.read_u32();
   cp.recent_roots.reserve(root_count);
   for (std::uint32_t i = 0; i < root_count; ++i) {
     cp.recent_roots.push_back(Fr::from_bytes_reduce(r.read_raw(32)));
   }
   cp.view = r.read_bytes();
-  const Bytes att = r.read_raw(cp.attestation.size());
-  std::copy(att.begin(), att.end(), cp.attestation.begin());
+  cp.signature = hash::schnorr::Signature::deserialize(
+      r.read_raw(hash::schnorr::Signature::kSerializedSize));
   return cp;
 }
 
-void Checkpoint::sign(BytesView key) {
-  attestation = mac(key, payload_bytes(*this));
+void Checkpoint::sign(const hash::schnorr::KeyPair& key) {
+  signature = hash::schnorr::sign(key, payload_bytes(*this));
 }
 
-bool Checkpoint::verify(BytesView key) const {
-  const hash::Keccak256Digest expected = mac(key, payload_bytes(*this));
-  return ct_equal(BytesView(expected.data(), expected.size()),
-                  BytesView(attestation.data(), attestation.size()));
+bool Checkpoint::verify(const Fr& service_pk) const {
+  return hash::schnorr::verify(service_pk, payload_bytes(*this), signature);
 }
 
-Checkpoint make_group_checkpoint(const GroupManager& group,
-                                 std::uint64_t event_cursor,
-                                 std::uint64_t nullifier_min_epoch) {
+std::optional<std::uint64_t> Checkpoint::watermark_for(
+    shard::ShardId shard) const {
+  for (const shard::ShardWatermark& wm : nullifier_watermarks) {
+    if (wm.shard == shard) return wm.min_epoch;
+  }
+  return std::nullopt;
+}
+
+Checkpoint make_group_checkpoint(
+    const GroupManager& group, std::uint64_t event_cursor,
+    std::vector<shard::ShardWatermark> watermarks) {
   const GroupCheckpoint gcp = group.export_checkpoint();
   Checkpoint cp;
   cp.event_cursor = event_cursor;
   cp.member_count = gcp.member_count;
   cp.removed_count = gcp.removed_count;
-  cp.nullifier_min_epoch = nullifier_min_epoch;
+  cp.nullifier_watermarks = std::move(watermarks);
   cp.recent_roots = gcp.recent_roots;
   cp.view = gcp.view;
   return cp;

@@ -7,19 +7,23 @@
 //
 // Contents: the group state (root window + root-tracker partial view +
 // member counters), the chain event cursor the state corresponds to, and
-// the serving peer's nullifier-log GC watermark. The attestation is a
-// keyed Keccak-256 MAC over the payload — a stand-in for a real signature
-// scheme (the simulator has no PKI); what it models is that the client
-// only accepts checkpoints from peers it exchanged a key with out of band.
-// Independent of the MAC, the client cross-checks the checkpoint against
-// the contract (member count) and against itself (view root must close the
+// the serving peer's per-shard nullifier-log GC watermarks (the sharded
+// relay keeps one log per shard; a shard-scoped bootstrap carries only the
+// subscribed shards' watermarks). The attestation is a real Schnorr
+// signature (hash/schnorr.hpp) under the service node's key: clients hold
+// only the service's *public* key, verification fails closed on any
+// payload or signature tampering, and — unlike the keyed-MAC stand-in this
+// replaced — a client can never forge an attestation itself. Independent
+// of the signature, the client cross-checks the checkpoint against the
+// contract (member count) and against itself (view root must close the
 // root window) before trusting it.
 #pragma once
 
-#include <array>
 #include <cstdint>
 
+#include "hash/schnorr.hpp"
 #include "rln/group_manager.hpp"
+#include "shard/shard_map.hpp"
 
 namespace waku::rln {
 
@@ -29,20 +33,26 @@ struct Checkpoint {
   std::uint64_t event_cursor = 0;
   std::uint64_t member_count = 0;
   std::uint64_t removed_count = 0;
-  /// Serving peer's nullifier GC watermark: epochs below this were already
-  /// expired server-side, so the client must not treat them as fresh.
-  std::uint64_t nullifier_min_epoch = 0;
+  /// Serving peer's per-shard nullifier GC watermarks, ordered by shard:
+  /// epochs below a shard's watermark were already expired server-side, so
+  /// the client must not treat them as fresh on that shard.
+  std::vector<shard::ShardWatermark> nullifier_watermarks;
   std::vector<Fr> recent_roots;  ///< oldest → newest root window
   Bytes view;                    ///< serialized root-tracker partial view
-  std::array<std::uint8_t, 32> attestation{};  ///< keyed MAC (see above)
+  hash::schnorr::Signature signature;  ///< Schnorr over the payload
 
   [[nodiscard]] Bytes serialize() const;
   static Checkpoint deserialize(BytesView bytes);
 
-  /// Computes and stores the attestation under `key`.
-  void sign(BytesView key);
-  /// True if the attestation matches `key` over the current payload.
-  [[nodiscard]] bool verify(BytesView key) const;
+  /// Signs the payload under the service node's key.
+  void sign(const hash::schnorr::KeyPair& key);
+  /// True iff the signature verifies under `service_pk` over the current
+  /// payload. Any payload or signature tampering fails.
+  [[nodiscard]] bool verify(const Fr& service_pk) const;
+
+  /// Watermark for one shard, if the checkpoint carries it.
+  [[nodiscard]] std::optional<std::uint64_t> watermark_for(
+      shard::ShardId shard) const;
 
   [[nodiscard]] GroupCheckpoint group_checkpoint() const {
     return GroupCheckpoint{member_count, removed_count, recent_roots, view};
@@ -50,8 +60,10 @@ struct Checkpoint {
 };
 
 /// Builds the unsigned checkpoint for a full peer's group state.
-Checkpoint make_group_checkpoint(const GroupManager& group,
-                                 std::uint64_t event_cursor,
-                                 std::uint64_t nullifier_min_epoch);
+/// `watermarks` is the serving peer's per-shard nullifier GC state,
+/// optionally pre-filtered to the requesting client's shard subset.
+Checkpoint make_group_checkpoint(
+    const GroupManager& group, std::uint64_t event_cursor,
+    std::vector<shard::ShardWatermark> watermarks);
 
 }  // namespace waku::rln

@@ -45,12 +45,14 @@ void GroupManager::ring_push(const Fr& r) {
   root_ring_[ring_head_] = r;
   ++root_index_[r];
   ring_head_ = (ring_head_ + 1) % root_window_;
+  ++root_version_;
 }
 
 void GroupManager::ring_clear() {
   ring_head_ = 0;
   ring_size_ = 0;
   root_index_.clear();
+  ++root_version_;
 }
 
 void GroupManager::on_event(const chain::Event& event) {

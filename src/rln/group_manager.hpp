@@ -61,6 +61,11 @@ class GroupManager {
   [[nodiscard]] bool is_recent_root(const Fr& root) const;
   /// Number of distinct roots currently held by the rolling cache.
   [[nodiscard]] std::size_t recent_root_count() const { return ring_size_; }
+  /// Monotone counter bumped whenever the root window changes. Shard-local
+  /// root caches (shard/sharded_validator.hpp) compare it to decide when
+  /// their window copy is stale — a version match makes their hot-path
+  /// root check O(1) with zero shared-state reads beyond this counter.
+  [[nodiscard]] std::uint64_t root_version() const { return root_version_; }
 
   [[nodiscard]] std::optional<std::uint64_t> own_index() const {
     return own_index_;
@@ -141,6 +146,7 @@ class GroupManager {
   std::vector<Fr> root_ring_;
   std::size_t ring_head_ = 0;  ///< next slot to overwrite
   std::size_t ring_size_ = 0;
+  std::uint64_t root_version_ = 0;  ///< bumped on every window change
   std::unordered_map<Fr, std::uint32_t, ff::FrHash> root_index_;
 };
 

@@ -52,6 +52,9 @@ void RlnHarness::run_ms(net::TimeMs duration) {
 NodeConfig RlnHarness::node_config(std::size_t i) const {
   NodeConfig nc = config_.node;
   nc.account = chain::Address::from_u64(0xACC00000 + i);
+  if (config_.shard_assignment) {
+    nc.shards.subscribe = config_.shard_assignment(i);
+  }
   if (!config_.persist_dir.empty()) {
     nc.persist_dir = config_.persist_dir + "/node" + std::to_string(i);
   }

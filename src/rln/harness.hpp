@@ -21,6 +21,12 @@ struct HarnessConfig {
   chain::Gwei deposit_gwei = 10'000'000;  ///< 0.01 ETH membership stake
   chain::Gwei initial_balance_gwei = 100 * chain::kGweiPerEth;
   NodeConfig node;                     ///< template; account/seed set per node
+  /// Per-node shard subscriptions for sharded deployments: slot i
+  /// subscribes to shard_assignment(i) (within node.shards.num_shards).
+  /// Unset, every node takes the template's subscription set. Applied
+  /// identically on construction and restart, so a restarted node rejoins
+  /// exactly its old shards.
+  std::function<std::vector<shard::ShardId>(std::size_t)> shard_assignment;
   std::uint64_t seed = 42;
   /// Base directory for per-node durable state: node i persists under
   /// `<persist_dir>/node<i>`. Empty keeps every node ephemeral.

@@ -8,7 +8,13 @@ namespace waku::rln {
 
 RlnFullServiceNode::RlnFullServiceNode(net::Network& network,
                                        WakuRlnRelayNode& node)
-    : network_(network), node_(node), id_(network.add_node(this)) {
+    : network_(network),
+      node_(node),
+      id_(network.add_node(this)),
+      // Default: the well-known development key — a real signing key, but
+      // one every simulation participant can derive. Deployments call
+      // set_checkpoint_signer with their own.
+      checkpoint_key_(hash::schnorr::keygen_from_seed(0)) {
   WAKU_EXPECTS(node.group().mode() == TreeMode::kFullTree);
 }
 
@@ -30,6 +36,18 @@ void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
     }
     case LightFrame::kCheckpointReq: {
       ++checkpoint_requests_;
+      // Shard-scoped request: the client names its subscribed shards so
+      // the served checkpoint carries only those shards' watermarks. A
+      // malformed/absent list degrades to "all hosted shards".
+      std::vector<shard::ShardId> requested;
+      try {
+        const std::uint16_t count = r.read_u16();
+        for (std::uint16_t i = 0; i < count; ++i) {
+          requested.push_back(r.read_u16());
+        }
+      } catch (const std::exception&) {
+        requested.clear();
+      }
       ByteWriter w;
       w.write_u8(static_cast<std::uint8_t>(LightFrame::kCheckpointResp));
       // The constructor requires a full-tree node, but a durable node can
@@ -38,7 +56,7 @@ void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
       // refusal is an empty body (fails checkpoint parsing client-side)
       // rather than silence, so the client's bootstrap callback fires.
       if (node_.group().mode() == TreeMode::kFullTree) {
-        Checkpoint checkpoint = node_.make_checkpoint();
+        Checkpoint checkpoint = node_.make_checkpoint(requested);
         checkpoint.sign(checkpoint_key_);
         w.write_bytes(checkpoint.serialize());
       } else {
@@ -52,16 +70,24 @@ void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
       bool accepted = false;
       try {
         msg = WakuMessage::deserialize(r.read_bytes());
-        // The service vouches for what it relays: run the full RLN
-        // pipeline (a window of one) before pushing into the mesh.
-        const ValidationOutcome outcome = node_.pipeline().validate_one(
-            msg, network_.local_time(node_.node_id()));
-        accepted = outcome.verdict == Verdict::kAccept;
+        // The service vouches for what it relays: run the message's
+        // shard's full RLN pipeline (a window of one) before pushing into
+        // that shard's mesh. Pushes for shards this node does not host
+        // are refused — it has no nullifier log to enforce them against.
+        const shard::ShardId shard =
+            node_.validator().shard_of(msg.content_topic);
+        if (node_.validator().subscribes(shard)) {
+          const ValidationOutcome outcome =
+              node_.validator().pipeline(shard).validate_one(
+                  msg, network_.local_time(node_.node_id()));
+          accepted = outcome.verdict == Verdict::kAccept;
+        }
       } catch (const std::exception&) {
         accepted = false;
       }
       if (accepted) {
-        node_.relay().publish(msg);
+        node_.relay().publish_on(node_.shard_topic_for(msg.content_topic),
+                                 msg);
         ++pushes_accepted_;
       } else {
         ++pushes_rejected_;
@@ -79,11 +105,12 @@ void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
 
 RlnLightClient::RlnLightClient(net::Network& network, Identity identity,
                                std::uint64_t member_index, EpochConfig epoch,
-                               std::uint64_t seed)
+                               std::uint64_t seed, shard::ShardConfig shards)
     : network_(network),
       identity_(identity),
       member_index_(member_index),
       epoch_(epoch),
+      shards_config_(std::move(shards)),
       rng_(seed),
       id_(network.add_node(this)) {}
 
@@ -95,10 +122,10 @@ RlnLightClient::~RlnLightClient() {
 
 void RlnLightClient::attach_chain(chain::Blockchain& chain,
                                   chain::Address contract,
-                                  Bytes checkpoint_key) {
+                                  const Fr& service_pk) {
   chain_ = &chain;
   contract_ = contract;
-  checkpoint_key_ = std::move(checkpoint_key);
+  service_pk_ = service_pk;
 }
 
 void RlnLightClient::bootstrap(net::NodeId service, BootstrapResult done) {
@@ -106,17 +133,31 @@ void RlnLightClient::bootstrap(net::NodeId service, BootstrapResult done) {
   pending_bootstraps_.push_back(std::move(done));
   ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(LightFrame::kCheckpointReq));
+  // Shard-scoped: request only our subscription set's watermarks.
+  const std::vector<shard::ShardId> subscribed =
+      shards_config_.subscribed_shards();
+  w.write_u16(static_cast<std::uint16_t>(subscribed.size()));
+  for (const shard::ShardId shard : subscribed) w.write_u16(shard);
   network_.send(id_, service, std::move(w).take());
 }
 
 bool RlnLightClient::adopt_checkpoint(const Checkpoint& checkpoint) {
   // An unsolicited kCheckpointResp can arrive before attach_chain(): with
-  // no chain to cross-check against there is nothing to adopt (and the
-  // empty default key would let anyone forge the attestation anyway).
+  // no chain to cross-check against there is nothing to adopt (and with no
+  // service key on file the signature cannot be judged anyway).
   if (chain_ == nullptr) return false;
-  // 1. Attestation: the serving peer must hold the key we were given out
-  //    of band.
-  if (!checkpoint.verify(checkpoint_key_)) return false;
+  // 1. Attestation: a real Schnorr signature under the service's public
+  //    key. Fail-closed on any payload or signature tampering.
+  if (!checkpoint.verify(service_pk_)) return false;
+  // 1b. Shard scope: every shard we subscribe to must come with the
+  //     serving log's GC watermark — without it we cannot know which old
+  //     epochs that shard already expired, so adopt nothing.
+  std::vector<shard::ShardWatermark> watermarks;
+  for (const shard::ShardId shard : shards_config_.subscribed_shards()) {
+    const std::optional<std::uint64_t> wm = checkpoint.watermark_for(shard);
+    if (!wm.has_value()) return false;
+    watermarks.push_back(shard::ShardWatermark{shard, *wm});
+  }
   // 2. Internal consistency: the view's root must close the root window
   //    (from_checkpoint enforces this; a mismatch throws).
   // 3. Contract cross-check, both directions: the member counter the
@@ -143,13 +184,12 @@ bool RlnLightClient::adopt_checkpoint(const Checkpoint& checkpoint) {
         GroupManager::from_checkpoint(checkpoint.group_checkpoint());
 
     installing = true;
-    pipeline_.reset();
+    validator_.reset();
     group_.emplace(std::move(group));
-    pipeline_.emplace(
-        zksnark::rln_keypair(group_->depth()).vk, *group_,
-        ValidatorConfig{epoch_, /*max_epoch_gap=*/2},
-        rng_.next_u64());
-    pipeline_->seed_nullifier_watermark(checkpoint.nullifier_min_epoch);
+    validator_.emplace(zksnark::rln_keypair(group_->depth()).vk, *group_,
+                       ValidatorConfig{epoch_, /*max_epoch_gap=*/2},
+                       shards_config_, rng_.next_u64());
+    validator_->seed_nullifier_watermarks(watermarks);
 
     // Resume the contract event stream where the checkpoint left off —
     // this is the whole point: O(log N) transferred, zero genesis replay.
@@ -170,7 +210,7 @@ bool RlnLightClient::adopt_checkpoint(const Checkpoint& checkpoint) {
     if (installing) {
       // Partially-installed state (e.g. the event replay rejected the
       // checkpoint's view) is unusable — tear it down.
-      pipeline_.reset();
+      validator_.reset();
       group_.reset();
     }
     return false;
@@ -179,8 +219,10 @@ bool RlnLightClient::adopt_checkpoint(const Checkpoint& checkpoint) {
 
 ValidationOutcome RlnLightClient::validate(const WakuMessage& message,
                                            std::uint64_t local_now_ms) {
-  WAKU_EXPECTS(pipeline_.has_value());
-  return pipeline_->validate_one(message, local_now_ms);
+  WAKU_EXPECTS(validator_.has_value());
+  const shard::ShardId shard = validator_->shard_of(message.content_topic);
+  WAKU_EXPECTS(validator_->subscribes(shard));
+  return validator_->pipeline(shard).validate_one(message, local_now_ms);
 }
 
 void RlnLightClient::publish(net::NodeId service, Bytes payload,

@@ -11,11 +11,17 @@
 // client-side so the sk never leaves the device.
 //
 // Checkpoint bootstrap (rln/checkpoint.hpp): instead of replaying the
-// contract event stream from genesis, a joining client fetches a signed
-// O(log N) checkpoint (root window + root-tracker view + event cursor +
-// nullifier watermark) from a full peer, verifies it, and becomes a
+// contract event stream from genesis, a joining client fetches a
+// Schnorr-signed O(log N) checkpoint (root window + root-tracker view +
+// event cursor + per-shard nullifier watermarks) from a full peer,
+// verifies it against the service's *public* key, and becomes a
 // *validating* light peer immediately — it follows the event stream from
-// the checkpoint's cursor and runs the full RLN pipeline on live traffic.
+// the checkpoint's cursor and runs the full per-shard RLN pipeline on live
+// traffic. The bootstrap is shard-scoped: the request names the client's
+// subscribed shards and the served checkpoint carries only those shards'
+// nullifier watermarks; a checkpoint missing a subscribed shard's
+// watermark is rejected fail-closed (the client cannot know which old
+// epochs that shard's serving log already expired).
 #pragma once
 
 #include <functional>
@@ -35,13 +41,13 @@ enum class LightFrame : std::uint8_t {
   kTreeResp = 2,       // root(32) u64 count, path
   kPushReq = 3,        // serialized WakuMessage
   kPushResp = 4,       // u8 accepted
-  kCheckpointReq = 5,  // (empty)
+  kCheckpointReq = 5,  // u16 shard count, u16 shard ids (empty = all)
   kCheckpointResp = 6, // serialized signed Checkpoint
 };
 
 /// Service half: answers tree-sync queries from the node's full
 /// GroupManager and lightpush requests via the node's relay (after running
-/// the pushed message through the node's own RLN validation).
+/// the pushed message through the node's own shard-scoped RLN validation).
 class RlnFullServiceNode : public net::NetNode {
  public:
   /// `node` must run a kFullTree group manager and outlive the service.
@@ -49,10 +55,15 @@ class RlnFullServiceNode : public net::NetNode {
 
   void on_message(net::NodeId from, BytesView payload) override;
 
-  /// Key used to attest served checkpoints (shared with clients out of
-  /// band; see checkpoint.hpp for what the MAC stands in for). Unset, the
-  /// service still serves checkpoints, attested under the empty key.
-  void set_checkpoint_key(Bytes key) { checkpoint_key_ = std::move(key); }
+  /// Key whose secret half signs served checkpoints; clients verify with
+  /// the public half (distributed out of band — the PKI stand-in is the
+  /// distribution, not the signature, which is a real Schnorr scheme).
+  /// Unset, checkpoints are signed under the well-known development key
+  /// (hash::schnorr::keygen_from_seed(0)).
+  void set_checkpoint_signer(hash::schnorr::KeyPair key) {
+    checkpoint_key_ = std::move(key);
+  }
+  [[nodiscard]] const Fr& checkpoint_pk() const { return checkpoint_key_.pk; }
 
   [[nodiscard]] net::NodeId node_id() const { return id_; }
   [[nodiscard]] std::uint64_t tree_requests() const { return tree_requests_; }
@@ -70,7 +81,7 @@ class RlnFullServiceNode : public net::NetNode {
   net::Network& network_;
   WakuRlnRelayNode& node_;
   net::NodeId id_;
-  Bytes checkpoint_key_;
+  hash::schnorr::KeyPair checkpoint_key_;
   std::uint64_t tree_requests_ = 0;
   std::uint64_t checkpoint_requests_ = 0;
   std::uint64_t pushes_accepted_ = 0;
@@ -84,9 +95,12 @@ class RlnLightClient : public net::NetNode {
   /// Called when the service acknowledges (or refuses) a push.
   using PushResult = std::function<void(bool accepted)>;
 
+  /// `shards` scopes the client to a shard subset (validators and
+  /// checkpoint watermarks are built only for its subscription set); the
+  /// default single-shard config reproduces the unsharded behaviour.
   RlnLightClient(net::Network& network, Identity identity,
                  std::uint64_t member_index, EpochConfig epoch,
-                 std::uint64_t seed);
+                 std::uint64_t seed, shard::ShardConfig shards = {});
   ~RlnLightClient() override;
 
   /// Fetches a fresh path from `service`, builds the proof bundle locally,
@@ -99,19 +113,20 @@ class RlnLightClient : public net::NetNode {
   using BootstrapResult = std::function<void(bool ok)>;
 
   /// Attaches the chain the checkpoint is cross-checked against and the
-  /// key the serving peer's attestation must verify under. Call before
-  /// bootstrap().
+  /// service public key its Schnorr attestation must verify under. Call
+  /// before bootstrap().
   void attach_chain(chain::Blockchain& chain, chain::Address contract,
-                    Bytes checkpoint_key);
+                    const Fr& service_pk);
 
-  /// Requests a signed checkpoint from `service`. On a verified response
-  /// the client builds an O(log N) root-tracking group view, subscribes to
-  /// the contract event stream from the checkpoint's cursor, and becomes
-  /// able to validate() live traffic. `done` fires with the outcome; a
-  /// response failing verification leaves the client un-bootstrapped.
+  /// Requests a signed checkpoint (scoped to this client's subscribed
+  /// shards) from `service`. On a verified response the client builds an
+  /// O(log N) root-tracking group view, subscribes to the contract event
+  /// stream from the checkpoint's cursor, and becomes able to validate()
+  /// live traffic on its shards. `done` fires with the outcome; a response
+  /// failing verification leaves the client un-bootstrapped.
   void bootstrap(net::NodeId service, BootstrapResult done = nullptr);
 
-  [[nodiscard]] bool bootstrapped() const { return pipeline_.has_value(); }
+  [[nodiscard]] bool bootstrapped() const { return validator_.has_value(); }
 
   /// Freshness tolerance for served checkpoints: a checkpoint whose member
   /// count lags the contract's by more than this many registrations is
@@ -126,13 +141,17 @@ class RlnLightClient : public net::NetNode {
     return stale_checkpoints_rejected_;
   }
 
-  /// Runs the full RLN validation pipeline on a live message (requires
-  /// bootstrapped()).
+  /// Runs the full RLN validation pipeline of the message's shard on a
+  /// live message (requires bootstrapped() and a subscribed shard).
   ValidationOutcome validate(const WakuMessage& message,
                              std::uint64_t local_now_ms);
 
   /// The bootstrapped group view (requires bootstrapped()).
   [[nodiscard]] const GroupManager& light_group() const { return *group_; }
+  /// The bootstrapped per-shard validator (requires bootstrapped()).
+  [[nodiscard]] const shard::ShardedValidator& light_validator() const {
+    return *validator_;
+  }
   /// Event cursor the bootstrap started from (0 before bootstrap).
   [[nodiscard]] std::uint64_t bootstrap_cursor() const {
     return bootstrap_cursor_;
@@ -163,6 +182,7 @@ class RlnLightClient : public net::NetNode {
   Identity identity_;
   std::uint64_t member_index_;
   EpochConfig epoch_;
+  shard::ShardConfig shards_config_;
   Rng rng_;
   net::NodeId id_;
   std::vector<PendingPublish> pending_;
@@ -170,14 +190,14 @@ class RlnLightClient : public net::NetNode {
   std::uint64_t published_ = 0;
   std::uint64_t acked_ = 0;
 
-  // Checkpoint bootstrap state. `group_` must outlive `pipeline_` (the
-  // pipeline holds a reference); both are torn down together.
+  // Checkpoint bootstrap state. `group_` must outlive `validator_` (the
+  // per-shard pipelines hold references); both are torn down together.
   chain::Blockchain* chain_ = nullptr;
   chain::Address contract_;
-  Bytes checkpoint_key_;
+  Fr service_pk_;
   std::vector<BootstrapResult> pending_bootstraps_;
   std::optional<GroupManager> group_;
-  std::optional<ValidationPipeline> pipeline_;
+  std::optional<shard::ShardedValidator> validator_;
   std::optional<std::uint64_t> chain_subscription_;
   std::uint64_t bootstrap_cursor_ = 0;
   std::uint64_t events_applied_ = 0;

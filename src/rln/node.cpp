@@ -44,10 +44,11 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       identity_(Identity::generate(rng_)),
       relay_(network, config.gossip, config.score, seed),
       group_(config.tree_depth, config.tree_mode),
-      // Per-node seed for the batch verifier's RLC weights: senders must
-      // not be able to predict another node's weight stream.
-      validator_(zksnark::rln_keypair(config.tree_depth).vk, group_,
-                 config.validator, seed ^ 0x52C4A55E9D1ULL) {
+      // Per-node seed for the batch verifiers' RLC weights (further
+      // diversified per shard inside ShardedValidator): senders must not
+      // be able to predict another node's weight stream.
+      shards_(zksnark::rln_keypair(config.tree_depth).vk, group_,
+              config.validator, config.shards, seed ^ 0x52C4A55E9D1ULL) {
   group_.set_own_identity(identity_);
 
   if (!config_.persist_dir.empty()) {
@@ -62,34 +63,38 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       throw;
     }
     state_store_->set_snapshot_provider([this] { return serialize_state(); });
-    // Observed shares exist only in transit — journal them the moment the
-    // pipeline records one, so a crash cannot blind us to double-signals.
-    pipeline().set_observe_hook([this](std::uint64_t epoch,
-                                       const Fr& nullifier,
-                                       const sss::Share& share,
-                                       std::uint64_t proof_fp) {
+    // Observed shares exist only in transit — journal them (under the
+    // owning shard's WAL tag) the moment any shard's pipeline records one,
+    // so a crash cannot blind us to double-signals on any shard.
+    shards_.set_observe_hook([this](shard::ShardId shard, std::uint64_t epoch,
+                                    const Fr& nullifier,
+                                    const sss::Share& share,
+                                    std::uint64_t proof_fp) {
       ByteWriter w;
       w.write_u64(epoch);
       w.write_raw(nullifier.to_bytes_be());
       w.write_raw(share.x.to_bytes_be());
       w.write_raw(share.y.to_bytes_be());
       w.write_u64(proof_fp);
-      journal(WalTag::kNullifier, w.data());
+      journal(WalTag::kNullifier, w.data(), shard);
     });
   }
 }
 
-void WakuRlnRelayNode::start() {
-  started_ = true;
-  // All relayed traffic funnels through the staged validation pipeline;
-  // with gossip validation batching enabled, whole windows share one
-  // RLC-aggregated Groth16 check.
-  relay_.set_batch_validator(
-      [this](const std::vector<net::NodeId>&,
-             const std::vector<net::TimeMs>& received_at,
-             const std::vector<WakuMessage>& messages) {
+void WakuRlnRelayNode::wire_shard(shard::ShardId shard) {
+  const std::string topic = shards_.map().pubsub_topic(shard);
+  // All relayed traffic on this shard funnels through the shard's own
+  // staged validation pipeline; with gossip validation batching enabled,
+  // whole windows share one RLC-aggregated Groth16 check. Windows are
+  // per-topic in the router, so one shard's backlog never delays another
+  // shard's flush.
+  relay_.set_batch_validator_topic(
+      topic,
+      [this, shard](const std::vector<net::NodeId>&,
+                    const std::vector<net::TimeMs>& received_at,
+                    const std::vector<WakuMessage>& messages) {
         const std::vector<ValidationOutcome> outcomes =
-            validator_.validate_batch(messages, received_at);
+            shards_.pipeline(shard).validate_batch(messages, received_at);
         std::vector<ValidationResult> results;
         results.reserve(outcomes.size());
         for (const ValidationOutcome& outcome : outcomes) {
@@ -129,13 +134,21 @@ void WakuRlnRelayNode::start() {
         return results;
       });
 
-  relay_.subscribe([this](const WakuMessage& msg) {
+  relay_.subscribe_topic(topic, [this](const WakuMessage& msg) {
     ++stats_.delivered;
     if (config_.enable_store) {
       store_.archive(msg, network_.sim().now());
     }
     if (handler_) handler_(msg);
   });
+}
+
+void WakuRlnRelayNode::start() {
+  started_ = true;
+  // One gossipsub mesh + validator per subscribed shard.
+  for (const shard::ShardId shard : shards_.subscribed()) {
+    wire_shard(shard);
+  }
 
   // Durable nodes resume the contract event stream from their replay
   // cursor (everything older is already folded into the restored state);
@@ -149,11 +162,11 @@ void WakuRlnRelayNode::start() {
   chain_subscription_ = chain_.subscribe_events(
       [this](const chain::Event& ev) { handle_chain_event(ev); });
 
-  // Periodic upkeep: nullifier-log GC and pending-slash expiry, once per
-  // epoch.
+  // Periodic upkeep: per-shard nullifier-log GC and pending-slash expiry,
+  // once per epoch.
   upkeep_task_ = network_.sim().schedule_every(
       config_.validator.epoch.epoch_length_ms, [this] {
-        validator_.gc(network_.local_time(node_id()));
+        shards_.gc(network_.local_time(node_id()));
         expire_pending_slashes();
       });
 
@@ -220,19 +233,30 @@ WakuMessage WakuRlnRelayNode::build_message(Bytes payload,
 WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
     Bytes payload, const std::string& content_topic) {
   if (!is_registered()) return PublishStatus::kNotRegistered;
-  const std::uint64_t epoch = current_epoch();
-  if (last_published_epoch_.has_value() && *last_published_epoch_ == epoch) {
-    ++stats_.publish_rate_limited;
-    return PublishStatus::kRateLimited;  // honest 1-message-per-epoch limit
+  const shard::ShardId shard = shards_.shard_of(content_topic);
+  if (!shards_.subscribes(shard)) {
+    ++stats_.publish_wrong_shard;
+    return PublishStatus::kShardNotSubscribed;
   }
-  last_published_epoch_ = epoch;
+  const std::uint64_t epoch = current_epoch();
+  // The honest quota is per (epoch, shard): shard-scoped nullifier logs
+  // make shards independent rate-limit domains, so a publisher active on
+  // two shards is not equivocating.
+  const auto it = last_published_epoch_.find(shard);
+  if (it != last_published_epoch_.end() && it->second == epoch) {
+    ++stats_.publish_rate_limited;
+    return PublishStatus::kRateLimited;  // honest 1-per-epoch-per-shard limit
+  }
+  last_published_epoch_[shard] = epoch;
   // Journaled before the message leaves: a node that crashes after
   // publishing and forgets it published would double-signal against
-  // itself on restart — and forfeit its own stake.
+  // itself on restart — and forfeit its own stake. Shard-tagged so the
+  // restart rebuilds the per-shard quota map.
   ByteWriter w;
   w.write_u64(epoch);
-  journal(WalTag::kOwnPublish, w.data());
-  relay_.publish(build_message(std::move(payload), content_topic, epoch));
+  journal(WalTag::kOwnPublish, w.data(), shard);
+  relay_.publish_on(shards_.map().pubsub_topic(shard),
+                    build_message(std::move(payload), content_topic, epoch));
   ++stats_.published;
   return PublishStatus::kOk;
 }
@@ -240,15 +264,19 @@ WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
 WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::force_publish(
     Bytes payload, const std::string& content_topic) {
   if (!is_registered()) return PublishStatus::kNotRegistered;
-  relay_.publish(
+  const shard::ShardId shard = shards_.shard_of(content_topic);
+  relay_.publish_on(
+      shards_.map().pubsub_topic(shard),
       build_message(std::move(payload), content_topic, current_epoch()));
   ++stats_.published;
   return PublishStatus::kOk;
 }
 
-void WakuRlnRelayNode::publish_with_invalid_proof(Bytes payload) {
+void WakuRlnRelayNode::publish_with_invalid_proof(
+    Bytes payload, const std::string& content_topic) {
   WakuMessage msg;
   msg.payload = std::move(payload);
+  msg.content_topic = content_topic;
   msg.timestamp_ms = network_.local_time(node_id());
 
   RateLimitProof junk;
@@ -260,13 +288,15 @@ void WakuRlnRelayNode::publish_with_invalid_proof(Bytes payload) {
   const Bytes garbage = rng_.next_bytes(zksnark::Proof::kSerializedSize);
   junk.proof = zksnark::Proof::deserialize(garbage);
   attach_proof(msg, junk);
-  relay_.publish(msg);
+  relay_.publish_on(shard_topic_for(content_topic), msg);
   ++stats_.published;
 }
 
-void WakuRlnRelayNode::publish_with_stale_root(Bytes payload) {
+void WakuRlnRelayNode::publish_with_stale_root(
+    Bytes payload, const std::string& content_topic) {
   WakuMessage msg;
   msg.payload = std::move(payload);
+  msg.content_topic = content_topic;
   msg.timestamp_ms = network_.local_time(node_id());
 
   RateLimitProof bundle;
@@ -280,31 +310,31 @@ void WakuRlnRelayNode::publish_with_stale_root(Bytes payload) {
   const Bytes garbage = rng_.next_bytes(zksnark::Proof::kSerializedSize);
   bundle.proof = zksnark::Proof::deserialize(garbage);
   attach_proof(msg, bundle);
-  relay_.publish(msg);
+  relay_.publish_on(shard_topic_for(content_topic), msg);
   ++stats_.published;
 }
 
 bool WakuRlnRelayNode::force_publish_split(Bytes payload_a, Bytes payload_b) {
   if (!is_registered()) return false;
-  // Disjoint targets: prefer the mesh (that is who would relay), fall back
-  // to raw neighbors before the mesh has formed.
-  std::vector<net::NodeId> peers =
-      relay_.router().mesh_peers(relay_.pubsub_topic());
+  // Disjoint targets on the default content topic's shard: prefer that
+  // shard's mesh (that is who would relay), fall back to raw neighbors
+  // before the mesh has formed.
+  const std::string topic = shard_topic_for(kDefaultContentTopic);
+  std::vector<net::NodeId> peers = relay_.router().mesh_peers(topic);
   if (peers.size() < 2) peers = network_.neighbors(node_id());
   if (peers.size() < 2) return false;
 
   const std::uint64_t epoch = current_epoch();
   const WakuMessage msg_a =
-      build_message(std::move(payload_a), "/waku/2/default-content/proto",
-                    epoch);
+      build_message(std::move(payload_a), kDefaultContentTopic, epoch);
   const WakuMessage msg_b =
-      build_message(std::move(payload_b), "/waku/2/default-content/proto",
-                    epoch);
+      build_message(std::move(payload_b), kDefaultContentTopic, epoch);
   const std::size_t half = peers.size() / 2;
-  relay_.publish_to(msg_a,
-                    std::span<const net::NodeId>(peers.data(), half));
-  relay_.publish_to(msg_b, std::span<const net::NodeId>(peers.data() + half,
-                                                        peers.size() - half));
+  relay_.publish_to_on(topic, msg_a,
+                       std::span<const net::NodeId>(peers.data(), half));
+  relay_.publish_to_on(topic, msg_b,
+                       std::span<const net::NodeId>(peers.data() + half,
+                                                    peers.size() - half));
   stats_.published += 2;
   return true;
 }
@@ -427,9 +457,10 @@ void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
 
 // -- Durable state -----------------------------------------------------------
 
-void WakuRlnRelayNode::journal(WalTag tag, BytesView payload) {
+void WakuRlnRelayNode::journal(WalTag tag, BytesView payload,
+                               std::uint16_t shard) {
   if (state_store_.has_value()) {
-    state_store_->append(static_cast<std::uint8_t>(tag), payload);
+    state_store_->append(static_cast<std::uint8_t>(tag), payload, shard);
   }
 }
 
@@ -439,7 +470,7 @@ void WakuRlnRelayNode::force_snapshot() {
 
 Bytes WakuRlnRelayNode::serialize_state() const {
   ByteWriter w;
-  w.write_u8(2);  // version
+  w.write_u8(3);  // version 3: per-shard pipelines + per-shard quota map
   // The identity secret rides in the snapshot so a restart is
   // self-contained. With keystore_password set it travels sealed under the
   // ChaCha20-Poly1305 keystore (rln/keystore.hpp) — leaking a snapshot
@@ -462,11 +493,20 @@ Bytes WakuRlnRelayNode::serialize_state() const {
   // the credential above is its only (encrypted) carrier.
   w.write_bytes(group_.serialize(
       /*include_identity=*/config_.keystore_password.empty()));
-  w.write_bytes(validator_.pipeline().serialize_state());
-  w.write_u8(last_published_epoch_.has_value() ? 1 : 0);
-  w.write_u64(last_published_epoch_.value_or(0));
+  w.write_bytes(shards_.serialize_state());
+  // Per-shard honest-quota map, sorted by shard so identical states
+  // serialize byte-identically (restart tests assert on it).
+  std::vector<std::pair<shard::ShardId, std::uint64_t>> quota(
+      last_published_epoch_.begin(), last_published_epoch_.end());
+  std::sort(quota.begin(), quota.end());
+  w.write_u16(static_cast<std::uint16_t>(quota.size()));
+  for (const auto& [shard, epoch] : quota) {
+    w.write_u16(shard);
+    w.write_u64(epoch);
+  }
   w.write_u64(stats_.published);
   w.write_u64(stats_.publish_rate_limited);
+  w.write_u64(stats_.publish_wrong_shard);
   w.write_u64(stats_.delivered);
   w.write_u64(stats_.slash_commits);
   w.write_u64(stats_.slash_reveals);
@@ -486,7 +526,7 @@ Bytes WakuRlnRelayNode::serialize_state() const {
 
 void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
   ByteReader r(payload);
-  WAKU_EXPECTS(r.read_u8() == 2);
+  WAKU_EXPECTS(r.read_u8() == 3);
   const std::uint8_t sealed = r.read_u8();
   if (sealed == 0) {
     identity_ = Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
@@ -511,15 +551,18 @@ void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
     // identity (the restored own_index is kept as-is).
     group_.set_own_identity(identity_);
   }
-  const Bytes pipeline_bytes = r.read_bytes();
-  validator_.pipeline().restore_state(pipeline_bytes);
-  const bool has_last_published = r.read_u8() != 0;
-  const std::uint64_t last_published = r.read_u64();
-  last_published_epoch_.reset();
-  if (has_last_published) last_published_epoch_ = last_published;
+  const Bytes shards_bytes = r.read_bytes();
+  shards_.restore_state(shards_bytes);
+  last_published_epoch_.clear();
+  const std::uint16_t quota_count = r.read_u16();
+  for (std::uint16_t i = 0; i < quota_count; ++i) {
+    const shard::ShardId shard = r.read_u16();
+    last_published_epoch_[shard] = r.read_u64();
+  }
   stats_ = NodeStats{};
   stats_.published = r.read_u64();
   stats_.publish_rate_limited = r.read_u64();
+  stats_.publish_wrong_shard = r.read_u64();
   stats_.delivered = r.read_u64();
   stats_.slash_commits = r.read_u64();
   stats_.slash_reveals = r.read_u64();
@@ -542,6 +585,7 @@ void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
 }
 
 void WakuRlnRelayNode::apply_wal_record(std::uint8_t type,
+                                        std::uint16_t shard,
                                         BytesView payload) {
   ByteReader r(payload);
   switch (static_cast<WalTag>(type)) {
@@ -552,7 +596,9 @@ void WakuRlnRelayNode::apply_wal_record(std::uint8_t type,
       share.x = Fr::from_bytes_reduce(r.read_raw(32));
       share.y = Fr::from_bytes_reduce(r.read_raw(32));
       const std::uint64_t proof_fp = r.read_u64();
-      pipeline().inject_observation(epoch, nullifier, share, proof_fp);
+      // Routed by the record's shard tag into that shard's log; records
+      // for shards this node no longer hosts are dropped inside.
+      shards_.inject_observation(shard, epoch, nullifier, share, proof_fp);
       break;
     }
     case WalTag::kSlashCommit: {
@@ -582,7 +628,7 @@ void WakuRlnRelayNode::apply_wal_record(std::uint8_t type,
       break;
     }
     case WalTag::kOwnPublish:
-      last_published_epoch_ = r.read_u64();
+      last_published_epoch_[shard] = r.read_u64();
       break;
   }
 }
@@ -594,14 +640,23 @@ void WakuRlnRelayNode::restore_from_store() {
   // WAL records postdate the snapshot; chain events from the cursor are
   // replayed later (in start()), after which a restored pending slash can
   // meet its SlashCommitted event and resume the reveal.
-  state_store_->replay_wal([this](std::uint8_t type, BytesView payload) {
-    apply_wal_record(type, payload);
-  });
+  state_store_->replay_wal(
+      [this](std::uint8_t type, std::uint16_t shard, BytesView payload) {
+        apply_wal_record(type, shard, payload);
+      });
 }
 
-Checkpoint WakuRlnRelayNode::make_checkpoint() const {
-  return make_group_checkpoint(group_, event_cursor_,
-                               validator_.log().stats().min_epoch);
+Checkpoint WakuRlnRelayNode::make_checkpoint(
+    std::span<const shard::ShardId> shards) const {
+  std::vector<shard::ShardWatermark> watermarks =
+      shards_.nullifier_watermarks();
+  if (!shards.empty()) {
+    std::erase_if(watermarks, [&shards](const shard::ShardWatermark& wm) {
+      return std::find(shards.begin(), shards.end(), wm.shard) ==
+             shards.end();
+    });
+  }
+  return make_group_checkpoint(group_, event_cursor_, std::move(watermarks));
 }
 
 }  // namespace waku::rln

@@ -1,18 +1,26 @@
 // WakuRlnRelayNode: a complete WAKU-RLN-RELAY peer (paper §III).
 //
 // Composition per the paper's architecture:
-//   * WAKU-RELAY transport (gossipsub mesh) for messages;
+//   * WAKU-RELAY transport (gossipsub meshes) for messages — one mesh per
+//     subscribed relay shard (src/shard): content topics map
+//     deterministically onto shard-qualified pubsub topics;
 //   * membership via the on-chain contract (registration, §III-B);
-//   * local identity-commitment tree synced from contract events (§III-C);
+//   * local identity-commitment tree synced from contract events (§III-C),
+//     shared across shards — membership is global;
 //   * epoch-based external nullifier (§III-D);
 //   * proof-bundle generation on publish (§III-E);
 //   * routing-time validation, nullifier log, and slashing with
-//     commit-reveal on double-signals (§III-F);
+//     commit-reveal on double-signals (§III-F) — enforced PER SHARD: each
+//     subscribed shard runs its own staged ValidationPipeline (own
+//     nullifier log, own rolling root cache, own batch windows), so the
+//     rate-limit domain is (member, epoch, shard) and a flood on one
+//     shard cannot delay validation on another;
 //   * optional 13/WAKU2-STORE archive;
 //   * optional durable state (src/persist): WAL + snapshots so a restart
-//     restores the tree, root window, nullifier log, rate-limit state, and
-//     in-flight commit-reveal slashes, then resumes the contract event
-//     stream from a replay cursor instead of genesis.
+//     restores the tree, root window, per-shard nullifier logs (WAL
+//     records are shard-tagged), rate-limit state, and in-flight
+//     commit-reveal slashes, then resumes the contract event stream from a
+//     replay cursor instead of genesis.
 //
 // Attacker hooks (force_publish / publish_with_invalid_proof) exist so the
 // spam experiments can drive misbehaving-but-registered peers through the
@@ -23,6 +31,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "chain/blockchain.hpp"
@@ -32,10 +41,15 @@
 #include "rln/group_manager.hpp"
 #include "rln/identity.hpp"
 #include "rln/validator.hpp"
+#include "shard/sharded_validator.hpp"
 #include "waku/relay.hpp"
 #include "waku/store.hpp"
 
 namespace waku::rln {
+
+/// Default content topic of honest publishes.
+inline const std::string kDefaultContentTopic =
+    "/waku/2/default-content/proto";
 
 struct NodeConfig {
   std::size_t tree_depth = 20;
@@ -45,6 +59,11 @@ struct NodeConfig {
   bool enable_store = false;   ///< archive delivered messages (WAKU2-STORE)
   gossipsub::GossipSubConfig gossip;
   gossipsub::PeerScoreConfig score;
+
+  /// Relay sharding layout plus this node's subscription subset. The
+  /// default (1 shard, subscribe-all) reproduces the paper's single
+  /// global mesh and rate-limit domain exactly.
+  shard::ShardConfig shards;
 
   /// Durable-state directory; empty keeps the node fully ephemeral (the
   /// pre-persistence behaviour). With a directory set, the node opens a
@@ -67,6 +86,7 @@ struct NodeConfig {
 struct NodeStats {
   std::uint64_t published = 0;
   std::uint64_t publish_rate_limited = 0;  ///< honest self-throttle hits
+  std::uint64_t publish_wrong_shard = 0;   ///< publishes on unhosted shards
   std::uint64_t delivered = 0;
   std::uint64_t slash_commits = 0;
   std::uint64_t slash_reveals = 0;
@@ -76,7 +96,12 @@ struct NodeStats {
 
 class WakuRlnRelayNode {
  public:
-  enum class PublishStatus { kOk, kNotRegistered, kRateLimited };
+  enum class PublishStatus {
+    kOk,
+    kNotRegistered,
+    kRateLimited,
+    kShardNotSubscribed,  ///< content topic maps to a shard we don't host
+  };
 
   using MessageHandler = std::function<void(const WakuMessage&)>;
 
@@ -84,9 +109,10 @@ class WakuRlnRelayNode {
                    chain::Address contract, NodeConfig config,
                    std::uint64_t seed);
 
-  /// Installs the validator, subscribes to the relay topic and the chain
-  /// event feed (resuming from the persisted replay cursor when durable
-  /// state was restored), and starts gossip heartbeats. Call once.
+  /// Installs the per-shard validators, subscribes to every subscribed
+  /// shard's pubsub topic and the chain event feed (resuming from the
+  /// persisted replay cursor when durable state was restored), and starts
+  /// gossip heartbeats. Call once.
   void start();
 
   /// Graceful detach: cancels scheduled work, drops the chain
@@ -103,24 +129,29 @@ class WakuRlnRelayNode {
     return group_.own_index().has_value();
   }
 
-  /// Honest publish: refuses to exceed one message per epoch (§III-E).
+  /// Honest publish: refuses to exceed one message per epoch per shard
+  /// (§III-E; the shard is derived from the content topic).
   PublishStatus try_publish(Bytes payload,
                             const std::string& content_topic =
-                                "/waku/2/default-content/proto");
+                                kDefaultContentTopic);
 
   /// Spammer publish: generates a *valid* proof but ignores the local rate
   /// limit — the double-signaling attack the scheme exists to punish.
   PublishStatus force_publish(Bytes payload,
                               const std::string& content_topic =
-                                  "/waku/2/default-content/proto");
+                                  kDefaultContentTopic);
 
   /// Resource-exhaustion attacker: attaches a garbage proof.
-  void publish_with_invalid_proof(Bytes payload);
+  void publish_with_invalid_proof(Bytes payload,
+                                  const std::string& content_topic =
+                                      kDefaultContentTopic);
 
   /// Stale-root attacker: a well-formed bundle whose tree root is outside
   /// every validator's rolling root window — dies in the O(1) root stage,
   /// before the SNARK verifier can be made to spend cycles.
-  void publish_with_stale_root(Bytes payload);
+  void publish_with_stale_root(Bytes payload,
+                               const std::string& content_topic =
+                                   kDefaultContentTopic);
 
   /// Split-equivocation attacker (§III-F evasion attempt): two conflicting
   /// messages for the SAME epoch, each shown to a disjoint half of the
@@ -133,6 +164,20 @@ class WakuRlnRelayNode {
   /// Registers a callback for delivered (validated) messages.
   void set_message_handler(MessageHandler handler) {
     handler_ = std::move(handler);
+  }
+
+  // -- Sharding --------------------------------------------------------------
+
+  [[nodiscard]] const shard::ShardMap& shard_map() const {
+    return shards_.map();
+  }
+  [[nodiscard]] const std::vector<shard::ShardId>& subscribed_shards() const {
+    return shards_.subscribed();
+  }
+  /// The shard-qualified pubsub topic `content_topic` routes onto.
+  [[nodiscard]] std::string shard_topic_for(
+      const std::string& content_topic) const {
+    return shards_.map().pubsub_topic(shards_.shard_of(content_topic));
   }
 
   // -- Durable state ---------------------------------------------------------
@@ -155,8 +200,11 @@ class WakuRlnRelayNode {
   [[nodiscard]] Bytes serialize_state() const;
 
   /// Exports the unsigned light-client bootstrap checkpoint (full-tree
-  /// nodes only; the lightpush service signs and serves it).
-  [[nodiscard]] Checkpoint make_checkpoint() const;
+  /// nodes only; the lightpush service signs and serves it). `shards`
+  /// filters the per-shard nullifier watermarks to the requesting client's
+  /// subscription subset; empty keeps every hosted shard's watermark.
+  [[nodiscard]] Checkpoint make_checkpoint(
+      std::span<const shard::ShardId> shards = {}) const;
 
   [[nodiscard]] net::NodeId node_id() const { return relay_.node_id(); }
   [[nodiscard]] const Identity& identity() const { return identity_; }
@@ -167,12 +215,18 @@ class WakuRlnRelayNode {
 
   [[nodiscard]] WakuRelay& relay() { return relay_; }
   [[nodiscard]] GroupManager& group() { return group_; }
-  [[nodiscard]] RlnValidator& validator() { return validator_; }
-  [[nodiscard]] const RlnValidator& validator() const { return validator_; }
-  /// The staged validation pipeline behind validator() — the node's one
-  /// validation entry point.
+  /// The per-shard validation container: aggregate stats(), the default
+  /// shard's log() (single-shard deployments see exactly the historical
+  /// behaviour), and per-shard pipeline access.
+  [[nodiscard]] shard::ShardedValidator& validator() { return shards_; }
+  [[nodiscard]] const shard::ShardedValidator& validator() const {
+    return shards_;
+  }
+  /// The default shard's staged validation pipeline — the single-shard
+  /// compatibility surface; shard-aware callers use
+  /// validator().pipeline(shard).
   [[nodiscard]] ValidationPipeline& pipeline() {
-    return validator_.pipeline();
+    return shards_.default_pipeline();
   }
   [[nodiscard]] WakuStore& store() { return store_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
@@ -181,7 +235,10 @@ class WakuRlnRelayNode {
  private:
   /// WAL record schema. Chain-derived state is NOT journaled — the chain's
   /// event log is authoritative and replayable from the cursor; the WAL
-  /// carries only what exists nowhere else after a crash.
+  /// carries only what exists nowhere else after a crash. Shard-scoped
+  /// records (kNullifier, kOwnPublish) ride under the owning shard's WAL
+  /// tag (persist/wal.hpp), so restart recovery rebuilds each shard's
+  /// state independently; node-global records carry shard tag 0.
   enum class WalTag : std::uint8_t {
     kNullifier = 1,     ///< observed (epoch, nullifier, share, proof fp)
     kSlashCommit = 2,   ///< local (sk, salt) behind a commit_slash tx
@@ -193,6 +250,9 @@ class WakuRlnRelayNode {
   /// Builds the §III-E message bundle: proof over (sk, path, H(m), epoch).
   WakuMessage build_message(Bytes payload, const std::string& content_topic,
                             std::uint64_t epoch);
+  /// Installs the shard-scoped batch validator + delivery handler on one
+  /// subscribed shard's pubsub topic.
+  void wire_shard(shard::ShardId shard);
   void handle_chain_event(const chain::Event& event);
   /// Kicks off commit-reveal slashing for a recovered secret key (§III-F).
   void trigger_slash(const Fr& spammer_sk);
@@ -201,10 +261,11 @@ class WakuRlnRelayNode {
   /// Drops journaled slashes older than slash_expiry_epochs.
   void expire_pending_slashes();
 
-  void journal(WalTag tag, BytesView payload);
+  void journal(WalTag tag, BytesView payload, std::uint16_t shard = 0);
   void restore_from_store();
   void restore_snapshot(BytesView payload);
-  void apply_wal_record(std::uint8_t type, BytesView payload);
+  void apply_wal_record(std::uint8_t type, std::uint16_t shard,
+                        BytesView payload);
 
   net::Network& network_;
   chain::Blockchain& chain_;
@@ -221,11 +282,15 @@ class WakuRlnRelayNode {
   Identity identity_;
   WakuRelay relay_;
   GroupManager group_;
-  RlnValidator validator_;
+  shard::ShardedValidator shards_;
   WakuStore store_;
 
   MessageHandler handler_;
-  std::optional<std::uint64_t> last_published_epoch_;
+  /// Honest rate-limit state, per shard: the quota is one message per
+  /// epoch per shard (each shard is its own rate-limit domain — shard-
+  /// scoped nullifier logs cannot see cross-shard double-signals, by
+  /// design).
+  std::unordered_map<shard::ShardId, std::uint64_t> last_published_epoch_;
   NodeStats stats_;
 
   struct PendingSlash {

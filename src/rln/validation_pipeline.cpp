@@ -109,7 +109,9 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
 
     // 2. Root freshness against the rolling root cache: removed members
     //    must not keep proving against trees that still contain them.
-    if (!group_.is_recent_root(slot.bundle->root)) {
+    //    A shard-local cache override (set_root_check) takes precedence.
+    if (root_check_ ? !root_check_(slot.bundle->root)
+                    : !group_.is_recent_root(slot.bundle->root)) {
       ++stats_.stale_root;
       out[i] = {Verdict::kRejectStaleRoot, std::nullopt};
       slot.settled = true;

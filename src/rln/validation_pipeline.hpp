@@ -170,6 +170,13 @@ class ValidationPipeline {
     log_.seed_watermark(min_epoch);
   }
 
+  /// Replaces the stage-2 root-freshness test. Default (unset) consults
+  /// the shared GroupManager's rolling root cache directly; the sharding
+  /// layer installs a shard-local cache here so one shard's validation
+  /// never reads another's root-window state.
+  using RootCheck = std::function<bool(const Fr& root)>;
+  void set_root_check(RootCheck check) { root_check_ = std::move(check); }
+
  private:
   std::vector<ValidationOutcome> validate_impl(
       std::span<const WakuMessage> messages,
@@ -183,6 +190,7 @@ class ValidationPipeline {
   ValidatorStats stats_;
   Rng rng_;
   ObserveHook observe_hook_;
+  RootCheck root_check_;
 };
 
 }  // namespace waku::rln

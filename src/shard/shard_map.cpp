@@ -1,0 +1,84 @@
+#include "shard/shard_map.hpp"
+
+#include "common/expect.hpp"
+#include "common/serde.hpp"
+#include "hash/keccak256.hpp"
+
+namespace waku::shard {
+
+std::vector<ShardId> ShardConfig::subscribed_shards() const {
+  if (!subscribe.empty()) return subscribe;
+  std::vector<ShardId> all(num_shards);
+  for (std::uint16_t s = 0; s < num_shards; ++s) all[s] = s;
+  return all;
+}
+
+ShardMap::ShardMap(std::uint16_t num_shards, std::uint32_t generation)
+    : num_shards_(num_shards), generation_(generation) {
+  WAKU_EXPECTS(num_shards >= 1);
+}
+
+ShardId ShardMap::shard_of(std::string_view content_topic) const {
+  if (num_shards_ == 1) return 0;
+  ByteWriter w;
+  w.write_string("waku-shard-map-v1");
+  w.write_u32(generation_);
+  w.write_string(content_topic);
+  const hash::Keccak256Digest digest = hash::keccak256(w.data());
+  // Fold the first 8 digest bytes; keccak output is uniform, and mod by a
+  // small shard count keeps the assignment balanced for arbitrary topics.
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < 8; ++i) h = (h << 8) | digest[i];
+  return static_cast<ShardId>(h % num_shards_);
+}
+
+std::string ShardMap::pubsub_topic(ShardId shard) const {
+  WAKU_EXPECTS(shard < num_shards_);
+  return "/waku/2/rs/" + std::to_string(generation_) + "/" +
+         std::to_string(shard);
+}
+
+std::optional<ShardId> ShardMap::parse_pubsub_topic(
+    std::string_view pubsub_topic) const {
+  const std::string prefix =
+      "/waku/2/rs/" + std::to_string(generation_) + "/";
+  if (!pubsub_topic.starts_with(prefix)) return std::nullopt;
+  const std::string_view tail = pubsub_topic.substr(prefix.size());
+  if (tail.empty() || tail.size() > 5) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const char c : tail) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value >= num_shards_) return std::nullopt;
+  return static_cast<ShardId>(value);
+}
+
+std::vector<ShardId> ShardMap::all_shards() const {
+  std::vector<ShardId> all(num_shards_);
+  for (std::uint16_t s = 0; s < num_shards_; ++s) all[s] = s;
+  return all;
+}
+
+std::string content_topic_for_shard(const ShardMap& map, ShardId shard,
+                                    std::string_view prefix) {
+  WAKU_EXPECTS(shard < map.num_shards());
+  for (std::uint64_t n = 0;; ++n) {
+    std::string topic = std::string(prefix) + std::to_string(n) + "/proto";
+    if (map.shard_of(topic) == shard) return topic;
+    // Uniform assignment: the expected probe count is num_shards, and the
+    // loop terminates with probability 1.
+  }
+}
+
+std::vector<std::string> ShardMap::moved_topics(
+    const ShardMap& from, const ShardMap& to,
+    std::span<const std::string> topics) {
+  std::vector<std::string> moved;
+  for (const std::string& topic : topics) {
+    if (from.shard_of(topic) != to.shard_of(topic)) moved.push_back(topic);
+  }
+  return moved;
+}
+
+}  // namespace waku::shard

@@ -1,0 +1,105 @@
+// ShardMap: deterministic partition of the relay into N shards.
+//
+// The paper's single RLN-gated pubsub topic makes the whole network one
+// rate-limit domain and one gossip mesh; production Waku splits the relay
+// into shards (one gossipsub mesh per shard, RFC 51/WAKU2-RELAY-SHARDING)
+// so throughput, nullifier state, and adversarial blast radius scale with
+// shard count. This map is the one authority every layer shares:
+//
+//   * content topic -> shard: keccak(generation || topic) mod N. Every
+//     peer computes the same assignment with no coordination, and the
+//     assignment is uniform over shards for arbitrary topic strings.
+//   * shard -> pubsub topic: "/waku/2/rs/<generation>/<shard>" — the
+//     shard-qualified gossipsub topics the meshes form over (rs =
+//     relay-shard, mirroring Waku's /waku/2/rs/<cluster>/<index> form).
+//   * resharding is config-driven: a new ShardConfig{num_shards,
+//     generation} re-keys the whole assignment (the generation salts the
+//     hash AND renames the pubsub topics, so peers on the old layout
+//     cannot accidentally mesh with peers on the new one mid-migration).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace waku::shard {
+
+using ShardId = std::uint16_t;
+
+/// Static sharding layout plus this node's subscription subset; rides in
+/// NodeConfig so a whole deployment shares one layout by configuration.
+struct ShardConfig {
+  std::uint16_t num_shards = 1;
+  /// Resharding generation: bumping it re-keys topic->shard assignment and
+  /// renames every shard's pubsub topic (see file comment).
+  std::uint32_t generation = 0;
+  /// Shards this node subscribes to (meshes joined, validators installed,
+  /// nullifier logs kept). Empty = all shards.
+  std::vector<ShardId> subscribe;
+
+  /// The effective subscription set: `subscribe`, or all shards if empty.
+  [[nodiscard]] std::vector<ShardId> subscribed_shards() const;
+};
+
+/// One (shard, watermark) pair of a serving peer's nullifier GC state —
+/// what shard-scoped checkpoints carry per subscribed shard.
+struct ShardWatermark {
+  ShardId shard = 0;
+  std::uint64_t min_epoch = 0;
+
+  friend bool operator==(const ShardWatermark&,
+                         const ShardWatermark&) = default;
+};
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::uint16_t num_shards = 1,
+                    std::uint32_t generation = 0);
+  explicit ShardMap(const ShardConfig& config)
+      : ShardMap(config.num_shards, config.generation) {}
+
+  /// Deterministic content-topic assignment (identical on every peer).
+  [[nodiscard]] ShardId shard_of(std::string_view content_topic) const;
+
+  /// Shard-qualified gossipsub topic for `shard`.
+  [[nodiscard]] std::string pubsub_topic(ShardId shard) const;
+
+  /// Inverse of pubsub_topic for *this* map's generation; nullopt for
+  /// foreign topics (other generations, non-shard topics).
+  [[nodiscard]] std::optional<ShardId> parse_pubsub_topic(
+      std::string_view pubsub_topic) const;
+
+  [[nodiscard]] std::uint16_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+  [[nodiscard]] std::vector<ShardId> all_shards() const;
+
+  /// The config-driven reshard: same map with `new_num_shards` and the
+  /// next generation. Callers swap maps atomically (there is no partial
+  /// migration state — the generation salt keeps layouts disjoint).
+  [[nodiscard]] ShardMap resharded(std::uint16_t new_num_shards) const {
+    return ShardMap(new_num_shards, generation_ + 1);
+  }
+
+  /// Topics whose assignment differs between two maps — the migration
+  /// work-list an operator sizes a reshard by.
+  static std::vector<std::string> moved_topics(
+      const ShardMap& from, const ShardMap& to,
+      std::span<const std::string> topics);
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+ private:
+  std::uint16_t num_shards_;
+  std::uint32_t generation_;
+};
+
+/// Deterministically finds a content topic assigned to `shard` under
+/// `map` by probing "<prefix><n>/proto" for n = 0, 1, ... — traffic
+/// generators and tests use it to aim messages at a specific shard.
+std::string content_topic_for_shard(const ShardMap& map, ShardId shard,
+                                    std::string_view prefix = "/waku/2/app-");
+
+}  // namespace waku::shard

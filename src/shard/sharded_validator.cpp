@@ -1,0 +1,151 @@
+#include "shard/sharded_validator.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/serde.hpp"
+
+namespace waku::shard {
+
+bool ShardRootCache::check(const Fr& root) {
+  if (version_ != group_.root_version()) {
+    // The shared window moved (membership event): rebuild the shard-local
+    // copy. O(root_window), amortized over every message between events.
+    roots_.clear();
+    for (const Fr& r : group_.recent_roots()) roots_.insert(r);
+    version_ = group_.root_version();
+    ++stats_.refreshes;
+  }
+  const bool ok = roots_.contains(root);
+  ++(ok ? stats_.hits : stats_.misses);
+  return ok;
+}
+
+ShardedValidator::ShardedValidator(const zksnark::VerifyingKey& vk,
+                                   const rln::GroupManager& group,
+                                   rln::ValidatorConfig config,
+                                   ShardConfig shards, std::uint64_t seed)
+    : map_(shards), config_(config), subscribed_(shards.subscribed_shards()) {
+  std::sort(subscribed_.begin(), subscribed_.end());
+  subscribed_.erase(std::unique(subscribed_.begin(), subscribed_.end()),
+                    subscribed_.end());
+  WAKU_EXPECTS(!subscribed_.empty());
+  for (const ShardId shard : subscribed_) {
+    WAKU_EXPECTS(shard < map_.num_shards());
+    // Distinct per-shard RLC seed: a sender who learns one shard's weight
+    // stream must gain nothing on any other shard.
+    auto state = std::make_unique<ShardState>(
+        vk, group, config,
+        seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(shard) +
+                                         1)));
+    ShardRootCache* cache = &state->root_cache;
+    state->pipeline.set_root_check(
+        [cache](const Fr& root) { return cache->check(root); });
+    shards_.emplace(shard, std::move(state));
+  }
+}
+
+rln::ValidationPipeline& ShardedValidator::pipeline(ShardId shard) {
+  const auto it = shards_.find(shard);
+  WAKU_EXPECTS(it != shards_.end());
+  return it->second->pipeline;
+}
+
+const rln::ValidationPipeline& ShardedValidator::pipeline(
+    ShardId shard) const {
+  const auto it = shards_.find(shard);
+  WAKU_EXPECTS(it != shards_.end());
+  return it->second->pipeline;
+}
+
+const ShardRootCache::Stats& ShardedValidator::root_cache_stats(
+    ShardId shard) const {
+  const auto it = shards_.find(shard);
+  WAKU_EXPECTS(it != shards_.end());
+  return it->second->root_cache.stats();
+}
+
+rln::ValidatorStats ShardedValidator::stats() const {
+  rln::ValidatorStats total;
+  for (const auto& [shard, state] : shards_) {
+    total += state->pipeline.stats();
+  }
+  return total;
+}
+
+void ShardedValidator::gc(std::uint64_t local_now_ms) {
+  for (auto& [shard, state] : shards_) state->pipeline.gc(local_now_ms);
+}
+
+std::vector<ShardWatermark> ShardedValidator::nullifier_watermarks() const {
+  std::vector<ShardWatermark> out;
+  out.reserve(shards_.size());
+  for (const auto& [shard, state] : shards_) {
+    out.push_back(
+        ShardWatermark{shard, state->pipeline.log().stats().min_epoch});
+  }
+  return out;
+}
+
+void ShardedValidator::seed_nullifier_watermarks(
+    std::span<const ShardWatermark> watermarks) {
+  for (const ShardWatermark& wm : watermarks) {
+    const auto it = shards_.find(wm.shard);
+    if (it == shards_.end()) continue;  // not subscribed here
+    it->second->pipeline.seed_nullifier_watermark(wm.min_epoch);
+  }
+}
+
+void ShardedValidator::set_observe_hook(ObserveHook hook) {
+  observe_hook_ = std::move(hook);
+  for (auto& [shard, state] : shards_) {
+    if (!observe_hook_) {
+      state->pipeline.set_observe_hook(nullptr);
+      continue;
+    }
+    const ShardId owning_shard = shard;
+    state->pipeline.set_observe_hook(
+        [this, owning_shard](std::uint64_t epoch, const Fr& nullifier,
+                             const sss::Share& share,
+                             std::uint64_t proof_fp) {
+          observe_hook_(owning_shard, epoch, nullifier, share, proof_fp);
+        });
+  }
+}
+
+void ShardedValidator::inject_observation(ShardId shard, std::uint64_t epoch,
+                                          const Fr& nullifier,
+                                          const sss::Share& share,
+                                          std::uint64_t proof_fp) {
+  const auto it = shards_.find(shard);
+  if (it == shards_.end()) return;  // resharded away between runs
+  it->second->pipeline.inject_observation(epoch, nullifier, share, proof_fp);
+}
+
+Bytes ShardedValidator::serialize_state() const {
+  ByteWriter w;
+  w.write_u8(1);  // version
+  w.write_u16(static_cast<std::uint16_t>(shards_.size()));
+  for (const auto& [shard, state] : shards_) {
+    w.write_u16(shard);
+    w.write_bytes(state->pipeline.serialize_state());
+  }
+  return std::move(w).take();
+}
+
+void ShardedValidator::restore_state(BytesView bytes) {
+  ByteReader r(bytes);
+  WAKU_EXPECTS(r.read_u8() == 1);
+  const std::uint16_t count = r.read_u16();
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const ShardId shard = r.read_u16();
+    const Bytes state = r.read_bytes();
+    const auto it = shards_.find(shard);
+    // A shard persisted by a previous configuration but no longer
+    // subscribed is dropped — its log belongs to a mesh we are not in.
+    if (it == shards_.end()) continue;
+    it->second->pipeline.restore_state(state);
+  }
+}
+
+}  // namespace waku::shard

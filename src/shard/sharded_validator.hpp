@@ -1,0 +1,155 @@
+// Per-shard RLN enforcement over one shared membership tree.
+//
+// The membership contract, the identity-commitment tree, and slashing stay
+// global — a member is a member of the network, not of a shard. What
+// shards are the *rate-limit domains*: each shard a node subscribes to
+// gets its own staged ValidationPipeline, and therefore its own
+//
+//   * NullifierLog — the (epoch, nullifier) -> share map is shard-scoped,
+//     so the same nullifier observed on two different shards is two
+//     independent first signals, never a cross-shard double-signal (the
+//     quota is one message per member per epoch PER SHARD);
+//   * rolling root cache — a ShardRootCache mirrors the shared group's
+//     root window behind a version check, so the hot-path root test reads
+//     no cross-shard state;
+//   * batch state and verdict counters — a flood saturating one shard's
+//     validation windows cannot delay or skew another shard's batches.
+//
+// ShardedValidator is the node-side container for those per-shard
+// pipelines; with the default 1-shard ShardConfig it degenerates to
+// exactly the pre-sharding single-pipeline behaviour.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+#include "rln/validation_pipeline.hpp"
+#include "shard/shard_map.hpp"
+
+namespace waku::shard {
+
+using ff::Fr;
+
+/// Shard-local mirror of the shared GroupManager's rolling root window.
+/// check() is O(1): a version counter comparison plus one hash lookup;
+/// the window copy refreshes only when the shared window actually changed
+/// (membership events), never per message.
+class ShardRootCache {
+ public:
+  explicit ShardRootCache(const rln::GroupManager& group) : group_(group) {}
+
+  [[nodiscard]] bool check(const Fr& root);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t refreshes = 0;  ///< window copies rebuilt
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  const rln::GroupManager& group_;
+  std::uint64_t version_ = ~std::uint64_t{0};
+  std::unordered_set<Fr, ff::FrHash> roots_;
+  Stats stats_;
+};
+
+class ShardedValidator {
+ public:
+  /// `vk` and `group` must outlive the validator (same contract as
+  /// ValidationPipeline). One pipeline is built per subscribed shard, each
+  /// with a distinct RLC seed derived from `seed`.
+  ShardedValidator(const zksnark::VerifyingKey& vk,
+                   const rln::GroupManager& group,
+                   rln::ValidatorConfig config, ShardConfig shards,
+                   std::uint64_t seed);
+
+  [[nodiscard]] const ShardMap& map() const { return map_; }
+  [[nodiscard]] const std::vector<ShardId>& subscribed() const {
+    return subscribed_;
+  }
+  [[nodiscard]] bool subscribes(ShardId shard) const {
+    return shards_.contains(shard);
+  }
+  /// The first subscribed shard — what single-pipeline-era call sites get
+  /// from the shardless accessors below.
+  [[nodiscard]] ShardId default_shard() const { return subscribed_.front(); }
+  [[nodiscard]] ShardId shard_of(std::string_view content_topic) const {
+    return map_.shard_of(content_topic);
+  }
+
+  /// Per-shard pipeline access; the shard must be subscribed.
+  [[nodiscard]] rln::ValidationPipeline& pipeline(ShardId shard);
+  [[nodiscard]] const rln::ValidationPipeline& pipeline(ShardId shard) const;
+  [[nodiscard]] rln::ValidationPipeline& pipeline_for_topic(
+      std::string_view content_topic) {
+    return pipeline(map_.shard_of(content_topic));
+  }
+
+  /// Compatibility surface for pre-sharding call sites (stats readers,
+  /// crash-restart equality assertions): the default shard's pipeline/log
+  /// and the field-wise aggregate across all shards.
+  [[nodiscard]] rln::ValidationPipeline& default_pipeline() {
+    return pipeline(default_shard());
+  }
+  [[nodiscard]] const rln::NullifierLog& log() const {
+    return pipeline(default_shard()).log();
+  }
+  [[nodiscard]] const rln::NullifierLog& log_of(ShardId shard) const {
+    return pipeline(shard).log();
+  }
+  [[nodiscard]] rln::ValidatorStats stats() const;
+  [[nodiscard]] const rln::ValidatorConfig& config() const { return config_; }
+  [[nodiscard]] const ShardRootCache::Stats& root_cache_stats(
+      ShardId shard) const;
+
+  /// Nullifier-log GC across every subscribed shard.
+  void gc(std::uint64_t local_now_ms);
+
+  /// Per-shard GC watermarks, ordered by shard id — the shard-scoped
+  /// checkpoint payload.
+  [[nodiscard]] std::vector<ShardWatermark> nullifier_watermarks() const;
+  /// Checkpoint bootstrap: seed each listed shard's (empty) log watermark;
+  /// watermarks for unsubscribed shards are ignored.
+  void seed_nullifier_watermarks(std::span<const ShardWatermark> watermarks);
+
+  // -- Durable-state hooks ----------------------------------------------------
+
+  /// Shard-tagged observation hook: fires (with the owning shard) whenever
+  /// any shard's log records a new entry. The node journals these under
+  /// the record's shard tag so a restart rebuilds each log independently.
+  using ObserveHook = std::function<void(
+      ShardId shard, std::uint64_t epoch, const Fr& nullifier,
+      const sss::Share& share, std::uint64_t proof_fp)>;
+  void set_observe_hook(ObserveHook hook);
+
+  /// WAL replay of a shard-tagged observation. Records for shards this
+  /// configuration no longer subscribes to are dropped (a reshard between
+  /// runs must not resurrect foreign-log state).
+  void inject_observation(ShardId shard, std::uint64_t epoch,
+                          const Fr& nullifier, const sss::Share& share,
+                          std::uint64_t proof_fp);
+
+  /// Serializes every subscribed shard's pipeline state (shard-tagged).
+  [[nodiscard]] Bytes serialize_state() const;
+  void restore_state(BytesView bytes);
+
+ private:
+  struct ShardState {
+    explicit ShardState(const zksnark::VerifyingKey& vk,
+                        const rln::GroupManager& group,
+                        rln::ValidatorConfig config, std::uint64_t seed)
+        : root_cache(group), pipeline(vk, group, config, seed) {}
+    ShardRootCache root_cache;
+    rln::ValidationPipeline pipeline;
+  };
+
+  ShardMap map_;
+  rln::ValidatorConfig config_;
+  std::vector<ShardId> subscribed_;
+  std::map<ShardId, std::unique_ptr<ShardState>> shards_;
+  ObserveHook observe_hook_;
+};
+
+}  // namespace waku::shard

@@ -24,9 +24,10 @@ void RateLimitFlooder::on_tick(AdversaryContext& ctx) {
   if (sent_this_epoch_ >= burst_per_epoch_) return;
   // One message per tick spreads the burst across the epoch — the shape
   // that maximizes deliveries before the first conflict is observed.
-  const auto status = node.force_publish(spam_payload(
-      "flood " + std::to_string(epoch) + "/" +
-      std::to_string(sent_this_epoch_)));
+  const auto status = node.force_publish(
+      spam_payload("flood " + std::to_string(epoch) + "/" +
+                   std::to_string(sent_this_epoch_)),
+      content_topic_);
   if (status == WakuRlnRelayNode::PublishStatus::kOk) {
     ++sent_this_epoch_;
     ++spam_sent_;
@@ -70,7 +71,8 @@ void InvalidProofFlooder::on_tick(AdversaryContext& ctx) {
   WakuRlnRelayNode& node = ctx.harness.node(slot_);
   for (std::uint64_t i = 0; i < per_tick_; ++i) {
     node.publish_with_invalid_proof(
-        spam_payload("garbage " + std::to_string(spam_sent_)));
+        spam_payload("garbage " + std::to_string(spam_sent_)),
+        content_topic_);
     ++spam_sent_;
     ctx.metrics.counter("spam.sent").inc();
   }
@@ -83,7 +85,8 @@ void StaleRootReplayer::on_tick(AdversaryContext& ctx) {
   WakuRlnRelayNode& node = ctx.harness.node(slot_);
   for (std::uint64_t i = 0; i < per_tick_; ++i) {
     node.publish_with_stale_root(
-        spam_payload("stale " + std::to_string(spam_sent_)));
+        spam_payload("stale " + std::to_string(spam_sent_)),
+        content_topic_);
     ++spam_sent_;
     ctx.metrics.counter("spam.sent").inc();
   }

@@ -61,10 +61,15 @@ class Adversary {
 /// Publishes up to `burst_per_epoch` valid-proof messages per epoch from
 /// one registered member (one per tick, so the flood spans the epoch).
 /// Stops producing once slashed — force_publish refuses unregistered.
+/// `content_topic` aims the flood at one relay shard (shard-targeted
+/// attacks must stay confined to the shard the topic maps onto).
 class RateLimitFlooder : public Adversary {
  public:
-  RateLimitFlooder(std::size_t slot, std::uint64_t burst_per_epoch)
-      : slot_(slot), burst_per_epoch_(burst_per_epoch) {}
+  RateLimitFlooder(std::size_t slot, std::uint64_t burst_per_epoch,
+                   std::string content_topic = rln::kDefaultContentTopic)
+      : slot_(slot),
+        burst_per_epoch_(burst_per_epoch),
+        content_topic_(std::move(content_topic)) {}
 
   [[nodiscard]] std::string name() const override { return "flooder"; }
   [[nodiscard]] std::vector<std::size_t> controlled_nodes() const override {
@@ -75,6 +80,7 @@ class RateLimitFlooder : public Adversary {
  private:
   std::size_t slot_;
   std::uint64_t burst_per_epoch_;
+  std::string content_topic_;
   std::uint64_t current_epoch_ = ~std::uint64_t{0};
   std::uint64_t sent_this_epoch_ = 0;
 };
@@ -99,10 +105,14 @@ class EpochBoundaryStraddler : public Adversary {
 
 /// Floods garbage proofs (`per_tick` each tick) — cheap to generate, dies
 /// at kRejectBadProof, and the sender is graylisted by peer scoring.
+/// Shard-targetable via `content_topic`.
 class InvalidProofFlooder : public Adversary {
  public:
-  InvalidProofFlooder(std::size_t slot, std::uint64_t per_tick)
-      : slot_(slot), per_tick_(per_tick) {}
+  InvalidProofFlooder(std::size_t slot, std::uint64_t per_tick,
+                      std::string content_topic = rln::kDefaultContentTopic)
+      : slot_(slot),
+        per_tick_(per_tick),
+        content_topic_(std::move(content_topic)) {}
 
   [[nodiscard]] std::string name() const override { return "invalid-proof"; }
   [[nodiscard]] std::vector<std::size_t> controlled_nodes() const override {
@@ -113,14 +123,20 @@ class InvalidProofFlooder : public Adversary {
  private:
   std::size_t slot_;
   std::uint64_t per_tick_;
+  std::string content_topic_;
 };
 
 /// Floods bundles carrying roots no validator window contains — must be
 /// settled by the O(1) root stage (pipeline.stale_root), not the verifier.
+/// Shard-targetable via `content_topic` (a coalition pairs it with a
+/// flooder on the same shard).
 class StaleRootReplayer : public Adversary {
  public:
-  StaleRootReplayer(std::size_t slot, std::uint64_t per_tick)
-      : slot_(slot), per_tick_(per_tick) {}
+  StaleRootReplayer(std::size_t slot, std::uint64_t per_tick,
+                    std::string content_topic = rln::kDefaultContentTopic)
+      : slot_(slot),
+        per_tick_(per_tick),
+        content_topic_(std::move(content_topic)) {}
 
   [[nodiscard]] std::string name() const override { return "stale-root"; }
   [[nodiscard]] std::vector<std::size_t> controlled_nodes() const override {
@@ -131,6 +147,7 @@ class StaleRootReplayer : public Adversary {
  private:
   std::size_t slot_;
   std::uint64_t per_tick_;
+  std::string content_topic_;
 };
 
 /// Once per epoch, sends two conflicting same-epoch shares to disjoint

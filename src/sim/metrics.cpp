@@ -147,9 +147,14 @@ MetricsRegistry& global_metrics() {
 HarnessProbe::HarnessProbe(rln::RlnHarness& harness, MetricsRegistry& registry)
     : harness_(harness),
       registry_(registry),
+      shard_map_(harness.config().node.shards),
+      num_shards_(harness.config().node.shards.num_shards),
       per_node_spam_(harness.size(), 0),
-      per_node_honest_(harness.size(), 0) {
-  // Delivery classification, per node. Installed through the harness hook
+      per_node_honest_(harness.size(), 0),
+      per_node_shard_spam_(harness.size() * num_shards_, 0),
+      per_node_shard_honest_(harness.size() * num_shards_, 0) {
+  // Delivery classification, per node and per shard (the shard the
+  // delivered content topic maps to). Installed through the harness hook
   // so restart_node() re-attaches it to the fresh instance (a dead node's
   // handler dies with it).
   harness_.set_node_hook([this](std::size_t i, rln::WakuRlnRelayNode& node) {
@@ -157,14 +162,21 @@ HarnessProbe::HarnessProbe(rln::RlnHarness& harness, MetricsRegistry& registry)
       const std::string_view payload(
           reinterpret_cast<const char*>(msg.payload.data()),
           msg.payload.size());
+      const shard::ShardId shard = shard_map_.shard_of(msg.content_topic);
+      const std::string shard_suffix =
+          ".shard" + std::to_string(shard);
       if (payload.starts_with(kSpamTag)) {
         ++per_node_spam_[i];
+        ++per_node_shard_spam_[i * num_shards_ + shard];
         ++spam_delivered_;
         registry_.counter("spam.delivered").inc();
+        registry_.counter("spam.delivered" + shard_suffix).inc();
       } else if (payload.starts_with(kHonestTag)) {
         ++per_node_honest_[i];
+        ++per_node_shard_honest_[i * num_shards_ + shard];
         ++honest_delivered_;
         registry_.counter("honest.delivered").inc();
+        registry_.counter("honest.delivered" + shard_suffix).inc();
       } else {
         registry_.counter("other.delivered").inc();
       }
@@ -229,7 +241,7 @@ void HarnessProbe::sample(std::uint64_t epoch) {
   }
   const rln::ValidatorStats pipeline = harness_.total_validation_stats();
 
-  const auto set = [this](const char* name, std::uint64_t v) {
+  const auto set = [this](const std::string& name, std::uint64_t v) {
     registry_.gauge(name).set(static_cast<double>(v));
   };
   set("router.delivered", router.delivered);
@@ -258,6 +270,23 @@ void HarnessProbe::sample(std::uint64_t epoch) {
   const net::TrafficStats traffic = harness_.network().total_stats();
   set("net.messages_sent", traffic.messages_sent);
   set("net.bytes_sent", traffic.bytes_sent);
+
+  // Per-shard pipeline view: where traffic died on each rate-limit
+  // domain. Summed over the nodes hosting that shard only.
+  for (std::uint16_t s = 0; s < num_shards_; ++s) {
+    rln::ValidatorStats shard_stats;
+    for (std::size_t i = 0; i < harness_.size(); ++i) {
+      if (!harness_.alive(i)) continue;
+      const auto& validator = harness_.node(i).validator();
+      if (!validator.subscribes(s)) continue;
+      shard_stats += validator.pipeline(s).stats();
+    }
+    const std::string suffix = ".shard" + std::to_string(s);
+    set("pipeline.accepted" + suffix, shard_stats.accepted);
+    set("pipeline.stale_root" + suffix, shard_stats.stale_root);
+    set("pipeline.spam_detected" + suffix, shard_stats.spam_detected);
+    set("log.entries" + suffix, shard_stats.log_entries);
+  }
 
   registry_.sample_epoch(epoch);
 }

@@ -113,12 +113,14 @@ inline constexpr std::string_view kSpamTag = "spam|";
 ///
 ///   * installs (via RlnHarness::set_node_hook, so kill/restart cycles
 ///     re-attach) a per-node delivery handler that classifies payloads by
-///     tag into spam/honest delivery counters, per node and in aggregate;
+///     tag into spam/honest delivery counters — per node, per relay shard
+///     (via the deployment's ShardMap over the delivered content topic),
+///     and in aggregate;
 ///   * subscribes to the chain event stream to timestamp MemberSlashed /
 ///     MemberWithdrawn events (time-to-slash measurement);
 ///   * sample(epoch) reads router/pipeline/nullifier-log/peer-score/node
-///     counters across the deployment into gauges and snapshots the
-///     series.
+///     counters across the deployment into gauges (pipeline verdicts also
+///     per shard) and snapshots the series.
 class HarnessProbe {
  public:
   HarnessProbe(rln::RlnHarness& harness, MetricsRegistry& registry);
@@ -151,6 +153,18 @@ class HarnessProbe {
   [[nodiscard]] std::uint64_t node_honest_delivered(std::size_t i) const {
     return per_node_honest_[i];
   }
+  /// Per-(node, shard) delivery classification — the shard is the one the
+  /// delivered message's content topic maps to under the deployment's
+  /// shard layout.
+  [[nodiscard]] std::uint64_t node_shard_spam_delivered(
+      std::size_t i, shard::ShardId shard) const {
+    return per_node_shard_spam_[i * num_shards_ + shard];
+  }
+  [[nodiscard]] std::uint64_t node_shard_honest_delivered(
+      std::size_t i, shard::ShardId shard) const {
+    return per_node_shard_honest_[i * num_shards_ + shard];
+  }
+  [[nodiscard]] std::uint16_t num_shards() const { return num_shards_; }
   [[nodiscard]] const std::vector<SlashEvent>& slashes() const {
     return slashes_;
   }
@@ -170,8 +184,12 @@ class HarnessProbe {
  private:
   rln::RlnHarness& harness_;
   MetricsRegistry& registry_;
+  shard::ShardMap shard_map_;  ///< the deployment's layout (node template)
+  std::uint16_t num_shards_ = 1;
   std::vector<std::uint64_t> per_node_spam_;
   std::vector<std::uint64_t> per_node_honest_;
+  std::vector<std::uint64_t> per_node_shard_spam_;    ///< [node * S + shard]
+  std::vector<std::uint64_t> per_node_shard_honest_;  ///< [node * S + shard]
   std::uint64_t spam_delivered_ = 0;
   std::uint64_t honest_delivered_ = 0;
   std::vector<SlashEvent> slashes_;

@@ -34,6 +34,17 @@ void optional_field(std::string& out, const char* name,
 
 }  // namespace
 
+std::string AdversaryVerdict::to_json() const {
+  std::string out = "{";
+  out += "\"name\": \"" + name + "\", ";
+  field(out, "spam_sent", spam_sent);
+  field(out, "controlled_nodes", controlled_nodes);
+  field(out, "slashes", slashes);
+  optional_field(out, "time_to_slash_ms", time_to_slash_ms);
+  out += "\"schema\": 1}";
+  return out;
+}
+
 std::string ScenarioVerdict::to_json() const {
   std::string out = "{";
   out += "\"scenario\": \"" + scenario + "\", ";
@@ -54,8 +65,14 @@ std::string ScenarioVerdict::to_json() const {
   field(out, "withdrawals", withdrawals);
   optional_field(out, "time_to_slash_ms", time_to_slash_ms);
   optional_field(out, "time_to_slash_epochs", time_to_slash_epochs);
+  out += "\"per_adversary\": [";
+  for (std::size_t i = 0; i < per_adversary.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += per_adversary[i].to_json();
+  }
+  out += "], ";
   // Trailing sentinel keeps the field() helpers uniform.
-  out += "\"schema\": 1}";
+  out += "\"schema\": 2}";
   return out;
 }
 

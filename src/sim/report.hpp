@@ -20,6 +20,20 @@
 
 namespace waku::sim {
 
+/// Per-adversary breakdown for coalition campaigns (several strategies
+/// attacking in one scenario): each strategy gets its own slash
+/// attribution and latency so one verdict JSON answers "who was caught,
+/// and how fast" per attacker, not just in aggregate.
+struct AdversaryVerdict {
+  std::string name;
+  std::uint64_t spam_sent = 0;
+  std::uint64_t controlled_nodes = 0;
+  std::uint64_t slashes = 0;  ///< MemberSlashed on this adversary's indices
+  std::optional<std::uint64_t> time_to_slash_ms;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
 struct ScenarioVerdict {
   std::string scenario;
   std::uint64_t seed = 0;
@@ -43,6 +57,10 @@ struct ScenarioVerdict {
 
   std::optional<std::uint64_t> time_to_slash_ms;
   std::optional<std::uint64_t> time_to_slash_epochs;
+
+  /// One entry per distinct adversary in the campaign (coalitions get one
+  /// each); empty for adversary-free scenarios.
+  std::vector<AdversaryVerdict> per_adversary;
 
   [[nodiscard]] std::string to_json() const;
 };

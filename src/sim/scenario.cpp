@@ -1,6 +1,7 @@
 #include "sim/scenario.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "chain/rln_contract.hpp"
@@ -100,11 +101,18 @@ Report Scenario::run() {
 
   // Member index -> honest/adversary classification for slash attribution
   // (an index outlives the membership it names; capture it while every
-  // adversary is still registered).
+  // adversary is still registered). Per-adversary index sets feed the
+  // coalition breakdown: with several strategies in one campaign, each
+  // gets its own slash attribution.
   std::unordered_set<std::uint64_t> adversary_indices;
-  for (const std::size_t slot : adversary_slots_) {
-    if (const auto index = harness_.node(slot).group().own_index()) {
-      adversary_indices.insert(*index);
+  std::vector<std::unordered_set<std::uint64_t>> indices_per_adversary(
+      all_adversaries.size());
+  for (std::size_t a = 0; a < all_adversaries.size(); ++a) {
+    for (const std::size_t slot : all_adversaries[a]->controlled_nodes()) {
+      if (const auto index = harness_.node(slot).group().own_index()) {
+        adversary_indices.insert(*index);
+        indices_per_adversary[a].insert(*index);
+      }
     }
   }
 
@@ -172,6 +180,24 @@ Report Scenario::run() {
         config_.harness.node.validator.epoch.epoch_length_ms;
   }
 
+  // Coalition breakdown: one verdict per distinct adversary strategy.
+  for (std::size_t a = 0; a < all_adversaries.size(); ++a) {
+    AdversaryVerdict av;
+    av.name = all_adversaries[a]->name();
+    av.spam_sent = all_adversaries[a]->spam_sent();
+    av.controlled_nodes = all_adversaries[a]->controlled_nodes().size();
+    std::optional<net::TimeMs> first;
+    for (const HarnessProbe::SlashEvent& slash : probe_.slashes()) {
+      if (!indices_per_adversary[a].contains(slash.index)) continue;
+      ++av.slashes;
+      if (!first.has_value()) first = slash.at_ms;
+    }
+    if (first.has_value() && probe_.attack_start_ms().has_value()) {
+      av.time_to_slash_ms = *first - *probe_.attack_start_ms();
+    }
+    verdict.per_adversary.push_back(std::move(av));
+  }
+
   return Report{verdict, metrics_.to_json()};
 }
 
@@ -199,6 +225,192 @@ void register_external_member(rln::RlnHarness& h, std::uint64_t tag) {
 
 }  // namespace
 
+// -- Shard-targeted flood campaign -------------------------------------------
+
+std::string ShardFloodOutcome::to_json() const {
+  std::string out = "{";
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "\"num_shards\": %u, \"attacked_shard\": %u, "
+                "\"spam_sent\": %llu, \"attacker_slashed\": %s, ",
+                num_shards, attacked_shard,
+                static_cast<unsigned long long>(spam_sent),
+                attacker_slashed ? "true" : "false");
+  out += buf;
+  if (time_to_slash_ms.has_value()) {
+    std::snprintf(buf, sizeof buf, "\"time_to_slash_ms\": %llu, ",
+                  static_cast<unsigned long long>(*time_to_slash_ms));
+    out += buf;
+  } else {
+    out += "\"time_to_slash_ms\": null, ";
+  }
+  const auto u64_array = [&out](const char* name,
+                                const std::vector<std::uint64_t>& v) {
+    out += std::string("\"") + name + "\": [";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      char b[32];
+      std::snprintf(b, sizeof b, "%s%llu", i > 0 ? ", " : "",
+                    static_cast<unsigned long long>(v[i]));
+      out += b;
+    }
+    out += "], ";
+  };
+  u64_array("honest_sent_by_shard", honest_sent_by_shard);
+  u64_array("honest_delivered_by_shard", honest_delivered_by_shard);
+  u64_array("spam_delivered_by_shard", spam_delivered_by_shard);
+  out += "\"honest_delivery_by_shard\": [";
+  for (std::size_t i = 0; i < honest_delivery_by_shard.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s%.4f", i > 0 ? ", " : "",
+                  honest_delivery_by_shard[i]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "], \"min_non_attacked_delivery\": %.4f, "
+                "\"spam_on_non_attacked_shards\": %llu}",
+                min_non_attacked_delivery,
+                static_cast<unsigned long long>(
+                    spam_on_non_attacked_shards));
+  out += buf;
+  return out;
+}
+
+ShardFloodOutcome run_shard_flood_campaign(const ShardFloodConfig& config) {
+  rln::HarnessConfig hcfg = config.harness;
+  const std::uint16_t num_shards = hcfg.node.shards.num_shards;
+  const shard::ShardId attacked = config.attacked_shard;
+  WAKU_EXPECTS(attacked < num_shards);
+  // Round-robin partition: slot i hosts exactly shard i mod S. The
+  // flooder is the first slot homed on the attacked shard.
+  hcfg.shard_assignment = [num_shards](std::size_t i) {
+    return std::vector<shard::ShardId>{
+        static_cast<shard::ShardId>(i % num_shards)};
+  };
+  rln::RlnHarness h(hcfg);
+  const std::size_t flooder_slot = attacked;  // slot id == home shard id
+
+  // The random degree-k graph does not know about shards; gossipsub meshes
+  // only form between neighbors subscribed to the same topic, so stitch
+  // each shard's hosts into a ring with one chord — guaranteed intra-shard
+  // connectivity at any shard count (connect() is idempotent).
+  for (std::uint16_t s = 0; s < num_shards; ++s) {
+    std::vector<std::size_t> hosts;
+    for (std::size_t i = s; i < h.size(); i += num_shards) hosts.push_back(i);
+    for (std::size_t k = 0; k + 1 < hosts.size(); ++k) {
+      h.network().connect(h.node(hosts[k]).node_id(),
+                          h.node(hosts[k + 1]).node_id());
+    }
+    if (hosts.size() > 2) {
+      h.network().connect(h.node(hosts.back()).node_id(),
+                          h.node(hosts.front()).node_id());
+      h.network().connect(h.node(hosts[0]).node_id(),
+                          h.node(hosts[hosts.size() / 2]).node_id());
+    }
+  }
+
+  MetricsRegistry metrics;
+  HarnessProbe probe(h, metrics);
+  h.register_all();
+
+  const shard::ShardMap map(hcfg.node.shards);
+  // Per-shard honest target topics, computed once.
+  std::vector<std::string> shard_topic(num_shards);
+  for (std::uint16_t s = 0; s < num_shards; ++s) {
+    shard_topic[s] = shard::content_topic_for_shard(map, s);
+  }
+
+  ShardFloodOutcome out;
+  out.num_shards = num_shards;
+  out.attacked_shard = attacked;
+  out.honest_sent_by_shard.assign(num_shards, 0);
+
+  const std::uint64_t flooder_index =
+      h.node(flooder_slot).group().own_index().value();
+
+  Rng traffic_rng(hcfg.seed ^ 0x5A4DF100DULL);
+  RateLimitFlooder flooder(flooder_slot, config.flood_burst_per_epoch,
+                           shard_topic[attacked]);
+  AdversaryContext ctx{h, metrics, traffic_rng, config.tick_ms};
+
+  const double per_tick_p =
+      config.honest_rate_per_epoch * static_cast<double>(config.tick_ms) /
+      static_cast<double>(hcfg.node.validator.epoch.epoch_length_ms);
+  std::uint64_t honest_seq = 0;
+  const auto honest_tick = [&] {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (i == flooder_slot || !h.alive(i)) continue;
+      if (!traffic_rng.chance(per_tick_p)) continue;
+      const auto home = static_cast<shard::ShardId>(i % num_shards);
+      const auto status = h.node(i).try_publish(
+          to_bytes(std::string(kHonestTag) + "n" + std::to_string(i) + "#" +
+                   std::to_string(honest_seq)),
+          shard_topic[home]);
+      if (status == rln::WakuRlnRelayNode::PublishStatus::kOk) {
+        ++honest_seq;
+        ++out.honest_sent_by_shard[home];
+        metrics.counter("honest.sent").inc();
+      }
+    }
+  };
+  const auto run_ticks = [&](net::TimeMs duration, bool attack) {
+    const net::TimeMs end = h.sim().now() + duration;
+    while (h.sim().now() < end) {
+      const net::TimeMs step =
+          std::min<net::TimeMs>(config.tick_ms, end - h.sim().now());
+      h.run_ms(step);
+      honest_tick();
+      if (attack) flooder.on_tick(ctx);
+    }
+  };
+
+  run_ticks(config.warmup_ms, false);
+  probe.mark_attack_start();
+  run_ticks(config.attack_ms, true);
+  // Drain: let in-flight publishes, validation windows, and the slash
+  // commit-reveal settle before judging containment.
+  h.run_ms(config.drain_ms);
+
+  out.spam_sent = flooder.spam_sent();
+
+  // Slash attribution: the flooder's member index on the chain event log.
+  for (const HarnessProbe::SlashEvent& slash : probe.slashes()) {
+    if (slash.index != flooder_index) continue;
+    out.attacker_slashed = true;
+    if (probe.attack_start_ms().has_value()) {
+      out.time_to_slash_ms = slash.at_ms - *probe.attack_start_ms();
+    }
+    break;
+  }
+
+  // Per-shard delivery accounting. Honest hosts of shard s (flooder
+  // excluded) are the ideal receiver set for that shard's traffic — the
+  // publisher's local delivery included.
+  out.honest_delivered_by_shard.assign(num_shards, 0);
+  out.spam_delivered_by_shard.assign(num_shards, 0);
+  out.honest_delivery_by_shard.assign(num_shards, 0.0);
+  out.min_non_attacked_delivery = 1.0;
+  for (std::uint16_t s = 0; s < num_shards; ++s) {
+    std::uint64_t hosts = 0;
+    for (std::size_t i = s; i < h.size(); i += num_shards) {
+      if (i == flooder_slot || !h.alive(i)) continue;
+      ++hosts;
+      out.honest_delivered_by_shard[s] +=
+          probe.node_shard_honest_delivered(i, s);
+      out.spam_delivered_by_shard[s] += probe.node_shard_spam_delivered(i, s);
+    }
+    const std::uint64_t ideal = out.honest_sent_by_shard[s] * hosts;
+    out.honest_delivery_by_shard[s] =
+        ideal == 0 ? 1.0
+                   : static_cast<double>(out.honest_delivered_by_shard[s]) /
+                         static_cast<double>(ideal);
+    if (s != attacked) {
+      out.min_non_attacked_delivery = std::min(
+          out.min_non_attacked_delivery, out.honest_delivery_by_shard[s]);
+      out.spam_on_non_attacked_shards += out.spam_delivered_by_shard[s];
+    }
+  }
+  return out;
+}
+
 EclipseOutcome run_eclipse_campaign(const EclipseConfig& config) {
   rln::RlnHarness h(config.harness);
   h.register_all();
@@ -206,8 +418,11 @@ EclipseOutcome run_eclipse_campaign(const EclipseConfig& config) {
 
   // The attacker holds a correctly signed checkpoint captured now — honest
   // at capture time, stale by bootstrap time. (Models a compromised or
-  // merely frozen service replaying its last good artifact.)
-  const Bytes key = to_bytes("eclipse-deployment-key");
+  // merely frozen service replaying its last good artifact; the Schnorr
+  // signature is genuine, which is exactly why staleness detection — not
+  // the signature — must catch it.)
+  const hash::schnorr::KeyPair key =
+      hash::schnorr::keygen_from_seed(0xEC11B5E);
   rln::Checkpoint captured = h.node(0).make_checkpoint();
   captured.sign(key);
   StaleCheckpointService attacker(h.network(), captured.serialize());
@@ -221,12 +436,12 @@ EclipseOutcome run_eclipse_campaign(const EclipseConfig& config) {
   // The victim: a light client whose honest bootstrap path sits behind
   // lossy links; the attacker's link is clean.
   rln::RlnFullServiceNode honest_service(h.network(), h.node(0));
-  honest_service.set_checkpoint_key(key);
+  honest_service.set_checkpoint_signer(key);
   rln::RlnLightClient victim(h.network(), h.node(1).identity(),
                              *h.node(1).group().own_index(),
                              config.harness.node.validator.epoch,
                              config.harness.seed ^ 0xEC11ULL);
-  victim.attach_chain(h.chain(), h.contract(), key);
+  victim.attach_chain(h.chain(), h.contract(), key.pk);
   victim.set_max_bootstrap_lag(config.max_bootstrap_lag);
   h.network().connect(victim.node_id(), honest_service.node_id());
   h.network().connect(victim.node_id(), attacker.node_id());

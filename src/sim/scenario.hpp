@@ -108,4 +108,50 @@ struct EclipseOutcome {
 /// (must be detected) → heal links → honest bootstrap (must succeed).
 EclipseOutcome run_eclipse_campaign(const EclipseConfig& config);
 
+// -- Shard-targeted flood campaign -------------------------------------------
+// The scale-out containment claim of the sharded relay: a rate-limit flood
+// aimed at ONE shard must stay confined there — honest delivery on every
+// other shard is untouched, the flooder is slashed by the attacked shard's
+// validators, and no spam crosses shard meshes. Nodes are partitioned
+// round-robin over the shards (slot i hosts shard i mod S), honest slots
+// publish on their home shard's content topics, and the flooder bursts on
+// the attacked shard.
+
+struct ShardFloodConfig {
+  /// Deployment template; node.shards.num_shards picks the shard count
+  /// (the runner installs the round-robin shard assignment itself).
+  rln::HarnessConfig harness;
+  shard::ShardId attacked_shard = 0;
+  std::uint64_t flood_burst_per_epoch = 6;
+  net::TimeMs tick_ms = 1'000;
+  net::TimeMs warmup_ms = 10'000;
+  net::TimeMs attack_ms = 30'000;
+  net::TimeMs drain_ms = 6'000;
+  /// Poisson intensity per honest node per epoch (the per-shard quota
+  /// caps the realized rate).
+  double honest_rate_per_epoch = 0.8;
+};
+
+struct ShardFloodOutcome {
+  std::uint16_t num_shards = 0;
+  shard::ShardId attacked_shard = 0;
+  std::uint64_t spam_sent = 0;
+  bool attacker_slashed = false;
+  std::optional<std::uint64_t> time_to_slash_ms;
+  std::vector<std::uint64_t> honest_sent_by_shard;
+  std::vector<std::uint64_t> honest_delivered_by_shard;  ///< at honest nodes
+  std::vector<double> honest_delivery_by_shard;  ///< vs ideal full delivery
+  std::vector<std::uint64_t> spam_delivered_by_shard;  ///< at honest nodes
+  /// Worst honest delivery ratio across shards other than the attacked
+  /// one — the containment number (1.0 = the flood cost nothing there).
+  double min_non_attacked_delivery = 0;
+  /// Spam deliveries observed on any non-attacked shard (must be 0: shard
+  /// meshes are disjoint).
+  std::uint64_t spam_on_non_attacked_shards = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+ShardFloodOutcome run_shard_flood_campaign(const ShardFloodConfig& config);
+
 }  // namespace waku::sim

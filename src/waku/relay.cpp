@@ -8,8 +8,9 @@ WakuRelay::WakuRelay(net::Network& network, gossipsub::GossipSubConfig config,
     : topic_(std::move(pubsub_topic)),
       router_(network, config, score_config, seed) {}
 
-void WakuRelay::subscribe(MessageHandler handler) {
-  router_.subscribe(topic_,
+void WakuRelay::subscribe_topic(const std::string& pubsub_topic,
+                                MessageHandler handler) {
+  router_.subscribe(pubsub_topic,
                     [handler = std::move(handler)](
                         const gossipsub::PubSubMessage& msg) {
                       handler(WakuMessage::deserialize(msg.data));
@@ -34,9 +35,10 @@ void WakuRelay::set_validator(MessageValidator validator) {
       });
 }
 
-void WakuRelay::set_batch_validator(BatchMessageValidator validator) {
+void WakuRelay::set_batch_validator_topic(const std::string& pubsub_topic,
+                                          BatchMessageValidator validator) {
   router_.set_batch_validator(
-      topic_,
+      pubsub_topic,
       [validator = std::move(validator)](
           std::span<const gossipsub::IncomingMessage> batch) {
         // Decode the envelopes first; only well-formed messages reach the
@@ -74,13 +76,15 @@ void WakuRelay::set_batch_validator(BatchMessageValidator validator) {
       });
 }
 
-gossipsub::MessageId WakuRelay::publish(const WakuMessage& message) {
-  return router_.publish(topic_, message.serialize());
+gossipsub::MessageId WakuRelay::publish_on(const std::string& pubsub_topic,
+                                           const WakuMessage& message) {
+  return router_.publish(pubsub_topic, message.serialize());
 }
 
-gossipsub::MessageId WakuRelay::publish_to(const WakuMessage& message,
-                                           std::span<const net::NodeId> peers) {
-  return router_.publish_to(topic_, message.serialize(), peers);
+gossipsub::MessageId WakuRelay::publish_to_on(
+    const std::string& pubsub_topic, const WakuMessage& message,
+    std::span<const net::NodeId> peers) {
+  return router_.publish_to(pubsub_topic, message.serialize(), peers);
 }
 
 }  // namespace waku

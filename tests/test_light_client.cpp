@@ -88,9 +88,9 @@ TEST_F(LightFixture, UnknownMemberIndexGetsNoTreeResponse) {
 }
 
 TEST_F(LightFixture, CheckpointBootstrapValidatesLiveTraffic) {
-  const Bytes key = to_bytes("deployment-checkpoint-key");
-  service->set_checkpoint_key(key);
-  client->attach_chain(h->chain(), h->contract(), key);
+  const auto key = hash::schnorr::keygen_from_seed(0xC4E1);
+  service->set_checkpoint_signer(key);
+  client->attach_chain(h->chain(), h->contract(), key.pk);
 
   bool ok = false;
   client->bootstrap(service->node_id(), [&](bool accepted) { ok = accepted; });
@@ -130,9 +130,9 @@ TEST_F(LightFixture, CheckpointBootstrapValidatesLiveTraffic) {
 }
 
 TEST_F(LightFixture, BootstrappedClientFollowsMembershipChurn) {
-  const Bytes key = to_bytes("k");
-  service->set_checkpoint_key(key);
-  client->attach_chain(h->chain(), h->contract(), key);
+  const auto key = hash::schnorr::keygen_from_seed(0xC4E2);
+  service->set_checkpoint_signer(key);
+  client->attach_chain(h->chain(), h->contract(), key.pk);
   bool ok = false;
   client->bootstrap(service->node_id(), [&](bool accepted) { ok = accepted; });
   h->run_ms(2'000);
@@ -162,9 +162,11 @@ TEST_F(LightFixture, BootstrappedClientFollowsMembershipChurn) {
 }
 
 TEST_F(LightFixture, TamperedOrMiskeyedCheckpointRejected) {
-  service->set_checkpoint_key(to_bytes("the-real-key"));
+  // Signed under one key, verified against another's public half: the
+  // Schnorr check must fail and leave the client un-bootstrapped.
+  service->set_checkpoint_signer(hash::schnorr::keygen_from_seed(0xAAA1));
   client->attach_chain(h->chain(), h->contract(),
-                       to_bytes("a-different-key"));
+                       hash::schnorr::keygen_from_seed(0xBBB2).pk);
   bool called = false;
   bool ok = true;
   client->bootstrap(service->node_id(), [&](bool accepted) {
@@ -175,6 +177,41 @@ TEST_F(LightFixture, TamperedOrMiskeyedCheckpointRejected) {
   EXPECT_TRUE(called);
   EXPECT_FALSE(ok);
   EXPECT_FALSE(client->bootstrapped());
+}
+
+TEST_F(LightFixture, TamperedCheckpointPayloadFailsSchnorrVerification) {
+  // Any single-byte flip in the signed payload — counters, watermarks,
+  // roots, view — must invalidate the signature fail-closed.
+  const auto key = hash::schnorr::keygen_from_seed(0xC4E3);
+  rln::Checkpoint cp = h->node(0).make_checkpoint();
+  cp.sign(key);
+  ASSERT_TRUE(cp.verify(key.pk));
+
+  rln::Checkpoint tampered = cp;
+  tampered.member_count += 1;
+  EXPECT_FALSE(tampered.verify(key.pk));
+
+  tampered = cp;
+  ASSERT_FALSE(tampered.nullifier_watermarks.empty());
+  tampered.nullifier_watermarks[0].min_epoch += 1;
+  EXPECT_FALSE(tampered.verify(key.pk));
+
+  tampered = cp;
+  ASSERT_FALSE(tampered.view.empty());
+  tampered.view[0] ^= 0x01;
+  EXPECT_FALSE(tampered.verify(key.pk));
+
+  // A tampered signature fails too (both halves).
+  tampered = cp;
+  tampered.signature.s.limb[0] ^= 1;
+  EXPECT_FALSE(tampered.verify(key.pk));
+  tampered = cp;
+  tampered.signature.r += Fr::one();
+  EXPECT_FALSE(tampered.verify(key.pk));
+
+  // And serialization round-trips the signature intact.
+  const rln::Checkpoint wire = rln::Checkpoint::deserialize(cp.serialize());
+  EXPECT_TRUE(wire.verify(key.pk));
 }
 
 TEST_F(LightFixture, ClientSecretNeverNeededByService) {

@@ -69,6 +69,31 @@ TEST(Wal, AppendReplayRoundTrip) {
   EXPECT_EQ(records[1].type, 2u);
   EXPECT_EQ(records[1].payload, bytes_of("second"));
   EXPECT_TRUE(records[2].payload.empty());
+  // Untagged appends carry shard 0 (the unsharded-owner convention).
+  EXPECT_EQ(records[0].shard, 0u);
+}
+
+TEST(Wal, ShardTagsSurviveRestart) {
+  // Sharded owners stamp records with the owning relay shard; the tag must
+  // round-trip the on-disk format so a restart can rebuild each shard's
+  // state independently.
+  const fs::path dir = fresh_dir("wal_shard_tags");
+  const std::string path = (dir / "wal.log").string();
+  {
+    WriteAheadLog wal(path);
+    wal.append(1, bytes_of("s0"), /*shard=*/0);
+    wal.append(1, bytes_of("s3"), /*shard=*/3);
+    wal.append(2, bytes_of("s7"), /*shard=*/7);
+  }
+  WriteAheadLog reopened(path);
+  std::vector<WalRecord> records;
+  reopened.replay([&](const WalRecord& r) { records.push_back(r); });
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].shard, 0u);
+  EXPECT_EQ(records[1].shard, 3u);
+  EXPECT_EQ(records[1].payload, bytes_of("s3"));
+  EXPECT_EQ(records[2].shard, 7u);
+  EXPECT_EQ(records[2].type, 2u);
 }
 
 TEST(Wal, TornTailTruncatedAtEveryCutPoint) {
@@ -235,7 +260,7 @@ TEST(StateStore, FsyncPolicyFlushesOnSnapshotBarrier) {
   StateStore reopened(dir.string(), cfg);
   EXPECT_EQ(reopened.load_snapshot(), bytes_of("full-state"));
   std::uint64_t tail = 0;
-  reopened.replay_wal([&](std::uint8_t, BytesView) { ++tail; });
+  reopened.replay_wal([&](std::uint8_t, std::uint16_t, BytesView) { ++tail; });
   EXPECT_EQ(tail, 1u);
 }
 
@@ -314,7 +339,7 @@ TEST(StateStore, ColdOpenIsEmpty) {
   StateStore store(dir.string());
   EXPECT_FALSE(store.load_snapshot().has_value());
   std::size_t replayed = 0;
-  store.replay_wal([&](std::uint8_t, BytesView) { ++replayed; });
+  store.replay_wal([&](std::uint8_t, std::uint16_t, BytesView) { ++replayed; });
   EXPECT_EQ(replayed, 0u);
 }
 
@@ -356,7 +381,7 @@ TEST(StateStore, RestartRestoresSnapshotPlusTail) {
   ASSERT_TRUE(snapshot.has_value());
   EXPECT_EQ(*snapshot, bytes_of("snapshot-state"));
   std::vector<std::pair<std::uint8_t, Bytes>> tail;
-  reopened.replay_wal([&](std::uint8_t type, BytesView payload) {
+  reopened.replay_wal([&](std::uint8_t type, std::uint16_t, BytesView payload) {
     tail.emplace_back(type, Bytes(payload.begin(), payload.end()));
   });
   ASSERT_EQ(tail.size(), 2u);
@@ -387,7 +412,7 @@ TEST(StateStore, RecordsAppendedAfterARestartedSnapshotAreReplayed) {
   // Run 3: the post-restart record must replay.
   StateStore store(dir.string(), cfg);
   std::vector<Bytes> tail;
-  store.replay_wal([&](std::uint8_t, BytesView payload) {
+  store.replay_wal([&](std::uint8_t, std::uint16_t, BytesView payload) {
     tail.emplace_back(payload.begin(), payload.end());
   });
   ASSERT_EQ(tail.size(), 1u);
@@ -411,7 +436,7 @@ TEST(StateStore, ReplaySkipsRecordsAlreadyInSnapshotEvenWithoutReset) {
   }
   StateStore store(dir.string());
   std::vector<Bytes> tail;
-  store.replay_wal([&](std::uint8_t, BytesView payload) {
+  store.replay_wal([&](std::uint8_t, std::uint16_t, BytesView payload) {
     tail.emplace_back(payload.begin(), payload.end());
   });
   ASSERT_EQ(tail.size(), 1u);

@@ -68,6 +68,51 @@ TEST(Scenarios, FlooderSlashedAndContainedAcrossSeeds) {
   }
 }
 
+TEST(Scenarios, CoalitionReportsPerAdversaryVerdicts) {
+  // Two strategies attack concurrently in ONE campaign: a rate-limit
+  // flooder (slashable — valid proofs, double signals) and a stale-root
+  // replayer (unslashable — its bundles die in the O(1) root stage and
+  // carry no slashing material). The campaign JSON must attribute slashes
+  // per adversary instead of lumping them.
+  ScenarioConfig cfg;
+  cfg.name = "coalition";
+  cfg.harness = small_deployment(42);
+  RateLimitFlooder flooder(/*slot=*/0, /*burst_per_epoch=*/4);
+  StaleRootReplayer replayer(/*slot=*/1, /*per_tick=*/3);
+  Scenario scenario(cfg);
+  scenario.add_phase({"warmup", 6'000, true, {}})
+      .add_phase({"attack", 25'000, true, {&flooder, &replayer}})
+      .add_phase({"recovery", 10'000, true, {}});
+  const Report report = scenario.run();
+  const ScenarioVerdict& v = report.verdict;
+
+  ASSERT_EQ(v.per_adversary.size(), 2u);
+  const AdversaryVerdict* flooder_v = nullptr;
+  const AdversaryVerdict* replayer_v = nullptr;
+  for (const AdversaryVerdict& av : v.per_adversary) {
+    if (av.name == "flooder") flooder_v = &av;
+    if (av.name == "stale-root") replayer_v = &av;
+  }
+  ASSERT_NE(flooder_v, nullptr);
+  ASSERT_NE(replayer_v, nullptr);
+
+  // The flooder is slashed; the replayer never is (nothing to recover).
+  EXPECT_GE(flooder_v->slashes, 1u);
+  ASSERT_TRUE(flooder_v->time_to_slash_ms.has_value());
+  EXPECT_EQ(replayer_v->slashes, 0u);
+  EXPECT_FALSE(replayer_v->time_to_slash_ms.has_value());
+  EXPECT_GT(flooder_v->spam_sent, 0u);
+  EXPECT_GT(replayer_v->spam_sent, 0u);
+  // The replayer's traffic died in the cheap root stage network-wide.
+  EXPECT_GE(scenario.metrics().gauge("pipeline.stale_root").value(), 1.0);
+  // Honest service level held against the combined attack.
+  EXPECT_GE(v.honest_delivery_ratio, 0.99);
+  EXPECT_EQ(v.honest_slashes, 0u);
+  // And the breakdown survives the JSON export.
+  EXPECT_NE(v.to_json().find("\"per_adversary\": [{\"name\": "),
+            std::string::npos);
+}
+
 TEST(Scenarios, EpochBoundaryStraddlerIsLegalTraffic) {
   for (const std::uint64_t seed : kSeeds) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
