@@ -1,0 +1,108 @@
+// Live reshard cost: what a 4→8 generation cutover under sustained honest
+// load actually costs, measured by the campaign runner the engine's
+// containment claims are judged on (sim::run_live_reshard_campaign):
+//
+//   * cutover duration — begin_reshard() to every node past drop-old;
+//   * messages in flight during the dual-subscribe overlap window;
+//   * throughput dip — honest deliveries/sec during the cutover vs the
+//     pre-reshard steady state (and the post-cutover recovery rate);
+//   * the containment verdict riding along: honest delivery, zero
+//     quota doubling through the overlap, attacker slashed.
+//
+// Standalone binary emitting machine-readable JSON (argv[1], default
+// BENCH_reshard.json); honors WAKU_BENCH_SMOKE / --smoke (2→4 shards on a
+// smaller fleet).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace waku;  // NOLINT
+using benchutil::smoke_mode;
+
+sim::LiveReshardConfig campaign_config(bool smoke) {
+  sim::LiveReshardConfig cfg;
+  cfg.harness.num_nodes = smoke ? 12 : 24;
+  cfg.harness.degree = 4;
+  cfg.harness.block_interval_ms = 4'000;
+  cfg.harness.node.tree_depth = 10;
+  cfg.harness.node.validator.epoch.epoch_length_ms = 10'000;
+  cfg.harness.node.gossip.validation_batch_max = 8;
+  cfg.harness.node.shards.num_shards = smoke ? 2 : 4;
+  cfg.harness.seed = 0x2E54A2D;
+  cfg.target_shards = smoke ? 4 : 8;
+  cfg.warmup_ms = smoke ? 10'000 : 20'000;
+  cfg.announce_ms = 4'000;
+  cfg.overlap_ms = smoke ? 14'000 : 20'000;
+  cfg.drain_phase_ms = smoke ? 6'000 : 10'000;
+  cfg.settle_ms = smoke ? 10'000 : 20'000;
+  cfg.quiesce_ms = 8'000;
+  cfg.honest_rate_per_epoch = 0.8;
+  cfg.flood_pairs_per_epoch = 2;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_reshard.json";
+  const bool smoke = (argc > 2 && std::strcmp(argv[2], "--smoke") == 0) ||
+                     smoke_mode();
+
+  const sim::LiveReshardConfig cfg = campaign_config(smoke);
+  std::printf(
+      "live reshard campaign: %zu nodes, %u -> %u shards, overlap %llu ms, "
+      "flooder %llu pairs/epoch...\n",
+      cfg.harness.num_nodes, cfg.harness.node.shards.num_shards,
+      cfg.target_shards, static_cast<unsigned long long>(cfg.overlap_ms),
+      static_cast<unsigned long long>(cfg.flood_pairs_per_epoch));
+
+  const sim::LiveReshardOutcome out = sim::run_live_reshard_campaign(cfg);
+
+  std::printf(
+      "cutover: %llu ms, converged %s\n"
+      "throughput: steady %.1f msgs/s, during cutover %.1f (dip %.1f%%), "
+      "post %.1f\n"
+      "overlap in-flight: %llu honest deliveries\n"
+      "containment: delivery %.4f, quota doubles %llu, attacker slashed %s "
+      "(%s ms)\n",
+      static_cast<unsigned long long>(out.cutover_duration_ms),
+      out.all_nodes_converged ? "yes" : "NO", out.steady_msgs_per_sec,
+      out.cutover_msgs_per_sec, 100.0 * out.throughput_dip,
+      out.post_msgs_per_sec,
+      static_cast<unsigned long long>(out.overlap_messages_in_flight),
+      out.honest_delivery,
+      static_cast<unsigned long long>(out.quota_double_deliveries),
+      out.attacker_slashed ? "yes" : "NO",
+      out.time_to_slash_ms.has_value()
+          ? std::to_string(*out.time_to_slash_ms).c_str()
+          : "-");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n\"smoke\": %s,\n\"nodes\": %zu,\n\"campaign\": ",
+               smoke ? "true" : "false", cfg.harness.num_nodes);
+  const std::string json = out.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The bench doubles as a regression tripwire in CI's smoke job: a
+  // cutover that loses honest traffic, doubles quota, or fails to
+  // converge is a broken engine, not a slow one.
+  if (!out.all_nodes_converged || out.quota_double_deliveries != 0 ||
+      out.honest_delivery < 0.99 ||
+      (cfg.flood_pairs_per_epoch > 0 && !out.attacker_slashed)) {
+    std::fprintf(stderr, "live reshard containment verdict FAILED\n");
+    return 1;
+  }
+  return 0;
+}

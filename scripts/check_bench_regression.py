@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Bench regression guard: diff fresh BENCH_*.json against the committed
+baselines and fail on meaningful throughput regressions.
+
+Usage:
+    scripts/check_bench_regression.py <fresh-dir> [--baseline-dir DIR]
+                                      [--tolerance FRACTION]
+
+Run as the final step of the smoke-bench CI job: scripts/run_benches.sh
+--smoke <fresh-dir> produces the fresh JSONs, this script compares them
+to the BENCH_*.json committed at the repo root.
+
+What is compared
+----------------
+By default only MACHINE-PORTABLE metrics: speedup ratios and delivery /
+dip fractions, which survive the hop from the baseline machine to a CI
+runner. A >tolerance (default 25%) drop in
+
+  * batch-validation speedup (largest batch vs batch=1 msgs/sec),
+  * sharding aggregate speedup at 4 shards and at the max shard count,
+  * live-reshard honest delivery,
+
+or a >tolerance INCREASE in the live-reshard cutover throughput dip,
+fails the build. Raw msgs/sec are additionally compared when
+WAKU_BENCH_STRICT_ABSOLUTE=1 (same-machine perf tracking; meaningless
+across machine classes, so off in CI).
+
+Override knobs
+--------------
+  WAKU_BENCH_GUARD=off        skip the guard entirely (exit 0) — for
+                              landing a PR that knowingly trades
+                              throughput, together with refreshed
+                              baselines.
+  WAKU_BENCH_TOLERANCE=0.40   widen (or tighten) the allowed regression.
+  WAKU_BENCH_STRICT_ABSOLUTE=1  also guard raw msgs/sec numbers.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+def batch_validation_metrics(doc):
+    """BENCH_batch_validation.json: [{batch_size, msgs_per_sec, ...}]."""
+    if not isinstance(doc, list) or not doc:
+        return {}
+    by_size = {rec["batch_size"]: rec["msgs_per_sec"] for rec in doc}
+    base = by_size.get(1)
+    # Guard the batch-64 point: it is measured identically at smoke
+    # scale (the smoke pool is exactly 64 messages), whereas the larger
+    # batch sizes degenerate to a single short run there — the same
+    # scale-sensitivity the sharding extractor excludes 8 shards for.
+    guard_size = 64 if 64 in by_size else max(by_size)
+    metrics = {"batch_validation.msgs_per_sec.best": by_size[max(by_size)]}
+    if base:
+        metrics["batch_validation.speedup.batch%d_vs_1" % guard_size] = (
+            by_size[guard_size] / base
+        )
+    return metrics
+
+
+def sharding_metrics(doc):
+    """BENCH_sharding.json: {scale: [{shards, aggregate_msgs_per_sec,
+    speedup_vs_unsharded}], flood: {...}}."""
+    if not isinstance(doc, dict):
+        return {}
+    # Guard the 4-shard point only: it is meaningful at smoke scale,
+    # whereas the 8-shard point degenerates when the smoke pool leaves
+    # just a handful of messages per shard (fixed overhead dominates).
+    metrics = {}
+    for rec in doc.get("scale", []):
+        if rec["shards"] == 4:
+            metrics["sharding.speedup.4_shards"] = rec["speedup_vs_unsharded"]
+            metrics["sharding.msgs_per_sec.4_shards"] = (
+                rec["aggregate_msgs_per_sec"]
+            )
+    return metrics
+
+
+def reshard_metrics(doc):
+    """BENCH_reshard.json: {campaign: {honest_delivery, throughput_dip,
+    ...}}."""
+    if not isinstance(doc, dict) or "campaign" not in doc:
+        return {}
+    campaign = doc["campaign"]
+    return {
+        "reshard.honest_delivery": campaign.get("honest_delivery"),
+        "reshard.throughput_dip": campaign.get("throughput_dip"),
+    }
+
+
+# metric-name prefix -> direction; "down" means a larger value is a
+# regression (dips), everything else regresses when it drops.
+LOWER_IS_BETTER = ("reshard.throughput_dip",)
+# Raw-rate metrics compared only under WAKU_BENCH_STRICT_ABSOLUTE=1.
+ABSOLUTE_ONLY = (".msgs_per_sec",)
+
+EXTRACTORS = {
+    "BENCH_batch_validation.json": batch_validation_metrics,
+    "BENCH_sharding.json": sharding_metrics,
+    "BENCH_reshard.json": reshard_metrics,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh_dir", help="directory with fresh BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(__file__), ".."),
+        help="directory with committed baselines (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("WAKU_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    if os.environ.get("WAKU_BENCH_GUARD", "").lower() in ("off", "0", "skip"):
+        print("bench regression guard: WAKU_BENCH_GUARD=off, skipping")
+        return 0
+
+    strict_absolute = os.environ.get("WAKU_BENCH_STRICT_ABSOLUTE") == "1"
+    failures = []
+    compared = 0
+    for name, extract in sorted(EXTRACTORS.items()):
+        baseline_doc = load(os.path.join(args.baseline_dir, name))
+        fresh_doc = load(os.path.join(args.fresh_dir, name))
+        if baseline_doc is None:
+            print("  %-34s no committed baseline, skipped" % name)
+            continue
+        if fresh_doc is None:
+            failures.append("%s: fresh run produced no JSON" % name)
+            continue
+        baseline = extract(baseline_doc)
+        fresh = extract(fresh_doc)
+        for metric, base_value in sorted(baseline.items()):
+            if base_value is None or metric not in fresh:
+                continue
+            if not strict_absolute and any(
+                tag in metric for tag in ABSOLUTE_ONLY
+            ):
+                continue
+            fresh_value = fresh[metric]
+            compared += 1
+            if metric.startswith(LOWER_IS_BETTER):
+                # A dip may grow by the tolerance in absolute terms
+                # (dips near 0 make relative comparison meaningless).
+                regressed = fresh_value > base_value + args.tolerance
+                delta = fresh_value - base_value
+                verdict = "+%.3f dip" % delta
+            else:
+                floor = base_value * (1.0 - args.tolerance)
+                regressed = fresh_value < floor
+                delta = (
+                    (fresh_value - base_value) / base_value
+                    if base_value
+                    else 0.0
+                )
+                verdict = "%+.1f%%" % (100.0 * delta)
+            status = "REGRESSED" if regressed else "ok"
+            print(
+                "  %-44s base %10.3f  fresh %10.3f  %s (%s)"
+                % (metric, base_value, fresh_value, verdict, status)
+            )
+            if regressed:
+                failures.append(
+                    "%s: %.3f -> %.3f (allowed %.0f%%)"
+                    % (metric, base_value, fresh_value, 100 * args.tolerance)
+                )
+
+    if compared == 0:
+        failures.append("no metrics compared — wrong directories?")
+    if failures:
+        print("\nbench regression guard FAILED:")
+        for failure in failures:
+            print("  * " + failure)
+        print(
+            "(intentional trade-off? refresh the committed BENCH_*.json "
+            "baselines, or set WAKU_BENCH_GUARD=off / raise "
+            "WAKU_BENCH_TOLERANCE)"
+        )
+        return 1
+    print("bench regression guard passed (%d metrics)" % compared)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

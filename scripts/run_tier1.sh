@@ -25,18 +25,19 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 cd "$BUILD"
-# The adversarial scenario and sharding suites must be part of every
-# sanitized run — the sim layer drives long event cascades through every
-# subsystem, and the sharded relay adds per-shard state machines plus
-# shard-tagged WAL recovery on top; exactly where lifetime bugs hide. Fail
-# loudly if either ever drops out of the glob.
+# The adversarial scenario, sharding, and live-reshard suites must be
+# part of every sanitized run — the sim layer drives long event cascades
+# through every subsystem, the sharded relay adds per-shard state
+# machines plus shard-tagged WAL recovery, and the reshard engine moves
+# pipelines between validator containers mid-flight; exactly where
+# lifetime bugs hide. Fail loudly if any ever drops out of the glob.
 # (capture first: `ctest -N | grep -q` would trip pipefail via SIGPIPE)
 registered="$(ctest -N)"
-for suite in test_scenarios test_sharding; do
+for suite in test_scenarios test_sharding test_reshard; do
   if ! grep -q "$suite" <<<"$registered"; then
     echo "error: $suite missing from the ctest suite" >&2
     exit 1
   fi
 done
 ctest --output-on-failure -j"$(nproc)"
-echo "tier-1 suite (incl. adversarial scenarios + sharding) passed under -fsanitize=$SAN"
+echo "tier-1 suite (incl. adversarial scenarios + sharding + live reshard) passed under -fsanitize=$SAN"

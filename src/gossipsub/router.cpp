@@ -53,10 +53,16 @@ void GossipSubRouter::unsubscribe(const std::string& topic) {
   Frame frame;
   frame.type = FrameType::kUnsubscribe;
   frame.topic = topic;
-  for (const NodeId peer : network_.neighbors(id_)) send_frame(peer, frame);
-  // Forget the announcement so a re-subscribe re-announces everywhere
-  // (including to links that appeared while we were unsubscribed).
-  for (auto& [peer, topics] : announced_) topics.erase(topic);
+  // Retract the announcement from every peer we can reach now; peers we
+  // CANNOT reach keep their announced_ entry, which the heartbeat reads
+  // as "still believes we subscribe" and retracts once the link is back
+  // (a late (re)joined peer must not graft a mesh we already left).
+  for (const NodeId peer : network_.neighbors(id_)) {
+    send_frame(peer, frame);
+    if (const auto it = announced_.find(peer); it != announced_.end()) {
+      it->second.erase(topic);
+    }
+  }
   // Leave the mesh politely.
   if (const auto it = mesh_.find(topic); it != mesh_.end()) {
     Frame prune;
@@ -226,6 +232,18 @@ void GossipSubRouter::handle_publish(NodeId from, const PubSubMessage& msg) {
   }
   seen_.emplace(id, network_.sim().now());
 
+  if (!handlers_.contains(msg.topic)) {
+    // The sender believes we subscribe (mesh relay or fanout target),
+    // so our kUnsubscribe must have been lost in transit — retract
+    // again. Idempotent, bounded by the sender's own rate, and each
+    // delivery is a fresh trial, so the stale belief converges away
+    // even on lossy links (where a single send-time retraction cannot).
+    Frame retract;
+    retract.type = FrameType::kUnsubscribe;
+    retract.topic = msg.topic;
+    send_frame(from, retract);
+  }
+
   // Validation gate — spam dies here, at the first hop (paper §IV). With
   // batching enabled the message waits for a validation window; buffered
   // messages already count as seen, so echoes keep deduplicating.
@@ -373,6 +391,17 @@ void GossipSubRouter::handle_graft(NodeId from, const std::string& topic) {
     prune.type = FrameType::kPrune;
     prune.topic = topic;
     send_frame(from, prune);
+    if (!handlers_.contains(topic)) {
+      // A graft proves the peer believes we subscribe; if that belief
+      // were current we would be subscribed. Retract (again) — grafts
+      // retry every heartbeat while the peer's mesh is under its low
+      // watermark, so this converges even when earlier retractions were
+      // lost on a lossy link.
+      Frame retract;
+      retract.type = FrameType::kUnsubscribe;
+      retract.topic = topic;
+      send_frame(from, retract);
+    }
     return;
   }
   mesh_[topic].insert(from);
@@ -396,10 +425,14 @@ void GossipSubRouter::heartbeat() {
   flush_pending_validation();
 
   // Subscription upkeep: announce our topics to neighbors that have not
-  // heard them yet. subscribe() only reaches the links that existed at
-  // that moment; topology grown afterwards (sharded deployments stitching
-  // per-shard rings, restarts, operator-added links) learns our
-  // subscriptions here, within one heartbeat of the link appearing.
+  // heard them yet, and retract topics a neighbor still believes we
+  // subscribe but we no longer do. subscribe()/unsubscribe() only reach
+  // the links that existed at that moment; topology grown afterwards
+  // (sharded deployments stitching per-shard rings, restarts,
+  // operator-added links, peers that were partitioned during a reshard's
+  // drop-old) converges here, within one heartbeat of the link
+  // appearing. Without the retraction a late-joined peer keeps grafting
+  // the dead topic's mesh and fanout-publishing into a void.
   for (const NodeId peer : network_.neighbors(id_)) {
     auto& told = announced_[peer];
     for (const auto& [topic, handler] : handlers_) {
@@ -409,6 +442,17 @@ void GossipSubRouter::heartbeat() {
       frame.topic = topic;
       send_frame(peer, frame);
       told.insert(topic);
+    }
+    for (auto it = told.begin(); it != told.end();) {
+      if (handlers_.contains(*it)) {
+        ++it;
+        continue;
+      }
+      Frame frame;
+      frame.type = FrameType::kUnsubscribe;
+      frame.topic = *it;
+      send_frame(peer, frame);
+      it = told.erase(it);
     }
   }
 
@@ -503,6 +547,18 @@ void GossipSubRouter::heartbeat() {
   for (auto it = seen_.begin(); it != seen_.end();) {
     if (now - it->second > config_.seen_ttl_ms) {
       it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Drop announcement bookkeeping for peers that left the network for
+  // good (ids are never reused) — unsubscribe() deliberately retains
+  // entries for unreachable peers, which must not become a leak across
+  // long-lived churn.
+  for (auto it = announced_.begin(); it != announced_.end();) {
+    if (!network_.node_alive(it->first)) {
+      it = announced_.erase(it);
     } else {
       ++it;
     }

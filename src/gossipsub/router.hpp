@@ -79,6 +79,14 @@ class GossipSubRouter : public net::NetNode {
   [[nodiscard]] bool subscribed(const std::string& topic) const {
     return handlers_.contains(topic);
   }
+  /// What this router believes about a PEER's subscription — the state
+  /// heartbeat (un)subscribe re-announcement converges; tests assert a
+  /// late-relinked peer forgets topics we left while it was away.
+  [[nodiscard]] bool peer_subscribed(NodeId peer,
+                                     const std::string& topic) const {
+    const auto it = peer_topics_.find(peer);
+    return it != peer_topics_.end() && it->second.contains(topic);
+  }
   [[nodiscard]] std::vector<NodeId> mesh_peers(const std::string& topic) const;
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
   [[nodiscard]] PeerScore& scores() { return scores_; }

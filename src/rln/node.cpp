@@ -45,11 +45,15 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       relay_(network, config.gossip, config.score, seed),
       group_(config.tree_depth, config.tree_mode),
       // Per-node seed for the batch verifiers' RLC weights (further
-      // diversified per shard inside ShardedValidator): senders must not
-      // be able to predict another node's weight stream.
+      // diversified per generation and per shard): senders must not be
+      // able to predict another node's weight stream.
+      base_validator_seed_(seed ^ 0x52C4A55E9D1ULL),
       shards_(zksnark::rln_keypair(config.tree_depth).vk, group_,
-              config.validator, config.shards, seed ^ 0x52C4A55E9D1ULL) {
+              config.validator, config.shards,
+              validator_seed(config.shards.generation)),
+      reshard_(config.shards) {
   group_.set_own_identity(identity_);
+  install_validator_hooks(shards_, /*next_generation=*/false);
 
   if (!config_.persist_dir.empty()) {
     try {
@@ -63,38 +67,94 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       throw;
     }
     state_store_->set_snapshot_provider([this] { return serialize_state(); });
-    // Observed shares exist only in transit — journal them (under the
-    // owning shard's WAL tag) the moment any shard's pipeline records one,
-    // so a crash cannot blind us to double-signals on any shard.
-    shards_.set_observe_hook([this](shard::ShardId shard, std::uint64_t epoch,
-                                    const Fr& nullifier,
-                                    const sss::Share& share,
-                                    std::uint64_t proof_fp) {
-      ByteWriter w;
-      w.write_u64(epoch);
-      w.write_raw(nullifier.to_bytes_be());
-      w.write_raw(share.x.to_bytes_be());
-      w.write_raw(share.y.to_bytes_be());
-      w.write_u64(proof_fp);
-      journal(WalTag::kNullifier, w.data(), shard);
-    });
   }
 }
 
-void WakuRlnRelayNode::wire_shard(shard::ShardId shard) {
-  const std::string topic = shards_.map().pubsub_topic(shard);
+void WakuRlnRelayNode::install_validator_hooks(
+    shard::ShardedValidator& validator, bool next_generation) {
+  // Observed shares exist only in transit — journal them (under the
+  // owning shard's WAL tag) the moment any shard's pipeline records one,
+  // so a crash cannot blind us to double-signals on any shard. During a
+  // cutover the incoming generation's shard ids collide with the outgoing
+  // ones, so its mirrors ride a distinct tag.
+  const WalTag tag =
+      next_generation ? WalTag::kNullifierNext : WalTag::kNullifier;
+  validator.set_observe_hook([this, tag](shard::ShardId shard,
+                                         std::uint64_t epoch,
+                                         const Fr& nullifier,
+                                         const sss::Share& share,
+                                         std::uint64_t proof_fp) {
+    ByteWriter w;
+    w.write_u64(epoch);
+    w.write_raw(nullifier.to_bytes_be());
+    w.write_raw(share.x.to_bytes_be());
+    w.write_raw(share.y.to_bytes_be());
+    w.write_u64(proof_fp);
+    journal(tag, w.data(), shard);
+  });
+  for (const shard::ShardId s : validator.subscribed()) {
+    ValidationPipeline& pipeline = validator.pipeline(s);
+    // Dual-generation enforcement: while a cutover (or its linger
+    // window) is active, every message's rate-limit domain is its
+    // OLD-generation shard and both generations' meshes observe into
+    // that one shared log — migration can never double a quota.
+    pipeline.set_log_selector([this](const WakuMessage& msg) {
+      return reshard_.domain_log(msg.content_topic);
+    });
+    pipeline.set_cutover_observe_hook(
+        [this](const WakuMessage& msg, std::uint64_t epoch,
+               const Fr& nullifier, const sss::Share& share,
+               std::uint64_t proof_fp) {
+          const std::optional<shard::ShardId> domain =
+              reshard_.domain_of(msg.content_topic);
+          if (!domain.has_value()) return;
+          ByteWriter w;
+          w.write_u64(epoch);
+          w.write_raw(nullifier.to_bytes_be());
+          w.write_raw(share.x.to_bytes_be());
+          w.write_raw(share.y.to_bytes_be());
+          w.write_u64(proof_fp);
+          journal(WalTag::kCutoverObservation, w.data(), *domain);
+        });
+  }
+}
+
+shard::ShardedValidator* WakuRlnRelayNode::validator_for_generation(
+    std::uint32_t generation) {
+  if (shards_.map().generation() == generation) return &shards_;
+  if (next_shards_ != nullptr &&
+      next_shards_->map().generation() == generation) {
+    return next_shards_.get();
+  }
+  return nullptr;
+}
+
+void WakuRlnRelayNode::wire_shard(shard::ShardedValidator& validator,
+                                  shard::ShardId shard) {
+  const std::string topic = validator.map().pubsub_topic(shard);
+  const std::uint32_t generation = validator.map().generation();
   // All relayed traffic on this shard funnels through the shard's own
   // staged validation pipeline; with gossip validation batching enabled,
   // whole windows share one RLC-aggregated Groth16 check. Windows are
   // per-topic in the router, so one shard's backlog never delays another
-  // shard's flush.
+  // shard's flush. The container is resolved by generation at call time:
+  // the drop-old swap moves pipelines between containers and a captured
+  // reference would dangle.
   relay_.set_batch_validator_topic(
       topic,
-      [this, shard](const std::vector<net::NodeId>&,
-                    const std::vector<net::TimeMs>& received_at,
-                    const std::vector<WakuMessage>& messages) {
+      [this, shard, generation](const std::vector<net::NodeId>&,
+                                const std::vector<net::TimeMs>& received_at,
+                                const std::vector<WakuMessage>& messages) {
+        shard::ShardedValidator* validator =
+            validator_for_generation(generation);
+        if (validator == nullptr || !validator->subscribes(shard)) {
+          // A mesh of a generation this node no longer runs (straggler
+          // traffic after drop-old): drop without penalty.
+          return std::vector<ValidationResult>(messages.size(),
+                                               ValidationResult::kIgnore);
+        }
         const std::vector<ValidationOutcome> outcomes =
-            shards_.pipeline(shard).validate_batch(messages, received_at);
+            validator->pipeline(shard).validate_batch(messages, received_at);
         std::vector<ValidationResult> results;
         results.reserve(outcomes.size());
         for (const ValidationOutcome& outcome : outcomes) {
@@ -145,9 +205,16 @@ void WakuRlnRelayNode::wire_shard(shard::ShardId shard) {
 
 void WakuRlnRelayNode::start() {
   started_ = true;
-  // One gossipsub mesh + validator per subscribed shard.
+  // One gossipsub mesh + validator per subscribed shard — for BOTH
+  // generations when a restored cutover is mid-overlap/drain (the
+  // restart resumes the journaled phase, dual-subscription included).
   for (const shard::ShardId shard : shards_.subscribed()) {
-    wire_shard(shard);
+    wire_shard(shards_, shard);
+  }
+  if (next_shards_ != nullptr) {
+    for (const shard::ShardId shard : next_shards_->subscribed()) {
+      wire_shard(*next_shards_, shard);
+    }
   }
 
   // Durable nodes resume the contract event stream from their replay
@@ -162,11 +229,26 @@ void WakuRlnRelayNode::start() {
   chain_subscription_ = chain_.subscribe_events(
       [this](const chain::Event& ev) { handle_chain_event(ev); });
 
-  // Periodic upkeep: per-shard nullifier-log GC and pending-slash expiry,
-  // once per epoch.
+  // Periodic upkeep: per-shard nullifier-log GC (both generations and the
+  // cutover domain logs), load-tracker sampling, and pending-slash
+  // expiry, once per epoch.
   upkeep_task_ = network_.sim().schedule_every(
       config_.validator.epoch.epoch_length_ms, [this] {
-        shards_.gc(network_.local_time(node_id()));
+        const std::uint64_t now = network_.local_time(node_id());
+        shards_.gc(now);
+        if (next_shards_ != nullptr) next_shards_->gc(now);
+        reshard_.gc(current_epoch(), config_.validator.max_epoch_gap);
+        if (reshard_.linger_expired(current_epoch())) {
+          // Journal before applying (same fail-closed order as the
+          // phase transitions): a later cutover's WAL records must
+          // replay onto a coordinator that already ended this linger.
+          journal(WalTag::kReshardLingerEnd, {});
+          end_reshard_linger();
+        }
+        for (const shard::ShardId s : shards_.subscribed()) {
+          load_tracker_.record(s, shards_.pipeline(s).stats().accepted,
+                               shards_.pipeline(s).log().entry_count(), now);
+        }
         expire_pending_slashes();
       });
 
@@ -230,11 +312,50 @@ WakuMessage WakuRlnRelayNode::build_message(Bytes payload,
   return msg;
 }
 
+std::optional<WakuRlnRelayNode::PublishRoute>
+WakuRlnRelayNode::resolve_publish_route(
+    const std::string& content_topic) const {
+  // The quota key is the topic's rate-limit DOMAIN: while domain routing
+  // is active (cutover + the post-drop-old linger) that is the
+  // old-generation shard both meshes observe into — keying by the new
+  // shard any earlier would let this node publish on two sibling new
+  // shards of one old family in the same epoch and double-signal
+  // against itself on the shared domain log. Once the linger ends (the
+  // quota map re-keys in the same step — end_reshard_linger), the
+  // current map is the domain.
+  // NOTE the hosting checks below use each generation's OWN shard of
+  // the topic; `quota` is only the rate-limit key.
+  const shard::ShardId current_shard = shards_.shard_of(content_topic);
+  const shard::ShardId quota =
+      reshard_.domain_of(content_topic).value_or(current_shard);
+  const bool next_authoritative = reshard_.next_generation_authoritative();
+  if (next_authoritative && next_shards_ != nullptr) {
+    const shard::ShardId s = next_shards_->shard_of(content_topic);
+    if (next_shards_->subscribes(s)) {
+      return PublishRoute{next_shards_->map().pubsub_topic(s), quota};
+    }
+  }
+  if (shards_.subscribes(current_shard)) {
+    return PublishRoute{shards_.map().pubsub_topic(current_shard), quota};
+  }
+  // Overlap fallback: not hosting the topic's old-generation shard but
+  // meshing its new-generation one — publish there; dual-generation
+  // enforcement debits the same domain either way.
+  if (!next_authoritative && next_shards_ != nullptr) {
+    const shard::ShardId s = next_shards_->shard_of(content_topic);
+    if (next_shards_->subscribes(s)) {
+      return PublishRoute{next_shards_->map().pubsub_topic(s), quota};
+    }
+  }
+  return std::nullopt;
+}
+
 WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
     Bytes payload, const std::string& content_topic) {
   if (!is_registered()) return PublishStatus::kNotRegistered;
-  const shard::ShardId shard = shards_.shard_of(content_topic);
-  if (!shards_.subscribes(shard)) {
+  const std::optional<PublishRoute> route =
+      resolve_publish_route(content_topic);
+  if (!route.has_value()) {
     ++stats_.publish_wrong_shard;
     return PublishStatus::kShardNotSubscribed;
   }
@@ -242,20 +363,20 @@ WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
   // The honest quota is per (epoch, shard): shard-scoped nullifier logs
   // make shards independent rate-limit domains, so a publisher active on
   // two shards is not equivocating.
-  const auto it = last_published_epoch_.find(shard);
+  const auto it = last_published_epoch_.find(route->quota_shard);
   if (it != last_published_epoch_.end() && it->second == epoch) {
     ++stats_.publish_rate_limited;
     return PublishStatus::kRateLimited;  // honest 1-per-epoch-per-shard limit
   }
-  last_published_epoch_[shard] = epoch;
+  last_published_epoch_[route->quota_shard] = epoch;
   // Journaled before the message leaves: a node that crashes after
   // publishing and forgets it published would double-signal against
   // itself on restart — and forfeit its own stake. Shard-tagged so the
   // restart rebuilds the per-shard quota map.
   ByteWriter w;
   w.write_u64(epoch);
-  journal(WalTag::kOwnPublish, w.data(), shard);
-  relay_.publish_on(shards_.map().pubsub_topic(shard),
+  journal(WalTag::kOwnPublish, w.data(), route->quota_shard);
+  relay_.publish_on(route->pubsub_topic,
                     build_message(std::move(payload), content_topic, epoch));
   ++stats_.published;
   return PublishStatus::kOk;
@@ -263,10 +384,22 @@ WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
 
 WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::force_publish(
     Bytes payload, const std::string& content_topic) {
+  // Attackers route like everyone else (authoritative generation first)
+  // but ignore hosting and the local rate limit.
+  return force_publish_generation(std::move(payload), content_topic,
+                                  reshard_.next_generation_authoritative());
+}
+
+WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::force_publish_generation(
+    Bytes payload, const std::string& content_topic,
+    bool use_next_generation) {
   if (!is_registered()) return PublishStatus::kNotRegistered;
-  const shard::ShardId shard = shards_.shard_of(content_topic);
+  shard::ShardedValidator* validator =
+      use_next_generation && next_shards_ != nullptr ? next_shards_.get()
+                                                     : &shards_;
+  const shard::ShardId shard = validator->shard_of(content_topic);
   relay_.publish_on(
-      shards_.map().pubsub_topic(shard),
+      validator->map().pubsub_topic(shard),
       build_message(std::move(payload), content_topic, current_epoch()));
   ++stats_.published;
   return PublishStatus::kOk;
@@ -336,6 +469,141 @@ bool WakuRlnRelayNode::force_publish_split(Bytes payload_a, Bytes payload_b) {
                        std::span<const net::NodeId>(peers.data() + half,
                                                     peers.size() - half));
   stats_.published += 2;
+  return true;
+}
+
+// -- Live reshard ------------------------------------------------------------
+
+void WakuRlnRelayNode::create_next_validator() {
+  const shard::ShardConfig& next = reshard_.next_config();
+  next_shards_ = std::make_unique<shard::ShardedValidator>(
+      zksnark::rln_keypair(config_.tree_depth).vk, group_, config_.validator,
+      reshard_.next_map(), next.subscribed_shards(),
+      validator_seed(next.generation));
+  install_validator_hooks(*next_shards_, /*next_generation=*/true);
+}
+
+void WakuRlnRelayNode::end_reshard_linger() {
+  reshard_.end_linger();
+  // Re-key the quota map from domain (old-generation) to current
+  // (new-generation) shard ids. A domain entry cannot be mapped to one
+  // new shard (the quota key is a shard, not a topic), so merge
+  // conservatively: every hosted shard inherits the newest epoch any
+  // domain saw. Over-blocks by at most one publish per shard for one
+  // epoch; never under-blocks, so the node cannot double-signal against
+  // itself across the key-space switch.
+  std::uint64_t newest = 0;
+  bool any = false;
+  for (const auto& [shard, epoch] : last_published_epoch_) {
+    newest = std::max(newest, epoch);
+    any = true;
+  }
+  last_published_epoch_.clear();
+  if (!any) return;
+  for (const shard::ShardId s : shards_.subscribed()) {
+    last_published_epoch_[s] = newest;
+  }
+}
+
+void WakuRlnRelayNode::apply_reshard_transition(
+    shard::ReshardPhase to, std::uint64_t linger_until_epoch, bool live) {
+  switch (to) {
+    case shard::ReshardPhase::kStable: {
+      // Drop-old: leave the outgoing generation's meshes, re-key the
+      // quota, swap the incoming validator in, start the domain linger.
+      if (live) {
+        for (const shard::ShardId s : shards_.subscribed()) {
+          relay_.router().unsubscribe(shards_.map().pubsub_topic(s));
+        }
+      }
+      // The shard id space and the pipelines' cumulative counters both
+      // restart under the new generation; stale windows would wrap.
+      // (The quota map is NOT re-keyed here: it stays domain-keyed until
+      // the linger ends — see end_reshard_linger.)
+      load_tracker_.reset();
+      reshard_.advance(linger_until_epoch);
+      WAKU_EXPECTS(next_shards_ != nullptr);
+      shards_ = std::move(*next_shards_);
+      next_shards_.reset();
+      // The moved-from container's hooks captured its old address;
+      // re-install against the new home (pipelines themselves moved by
+      // pointer, so their selectors stay valid).
+      install_validator_hooks(shards_, /*next_generation=*/false);
+      return;
+    }
+    case shard::ReshardPhase::kOverlap: {
+      reshard_.advance();
+      create_next_validator();
+      // Seed the shared domain logs with the outgoing generation's
+      // per-shard history: pre-cutover signals keep counting against the
+      // cutover quota.
+      for (const shard::ShardId s : shards_.subscribed()) {
+        reshard_.seed_domain_log(s, shards_.pipeline(s).log().serialize());
+      }
+      if (live) {
+        for (const shard::ShardId s : next_shards_->subscribed()) {
+          wire_shard(*next_shards_, s);
+        }
+      }
+      return;
+    }
+    case shard::ReshardPhase::kDrain:
+      reshard_.advance();
+      return;
+    case shard::ReshardPhase::kAnnounce:
+      return;  // entered via ReshardCoordinator::begin
+  }
+}
+
+void WakuRlnRelayNode::journal_reshard_phase(
+    shard::ReshardPhase to, std::uint64_t linger_until_epoch) {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(to));
+  w.write_u64(linger_until_epoch);
+  if (to == shard::ReshardPhase::kAnnounce) {
+    const shard::ShardConfig& next = reshard_.next_config();
+    w.write_u16(next.num_shards);
+    w.write_u16(static_cast<std::uint16_t>(next.subscribe.size()));
+    for (const shard::ShardId s : next.subscribe) w.write_u16(s);
+  }
+  journal(WalTag::kReshardPhase, w.data());
+}
+
+bool WakuRlnRelayNode::begin_reshard(
+    std::uint16_t target_num_shards,
+    std::vector<shard::ShardId> new_subscribe) {
+  if (!reshard_.begin(target_num_shards, std::move(new_subscribe))) {
+    return false;
+  }
+  journal_reshard_phase(shard::ReshardPhase::kAnnounce, 0);
+  return true;
+}
+
+bool WakuRlnRelayNode::advance_reshard() {
+  shard::ReshardPhase to;
+  std::uint64_t linger_until_epoch = 0;
+  switch (reshard_.phase()) {
+    case shard::ReshardPhase::kStable:
+      return false;
+    case shard::ReshardPhase::kAnnounce:
+      to = shard::ReshardPhase::kOverlap;
+      break;
+    case shard::ReshardPhase::kOverlap:
+      to = shard::ReshardPhase::kDrain;
+      break;
+    case shard::ReshardPhase::kDrain:
+      to = shard::ReshardPhase::kStable;
+      // The domain logs stay authoritative until the epoch gate refuses
+      // every epoch the cutover could still be adjudicating.
+      linger_until_epoch = current_epoch() + config_.validator.max_epoch_gap + 1;
+      break;
+  }
+  // Journal BEFORE applying: if the crash lands in between, the restart
+  // replays the transition and resumes in the NEW phase — the fail-closed
+  // direction (a node that already acted in a phase must never wake up
+  // believing it hadn't; the reverse merely repeats an idempotent setup).
+  journal_reshard_phase(to, linger_until_epoch);
+  apply_reshard_transition(to, linger_until_epoch, /*live=*/true);
   return true;
 }
 
@@ -470,7 +738,7 @@ void WakuRlnRelayNode::force_snapshot() {
 
 Bytes WakuRlnRelayNode::serialize_state() const {
   ByteWriter w;
-  w.write_u8(3);  // version 3: per-shard pipelines + per-shard quota map
+  w.write_u8(4);  // version 4: + reshard coordinator & next-gen validator
   // The identity secret rides in the snapshot so a restart is
   // self-contained. With keystore_password set it travels sealed under the
   // ChaCha20-Poly1305 keystore (rln/keystore.hpp) — leaking a snapshot
@@ -493,7 +761,15 @@ Bytes WakuRlnRelayNode::serialize_state() const {
   // the credential above is its only (encrypted) carrier.
   w.write_bytes(group_.serialize(
       /*include_identity=*/config_.keystore_password.empty()));
+  // Cutover state machine + shared domain logs + (mid-reshard) the
+  // incoming generation's pipeline state: a crashed node restarts into
+  // the exact journaled phase, dual-subscription and all.
+  w.write_bytes(reshard_.serialize());
   w.write_bytes(shards_.serialize_state());
+  w.write_u8(next_shards_ != nullptr ? 1 : 0);
+  if (next_shards_ != nullptr) {
+    w.write_bytes(next_shards_->serialize_state());
+  }
   // Per-shard honest-quota map, sorted by shard so identical states
   // serialize byte-identically (restart tests assert on it).
   std::vector<std::pair<shard::ShardId, std::uint64_t>> quota(
@@ -526,7 +802,7 @@ Bytes WakuRlnRelayNode::serialize_state() const {
 
 void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
   ByteReader r(payload);
-  WAKU_EXPECTS(r.read_u8() == 3);
+  WAKU_EXPECTS(r.read_u8() == 4);
   const std::uint8_t sealed = r.read_u8();
   if (sealed == 0) {
     identity_ = Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
@@ -551,8 +827,31 @@ void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
     // identity (the restored own_index is kept as-is).
     group_.set_own_identity(identity_);
   }
+  const Bytes reshard_bytes = r.read_bytes();
+  reshard_.restore(reshard_bytes);
+  // The coordinator is authoritative for the effective layout: a node
+  // that completed (or is mid-way through) a reshard has moved past its
+  // construction-time ShardConfig, so rebuild the validator containers
+  // to match before restoring their pipeline state into them.
+  if (!(shards_.map() == reshard_.current_map())) {
+    shards_ = shard::ShardedValidator(
+        zksnark::rln_keypair(config_.tree_depth).vk, group_,
+        config_.validator, reshard_.current_map(),
+        reshard_.current_config().subscribed_shards(),
+        validator_seed(reshard_.current_config().generation));
+    install_validator_hooks(shards_, /*next_generation=*/false);
+  }
+  next_shards_.reset();
+  if (reshard_.in_cutover() && reshard_.phase() != shard::ReshardPhase::kAnnounce) {
+    create_next_validator();
+  }
   const Bytes shards_bytes = r.read_bytes();
   shards_.restore_state(shards_bytes);
+  if (r.read_u8() != 0) {
+    const Bytes next_bytes = r.read_bytes();
+    WAKU_EXPECTS(next_shards_ != nullptr);
+    next_shards_->restore_state(next_bytes);
+  }
   last_published_epoch_.clear();
   const std::uint16_t quota_count = r.read_u16();
   for (std::uint16_t i = 0; i < quota_count; ++i) {
@@ -629,6 +928,55 @@ void WakuRlnRelayNode::apply_wal_record(std::uint8_t type,
     }
     case WalTag::kOwnPublish:
       last_published_epoch_[shard] = r.read_u64();
+      break;
+    case WalTag::kReshardPhase: {
+      const auto to = static_cast<shard::ReshardPhase>(r.read_u8());
+      const std::uint64_t linger_until_epoch = r.read_u64();
+      if (to == shard::ReshardPhase::kAnnounce) {
+        const std::uint16_t target = r.read_u16();
+        const std::uint16_t count = r.read_u16();
+        std::vector<shard::ShardId> subscribe;
+        subscribe.reserve(count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+          subscribe.push_back(r.read_u16());
+        }
+        reshard_.begin(target, std::move(subscribe));
+      } else {
+        // Relay wiring is left to start(), which wires whatever phase
+        // the replay lands on.
+        apply_reshard_transition(to, linger_until_epoch, /*live=*/false);
+      }
+      break;
+    }
+    case WalTag::kNullifierNext: {
+      const std::uint64_t epoch = r.read_u64();
+      const Fr nullifier = Fr::from_bytes_reduce(r.read_raw(32));
+      sss::Share share;
+      share.x = Fr::from_bytes_reduce(r.read_raw(32));
+      share.y = Fr::from_bytes_reduce(r.read_raw(32));
+      const std::uint64_t proof_fp = r.read_u64();
+      // Incoming-generation mirror; records can only precede the
+      // drop-old phase record, so the container exists at this point of
+      // the replay (or the cutover never resumed — drop).
+      if (next_shards_ != nullptr) {
+        next_shards_->inject_observation(shard, epoch, nullifier, share,
+                                         proof_fp);
+      }
+      break;
+    }
+    case WalTag::kCutoverObservation: {
+      const std::uint64_t epoch = r.read_u64();
+      const Fr nullifier = Fr::from_bytes_reduce(r.read_raw(32));
+      sss::Share share;
+      share.x = Fr::from_bytes_reduce(r.read_raw(32));
+      share.y = Fr::from_bytes_reduce(r.read_raw(32));
+      const std::uint64_t proof_fp = r.read_u64();
+      reshard_.inject_domain_observation(shard, epoch, nullifier, share,
+                                         proof_fp);
+      break;
+    }
+    case WalTag::kReshardLingerEnd:
+      end_reshard_linger();
       break;
   }
 }

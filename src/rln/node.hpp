@@ -29,6 +29,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -41,6 +42,7 @@
 #include "rln/group_manager.hpp"
 #include "rln/identity.hpp"
 #include "rln/validator.hpp"
+#include "shard/reshard.hpp"
 #include "shard/sharded_validator.hpp"
 #include "waku/relay.hpp"
 #include "waku/store.hpp"
@@ -180,6 +182,55 @@ class WakuRlnRelayNode {
     return shards_.map().pubsub_topic(shards_.shard_of(content_topic));
   }
 
+  // -- Live reshard (shard/reshard.hpp) --------------------------------------
+
+  /// Starts a staged generation cutover to `target_num_shards` (a
+  /// multiple of the current count — the cutover runs on split layouts)
+  /// with `new_subscribe` as this node's new-generation subscription
+  /// (empty = all shards). Enters kAnnounce and journals the transition
+  /// (WAL v3); topology is untouched until advance_reshard(). Returns
+  /// false when a cutover is already running, the previous cutover's
+  /// linger window has not expired, or the layout is invalid.
+  bool begin_reshard(std::uint16_t target_num_shards,
+                     std::vector<shard::ShardId> new_subscribe = {});
+
+  /// Advances the cutover one phase: announce -> overlap (dual-subscribe
+  /// both generations' meshes, dual-generation RLN enforcement on) ->
+  /// drain (publishes route to the new generation) -> drop-old (old
+  /// meshes unsubscribed; domain logs and the domain-keyed quota linger
+  /// for Thr+1 epochs, then the per-shard quota re-keys — see
+  /// end_reshard_linger). Each transition is journaled before it takes
+  /// effect, so a crash mid-reshard restarts into the correct phase
+  /// fail-closed. Returns false when no cutover is running.
+  bool advance_reshard();
+
+  [[nodiscard]] shard::ReshardPhase reshard_phase() const {
+    return reshard_.phase();
+  }
+  [[nodiscard]] const shard::ReshardCoordinator& reshard() const {
+    return reshard_;
+  }
+  /// The incoming generation's validator during announce/overlap/drain.
+  [[nodiscard]] shard::ShardedValidator* next_validator() {
+    return next_shards_ ? next_shards_.get() : nullptr;
+  }
+
+  /// Per-shard load samples feed this every upkeep tick; recommend() on
+  /// it answers "should this deployment reshard, and to how many shards".
+  [[nodiscard]] shard::ShardLoadTracker& load_tracker() {
+    return load_tracker_;
+  }
+
+  /// Overlap-window attacker hook: a valid-proof publish forced onto a
+  /// specific generation's mesh (next when `use_next_generation` and a
+  /// cutover is running, current otherwise), ignoring the local rate
+  /// limit. The cutover campaign uses old/new same-epoch pairs to attack
+  /// the migration window; dual-generation enforcement must fold them
+  /// into one quota and slash.
+  PublishStatus force_publish_generation(Bytes payload,
+                                         const std::string& content_topic,
+                                         bool use_next_generation);
+
   // -- Durable state ---------------------------------------------------------
 
   /// Writes a snapshot now (no-op for ephemeral nodes).
@@ -233,26 +284,93 @@ class WakuRlnRelayNode {
   [[nodiscard]] const NodeConfig& config() const { return config_; }
 
  private:
-  /// WAL record schema. Chain-derived state is NOT journaled — the chain's
-  /// event log is authoritative and replayable from the cursor; the WAL
-  /// carries only what exists nowhere else after a crash. Shard-scoped
-  /// records (kNullifier, kOwnPublish) ride under the owning shard's WAL
-  /// tag (persist/wal.hpp), so restart recovery rebuilds each shard's
-  /// state independently; node-global records carry shard tag 0.
+  /// WAL record schema (v3). Chain-derived state is NOT journaled — the
+  /// chain's event log is authoritative and replayable from the cursor;
+  /// the WAL carries only what exists nowhere else after a crash.
+  /// Shard-scoped records (kNullifier, kOwnPublish) ride under the owning
+  /// shard's WAL tag (persist/wal.hpp), so restart recovery rebuilds each
+  /// shard's state independently; node-global records carry shard tag 0.
+  ///
+  /// v3 adds the live-reshard records: kReshardPhase journals every
+  /// cutover phase transition (with its parameters) so a node that
+  /// crashes mid-reshard replays into the correct phase fail-closed;
+  /// kNullifierNext carries the incoming generation's own-log mirrors
+  /// (its shard ids collide with the outgoing generation's, so they need
+  /// their own tag); kCutoverObservation carries the shared domain-log
+  /// entries under the DOMAIN (old-generation) shard tag.
   enum class WalTag : std::uint8_t {
     kNullifier = 1,     ///< observed (epoch, nullifier, share, proof fp)
     kSlashCommit = 2,   ///< local (sk, salt) behind a commit_slash tx
     kSlashReveal = 3,   ///< reveal submitted for a commitment
     kSlashResolve = 4,  ///< pending slash retired (slashed/withdrawn/expired)
     kOwnPublish = 5,    ///< own-publish epoch (rate-limit state, §III-E)
+    kReshardPhase = 6,  ///< cutover phase transition + parameters
+    kNullifierNext = 7, ///< observation in the incoming generation's logs
+    kCutoverObservation = 8,  ///< shared domain-log entry (old-gen shard tag)
+    kReshardLingerEnd = 9,    ///< linger expired: domain dropped, quota re-keyed
   };
 
   /// Builds the §III-E message bundle: proof over (sk, path, H(m), epoch).
   WakuMessage build_message(Bytes payload, const std::string& content_topic,
                             std::uint64_t epoch);
   /// Installs the shard-scoped batch validator + delivery handler on one
-  /// subscribed shard's pubsub topic.
-  void wire_shard(shard::ShardId shard);
+  /// subscribed shard's pubsub topic. The wiring resolves the validator
+  /// container by GENERATION at call time, so the drop-old swap (next
+  /// validator becomes current) never leaves a mesh validating through a
+  /// dead container.
+  void wire_shard(shard::ShardedValidator& validator, shard::ShardId shard);
+  /// The validator container owning generation `generation`'s meshes
+  /// right now; nullptr for a generation this node no longer runs.
+  [[nodiscard]] shard::ShardedValidator* validator_for_generation(
+      std::uint32_t generation);
+  /// (Re-)installs observe hooks + cutover log selectors on every
+  /// pipeline of `validator`; `next_generation` picks the WAL tag its
+  /// own-log mirrors journal under.
+  void install_validator_hooks(shard::ShardedValidator& validator,
+                               bool next_generation);
+  /// The structural mechanics of one cutover phase transition, shared by
+  /// the live path (advance_reshard) and WAL replay; `live` additionally
+  /// performs relay (un)wiring, which replay leaves to start().
+  void apply_reshard_transition(shard::ReshardPhase to,
+                                std::uint64_t linger_until_epoch, bool live);
+  /// Journals a kReshardPhase record for the transition just applied.
+  void journal_reshard_phase(shard::ReshardPhase to,
+                             std::uint64_t linger_until_epoch);
+  /// Creates the incoming generation's validator (overlap entry).
+  void create_next_validator();
+  /// Linger expiry: drops the coordinator's domain state and re-keys the
+  /// per-shard honest-quota map from old-generation (domain) to
+  /// new-generation shard ids. The quota stays DOMAIN-keyed for as long
+  /// as validators enforce the shared domain log — switching earlier
+  /// (e.g. at drop-old) would let a node publish on two sibling new
+  /// shards of one old family in the same epoch and double-signal
+  /// against itself. The re-key is a conservative max-merge: every new
+  /// shard inherits the newest epoch any domain saw, so it never
+  /// under-blocks (at the cost of at most one skipped publish per shard
+  /// for one epoch). Applied live from the upkeep tick (journaled as
+  /// kReshardLingerEnd first) and replayed from the WAL at the same
+  /// stream position, so a later cutover's records land on a
+  /// non-lingering coordinator either way.
+  void end_reshard_linger();
+
+  struct PublishRoute {
+    std::string pubsub_topic;
+    /// The rate-limit domain key for the honest quota: the current
+    /// (pre-drop-old: old) generation's shard of the topic.
+    shard::ShardId quota_shard;
+  };
+  /// Publish routing across the cutover: the authoritative generation's
+  /// mesh if this node hosts the topic's shard there, the other live
+  /// generation's as fallback during overlap/drain; nullopt when neither
+  /// generation's shard is hosted.
+  [[nodiscard]] std::optional<PublishRoute> resolve_publish_route(
+      const std::string& content_topic) const;
+
+  /// Per-generation RLC seed for a validator container.
+  [[nodiscard]] std::uint64_t validator_seed(std::uint32_t generation) const {
+    return base_validator_seed_ ^
+           (0xC0FFEE5ULL * (static_cast<std::uint64_t>(generation) + 1));
+  }
   void handle_chain_event(const chain::Event& event);
   /// Kicks off commit-reveal slashing for a recovered secret key (§III-F).
   void trigger_slash(const Fr& spammer_sk);
@@ -282,7 +400,14 @@ class WakuRlnRelayNode {
   Identity identity_;
   WakuRelay relay_;
   GroupManager group_;
+  /// RLC seed base: per-generation validator containers derive from it.
+  std::uint64_t base_validator_seed_;
   shard::ShardedValidator shards_;
+  /// The incoming generation's validator during announce/overlap/drain;
+  /// becomes shards_ at drop-old.
+  std::unique_ptr<shard::ShardedValidator> next_shards_;
+  shard::ReshardCoordinator reshard_;
+  shard::ShardLoadTracker load_tracker_;
   WakuStore store_;
 
   MessageHandler handler_;

@@ -34,6 +34,7 @@ struct Slot {
   std::uint64_t proof_fp = 0;
   bool settled = false;     ///< verdict already written by a cheap stage
   bool verified = false;    ///< survived stage 4
+  NullifierLog* log = nullptr;  ///< stage-3/5 log (selector may redirect)
 };
 
 /// FNV-1a over the 128 proof bytes. Distinguishes a byte-identical echo
@@ -88,6 +89,14 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
   // decided without touching the SNARK verifier is decided here.
   for (std::size_t i = 0; i < n; ++i) {
     Slot& slot = slots[i];
+    // During a generation cutover the selector routes this message's
+    // rate-limit domain to a log shared across both generations' meshes.
+    slot.log = &log_;
+    if (log_selector_) {
+      if (NullifierLog* redirected = log_selector_(messages[i])) {
+        slot.log = redirected;
+      }
+    }
     slot.bundle = extract_proof(messages[i]);
     if (!slot.bundle.has_value()) {
       ++stats_.no_proof;
@@ -138,7 +147,7 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
     //    garbage shares could frame members).
     slot.proof_fp = proof_fingerprint(slot.bundle->proof);
     const std::optional<NullifierLog::Entry> prior =
-        log_.peek(slot.bundle->epoch, slot.bundle->nullifier);
+        slot.log->peek(slot.bundle->epoch, slot.bundle->nullifier);
     if (prior.has_value() && prior->proof_fp == slot.proof_fp &&
         prior->share ==
             sss::Share{slot.bundle->share_x, slot.bundle->share_y}) {
@@ -184,7 +193,7 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
       // entries. A byte-identical recorded entry means it is an echo of an
       // already-proven signal — a duplicate, not a bad proof.
       const std::optional<NullifierLog::Entry> prior =
-          log_.peek(slot.bundle->epoch, slot.bundle->nullifier);
+          slot.log->peek(slot.bundle->epoch, slot.bundle->nullifier);
       if (prior.has_value() && prior->proof_fp == slot.proof_fp &&
           prior->share == share) {
         // Not counted as a precheck duplicate: this one did reach the
@@ -197,12 +206,24 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
       }
       continue;
     }
-    const NullifierLog::Result seen = log_.observe(
+    const NullifierLog::Result seen = slot.log->observe(
         slot.bundle->epoch, slot.bundle->nullifier, share, slot.proof_fp);
     switch (seen.outcome) {
       case NullifierLog::Outcome::kNew:
         ++stats_.accepted;
         out[i] = {Verdict::kAccept, std::nullopt};
+        if (slot.log != &log_) {
+          // Selector-routed: mirror into the own log (it is a subset of
+          // the shared domain log, so this observe is always kNew) and
+          // let the cutover hook journal the domain-tagged copy.
+          (void)log_.observe(slot.bundle->epoch, slot.bundle->nullifier,
+                             share, slot.proof_fp);
+          if (cutover_observe_hook_) {
+            cutover_observe_hook_(messages[i], slot.bundle->epoch,
+                                  slot.bundle->nullifier, share,
+                                  slot.proof_fp);
+          }
+        }
         // Journal the observation before the verdict leaves the pipeline:
         // shares exist only in transit, so a crash would otherwise blind
         // the restarted node to double-signals against this entry.

@@ -177,6 +177,35 @@ class ValidationPipeline {
   using RootCheck = std::function<bool(const Fr& root)>;
   void set_root_check(RootCheck check) { root_check_ = std::move(check); }
 
+  // -- Live-reshard hooks (shard/reshard.hpp) --------------------------------
+
+  /// Per-message nullifier-log override: when set and returning non-null,
+  /// stages 3 and 5 read and observe the returned log instead of the
+  /// pipeline's own. The reshard engine routes the old-generation and
+  /// new-generation meshes of one rate-limit domain into ONE shared log
+  /// during a cutover, so migration can never double a member's quota.
+  /// An accepted redirected observation is write-through mirrored into
+  /// the pipeline's own log (the override log is always a superset, so
+  /// the mirror cannot conflict) — dropping the override after the
+  /// cutover's linger window never forgets a signal.
+  using LogSelector = std::function<NullifierLog*(const WakuMessage&)>;
+  void set_log_selector(LogSelector selector) {
+    log_selector_ = std::move(selector);
+  }
+
+  /// Fires (with the message, so the caller can derive the rate-limit
+  /// domain from its content topic) whenever an accepted observation
+  /// landed in a selector-routed log. The node journals these under the
+  /// domain's shard tag so a mid-reshard restart rebuilds the shared
+  /// cutover log; the plain observe hook still fires for the own-log
+  /// mirror.
+  using CutoverObserveHook = std::function<void(
+      const WakuMessage& message, std::uint64_t epoch, const Fr& nullifier,
+      const sss::Share& share, std::uint64_t proof_fp)>;
+  void set_cutover_observe_hook(CutoverObserveHook hook) {
+    cutover_observe_hook_ = std::move(hook);
+  }
+
  private:
   std::vector<ValidationOutcome> validate_impl(
       std::span<const WakuMessage> messages,
@@ -191,6 +220,8 @@ class ValidationPipeline {
   Rng rng_;
   ObserveHook observe_hook_;
   RootCheck root_check_;
+  LogSelector log_selector_;
+  CutoverObserveHook cutover_observe_hook_;
 };
 
 }  // namespace waku::rln

@@ -18,18 +18,55 @@ ShardMap::ShardMap(std::uint16_t num_shards, std::uint32_t generation)
   WAKU_EXPECTS(num_shards >= 1);
 }
 
-ShardId ShardMap::shard_of(std::string_view content_topic) const {
-  if (num_shards_ == 1) return 0;
+namespace {
+
+std::uint64_t topic_hash(std::uint32_t generation,
+                         std::string_view content_topic) {
   ByteWriter w;
   w.write_string("waku-shard-map-v1");
-  w.write_u32(generation_);
+  w.write_u32(generation);
   w.write_string(content_topic);
   const hash::Keccak256Digest digest = hash::keccak256(w.data());
   // Fold the first 8 digest bytes; keccak output is uniform, and mod by a
   // small shard count keeps the assignment balanced for arbitrary topics.
   std::uint64_t h = 0;
   for (std::size_t i = 0; i < 8; ++i) h = (h << 8) | digest[i];
-  return static_cast<ShardId>(h % num_shards_);
+  return h;
+}
+
+}  // namespace
+
+ShardId ShardMap::shard_of(std::string_view content_topic) const {
+  if (parent_ != nullptr) {
+    // Refinement: the old shard picks the family, this generation's hash
+    // picks the slot within it — shard_of(T) % parent N == parent shard.
+    const ShardId base = parent_->shard_of(content_topic);
+    const std::uint16_t factor = num_shards_ / parent_->num_shards_;
+    const auto sub = static_cast<std::uint16_t>(
+        topic_hash(generation_, content_topic) % factor);
+    return static_cast<ShardId>(base + parent_->num_shards_ * sub);
+  }
+  if (num_shards_ == 1) return 0;
+  return static_cast<ShardId>(topic_hash(generation_, content_topic) %
+                              num_shards_);
+}
+
+ShardMap ShardMap::split(std::uint16_t factor) const {
+  WAKU_EXPECTS(factor >= 2);
+  // The lineage is load-bearing (every layer adds one keccak per
+  // shard_of) and serializes its depth as a u8; refuse silly chains
+  // loudly instead of wrapping silently. Deployments that approach this
+  // run a flat resharded() migration to compact the lineage (ROADMAP).
+  std::size_t depth = 1;
+  for (const ShardMap* m = parent_.get(); m != nullptr;
+       m = m->parent_.get()) {
+    ++depth;
+  }
+  WAKU_EXPECTS(depth < 32);
+  ShardMap next(static_cast<std::uint16_t>(num_shards_ * factor),
+                generation_ + 1);
+  next.parent_ = std::make_shared<const ShardMap>(*this);
+  return next;
 }
 
 std::string ShardMap::pubsub_topic(ShardId shard) const {
@@ -69,6 +106,39 @@ std::string content_topic_for_shard(const ShardMap& map, ShardId shard,
     // Uniform assignment: the expected probe count is num_shards, and the
     // loop terminates with probability 1.
   }
+}
+
+Bytes ShardMap::serialize() const {
+  // Lineage root-first: each layer is (num_shards, generation); layer k>0
+  // is a split of layer k-1.
+  std::vector<const ShardMap*> chain;
+  for (const ShardMap* m = this; m != nullptr; m = m->parent_.get()) {
+    chain.push_back(m);
+  }
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(chain.size()));
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    w.write_u16((*it)->num_shards_);
+    w.write_u32((*it)->generation_);
+  }
+  return std::move(w).take();
+}
+
+ShardMap ShardMap::deserialize(BytesView bytes) {
+  ByteReader r(bytes);
+  const std::uint8_t layers = r.read_u8();
+  WAKU_EXPECTS(layers >= 1);
+  const std::uint16_t base_num = r.read_u16();
+  const std::uint32_t base_gen = r.read_u32();
+  ShardMap map(base_num, base_gen);
+  for (std::uint8_t k = 1; k < layers; ++k) {
+    const std::uint16_t num = r.read_u16();
+    const std::uint32_t gen = r.read_u32();
+    WAKU_EXPECTS(gen == map.generation_ + 1);
+    WAKU_EXPECTS(num % map.num_shards_ == 0 && num > map.num_shards_);
+    map = map.split(static_cast<std::uint16_t>(num / map.num_shards_));
+  }
+  return map;
 }
 
 std::vector<std::string> ShardMap::moved_topics(

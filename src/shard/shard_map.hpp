@@ -19,11 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/bytes.hpp"
 
 namespace waku::shard {
 
@@ -78,10 +81,29 @@ class ShardMap {
 
   /// The config-driven reshard: same map with `new_num_shards` and the
   /// next generation. Callers swap maps atomically (there is no partial
-  /// migration state — the generation salt keeps layouts disjoint).
+  /// migration state — the generation salt keeps layouts disjoint). The
+  /// re-key is total: a topic's new shard is independent of its old one,
+  /// which is fine for an offline/config-push migration but NOT locally
+  /// enforceable during a live cutover — use split() for that.
   [[nodiscard]] ShardMap resharded(std::uint16_t new_num_shards) const {
     return ShardMap(new_num_shards, generation_ + 1);
   }
+
+  /// Hierarchical reshard: `factor`× more shards, next generation, and the
+  /// refinement guarantee the LIVE reshard engine depends on:
+  ///
+  ///   split().shard_of(T) % num_shards() == shard_of(T)   for every T.
+  ///
+  /// A topic can only move within its old shard's family {s, s+N, s+2N,
+  /// ...}, so a node subscribed to (old home s, new home s') with
+  /// s' ≡ s (mod N) sees BOTH generations' meshes of every topic it
+  /// hosts — which is what lets it enforce the shared cutover rate-limit
+  /// domain without any cross-node coordination (see shard/reshard.hpp).
+  [[nodiscard]] ShardMap split(std::uint16_t factor) const;
+
+  [[nodiscard]] bool is_split() const { return parent_ != nullptr; }
+  /// The map this one was split from (nullptr for flat maps).
+  [[nodiscard]] const ShardMap* parent() const { return parent_.get(); }
 
   /// Topics whose assignment differs between two maps — the migration
   /// work-list an operator sizes a reshard by.
@@ -89,11 +111,27 @@ class ShardMap {
       const ShardMap& from, const ShardMap& to,
       std::span<const std::string> topics);
 
-  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+  /// Canonical serialization (split lineage included) — reshard
+  /// coordinator snapshots carry maps across restarts.
+  [[nodiscard]] Bytes serialize() const;
+  static ShardMap deserialize(BytesView bytes);
+
+  /// Value equality including the split lineage (a split map never equals
+  /// a flat map, even at matching (num_shards, generation)): the lineage
+  /// changes shard_of.
+  friend bool operator==(const ShardMap& a, const ShardMap& b) {
+    if (a.num_shards_ != b.num_shards_ || a.generation_ != b.generation_) {
+      return false;
+    }
+    if ((a.parent_ == nullptr) != (b.parent_ == nullptr)) return false;
+    return a.parent_ == nullptr || *a.parent_ == *b.parent_;
+  }
 
  private:
   std::uint16_t num_shards_;
   std::uint32_t generation_;
+  /// Split lineage; shared (immutable) so copies stay cheap.
+  std::shared_ptr<const ShardMap> parent_;
 };
 
 /// Deterministically finds a content topic assigned to `shard` under

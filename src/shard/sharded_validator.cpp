@@ -25,7 +25,18 @@ ShardedValidator::ShardedValidator(const zksnark::VerifyingKey& vk,
                                    const rln::GroupManager& group,
                                    rln::ValidatorConfig config,
                                    ShardConfig shards, std::uint64_t seed)
-    : map_(shards), config_(config), subscribed_(shards.subscribed_shards()) {
+    : ShardedValidator(vk, group, config, ShardMap(shards),
+                       shards.subscribed_shards(), seed) {}
+
+ShardedValidator::ShardedValidator(const zksnark::VerifyingKey& vk,
+                                   const rln::GroupManager& group,
+                                   rln::ValidatorConfig config, ShardMap map,
+                                   std::vector<ShardId> subscribe,
+                                   std::uint64_t seed)
+    : map_(std::move(map)),
+      config_(config),
+      subscribed_(std::move(subscribe)) {
+  if (subscribed_.empty()) subscribed_ = map_.all_shards();
   std::sort(subscribed_.begin(), subscribed_.end());
   subscribed_.erase(std::unique(subscribed_.begin(), subscribed_.end()),
                     subscribed_.end());

@@ -65,6 +65,15 @@ class ShardedValidator {
                    rln::ValidatorConfig config, ShardConfig shards,
                    std::uint64_t seed);
 
+  /// Same, over an explicit (possibly split-lineage) ShardMap — the live
+  /// reshard engine builds the incoming generation's validator on a
+  /// ShardMap::split() layout, whose topic assignment a flat
+  /// ShardConfig-built map cannot reproduce. `subscribe` empty = all.
+  ShardedValidator(const zksnark::VerifyingKey& vk,
+                   const rln::GroupManager& group,
+                   rln::ValidatorConfig config, ShardMap map,
+                   std::vector<ShardId> subscribe, std::uint64_t seed);
+
   [[nodiscard]] const ShardMap& map() const { return map_; }
   [[nodiscard]] const std::vector<ShardId>& subscribed() const {
     return subscribed_;

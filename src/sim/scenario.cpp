@@ -411,6 +411,382 @@ ShardFloodOutcome run_shard_flood_campaign(const ShardFloodConfig& config) {
   return out;
 }
 
+// -- Live reshard campaign ---------------------------------------------------
+
+std::string LiveReshardOutcome::to_json() const {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"from_shards\": %u, \"to_shards\": %u, "
+                "\"all_nodes_converged\": %s, ",
+                from_shards, to_shards,
+                all_nodes_converged ? "true" : "false");
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"honest_sent\": %llu, \"honest_delivered\": %llu, "
+                "\"honest_ideal\": %llu, \"honest_delivery\": %.4f, ",
+                static_cast<unsigned long long>(honest_sent),
+                static_cast<unsigned long long>(honest_delivered),
+                static_cast<unsigned long long>(honest_ideal),
+                honest_delivery);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"spam_pairs_sent\": %llu, \"spam_delivered\": %llu, "
+                "\"quota_double_deliveries\": %llu, "
+                "\"attacker_slashed\": %s, ",
+                static_cast<unsigned long long>(spam_pairs_sent),
+                static_cast<unsigned long long>(spam_delivered),
+                static_cast<unsigned long long>(quota_double_deliveries),
+                attacker_slashed ? "true" : "false");
+  out += buf;
+  if (time_to_slash_ms.has_value()) {
+    std::snprintf(buf, sizeof buf, "\"time_to_slash_ms\": %llu, ",
+                  static_cast<unsigned long long>(*time_to_slash_ms));
+  } else {
+    std::snprintf(buf, sizeof buf, "\"time_to_slash_ms\": null, ");
+  }
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "\"cutover_duration_ms\": %llu, \"steady_msgs_per_sec\": %.2f, "
+      "\"cutover_msgs_per_sec\": %.2f, \"post_msgs_per_sec\": %.2f, "
+      "\"throughput_dip\": %.4f, \"overlap_messages_in_flight\": %llu, "
+      "\"rebalance_was_recommended\": %s}",
+      static_cast<unsigned long long>(cutover_duration_ms),
+      steady_msgs_per_sec, cutover_msgs_per_sec, post_msgs_per_sec,
+      throughput_dip,
+      static_cast<unsigned long long>(overlap_messages_in_flight),
+      rebalance_was_recommended ? "true" : "false");
+  out += buf;
+  return out;
+}
+
+LiveReshardOutcome run_live_reshard_campaign(const LiveReshardConfig& config) {
+  rln::HarnessConfig hcfg = config.harness;
+  const std::uint16_t from = hcfg.node.shards.num_shards;
+  const std::uint16_t to = config.target_shards;
+  WAKU_EXPECTS(from >= 1 && to > from && to % from == 0);
+  // Round-robin on BOTH layouts: slot i hosts old shard i mod F and will
+  // host new shard i mod T — a refinement pair by construction
+  // ((i mod T) mod F == i mod F), which is what lets every node enforce
+  // the shared cutover quota for the topics it hosts.
+  hcfg.shard_assignment = [from](std::size_t i) {
+    return std::vector<shard::ShardId>{
+        static_cast<shard::ShardId>(i % from)};
+  };
+  rln::RlnHarness h(hcfg);
+  const std::size_t n = h.size();
+  const std::size_t attack_slot = config.flood_pairs_per_epoch > 0 ? 1 : n;
+
+  // Intra-shard ring stitching for both generations' host groups (the
+  // random graph does not know about shards; connect() is idempotent).
+  const auto stitch = [&h, n](std::uint16_t groups) {
+    for (std::uint16_t s = 0; s < groups; ++s) {
+      std::vector<std::size_t> hosts;
+      for (std::size_t i = s; i < n; i += groups) hosts.push_back(i);
+      for (std::size_t k = 0; k + 1 < hosts.size(); ++k) {
+        h.network().connect(h.node(hosts[k]).node_id(),
+                            h.node(hosts[k + 1]).node_id());
+      }
+      if (hosts.size() > 2) {
+        h.network().connect(h.node(hosts.back()).node_id(),
+                            h.node(hosts.front()).node_id());
+      }
+    }
+  };
+  stitch(from);
+  stitch(to);
+
+  // -- Accounting (self-contained: the campaign needs per-message epoch
+  // classification the shared probe does not track).
+  std::vector<std::uint64_t> honest_delivered(n, 0);
+  std::uint64_t spam_delivered = 0;
+  std::uint64_t quota_double_deliveries = 0;
+  // Per (node, epoch): which halves of an attacker pair arrived
+  // (bit 1 = old-generation mesh, bit 2 = new). Both bits on one node in
+  // one epoch = the migration doubled a quota.
+  std::vector<std::map<std::uint64_t, std::uint8_t>> pair_seen(n);
+  h.set_node_hook([&](std::size_t i, rln::WakuRlnRelayNode& node) {
+    node.set_message_handler([&, i](const WakuMessage& msg) {
+      if (i == attack_slot) return;  // honest-side accounting only
+      const std::string payload(msg.payload.begin(), msg.payload.end());
+      if (payload.starts_with(kHonestTag)) {
+        ++honest_delivered[i];
+        return;
+      }
+      if (!payload.starts_with(kSpamTag)) return;
+      ++spam_delivered;
+      // Attacker payload: "spam|p<epoch>|old|..." / "...|new|...".
+      const std::size_t epoch_at = kSpamTag.size() + 1;
+      std::uint64_t epoch = 0;
+      std::size_t pos = epoch_at;
+      while (pos < payload.size() && payload[pos] >= '0' &&
+             payload[pos] <= '9') {
+        epoch = epoch * 10 + static_cast<std::uint64_t>(payload[pos] - '0');
+        ++pos;
+      }
+      const bool old_half = payload.compare(pos, 5, "|old|") == 0;
+      const std::uint8_t bit = old_half ? 1 : 2;
+      std::uint8_t& mask = pair_seen[i][epoch];
+      if (mask != 0 && (mask & bit) == 0) ++quota_double_deliveries;
+      mask |= bit;
+    });
+  });
+
+  struct SlashEvent {
+    std::uint64_t index;
+    net::TimeMs at_ms;
+  };
+  std::vector<SlashEvent> slashes;
+  const std::uint64_t chain_sub =
+      h.chain().subscribe_events([&](const chain::Event& ev) {
+        if (ev.name == "MemberSlashed") {
+          slashes.push_back(SlashEvent{ev.topics[0].limb[0], h.sim().now()});
+        }
+      });
+
+  h.register_all();
+  const std::uint64_t attacker_index =
+      attack_slot < n ? h.node(attack_slot).group().own_index().value() : 0;
+
+  const shard::ShardMap old_map(hcfg.node.shards);
+  const shard::ShardMap new_map =
+      old_map.split(static_cast<std::uint16_t>(to / from));
+  std::vector<std::string> topic_old(from);
+  for (std::uint16_t s = 0; s < from; ++s) {
+    topic_old[s] = shard::content_topic_for_shard(old_map, s);
+  }
+  std::vector<std::string> topic_new(to);
+  for (std::uint16_t s = 0; s < to; ++s) {
+    topic_new[s] = shard::content_topic_for_shard(new_map, s);
+  }
+
+  // Honest host counts per mesh (attacker excluded) — the ideal receiver
+  // sets delivery is judged against.
+  const auto honest_hosts = [&](std::uint16_t groups, shard::ShardId s) {
+    std::uint64_t hosts = 0;
+    for (std::size_t i = s; i < n; i += groups) {
+      if (i != attack_slot) ++hosts;
+    }
+    return hosts;
+  };
+
+  LiveReshardOutcome out;
+  out.from_shards = from;
+  out.to_shards = to;
+
+  Rng traffic_rng(hcfg.seed ^ 0x11FE5A4DULL);
+  const double per_tick_p =
+      config.honest_rate_per_epoch * static_cast<double>(config.tick_ms) /
+      static_cast<double>(hcfg.node.validator.epoch.epoch_length_ms);
+  std::uint64_t honest_seq = 0;
+
+  // The overlap attacker: same-epoch valid-proof pairs, one half forced
+  // onto each generation's mesh of one topic the attacker hosts under
+  // both layouts (same epoch -> same nullifier; the shared domain log
+  // must fold the pair into ONE signal and slash).
+  std::string attack_topic;
+  if (attack_slot < n) {
+    const auto old_home = static_cast<shard::ShardId>(attack_slot % from);
+    const auto new_home = static_cast<shard::ShardId>(attack_slot % to);
+    for (std::uint64_t probe = 0;; ++probe) {
+      std::string t =
+          "/waku/2/reshard-attack-" + std::to_string(probe) + "/proto";
+      if (old_map.shard_of(t) == old_home && new_map.shard_of(t) == new_home) {
+        attack_topic = std::move(t);
+        break;
+      }
+    }
+  }
+  std::uint64_t attack_epoch = ~std::uint64_t{0};
+  std::uint64_t pairs_this_epoch = 0;
+  const auto attacker_tick = [&] {
+    if (attack_slot >= n || !h.alive(attack_slot) ||
+        !h.node(attack_slot).is_registered()) {
+      return;  // slashed (or disabled): the flood is over
+    }
+    const std::uint64_t epoch = h.node(attack_slot).current_epoch();
+    if (epoch != attack_epoch) {
+      attack_epoch = epoch;
+      pairs_this_epoch = 0;
+    }
+    if (pairs_this_epoch >= config.flood_pairs_per_epoch) return;
+    ++pairs_this_epoch;
+    ++out.spam_pairs_sent;
+    const std::string base = std::string(kSpamTag) + "p" +
+                             std::to_string(epoch) + "|";
+    const std::string suffix =
+        "|" + std::to_string(out.spam_pairs_sent);
+    h.node(attack_slot).force_publish_generation(
+        to_bytes(base + "old" + suffix), attack_topic,
+        /*use_next_generation=*/false);
+    h.node(attack_slot).force_publish_generation(
+        to_bytes(base + "new" + suffix), attack_topic,
+        /*use_next_generation=*/true);
+  };
+
+  const auto honest_tick = [&](bool new_generation_topics) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == attack_slot || !h.alive(i)) continue;
+      if (!traffic_rng.chance(per_tick_p)) continue;
+      const auto home_old = static_cast<shard::ShardId>(i % from);
+      const auto home_new = static_cast<shard::ShardId>(i % to);
+      const std::string& topic =
+          new_generation_topics ? topic_new[home_new] : topic_old[home_old];
+      const auto status = h.node(i).try_publish(
+          to_bytes(std::string(kHonestTag) + "n" + std::to_string(i) + "#" +
+                   std::to_string(honest_seq)),
+          topic);
+      if (status == rln::WakuRlnRelayNode::PublishStatus::kOk) {
+        ++honest_seq;
+        ++out.honest_sent;
+        out.honest_ideal += new_generation_topics
+                                ? honest_hosts(to, home_new)
+                                : honest_hosts(from, home_old);
+      }
+    }
+  };
+
+  const auto total_honest_delivered = [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) sum += honest_delivered[i];
+    return sum;
+  };
+  // Segment throughput in fully-delivered messages/sec: raw deliveries
+  // are fan-out dependent (a T-shard mesh has fewer hosts per message
+  // than an F-shard one), so normalize by the segment's ideal receiver
+  // count — sent × (delivered/ideal) is "messages that fully arrived".
+  struct SegmentMark {
+    std::uint64_t sent, ideal, delivered;
+  };
+  const auto mark = [&] {
+    return SegmentMark{out.honest_sent, out.honest_ideal,
+                       total_honest_delivered()};
+  };
+  const auto segment_msgs_per_sec = [](const SegmentMark& a,
+                                       const SegmentMark& b,
+                                       net::TimeMs duration) {
+    const std::uint64_t ideal = b.ideal - a.ideal;
+    if (ideal == 0 || duration == 0) return 0.0;
+    const double completion =
+        static_cast<double>(b.delivered - a.delivered) /
+        static_cast<double>(ideal);
+    return static_cast<double>(b.sent - a.sent) * completion * 1000.0 /
+           static_cast<double>(duration);
+  };
+
+  const auto run_ticks = [&](net::TimeMs duration, bool new_topics,
+                             bool attack) {
+    const net::TimeMs end = h.sim().now() + duration;
+    while (h.sim().now() < end) {
+      const net::TimeMs step =
+          std::min<net::TimeMs>(config.tick_ms, end - h.sim().now());
+      h.run_ms(step);
+      honest_tick(new_topics);
+      if (attack) attacker_tick();
+    }
+  };
+
+  // -- Steady state (throughput baseline + the "reshard now" signal).
+  const SegmentMark warmup_start = mark();
+  run_ticks(config.warmup_ms, false, false);
+  const SegmentMark warmup_end = mark();
+  out.steady_msgs_per_sec =
+      segment_msgs_per_sec(warmup_start, warmup_end, config.warmup_ms);
+  {
+    // The operator-side signal: feed the fleet's per-shard accepted
+    // totals into a load tracker whose per-shard budget the current
+    // layout exceeds — exactly the situation that should recommend this
+    // campaign's reshard.
+    shard::ShardLoadTracker::Config tcfg;
+    tcfg.window_ms = config.warmup_ms + 1;
+    tcfg.overload_msgs_per_sec =
+        std::max(0.001, out.steady_msgs_per_sec / (2.0 * from));
+    shard::ShardLoadTracker tracker(tcfg);
+    for (std::uint16_t s = 0; s < from; ++s) {
+      std::uint64_t accepted = 0;
+      std::size_t log_entries = 0;
+      for (std::size_t i = s; i < n; i += from) {
+        if (!h.alive(i)) continue;
+        accepted += h.node(i).validator().pipeline(s).stats().accepted;
+        log_entries += h.node(i).validator().pipeline(s).log().entry_count();
+      }
+      tracker.record(s, 0, log_entries, 0);
+      tracker.record(s, accepted, log_entries, config.warmup_ms);
+    }
+    const shard::RebalanceRecommendation rec =
+        tracker.recommend(old_map, topic_old);
+    out.rebalance_was_recommended =
+        rec.reshard_recommended && rec.target_shards > from;
+  }
+
+  // -- Staged cutover, fleet-wide lockstep.
+  const net::TimeMs cutover_start = h.sim().now();
+  for (std::size_t i = 0; i < n; ++i) {
+    h.node(i).begin_reshard(to, {static_cast<shard::ShardId>(i % to)});
+  }
+  run_ticks(config.announce_ms, false, false);
+  for (std::size_t i = 0; i < n; ++i) h.node(i).advance_reshard();  // overlap
+  const net::TimeMs attack_start = h.sim().now();
+  const std::uint64_t pre_overlap_delivered = total_honest_delivered();
+  run_ticks(config.overlap_ms, false, config.flood_pairs_per_epoch > 0);
+  out.overlap_messages_in_flight =
+      total_honest_delivered() - pre_overlap_delivered;
+  for (std::size_t i = 0; i < n; ++i) h.node(i).advance_reshard();  // drain
+  run_ticks(config.drain_phase_ms, true, false);
+  for (std::size_t i = 0; i < n; ++i) h.node(i).advance_reshard();  // drop-old
+  const net::TimeMs cutover_end = h.sim().now();
+  out.cutover_duration_ms = cutover_end - cutover_start;
+  out.cutover_msgs_per_sec =
+      segment_msgs_per_sec(warmup_end, mark(), cutover_end - cutover_start);
+
+  // -- Post-cutover steady state + final quiesce. The first epoch after
+  // drop-old is blanked by the conservative quota merge (by design);
+  // measure the recovered rate from the epoch after it.
+  run_ticks(hcfg.node.validator.epoch.epoch_length_ms, true, false);
+  const SegmentMark settle_start = mark();
+  run_ticks(config.settle_ms, true, false);
+  out.post_msgs_per_sec =
+      segment_msgs_per_sec(settle_start, mark(), config.settle_ms);
+  h.run_ms(config.quiesce_ms);
+
+  out.throughput_dip =
+      out.steady_msgs_per_sec > 0
+          ? std::max(0.0, 1.0 - out.cutover_msgs_per_sec /
+                                    out.steady_msgs_per_sec)
+          : 0.0;
+  out.honest_delivered = total_honest_delivered();
+  out.honest_delivery =
+      out.honest_ideal == 0
+          ? 1.0
+          : static_cast<double>(out.honest_delivered) /
+                static_cast<double>(out.honest_ideal);
+  out.spam_delivered = spam_delivered;
+  out.quota_double_deliveries = quota_double_deliveries;
+
+  out.all_nodes_converged = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!h.alive(i)) continue;
+    const shard::ShardMap& map = h.node(i).shard_map();
+    if (map.num_shards() != to ||
+        map.generation() != old_map.generation() + 1 ||
+        h.node(i).reshard_phase() != shard::ReshardPhase::kStable) {
+      out.all_nodes_converged = false;
+    }
+  }
+
+  for (const SlashEvent& slash : slashes) {
+    if (attack_slot < n && slash.index == attacker_index) {
+      out.attacker_slashed = true;
+      out.time_to_slash_ms = slash.at_ms - attack_start;
+      break;
+    }
+  }
+  h.chain().unsubscribe_events(chain_sub);
+  h.set_node_hook(nullptr);
+  return out;
+}
+
 EclipseOutcome run_eclipse_campaign(const EclipseConfig& config) {
   rln::RlnHarness h(config.harness);
   h.register_all();

@@ -154,4 +154,77 @@ struct ShardFloodOutcome {
 
 ShardFloodOutcome run_shard_flood_campaign(const ShardFloodConfig& config);
 
+// -- Live reshard campaign ---------------------------------------------------
+// The generation-cutover claim of the live reshard engine: a fleet can
+// move from F to T shards under sustained honest load with (a) no honest
+// message loss beyond gossip noise, (b) ZERO quota doubling through the
+// overlap window — an attacker publishing same-epoch pairs (one on the
+// old-generation mesh, one on the new) gets them folded into one signal
+// by the shared domain log and is slashed — and (c) a bounded throughput
+// dip. Nodes are partitioned round-robin on both layouts (slot i hosts
+// old shard i mod F and new shard i mod T; T a multiple of F, so the new
+// home refines the old one per ShardMap::split), honest slots publish on
+// their home shard's topics, and every node steps through
+// announce/overlap/drain/drop-old in driver-timed lockstep while the
+// flooder attacks the overlap.
+
+struct LiveReshardConfig {
+  /// Deployment template; node.shards.num_shards is the FROM shard count
+  /// (the runner installs the round-robin assignment itself).
+  rln::HarnessConfig harness;
+  std::uint16_t target_shards = 8;
+  net::TimeMs tick_ms = 1'000;
+  /// Pre-reshard steady state (throughput baseline).
+  net::TimeMs warmup_ms = 12'000;
+  net::TimeMs announce_ms = 4'000;
+  /// Dual-subscribe window; the flooder attacks it.
+  net::TimeMs overlap_ms = 16'000;
+  /// New generation authoritative, old meshes still draining.
+  net::TimeMs drain_phase_ms = 8'000;
+  /// Post-drop-old steady state (throughput recovery).
+  net::TimeMs settle_ms = 12'000;
+  /// Final quiesce before the verdict (in-flight traffic + slash txs).
+  net::TimeMs quiesce_ms = 8'000;
+  double honest_rate_per_epoch = 0.8;
+  /// Old/new same-epoch publish pairs per epoch from the overlap
+  /// attacker (0 disables the attack).
+  std::uint64_t flood_pairs_per_epoch = 2;
+};
+
+struct LiveReshardOutcome {
+  std::uint16_t from_shards = 0;
+  std::uint16_t to_shards = 0;
+  bool all_nodes_converged = false;  ///< every node on (to_shards, gen+1)
+
+  std::uint64_t honest_sent = 0;
+  std::uint64_t honest_delivered = 0;  ///< at honest nodes, local included
+  std::uint64_t honest_ideal = 0;      ///< sent × hosts of the target mesh
+  double honest_delivery = 1.0;        ///< delivered / ideal
+
+  std::uint64_t spam_pairs_sent = 0;
+  std::uint64_t spam_delivered = 0;
+  /// (node, epoch) pairs where BOTH halves of an attacker pair were
+  /// delivered — each one is a doubled quota; the engine's invariant is
+  /// that this stays 0.
+  std::uint64_t quota_double_deliveries = 0;
+  bool attacker_slashed = false;
+  std::optional<std::uint64_t> time_to_slash_ms;
+
+  net::TimeMs cutover_duration_ms = 0;  ///< begin_reshard -> drop-old done
+  double steady_msgs_per_sec = 0;   ///< honest deliveries/sec pre-reshard
+  double cutover_msgs_per_sec = 0;  ///< during announce+overlap+drain
+  double post_msgs_per_sec = 0;     ///< after drop-old
+  double throughput_dip = 0;        ///< 1 - cutover/steady (0 = no dip)
+  /// Honest deliveries that happened inside the overlap window — the
+  /// traffic in flight while both generations were live.
+  std::uint64_t overlap_messages_in_flight = 0;
+  /// The load tracker's verdict sampled on the pre-reshard deployment
+  /// (did the signal that should trigger this reshard actually fire?).
+  bool rebalance_was_recommended = false;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+LiveReshardOutcome run_live_reshard_campaign(const LiveReshardConfig& config);
+
 }  // namespace waku::sim

@@ -366,5 +366,168 @@ TEST(CrashRestart, StalePendingSlashExpiresAfterConfiguredEpochs) {
   EXPECT_EQ(h.node(0).pending_slash_count(), 0u);
 }
 
+TEST(CrashRestart, MidReshardCrashResumesEachPhase) {
+  // Kill/restart in every cutover phase (announce, overlap, drain, and
+  // the post-drop-old linger): the node must resume the exact journaled
+  // phase with no nullifier or quota state lost or doubled.
+  HarnessConfig cfg = persisted_config(fresh_dir("mid_reshard"));
+  cfg.node.shards.num_shards = 2;
+  cfg.node.gossip.validation_batch_max = 4;
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(3'000);
+  const shard::ShardMap old_map = h.node(0).shard_map();
+  const std::string topic = shard::content_topic_for_shard(old_map, 0);
+
+  // -- Announce, then crash.
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_TRUE(h.node(i).begin_reshard(4));
+  }
+  h.kill_node(0);
+  h.restart_node(0);
+  EXPECT_EQ(h.node(0).reshard_phase(), shard::ReshardPhase::kAnnounce);
+  EXPECT_EQ(h.node(0).next_validator(), nullptr);
+
+  // -- Overlap with live traffic, then crash mid-window.
+  for (std::size_t i = 0; i < h.size(); ++i) h.node(i).advance_reshard();
+  h.run_ms(3'000);  // heartbeats: dual meshes form
+  ASSERT_EQ(h.node(1).try_publish(to_bytes("overlap traffic"), topic),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  ASSERT_EQ(h.node(0).try_publish(to_bytes("own overlap publish"), topic),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  h.run_ms(3'000);  // deliver + validate: domain logs fill, WAL journals
+  const std::size_t domain_entries = h.node(0).reshard().domain_entries();
+  ASSERT_GT(domain_entries, 0u);
+  h.node(0).force_snapshot();
+  const Bytes pre_state = h.node(0).serialize_state();
+
+  h.kill_node(0);
+  h.restart_node(0);
+  EXPECT_EQ(h.node(0).reshard_phase(), shard::ReshardPhase::kOverlap);
+  ASSERT_NE(h.node(0).next_validator(), nullptr);
+  // Nothing lost: the domain log (shared cutover quota) and the full
+  // node state survived byte-for-byte.
+  EXPECT_EQ(h.node(0).reshard().domain_entries(), domain_entries);
+  EXPECT_EQ(h.node(0).serialize_state(), pre_state);
+  // Nothing doubled: the node's own same-epoch republish is still
+  // refused — forgetting it published would make it double-signal
+  // against itself.
+  EXPECT_EQ(h.node(0).try_publish(to_bytes("same epoch again"), topic),
+            WakuRlnRelayNode::PublishStatus::kRateLimited);
+
+  // -- Drain, then crash.
+  for (std::size_t i = 0; i < h.size(); ++i) h.node(i).advance_reshard();
+  h.kill_node(0);
+  h.restart_node(0);
+  EXPECT_EQ(h.node(0).reshard_phase(), shard::ReshardPhase::kDrain);
+  ASSERT_NE(h.node(0).next_validator(), nullptr);
+  EXPECT_EQ(h.node(0).reshard().domain_entries(), domain_entries);
+
+  // -- Drop-old, then crash during the linger window.
+  for (std::size_t i = 0; i < h.size(); ++i) h.node(i).advance_reshard();
+  h.kill_node(0);
+  h.restart_node(0);
+  EXPECT_EQ(h.node(0).reshard_phase(), shard::ReshardPhase::kStable);
+  EXPECT_EQ(h.node(0).shard_map().num_shards(), 4);
+  EXPECT_EQ(h.node(0).shard_map().generation(), old_map.generation() + 1);
+  EXPECT_EQ(h.node(0).next_validator(), nullptr);
+  // The domain linger survived: straggler old-generation traffic still
+  // debits the shared cutover quota after the restart.
+  EXPECT_TRUE(h.node(0).reshard().lingering());
+  EXPECT_EQ(h.node(0).reshard().domain_entries(), domain_entries);
+  // The conservative drop-old quota merge survived too.
+  EXPECT_EQ(h.node(0).try_publish(to_bytes("post drop-old"), topic),
+            WakuRlnRelayNode::PublishStatus::kRateLimited);
+
+  // -- The revived node still participates on the new layout.
+  h.run_ms(cfg.node.validator.epoch.epoch_length_ms);
+  const std::uint64_t delivered_before = h.total_delivered();
+  ASSERT_EQ(h.node(0).try_publish(to_bytes("fresh epoch, new layout"), topic),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  h.run_ms(5'000);
+  EXPECT_GT(h.total_delivered(), delivered_before);
+}
+
+TEST(CrashRestart, SecondCutoverReplaysAfterJournaledLingerEnd) {
+  // Two back-to-back reshards with NO snapshot in between: the WAL holds
+  // cutover #1 end-to-end, the journaled linger-end record, and cutover
+  // #2 up to overlap. Replay must land cutover #2's records on a
+  // coordinator whose first linger already ended — without the journaled
+  // expiry, the second announce would be silently refused and the
+  // overlap record would abort the restart.
+  HarnessConfig cfg = persisted_config(fresh_dir("second_cutover"));
+  cfg.node.shards.num_shards = 2;
+  cfg.node.validator.epoch.epoch_length_ms = 10'000;
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(2'000);
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_TRUE(h.node(i).begin_reshard(4));
+  }
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t i = 0; i < h.size(); ++i) h.node(i).advance_reshard();
+  }
+  ASSERT_TRUE(h.node(0).reshard().lingering());
+  // Thr+1 epochs pass; the upkeep tick journals the linger end.
+  h.run_ms(5 * cfg.node.validator.epoch.epoch_length_ms);
+  ASSERT_FALSE(h.node(0).reshard().lingering());
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_TRUE(h.node(i).begin_reshard(8));
+    ASSERT_TRUE(h.node(i).advance_reshard());  // overlap
+  }
+  ASSERT_EQ(h.node(0).reshard_phase(), shard::ReshardPhase::kOverlap);
+
+  h.kill_node(0);
+  h.restart_node(0);
+  EXPECT_EQ(h.node(0).reshard_phase(), shard::ReshardPhase::kOverlap);
+  ASSERT_NE(h.node(0).next_validator(), nullptr);
+  EXPECT_EQ(h.node(0).next_validator()->map().num_shards(), 8);
+  EXPECT_EQ(h.node(0).shard_map().num_shards(), 4);
+}
+
+TEST(CrashRestart, CutoverObservationSurvivesCrashWithoutSnapshot) {
+  // No snapshot at all: the domain log must rebuild purely from the WAL
+  // (kReshardPhase re-seeds it, kCutoverObservation records replay the
+  // overlap-era entries), so a double-signal straddling the crash is
+  // still caught.
+  HarnessConfig cfg = persisted_config(fresh_dir("cutover_wal_only"));
+  cfg.num_nodes = 2;
+  cfg.degree = 1;
+  cfg.node.shards.num_shards = 2;
+  // One long epoch: both halves of the pair must share a nullifier.
+  cfg.node.validator.epoch.epoch_length_ms = 120'000;
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(3'000);
+  const std::string topic =
+      shard::content_topic_for_shard(h.node(0).shard_map(), 0);
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_TRUE(h.node(i).begin_reshard(4));
+    h.node(i).advance_reshard();  // overlap
+  }
+  h.run_ms(3'000);
+
+  // First half of a cross-generation pair lands before the crash...
+  h.node(1).force_publish_generation(to_bytes("half one"), topic, false);
+  h.run_ms(2'000);
+  ASSERT_GT(h.node(0).reshard().domain_entries(), 0u);
+
+  h.kill_node(0);
+  h.restart_node(0);
+  h.run_ms(3'000);  // re-mesh
+
+  // ...the second half (same epoch, other generation) arrives after: the
+  // rebuilt domain log must fold them into one signal and slash.
+  ASSERT_EQ(h.node(1).force_publish_generation(to_bytes("half two"), topic,
+                                               true),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  h.run_ms(3 * cfg.block_interval_ms);
+  EXPECT_EQ(h.node(0).stats().slash_commits, 1u);
+  EXPECT_FALSE(h.node(1).is_registered());
+}
+
 }  // namespace
 }  // namespace waku::rln

@@ -221,6 +221,101 @@ TEST(GossipSub, UnsubscribeLeavesMesh) {
   EXPECT_EQ(swarm.delivered[0], 0u);
 }
 
+TEST(GossipSub, HeartbeatRetractsUnsubscribeFromPartitionedPeer) {
+  // A peer that is unreachable while we unsubscribe must still learn of
+  // it once the link returns: the heartbeat re-announces subscriptions to
+  // late links (PR 4), and it must retract UNsubscribes the same way —
+  // otherwise the relinked peer keeps grafting the dead topic's mesh and
+  // fanout-routes publishes into a void (after a reshard's drop-old,
+  // that dead topic is a whole generation's shard mesh).
+  Swarm swarm(2);
+  swarm.net.connect(0, 1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    swarm.routers[i]->subscribe(kTopic, [&swarm, i](const PubSubMessage&) {
+      ++swarm.delivered[i];
+    });
+    swarm.routers[i]->start();
+  }
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  ASSERT_TRUE(swarm.routers[1]->peer_subscribed(0, kTopic));
+
+  // Partition, then unsubscribe while unreachable: the kUnsubscribe
+  // frame has no link to travel.
+  swarm.net.disconnect(0, 1);
+  swarm.routers[0]->unsubscribe(kTopic);
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  ASSERT_TRUE(swarm.routers[1]->peer_subscribed(0, kTopic));  // stale belief
+
+  // Relink: within a heartbeat the retraction lands and router 1 forgets
+  // the stale subscription; nothing is fanout-routed to router 0.
+  swarm.net.connect(0, 1);
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  EXPECT_FALSE(swarm.routers[1]->peer_subscribed(0, kTopic));
+  swarm.routers[1]->publish(kTopic, to_bytes("post-retraction"));
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  EXPECT_EQ(swarm.delivered[0], 0u);
+}
+
+TEST(GossipSub, StaleSubscriptionCorrectedAfterLossyUnsubscribe) {
+  // The unsubscribe frame itself can be LOST (lossy link, not a
+  // partition): the peer stays a neighbor, so the heartbeat's
+  // late-link retraction never triggers. The stale belief must still be
+  // corrected event-driven — a publish routed to us on a topic we left
+  // proves the sender's belief is stale, and we retract again.
+  Swarm swarm(2);
+  swarm.net.connect(0, 1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    swarm.routers[i]->subscribe(kTopic, [&swarm, i](const PubSubMessage&) {
+      ++swarm.delivered[i];
+    });
+    swarm.routers[i]->start();
+  }
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+
+  // Everything router 0 sends is eaten while it unsubscribes.
+  net::LinkConfig lossy;
+  lossy.loss_rate = 1.0;
+  swarm.net.set_link_override(0, 1, lossy);
+  swarm.routers[0]->unsubscribe(kTopic);
+  swarm.net.clear_link_override(0, 1);
+  swarm.sim.run_until(swarm.sim.now() + 2'000);
+  ASSERT_TRUE(swarm.routers[1]->peer_subscribed(0, kTopic));  // stale
+
+  // Router 1 publishes into the stale mesh; router 0's event-driven
+  // retraction corrects the belief.
+  swarm.routers[1]->publish(kTopic, to_bytes("stale-mesh publish"));
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  EXPECT_FALSE(swarm.routers[1]->peer_subscribed(0, kTopic));
+  EXPECT_EQ(swarm.delivered[0], 0u);
+}
+
+TEST(GossipSub, ResubscribeWhilePartitionedNeedsNoRetraction) {
+  // Unsubscribe then RE-subscribe, both while the peer is away: its
+  // stale belief is accidentally correct again and must survive the
+  // reconnect (no spurious retraction after the re-announce).
+  Swarm swarm(2);
+  swarm.net.connect(0, 1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    swarm.routers[i]->subscribe(kTopic, [&swarm, i](const PubSubMessage&) {
+      ++swarm.delivered[i];
+    });
+    swarm.routers[i]->start();
+  }
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+
+  swarm.net.disconnect(0, 1);
+  swarm.routers[0]->unsubscribe(kTopic);
+  swarm.routers[0]->subscribe(kTopic, [&swarm](const PubSubMessage&) {
+    ++swarm.delivered[0];
+  });
+  swarm.net.connect(0, 1);
+  swarm.sim.run_until(swarm.sim.now() + 5'000);
+  EXPECT_TRUE(swarm.routers[1]->peer_subscribed(0, kTopic));
+  swarm.routers[1]->publish(kTopic, to_bytes("back again"));
+  swarm.sim.run_until(swarm.sim.now() + 3'000);
+  EXPECT_EQ(swarm.delivered[0], 1u);
+}
+
 TEST(GossipSub, MalformedFramePenalized) {
   Swarm swarm(2);
   swarm.net.connect(0, 1);
