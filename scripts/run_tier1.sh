@@ -1,30 +1,63 @@
 #!/usr/bin/env bash
-# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Tier-1 test suite under sanitizers.
 #
-# Builds into build-asan/ with -DWAKU_SANITIZE=address,undefined and runs
-# the full ctest suite. Memory errors in the persistence layer (file IO,
-# torn-tail truncation, byte juggling) are exactly the class of bug a
-# sanitizer catches and a green test run hides.
+# Default flavor builds into build-asan/ with
+# -DWAKU_SANITIZE=address,undefined and runs the full ctest suite. Memory
+# errors in the persistence layer (file IO, torn-tail truncation, byte
+# juggling) are exactly the class of bug a sanitizer catches and a green
+# test run hides.
+#
+# The "thread" flavor builds into build-tsan/ with -DWAKU_SANITIZE=thread
+# and runs the concurrency-touching suites (the multithreaded validation
+# executor, striped nullifier log, seqlock'd root window, and shard-map
+# memo): data races are invisible to ASan and to an unsanitized run, and
+# TSan over the full suite is needlessly slow — the single-threaded
+# persistence suites cannot race.
 #
 # Usage: scripts/run_tier1.sh [sanitizer-spec]
-#   sanitizer-spec  passed to -fsanitize= (default: address,undefined)
+#   sanitizer-spec  passed to -fsanitize= (default: address,undefined);
+#                   "thread" selects the TSan flavor described above
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 SAN="${1:-address,undefined}"
-BUILD="$ROOT/build-asan"
+
+if [ "$SAN" = "thread" ]; then
+  BUILD="$ROOT/build-tsan"
+else
+  BUILD="$ROOT/build-asan"
+fi
 
 cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DWAKU_SANITIZE="$SAN" >/dev/null
 cmake --build "$BUILD" -j"$(nproc)"
 
+cd "$BUILD"
+
+if [ "$SAN" = "thread" ]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  # The suites that actually spin up threads or exercise the shared
+  # validation state: the executor/striped-log/partition-invariance
+  # suite and the sharding suite (shard-map memo, per-shard pipelines).
+  registered="$(ctest -N)"
+  for suite in test_parallel_validation test_sharding; do
+    if ! grep -q "$suite" <<<"$registered"; then
+      echo "error: $suite missing from the ctest suite" >&2
+      exit 1
+    fi
+  done
+  ctest --output-on-failure -j"$(nproc)" \
+    -R '^(test_parallel_validation|test_sharding)$'
+  echo "concurrency suites passed under -fsanitize=thread"
+  exit 0
+fi
+
 # halt_on_error so ctest reports sanitizer findings as failures; UBSan
 # prints stacks for every hit.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
-cd "$BUILD"
 # The adversarial scenario, sharding, and live-reshard suites must be
 # part of every sanitized run — the sim layer drives long event cascades
 # through every subsystem, the sharded relay adds per-shard state

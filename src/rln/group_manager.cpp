@@ -1,5 +1,7 @@
 #include "rln/group_manager.hpp"
 
+#include <mutex>
+
 #include "common/expect.hpp"
 #include "common/serde.hpp"
 
@@ -18,6 +20,44 @@ GroupManager::GroupManager(std::size_t depth, TreeMode mode,
   push_root();
 }
 
+GroupManager::GroupManager(GroupManager&& other) noexcept
+    : depth_(other.depth_),
+      mode_(other.mode_),
+      root_window_(other.root_window_),
+      tree_(std::move(other.tree_)),
+      view_(std::move(other.view_)),
+      own_identity_(std::move(other.own_identity_)),
+      own_index_(other.own_index_),
+      member_count_(other.member_count_),
+      removed_count_(other.removed_count_),
+      pk_index_(std::move(other.pk_index_)),
+      root_ring_(std::move(other.root_ring_)),
+      ring_head_(other.ring_head_),
+      ring_size_(other.ring_size_),
+      root_version_(other.root_version_.load(std::memory_order_relaxed)),
+      root_index_(std::move(other.root_index_)) {}
+
+GroupManager& GroupManager::operator=(GroupManager&& other) noexcept {
+  if (this == &other) return *this;
+  depth_ = other.depth_;
+  mode_ = other.mode_;
+  root_window_ = other.root_window_;
+  tree_ = std::move(other.tree_);
+  view_ = std::move(other.view_);
+  own_identity_ = std::move(other.own_identity_);
+  own_index_ = other.own_index_;
+  member_count_ = other.member_count_;
+  removed_count_ = other.removed_count_;
+  pk_index_ = std::move(other.pk_index_);
+  root_ring_ = std::move(other.root_ring_);
+  ring_head_ = other.ring_head_;
+  ring_size_ = other.ring_size_;
+  root_version_.store(other.root_version_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  root_index_ = std::move(other.root_index_);
+  return *this;
+}
+
 void GroupManager::set_own_identity(const Identity& identity) {
   WAKU_EXPECTS(!own_identity_.has_value());
   own_identity_ = identity;
@@ -25,6 +65,9 @@ void GroupManager::set_own_identity(const Identity& identity) {
 
 void GroupManager::push_root() {
   const Fr r = root();
+  // Single-writer: only the event-stream owner mutates the window, so the
+  // unlocked newest-slot peek cannot race another writer; the lock below
+  // only fences out concurrent readers.
   if (ring_size_ > 0) {
     const std::size_t newest =
         (ring_head_ + root_window_ - 1) % root_window_;
@@ -34,25 +77,33 @@ void GroupManager::push_root() {
 }
 
 void GroupManager::ring_push(const Fr& r) {
-  if (ring_size_ == root_window_) {
-    // Evict the oldest slot (the one the head is about to overwrite).
-    const Fr& old = root_ring_[ring_head_];
-    const auto it = root_index_.find(old);
-    if (--it->second == 0) root_index_.erase(it);
-  } else {
-    ++ring_size_;
+  {
+    std::unique_lock lk(root_mu_);
+    if (ring_size_ == root_window_) {
+      // Evict the oldest slot (the one the head is about to overwrite).
+      const Fr& old = root_ring_[ring_head_];
+      const auto it = root_index_.find(old);
+      if (--it->second == 0) root_index_.erase(it);
+    } else {
+      ++ring_size_;
+    }
+    root_ring_[ring_head_] = r;
+    ++root_index_[r];
+    ring_head_ = (ring_head_ + 1) % root_window_;
   }
-  root_ring_[ring_head_] = r;
-  ++root_index_[r];
-  ring_head_ = (ring_head_ + 1) % root_window_;
-  ++root_version_;
+  // Version bumps after the mutation is published; a reader seeing the
+  // new version therefore re-reads (under the lock) at least this state.
+  root_version_.fetch_add(1, std::memory_order_release);
 }
 
 void GroupManager::ring_clear() {
-  ring_head_ = 0;
-  ring_size_ = 0;
-  root_index_.clear();
-  ++root_version_;
+  {
+    std::unique_lock lk(root_mu_);
+    ring_head_ = 0;
+    ring_size_ = 0;
+    root_index_.clear();
+  }
+  root_version_.fetch_add(1, std::memory_order_release);
 }
 
 void GroupManager::on_event(const chain::Event& event) {
@@ -124,7 +175,13 @@ Fr GroupManager::root() const {
 }
 
 bool GroupManager::is_recent_root(const Fr& r) const {
+  std::shared_lock lk(root_mu_);
   return root_index_.contains(r);
+}
+
+std::size_t GroupManager::recent_root_count() const {
+  std::shared_lock lk(root_mu_);
+  return ring_size_;
 }
 
 merkle::MerklePath GroupManager::own_path() const {
@@ -145,6 +202,7 @@ merkle::MerklePath GroupManager::path_of(std::uint64_t index) const {
 }
 
 std::vector<Fr> GroupManager::recent_roots() const {
+  std::shared_lock lk(root_mu_);
   std::vector<Fr> roots;
   roots.reserve(ring_size_);
   for (std::size_t k = 0; k < ring_size_; ++k) {

@@ -12,7 +12,9 @@
 // therefore accept proofs only against a short window of recent roots.
 #pragma once
 
+#include <atomic>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <variant>
 #include <vector>
@@ -45,6 +47,13 @@ class GroupManager {
   GroupManager(std::size_t depth, TreeMode mode,
                std::size_t root_window = 10);
 
+  /// Movable for bootstrap-time hand-offs (from_checkpoint returns by
+  /// value; the light client emplaces the result). Moves are NOT
+  /// thread-safe — they happen strictly before any concurrent reader
+  /// exists, never while validation workers are live.
+  GroupManager(GroupManager&& other) noexcept;
+  GroupManager& operator=(GroupManager&& other) noexcept;
+
   /// Sets the identity whose registration this peer is waiting for; when
   /// the matching MemberRegistered event arrives, own_index() is set and
   /// (in partial mode) the view switches to O(log N) tracking.
@@ -60,12 +69,17 @@ class GroupManager {
   /// cache, not a scan — this sits on the per-message validation hot path.
   [[nodiscard]] bool is_recent_root(const Fr& root) const;
   /// Number of distinct roots currently held by the rolling cache.
-  [[nodiscard]] std::size_t recent_root_count() const { return ring_size_; }
+  [[nodiscard]] std::size_t recent_root_count() const;
   /// Monotone counter bumped whenever the root window changes. Shard-local
   /// root caches (shard/sharded_validator.hpp) compare it to decide when
   /// their window copy is stale — a version match makes their hot-path
   /// root check O(1) with zero shared-state reads beyond this counter.
-  [[nodiscard]] std::uint64_t root_version() const { return root_version_; }
+  /// Seqlock-style read path: the counter is atomic, so concurrent
+  /// validation workers poll it lock-free and take the shared root_mu_
+  /// only on the (rare) version mismatch that forces a window re-read.
+  [[nodiscard]] std::uint64_t root_version() const {
+    return root_version_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] std::optional<std::uint64_t> own_index() const {
     return own_index_;
@@ -143,10 +157,21 @@ class GroupManager {
   // refcount matters because a root can legitimately re-enter the window
   // (a removal can restore an earlier tree state); evicting one ring slot
   // must not forget the other occurrence.
+  //
+  // Concurrency: the window is single-writer (the event-stream owner) /
+  // many-reader (validation workers). root_mu_ guards the ring, index,
+  // head and size; the version counter is atomic so the common-case read
+  // — "has the window changed since my mirror copy?" — takes no lock at
+  // all (the seqlock shape: version check first, locked re-read only on
+  // mismatch). The tree/view and member counters stay unsynchronized:
+  // workers never touch them, only the root window.
+  mutable std::shared_mutex root_mu_;
   std::vector<Fr> root_ring_;
   std::size_t ring_head_ = 0;  ///< next slot to overwrite
   std::size_t ring_size_ = 0;
-  std::uint64_t root_version_ = 0;  ///< bumped on every window change
+  /// Bumped (release) on every window change, after the window mutation
+  /// completes under root_mu_.
+  std::atomic<std::uint64_t> root_version_{0};
   std::unordered_map<Fr, std::uint32_t, ff::FrHash> root_index_;
 };
 

@@ -77,6 +77,10 @@ void WakuRlnRelayNode::install_validator_hooks(
   // so a crash cannot blind us to double-signals on any shard. During a
   // cutover the incoming generation's shard ids collide with the outgoing
   // ones, so its mirrors ride a distinct tag.
+  // Every container build (initial, reshard next-generation, restore
+  // rebuild) funnels through here, so the configured worker-pool shape
+  // follows the validator across generations.
+  validator.set_parallelism(config_.parallel);
   const WalTag tag =
       next_generation ? WalTag::kNullifierNext : WalTag::kNullifier;
   validator.set_observe_hook([this, tag](shard::ShardId shard,
@@ -153,8 +157,12 @@ void WakuRlnRelayNode::wire_shard(shard::ShardedValidator& validator,
           return std::vector<ValidationResult>(messages.size(),
                                                ValidationResult::kIgnore);
         }
+        // Route through the container's executor: deterministic mode is
+        // the old inline call verbatim; parallel mode runs the window on
+        // the shard's worker lane (this callback blocks for the verdicts,
+        // so the node's WAL/slash hooks never race the relay).
         const std::vector<ValidationOutcome> outcomes =
-            validator->pipeline(shard).validate_batch(messages, received_at);
+            validator->validate_batch(shard, messages, received_at);
         std::vector<ValidationResult> results;
         results.reserve(outcomes.size());
         for (const ValidationOutcome& outcome : outcomes) {

@@ -7,37 +7,86 @@
 
 namespace waku::rln {
 
+NullifierLog::NullifierLog(NullifierLog&& other) noexcept {
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    stripes_[i].buckets = std::move(other.stripes_[i].buckets);
+  }
+  min_epoch_ = other.min_epoch_;
+  entries_ = other.entries_;
+  bucket_count_ = other.bucket_count_;
+  conflicts_.store(other.conflicts_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+NullifierLog& NullifierLog::operator=(NullifierLog&& other) noexcept {
+  if (this == &other) return *this;
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    stripes_[i].buckets = std::move(other.stripes_[i].buckets);
+  }
+  min_epoch_ = other.min_epoch_;
+  entries_ = other.entries_;
+  bucket_count_ = other.bucket_count_;
+  conflicts_.store(other.conflicts_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
 NullifierLog::Result NullifierLog::observe(std::uint64_t epoch,
                                            const Fr& nullifier,
                                            const sss::Share& share,
                                            std::uint64_t proof_fp) {
-  if (buckets_.empty()) {
-    min_epoch_ = epoch;
-  } else {
-    min_epoch_ = std::min(min_epoch_, epoch);
+  bool new_entry = false;
+  bool new_bucket = false;
+  Result result;
+  {
+    Stripe& stripe = stripe_for(epoch);
+    std::lock_guard lk(stripe.mu);
+    auto bit = stripe.buckets.find(epoch);
+    if (bit == stripe.buckets.end()) {
+      bit = stripe.buckets.emplace(epoch, Bucket{}).first;
+      new_bucket = true;
+    }
+    Bucket& bucket = bit->second;
+    const auto it = bucket.find(nullifier);
+    if (it == bucket.end()) {
+      bucket.emplace(nullifier, Entry{share, proof_fp});
+      new_entry = true;
+      result = Result{Outcome::kNew, std::nullopt, false};
+    } else if (it->second.share == share) {
+      result = Result{Outcome::kDuplicate, std::nullopt, false};
+    } else {
+      // Equivocation. Two distinct x coordinates pin down the line and
+      // hence sk; an identical x with a different y cannot (interpolation
+      // needs distinct points) but is still a double-signal, never a
+      // duplicate.
+      conflicts_.fetch_add(1, std::memory_order_relaxed);
+      result = Result{Outcome::kConflict, it->second.share,
+                      it->second.share.x != share.x};
+    }
   }
-  Bucket& bucket = buckets_[epoch];
-  const auto it = bucket.find(nullifier);
-  if (it == bucket.end()) {
-    bucket.emplace(nullifier, Entry{share, proof_fp});
+  if (new_entry) {
+    // Meta is taken only after the stripe lock is released. A duplicate or
+    // conflict implies the epoch's bucket already exists, which implies
+    // min_epoch_ <= epoch — so skipping meta on those paths matches the
+    // unconditional watermark update the single-threaded log performed.
+    std::lock_guard lk(meta_mu_);
+    if (bucket_count_ == 0) {
+      min_epoch_ = epoch;
+    } else {
+      min_epoch_ = std::min(min_epoch_, epoch);
+    }
     ++entries_;
-    return Result{Outcome::kNew, std::nullopt, false};
+    if (new_bucket) ++bucket_count_;
   }
-  if (it->second.share == share) {
-    return Result{Outcome::kDuplicate, std::nullopt, false};
-  }
-  // Equivocation. Two distinct x coordinates pin down the line and hence
-  // sk; an identical x with a different y cannot (interpolation needs
-  // distinct points) but is still a double-signal, never a duplicate.
-  ++conflicts_;
-  return Result{Outcome::kConflict, it->second.share,
-                it->second.share.x != share.x};
+  return result;
 }
 
 std::optional<NullifierLog::Entry> NullifierLog::peek(
     std::uint64_t epoch, const Fr& nullifier) const {
-  const auto bit = buckets_.find(epoch);
-  if (bit == buckets_.end()) return std::nullopt;
+  const Stripe& stripe = stripe_for(epoch);
+  std::lock_guard lk(stripe.mu);
+  const auto bit = stripe.buckets.find(epoch);
+  if (bit == stripe.buckets.end()) return std::nullopt;
   const auto it = bit->second.find(nullifier);
   if (it == bit->second.end()) return std::nullopt;
   return it->second;
@@ -46,39 +95,70 @@ std::optional<NullifierLog::Entry> NullifierLog::peek(
 void NullifierLog::gc(std::uint64_t current_epoch, std::uint64_t thr) {
   const std::uint64_t cutoff =
       current_epoch > thr ? current_epoch - thr : 0;
-  if (buckets_.empty() || cutoff <= min_epoch_) {
-    if (buckets_.empty()) min_epoch_ = cutoff;
-    return;
-  }
-  // Expire whole epoch buckets. Walk the epoch range when it is dense
-  // (the steady state: at most thr+1 live epochs), otherwise sweep the
-  // bucket keys so a sparse log never pays for the numeric gap.
-  if (cutoff - min_epoch_ <= buckets_.size() + 1) {
-    for (std::uint64_t e = min_epoch_; e < cutoff; ++e) {
-      const auto it = buckets_.find(e);
-      if (it == buckets_.end()) continue;
-      entries_ -= it->second.size();
-      buckets_.erase(it);
+  {
+    std::lock_guard lk(meta_mu_);
+    if (bucket_count_ == 0) {
+      min_epoch_ = cutoff;
+      return;
     }
-  } else {
-    for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (cutoff <= min_epoch_) return;
+  }
+  // Expire whole epoch buckets, one stripe at a time (meta is not held
+  // across the sweep — lock rule). Each stripe holds at most ~thr/kStripes
+  // live epochs in steady state, so this is O(live epochs) total.
+  std::size_t removed_entries = 0;
+  std::size_t removed_buckets = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard lk(stripe.mu);
+    for (auto it = stripe.buckets.begin(); it != stripe.buckets.end();) {
       if (it->first < cutoff) {
-        entries_ -= it->second.size();
-        it = buckets_.erase(it);
+        removed_entries += it->second.size();
+        ++removed_buckets;
+        it = stripe.buckets.erase(it);
       } else {
         ++it;
       }
     }
   }
-  min_epoch_ = cutoff;
+  std::lock_guard lk(meta_mu_);
+  entries_ -= removed_entries;
+  bucket_count_ -= removed_buckets;
+  // An observe racing this sweep can land an entry below the cutoff after
+  // its stripe was already swept; the watermark still advances (the stale
+  // bucket is swept on the next gc), matching the documented contract.
+  min_epoch_ = std::max(min_epoch_, cutoff);
+}
+
+NullifierLog::Stats NullifierLog::stats() const {
+  Stats s;
+  {
+    std::lock_guard lk(meta_mu_);
+    s.entries = entries_;
+    s.buckets = bucket_count_;
+    s.min_epoch = min_epoch_;
+  }
+  s.conflicts = conflicts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t NullifierLog::epoch_count() const {
+  std::lock_guard lk(meta_mu_);
+  return bucket_count_;
+}
+
+std::size_t NullifierLog::entry_count() const {
+  std::lock_guard lk(meta_mu_);
+  return entries_;
 }
 
 std::vector<std::pair<std::uint64_t, std::size_t>>
 NullifierLog::bucket_sizes() const {
   std::vector<std::pair<std::uint64_t, std::size_t>> sizes;
-  sizes.reserve(buckets_.size());
-  for (const auto& [epoch, bucket] : buckets_) {
-    sizes.emplace_back(epoch, bucket.size());
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lk(stripe.mu);
+    for (const auto& [epoch, bucket] : stripe.buckets) {
+      sizes.emplace_back(epoch, bucket.size());
+    }
   }
   std::sort(sizes.begin(), sizes.end());
   return sizes;
@@ -86,17 +166,24 @@ NullifierLog::bucket_sizes() const {
 
 Bytes NullifierLog::serialize() const {
   ByteWriter w;
-  w.write_u64(min_epoch_);
-  w.write_u64(conflicts_);
-  w.write_u64(buckets_.size());
-
   std::vector<std::uint64_t> epochs;
-  epochs.reserve(buckets_.size());
-  for (const auto& [epoch, bucket] : buckets_) epochs.push_back(epoch);
+  {
+    std::lock_guard lk(meta_mu_);
+    w.write_u64(min_epoch_);
+    w.write_u64(conflicts_.load(std::memory_order_relaxed));
+    w.write_u64(bucket_count_);
+    epochs.reserve(bucket_count_);
+  }
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lk(stripe.mu);
+    for (const auto& [epoch, bucket] : stripe.buckets) epochs.push_back(epoch);
+  }
   std::sort(epochs.begin(), epochs.end());
 
   for (const std::uint64_t epoch : epochs) {
-    const Bucket& bucket = buckets_.at(epoch);
+    const Stripe& stripe = stripe_for(epoch);
+    std::lock_guard lk(stripe.mu);
+    const Bucket& bucket = stripe.buckets.at(epoch);
     w.write_u64(epoch);
     w.write_u64(bucket.size());
     // Canonical entry order: sort by the nullifier's integer value so two
@@ -120,15 +207,20 @@ Bytes NullifierLog::serialize() const {
 
 void NullifierLog::restore(BytesView bytes) {
   ByteReader r(bytes);
-  buckets_.clear();
-  entries_ = 0;
-  min_epoch_ = r.read_u64();
-  conflicts_ = r.read_u64();
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard lk(stripe.mu);
+    stripe.buckets.clear();
+  }
+  std::uint64_t min_epoch = r.read_u64();
+  conflicts_.store(r.read_u64(), std::memory_order_relaxed);
   const std::uint64_t bucket_count = r.read_u64();
+  std::size_t entries = 0;
   for (std::uint64_t b = 0; b < bucket_count; ++b) {
     const std::uint64_t epoch = r.read_u64();
     const std::uint64_t entry_count = r.read_u64();
-    Bucket& bucket = buckets_[epoch];
+    Stripe& stripe = stripe_for(epoch);
+    std::lock_guard lk(stripe.mu);
+    Bucket& bucket = stripe.buckets[epoch];
     bucket.reserve(entry_count);
     for (std::uint64_t e = 0; e < entry_count; ++e) {
       const Fr nullifier = Fr::from_bytes_reduce(r.read_raw(32));
@@ -137,20 +229,26 @@ void NullifierLog::restore(BytesView bytes) {
       entry.share.y = Fr::from_bytes_reduce(r.read_raw(32));
       entry.proof_fp = r.read_u64();
       bucket.emplace(nullifier, entry);
-      ++entries_;
+      ++entries;
     }
   }
+  std::lock_guard lk(meta_mu_);
+  min_epoch_ = min_epoch;
+  entries_ = entries;
+  bucket_count_ = bucket_count;
 }
 
 void NullifierLog::seed_watermark(std::uint64_t min_epoch) {
-  WAKU_EXPECTS(buckets_.empty());
+  std::lock_guard lk(meta_mu_);
+  WAKU_EXPECTS(bucket_count_ == 0);
   min_epoch_ = min_epoch;
 }
 
 std::size_t NullifierLog::storage_bytes() const {
   // nullifier (32) + share x,y (64) + proof fingerprint (8) per entry,
   // plus per-epoch key.
-  return entry_count() * 104 + epoch_count() * 8;
+  std::lock_guard lk(meta_mu_);
+  return entries_ * 104 + bucket_count_ * 8;
 }
 
 }  // namespace waku::rln

@@ -7,9 +7,24 @@
 // Storage is sharded into one hash bucket per epoch with a min-epoch
 // watermark, so expiring an epoch is one bucket drop (O(1) per epoch)
 // instead of a sweep over every record.
+//
+// Thread safety: the epoch buckets are distributed over a fixed set of
+// lock stripes (stripe = epoch mod kStripes), so observe/peek/gc from
+// different shards' worker threads (validation_executor.hpp) interleave
+// without serializing on one lock — two distinct epochs almost always hit
+// distinct stripes, and all traffic of one epoch must serialize anyway
+// (the duplicate/conflict decision is an atomic read-modify-write on that
+// epoch's bucket). The watermark and entry/bucket counters live behind a
+// separate meta lock that is never held together with a stripe lock.
+// observe() is linearizable per (epoch, nullifier): exactly one caller
+// wins kNew, every identical-share racer sees kDuplicate, every
+// conflicting-share racer sees kConflict with the recorded share.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -61,6 +76,15 @@ class NullifierLog {
     std::uint64_t proof_fp = 0;
   };
 
+  NullifierLog() = default;
+  NullifierLog(const NullifierLog&) = delete;
+  NullifierLog& operator=(const NullifierLog&) = delete;
+  /// Movable for construction-time hand-offs only (a pipeline built by a
+  /// factory and returned by value). Moves are NOT thread-safe — they
+  /// happen strictly before any concurrent observer exists.
+  NullifierLog(NullifierLog&& other) noexcept;
+  NullifierLog& operator=(NullifierLog&& other) noexcept;
+
   /// Checks the (epoch, nullifier, share) triple against the log and
   /// records it (with `proof_fp`) if new. Duplicate/conflict is decided
   /// by the share alone: a re-proof of the same share (proof bytes differ
@@ -77,23 +101,25 @@ class NullifierLog {
   /// Drops entries older than `thr` epochs before `current_epoch`
   /// (messages that old are rejected up front, so the log never needs
   /// them, §III-F). Amortized O(1) per expired epoch via the watermark.
+  /// Safe concurrently with observe/peek; an observe racing the sweep with
+  /// an already-expired epoch may land below the watermark and is
+  /// reclaimed by the next gc.
   void gc(std::uint64_t current_epoch, std::uint64_t thr);
 
-  [[nodiscard]] Stats stats() const {
-    return Stats{entries_, buckets_.size(), conflicts_, min_epoch_};
-  }
+  [[nodiscard]] Stats stats() const;
   /// Entry count per live epoch bucket, sorted by epoch — the per-shard
   /// view behind Stats, for restart equality assertions and operators.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::size_t>>
   bucket_sizes() const;
-  [[nodiscard]] std::size_t epoch_count() const { return buckets_.size(); }
-  [[nodiscard]] std::size_t entry_count() const { return entries_; }
+  [[nodiscard]] std::size_t epoch_count() const;
+  [[nodiscard]] std::size_t entry_count() const;
   /// Approximate in-memory footprint (E4/E5 bookkeeping).
   [[nodiscard]] std::size_t storage_bytes() const;
 
   /// Canonical full-state serialization (buckets sorted by epoch, entries
   /// by nullifier) — identical logs serialize to identical bytes, which is
-  /// what the crash-restart suite asserts on.
+  /// what the crash-restart suite asserts on. Not atomic against
+  /// concurrent observers; call quiescent (snapshots run on the owner).
   [[nodiscard]] Bytes serialize() const;
   /// Replaces this log's contents with a serialized state.
   void restore(BytesView bytes);
@@ -105,10 +131,35 @@ class NullifierLog {
 
  private:
   using Bucket = std::unordered_map<Fr, Entry, ff::FrHash>;
-  std::unordered_map<std::uint64_t, Bucket> buckets_;
+
+  /// Stripe count: enough that 8-16 concurrent shard workers touching
+  /// adjacent epochs rarely collide, small enough that whole-log walks
+  /// (stats, serialize) stay trivial.
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Bucket> buckets;
+  };
+  Stripe& stripe_for(std::uint64_t epoch) {
+    return stripes_[epoch % kStripes];
+  }
+  const Stripe& stripe_for(std::uint64_t epoch) const {
+    return stripes_[epoch % kStripes];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+
+  /// Guards the watermark and the live entry/bucket counters. Never held
+  /// together with a stripe lock (stripe work completes first, then meta
+  /// is updated), so there is no lock-order relation to deadlock on.
+  mutable std::mutex meta_mu_;
   std::uint64_t min_epoch_ = 0;  ///< no bucket is older than this watermark
   std::size_t entries_ = 0;
-  std::uint64_t conflicts_ = 0;
+  std::size_t bucket_count_ = 0;
+
+  /// Atomic: bumped inside the stripe critical section (meta is not held
+  /// there), read by stats().
+  std::atomic<std::uint64_t> conflicts_{0};
 };
 
 }  // namespace waku::rln

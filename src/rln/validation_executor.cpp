@@ -1,0 +1,209 @@
+#include "rln/validation_executor.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace waku::rln {
+
+ValidationExecutor::ValidationExecutor(ParallelismConfig config)
+    : config_(config) {
+  WAKU_EXPECTS(config_.queue_depth >= 1);
+  if (config_.deterministic) return;
+  std::size_t n = config_.workers;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  lanes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  stats_.workers = n;
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ValidationExecutor::~ValidationExecutor() {
+  if (threads_.empty()) return;
+  drain();
+  stop_.store(true, std::memory_order_release);
+  for (auto& lane : lanes_) {
+    std::lock_guard lk(lane->mu);
+    lane->cv.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ValidationExecutor::submit(std::uint16_t shard,
+                                ValidationPipeline& pipeline,
+                                std::span<const WakuMessage> messages,
+                                std::uint64_t local_now_ms, Completion done) {
+  Job job;
+  job.shard = shard;
+  job.pipeline = &pipeline;
+  job.messages = messages;
+  job.local_now_ms = local_now_ms;
+  job.done = std::move(done);
+  return enqueue(std::move(job), /*force_block=*/false);
+}
+
+bool ValidationExecutor::submit(std::uint16_t shard,
+                                ValidationPipeline& pipeline,
+                                std::span<const WakuMessage> messages,
+                                std::span<const std::uint64_t> received_at_ms,
+                                Completion done) {
+  WAKU_EXPECTS(received_at_ms.size() == messages.size());
+  Job job;
+  job.shard = shard;
+  job.pipeline = &pipeline;
+  job.messages = messages;
+  job.use_received_at = true;
+  job.received_at_ms.assign(received_at_ms.begin(), received_at_ms.end());
+  job.done = std::move(done);
+  return enqueue(std::move(job), /*force_block=*/false);
+}
+
+void ValidationExecutor::run_job(Job& job) {
+  std::vector<ValidationOutcome> outcomes =
+      job.use_received_at
+          ? job.pipeline->validate_batch(
+                job.messages,
+                std::span<const std::uint64_t>(job.received_at_ms.data(),
+                                               job.received_at_ms.size()))
+          : job.pipeline->validate_batch(job.messages, job.local_now_ms);
+  if (job.done) job.done(std::move(outcomes));
+}
+
+bool ValidationExecutor::enqueue(Job job, bool force_block) {
+  if (threads_.empty()) {
+    // Deterministic mode: the window runs inline on the caller — the
+    // exact pre-executor code path (same thread, same order, same state).
+    {
+      std::lock_guard lk(stats_mu_);
+      ++stats_.submitted;
+    }
+    run_job(job);
+    std::lock_guard lk(stats_mu_);
+    ++stats_.executed;
+    return true;
+  }
+
+  Lane& lane = *lanes_[job.shard % lanes_.size()];
+  std::unique_lock lk(lane.mu);
+  std::size_t& depth = lane.shard_depth[job.shard];
+  if (depth >= config_.queue_depth) {
+    if (!force_block &&
+        config_.backpressure == ParallelismConfig::Backpressure::kReject) {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.rejected;
+      return false;
+    }
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.blocked;
+    }
+    lane.room_cv.wait(lk, [&] { return depth < config_.queue_depth; });
+  }
+  ++depth;
+  // in_flight_ rises before the job becomes visible to any worker (both
+  // under the lane lock), so drain() can never observe a popped-but-not-
+  // yet-counted window. Lock order everywhere: lane.mu before stats_mu_.
+  {
+    std::lock_guard slk(stats_mu_);
+    ++stats_.submitted;
+    ++in_flight_;
+  }
+  lane.queue.push_back(std::move(job));
+  lane.cv.notify_one();
+  return true;
+}
+
+void ValidationExecutor::worker_loop(std::size_t lane_index) {
+  Lane& lane = *lanes_[lane_index];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lk(lane.mu);
+      lane.cv.wait(lk, [&] {
+        return !lane.queue.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (lane.queue.empty()) return;  // stop requested and lane drained
+      job = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      --lane.shard_depth[job.shard];
+      lane.room_cv.notify_all();
+    }
+    run_job(job);
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.executed;
+      --in_flight_;
+      if (in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<ValidationOutcome> ValidationExecutor::validate_blocking(Job job) {
+  if (threads_.empty()) {
+    std::vector<ValidationOutcome> result;
+    job.done = [&result](std::vector<ValidationOutcome> outcomes) {
+      result = std::move(outcomes);
+    };
+    enqueue(std::move(job), /*force_block=*/true);
+    return result;
+  }
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    std::vector<ValidationOutcome> result;
+  };
+  Sync sync;
+  job.done = [&sync](std::vector<ValidationOutcome> outcomes) {
+    std::lock_guard lk(sync.mu);
+    sync.result = std::move(outcomes);
+    sync.ready = true;
+    sync.cv.notify_one();
+  };
+  enqueue(std::move(job), /*force_block=*/true);
+  std::unique_lock lk(sync.mu);
+  sync.cv.wait(lk, [&] { return sync.ready; });
+  return std::move(sync.result);
+}
+
+std::vector<ValidationOutcome> ValidationExecutor::validate(
+    std::uint16_t shard, ValidationPipeline& pipeline,
+    std::span<const WakuMessage> messages, std::uint64_t local_now_ms) {
+  Job job;
+  job.shard = shard;
+  job.pipeline = &pipeline;
+  job.messages = messages;
+  job.local_now_ms = local_now_ms;
+  return validate_blocking(std::move(job));
+}
+
+std::vector<ValidationOutcome> ValidationExecutor::validate(
+    std::uint16_t shard, ValidationPipeline& pipeline,
+    std::span<const WakuMessage> messages,
+    std::span<const std::uint64_t> received_at_ms) {
+  WAKU_EXPECTS(received_at_ms.size() == messages.size());
+  Job job;
+  job.shard = shard;
+  job.pipeline = &pipeline;
+  job.messages = messages;
+  job.use_received_at = true;
+  job.received_at_ms.assign(received_at_ms.begin(), received_at_ms.end());
+  return validate_blocking(std::move(job));
+}
+
+void ValidationExecutor::drain() {
+  std::unique_lock lk(stats_mu_);
+  drained_cv_.wait(lk, [&] { return in_flight_ == 0; });
+}
+
+ExecutorStats ValidationExecutor::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace waku::rln

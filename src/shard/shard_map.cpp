@@ -1,10 +1,37 @@
 #include "shard/shard_map.hpp"
 
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
 #include "common/expect.hpp"
 #include "common/serde.hpp"
 #include "hash/keccak256.hpp"
 
 namespace waku::shard {
+
+/// Bounded topic->shard memo. Relays resolve the same handful of live
+/// content topics on every message, while the uncached walk costs one
+/// keccak per split-lineage layer — so the memo turns the deepening hot
+/// path back into a hash lookup. Full clear on overflow (no LRU links to
+/// maintain): the working set of live topics is far below capacity, so a
+/// flush is a cold-start blip, not a steady-state cost.
+struct ShardMap::Memo {
+  /// Heterogeneous lookup: find by string_view without materializing a
+  /// std::string per message.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  static constexpr std::size_t kCapacity = 4096;
+
+  mutable std::mutex mu;
+  std::unordered_map<std::string, ShardId, Hash, std::equal_to<>> cache;
+  MemoStats stats;
+};
 
 std::vector<ShardId> ShardConfig::subscribed_shards() const {
   if (!subscribe.empty()) return subscribe;
@@ -14,7 +41,9 @@ std::vector<ShardId> ShardConfig::subscribed_shards() const {
 }
 
 ShardMap::ShardMap(std::uint16_t num_shards, std::uint32_t generation)
-    : num_shards_(num_shards), generation_(generation) {
+    : num_shards_(num_shards),
+      generation_(generation),
+      memo_(std::make_shared<Memo>()) {
   WAKU_EXPECTS(num_shards >= 1);
 }
 
@@ -37,6 +66,31 @@ std::uint64_t topic_hash(std::uint32_t generation,
 }  // namespace
 
 ShardId ShardMap::shard_of(std::string_view content_topic) const {
+  {
+    std::lock_guard lk(memo_->mu);
+    const auto it = memo_->cache.find(content_topic);
+    if (it != memo_->cache.end()) {
+      ++memo_->stats.hits;
+      return it->second;
+    }
+    ++memo_->stats.misses;
+  }
+  const ShardId shard = compute_shard_of(content_topic);
+  std::lock_guard lk(memo_->mu);
+  if (memo_->cache.size() >= Memo::kCapacity) {
+    memo_->cache.clear();
+    ++memo_->stats.flushes;
+  }
+  memo_->cache.emplace(std::string(content_topic), shard);
+  return shard;
+}
+
+ShardMap::MemoStats ShardMap::memo_stats() const {
+  std::lock_guard lk(memo_->mu);
+  return memo_->stats;
+}
+
+ShardId ShardMap::compute_shard_of(std::string_view content_topic) const {
   if (parent_ != nullptr) {
     // Refinement: the old shard picks the family, this generation's hash
     // picks the slot within it — shard_of(T) % parent N == parent shard.

@@ -65,7 +65,21 @@ class ShardMap {
       : ShardMap(config.num_shards, config.generation) {}
 
   /// Deterministic content-topic assignment (identical on every peer).
+  /// Amortized O(1): the keccak-per-lineage-layer walk runs only on a memo
+  /// miss; repeated lookups of live topics hit a bounded topic->shard memo
+  /// (thread-safe, shared across copies of the same map, and naturally
+  /// invalidated by resharding — split()/resharded()/deserialize build new
+  /// maps, and a new map starts with a fresh memo).
   [[nodiscard]] ShardId shard_of(std::string_view content_topic) const;
+
+  /// Memo effectiveness counters (hits/misses/flushes) for benches and the
+  /// O(1)-amortized-lookup assertion.
+  struct MemoStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t flushes = 0;  ///< capacity-triggered full clears
+  };
+  [[nodiscard]] MemoStats memo_stats() const;
 
   /// Shard-qualified gossipsub topic for `shard`.
   [[nodiscard]] std::string pubsub_topic(ShardId shard) const;
@@ -128,10 +142,18 @@ class ShardMap {
   }
 
  private:
+  /// The uncached assignment walk (one keccak per lineage layer).
+  [[nodiscard]] ShardId compute_shard_of(std::string_view content_topic) const;
+
   std::uint16_t num_shards_;
   std::uint32_t generation_;
   /// Split lineage; shared (immutable) so copies stay cheap.
   std::shared_ptr<const ShardMap> parent_;
+  /// Bounded topic->shard memo (defined in the .cpp). Shared across copies
+  /// — copies denote the same layout, so they may share warm entries; any
+  /// layout change constructs a new map and with it a fresh memo.
+  struct Memo;
+  std::shared_ptr<Memo> memo_;
 };
 
 /// Deterministically finds a content topic assigned to `shard` under

@@ -8,12 +8,19 @@
 namespace waku::shard {
 
 bool ShardRootCache::check(const Fr& root) {
-  if (version_ != group_.root_version()) {
+  // Seqlock read shape: sample the version BEFORE copying the window and
+  // record the sample, not a re-read. If a membership event lands mid-copy
+  // the sample is already stale, so the next check refreshes again —
+  // recording a post-copy version instead could pin a torn copy as
+  // current. (Each cache is owned by one shard, and a shard's windows run
+  // serially on one executor lane, so check() itself is never reentered.)
+  const std::uint64_t version = group_.root_version();
+  if (version_ != version) {
     // The shared window moved (membership event): rebuild the shard-local
     // copy. O(root_window), amortized over every message between events.
     roots_.clear();
     for (const Fr& r : group_.recent_roots()) roots_.insert(r);
-    version_ = group_.root_version();
+    version_ = version;
     ++stats_.refreshes;
   }
   const bool ok = roots_.contains(root);
@@ -54,6 +61,44 @@ ShardedValidator::ShardedValidator(const zksnark::VerifyingKey& vk,
         [cache](const Fr& root) { return cache->check(root); });
     shards_.emplace(shard, std::move(state));
   }
+  executor_ =
+      std::make_unique<rln::ValidationExecutor>(rln::ParallelismConfig{});
+}
+
+void ShardedValidator::set_parallelism(rln::ParallelismConfig parallel) {
+  // Destroying the old executor drains its queues and joins its pool, so
+  // no window of ours can still be running when the new one starts.
+  executor_.reset();
+  executor_ = std::make_unique<rln::ValidationExecutor>(parallel);
+}
+
+std::vector<rln::ValidationOutcome> ShardedValidator::validate_batch(
+    ShardId shard, std::span<const WakuMessage> messages,
+    std::uint64_t local_now_ms) {
+  return executor_->validate(shard, pipeline(shard), messages, local_now_ms);
+}
+
+std::vector<rln::ValidationOutcome> ShardedValidator::validate_batch(
+    ShardId shard, std::span<const WakuMessage> messages,
+    std::span<const std::uint64_t> received_at_ms) {
+  return executor_->validate(shard, pipeline(shard), messages,
+                             received_at_ms);
+}
+
+bool ShardedValidator::submit(ShardId shard,
+                              std::span<const WakuMessage> messages,
+                              std::uint64_t local_now_ms,
+                              rln::ValidationExecutor::Completion done) {
+  return executor_->submit(shard, pipeline(shard), messages, local_now_ms,
+                           std::move(done));
+}
+
+bool ShardedValidator::submit(ShardId shard,
+                              std::span<const WakuMessage> messages,
+                              std::span<const std::uint64_t> received_at_ms,
+                              rln::ValidationExecutor::Completion done) {
+  return executor_->submit(shard, pipeline(shard), messages, received_at_ms,
+                           std::move(done));
 }
 
 rln::ValidationPipeline& ShardedValidator::pipeline(ShardId shard) {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "rln/validation_executor.hpp"
 #include "rln/validation_pipeline.hpp"
 #include "shard/shard_map.hpp"
 
@@ -96,6 +97,42 @@ class ShardedValidator {
     return pipeline(map_.shard_of(content_topic));
   }
 
+  // -- Executor-backed validation ---------------------------------------------
+
+  /// Replaces the validation executor (draining the old one first). The
+  /// default is the deterministic inline executor — exact single-threaded
+  /// semantics. Must not race in-flight submits.
+  void set_parallelism(rln::ParallelismConfig parallel);
+  [[nodiscard]] const rln::ParallelismConfig& parallelism() const {
+    return executor_->config();
+  }
+  [[nodiscard]] rln::ExecutorStats executor_stats() const {
+    return executor_->stats();
+  }
+
+  /// Blocking batch validation of one shard's window through the executor:
+  /// deterministic mode runs inline (the pre-executor code path verbatim);
+  /// parallel mode queues onto the shard's lane and waits, keeping
+  /// per-shard submission order against async submits.
+  std::vector<rln::ValidationOutcome> validate_batch(
+      ShardId shard, std::span<const WakuMessage> messages,
+      std::uint64_t local_now_ms);
+  std::vector<rln::ValidationOutcome> validate_batch(
+      ShardId shard, std::span<const WakuMessage> messages,
+      std::span<const std::uint64_t> received_at_ms);
+
+  /// Async window submission (parallel-mode fan-out; see
+  /// rln::ValidationExecutor::submit for the lifetime contract on
+  /// `messages`). Returns false iff kReject backpressure refused it.
+  bool submit(ShardId shard, std::span<const WakuMessage> messages,
+              std::uint64_t local_now_ms,
+              rln::ValidationExecutor::Completion done);
+  bool submit(ShardId shard, std::span<const WakuMessage> messages,
+              std::span<const std::uint64_t> received_at_ms,
+              rln::ValidationExecutor::Completion done);
+  /// Waits until every submitted window has completed.
+  void drain() { executor_->drain(); }
+
   /// Compatibility surface for pre-sharding call sites (stats readers,
   /// crash-restart equality assertions): the default shard's pipeline/log
   /// and the field-wise aggregate across all shards.
@@ -159,6 +196,8 @@ class ShardedValidator {
   std::vector<ShardId> subscribed_;
   std::map<ShardId, std::unique_ptr<ShardState>> shards_;
   ObserveHook observe_hook_;
+  /// Never null; defaults to the deterministic inline executor.
+  std::unique_ptr<rln::ValidationExecutor> executor_;
 };
 
 }  // namespace waku::shard

@@ -271,6 +271,26 @@ void HarnessProbe::sample(std::uint64_t epoch) {
   set("net.messages_sent", traffic.messages_sent);
   set("net.bytes_sent", traffic.bytes_sent);
 
+  // Validation-executor view: window throughput and backpressure across
+  // the deployment. All zeros except `submitted`/`executed` under the
+  // deterministic default; parallel soak runs read queue pressure here.
+  rln::ExecutorStats executor;
+  for (std::size_t i = 0; i < harness_.size(); ++i) {
+    if (!harness_.alive(i)) continue;
+    const rln::ExecutorStats e =
+        harness_.node(i).validator().executor_stats();
+    executor.submitted += e.submitted;
+    executor.executed += e.executed;
+    executor.rejected += e.rejected;
+    executor.blocked += e.blocked;
+    executor.workers += e.workers;
+  }
+  set("executor.submitted", executor.submitted);
+  set("executor.executed", executor.executed);
+  set("executor.rejected", executor.rejected);
+  set("executor.blocked", executor.blocked);
+  set("executor.workers", executor.workers);
+
   // Per-shard pipeline view: where traffic died on each rate-limit
   // domain. Summed over the nodes hosting that shard only.
   for (std::uint16_t s = 0; s < num_shards_; ++s) {

@@ -87,6 +87,46 @@ TEST(ShardMap, ConfigDrivenResharding) {
   EXPECT_GT(moved.size(), 100u);  // >= 1 - 1/8 expected; generous bound
 }
 
+TEST(ShardMap, MemoizedLookupsMatchUncachedAndInvalidateOnLayoutChange) {
+  // The topic->shard memo must be invisible: memoized answers equal the
+  // uncached walk (a freshly deserialized map has a cold memo), across a
+  // deep split lineage, and a layout change must never serve stale
+  // assignments (new map object => new memo).
+  shard::ShardMap deep(4);
+  for (int s = 0; s < 4; ++s) deep = deep.split(2);  // 4 -> 64 shards
+  std::vector<std::string> topics;
+  for (int n = 0; n < 200; ++n) {
+    topics.push_back("/app/" + std::to_string(n) + "/proto");
+  }
+
+  // Warm the memo, then compare against a cold-memo twin of the same map.
+  const shard::ShardMap twin =
+      shard::ShardMap::deserialize(deep.serialize());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const std::string& t : topics) (void)deep.shard_of(t);
+  }
+  for (const std::string& t : topics) {
+    EXPECT_EQ(deep.shard_of(t), twin.shard_of(t));
+  }
+  const shard::ShardMap::MemoStats stats = deep.memo_stats();
+  EXPECT_EQ(stats.misses, topics.size());  // one cold walk per topic
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.flushes, 0u);
+
+  // A further split re-keys assignments; its fresh memo must follow the
+  // new layout (and still satisfy the refinement guarantee).
+  const shard::ShardMap resplit = deep.split(2);
+  for (const std::string& t : topics) {
+    EXPECT_EQ(resplit.shard_of(t) % deep.num_shards(), deep.shard_of(t));
+  }
+
+  // Copies share the (warm) memo — same layout, same answers.
+  const shard::ShardMap copy = deep;  // NOLINT(performance-unnecessary-copy)
+  for (const std::string& t : topics) {
+    EXPECT_EQ(copy.shard_of(t), twin.shard_of(t));
+  }
+}
+
 // -- Per-shard enforcement over one shared tree ------------------------------
 
 struct ShardedPipelineFixture {
