@@ -103,6 +103,26 @@ def reshard_metrics(doc):
     }
 
 
+def telemetry_overhead_metrics(doc):
+    """BENCH_telemetry_overhead.json: {telemetry_off_msgs_per_sec,
+    telemetry_on_msgs_per_sec, telemetry_tracing_msgs_per_sec,
+    overhead_on_fraction, overhead_tracing_fraction, ...}."""
+    if not isinstance(doc, dict) or "overhead_on_fraction" not in doc:
+        return {}
+    return {
+        # Hard-capped (see HARD_CAPS): telemetry may cost at most 3%
+        # throughput, on any machine — the fraction is a same-run ratio,
+        # so it ports across machine classes like the speedup metrics.
+        "telemetry_overhead.on_fraction": doc.get("overhead_on_fraction"),
+        "telemetry_overhead.tracing_fraction": doc.get(
+            "overhead_tracing_fraction"
+        ),
+        "telemetry_overhead.msgs_per_sec.off": doc.get(
+            "telemetry_off_msgs_per_sec"
+        ),
+    }
+
+
 def parallel_validation_metrics(doc):
     """BENCH_parallel_validation.json: {hardware_threads,
     baseline_msgs_per_sec, scaling: [{workers, msgs_per_sec, speedup,
@@ -141,12 +161,21 @@ def parallel_validation_metrics(doc):
 LOWER_IS_BETTER = ("reshard.throughput_dip",)
 # Raw-rate metrics compared only under WAKU_BENCH_STRICT_ABSOLUTE=1.
 ABSOLUTE_ONLY = (".msgs_per_sec",)
+# Absolute ceilings checked against the FRESH value alone — not against
+# the baseline, and not widened by the tolerance. The telemetry-overhead
+# fractions carry the ISSUE 7 acceptance bound: instrumentation may cost
+# at most 3% throughput.
+HARD_CAPS = {
+    "telemetry_overhead.on_fraction": 0.03,
+    "telemetry_overhead.tracing_fraction": 0.03,
+}
 
 EXTRACTORS = {
     "BENCH_batch_validation.json": batch_validation_metrics,
     "BENCH_sharding.json": sharding_metrics,
     "BENCH_reshard.json": reshard_metrics,
     "BENCH_parallel_validation.json": parallel_validation_metrics,
+    "BENCH_telemetry_overhead.json": telemetry_overhead_metrics,
 }
 
 
@@ -193,6 +222,21 @@ def main():
                 continue
             fresh_value = fresh[metric]
             compared += 1
+            if metric in HARD_CAPS:
+                cap = HARD_CAPS[metric]
+                regressed = fresh_value > cap
+                verdict = "cap %.3f" % cap
+                status = "OVER CAP" if regressed else "ok"
+                print(
+                    "  %-44s base %10.3f  fresh %10.3f  %s (%s)"
+                    % (metric, base_value, fresh_value, verdict, status)
+                )
+                if regressed:
+                    failures.append(
+                        "%s: %.4f exceeds the %.2f hard cap"
+                        % (metric, fresh_value, cap)
+                    )
+                continue
             if metric.startswith(LOWER_IS_BETTER):
                 # A dip may grow by the tolerance in absolute terms
                 # (dips near 0 make relative comparison meaningless).

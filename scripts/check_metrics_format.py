@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Prometheus exposition linter for the in-node telemetry.
+
+Usage:
+    ./build/example_metrics_dump | scripts/check_metrics_format.py
+    scripts/check_metrics_format.py metrics.txt
+
+Validates the text format WakuRlnRelayNode::metrics_text() emits
+(src/obs/telemetry.cpp PrometheusWriter + registry exposition):
+
+  * every sample line parses as `name{labels} value`;
+  * metric and label names are legal Prometheus identifiers;
+  * every family has exactly one # HELP and one # TYPE, BEFORE its
+    samples, and no family is declared twice (duplicate detection —
+    the ad-hoc snapshot section and the registry section must stay
+    disjoint);
+  * samples appear only under a declared family, and histogram series
+    use only the _bucket/_sum/_count suffixes;
+  * counter families end in _total (or are histogram components);
+  * histogram bucket `le` values are sorted and cumulative counts are
+    monotone, closing with le="+Inf" == _count, per labelset;
+  * values parse as numbers (integers or %g floats).
+
+Only the Python standard library is used (CI runs it with no venv).
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(sample_name, types):
+    """The declared family a sample line belongs to."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return float("inf")
+    return float(raw)
+
+
+def main():
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    errors = []
+    helps = {}
+    types = {}
+    samples_seen = 0
+    # (family, labels-without-le) -> list of (le, cumulative) in order.
+    buckets = {}
+    # (family+suffix, labels) duplicates.
+    seen_series = set()
+
+    for lineno, line in enumerate(lines, 1):
+        def err(msg):
+            errors.append("line %d: %s (%r)" % (lineno, msg, line[:120]))
+
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                err("HELP without text")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                err("illegal family name in HELP")
+            if name in helps:
+                err("duplicate # HELP for family " + name)
+            helps[name] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                err("malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram"):
+                err("unknown metric type " + kind)
+            if name in types:
+                err("duplicate # TYPE for family " + name)
+            if name not in helps:
+                err("TYPE before HELP for family " + name)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            err("unrecognized comment line")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("unparsable sample line")
+            continue
+        sample_name, _, label_blob, raw_value = m.groups()
+        samples_seen += 1
+
+        family = family_of(sample_name, types)
+        if family is None:
+            err("sample for undeclared family " + sample_name)
+            continue
+        kind = types[family]
+        if kind == "counter" and not family.endswith("_total"):
+            err("counter family missing _total suffix: " + family)
+        if kind == "histogram" and sample_name == family:
+            err("bare sample for histogram family " + family)
+        if kind != "histogram" and sample_name != family:
+            err("suffixed sample for non-histogram family " + family)
+
+        labels = {}
+        if label_blob:
+            consumed = LABEL_RE.sub("", label_blob).replace(",", "").strip()
+            if consumed:
+                err("malformed label blob")
+                continue
+            for lm in LABEL_RE.finditer(label_blob):
+                key, value = lm.group(1), lm.group(2)
+                if key in labels:
+                    err("duplicate label " + key)
+                labels[key] = value
+
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            err("unparsable value " + raw_value)
+            continue
+        if kind in ("counter", "histogram") and value < 0:
+            err("negative value in monotone family")
+
+        series_key = (sample_name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            err("duplicate series " + sample_name + str(sorted(labels.items())))
+        seen_series.add(series_key)
+
+        if kind == "histogram" and sample_name.endswith("_bucket"):
+            if "le" not in labels:
+                err("_bucket sample without le label")
+                continue
+            le = parse_value(labels["le"])
+            rest = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            buckets.setdefault((family, rest), []).append((lineno, le, value))
+        elif kind == "histogram" and sample_name.endswith("_count"):
+            rest = tuple(sorted(labels.items()))
+            buckets.setdefault((family, rest), []).append(
+                (lineno, None, value)
+            )
+
+    # Histogram structure: per labelset, le ascending, counts monotone,
+    # +Inf present and equal to _count.
+    for (family, rest), entries in sorted(buckets.items()):
+        les = [(le, v) for (_, le, v) in entries if le is not None]
+        counts = [v for (_, le, v) in entries if le is None]
+        where = "%s{%s}" % (family, ",".join("%s=%s" % kv for kv in rest))
+        if not les:
+            errors.append("histogram %s has _count but no buckets" % where)
+            continue
+        for i in range(1, len(les)):
+            if les[i][0] <= les[i - 1][0]:
+                errors.append("histogram %s: le not ascending" % where)
+            if les[i][1] < les[i - 1][1]:
+                errors.append("histogram %s: cumulative count drops" % where)
+        if les[-1][0] != float("inf"):
+            errors.append("histogram %s: missing le=\"+Inf\"" % where)
+        if counts and les[-1][1] != counts[0]:
+            errors.append(
+                "histogram %s: +Inf bucket %.0f != _count %.0f"
+                % (where, les[-1][1], counts[0])
+            )
+
+    for name in types:
+        if name not in helps:
+            errors.append("family %s has TYPE but no HELP" % name)
+
+    if samples_seen == 0:
+        errors.append("no samples found — empty exposition?")
+
+    if errors:
+        print("metrics format check FAILED:")
+        for e in errors:
+            print("  * " + e)
+        return 1
+    print(
+        "metrics format check passed: %d families, %d samples"
+        % (len(types), samples_seen)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,16 +39,18 @@ if [ "$SAN" = "thread" ]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
   # The suites that actually spin up threads or exercise the shared
   # validation state: the executor/striped-log/partition-invariance
-  # suite and the sharding suite (shard-map memo, per-shard pipelines).
+  # suite, the sharding suite (shard-map memo, per-shard pipelines), and
+  # the observability suite (sharded counters / lock-free histograms /
+  # trace collector recorded from concurrent workers).
   registered="$(ctest -N)"
-  for suite in test_parallel_validation test_sharding; do
+  for suite in test_parallel_validation test_sharding test_obs; do
     if ! grep -q "$suite" <<<"$registered"; then
       echo "error: $suite missing from the ctest suite" >&2
       exit 1
     fi
   done
   ctest --output-on-failure -j"$(nproc)" \
-    -R '^(test_parallel_validation|test_sharding)$'
+    -R '^(test_parallel_validation|test_sharding|test_obs)$'
   echo "concurrency suites passed under -fsanitize=thread"
   exit 0
 fi

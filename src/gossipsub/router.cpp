@@ -304,6 +304,7 @@ void GossipSubRouter::flush_topic_validation(const std::string& topic) {
   std::vector<BufferedPublish> batch = std::move(pit->second);
   pit->second = {};
 
+  ++stats_.validation_windows_flushed;
   const auto vit = validators_.find(topic);
   if (vit == validators_.end()) {
     // Validator removed while messages were buffered: treat as unvalidated.

@@ -24,6 +24,9 @@ struct RouterStats {
   std::uint64_t forwarded = 0;        ///< publishes relayed onward
   std::uint64_t ihave_sent = 0;
   std::uint64_t iwant_served = 0;
+  /// Batched-validation windows handed to a validator (observability:
+  /// window count vs delivered/rejected gives mean window size).
+  std::uint64_t validation_windows_flushed = 0;
 };
 
 class GossipSubRouter : public net::NetNode {
@@ -89,7 +92,17 @@ class GossipSubRouter : public net::NetNode {
   }
   [[nodiscard]] std::vector<NodeId> mesh_peers(const std::string& topic) const;
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  /// Publishes currently buffered awaiting batched validation, summed
+  /// over topics (observability: in-node backlog gauge).
+  [[nodiscard]] std::size_t pending_validation_total() const {
+    std::size_t total = 0;
+    for (const auto& [topic, pending] : pending_validation_) {
+      total += pending.size();
+    }
+    return total;
+  }
   [[nodiscard]] PeerScore& scores() { return scores_; }
+  [[nodiscard]] const PeerScore& scores() const { return scores_; }
   [[nodiscard]] bool has_seen(const MessageId& id) const {
     return seen_.contains(id);
   }

@@ -1,0 +1,57 @@
+// Injected time source for the observability layer (src/obs).
+//
+// Every latency number telemetry records flows through one of these
+// clocks, never through a direct std::chrono call on the hot path. That
+// indirection is what keeps the deterministic simulator deterministic
+// with telemetry on: sim-driven nodes read virtual time (a FnClock over
+// net::Network::local_time), so a telemetry-enabled tier-1 run makes the
+// exact same clock observations on every execution, while benches and
+// real deployments inject SteadyClock for wall-clock latencies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace waku::obs {
+
+/// Monotonic nanosecond time source. Implementations must be safe to call
+/// from multiple threads (the executor's workers read it concurrently).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+};
+
+/// Wall-clock monotonic time (std::chrono::steady_clock).
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Process-wide steady clock instance (the common non-sim default).
+[[nodiscard]] inline const Clock& steady_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+/// Function-backed clock: the simulator wraps its virtual time source
+/// here (milliseconds of sim time scaled to ns), tests wrap a settable
+/// integer. The callable must itself be thread-safe if the clock is read
+/// from worker threads.
+class FnClock final : public Clock {
+ public:
+  explicit FnClock(std::function<std::uint64_t()> now_ns)
+      : now_ns_(std::move(now_ns)) {}
+  [[nodiscard]] std::uint64_t now_ns() const override { return now_ns_(); }
+
+ private:
+  std::function<std::uint64_t()> now_ns_;
+};
+
+}  // namespace waku::obs

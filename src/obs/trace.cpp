@@ -1,0 +1,167 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace waku::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Trace::to_json() const {
+  char buf[128];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "{\"key\":\"%016" PRIx64 "\",\"start_ns\":%" PRIu64
+                ",\"end_ns\":%" PRIu64 ",\"duration_ns\":%" PRIu64
+                ",\"outcome\":",
+                key, start_ns, end_ns, duration_ns());
+  out += buf;
+  append_json_string(out, outcome);
+  out += ",\"events\":[";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "{\"at_ns\":%" PRIu64 ",\"stage\":",
+                  ev.at_ns);
+    out += buf;
+    append_json_string(out, ev.stage);
+    out += ",\"detail\":";
+    append_json_string(out, ev.detail);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceCollector::record(TraceKey key, std::uint64_t at_ns,
+                            std::string stage, std::string detail) {
+  if (!sampled(key)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(key);
+  if (it == open_.end()) {
+    // Opening a new trace; evict the oldest open one if at the cap so a
+    // burst of never-finished messages cannot grow the map unboundedly.
+    while (open_.size() >= config_.max_open && !open_order_.empty()) {
+      const TraceKey victim = open_order_.front();
+      open_order_.pop_front();
+      auto vit = open_.find(victim);
+      if (vit == open_.end()) continue;
+      Trace t = std::move(vit->second);
+      open_.erase(vit);
+      ++stats_.truncated;
+      close_locked(std::move(t), at_ns, "truncated");
+    }
+    Trace t;
+    t.key = key;
+    t.start_ns = at_ns;
+    it = open_.emplace(key, std::move(t)).first;
+    open_order_.push_back(key);
+    ++stats_.sampled;
+  }
+  if (it->second.events.size() < config_.max_events_per_trace) {
+    it->second.events.push_back(
+        TraceEvent{at_ns, std::move(stage), std::move(detail)});
+  }
+}
+
+void TraceCollector::finish(TraceKey key, std::uint64_t at_ns,
+                            std::string outcome) {
+  if (!sampled(key)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(key);
+  if (it == open_.end()) return;
+  Trace t = std::move(it->second);
+  open_.erase(it);
+  // Lazy removal from open_order_ (the deque may still hold the key;
+  // stale entries are skipped during eviction).
+  ++stats_.finished;
+  close_locked(std::move(t), at_ns, std::move(outcome));
+}
+
+void TraceCollector::close_locked(Trace trace, std::uint64_t at_ns,
+                                  std::string outcome) {
+  trace.end_ns = at_ns;
+  trace.outcome = std::move(outcome);
+
+  if (config_.slow_ring > 0) {
+    // Insert into the sorted-worst-first slow ring if it qualifies.
+    const std::uint64_t d = trace.duration_ns();
+    if (slow_.size() < config_.slow_ring || d > slow_.back().duration_ns()) {
+      auto pos = std::upper_bound(
+          slow_.begin(), slow_.end(), d,
+          [](std::uint64_t lhs, const Trace& rhs) {
+            return lhs > rhs.duration_ns();
+          });
+      slow_.insert(pos, trace);
+      if (slow_.size() > config_.slow_ring) slow_.pop_back();
+    }
+  }
+
+  completed_.push_back(std::move(trace));
+  while (completed_.size() > config_.completed_ring) {
+    completed_.pop_front();
+    ++stats_.evicted;
+  }
+}
+
+TraceCollectorStats TraceCollector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t TraceCollector::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
+
+std::vector<Trace> TraceCollector::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {completed_.begin(), completed_.end()};
+}
+
+std::vector<Trace> TraceCollector::slowest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+std::string TraceCollector::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"completed\":[";
+  bool first = true;
+  for (const auto& t : completed_) {
+    if (!first) out += ",";
+    first = false;
+    out += t.to_json();
+  }
+  out += "],\"slowest\":[";
+  first = true;
+  for (const auto& t : slow_) {
+    if (!first) out += ",";
+    first = false;
+    out += t.to_json();
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "],\"stats\":{\"sampled\":%" PRIu64 ",\"finished\":%" PRIu64
+                ",\"evicted\":%" PRIu64 ",\"truncated\":%" PRIu64
+                ",\"open\":%zu}}",
+                stats_.sampled, stats_.finished, stats_.evicted,
+                stats_.truncated, open_.size());
+  out += buf;
+  return out;
+}
+
+}  // namespace waku::obs

@@ -1,0 +1,119 @@
+// Sampled message-lifecycle spans.
+//
+// A message is traced when its 64-bit trace key (content-derived; see
+// waku::trace_key) selects into the 1-in-N sample. The decision is a
+// pure function of the key, so EVERY node in the network makes the same
+// decision for the same message without any wire-format change — the
+// per-node trace rings can be merged offline into one cross-node view.
+//
+// Lifecycle: record(key, stage, detail) appends an event to the open
+// trace for `key` (opening it on first sight); finish(key, outcome)
+// closes it, moving it into the bounded completed ring and, when its
+// end-to-end duration ranks among the K worst, into the slow ring.
+// Sampling is checked lock-free; only the sampled 1-in-N path takes the
+// collector mutex.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clock.hpp"
+
+namespace waku::obs {
+
+using TraceKey = std::uint64_t;
+
+struct TraceEvent {
+  std::uint64_t at_ns = 0;
+  std::string stage;   // "publish", "rx", "verdict", "deliver", ...
+  std::string detail;  // free-form: peer id, shard, verdict reason
+};
+
+struct Trace {
+  TraceKey key = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::string outcome;  // "deliver", a reject reason, or "truncated"
+  std::vector<TraceEvent> events;
+
+  [[nodiscard]] std::uint64_t duration_ns() const {
+    return end_ns >= start_ns ? end_ns - start_ns : 0;
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct TraceCollectorConfig {
+  // 0 disables tracing entirely; 1 traces everything; N samples 1-in-N.
+  std::uint32_t sample_every = 0;
+  std::size_t completed_ring = 256;  // most recent finished traces
+  std::size_t slow_ring = 16;        // K worst end-to-end traces
+  std::size_t max_open = 1024;       // open-trace cap; excess truncates
+  std::size_t max_events_per_trace = 64;
+};
+
+struct TraceCollectorStats {
+  std::uint64_t sampled = 0;    // traces opened
+  std::uint64_t finished = 0;   // traces closed normally
+  std::uint64_t evicted = 0;    // completed-ring evictions
+  std::uint64_t truncated = 0;  // open traces force-closed (cap hit)
+};
+
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  explicit TraceCollector(TraceCollectorConfig config)
+      : config_(config) {}
+
+  [[nodiscard]] const TraceCollectorConfig& config() const { return config_; }
+
+  // Pure sampling predicate — no locks, callable from any thread. The
+  // key is mixed (splitmix64) before the modulus so sequential or
+  // low-entropy keys still sample uniformly.
+  [[nodiscard]] bool sampled(TraceKey key) const noexcept {
+    return config_.sample_every != 0 && mix(key) % config_.sample_every == 0;
+  }
+
+  // Append an event to the trace for `key` (no-op unless sampled).
+  void record(TraceKey key, std::uint64_t at_ns, std::string stage,
+              std::string detail = "");
+
+  // Close the trace for `key` (no-op unless sampled and open).
+  void finish(TraceKey key, std::uint64_t at_ns, std::string outcome);
+
+  [[nodiscard]] TraceCollectorStats stats() const;
+  [[nodiscard]] std::size_t open_count() const;
+
+  // Completed ring (oldest first) and slow ring (worst first).
+  [[nodiscard]] std::vector<Trace> completed() const;
+  [[nodiscard]] std::vector<Trace> slowest() const;
+
+  // {"completed": [...], "slowest": [...], "stats": {...}}
+  [[nodiscard]] std::string to_json() const;
+
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    // splitmix64 finalizer.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  void close_locked(Trace trace, std::uint64_t at_ns, std::string outcome);
+
+  TraceCollectorConfig config_;
+  mutable std::mutex mu_;
+  // open traces keyed by trace key; insertion order tracked for the
+  // oldest-first truncation when max_open is hit.
+  std::unordered_map<TraceKey, Trace> open_;
+  std::deque<TraceKey> open_order_;
+  std::deque<Trace> completed_;
+  std::vector<Trace> slow_;  // kept sorted, worst (longest) first
+  TraceCollectorStats stats_;
+};
+
+}  // namespace waku::obs

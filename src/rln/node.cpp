@@ -1,6 +1,8 @@
 #include "rln/node.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <random>
 #include <stdexcept>
 
@@ -8,6 +10,7 @@
 #include "common/serde.hpp"
 #include "hash/poseidon.hpp"
 #include "rln/keystore.hpp"
+#include "waku/message.hpp"
 #include "zksnark/rln_circuit.hpp"
 
 namespace waku::rln {
@@ -51,8 +54,13 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
       shards_(zksnark::rln_keypair(config.tree_depth).vk, group_,
               config.validator, config.shards,
               validator_seed(config.shards.generation)),
-      reshard_(config.shards) {
+      reshard_(config.shards),
+      tracer_(config.obs.trace) {
   group_.set_own_identity(identity_);
+  // Before the first hook install: every validator container (this one
+  // and every reshard/restore rebuild) is wired through
+  // install_validator_hooks, which needs the clock resolved.
+  setup_observability();
   install_validator_hooks(shards_, /*next_generation=*/false);
 
   if (!config_.persist_dir.empty()) {
@@ -81,6 +89,7 @@ void WakuRlnRelayNode::install_validator_hooks(
   // rebuild) funnels through here, so the configured worker-pool shape
   // follows the validator across generations.
   validator.set_parallelism(config_.parallel);
+  validator.set_executor_clock(obs_clock_);
   const WalTag tag =
       next_generation ? WalTag::kNullifierNext : WalTag::kNullifier;
   validator.set_observe_hook([this, tag](shard::ShardId shard,
@@ -98,6 +107,11 @@ void WakuRlnRelayNode::install_validator_hooks(
   });
   for (const shard::ShardId s : validator.subscribed()) {
     ValidationPipeline& pipeline = validator.pipeline(s);
+    // Stage-latency sinks, shared across generations of the same shard
+    // id (the histogram bundle is address-stable), so a cutover extends
+    // a shard's series instead of forking it.
+    pipeline.set_telemetry(
+        obs_clock_, obs_clock_ != nullptr ? &metrics_for_shard(s) : nullptr);
     // Dual-generation enforcement: while a cutover (or its linger
     // window) is active, every message's rate-limit domain is its
     // OLD-generation shard and both generations' meshes observe into
@@ -157,12 +171,38 @@ void WakuRlnRelayNode::wire_shard(shard::ShardedValidator& validator,
           return std::vector<ValidationResult>(messages.size(),
                                                ValidationResult::kIgnore);
         }
+        // Sampled lifecycle spans: the 1-in-N selected messages get an
+        // "rx" event as their window enters this shard's pipeline and a
+        // "verdict" event (closing the span on any non-accept) after.
+        const bool tracing =
+            obs_clock_ != nullptr && tracer_.config().sample_every != 0;
+        if (tracing) {
+          for (const WakuMessage& msg : messages) {
+            // traced() first: unsampled messages pay only the key hash,
+            // never the detail-string build or the clock read.
+            if (!traced(msg)) continue;
+            trace_event(msg, "rx",
+                        "node=" + std::to_string(node_id()) +
+                            ",shard=" + std::to_string(shard) +
+                            ",gen=" + std::to_string(generation));
+          }
+        }
         // Route through the container's executor: deterministic mode is
         // the old inline call verbatim; parallel mode runs the window on
         // the shard's worker lane (this callback blocks for the verdicts,
         // so the node's WAL/slash hooks never race the relay).
         const std::vector<ValidationOutcome> outcomes =
             validator->validate_batch(shard, messages, received_at);
+        if (tracing) {
+          for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (!traced(messages[i])) continue;
+            const char* reason = verdict_name(outcomes[i].verdict);
+            trace_event(messages[i], "verdict", reason);
+            if (outcomes[i].verdict != Verdict::kAccept) {
+              trace_finish(messages[i], reason);
+            }
+          }
+        }
         std::vector<ValidationResult> results;
         results.reserve(outcomes.size());
         for (const ValidationOutcome& outcome : outcomes) {
@@ -204,6 +244,10 @@ void WakuRlnRelayNode::wire_shard(shard::ShardedValidator& validator,
 
   relay_.subscribe_topic(topic, [this](const WakuMessage& msg) {
     ++stats_.delivered;
+    if (traced(msg)) {
+      trace_event(msg, "deliver", "node=" + std::to_string(node_id()));
+      trace_finish(msg, "deliver");
+    }
     if (config_.enable_store) {
       store_.archive(msg, network_.sim().now());
     }
@@ -254,10 +298,15 @@ void WakuRlnRelayNode::start() {
           end_reshard_linger();
         }
         for (const shard::ShardId s : shards_.subscribed()) {
+          // The p95 whole-window validation latency joins the load
+          // sample: a shard can be latency-bound (deep logs, fallback
+          // storms) long before its message rate looks alarming.
           load_tracker_.record(s, shards_.pipeline(s).stats().accepted,
-                               shards_.pipeline(s).log().entry_count(), now);
+                               shards_.pipeline(s).log().entry_count(), now,
+                               shard_p95_validate_ms(s));
         }
         expire_pending_slashes();
+        if (obs_clock_ != nullptr) record_health_snapshot(current_epoch());
       });
 
   relay_.start();
@@ -384,8 +433,16 @@ WakuRlnRelayNode::PublishStatus WakuRlnRelayNode::try_publish(
   ByteWriter w;
   w.write_u64(epoch);
   journal(WalTag::kOwnPublish, w.data(), route->quota_shard);
-  relay_.publish_on(route->pubsub_topic,
-                    build_message(std::move(payload), content_topic, epoch));
+  const WakuMessage msg =
+      build_message(std::move(payload), content_topic, epoch);
+  if (traced(msg)) {
+    // Span origin: every other node opens the same trace key at "rx".
+    trace_event(msg, "publish",
+                "node=" + std::to_string(node_id()) +
+                    ",topic=" + route->pubsub_topic +
+                    ",shard=" + std::to_string(route->quota_shard));
+  }
+  relay_.publish_on(route->pubsub_topic, msg);
   ++stats_.published;
   return PublishStatus::kOk;
 }
@@ -588,7 +645,7 @@ bool WakuRlnRelayNode::begin_reshard(
 }
 
 bool WakuRlnRelayNode::advance_reshard() {
-  shard::ReshardPhase to;
+  shard::ReshardPhase to = shard::ReshardPhase::kStable;
   std::uint64_t linger_until_epoch = 0;
   switch (reshard_.phase()) {
     case shard::ReshardPhase::kStable:
@@ -729,6 +786,480 @@ void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
     // index blocked in slashes_in_flight_ forever.
     resolve_slash(event.topics[0].limb[0]);
   }
+}
+
+// -- Observability -----------------------------------------------------------
+
+void WakuRlnRelayNode::setup_observability() {
+  if (!config_.obs.enabled) return;
+  if (config_.obs.clock != nullptr) {
+    obs_clock_ = config_.obs.clock;
+    return;
+  }
+  // Default: the node's own virtual time (ms scaled to ns). Under the
+  // deterministic simulator every execution makes identical clock
+  // observations, so telemetry-on runs stay bit-for-bit reproducible;
+  // benches/deployments inject obs::steady_clock() for wall time.
+  sim_clock_ = std::make_unique<obs::FnClock>(
+      [this] { return network_.local_time(node_id()) * 1'000'000ULL; });
+  obs_clock_ = sim_clock_.get();
+}
+
+PipelineMetrics& WakuRlnRelayNode::metrics_for_shard(shard::ShardId shard) {
+  const auto it = pipeline_metrics_.find(shard);
+  if (it != pipeline_metrics_.end()) return it->second;
+  const std::string shard_label = "shard=\"" + std::to_string(shard) + "\"";
+  const auto stage = [&](const char* name) {
+    return &telemetry_.histogram(
+        "waku_pipeline_stage_seconds",
+        std::string("stage=\"") + name + "\"," + shard_label,
+        "Per-stage validation latency");
+  };
+  PipelineMetrics& m = pipeline_metrics_[shard];
+  m.epoch_gate = stage("epoch_gate");
+  m.root_check = stage("root_check");
+  m.nullifier_precheck = stage("nullifier_precheck");
+  m.groth16_batch = stage("groth16_batch");
+  m.groth16_fallback = stage("groth16_fallback");
+  m.double_signal = stage("double_signal");
+  m.window = &telemetry_.histogram("waku_pipeline_validate_seconds",
+                                   shard_label,
+                                   "Whole validate_batch window latency");
+  return m;
+}
+
+bool WakuRlnRelayNode::traced(const WakuMessage& msg) const {
+  return obs_clock_ != nullptr && tracer_.config().sample_every != 0 &&
+         tracer_.sampled(waku::trace_key(msg));
+}
+
+void WakuRlnRelayNode::trace_event(const WakuMessage& msg, const char* stage,
+                                   std::string detail) {
+  if (obs_clock_ == nullptr || tracer_.config().sample_every == 0) return;
+  const obs::TraceKey key = waku::trace_key(msg);
+  if (!tracer_.sampled(key)) return;  // no clock read for the N-1 in N
+  tracer_.record(key, obs_clock_->now_ns(), stage, std::move(detail));
+}
+
+void WakuRlnRelayNode::trace_finish(const WakuMessage& msg,
+                                    std::string outcome) {
+  if (obs_clock_ == nullptr || tracer_.config().sample_every == 0) return;
+  const obs::TraceKey key = waku::trace_key(msg);
+  if (!tracer_.sampled(key)) return;
+  tracer_.finish(key, obs_clock_->now_ns(), std::move(outcome));
+}
+
+double WakuRlnRelayNode::shard_p95_validate_ms(shard::ShardId shard) const {
+  const auto it = pipeline_metrics_.find(shard);
+  if (it == pipeline_metrics_.end() || it->second.window == nullptr) {
+    return 0.0;
+  }
+  return static_cast<double>(it->second.window->snapshot().p95) / 1e6;
+}
+
+NodeTelemetrySnapshot WakuRlnRelayNode::telemetry_snapshot() const {
+  NodeTelemetrySnapshot t;
+  t.router = relay_.stats();
+  t.node = stats_;
+  t.pipeline = shards_.stats();
+  t.executor = shards_.executor_stats();
+  for (const shard::ShardId s : shards_.subscribed()) {
+    t.per_shard.emplace_back(s, shards_.pipeline(s).stats());
+  }
+  t.graylisted = relay_.router().scores().graylist_count();
+  t.pending_validation = relay_.router().pending_validation_total();
+  t.trace = tracer_.stats();
+  return t;
+}
+
+void WakuRlnRelayNode::record_health_snapshot(std::uint64_t epoch) {
+  const NodeTelemetrySnapshot t = telemetry_snapshot();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"epoch\":%" PRIu64 ",\"published\":%" PRIu64
+      ",\"delivered\":%" PRIu64 ",\"accepted\":%" PRIu64
+      ",\"spam_detected\":%" PRIu64 ",\"batches\":%" PRIu64
+      ",\"executor_executed\":%" PRIu64 ",\"log_entries\":%" PRIu64
+      ",\"pending_validation\":%zu,\"graylisted\":%zu,\"open_traces\":%zu"
+      ",\"p95_validate_ms\":%.3f}",
+      epoch, t.node.published, t.node.delivered, t.pipeline.accepted,
+      t.pipeline.spam_detected, t.pipeline.batches, t.executor.executed,
+      t.pipeline.log_entries, t.pending_validation, t.graylisted,
+      tracer_.open_count(), shard_p95_validate_ms(shards_.default_shard()));
+  health_log_.emplace_back(buf);
+  while (health_log_.size() > config_.obs.health_log_capacity) {
+    health_log_.pop_front();
+  }
+}
+
+std::string WakuRlnRelayNode::metrics_text() const {
+  const NodeTelemetrySnapshot t = telemetry_snapshot();
+  obs::PrometheusWriter w;
+  const auto shard_label = [](shard::ShardId s) {
+    return "shard=\"" + std::to_string(s) + "\"";
+  };
+
+  struct Sample {
+    const char* name;
+    const char* help;
+    std::uint64_t value;
+  };
+  const Sample node_counters[] = {
+      {"waku_node_published_total", "Messages this node published",
+       t.node.published},
+      {"waku_node_publish_rate_limited_total",
+       "Honest publishes refused by the 1-per-epoch-per-shard quota",
+       t.node.publish_rate_limited},
+      {"waku_node_publish_wrong_shard_total",
+       "Publishes refused: topic maps to an unhosted shard",
+       t.node.publish_wrong_shard},
+      {"waku_node_delivered_total", "Validated messages delivered locally",
+       t.node.delivered},
+      {"waku_node_slash_commits_total", "Slash commitments submitted",
+       t.node.slash_commits},
+      {"waku_node_slash_reveals_total", "Slash reveals submitted",
+       t.node.slash_reveals},
+      {"waku_node_slash_rewards_total", "MemberSlashed events paying us",
+       t.node.slash_rewards},
+      {"waku_node_slashes_expired_total",
+       "Pending slashes dropped by the expiry window", t.node.slashes_expired},
+  };
+  for (const Sample& s : node_counters) {
+    w.help_type(s.name, "counter", s.help);
+    w.counter(s.name, "", s.value);
+  }
+
+  const Sample router_counters[] = {
+      {"waku_router_delivered_total", "Unique valid messages delivered",
+       t.router.delivered},
+      {"waku_router_duplicates_total", "Already-seen publishes received",
+       t.router.duplicates},
+      {"waku_router_rejected_total", "Validation rejects", t.router.rejected},
+      {"waku_router_ignored_total", "Validation ignores", t.router.ignored},
+      {"waku_router_forwarded_total", "Publishes relayed onward",
+       t.router.forwarded},
+      {"waku_router_validation_windows_flushed_total",
+       "Batched-validation windows handed to a validator",
+       t.router.validation_windows_flushed},
+  };
+  for (const Sample& s : router_counters) {
+    w.help_type(s.name, "counter", s.help);
+    w.counter(s.name, "", s.value);
+  }
+  w.help_type("waku_router_pending_validation", "gauge",
+              "Messages buffered awaiting batched validation");
+  w.gauge("waku_router_pending_validation", "",
+          static_cast<double>(t.pending_validation));
+  w.help_type("waku_score_graylisted", "gauge",
+              "Peers currently below the graylist threshold");
+  w.gauge("waku_score_graylisted", "", static_cast<double>(t.graylisted));
+
+  // Per-shard verdict-reason counters: one family, labelled series.
+  w.help_type("waku_pipeline_verdicts_total", "counter",
+              "Validation verdicts by reason, per rate-limit domain");
+  for (const auto& [s, stats] : t.per_shard) {
+    const std::string sl = shard_label(s);
+    const auto verdict = [&](const char* reason, std::uint64_t v) {
+      w.counter("waku_pipeline_verdicts_total",
+                sl + ",reason=\"" + reason + "\"", v);
+    };
+    verdict("accept", stats.accepted);
+    verdict("epoch_gap", stats.epoch_gap);
+    verdict("duplicate", stats.duplicates);
+    verdict("no_proof", stats.no_proof);
+    verdict("bad_proof", stats.bad_proof);
+    verdict("stale_root", stats.stale_root);
+    verdict("spam", stats.spam_detected);
+  }
+
+  struct ShardCounter {
+    const char* name;
+    const char* help;
+    std::uint64_t ValidatorStats::* field;
+  };
+  const ShardCounter shard_counters[] = {
+      {"waku_pipeline_batches_total", "validate_batch windows run",
+       &ValidatorStats::batches},
+      {"waku_pipeline_batch_aggregated_total",
+       "Windows settled by one RLC-aggregated Groth16 check",
+       &ValidatorStats::batch_aggregated},
+      {"waku_pipeline_batch_fallbacks_total",
+       "Windows that isolated per proof", &ValidatorStats::batch_fallbacks},
+      {"waku_pipeline_precheck_duplicates_total",
+       "Gossip echoes dropped before the verifier",
+       &ValidatorStats::precheck_duplicates},
+  };
+  for (const ShardCounter& c : shard_counters) {
+    w.help_type(c.name, "counter", c.help);
+    for (const auto& [s, stats] : t.per_shard) {
+      w.counter(c.name, shard_label(s), stats.*(c.field));
+    }
+  }
+
+  // Nullifier-log view, including the stripe contention counters.
+  w.help_type("waku_nullifier_log_entries", "gauge",
+              "Live (epoch, nullifier) records");
+  for (const auto& [s, stats] : t.per_shard) {
+    w.gauge("waku_nullifier_log_entries", shard_label(s),
+            static_cast<double>(stats.log_entries));
+  }
+  w.help_type("waku_nullifier_log_buckets", "gauge", "Live epoch buckets");
+  for (const auto& [s, stats] : t.per_shard) {
+    w.gauge("waku_nullifier_log_buckets", shard_label(s),
+            static_cast<double>(stats.log_buckets));
+  }
+  w.help_type("waku_nullifier_log_conflicts_total", "counter",
+              "Double-signals observed");
+  for (const auto& [s, stats] : t.per_shard) {
+    w.counter("waku_nullifier_log_conflicts_total", shard_label(s),
+              stats.log_conflicts);
+  }
+  w.help_type("waku_nullifier_log_min_epoch", "gauge", "GC watermark");
+  for (const auto& [s, stats] : t.per_shard) {
+    w.gauge("waku_nullifier_log_min_epoch", shard_label(s),
+            static_cast<double>(stats.log_min_epoch));
+  }
+  w.help_type("waku_nullifier_log_stripe_acquisitions_total", "counter",
+              "Hot-path lock acquisitions per stripe");
+  for (const shard::ShardId s : shards_.subscribed()) {
+    const auto stripes = shards_.log_of(s).stripe_contention();
+    for (std::size_t i = 0; i < stripes.size(); ++i) {
+      w.counter("waku_nullifier_log_stripe_acquisitions_total",
+                shard_label(s) + ",stripe=\"" + std::to_string(i) + "\"",
+                stripes[i].acquisitions);
+    }
+  }
+  w.help_type("waku_nullifier_log_stripe_contended_total", "counter",
+              "Hot-path acquisitions that found the stripe lock held");
+  for (const shard::ShardId s : shards_.subscribed()) {
+    const auto stripes = shards_.log_of(s).stripe_contention();
+    for (std::size_t i = 0; i < stripes.size(); ++i) {
+      w.counter("waku_nullifier_log_stripe_contended_total",
+                shard_label(s) + ",stripe=\"" + std::to_string(i) + "\"",
+                stripes[i].contended);
+    }
+  }
+
+  w.help_type("waku_root_cache_hits_total", "counter",
+              "Root checks answered from the shard-local window copy");
+  for (const shard::ShardId s : shards_.subscribed()) {
+    w.counter("waku_root_cache_hits_total", shard_label(s),
+              shards_.root_cache_stats(s).hits);
+  }
+  w.help_type("waku_root_cache_misses_total", "counter",
+              "Root checks that missed the rolling window");
+  for (const shard::ShardId s : shards_.subscribed()) {
+    w.counter("waku_root_cache_misses_total", shard_label(s),
+              shards_.root_cache_stats(s).misses);
+  }
+  w.help_type("waku_root_cache_refreshes_total", "counter",
+              "Window copies rebuilt after membership events");
+  for (const shard::ShardId s : shards_.subscribed()) {
+    w.counter("waku_root_cache_refreshes_total", shard_label(s),
+              shards_.root_cache_stats(s).refreshes);
+  }
+
+  // Executor: pool counters plus per-lane queue-wait/service histograms.
+  const Sample executor_counters[] = {
+      {"waku_executor_submitted_total", "Windows accepted (queued or inline)",
+       t.executor.submitted},
+      {"waku_executor_executed_total", "Windows completed",
+       t.executor.executed},
+      {"waku_executor_rejected_total", "Windows refused by backpressure",
+       t.executor.rejected},
+      {"waku_executor_blocked_total", "Submits that waited on a full queue",
+       t.executor.blocked},
+  };
+  for (const Sample& s : executor_counters) {
+    w.help_type(s.name, "counter", s.help);
+    w.counter(s.name, "", s.value);
+  }
+  w.help_type("waku_executor_workers", "gauge",
+              "Worker pool size (0 = deterministic/inline)");
+  w.gauge("waku_executor_workers", "",
+          static_cast<double>(t.executor.workers));
+  const std::vector<LaneObsSnapshot> lanes = shards_.executor_lane_stats();
+  w.help_type("waku_executor_queue_wait_seconds", "histogram",
+              "Window time from enqueue to pop, per lane");
+  for (const LaneObsSnapshot& lane : lanes) {
+    w.histogram("waku_executor_queue_wait_seconds",
+                "lane=\"" + std::to_string(lane.lane) + "\"", lane.queue_wait,
+                1e-9);
+  }
+  w.help_type("waku_executor_service_seconds", "histogram",
+              "Window execution time, per lane");
+  for (const LaneObsSnapshot& lane : lanes) {
+    w.histogram("waku_executor_service_seconds",
+                "lane=\"" + std::to_string(lane.lane) + "\"", lane.service,
+                1e-9);
+  }
+  w.help_type("waku_executor_lane_depth_high_watermark", "gauge",
+              "Deepest the lane's queue has ever been");
+  for (const LaneObsSnapshot& lane : lanes) {
+    w.gauge("waku_executor_lane_depth_high_watermark",
+            "lane=\"" + std::to_string(lane.lane) + "\"",
+            static_cast<double>(lane.depth_high_watermark));
+  }
+
+  // Per-stage latency quantiles (the registry's histogram families carry
+  // the full buckets; these gauges answer p50/p95/p99 directly).
+  w.help_type("waku_pipeline_stage_quantile_seconds", "gauge",
+              "Per-stage latency quantiles (<=2x log2-bucket overestimate)");
+  struct StageRef {
+    const char* name;
+    obs::Histogram* PipelineMetrics::* member;
+  };
+  const StageRef stages[] = {
+      {"epoch_gate", &PipelineMetrics::epoch_gate},
+      {"root_check", &PipelineMetrics::root_check},
+      {"nullifier_precheck", &PipelineMetrics::nullifier_precheck},
+      {"groth16_batch", &PipelineMetrics::groth16_batch},
+      {"groth16_fallback", &PipelineMetrics::groth16_fallback},
+      {"double_signal", &PipelineMetrics::double_signal},
+  };
+  for (const auto& [s, m] : pipeline_metrics_) {
+    for (const StageRef& stage : stages) {
+      const obs::Histogram* h = m.*(stage.member);
+      if (h == nullptr) continue;
+      const obs::HistogramSnapshot snap = h->snapshot();
+      const std::string base = std::string("stage=\"") + stage.name + "\"," +
+                               shard_label(s) + ",quantile=\"";
+      w.gauge("waku_pipeline_stage_quantile_seconds", base + "0.5\"",
+              static_cast<double>(snap.p50) * 1e-9);
+      w.gauge("waku_pipeline_stage_quantile_seconds", base + "0.95\"",
+              static_cast<double>(snap.p95) * 1e-9);
+      w.gauge("waku_pipeline_stage_quantile_seconds", base + "0.99\"",
+              static_cast<double>(snap.p99) * 1e-9);
+    }
+  }
+  w.help_type("waku_shard_p95_validate_seconds", "gauge",
+              "p95 whole-window validation latency per shard");
+  for (const auto& [s, m] : pipeline_metrics_) {
+    w.gauge("waku_shard_p95_validate_seconds", shard_label(s),
+            shard_p95_validate_ms(s) * 1e-3);
+  }
+
+  const Sample trace_counters[] = {
+      {"waku_trace_sampled_total", "Lifecycle spans opened",
+       t.trace.sampled},
+      {"waku_trace_finished_total", "Spans closed normally",
+       t.trace.finished},
+      {"waku_trace_evicted_total", "Completed-ring evictions",
+       t.trace.evicted},
+      {"waku_trace_truncated_total", "Open spans force-closed (cap hit)",
+       t.trace.truncated},
+  };
+  for (const Sample& s : trace_counters) {
+    w.help_type(s.name, "counter", s.help);
+    w.counter(s.name, "", s.value);
+  }
+  w.help_type("waku_trace_open", "gauge", "Spans currently open");
+  w.gauge("waku_trace_open", "", static_cast<double>(tracer_.open_count()));
+
+  // The registry renders itself (stage/window latency histograms).
+  return w.text() + telemetry_.to_prometheus();
+}
+
+std::string WakuRlnRelayNode::metrics_json() const {
+  const NodeTelemetrySnapshot t = telemetry_snapshot();
+  std::string out = "{";
+  char buf[256];
+  const auto obj = [&out](const char* name) {
+    out += std::string("\"") + name + "\":{";
+  };
+  const auto u64 = [&](const char* name, std::uint64_t v, bool last = false) {
+    std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64 "%s", name, v,
+                  last ? "" : ",");
+    out += buf;
+  };
+
+  obj("node");
+  u64("published", t.node.published);
+  u64("publish_rate_limited", t.node.publish_rate_limited);
+  u64("publish_wrong_shard", t.node.publish_wrong_shard);
+  u64("delivered", t.node.delivered);
+  u64("slash_commits", t.node.slash_commits);
+  u64("slash_reveals", t.node.slash_reveals);
+  u64("slash_rewards", t.node.slash_rewards);
+  u64("slashes_expired", t.node.slashes_expired, true);
+  out += "},";
+
+  obj("router");
+  u64("delivered", t.router.delivered);
+  u64("duplicates", t.router.duplicates);
+  u64("rejected", t.router.rejected);
+  u64("ignored", t.router.ignored);
+  u64("forwarded", t.router.forwarded);
+  u64("validation_windows_flushed", t.router.validation_windows_flushed);
+  u64("pending_validation", t.pending_validation, true);
+  out += "},";
+
+  obj("pipeline");
+  u64("accepted", t.pipeline.accepted);
+  u64("epoch_gap", t.pipeline.epoch_gap);
+  u64("duplicates", t.pipeline.duplicates);
+  u64("no_proof", t.pipeline.no_proof);
+  u64("bad_proof", t.pipeline.bad_proof);
+  u64("stale_root", t.pipeline.stale_root);
+  u64("spam_detected", t.pipeline.spam_detected);
+  u64("batches", t.pipeline.batches);
+  u64("batch_aggregated", t.pipeline.batch_aggregated);
+  u64("batch_fallbacks", t.pipeline.batch_fallbacks);
+  u64("precheck_duplicates", t.pipeline.precheck_duplicates);
+  u64("log_entries", t.pipeline.log_entries);
+  u64("log_conflicts", t.pipeline.log_conflicts, true);
+  out += "},";
+
+  out += "\"per_shard\":[";
+  for (std::size_t i = 0; i < t.per_shard.size(); ++i) {
+    const auto& [s, stats] = t.per_shard[i];
+    if (i > 0) out += ",";
+    out += "{";
+    u64("shard", s);
+    u64("accepted", stats.accepted);
+    u64("spam_detected", stats.spam_detected);
+    u64("stale_root", stats.stale_root);
+    u64("log_entries", stats.log_entries);
+    std::snprintf(buf, sizeof buf, "\"p95_validate_ms\":%.3f}",
+                  shard_p95_validate_ms(s));
+    out += buf;
+  }
+  out += "],";
+
+  obj("executor");
+  u64("submitted", t.executor.submitted);
+  u64("executed", t.executor.executed);
+  u64("rejected", t.executor.rejected);
+  u64("blocked", t.executor.blocked);
+  u64("workers", t.executor.workers, true);
+  out += "},";
+
+  out += "\"executor_lanes\":[";
+  const std::vector<LaneObsSnapshot> lanes = shards_.executor_lane_stats();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{";
+    u64("lane", lanes[i].lane);
+    u64("queue_wait_count", lanes[i].queue_wait.count);
+    u64("queue_wait_p95_ns", lanes[i].queue_wait.p95);
+    u64("service_count", lanes[i].service.count);
+    u64("service_p95_ns", lanes[i].service.p95);
+    u64("depth_high_watermark", lanes[i].depth_high_watermark, true);
+    out += "}";
+  }
+  out += "],";
+
+  obj("trace");
+  u64("sampled", t.trace.sampled);
+  u64("finished", t.trace.finished);
+  u64("evicted", t.trace.evicted);
+  u64("truncated", t.trace.truncated);
+  u64("open", tracer_.open_count(), true);
+  out += "},";
+
+  out += "\"registry\":" + telemetry_.to_json() + "}";
+  return out;
 }
 
 // -- Durable state -----------------------------------------------------------

@@ -29,14 +29,19 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "chain/blockchain.hpp"
 #include "chain/rln_contract.hpp"
+#include "obs/config.hpp"
+#include "obs/telemetry.hpp"
 #include "persist/state_store.hpp"
 #include "rln/checkpoint.hpp"
 #include "rln/group_manager.hpp"
@@ -90,6 +95,12 @@ struct NodeConfig {
   /// front-run loss, withdraw race) is dropped after this many epochs so
   /// the index can be re-slashed.
   std::uint64_t slash_expiry_epochs = 16;
+
+  /// In-node telemetry (src/obs): stage-latency histograms, sampled
+  /// message-lifecycle spans, Prometheus/JSON exposition. The default
+  /// clock is the node's own virtual time (net::Network::local_time), so
+  /// enabling telemetry never perturbs deterministic runs.
+  obs::ObsConfig obs;
 };
 
 struct NodeStats {
@@ -101,6 +112,21 @@ struct NodeStats {
   std::uint64_t slash_reveals = 0;
   std::uint64_t slash_rewards = 0;  ///< MemberSlashed where we were payee
   std::uint64_t slashes_expired = 0;  ///< pending slashes dropped by expiry
+};
+
+/// One coherent read of every counter family the node maintains — what
+/// metrics_{text,json}() render, and what sim::HarnessProbe consumes
+/// instead of re-deriving the same sums from subsystem accessors.
+struct NodeTelemetrySnapshot {
+  gossipsub::RouterStats router;
+  NodeStats node;
+  ValidatorStats pipeline;  ///< aggregate across subscribed shards
+  ExecutorStats executor;
+  /// Per-shard pipeline stats, ordered by shard id.
+  std::vector<std::pair<shard::ShardId, ValidatorStats>> per_shard;
+  std::size_t graylisted = 0;  ///< peers currently below the graylist bar
+  std::size_t pending_validation = 0;  ///< messages buffered in windows
+  obs::TraceCollectorStats trace;
 };
 
 class WakuRlnRelayNode {
@@ -290,6 +316,35 @@ class WakuRlnRelayNode {
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
   [[nodiscard]] const NodeConfig& config() const { return config_; }
 
+  // -- Observability (src/obs) -----------------------------------------------
+
+  /// Prometheus text exposition: stage/window latency histograms (from
+  /// the lock-cheap registry), per-stage p50/p95/p99 quantile gauges,
+  /// verdict-reason counters per shard, executor lane queue-wait /
+  /// service-time histograms and depth high-watermarks, nullifier-log
+  /// gauges (including per-stripe contention), router/node counters, and
+  /// trace-collector counters. Lintable by scripts/check_metrics_format.py.
+  [[nodiscard]] std::string metrics_text() const;
+  /// The same data as one JSON object (histogram quantiles included).
+  [[nodiscard]] std::string metrics_json() const;
+  /// Coherent counter snapshot across every subsystem (HarnessProbe's
+  /// input; also the payload of the epoch-boundary health snapshot).
+  [[nodiscard]] NodeTelemetrySnapshot telemetry_snapshot() const;
+
+  /// The lock-cheap metric registry (stage histograms live here).
+  [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
+  /// Sampled message-lifecycle spans (1-in-N; see ObsConfig::trace).
+  [[nodiscard]] obs::TraceCollector& tracer() { return tracer_; }
+  [[nodiscard]] const obs::TraceCollector& tracer() const { return tracer_; }
+  /// Epoch-boundary health snapshots, oldest first (bounded JSON lines;
+  /// written by the upkeep tick while telemetry is enabled).
+  [[nodiscard]] const std::deque<std::string>& health_log() const {
+    return health_log_;
+  }
+  /// The clock telemetry reads (virtual time under the simulator);
+  /// nullptr when telemetry is disabled.
+  [[nodiscard]] const obs::Clock* obs_clock() const { return obs_clock_; }
+
  private:
   /// WAL record schema (v3). Chain-derived state is NOT journaled — the
   /// chain's event log is authoritative and replayable from the cursor;
@@ -386,6 +441,32 @@ class WakuRlnRelayNode {
   /// Drops journaled slashes older than slash_expiry_epochs.
   void expire_pending_slashes();
 
+  // -- Observability helpers --------------------------------------------------
+
+  /// Resolves the telemetry clock (ObsConfig override, else a FnClock
+  /// over the node's virtual time). Runs before the first
+  /// install_validator_hooks so every pipeline generation gets wired.
+  void setup_observability();
+  /// The shard's stage-histogram bundle, registering the series on first
+  /// use. Address-stable (node-based map) and shared across pipeline
+  /// generations of the same shard id, so a live reshard never splits a
+  /// shard's latency series.
+  [[nodiscard]] PipelineMetrics& metrics_for_shard(shard::ShardId shard);
+  /// True when tracing is on AND `msg`'s content key samples into the
+  /// 1-in-N — call-site guard so unsampled messages never pay the
+  /// detail-string build or the clock read, only the key hash.
+  [[nodiscard]] bool traced(const WakuMessage& msg) const;
+  /// Appends a span event / closes the span for `msg` (no-op unless
+  /// tracing is on and the message's key samples in).
+  void trace_event(const WakuMessage& msg, const char* stage,
+                   std::string detail);
+  void trace_finish(const WakuMessage& msg, std::string outcome);
+  /// The shard's p95 whole-window validation latency in ms (0 until the
+  /// shard validated anything, or with telemetry off).
+  [[nodiscard]] double shard_p95_validate_ms(shard::ShardId shard) const;
+  /// Appends one JSON health line to health_log_ (upkeep tick).
+  void record_health_snapshot(std::uint64_t epoch);
+
   void journal(WalTag tag, BytesView payload, std::uint16_t shard = 0);
   void restore_from_store();
   void restore_snapshot(BytesView payload);
@@ -441,6 +522,19 @@ class WakuRlnRelayNode {
   std::uint64_t chain_subscription_ = 0;
   net::Simulator::TaskId upkeep_task_ = 0;
   bool started_ = false;
+
+  // -- Observability state (src/obs) -----------------------------------------
+  obs::Telemetry telemetry_;
+  obs::TraceCollector tracer_;
+  /// Owns the default virtual-time clock when ObsConfig::clock is null.
+  std::unique_ptr<obs::FnClock> sim_clock_;
+  /// What the pipelines/executor read; nullptr = telemetry disabled (the
+  /// hot paths then skip every clock read).
+  const obs::Clock* obs_clock_ = nullptr;
+  /// Stage-histogram bundles per shard id; node-based map keeps the
+  /// addresses the pipelines hold stable.
+  std::map<shard::ShardId, PipelineMetrics> pipeline_metrics_;
+  std::deque<std::string> health_log_;  ///< bounded JSON lines, oldest first
 };
 
 }  // namespace waku::rln

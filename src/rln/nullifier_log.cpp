@@ -10,6 +10,12 @@ namespace waku::rln {
 NullifierLog::NullifierLog(NullifierLog&& other) noexcept {
   for (std::size_t i = 0; i < kStripes; ++i) {
     stripes_[i].buckets = std::move(other.stripes_[i].buckets);
+    stripes_[i].acquisitions.store(
+        other.stripes_[i].acquisitions.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    stripes_[i].contended.store(
+        other.stripes_[i].contended.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
   min_epoch_ = other.min_epoch_;
   entries_ = other.entries_;
@@ -22,6 +28,12 @@ NullifierLog& NullifierLog::operator=(NullifierLog&& other) noexcept {
   if (this == &other) return *this;
   for (std::size_t i = 0; i < kStripes; ++i) {
     stripes_[i].buckets = std::move(other.stripes_[i].buckets);
+    stripes_[i].acquisitions.store(
+        other.stripes_[i].acquisitions.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    stripes_[i].contended.store(
+        other.stripes_[i].contended.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
   min_epoch_ = other.min_epoch_;
   entries_ = other.entries_;
@@ -40,7 +52,8 @@ NullifierLog::Result NullifierLog::observe(std::uint64_t epoch,
   Result result;
   {
     Stripe& stripe = stripe_for(epoch);
-    std::lock_guard lk(stripe.mu);
+    lock_counted(stripe);
+    std::lock_guard lk(stripe.mu, std::adopt_lock);
     auto bit = stripe.buckets.find(epoch);
     if (bit == stripe.buckets.end()) {
       bit = stripe.buckets.emplace(epoch, Bucket{}).first;
@@ -84,7 +97,8 @@ NullifierLog::Result NullifierLog::observe(std::uint64_t epoch,
 std::optional<NullifierLog::Entry> NullifierLog::peek(
     std::uint64_t epoch, const Fr& nullifier) const {
   const Stripe& stripe = stripe_for(epoch);
-  std::lock_guard lk(stripe.mu);
+  lock_counted(stripe);
+  std::lock_guard lk(stripe.mu, std::adopt_lock);
   const auto bit = stripe.buckets.find(epoch);
   if (bit == stripe.buckets.end()) return std::nullopt;
   const auto it = bit->second.find(nullifier);
@@ -109,7 +123,8 @@ void NullifierLog::gc(std::uint64_t current_epoch, std::uint64_t thr) {
   std::size_t removed_entries = 0;
   std::size_t removed_buckets = 0;
   for (Stripe& stripe : stripes_) {
-    std::lock_guard lk(stripe.mu);
+    lock_counted(stripe);
+    std::lock_guard lk(stripe.mu, std::adopt_lock);
     for (auto it = stripe.buckets.begin(); it != stripe.buckets.end();) {
       if (it->first < cutoff) {
         removed_entries += it->second.size();
@@ -138,6 +153,9 @@ NullifierLog::Stats NullifierLog::stats() const {
     s.min_epoch = min_epoch_;
   }
   s.conflicts = conflicts_.load(std::memory_order_relaxed);
+  for (const Stripe& stripe : stripes_) {
+    s.stripe_contended += stripe.contended.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -153,15 +171,36 @@ std::size_t NullifierLog::entry_count() const {
 
 std::vector<std::pair<std::uint64_t, std::size_t>>
 NullifierLog::bucket_sizes() const {
+  // All stripe locks are held together (acquired in index order — the
+  // only multi-stripe lock pattern in this class, so no order conflicts)
+  // for the duration of the walk. Taking them one at a time let a
+  // concurrent GC or observe move the walk's frame of reference between
+  // stripes: an epoch bucket could be counted in one stripe and its
+  // sibling epochs swept before their stripes were visited.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kStripes);
+  for (const Stripe& stripe : stripes_) {
+    locks.emplace_back(stripe.mu);
+  }
   std::vector<std::pair<std::uint64_t, std::size_t>> sizes;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard lk(stripe.mu);
     for (const auto& [epoch, bucket] : stripe.buckets) {
       sizes.emplace_back(epoch, bucket.size());
     }
   }
   std::sort(sizes.begin(), sizes.end());
   return sizes;
+}
+
+std::array<NullifierLog::StripeContention, NullifierLog::kStripes>
+NullifierLog::stripe_contention() const {
+  std::array<StripeContention, kStripes> out;
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    out[i].acquisitions =
+        stripes_[i].acquisitions.load(std::memory_order_relaxed);
+    out[i].contended = stripes_[i].contended.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 Bytes NullifierLog::serialize() const {

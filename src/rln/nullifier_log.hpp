@@ -64,6 +64,22 @@ class NullifierLog {
     /// it (with bucket_sizes()) to assert a restored log equals the
     /// pre-crash log.
     std::uint64_t min_epoch = 0;
+    /// Total stripe-lock acquisitions that found the lock held (summed
+    /// over stripes) — the direct measure of how often concurrent shard
+    /// workers actually collide on a stripe.
+    std::uint64_t stripe_contended = 0;
+  };
+
+  /// Stripe count: enough that 8-16 concurrent shard workers touching
+  /// adjacent epochs rarely collide, small enough that whole-log walks
+  /// (stats, serialize) stay trivial.
+  static constexpr std::size_t kStripes = 16;
+
+  /// Per-stripe lock traffic on the hot paths (observe/peek/gc):
+  /// total acquisitions and how many of them had to wait.
+  struct StripeContention {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
   };
 
   /// What the log remembers per (epoch, nullifier): the Shamir share plus
@@ -109,8 +125,14 @@ class NullifierLog {
   [[nodiscard]] Stats stats() const;
   /// Entry count per live epoch bucket, sorted by epoch — the per-shard
   /// view behind Stats, for restart equality assertions and operators.
+  /// Consistent snapshot: all stripe locks are held (in index order) for
+  /// the walk, so a concurrent GC or observe can never double-count or
+  /// half-count an epoch bucket.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::size_t>>
   bucket_sizes() const;
+  /// One entry per lock stripe, index order.
+  [[nodiscard]] std::array<StripeContention, kStripes> stripe_contention()
+      const;
   [[nodiscard]] std::size_t epoch_count() const;
   [[nodiscard]] std::size_t entry_count() const;
   /// Approximate in-memory footprint (E4/E5 bookkeeping).
@@ -132,14 +154,24 @@ class NullifierLog {
  private:
   using Bucket = std::unordered_map<Fr, Entry, ff::FrHash>;
 
-  /// Stripe count: enough that 8-16 concurrent shard workers touching
-  /// adjacent epochs rarely collide, small enough that whole-log walks
-  /// (stats, serialize) stay trivial.
-  static constexpr std::size_t kStripes = 16;
   struct Stripe {
     mutable std::mutex mu;
     std::unordered_map<std::uint64_t, Bucket> buckets;
+    /// Hot-path lock traffic (observe/peek/gc). Mutable + atomic: counted
+    /// before the lock is held, including from const probes.
+    mutable std::atomic<std::uint64_t> acquisitions{0};
+    mutable std::atomic<std::uint64_t> contended{0};
   };
+  /// Counts the acquisition (and whether it had to wait) then locks.
+  /// Diagnostic walkers (stats/serialize/bucket_sizes) lock plainly —
+  /// the counters measure hot-path collisions, not observability cost.
+  static void lock_counted(const Stripe& stripe) {
+    stripe.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (!stripe.mu.try_lock()) {
+      stripe.contended.fetch_add(1, std::memory_order_relaxed);
+      stripe.mu.lock();
+    }
+  }
   Stripe& stripe_for(std::uint64_t epoch) {
     return stripes_[epoch % kStripes];
   }

@@ -9,12 +9,19 @@ namespace waku::rln {
 ValidationExecutor::ValidationExecutor(ParallelismConfig config)
     : config_(config) {
   WAKU_EXPECTS(config_.queue_depth >= 1);
-  if (config_.deterministic) return;
+  if (config_.deterministic) {
+    // Pseudo-lane 0 records inline service time so metrics always have
+    // lane data, threaded or not.
+    lane_obs_.push_back(std::make_unique<LaneObs>());
+    return;
+  }
   std::size_t n = config_.workers;
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   lanes_.reserve(n);
+  lane_obs_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     lanes_.push_back(std::make_unique<Lane>());
+    lane_obs_.push_back(std::make_unique<LaneObs>());
   }
   stats_.workers = n;
   threads_.reserve(n);
@@ -75,6 +82,7 @@ void ValidationExecutor::run_job(Job& job) {
 }
 
 bool ValidationExecutor::enqueue(Job job, bool force_block) {
+  const obs::Clock* clock = obs_clock_.load(std::memory_order_acquire);
   if (threads_.empty()) {
     // Deterministic mode: the window runs inline on the caller — the
     // exact pre-executor code path (same thread, same order, same state).
@@ -82,13 +90,21 @@ bool ValidationExecutor::enqueue(Job job, bool force_block) {
       std::lock_guard lk(stats_mu_);
       ++stats_.submitted;
     }
-    run_job(job);
+    if (clock != nullptr) {
+      const std::uint64_t t0 = clock->now_ns();
+      run_job(job);
+      lane_obs_[0]->service.record(clock->now_ns() - t0);
+    } else {
+      run_job(job);
+    }
     std::lock_guard lk(stats_mu_);
     ++stats_.executed;
     return true;
   }
 
+  if (clock != nullptr) job.enqueued_ns = clock->now_ns();
   Lane& lane = *lanes_[job.shard % lanes_.size()];
+  LaneObs& lane_obs = *lane_obs_[job.shard % lanes_.size()];
   std::unique_lock lk(lane.mu);
   std::size_t& depth = lane.shard_depth[job.shard];
   if (depth >= config_.queue_depth) {
@@ -114,12 +130,14 @@ bool ValidationExecutor::enqueue(Job job, bool force_block) {
     ++in_flight_;
   }
   lane.queue.push_back(std::move(job));
+  lane_obs.raise_hwm(lane.queue.size());
   lane.cv.notify_one();
   return true;
 }
 
 void ValidationExecutor::worker_loop(std::size_t lane_index) {
   Lane& lane = *lanes_[lane_index];
+  LaneObs& lane_obs = *lane_obs_[lane_index];
   for (;;) {
     Job job;
     {
@@ -133,7 +151,17 @@ void ValidationExecutor::worker_loop(std::size_t lane_index) {
       --lane.shard_depth[job.shard];
       lane.room_cv.notify_all();
     }
-    run_job(job);
+    const obs::Clock* clock = obs_clock_.load(std::memory_order_acquire);
+    if (clock != nullptr) {
+      const std::uint64_t t0 = clock->now_ns();
+      if (job.enqueued_ns != 0) {
+        lane_obs.queue_wait.record(t0 - job.enqueued_ns);
+      }
+      run_job(job);
+      lane_obs.service.record(clock->now_ns() - t0);
+    } else {
+      run_job(job);
+    }
     {
       std::lock_guard slk(stats_mu_);
       ++stats_.executed;
@@ -204,6 +232,21 @@ void ValidationExecutor::drain() {
 ExecutorStats ValidationExecutor::stats() const {
   std::lock_guard lk(stats_mu_);
   return stats_;
+}
+
+std::vector<LaneObsSnapshot> ValidationExecutor::lane_stats() const {
+  std::vector<LaneObsSnapshot> out;
+  out.reserve(lane_obs_.size());
+  for (std::size_t i = 0; i < lane_obs_.size(); ++i) {
+    LaneObsSnapshot snap;
+    snap.lane = i;
+    snap.queue_wait = lane_obs_[i]->queue_wait.snapshot();
+    snap.service = lane_obs_[i]->service.snapshot();
+    snap.depth_high_watermark =
+        lane_obs_[i]->depth_hwm.load(std::memory_order_relaxed);
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 }  // namespace waku::rln

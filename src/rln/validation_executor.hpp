@@ -67,6 +67,17 @@ struct ExecutorStats {
   std::size_t workers = 0;      ///< pool size (0 = deterministic/inline)
 };
 
+/// Point-in-time observability view of one worker lane: how long windows
+/// sat queued vs how long they ran, plus the deepest the lane's queue has
+/// ever been. Lane 0 doubles as the pseudo-lane of deterministic/inline
+/// execution (service time only — nothing ever queues inline).
+struct LaneObsSnapshot {
+  std::size_t lane = 0;
+  obs::HistogramSnapshot queue_wait;  ///< ns from enqueue to pop
+  obs::HistogramSnapshot service;     ///< ns running the window
+  std::uint64_t depth_high_watermark = 0;  ///< max queued windows ever
+};
+
 class ValidationExecutor {
  public:
   /// Fires on the worker that ran the window (or inline in deterministic
@@ -117,6 +128,17 @@ class ValidationExecutor {
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
   [[nodiscard]] ExecutorStats stats() const;
 
+  /// Wires queue-wait/service timing. nullptr (the default) disables
+  /// every clock read: zero instrumentation cost in deterministic tier-1
+  /// runs. Safe to call while workers run (atomic pointer swap); the
+  /// clock must outlive the executor or be cleared first.
+  void set_clock(const obs::Clock* clock) {
+    obs_clock_.store(clock, std::memory_order_release);
+  }
+
+  /// One snapshot per lane (a single pseudo-lane in deterministic mode).
+  [[nodiscard]] std::vector<LaneObsSnapshot> lane_stats() const;
+
  private:
   struct Job {
     std::uint16_t shard = 0;
@@ -125,7 +147,24 @@ class ValidationExecutor {
     bool use_received_at = false;
     std::vector<std::uint64_t> received_at_ms;
     std::uint64_t local_now_ms = 0;
+    std::uint64_t enqueued_ns = 0;  ///< clock read at enqueue (0 = no clock)
     Completion done;
+  };
+
+  /// Per-lane observability sinks, fixed at construction so the record
+  /// path indexes an immutable vector (no locks). Histograms are
+  /// internally atomic; the high-watermark is a CAS-max.
+  struct LaneObs {
+    obs::Histogram queue_wait;
+    obs::Histogram service;
+    std::atomic<std::uint64_t> depth_hwm{0};
+
+    void raise_hwm(std::uint64_t depth) noexcept {
+      std::uint64_t seen = depth_hwm.load(std::memory_order_relaxed);
+      while (depth > seen && !depth_hwm.compare_exchange_weak(
+                                 seen, depth, std::memory_order_relaxed)) {
+      }
+    }
   };
 
   /// One worker's MPSC lane: its own lock, queue, and per-shard depth
@@ -151,6 +190,8 @@ class ValidationExecutor {
 
   ParallelismConfig config_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<LaneObs>> lane_obs_;  ///< max(1, lanes)
+  std::atomic<const obs::Clock*> obs_clock_{nullptr};
   std::vector<std::thread> threads_;
   /// Set once in the destructor; workers re-check it under their lane
   /// lock, and the destructor notifies while holding each lane lock, so a

@@ -56,6 +56,39 @@ std::uint64_t proof_fingerprint(const zksnark::Proof& proof) {
   return h;
 }
 
+/// One clock-read pair around a stage; both ends are skipped entirely
+/// when the pipeline has no clock wired (telemetry off). The histogram
+/// may independently be null (metrics struct without that stage).
+class StageTimer {
+ public:
+  StageTimer(const obs::Clock* clock, obs::Histogram* sink)
+      : clock_(clock), sink_(sink) {
+    if (clock_ != nullptr && sink_ != nullptr) {
+      start_ns_ = clock_->now_ns();
+    }
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() { stop(); }
+
+  /// Redirects the pending sample (stage 4 decides batch-vs-fallback
+  /// only after the verifier returns).
+  void set_sink(obs::Histogram* sink) { sink_ = sink; }
+
+  void stop() {
+    if (clock_ != nullptr && sink_ != nullptr && !stopped_) {
+      sink_->record(clock_->now_ns() - start_ns_);
+    }
+    stopped_ = true;
+  }
+
+ private:
+  const obs::Clock* clock_;
+  obs::Histogram* sink_;
+  std::uint64_t start_ns_ = 0;
+  bool stopped_ = false;
+};
+
 }  // namespace
 
 ValidationPipeline::ValidationPipeline(const zksnark::VerifyingKey& vk,
@@ -85,77 +118,97 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
   std::vector<ValidationOutcome> out(n);
   std::vector<Slot> slots(n);
 
-  // Stages 1-3, per message, cheapest first. Everything that can be
-  // decided without touching the SNARK verifier is decided here.
-  for (std::size_t i = 0; i < n; ++i) {
-    Slot& slot = slots[i];
-    // During a generation cutover the selector routes this message's
-    // rate-limit domain to a log shared across both generations' meshes.
-    slot.log = &log_;
-    if (log_selector_) {
-      if (NullifierLog* redirected = log_selector_(messages[i])) {
-        slot.log = redirected;
+  // Per-stage verdicts are independent of the loop structure (each stage
+  // reads only its own message's state; the precheck merely peeks), so
+  // the stages run as separate passes: one clock-read pair per stage per
+  // window instead of per message, and the cheapest-first cost ordering
+  // is preserved per pass.
+  const PipelineMetrics* m = obs_metrics_;
+  StageTimer window_timer(obs_clock_, m ? m->window : nullptr);
+
+  // Stage 1: proof extraction + epoch-gap gate (§III-F item 1), against
+  // each message's arrival time.
+  {
+    StageTimer t(obs_clock_, m ? m->epoch_gate : nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots[i];
+      // During a generation cutover the selector routes this message's
+      // rate-limit domain to a log shared across both generations'
+      // meshes.
+      slot.log = &log_;
+      if (log_selector_) {
+        if (NullifierLog* redirected = log_selector_(messages[i])) {
+          slot.log = redirected;
+        }
+      }
+      slot.bundle = extract_proof(messages[i]);
+      if (!slot.bundle.has_value()) {
+        ++stats_.no_proof;
+        out[i] = {Verdict::kRejectNoProof, std::nullopt};
+        slot.settled = true;
+        continue;
+      }
+      const std::uint64_t local_epoch = config_.epoch.epoch_at(
+          received_at_ms.empty() ? uniform_now_ms : received_at_ms[i]);
+      if (epoch_distance(local_epoch, slot.bundle->epoch) >
+          config_.max_epoch_gap) {
+        ++stats_.epoch_gap;
+        out[i] = {Verdict::kIgnoreEpochGap, std::nullopt};
+        slot.settled = true;
       }
     }
-    slot.bundle = extract_proof(messages[i]);
-    if (!slot.bundle.has_value()) {
-      ++stats_.no_proof;
-      out[i] = {Verdict::kRejectNoProof, std::nullopt};
-      slot.settled = true;
-      continue;
-    }
+  }
 
-    // 1. Epoch gap (§III-F item 1), against this message's arrival time.
-    const std::uint64_t local_epoch = config_.epoch.epoch_at(
-        received_at_ms.empty() ? uniform_now_ms : received_at_ms[i]);
-    if (epoch_distance(local_epoch, slot.bundle->epoch) >
-        config_.max_epoch_gap) {
-      ++stats_.epoch_gap;
-      out[i] = {Verdict::kIgnoreEpochGap, std::nullopt};
-      slot.settled = true;
-      continue;
+  // Stage 2: root freshness against the rolling root cache — removed
+  // members must not keep proving against trees that still contain them.
+  // A shard-local cache override (set_root_check) takes precedence.
+  {
+    StageTimer t(obs_clock_, m ? m->root_check : nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots[i];
+      if (slot.settled) continue;
+      if (root_check_ ? !root_check_(slot.bundle->root)
+                      : !group_.is_recent_root(slot.bundle->root)) {
+        ++stats_.stale_root;
+        out[i] = {Verdict::kRejectStaleRoot, std::nullopt};
+        slot.settled = true;
+      }
     }
+  }
 
-    // 2. Root freshness against the rolling root cache: removed members
-    //    must not keep proving against trees that still contain them.
-    //    A shard-local cache override (set_root_check) takes precedence.
-    if (root_check_ ? !root_check_(slot.bundle->root)
-                    : !group_.is_recent_root(slot.bundle->root)) {
-      ++stats_.stale_root;
-      out[i] = {Verdict::kRejectStaleRoot, std::nullopt};
-      slot.settled = true;
-      continue;
-    }
-
-    // The share must be bound to this exact message: x = H(m). A mismatch
-    // can never verify (x is a public input), so reject before the SNARK.
-    slot.x = message_hash(messages[i]);
-    if (slot.x != slot.bundle->share_x) {
-      ++stats_.bad_proof;
-      out[i] = {Verdict::kRejectBadProof, std::nullopt};
-      slot.settled = true;
-      continue;
-    }
-
-    // 3. Nullifier precheck: a byte-identical gossip echo (same share AND
-    //    same proof bytes as the entry we already verified) is dropped
-    //    without re-verifying. A matching share with *different* proof
-    //    bytes is not short-circuited — it must reach the verifier so a
-    //    tampered replay still earns its reject penalty. A different
-    //    recorded share is a double-signal candidate and must also pass
-    //    the verifier before it becomes slashing material (otherwise
-    //    garbage shares could frame members).
-    slot.proof_fp = proof_fingerprint(slot.bundle->proof);
-    const std::optional<NullifierLog::Entry> prior =
-        slot.log->peek(slot.bundle->epoch, slot.bundle->nullifier);
-    if (prior.has_value() && prior->proof_fp == slot.proof_fp &&
-        prior->share ==
-            sss::Share{slot.bundle->share_x, slot.bundle->share_y}) {
-      ++stats_.duplicates;
-      ++stats_.precheck_duplicates;
-      out[i] = {Verdict::kIgnoreDuplicate, std::nullopt};
-      slot.settled = true;
-      continue;
+  // Stage 3: hash-bind + nullifier precheck. The share must be bound to
+  // this exact message: x = H(m); a mismatch can never verify (x is a
+  // public input), so reject before the SNARK. Then a byte-identical
+  // gossip echo (same share AND same proof bytes as the entry we already
+  // verified) is dropped without re-verifying. A matching share with
+  // *different* proof bytes is not short-circuited — it must reach the
+  // verifier so a tampered replay still earns its reject penalty. A
+  // different recorded share is a double-signal candidate and must also
+  // pass the verifier before it becomes slashing material (otherwise
+  // garbage shares could frame members).
+  {
+    StageTimer t(obs_clock_, m ? m->nullifier_precheck : nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots[i];
+      if (slot.settled) continue;
+      slot.x = message_hash(messages[i]);
+      if (slot.x != slot.bundle->share_x) {
+        ++stats_.bad_proof;
+        out[i] = {Verdict::kRejectBadProof, std::nullopt};
+        slot.settled = true;
+        continue;
+      }
+      slot.proof_fp = proof_fingerprint(slot.bundle->proof);
+      const std::optional<NullifierLog::Entry> prior =
+          slot.log->peek(slot.bundle->epoch, slot.bundle->nullifier);
+      if (prior.has_value() && prior->proof_fp == slot.proof_fp &&
+          prior->share ==
+              sss::Share{slot.bundle->share_x, slot.bundle->share_y}) {
+        ++stats_.duplicates;
+        ++stats_.precheck_duplicates;
+        out[i] = {Verdict::kIgnoreDuplicate, std::nullopt};
+        slot.settled = true;
+      }
     }
   }
 
@@ -169,12 +222,16 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
     entry_slot.push_back(i);
   }
   if (!entries.empty()) {
+    // The sample lands in the batch histogram or the fallback histogram
+    // depending on what the verifier actually did with this window.
+    StageTimer t(obs_clock_, m ? m->groth16_batch : nullptr);
     const zksnark::BatchVerifyOutcome batch =
         zksnark::verify_batch(vk_, entries, rng_);
     if (batch.aggregated) {
       ++stats_.batch_aggregated;
     } else {
       ++stats_.batch_fallbacks;
+      t.set_sink(m ? m->groth16_fallback : nullptr);
     }
     for (std::size_t k = 0; k < entries.size(); ++k) {
       slots[entry_slot[k]].verified = batch.ok[k];
@@ -183,6 +240,7 @@ std::vector<ValidationOutcome> ValidationPipeline::validate_impl(
 
   // Stage 5: rate limit + double-signal detection, in arrival order so a
   // batch is indistinguishable from the same messages fed one at a time.
+  StageTimer stage5_timer(obs_clock_, m ? m->double_signal : nullptr);
   for (std::size_t i = 0; i < n; ++i) {
     Slot& slot = slots[i];
     if (slot.settled) continue;

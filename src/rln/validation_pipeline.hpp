@@ -21,6 +21,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/clock.hpp"
+#include "obs/telemetry.hpp"
 #include "rln/epoch.hpp"
 #include "rln/group_manager.hpp"
 #include "rln/nullifier_log.hpp"
@@ -106,6 +108,21 @@ struct ValidatorStats {
   }
 };
 
+/// Stage-latency sinks (src/obs), one histogram per pipeline stage plus
+/// the whole-window latency. All pointers optional — a null histogram
+/// drops that stage's sample. The owner (the node) keeps the struct
+/// address-stable and shares it across pipeline generations of the same
+/// shard, so a live reshard never loses or splits a shard's series.
+struct PipelineMetrics {
+  obs::Histogram* epoch_gate = nullptr;          ///< stage 1 (incl. proof extraction)
+  obs::Histogram* root_check = nullptr;          ///< stage 2
+  obs::Histogram* nullifier_precheck = nullptr;  ///< stage 3 (incl. hash-bind)
+  obs::Histogram* groth16_batch = nullptr;       ///< stage 4, RLC-aggregated
+  obs::Histogram* groth16_fallback = nullptr;    ///< stage 4, per-proof fallback
+  obs::Histogram* double_signal = nullptr;       ///< stage 5
+  obs::Histogram* window = nullptr;              ///< whole validate_batch call
+};
+
 class ValidationPipeline {
  public:
   /// `vk` and `group` must outlive the pipeline. `seed` feeds the RLC
@@ -138,6 +155,16 @@ class ValidationPipeline {
 
   /// Drops nullifier records older than Thr epochs.
   void gc(std::uint64_t local_now_ms);
+
+  /// Wires stage timing: `clock` supplies nanosecond reads (virtual time
+  /// under the simulator), `metrics` receives per-stage samples. Either
+  /// may be null; a null clock disables every clock read on the hot path
+  /// (the telemetry-off configuration costs one branch per stage).
+  /// Both must outlive the pipeline or be cleared first.
+  void set_telemetry(const obs::Clock* clock, const PipelineMetrics* metrics) {
+    obs_clock_ = clock;
+    obs_metrics_ = metrics;
+  }
 
   /// Counters plus a point-in-time mirror of the nullifier-log stats.
   [[nodiscard]] ValidatorStats stats() const;
@@ -222,6 +249,8 @@ class ValidationPipeline {
   RootCheck root_check_;
   LogSelector log_selector_;
   CutoverObserveHook cutover_observe_hook_;
+  const obs::Clock* obs_clock_ = nullptr;
+  const PipelineMetrics* obs_metrics_ = nullptr;
 };
 
 }  // namespace waku::rln

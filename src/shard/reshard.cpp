@@ -219,9 +219,11 @@ void ReshardCoordinator::restore(BytesView bytes) {
 // -- Load-driven rebalancing --------------------------------------------------
 
 void ShardLoadTracker::record(ShardId shard, std::uint64_t accepted_total,
-                              std::size_t log_entries, std::uint64_t now_ms) {
+                              std::size_t log_entries, std::uint64_t now_ms,
+                              double p95_validate_ms) {
   PerShard& state = shards_[shard];
   state.log_entries = log_entries;
+  state.p95_validate_ms = p95_validate_ms;
   state.window.push_back(Sample{now_ms, accepted_total});
   while (state.window.size() > 1 &&
          now_ms - state.window.front().at_ms > config_.window_ms) {
@@ -244,6 +246,11 @@ std::size_t ShardLoadTracker::log_entries(ShardId shard) const {
   return it == shards_.end() ? 0 : it->second.log_entries;
 }
 
+double ShardLoadTracker::p95_validate_ms(ShardId shard) const {
+  const auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.p95_validate_ms;
+}
+
 RebalanceRecommendation ShardLoadTracker::recommend(
     const ShardMap& map, std::span<const std::string> active_topics) const {
   RebalanceRecommendation rec;
@@ -256,6 +263,8 @@ RebalanceRecommendation ShardLoadTracker::recommend(
     total += rate;
     rec.max_rate_msgs_per_sec = std::max(rec.max_rate_msgs_per_sec, rate);
     rec.max_log_entries = std::max(rec.max_log_entries, log_entries(shard));
+    rec.max_p95_validate_ms =
+        std::max(rec.max_p95_validate_ms, p95_validate_ms(shard));
   }
   rec.mean_rate_msgs_per_sec = total / map.num_shards();
   rec.skew = rec.mean_rate_msgs_per_sec > 0
@@ -270,7 +279,13 @@ RebalanceRecommendation ShardLoadTracker::recommend(
       rec.skew > config_.skew_threshold &&
       rec.max_rate_msgs_per_sec > config_.overload_msgs_per_sec / 2;
   const bool log_pressure = rec.max_log_entries > config_.log_entries_soft_cap;
-  if (!overloaded && !skewed && !log_pressure) return rec;
+  // Latency pressure comes from node telemetry (pipeline latency
+  // histograms); shards that never reported a p95 stay at 0 and cannot
+  // trip it.
+  const bool latency_pressure =
+      config_.p95_budget_ms > 0 &&
+      rec.max_p95_validate_ms > config_.p95_budget_ms;
+  if (!overloaded && !skewed && !log_pressure && !latency_pressure) return rec;
 
   rec.reshard_recommended = true;
   // Power-of-two split factor sized so the hot shard's load, spread over
@@ -285,8 +300,10 @@ RebalanceRecommendation ShardLoadTracker::recommend(
     rec.reason = "shard over throughput budget";
   } else if (skewed) {
     rec.reason = "load skew over threshold";
-  } else {
+  } else if (log_pressure) {
     rec.reason = "nullifier log over soft cap";
+  } else {
+    rec.reason = "validation p95 over latency budget";
   }
   if (!active_topics.empty()) {
     std::vector<std::string> topics(active_topics.begin(),
@@ -304,11 +321,11 @@ std::string RebalanceRecommendation::to_json() const {
       "{\"reshard_recommended\": %s, \"current_shards\": %u, "
       "\"target_shards\": %u, \"max_rate_msgs_per_sec\": %.2f, "
       "\"mean_rate_msgs_per_sec\": %.2f, \"skew\": %.3f, "
-      "\"max_log_entries\": %zu, \"predicted_moved_topics\": %zu, "
-      "\"reason\": \"%s\"}",
+      "\"max_log_entries\": %zu, \"max_p95_validate_ms\": %.2f, "
+      "\"predicted_moved_topics\": %zu, \"reason\": \"%s\"}",
       reshard_recommended ? "true" : "false", current_shards, target_shards,
       max_rate_msgs_per_sec, mean_rate_msgs_per_sec, skew, max_log_entries,
-      predicted_moved_topics, reason.c_str());
+      max_p95_validate_ms, predicted_moved_topics, reason.c_str());
   return buf;
 }
 

@@ -201,6 +201,10 @@ struct RebalanceRecommendation {
   /// max/mean across shards (1.0 = perfectly balanced).
   double skew = 1.0;
   std::size_t max_log_entries = 0;
+  /// Worst per-shard p95 whole-window validation latency (ms) the node
+  /// fed from its pipeline latency histograms; 0 until a node wires
+  /// telemetry in.
+  double max_p95_validate_ms = 0;
   /// Topics (of the sampled active set) whose assignment changes under
   /// the recommended split — the migration cost an operator weighs.
   std::size_t predicted_moved_topics = 0;
@@ -226,15 +230,25 @@ class ShardLoadTracker {
     double skew_threshold = 3.0;
     /// Nullifier-log size that signals memory pressure on a shard.
     std::size_t log_entries_soft_cap = 1 << 16;
+    /// p95 whole-window validation latency past which a shard counts as
+    /// latency-overloaded even when its throughput fits the budget —
+    /// the paper's bounded-validation-latency claim as an operational
+    /// trigger. Only shards that actually report a p95 (> 0; requires
+    /// node telemetry) can trip it.
+    double p95_budget_ms = 250.0;
   };
 
   ShardLoadTracker() = default;
   explicit ShardLoadTracker(Config config) : config_(config) {}
 
   /// Records shard `shard`'s cumulative accepted-message counter and
-  /// current nullifier-log size at local time `now_ms`.
+  /// current nullifier-log size at local time `now_ms`. `p95_validate_ms`
+  /// is the shard's p95 whole-window validation latency from the node's
+  /// pipeline latency histogram (0 = telemetry not wired — latency plays
+  /// no part in the recommendation then).
   void record(ShardId shard, std::uint64_t accepted_total,
-              std::size_t log_entries, std::uint64_t now_ms);
+              std::size_t log_entries, std::uint64_t now_ms,
+              double p95_validate_ms = 0.0);
 
   /// Drops every window — a reshard's drop-old re-keys the shard id
   /// space AND resets the pipelines' cumulative counters, so mixing
@@ -245,6 +259,8 @@ class ShardLoadTracker {
   /// Validated msgs/sec over the rolling window (0 until two samples).
   [[nodiscard]] double rate_msgs_per_sec(ShardId shard) const;
   [[nodiscard]] std::size_t log_entries(ShardId shard) const;
+  /// Last recorded p95 validation latency (ms); 0 when never reported.
+  [[nodiscard]] double p95_validate_ms(ShardId shard) const;
 
   /// The rebalance verdict for layout `map`; `active_topics` (a sample of
   /// live content topics) sizes the predicted migration cost.
@@ -262,6 +278,7 @@ class ShardLoadTracker {
   struct PerShard {
     std::deque<Sample> window;
     std::size_t log_entries = 0;
+    double p95_validate_ms = 0;
   };
 
   Config config_;

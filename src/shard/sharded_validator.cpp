@@ -70,6 +70,7 @@ void ShardedValidator::set_parallelism(rln::ParallelismConfig parallel) {
   // no window of ours can still be running when the new one starts.
   executor_.reset();
   executor_ = std::make_unique<rln::ValidationExecutor>(parallel);
+  executor_->set_clock(executor_clock_);
 }
 
 std::vector<rln::ValidationOutcome> ShardedValidator::validate_batch(

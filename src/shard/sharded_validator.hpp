@@ -109,6 +109,19 @@ class ShardedValidator {
   [[nodiscard]] rln::ExecutorStats executor_stats() const {
     return executor_->stats();
   }
+  /// Per-lane executor observability (queue-wait/service histograms,
+  /// depth high-watermarks); see rln::ValidationExecutor::lane_stats.
+  [[nodiscard]] std::vector<rln::LaneObsSnapshot> executor_lane_stats() const {
+    return executor_->lane_stats();
+  }
+
+  /// Wires executor queue-wait/service timing (nullptr disables). The
+  /// clock is remembered: set_parallelism re-applies it to the executor
+  /// it builds, so a parallelism switch never silently drops timing.
+  void set_executor_clock(const obs::Clock* clock) {
+    executor_clock_ = clock;
+    executor_->set_clock(clock);
+  }
 
   /// Blocking batch validation of one shard's window through the executor:
   /// deterministic mode runs inline (the pre-executor code path verbatim);
@@ -198,6 +211,8 @@ class ShardedValidator {
   ObserveHook observe_hook_;
   /// Never null; defaults to the deterministic inline executor.
   std::unique_ptr<rln::ValidationExecutor> executor_;
+  /// Re-applied to every executor set_parallelism builds.
+  const obs::Clock* executor_clock_ = nullptr;
 };
 
 }  // namespace waku::shard

@@ -219,27 +219,46 @@ void HarnessProbe::mark_attack_start() {
 }
 
 void HarnessProbe::sample(std::uint64_t epoch) {
+  // One telemetry_snapshot() per node is the whole read: the node is the
+  // authority on its own counters (router, pipeline, executor, traces),
+  // so the probe only aggregates — it no longer re-derives any sum from
+  // subsystem accessors.
   gossipsub::RouterStats router;
   rln::NodeStats nodes;
+  rln::ValidatorStats pipeline;
+  rln::ExecutorStats executor;
   std::size_t graylisted = 0;
+  std::uint64_t traces_sampled = 0;
+  std::uint64_t traces_finished = 0;
+  std::map<shard::ShardId, rln::ValidatorStats> per_shard;
+  // Every configured shard gets a gauge even when unhosted/idle (series
+  // continuity across kill/restart cycles).
+  for (std::uint16_t s = 0; s < num_shards_; ++s) per_shard[s];
   for (std::size_t i = 0; i < harness_.size(); ++i) {
     if (!harness_.alive(i)) continue;
-    rln::WakuRlnRelayNode& node = harness_.node(i);
-    const gossipsub::RouterStats& r = node.relay().stats();
-    router.delivered += r.delivered;
-    router.duplicates += r.duplicates;
-    router.rejected += r.rejected;
-    router.ignored += r.ignored;
-    router.forwarded += r.forwarded;
-    const rln::NodeStats& n = node.stats();
-    nodes.published += n.published;
-    nodes.publish_rate_limited += n.publish_rate_limited;
-    nodes.slash_commits += n.slash_commits;
-    nodes.slash_reveals += n.slash_reveals;
-    nodes.slash_rewards += n.slash_rewards;
-    graylisted += node.relay().router().scores().graylist_count();
+    const rln::NodeTelemetrySnapshot t = harness_.node(i).telemetry_snapshot();
+    router.delivered += t.router.delivered;
+    router.duplicates += t.router.duplicates;
+    router.rejected += t.router.rejected;
+    router.ignored += t.router.ignored;
+    router.forwarded += t.router.forwarded;
+    router.validation_windows_flushed += t.router.validation_windows_flushed;
+    nodes.published += t.node.published;
+    nodes.publish_rate_limited += t.node.publish_rate_limited;
+    nodes.slash_commits += t.node.slash_commits;
+    nodes.slash_reveals += t.node.slash_reveals;
+    nodes.slash_rewards += t.node.slash_rewards;
+    pipeline += t.pipeline;
+    executor.submitted += t.executor.submitted;
+    executor.executed += t.executor.executed;
+    executor.rejected += t.executor.rejected;
+    executor.blocked += t.executor.blocked;
+    executor.workers += t.executor.workers;
+    graylisted += t.graylisted;
+    traces_sampled += t.trace.sampled;
+    traces_finished += t.trace.finished;
+    for (const auto& [s, stats] : t.per_shard) per_shard[s] += stats;
   }
-  const rln::ValidatorStats pipeline = harness_.total_validation_stats();
 
   const auto set = [this](const std::string& name, std::uint64_t v) {
     registry_.gauge(name).set(static_cast<double>(v));
@@ -249,6 +268,7 @@ void HarnessProbe::sample(std::uint64_t epoch) {
   set("router.rejected", router.rejected);
   set("router.ignored", router.ignored);
   set("router.forwarded", router.forwarded);
+  set("router.validation_windows", router.validation_windows_flushed);
   set("score.graylisted", graylisted);
   set("pipeline.accepted", pipeline.accepted);
   set("pipeline.epoch_gap", pipeline.epoch_gap);
@@ -267,40 +287,21 @@ void HarnessProbe::sample(std::uint64_t epoch) {
   set("node.slash_commits", nodes.slash_commits);
   set("node.slash_reveals", nodes.slash_reveals);
   set("node.slash_rewards", nodes.slash_rewards);
-  const net::TrafficStats traffic = harness_.network().total_stats();
-  set("net.messages_sent", traffic.messages_sent);
-  set("net.bytes_sent", traffic.bytes_sent);
-
-  // Validation-executor view: window throughput and backpressure across
-  // the deployment. All zeros except `submitted`/`executed` under the
-  // deterministic default; parallel soak runs read queue pressure here.
-  rln::ExecutorStats executor;
-  for (std::size_t i = 0; i < harness_.size(); ++i) {
-    if (!harness_.alive(i)) continue;
-    const rln::ExecutorStats e =
-        harness_.node(i).validator().executor_stats();
-    executor.submitted += e.submitted;
-    executor.executed += e.executed;
-    executor.rejected += e.rejected;
-    executor.blocked += e.blocked;
-    executor.workers += e.workers;
-  }
   set("executor.submitted", executor.submitted);
   set("executor.executed", executor.executed);
   set("executor.rejected", executor.rejected);
   set("executor.blocked", executor.blocked);
   set("executor.workers", executor.workers);
+  set("trace.sampled", traces_sampled);
+  set("trace.finished", traces_finished);
+  const net::TrafficStats traffic = harness_.network().total_stats();
+  set("net.messages_sent", traffic.messages_sent);
+  set("net.bytes_sent", traffic.bytes_sent);
 
   // Per-shard pipeline view: where traffic died on each rate-limit
-  // domain. Summed over the nodes hosting that shard only.
-  for (std::uint16_t s = 0; s < num_shards_; ++s) {
-    rln::ValidatorStats shard_stats;
-    for (std::size_t i = 0; i < harness_.size(); ++i) {
-      if (!harness_.alive(i)) continue;
-      const auto& validator = harness_.node(i).validator();
-      if (!validator.subscribes(s)) continue;
-      shard_stats += validator.pipeline(s).stats();
-    }
+  // domain. Each node reports only the shards it hosts, so the merge is
+  // already subscription-filtered.
+  for (const auto& [s, shard_stats] : per_shard) {
     const std::string suffix = ".shard" + std::to_string(s);
     set("pipeline.accepted" + suffix, shard_stats.accepted);
     set("pipeline.stale_root" + suffix, shard_stats.stale_root);

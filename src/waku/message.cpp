@@ -37,4 +37,17 @@ Bytes WakuMessage::signal_bytes() const {
   return std::move(w).take();
 }
 
+std::uint64_t trace_key(const WakuMessage& msg) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::uint8_t b) {
+    h = (h ^ b) * 0x100000001b3ULL;
+  };
+  for (const std::uint8_t b : msg.payload) mix(b);
+  for (const char c : msg.content_topic) mix(static_cast<std::uint8_t>(c));
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<std::uint8_t>(msg.timestamp_ms >> (8 * i)));
+  }
+  return h;
+}
+
 }  // namespace waku

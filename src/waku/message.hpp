@@ -29,4 +29,13 @@ struct WakuMessage {
   friend bool operator==(const WakuMessage&, const WakuMessage&) = default;
 };
 
+/// Cheap content-derived 64-bit key (FNV-1a over payload, content topic,
+/// and sender timestamp — NOT the Poseidon message hash, which costs a
+/// field-arithmetic circuit evaluation). Every node derives the same key
+/// for the same message, which is what lets the trace sampler
+/// (obs/trace.hpp) make a network-wide-consistent 1-in-N decision with no
+/// wire-format change. Collisions merely merge two traces; nothing
+/// security-relevant reads this.
+[[nodiscard]] std::uint64_t trace_key(const WakuMessage& msg);
+
 }  // namespace waku

@@ -95,6 +95,9 @@ class WakuRelay {
   [[nodiscard]] net::NodeId node_id() const { return router_.node_id(); }
   [[nodiscard]] const std::string& pubsub_topic() const { return topic_; }
   [[nodiscard]] gossipsub::GossipSubRouter& router() { return router_; }
+  [[nodiscard]] const gossipsub::GossipSubRouter& router() const {
+    return router_;
+  }
   [[nodiscard]] const gossipsub::RouterStats& stats() const {
     return router_.stats();
   }

@@ -1,0 +1,446 @@
+// Observability layer tests (src/obs + node wiring): log2 histogram
+// bucket boundaries and quantile reconstruction, sharded-counter sums
+// under real threads (the TSan target of this suite), deterministic
+// 1-in-N trace sampling, bounded trace rings, the striped nullifier
+// log's aggregated bucket_sizes/contention counters, and the node-level
+// exposition — a sampled span covering publish -> rx -> verdict ->
+// deliver, Prometheus families in metrics_text(), and the guarantee
+// that telemetry-on runs stay deterministic under the simulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "rln/harness.hpp"
+#include "rln/nullifier_log.hpp"
+
+namespace waku::obs {
+namespace {
+
+// -- Histogram: log2 bucket boundaries ---------------------------------------
+
+TEST(Histogram, Log2BucketBoundaries) {
+  Histogram h;
+  // bucket 0 = {0}; bucket i (i>=1) = [2^(i-1), 2^i - 1].
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  h.record(7);
+  h.record(8);
+  h.record((std::uint64_t{1} << 38));  // bucket 39 (bit_width = 39)
+
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.bucket_counts[0], 1u);  // {0}
+  EXPECT_EQ(s.bucket_counts[1], 1u);  // {1}
+  EXPECT_EQ(s.bucket_counts[2], 2u);  // {2,3}
+  EXPECT_EQ(s.bucket_counts[3], 2u);  // {4..7}
+  EXPECT_EQ(s.bucket_counts[4], 1u);  // {8..15}
+  EXPECT_EQ(s.bucket_counts[39], 1u);
+  EXPECT_EQ(s.sum, 0u + 1 + 2 + 3 + 4 + 7 + 8 + (std::uint64_t{1} << 38));
+
+  // Upper bounds: 0, 1, 3, 7, 15, ... and saturation at/above 64 bits.
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(1), 1u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(2), 3u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(10), 1023u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, OverflowValuesLandInLastBucket) {
+  Histogram h;
+  h.record(~std::uint64_t{0});  // bit_width 64 >> kBuckets
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.bucket_counts[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(Histogram, QuantilesAreBucketUpperBounds) {
+  Histogram h;
+  // 90 observations of ~100ns (bucket 7: [64,127]) and 10 of ~1000ns
+  // (bucket 10: [512,1023]). p50 resolves in the low bucket, p95/p99 in
+  // the high one; each is the bucket's inclusive upper bound (the <=2x
+  // overestimate the log2 layout guarantees).
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.p50, 127u);
+  EXPECT_EQ(s.p95, 1023u);
+  EXPECT_EQ(s.p99, 1023u);
+  EXPECT_EQ(h.snapshot().p50, s.p50);  // snapshot is repeatable at rest
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+// -- Counter / registry under threads (the TSan target) ----------------------
+
+TEST(Telemetry, ConcurrentRecordsSumExactly) {
+  Telemetry reg;
+  Counter& c = reg.counter("waku_test_ops_total", "", "test counter");
+  Histogram& h = reg.histogram("waku_test_latency_seconds", "", "test hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(static_cast<std::uint64_t>(t * 100 + 1));
+      }
+    });
+  }
+  // Concurrent reads must be safe (and monotone) while writers run.
+  std::uint64_t last = 0;
+  for (int probe = 0; probe < 100; ++probe) {
+    const std::uint64_t now = c.value();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Telemetry, RegistrationIsIdempotentAndKindChecked) {
+  Telemetry reg;
+  Counter& a = reg.counter("waku_test_total", "shard=\"0\"");
+  Counter& b = reg.counter("waku_test_total", "shard=\"0\"");
+  EXPECT_EQ(&a, &b);  // same series, stable address
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_THROW(reg.gauge("waku_test_total"), std::logic_error);
+}
+
+TEST(Telemetry, PrometheusExpositionScalesSecondsFamilies) {
+  Telemetry reg;
+  reg.histogram("waku_test_stage_seconds", "stage=\"x\"").record(1'000'000'000);
+  reg.counter("waku_test_events_total").inc();
+  const std::string text = reg.to_prometheus();
+  // 1e9 ns lands in bucket 30 (upper 2^30-1 ns ~ 1.07s); the le label is
+  // rendered in seconds.
+  EXPECT_NE(text.find("# TYPE waku_test_stage_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("waku_test_stage_seconds_count{stage=\"x\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("waku_test_stage_seconds_sum{stage=\"x\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("waku_test_events_total 1"), std::string::npos);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"waku_test_events_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+// -- Trace sampling ----------------------------------------------------------
+
+TEST(TraceCollector, SamplingIsDeterministicAcrossCollectors) {
+  TraceCollectorConfig cfg;
+  cfg.sample_every = 16;
+  const TraceCollector a(cfg);
+  const TraceCollector b(cfg);
+  std::size_t selected = 0;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(a.sampled(key), b.sampled(key)) << key;
+    if (a.sampled(key)) ++selected;
+  }
+  // ~1-in-16 of 4096 = 256; the splitmix mix keeps it near uniform even
+  // on sequential keys. Wide margin: this asserts "sampling", not an
+  // exact binomial tail.
+  EXPECT_GT(selected, 128u);
+  EXPECT_LT(selected, 512u);
+
+  TraceCollectorConfig off;
+  off.sample_every = 0;
+  EXPECT_FALSE(TraceCollector(off).sampled(0));
+  TraceCollectorConfig all;
+  all.sample_every = 1;
+  EXPECT_TRUE(TraceCollector(all).sampled(12345));
+}
+
+TEST(TraceCollector, CompletedRingIsBoundedAndSlowRingKeepsWorst) {
+  TraceCollectorConfig cfg;
+  cfg.sample_every = 1;
+  cfg.completed_ring = 4;
+  cfg.slow_ring = 2;
+  TraceCollector tc(cfg);
+  // 8 traces with end-to-end durations 10, 20, ..., 80 ns.
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    tc.record(i, 1000 * i, "publish");
+    tc.record(i, 1000 * i + 5 * i, "rx", "hop");
+    tc.finish(i, 1000 * i + 10 * i, "deliver");
+  }
+  const TraceCollectorStats stats = tc.stats();
+  EXPECT_EQ(stats.sampled, 8u);
+  EXPECT_EQ(stats.finished, 8u);
+  EXPECT_EQ(stats.evicted, 4u);  // 8 finished - ring of 4
+
+  const std::vector<Trace> completed = tc.completed();
+  ASSERT_EQ(completed.size(), 4u);
+  // Oldest-first ring holding the most recent 4 (keys 5..8).
+  EXPECT_EQ(completed.front().key, 5u);
+  EXPECT_EQ(completed.back().key, 8u);
+  ASSERT_EQ(completed.back().events.size(), 2u);
+  EXPECT_EQ(completed.back().events[0].stage, "publish");
+  EXPECT_EQ(completed.back().events[1].stage, "rx");
+  EXPECT_EQ(completed.back().outcome, "deliver");
+
+  const std::vector<Trace> slow = tc.slowest();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].key, 8u);  // worst first: 80ns then 70ns
+  EXPECT_EQ(slow[1].key, 7u);
+  EXPECT_EQ(slow[0].duration_ns(), 80u);
+
+  const std::string json = tc.to_json();
+  EXPECT_NE(json.find("\"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"slowest\""), std::string::npos);
+  EXPECT_NE(json.find("\"deliver\""), std::string::npos);
+}
+
+TEST(TraceCollector, OpenTraceCapTruncatesOldest) {
+  TraceCollectorConfig cfg;
+  cfg.sample_every = 1;
+  cfg.max_open = 4;
+  TraceCollector tc(cfg);
+  for (std::uint64_t i = 1; i <= 6; ++i) tc.record(i, i, "publish");
+  EXPECT_EQ(tc.open_count(), 4u);
+  EXPECT_EQ(tc.stats().truncated, 2u);
+  // A truncated trace is closed; finishing it again is a no-op.
+  tc.finish(1, 100, "deliver");
+  EXPECT_EQ(tc.stats().finished, 0u);
+}
+
+TEST(TraceCollector, UnsampledKeysRecordNothing) {
+  TraceCollectorConfig cfg;
+  cfg.sample_every = 16;
+  TraceCollector tc(cfg);
+  std::uint64_t sampled_key = 0;
+  std::uint64_t unsampled_key = 0;
+  for (std::uint64_t k = 1; k < 1000; ++k) {
+    if (tc.sampled(k) && sampled_key == 0) sampled_key = k;
+    if (!tc.sampled(k) && unsampled_key == 0) unsampled_key = k;
+  }
+  ASSERT_NE(sampled_key, 0u);
+  ASSERT_NE(unsampled_key, 0u);
+  tc.record(unsampled_key, 1, "publish");
+  tc.finish(unsampled_key, 2, "deliver");
+  EXPECT_EQ(tc.stats().sampled, 0u);
+  tc.record(sampled_key, 1, "publish");
+  EXPECT_EQ(tc.stats().sampled, 1u);
+}
+
+// -- FnClock -----------------------------------------------------------------
+
+TEST(Clock, FnClockReadsInjectedSource) {
+  std::uint64_t t = 42;
+  const FnClock clock([&t] { return t; });
+  EXPECT_EQ(clock.now_ns(), 42u);
+  t = 99;
+  EXPECT_EQ(clock.now_ns(), 99u);
+  EXPECT_GT(steady_clock().now_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace waku::obs
+
+namespace waku::rln {
+namespace {
+
+// -- Striped nullifier log: aggregated stats (satellite fix) -----------------
+
+TEST(NullifierLogStats, BucketSizesAggregateAcrossStripes) {
+  NullifierLog log;
+  // 5 epochs x 40 nullifiers: epochs spread over all 16 lock stripes.
+  std::size_t expected_entries = 0;
+  for (std::uint64_t epoch = 100; epoch < 105; ++epoch) {
+    for (std::uint64_t n = 0; n < 40; ++n) {
+      sss::Share share{ff::Fr::from_u64(n + 1), ff::Fr::from_u64(epoch)};
+      EXPECT_EQ(
+          log.observe(epoch, ff::Fr::from_u64(epoch * 1000 + n), share).outcome,
+          NullifierLog::Outcome::kNew);
+      ++expected_entries;
+    }
+  }
+  const NullifierLog::Stats stats = log.stats();
+  EXPECT_EQ(stats.entries, expected_entries);
+  EXPECT_EQ(stats.buckets, 5u);
+  EXPECT_EQ(stats.min_epoch, 100u);
+
+  // bucket_sizes must see every stripe, and its sum must equal the
+  // entry count (the pre-fix bug: only stripe 0 was walked).
+  const auto buckets = log.bucket_sizes();
+  ASSERT_EQ(buckets.size(), 5u);
+  std::size_t sum = 0;
+  for (const auto& [epoch, size] : buckets) {
+    EXPECT_EQ(size, 40u) << "epoch " << epoch;
+    sum += size;
+  }
+  EXPECT_EQ(sum, stats.entries);
+
+  // Contention counters: single-threaded traffic acquires but never
+  // contends; the per-stripe view sums to the hot-path acquisitions.
+  const auto stripes = log.stripe_contention();
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  for (const auto& s : stripes) {
+    acquisitions += s.acquisitions;
+    contended += s.contended;
+  }
+  EXPECT_GE(acquisitions, static_cast<std::uint64_t>(expected_entries));
+  EXPECT_EQ(contended, 0u);
+  EXPECT_EQ(stats.stripe_contended, 0u);
+}
+
+// -- Node-level exposition and spans -----------------------------------------
+
+HarnessConfig obs_config(std::uint32_t sample_every) {
+  HarnessConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.degree = 2;
+  cfg.block_interval_ms = 2'000;
+  cfg.node.tree_depth = 10;
+  cfg.node.validator.epoch.epoch_length_ms = 5'000;
+  cfg.node.validator.max_epoch_gap = 2;
+  cfg.node.obs.trace.sample_every = sample_every;
+  cfg.seed = 0x0B5;
+  return cfg;
+}
+
+TEST(NodeObservability, SampledTraceCoversPublishToDeliver) {
+  RlnHarness h(obs_config(/*sample_every=*/1));
+  h.register_all();
+  h.run_ms(5'000);
+  ASSERT_EQ(h.node(0).try_publish(to_bytes("traced hello")),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  h.run_ms(10'000);
+  EXPECT_EQ(h.total_delivered(), h.size());
+
+  // Per-node rings merge by trace key into one cross-node view: the
+  // publisher contributes the publish span, every receiver an
+  // rx -> verdict -> deliver chain. All nodes agreed to sample it
+  // (the decision is a pure function of the content-derived key).
+  std::set<std::string> stages;
+  std::size_t finished_nodes = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    for (const obs::Trace& t : h.node(i).tracer().completed()) {
+      for (const obs::TraceEvent& ev : t.events) stages.insert(ev.stage);
+      if (t.outcome == "deliver") ++finished_nodes;
+    }
+  }
+  EXPECT_TRUE(stages.contains("publish"));
+  EXPECT_TRUE(stages.contains("rx"));
+  EXPECT_TRUE(stages.contains("verdict"));
+  EXPECT_TRUE(stages.contains("deliver"));
+  EXPECT_EQ(finished_nodes, h.size());  // every node closed its span
+
+  const obs::TraceCollectorStats stats = h.node(1).tracer().stats();
+  EXPECT_GE(stats.sampled, 1u);
+  EXPECT_GE(stats.finished, 1u);
+}
+
+TEST(NodeObservability, MetricsTextExposesPipelineAndExecutorFamilies) {
+  RlnHarness h(obs_config(/*sample_every=*/1));
+  h.register_all();
+  h.run_ms(5'000);
+  ASSERT_EQ(h.node(0).try_publish(to_bytes("measured hello")),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  h.run_ms(10'000);
+
+  const std::string text = h.node(1).metrics_text();
+  // Stage latency histograms with per-shard labels (registry-rendered).
+  EXPECT_NE(text.find("# TYPE waku_pipeline_stage_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage=\"epoch_gate\""), std::string::npos);
+  EXPECT_NE(text.find("stage=\"root_check\""), std::string::npos);
+  EXPECT_NE(text.find("waku_pipeline_validate_seconds"), std::string::npos);
+  // p50/p95/p99 quantile gauges per stage and shard.
+  EXPECT_NE(text.find("waku_pipeline_stage_quantile_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  // Verdict-reason counters and executor lane families.
+  EXPECT_NE(text.find("waku_pipeline_verdicts_total"), std::string::npos);
+  EXPECT_NE(text.find("reason=\"accept\""), std::string::npos);
+  EXPECT_NE(text.find("waku_executor_queue_wait_seconds"), std::string::npos);
+  EXPECT_NE(text.find("waku_executor_service_seconds"), std::string::npos);
+  EXPECT_NE(text.find("waku_executor_lane_depth_high_watermark"),
+            std::string::npos);
+  // Nullifier-log and trace families.
+  EXPECT_NE(text.find("waku_nullifier_log_entries"), std::string::npos);
+  EXPECT_NE(text.find("waku_nullifier_log_stripe_acquisitions_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("waku_trace_sampled_total"), std::string::npos);
+
+  const std::string json = h.node(1).metrics_json();
+  EXPECT_NE(json.find("\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"executor_lanes\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry\""), std::string::npos);
+
+  // The coherent snapshot matches what exposition rendered from.
+  const NodeTelemetrySnapshot snap = h.node(1).telemetry_snapshot();
+  EXPECT_GE(snap.pipeline.accepted, 1u);
+  EXPECT_GE(snap.node.delivered, 1u);
+  EXPECT_EQ(snap.per_shard.size(), 1u);
+
+  // Epoch-boundary health snapshots accumulated (bounded JSON lines).
+  ASSERT_FALSE(h.node(1).health_log().empty());
+  EXPECT_NE(h.node(1).health_log().back().find("\"epoch\""),
+            std::string::npos);
+  EXPECT_NE(h.node(1).health_log().back().find("\"delivered\""),
+            std::string::npos);
+}
+
+TEST(NodeObservability, TelemetryOnRunsStayDeterministic) {
+  // Two identical runs with telemetry + full tracing must produce
+  // byte-identical exposition: every recorded latency flows through the
+  // virtual clock, so the histograms are pure functions of the seed.
+  auto run = [] {
+    RlnHarness h(obs_config(/*sample_every=*/1));
+    h.register_all();
+    h.run_ms(5'000);
+    EXPECT_EQ(h.node(0).try_publish(to_bytes("deterministic")),
+              WakuRlnRelayNode::PublishStatus::kOk);
+    h.run_ms(10'000);
+    return h.node(2).metrics_text() + h.node(2).metrics_json();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(NodeObservability, DisabledTelemetryKeepsCountersButNoStageSeries) {
+  HarnessConfig cfg = obs_config(/*sample_every=*/0);
+  cfg.node.obs.enabled = false;
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(5'000);
+  ASSERT_EQ(h.node(0).try_publish(to_bytes("unmeasured hello")),
+            WakuRlnRelayNode::PublishStatus::kOk);
+  h.run_ms(10'000);
+  EXPECT_EQ(h.total_delivered(), h.size());
+
+  EXPECT_EQ(h.node(1).obs_clock(), nullptr);
+  EXPECT_TRUE(h.node(1).health_log().empty());
+  const std::string text = h.node(1).metrics_text();
+  // The always-cheap counters still render...
+  EXPECT_NE(text.find("waku_node_delivered_total"), std::string::npos);
+  EXPECT_NE(text.find("waku_pipeline_verdicts_total"), std::string::npos);
+  // ...but no stage histograms were ever registered or recorded.
+  EXPECT_EQ(text.find("waku_pipeline_stage_seconds_bucket"),
+            std::string::npos);
+  EXPECT_EQ(h.node(1).tracer().stats().sampled, 0u);
+}
+
+}  // namespace
+}  // namespace waku::rln

@@ -310,6 +310,41 @@ TEST(ShardLoadTracker, BalancedLoadRecommendsNothing) {
   EXPECT_EQ(rec.target_shards, 4);
 }
 
+TEST(ShardLoadTracker, LatencyPressureAloneRecommendsReshard) {
+  // The node feeds each shard's p95 whole-window validation latency from
+  // its pipeline latency histograms (rln/node.cpp upkeep tick). A shard
+  // past the p95 budget must trip the recommendation even when its
+  // throughput fits comfortably inside the msgs/sec budget.
+  ShardLoadTracker::Config cfg;
+  cfg.overload_msgs_per_sec = 1'000.0;  // throughput nowhere near the cap
+  cfg.p95_budget_ms = 250.0;
+  ShardLoadTracker tracker(cfg);
+  const ShardMap map(4, 0);
+  for (const ShardId s : map.all_shards()) {
+    tracker.record(s, 0, 10, 0, /*p95_validate_ms=*/0.0);
+    // Shard 2's Groth16 windows run slow (400ms p95); the rest are fine.
+    tracker.record(s, 100, 10, 10'000, s == 2 ? 400.0 : 30.0);
+  }
+  EXPECT_DOUBLE_EQ(tracker.p95_validate_ms(2), 400.0);
+  EXPECT_DOUBLE_EQ(tracker.p95_validate_ms(0), 30.0);
+
+  const RebalanceRecommendation rec = tracker.recommend(map);
+  EXPECT_TRUE(rec.reshard_recommended);
+  EXPECT_DOUBLE_EQ(rec.max_p95_validate_ms, 400.0);
+  EXPECT_NE(rec.reason.find("latency"), std::string::npos);
+  EXPECT_NE(rec.to_json().find("\"max_p95_validate_ms\": 400.00"),
+            std::string::npos);
+
+  // Telemetry not wired (p95 == 0 everywhere) must never trip the
+  // latency trigger — 0 means "unknown", not "instant".
+  ShardLoadTracker cold(cfg);
+  for (const ShardId s : map.all_shards()) {
+    cold.record(s, 0, 10, 0);
+    cold.record(s, 100, 10, 10'000);
+  }
+  EXPECT_FALSE(cold.recommend(map).reshard_recommended);
+}
+
 // -- Node-level cutover ------------------------------------------------------
 
 rln::HarnessConfig reshard_harness_config() {
