@@ -7,13 +7,19 @@
 // exposition format (HELP/TYPE pairing, monotone histogram buckets, no
 // duplicate families). Operators use it the same way:
 //
-//   ./build/example_metrics_dump            # Prometheus text
-//   ./build/example_metrics_dump --json     # the same data as JSON
-//   ./build/example_metrics_dump --traces   # sampled lifecycle spans
+//   ./build/example_metrics_dump               # Prometheus text
+//   ./build/example_metrics_dump --json        # the same data as JSON
+//   ./build/example_metrics_dump --traces      # sampled lifecycle spans
+//   ./build/example_metrics_dump --fleet       # cross-node fleet timeline
+//   ./build/example_metrics_dump --postmortem  # flight-recorder black box
+//
+// The JSON shapes (--json / --fleet / --postmortem) are linted with
+// scripts/check_metrics_format.py --json.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "obs/fleet.hpp"
 #include "rln/harness.hpp"
 
 using namespace waku;  // NOLINT
@@ -21,6 +27,9 @@ using namespace waku;  // NOLINT
 int main(int argc, char** argv) {
   const bool want_json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   const bool want_traces = argc > 1 && std::strcmp(argv[1], "--traces") == 0;
+  const bool want_fleet = argc > 1 && std::strcmp(argv[1], "--fleet") == 0;
+  const bool want_postmortem =
+      argc > 1 && std::strcmp(argv[1], "--postmortem") == 0;
 
   rln::HarnessConfig cfg;
   cfg.num_nodes = 3;
@@ -53,6 +62,19 @@ int main(int argc, char** argv) {
     std::printf("%s\n", net.node(0).metrics_json().c_str());
   } else if (want_traces) {
     std::printf("%s\n", net.node(0).tracer().to_json().c_str());
+  } else if (want_fleet) {
+    // The cross-node aggregation path a deployment's scrape loop runs:
+    // one health sample per node per epoch, folded into fleet rows.
+    obs::FleetAggregator fleet;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      fleet.ingest(net.node(i).health_sample());
+    }
+    fleet.close_epoch(net.node(0).current_epoch());
+    std::printf("%s\n", fleet.timeline_json().c_str());
+  } else if (want_postmortem) {
+    std::printf(
+        "%s\n",
+        net.node(0).flight_recorder().postmortem_json("metrics-dump").c_str());
   } else {
     std::fputs(net.node(0).metrics_text().c_str(), stdout);
   }

@@ -117,8 +117,33 @@ def telemetry_overhead_metrics(doc):
         "telemetry_overhead.tracing_fraction": doc.get(
             "overhead_tracing_fraction"
         ),
+        "telemetry_overhead.recorder_fraction": doc.get(
+            "overhead_recorder_fraction"
+        ),
         "telemetry_overhead.msgs_per_sec.off": doc.get(
             "telemetry_off_msgs_per_sec"
+        ),
+    }
+
+
+def operator_loop_metrics(doc):
+    """BENCH_operator_loop.json: {campaign: {operator_triggered, converged,
+    honest_delivery, quota_double_deliveries, ...}}."""
+    if not isinstance(doc, dict) or "campaign" not in doc:
+        return {}
+    campaign = doc["campaign"]
+    return {
+        # Booleans as 0/1 ratios: a fleet whose operator stops triggering
+        # or converging regresses by 100%, far past any tolerance.
+        "operator_loop.triggered": float(
+            bool(campaign.get("operator_triggered"))
+        ),
+        "operator_loop.converged": float(bool(campaign.get("converged"))),
+        "operator_loop.honest_delivery": campaign.get("honest_delivery"),
+        # Hard-capped at 0: a single double-delivery through the
+        # operator's own cutover is a broken rate-limit domain.
+        "operator_loop.quota_double_deliveries": float(
+            campaign.get("quota_double_deliveries", 0)
         ),
     }
 
@@ -168,6 +193,8 @@ ABSOLUTE_ONLY = (".msgs_per_sec",)
 HARD_CAPS = {
     "telemetry_overhead.on_fraction": 0.03,
     "telemetry_overhead.tracing_fraction": 0.03,
+    "telemetry_overhead.recorder_fraction": 0.03,
+    "operator_loop.quota_double_deliveries": 0.0,
 }
 
 EXTRACTORS = {
@@ -176,6 +203,7 @@ EXTRACTORS = {
     "BENCH_reshard.json": reshard_metrics,
     "BENCH_parallel_validation.json": parallel_validation_metrics,
     "BENCH_telemetry_overhead.json": telemetry_overhead_metrics,
+    "BENCH_operator_loop.json": operator_loop_metrics,
 }
 
 

@@ -4,6 +4,10 @@
 Usage:
     ./build/example_metrics_dump | scripts/check_metrics_format.py
     scripts/check_metrics_format.py metrics.txt
+    ./build/example_metrics_dump --json | scripts/check_metrics_format.py --json
+    ./build/example_metrics_dump --fleet | scripts/check_metrics_format.py --json
+    ./build/example_metrics_dump --postmortem | \\
+        scripts/check_metrics_format.py --json
 
 Validates the text format WakuRlnRelayNode::metrics_text() emits
 (src/obs/telemetry.cpp PrometheusWriter + registry exposition):
@@ -19,11 +23,20 @@ Validates the text format WakuRlnRelayNode::metrics_text() emits
   * counter families end in _total (or are histogram components);
   * histogram bucket `le` values are sorted and cumulative counts are
     monotone, closing with le="+Inf" == _count, per labelset;
+  * every histogram labelset carries a _sum series (dashboards compute
+    rates from _sum/_count; a bucket-only family breaks them);
   * values parse as numbers (integers or %g floats).
+
+With --json the input is instead one of the structured dumps — a
+metrics_json() object, a fleet timeline array (FleetAggregator
+timeline_json / the verdict's fleet_timeline), or a flight-recorder
+postmortem — recognized by shape and checked structurally (required
+keys, ratio ranges, ring accounting).
 
 Only the Python standard library is used (CI runs it with no venv).
 """
 
+import json
 import re
 import sys
 
@@ -52,9 +65,114 @@ def parse_value(raw):
     return float(raw)
 
 
+def check_fleet_timeline(rows, errors, where="fleet timeline"):
+    """One FleetEpochSeries row per epoch, ratios in range, epochs
+    ascending."""
+    required = (
+        "epoch", "nodes_reporting", "honest_delivery_ratio",
+        "containment_ratio", "p95_spread_ms", "total_log_entries",
+    )
+    prev_epoch = None
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append("%s row %d: not an object" % (where, i))
+            continue
+        for key in required:
+            if key not in row:
+                errors.append("%s row %d: missing %s" % (where, i, key))
+        for ratio in ("honest_delivery_ratio", "containment_ratio"):
+            value = row.get(ratio)
+            if value is not None and not 0.0 <= value <= 1.0:
+                errors.append(
+                    "%s row %d: %s=%r out of [0,1]" % (where, i, ratio, value)
+                )
+        epoch = row.get("epoch")
+        if prev_epoch is not None and epoch is not None and epoch <= prev_epoch:
+            errors.append("%s row %d: epochs not ascending" % (where, i))
+        prev_epoch = epoch
+
+
+def check_postmortem(doc, errors):
+    """FlightRecorder::postmortem_json: ring accounting must be coherent."""
+    for key in ("reason", "recorded", "evicted", "events"):
+        if key not in doc:
+            errors.append("postmortem: missing %s" % key)
+    events = doc.get("events", [])
+    if not isinstance(events, list):
+        errors.append("postmortem: events is not an array")
+        events = []
+    recorded = doc.get("recorded", 0)
+    evicted = doc.get("evicted", 0)
+    if recorded - evicted != len(events):
+        errors.append(
+            "postmortem: recorded %r - evicted %r != %d ring events"
+            % (recorded, evicted, len(events))
+        )
+    for i, ev in enumerate(events):
+        for key in ("at_ns", "epoch", "kind", "detail"):
+            if not isinstance(ev, dict) or key not in ev:
+                errors.append("postmortem event %d: missing %s" % (i, key))
+
+
+def check_metrics_json(doc, errors):
+    """WakuRlnRelayNode::metrics_json: every section present, the embedded
+    self-fleet timeline well-formed."""
+    for key in ("node", "pipeline", "operator", "fleet", "registry"):
+        if key not in doc:
+            errors.append("metrics_json: missing section %s" % key)
+    operator = doc.get("operator", {})
+    for key in ("decisions", "flight_recorded", "anomalies_fired"):
+        if key not in operator:
+            errors.append("metrics_json: operator section missing %s" % key)
+    fleet = doc.get("fleet", [])
+    if not isinstance(fleet, list):
+        errors.append("metrics_json: fleet is not a timeline array")
+    else:
+        check_fleet_timeline(fleet, errors, where="metrics_json fleet")
+
+
+def json_main(argv):
+    if argv:
+        with open(argv[0], "r", encoding="utf-8") as f:
+            raw = f.read()
+    else:
+        raw = sys.stdin.read()
+    errors = []
+    try:
+        doc = json.loads(raw)
+    except ValueError as exc:
+        print("metrics json check FAILED:\n  * not valid JSON: %s" % exc)
+        return 1
+
+    if isinstance(doc, list):
+        shape = "fleet timeline (%d rows)" % len(doc)
+        check_fleet_timeline(doc, errors)
+    elif isinstance(doc, dict) and "events" in doc:
+        shape = "postmortem (%d events)" % len(doc.get("events") or [])
+        check_postmortem(doc, errors)
+    elif isinstance(doc, dict) and "registry" in doc:
+        shape = "metrics_json (%d sections)" % len(doc)
+        check_metrics_json(doc, errors)
+    else:
+        errors.append("unrecognized JSON shape (not a timeline, "
+                      "postmortem, or metrics_json dump)")
+        shape = "?"
+
+    if errors:
+        print("metrics json check FAILED:")
+        for e in errors:
+            print("  * " + e)
+        return 1
+    print("metrics json check passed: %s" % shape)
+    return 0
+
+
 def main():
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "r", encoding="utf-8") as f:
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--json":
+        return json_main(argv[1:])
+    if argv:
+        with open(argv[0], "r", encoding="utf-8") as f:
             lines = f.read().splitlines()
     else:
         lines = sys.stdin.read().splitlines()
@@ -65,6 +183,8 @@ def main():
     samples_seen = 0
     # (family, labels-without-le) -> list of (le, cumulative) in order.
     buckets = {}
+    # (family, labels) that emitted a _sum series.
+    sums = set()
     # (family+suffix, labels) duplicates.
     seen_series = set()
 
@@ -162,6 +282,8 @@ def main():
             buckets.setdefault((family, rest), []).append(
                 (lineno, None, value)
             )
+        elif kind == "histogram" and sample_name.endswith("_sum"):
+            sums.add((family, tuple(sorted(labels.items()))))
 
     # Histogram structure: per labelset, le ascending, counts monotone,
     # +Inf present and equal to _count.
@@ -184,6 +306,8 @@ def main():
                 "histogram %s: +Inf bucket %.0f != _count %.0f"
                 % (where, les[-1][1], counts[0])
             )
+        if (family, rest) not in sums:
+            errors.append("histogram %s: missing _sum series" % where)
 
     for name in types:
         if name not in helps:

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "clock.hpp"
+#include "recorder.hpp"
 #include "trace.hpp"
 
 namespace waku::obs {
@@ -22,6 +23,12 @@ struct ObsConfig {
   // Ring of epoch-boundary health snapshots (JSON lines) kept in
   // memory for operators; see WakuRlnRelayNode::health_log().
   std::size_t health_log_capacity = 64;
+
+  // Flight-recorder ring of structured lifecycle events (reshard phase
+  // transitions, slashes, backpressure rejects, anomaly firings,
+  // operator decisions); dumped as a postmortem JSON on any anomaly
+  // firing or crash-restart. Gated by `enabled` like everything else.
+  FlightRecorderConfig recorder;
 
   // Clock override. nullptr = the node derives time from its own
   // environment: sim-driven nodes wrap the network's virtual clock

@@ -1,0 +1,253 @@
+#include "obs/fleet.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
+
+namespace waku::obs {
+
+namespace {
+
+void field_u64(std::string& out, const char* name, std::uint64_t v,
+               bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64 "%s", name, v,
+                last ? "" : ",");
+  out += buf;
+}
+
+void field_f(std::string& out, const char* name, double v,
+             bool last = false) {
+  out += "\"";
+  out += name;
+  out += "\":";
+  out += format_double(v);
+  if (!last) out += ",";
+}
+
+}  // namespace
+
+std::string FleetEpochSeries::to_json() const {
+  std::string out = "{";
+  field_u64(out, "epoch", epoch);
+  field_u64(out, "nodes_reporting", nodes_reporting);
+  field_f(out, "honest_delivery_ratio", honest_delivery_ratio);
+  field_f(out, "containment_ratio", containment_ratio);
+  field_f(out, "containment_drift", containment_drift);
+  field_f(out, "p95_spread_ms", p95_spread_ms);
+  field_f(out, "max_p95_ms", max_p95_ms);
+  field_f(out, "quota_saturation", quota_saturation);
+  field_u64(out, "total_log_entries", total_log_entries);
+  field_f(out, "log_growth_per_epoch", log_growth_per_epoch);
+  field_u64(out, "executor_rejected", executor_rejected, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+void FleetAggregator::ingest(NodeHealthSample sample) {
+  pending_.push_back(std::move(sample));
+}
+
+const FleetEpochSeries* FleetAggregator::close_epoch(std::uint64_t epoch) {
+  if (pending_.empty()) return nullptr;
+
+  FleetEpochSeries row;
+  row.epoch = epoch;
+  row.nodes_reporting = pending_.size();
+
+  std::uint64_t honest_delivered = 0;
+  std::uint64_t honest_ideal = 0;
+  std::uint64_t spam_sent = 0;
+  std::uint64_t spam_delivered = 0;
+  double saturation_sum = 0.0;
+  double min_p95 = 0.0;
+  double max_p95 = 0.0;
+  bool any_p95 = false;
+  for (const NodeHealthSample& s : pending_) {
+    honest_delivered += s.honest_delivered;
+    honest_ideal += s.honest_ideal;
+    spam_sent += s.spam_sent;
+    spam_delivered += s.spam_delivered;
+    row.total_log_entries += s.log_entries;
+    row.executor_rejected += s.executor_rejected;
+    saturation_sum += s.quota_saturation;
+    for (const ShardHealth& sh : s.shards) {
+      if (sh.p95_validate_ms <= 0.0) continue;  // shard never reported
+      if (!any_p95) {
+        min_p95 = max_p95 = sh.p95_validate_ms;
+        any_p95 = true;
+      } else {
+        min_p95 = std::min(min_p95, sh.p95_validate_ms);
+        max_p95 = std::max(max_p95, sh.p95_validate_ms);
+      }
+    }
+  }
+  if (honest_ideal > 0) {
+    row.honest_delivery_ratio = static_cast<double>(honest_delivered) /
+                                static_cast<double>(honest_ideal);
+  }
+  if (spam_sent > 0) {
+    row.containment_ratio = 1.0 - static_cast<double>(spam_delivered) /
+                                      static_cast<double>(spam_sent);
+  }
+  if (any_p95) {
+    row.p95_spread_ms = max_p95 - min_p95;
+    row.max_p95_ms = max_p95;
+  }
+  row.quota_saturation =
+      saturation_sum / static_cast<double>(row.nodes_reporting);
+  if (!history_.empty()) {
+    const FleetEpochSeries& prev = history_.back();
+    row.containment_drift = prev.containment_ratio - row.containment_ratio;
+    row.log_growth_per_epoch =
+        static_cast<double>(row.total_log_entries) -
+        static_cast<double>(prev.total_log_entries);
+  }
+  pending_.clear();
+  history_.push_back(row);
+  while (history_.size() > config_.history) {
+    history_.erase(history_.begin());
+  }
+  return &history_.back();
+}
+
+std::string FleetAggregator::to_prometheus() const {
+  if (history_.empty()) return {};
+  const FleetEpochSeries& row = history_.back();
+  PrometheusWriter w;
+  w.help_type("waku_fleet_epoch", "gauge", "Epoch of the latest fleet row");
+  w.gauge("waku_fleet_epoch", "", static_cast<double>(row.epoch));
+  w.help_type("waku_fleet_nodes_reporting", "gauge",
+              "Nodes scraped into the latest fleet row");
+  w.gauge("waku_fleet_nodes_reporting", "",
+          static_cast<double>(row.nodes_reporting));
+  w.help_type("waku_fleet_honest_delivery_ratio", "gauge",
+              "Cross-node honest delivered/ideal (1 when ideal unknown)");
+  w.gauge("waku_fleet_honest_delivery_ratio", "", row.honest_delivery_ratio);
+  w.help_type("waku_fleet_containment_ratio", "gauge",
+              "1 - spam delivered/sent across the fleet");
+  w.gauge("waku_fleet_containment_ratio", "", row.containment_ratio);
+  w.help_type("waku_fleet_containment_drift", "gauge",
+              "Containment change vs the previous epoch (positive = worse)");
+  w.gauge("waku_fleet_containment_drift", "", row.containment_drift);
+  w.help_type("waku_fleet_p95_spread_seconds", "gauge",
+              "Max - min per-shard validate p95 across nodes");
+  w.gauge("waku_fleet_p95_spread_seconds", "", row.p95_spread_ms * 1e-3);
+  w.help_type("waku_fleet_p95_max_seconds", "gauge",
+              "Worst per-shard validate p95 across nodes");
+  w.gauge("waku_fleet_p95_max_seconds", "", row.max_p95_ms * 1e-3);
+  w.help_type("waku_fleet_quota_saturation", "gauge",
+              "Mean fraction of per-shard publish quota consumed");
+  w.gauge("waku_fleet_quota_saturation", "", row.quota_saturation);
+  w.help_type("waku_fleet_log_entries", "gauge",
+              "Total nullifier-log entries across the fleet");
+  w.gauge("waku_fleet_log_entries", "",
+          static_cast<double>(row.total_log_entries));
+  w.help_type("waku_fleet_log_growth_per_epoch", "gauge",
+              "Fleet nullifier-log entry delta vs the previous epoch");
+  w.gauge("waku_fleet_log_growth_per_epoch", "", row.log_growth_per_epoch);
+  w.help_type("waku_fleet_executor_rejected_total", "counter",
+              "Backpressure-rejected windows across the fleet");
+  w.counter("waku_fleet_executor_rejected_total", "", row.executor_rejected);
+  return w.text();
+}
+
+std::string FleetAggregator::timeline_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += history_[i].to_json();
+  }
+  out += "]";
+  return out;
+}
+
+// -- AnomalyEngine ------------------------------------------------------------
+
+const char* anomaly_rule_name(AnomalyRule rule) {
+  switch (rule) {
+    case AnomalyRule::kDeliverySloBurn:
+      return "delivery_slo_burn";
+    case AnomalyRule::kP95BudgetBreach:
+      return "p95_budget_breach";
+    case AnomalyRule::kContainmentRegression:
+      return "containment_regression";
+    case AnomalyRule::kMemorySlope:
+      return "memory_slope";
+  }
+  return "unknown";
+}
+
+std::string AnomalyVerdict::to_json() const {
+  std::string out = "{\"rule\":\"";
+  out += anomaly_rule_name(rule);
+  out += "\",";
+  field_u64(out, "epoch", epoch);
+  out += std::string("\"firing\":") + (firing ? "true" : "false") + ",";
+  out += std::string("\"changed\":") + (changed ? "true" : "false") + ",";
+  field_f(out, "observed", observed);
+  field_f(out, "threshold", threshold, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+AnomalyVerdict AnomalyEngine::step(AnomalyRule rule, std::uint64_t epoch,
+                                   bool bad, double observed,
+                                   double threshold) {
+  RuleState& st = rules_[static_cast<std::size_t>(rule)];
+  if (bad) {
+    ++st.consecutive_bad;
+    st.consecutive_good = 0;
+  } else {
+    ++st.consecutive_good;
+    st.consecutive_bad = 0;
+  }
+  bool changed = false;
+  if (!st.firing && st.consecutive_bad >= config_.trip_epochs) {
+    st.firing = true;
+    changed = true;
+    ++fired_total_;
+  } else if (st.firing && st.consecutive_good >= config_.clear_epochs) {
+    st.firing = false;
+    changed = true;
+  }
+  AnomalyVerdict v;
+  v.rule = rule;
+  v.epoch = epoch;
+  v.firing = st.firing;
+  v.changed = changed;
+  v.observed = observed;
+  v.threshold = threshold;
+  return v;
+}
+
+std::vector<AnomalyVerdict> AnomalyEngine::evaluate(
+    const FleetEpochSeries& s) {
+  std::vector<AnomalyVerdict> out;
+  out.reserve(kRules);
+  out.push_back(step(AnomalyRule::kDeliverySloBurn, s.epoch,
+                     s.honest_delivery_ratio < config_.delivery_slo,
+                     s.honest_delivery_ratio, config_.delivery_slo));
+  out.push_back(step(AnomalyRule::kP95BudgetBreach, s.epoch,
+                     s.max_p95_ms > config_.p95_budget_ms, s.max_p95_ms,
+                     config_.p95_budget_ms));
+  out.push_back(step(AnomalyRule::kContainmentRegression, s.epoch,
+                     s.containment_ratio < config_.containment_floor,
+                     s.containment_ratio, config_.containment_floor));
+  out.push_back(step(AnomalyRule::kMemorySlope, s.epoch,
+                     s.log_growth_per_epoch > config_.log_growth_cap,
+                     s.log_growth_per_epoch, config_.log_growth_cap));
+  return out;
+}
+
+bool AnomalyEngine::any_firing() const {
+  for (const RuleState& st : rules_) {
+    if (st.firing) return true;
+  }
+  return false;
+}
+
+}  // namespace waku::obs

@@ -1,0 +1,99 @@
+#include "obs/recorder.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace waku::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FlightEvent::to_json() const {
+  char buf[64];
+  std::string out = "{";
+  std::snprintf(buf, sizeof buf, "\"at_ns\":%" PRIu64 ",\"epoch\":%" PRIu64,
+                at_ns, epoch);
+  out += buf;
+  out += ",\"kind\":\"" + json_escape(kind) + "\"";
+  out += ",\"detail\":\"" + json_escape(detail) + "\"}";
+  return out;
+}
+
+void FlightRecorder::record(std::uint64_t at_ns, std::uint64_t epoch,
+                            std::string kind, std::string detail) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(FlightEvent{at_ns, epoch, std::move(kind),
+                              std::move(detail)});
+  ++recorded_;
+  while (ring_.size() > config_.capacity) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::evicted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::string FlightRecorder::postmortem_json(const std::string& reason) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  char buf[64];
+  std::string out = "{\"reason\":\"" + json_escape(reason) + "\",";
+  std::snprintf(buf, sizeof buf,
+                "\"recorded\":%" PRIu64 ",\"evicted\":%" PRIu64 ",", recorded_,
+                evicted_);
+  out += buf;
+  out += "\"events\":[";
+  bool first = true;
+  for (const FlightEvent& ev : ring_) {
+    if (!first) out += ",";
+    first = false;
+    out += ev.to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace waku::obs

@@ -55,7 +55,9 @@ WakuRlnRelayNode::WakuRlnRelayNode(net::Network& network,
               config.validator, config.shards,
               validator_seed(config.shards.generation)),
       reshard_(config.shards),
-      tracer_(config.obs.trace) {
+      load_tracker_(config.load_tracker),
+      tracer_(config.obs.trace),
+      recorder_(config.obs.recorder) {
   group_.set_own_identity(identity_);
   // Before the first hook install: every validator container (this one
   // and every reshard/restore rebuild) is wired through
@@ -295,6 +297,7 @@ void WakuRlnRelayNode::start() {
           // phase transitions): a later cutover's WAL records must
           // replay onto a coordinator that already ended this linger.
           journal(WalTag::kReshardLingerEnd, {});
+          record_flight(current_epoch(), "reshard", "linger_end");
           end_reshard_linger();
         }
         for (const shard::ShardId s : shards_.subscribed()) {
@@ -306,7 +309,23 @@ void WakuRlnRelayNode::start() {
                                shard_p95_validate_ms(s));
         }
         expire_pending_slashes();
-        if (obs_clock_ != nullptr) record_health_snapshot(current_epoch());
+        if (obs_clock_ != nullptr) {
+          const std::uint64_t epoch = current_epoch();
+          record_health_snapshot(epoch);
+          // Backpressure rejects are a lifecycle event, not just a
+          // counter: the per-epoch delta joins the flight ring so a
+          // postmortem shows WHEN the executor started shedding.
+          const std::uint64_t rejected = shards_.executor_stats().rejected;
+          if (rejected > executor_rejected_seen_) {
+            record_flight(epoch, "backpressure",
+                          "rejected_delta=" +
+                              std::to_string(rejected -
+                                             executor_rejected_seen_));
+          }
+          executor_rejected_seen_ = rejected;
+          evaluate_self_anomalies(epoch);
+        }
+        operator_tick();
       });
 
   relay_.start();
@@ -641,6 +660,8 @@ bool WakuRlnRelayNode::begin_reshard(
     return false;
   }
   journal_reshard_phase(shard::ReshardPhase::kAnnounce, 0);
+  record_flight(current_epoch(), "reshard",
+                "phase=announce target=" + std::to_string(target_num_shards));
   return true;
 }
 
@@ -668,8 +689,92 @@ bool WakuRlnRelayNode::advance_reshard() {
   // direction (a node that already acted in a phase must never wake up
   // believing it hadn't; the reverse merely repeats an idempotent setup).
   journal_reshard_phase(to, linger_until_epoch);
+  record_flight(current_epoch(), "reshard",
+                std::string("phase=") + shard::reshard_phase_name(to));
   apply_reshard_transition(to, linger_until_epoch, /*live=*/true);
   return true;
+}
+
+// -- Autonomous operator loop -------------------------------------------------
+
+void WakuRlnRelayNode::journal_operator_decision(std::uint8_t action,
+                                                 std::uint64_t epoch,
+                                                 std::uint16_t target) {
+  ByteWriter w;
+  w.write_u8(action);
+  w.write_u64(epoch);
+  w.write_u16(target);
+  journal(WalTag::kOperatorDecision, w.data());
+}
+
+void WakuRlnRelayNode::operator_tick() {
+  const OperatorConfig& op = config_.operator_loop;
+  if (!op.enabled) return;
+  const std::uint64_t epoch = current_epoch();
+
+  if (reshard_.in_cutover()) {
+    // Dwell in each phase long enough for every peer's own loop (same
+    // epoch cadence, at most one epoch of skew) to reach it — advancing
+    // faster would let this node hit kDrain while a peer is still
+    // announcing, and honest traffic published to the new generation
+    // would miss hosts.
+    if (epoch < operator_phase_entered_epoch_ + op.phase_dwell_epochs) {
+      return;
+    }
+    const char* from = shard::reshard_phase_name(reshard_.phase());
+    // Journal-before-act, same order as the transition itself: a crash
+    // between the two records replays the decision's bookkeeping and
+    // then the phase record; a crash before the phase record replays a
+    // decision whose transition re-fires from the restored phase.
+    journal_operator_decision(/*action=*/1, epoch, 0);
+    operator_phase_entered_epoch_ = epoch;
+    ++operator_decisions_;
+    record_flight(epoch, "operator", std::string("advance from=") + from);
+    advance_reshard();
+    return;
+  }
+  if (reshard_.lingering()) return;
+
+  // Stable: act once the load tracker's recommendation (or the
+  // self-monitor's p95-budget anomaly) holds for trip_epochs consecutive
+  // upkeep ticks and the cooldown since the last begin has passed.
+  const shard::RebalanceRecommendation rec =
+      load_tracker_.recommend(shards_.map());
+  const bool pressure =
+      rec.reshard_recommended ||
+      anomaly_.firing(obs::AnomalyRule::kP95BudgetBreach);
+  if (!pressure) {
+    operator_consecutive_recommend_ = 0;
+    return;
+  }
+  ++operator_consecutive_recommend_;
+  if (operator_consecutive_recommend_ < op.trip_epochs) return;
+  if (operator_last_action_epoch_ != 0 &&
+      epoch < operator_last_action_epoch_ + op.cooldown_epochs) {
+    return;
+  }
+  // A p95-only trigger (recommendation not set) still needs a valid
+  // split target; double the current layout.
+  const std::uint16_t target =
+      rec.reshard_recommended
+          ? rec.target_shards
+          : static_cast<std::uint16_t>(shards_.map().num_shards() * 2);
+  // Without a chooser, fall back to the conservative refinement (each
+  // old home keeps its lowest family member) — always a valid split
+  // subscription, so an un-configured operator still acts.
+  std::vector<shard::ShardId> subscribe =
+      op.subscribe_chooser
+          ? op.subscribe_chooser(target)
+          : shard::refined_subscription(reshard_.current_config(), target);
+  journal_operator_decision(/*action=*/0, epoch, target);
+  operator_last_action_epoch_ = epoch;
+  operator_phase_entered_epoch_ = epoch;
+  operator_consecutive_recommend_ = 0;
+  ++operator_decisions_;
+  record_flight(epoch, "operator",
+                "begin target=" + std::to_string(target) +
+                    " reason=" + rec.reason);
+  begin_reshard(target, std::move(subscribe));
 }
 
 void WakuRlnRelayNode::trigger_slash(const Fr& spammer_sk) {
@@ -698,6 +803,8 @@ void WakuRlnRelayNode::trigger_slash(const Fr& spammer_sk) {
   w.write_raw(ff::u256_to_bytes_be(pending.commitment));
   w.write_u64(pending.commit_epoch);
   journal(WalTag::kSlashCommit, w.data());
+  record_flight(pending.commit_epoch, "slash",
+                "commit index=" + std::to_string(pending.index));
 
   Transaction commit;
   commit.from = config_.account;
@@ -775,6 +882,9 @@ void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
       journal(WalTag::kSlashReveal, j.data());
     }
   } else if (event.name == "MemberSlashed") {
+    record_flight(current_epoch(), "slash",
+                  "member_slashed index=" +
+                      std::to_string(event.topics[0].limb[0]));
     resolve_slash(event.topics[0].limb[0]);
     // The third topic names the rewarded slasher.
     if (event.topics.size() >= 3 &&
@@ -891,6 +1001,73 @@ void WakuRlnRelayNode::record_health_snapshot(std::uint64_t epoch) {
   while (health_log_.size() > config_.obs.health_log_capacity) {
     health_log_.pop_front();
   }
+}
+
+void WakuRlnRelayNode::record_flight(std::uint64_t epoch, const char* kind,
+                                     std::string detail) {
+  // The recorder follows the obs master switch: disabled telemetry means
+  // no clock, and a timestamp-less black box would break the
+  // deterministic byte-identity the recorder promises.
+  if (obs_clock_ == nullptr) return;
+  recorder_.record(obs_clock_->now_ns(), epoch, kind, std::move(detail));
+}
+
+obs::NodeHealthSample WakuRlnRelayNode::health_sample() const {
+  const NodeTelemetrySnapshot t = telemetry_snapshot();
+  obs::NodeHealthSample s;
+  s.node_id = node_id();
+  s.epoch = current_epoch();
+  s.published = t.node.published;
+  s.delivered = t.node.delivered;
+  s.accepted = t.pipeline.accepted;
+  s.spam_detected = t.pipeline.spam_detected;
+  s.log_entries = t.pipeline.log_entries;
+  s.executor_rejected = t.executor.rejected;
+  // Quota saturation: fraction of hosted shards whose 1-msg/epoch honest
+  // quota is already consumed this epoch.
+  std::size_t saturated = 0;
+  for (const shard::ShardId sh : shards_.subscribed()) {
+    const auto it = last_published_epoch_.find(sh);
+    if (it != last_published_epoch_.end() && it->second == s.epoch) {
+      ++saturated;
+    }
+  }
+  if (!shards_.subscribed().empty()) {
+    s.quota_saturation = static_cast<double>(saturated) /
+                         static_cast<double>(shards_.subscribed().size());
+  }
+  for (const shard::ShardId sh : shards_.subscribed()) {
+    s.shards.push_back(obs::ShardHealth{sh, shard_p95_validate_ms(sh)});
+  }
+  return s;
+}
+
+void WakuRlnRelayNode::evaluate_self_anomalies(std::uint64_t epoch) {
+  self_fleet_.ingest(health_sample());
+  const obs::FleetEpochSeries* row = self_fleet_.close_epoch(epoch);
+  if (row == nullptr) return;
+  for (const obs::AnomalyVerdict& v : anomaly_.evaluate(*row)) {
+    if (!v.changed) continue;
+    record_flight(epoch, "anomaly",
+                  std::string(obs::anomaly_rule_name(v.rule)) +
+                      (v.firing ? " firing" : " cleared") +
+                      " observed=" + obs::format_double(v.observed));
+    if (v.firing) {
+      dump_postmortem(std::string("anomaly:") +
+                      obs::anomaly_rule_name(v.rule));
+    }
+  }
+}
+
+void WakuRlnRelayNode::dump_postmortem(const std::string& reason) {
+  last_postmortem_ = recorder_.postmortem_json(reason);
+  if (config_.persist_dir.empty()) return;
+  const std::string path = config_.persist_dir + "/postmortem.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // best-effort: the in-memory copy survives
+  std::fwrite(last_postmortem_.data(), 1, last_postmortem_.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 std::string WakuRlnRelayNode::metrics_text() const {
@@ -1157,8 +1334,26 @@ std::string WakuRlnRelayNode::metrics_text() const {
   w.help_type("waku_trace_open", "gauge", "Spans currently open");
   w.gauge("waku_trace_open", "", static_cast<double>(tracer_.open_count()));
 
-  // The registry renders itself (stage/window latency histograms).
-  return w.text() + telemetry_.to_prometheus();
+  // Operator loop / flight recorder / self-monitor anomalies.
+  const Sample ops_counters[] = {
+      {"waku_operator_decisions_total",
+       "Autonomous operator begin/advance decisions", operator_decisions_},
+      {"waku_flight_events_total",
+       "Lifecycle events recorded to the flight ring", recorder_.recorded()},
+      {"waku_flight_evicted_total",
+       "Flight events dropped off the bounded ring", recorder_.evicted()},
+      {"waku_anomaly_fired_total",
+       "Self-monitor anomaly rule fire transitions", anomaly_.fired_total()},
+  };
+  for (const Sample& s : ops_counters) {
+    w.help_type(s.name, "counter", s.help);
+    w.counter(s.name, "", s.value);
+  }
+
+  // The registry renders itself (stage/window latency histograms); the
+  // single-node fleet view appends its waku_fleet_* families once the
+  // first epoch closed.
+  return w.text() + self_fleet_.to_prometheus() + telemetry_.to_prometheus();
 }
 
 std::string WakuRlnRelayNode::metrics_json() const {
@@ -1258,6 +1453,16 @@ std::string WakuRlnRelayNode::metrics_json() const {
   u64("open", tracer_.open_count(), true);
   out += "},";
 
+  obj("operator");
+  u64("decisions", operator_decisions_);
+  u64("last_action_epoch", operator_last_action_epoch_);
+  u64("consecutive_recommend", operator_consecutive_recommend_);
+  u64("flight_recorded", recorder_.recorded());
+  u64("flight_evicted", recorder_.evicted());
+  u64("anomalies_fired", anomaly_.fired_total(), true);
+  out += "},";
+
+  out += "\"fleet\":" + self_fleet_.timeline_json() + ",";
   out += "\"registry\":" + telemetry_.to_json() + "}";
   return out;
 }
@@ -1277,7 +1482,7 @@ void WakuRlnRelayNode::force_snapshot() {
 
 Bytes WakuRlnRelayNode::serialize_state() const {
   ByteWriter w;
-  w.write_u8(4);  // version 4: + reshard coordinator & next-gen validator
+  w.write_u8(5);  // version 5: + operator-loop bookkeeping
   // The identity secret rides in the snapshot so a restart is
   // self-contained. With keystore_password set it travels sealed under the
   // ChaCha20-Poly1305 keystore (rln/keystore.hpp) — leaking a snapshot
@@ -1336,12 +1541,18 @@ Bytes WakuRlnRelayNode::serialize_state() const {
     w.write_u8(p.revealed ? 1 : 0);
     w.write_u64(p.commit_epoch);
   }
+  // Operator-loop bookkeeping (v5): a restarted node resumes the
+  // cooldown/dwell anchors instead of re-triggering immediately.
+  w.write_u64(operator_last_action_epoch_);
+  w.write_u64(operator_phase_entered_epoch_);
+  w.write_u64(operator_consecutive_recommend_);
+  w.write_u64(operator_decisions_);
   return std::move(w).take();
 }
 
 void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
   ByteReader r(payload);
-  WAKU_EXPECTS(r.read_u8() == 4);
+  WAKU_EXPECTS(r.read_u8() == 5);
   const std::uint8_t sealed = r.read_u8();
   if (sealed == 0) {
     identity_ = Identity::from_secret(Fr::from_bytes_reduce(r.read_raw(32)));
@@ -1420,6 +1631,10 @@ void WakuRlnRelayNode::restore_snapshot(BytesView payload) {
     slashes_in_flight_.insert(p.index);
     pending_slashes_.push_back(std::move(p));
   }
+  operator_last_action_epoch_ = r.read_u64();
+  operator_phase_entered_epoch_ = r.read_u64();
+  operator_consecutive_recommend_ = r.read_u64();
+  operator_decisions_ = r.read_u64();
 }
 
 void WakuRlnRelayNode::apply_wal_record(std::uint8_t type,
@@ -1517,20 +1732,52 @@ void WakuRlnRelayNode::apply_wal_record(std::uint8_t type,
     case WalTag::kReshardLingerEnd:
       end_reshard_linger();
       break;
+    case WalTag::kOperatorDecision: {
+      // Bookkeeping only: the kReshardPhase record journaled right after
+      // this one replays the actual transition, so re-running the
+      // decision here would double-apply it.
+      const std::uint8_t action = r.read_u8();
+      const std::uint64_t epoch = r.read_u64();
+      const std::uint16_t target = r.read_u16();
+      if (action == 0) operator_last_action_epoch_ = epoch;
+      operator_phase_entered_epoch_ = epoch;
+      operator_consecutive_recommend_ = 0;
+      ++operator_decisions_;
+      // Re-seed the (fresh, in-memory) flight ring so a postmortem after
+      // a crash still shows the operator's pre-crash decisions.
+      record_flight(epoch, "operator",
+                    std::string(action == 0 ? "begin" : "advance") +
+                        " target=" + std::to_string(target) +
+                        " (wal replay)");
+      break;
+    }
   }
 }
 
 void WakuRlnRelayNode::restore_from_store() {
+  bool restored = false;
   if (const std::optional<Bytes> snapshot = state_store_->load_snapshot()) {
     restore_snapshot(*snapshot);
+    restored = true;
   }
   // WAL records postdate the snapshot; chain events from the cursor are
   // replayed later (in start()), after which a restored pending slash can
   // meet its SlashCommitted event and resume the reveal.
+  std::size_t wal_records = 0;
   state_store_->replay_wal(
-      [this](std::uint8_t type, std::uint16_t shard, BytesView payload) {
+      [this, &wal_records](std::uint8_t type, std::uint16_t shard,
+                           BytesView payload) {
+        ++wal_records;
         apply_wal_record(type, shard, payload);
       });
+  if (restored || wal_records > 0) {
+    // A prior life existed: this boot is a crash-restart. Record it and
+    // dump the black box (what the replay re-seeded) for the operator.
+    record_flight(current_epoch(), "restart",
+                  "wal_records=" + std::to_string(wal_records) +
+                      " cursor=" + std::to_string(event_cursor_));
+    dump_postmortem("crash-restart");
+  }
 }
 
 Checkpoint WakuRlnRelayNode::make_checkpoint(

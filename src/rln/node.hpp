@@ -41,6 +41,8 @@
 #include "chain/blockchain.hpp"
 #include "chain/rln_contract.hpp"
 #include "obs/config.hpp"
+#include "obs/fleet.hpp"
+#include "obs/recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "persist/state_store.hpp"
 #include "rln/checkpoint.hpp"
@@ -57,6 +59,37 @@ namespace waku::rln {
 /// Default content topic of honest publishes.
 inline const std::string kDefaultContentTopic =
     "/waku/2/default-content/proto";
+
+/// The autonomous operator loop: closes observe -> decide -> act inside
+/// the node's own upkeep tick. While stable it watches
+/// ShardLoadTracker::recommend() (plus the self-monitor AnomalyEngine's
+/// p95-budget signal) and calls begin_reshard() once the recommendation
+/// holds for `trip_epochs` consecutive epochs and the cooldown since the
+/// last action has passed; while a cutover runs it calls
+/// advance_reshard() after dwelling `phase_dwell_epochs` in each phase.
+/// Every decision is journaled to the WAL (kOperatorDecision) before it
+/// acts and recorded to the flight recorder, so a crash-restart resumes
+/// the loop's bookkeeping exactly and a deterministic run is
+/// byte-identical.
+struct OperatorConfig {
+  bool enabled = false;
+  /// Minimum epochs between two operator-initiated reshard begins.
+  std::uint64_t cooldown_epochs = 8;
+  /// Consecutive recommending epochs before begin_reshard fires — the
+  /// hysteresis that keeps one bursty window from splitting the fleet.
+  std::size_t trip_epochs = 2;
+  /// Epochs to dwell in each cutover phase before advancing. Must give
+  /// every peer's own loop time to reach the same phase (their upkeep
+  /// ticks run on the same epoch cadence, so skew is at most one epoch).
+  std::uint64_t phase_dwell_epochs = 2;
+  /// New-generation subscription for an operator-initiated begin; the
+  /// default (unset) subscribes every new shard. Deployments that shard
+  /// hosting across nodes install a per-node chooser
+  /// (set_operator_subscribe_chooser), which survives harness restarts
+  /// via the node hook.
+  std::function<std::vector<shard::ShardId>(std::uint16_t)>
+      subscribe_chooser;
+};
 
 struct NodeConfig {
   std::size_t tree_depth = 20;
@@ -101,6 +134,14 @@ struct NodeConfig {
   /// clock is the node's own virtual time (net::Network::local_time), so
   /// enabling telemetry never perturbs deterministic runs.
   obs::ObsConfig obs;
+
+  /// Load-tracker thresholds feeding recommend(); defaults match the
+  /// historical default-constructed tracker.
+  shard::ShardLoadTracker::Config load_tracker;
+
+  /// The autonomous reshard operator (off by default — existing
+  /// deployments keep driving begin/advance_reshard themselves).
+  OperatorConfig operator_loop;
 };
 
 struct NodeStats {
@@ -254,6 +295,24 @@ class WakuRlnRelayNode {
     return load_tracker_;
   }
 
+  // -- Autonomous operator loop ----------------------------------------------
+
+  /// Installs (or replaces) the per-node new-generation subscription
+  /// chooser the operator loop passes to begin_reshard. Harness-driven
+  /// fleets install it from the node hook so it survives kill/restart.
+  void set_operator_subscribe_chooser(
+      std::function<std::vector<shard::ShardId>(std::uint16_t)> chooser) {
+    config_.operator_loop.subscribe_chooser = std::move(chooser);
+  }
+  /// Operator decisions taken (begin + advance), including WAL-replayed
+  /// ones — a restarted node resumes the count, not restarts it.
+  [[nodiscard]] std::uint64_t operator_decisions() const {
+    return operator_decisions_;
+  }
+  [[nodiscard]] std::uint64_t operator_last_action_epoch() const {
+    return operator_last_action_epoch_;
+  }
+
   /// Overlap-window attacker hook: a valid-proof publish forced onto a
   /// specific generation's mesh (next when `use_next_generation` and a
   /// cutover is running, current otherwise), ignoring the local rate
@@ -345,6 +404,26 @@ class WakuRlnRelayNode {
   /// nullptr when telemetry is disabled.
   [[nodiscard]] const obs::Clock* obs_clock() const { return obs_clock_; }
 
+  /// Bounded ring of structured lifecycle events (reshard transitions,
+  /// slashes, backpressure, anomaly firings, operator decisions).
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const {
+    return recorder_;
+  }
+  /// The most recent postmortem dump ("" until an anomaly fires or a
+  /// crash-restart is detected). Persistent nodes also write it to
+  /// `<persist_dir>/postmortem.json`.
+  [[nodiscard]] const std::string& last_postmortem() const {
+    return last_postmortem_;
+  }
+  /// Self-monitor SLO rules over this node's own per-epoch health rows.
+  [[nodiscard]] const obs::AnomalyEngine& anomaly_engine() const {
+    return anomaly_;
+  }
+  /// This node's health scrape for the current epoch — the generic
+  /// NodeHealthSample a FleetAggregator ingests. The harness-only ground
+  /// truth (honest/spam deliveries) is left 0 for the caller to fill.
+  [[nodiscard]] obs::NodeHealthSample health_sample() const;
+
  private:
   /// WAL record schema (v3). Chain-derived state is NOT journaled — the
   /// chain's event log is authoritative and replayable from the cursor;
@@ -370,6 +449,12 @@ class WakuRlnRelayNode {
     kNullifierNext = 7, ///< observation in the incoming generation's logs
     kCutoverObservation = 8,  ///< shared domain-log entry (old-gen shard tag)
     kReshardLingerEnd = 9,    ///< linger expired: domain dropped, quota re-keyed
+    /// v4 adds the operator loop: every autonomous begin/advance is
+    /// journaled (action, epoch, target) BEFORE the kReshardPhase record
+    /// it causes. Replay updates only the loop's bookkeeping (cooldown /
+    /// dwell anchors) — the following kReshardPhase record performs the
+    /// actual transition, so nothing double-applies.
+    kOperatorDecision = 10,
   };
 
   /// Builds the §III-E message bundle: proof over (sk, path, H(m), epoch).
@@ -466,6 +551,22 @@ class WakuRlnRelayNode {
   [[nodiscard]] double shard_p95_validate_ms(shard::ShardId shard) const;
   /// Appends one JSON health line to health_log_ (upkeep tick).
   void record_health_snapshot(std::uint64_t epoch);
+  /// Appends one lifecycle event to the flight recorder (no-op with
+  /// telemetry disabled — the recorder follows the obs master switch).
+  void record_flight(std::uint64_t epoch, const char* kind,
+                     std::string detail);
+  /// Self-monitor step: folds this epoch's health_sample() through the
+  /// single-node FleetAggregator + AnomalyEngine; fire transitions land
+  /// in the flight recorder and trigger a postmortem dump.
+  void evaluate_self_anomalies(std::uint64_t epoch);
+  /// Renders recorder_.postmortem_json(reason) into last_postmortem_ and,
+  /// for persistent nodes, `<persist_dir>/postmortem.json`.
+  void dump_postmortem(const std::string& reason);
+  /// One operator-loop step per upkeep tick (no-op unless enabled).
+  void operator_tick();
+  /// Journals a kOperatorDecision record (action 0 = begin, 1 = advance).
+  void journal_operator_decision(std::uint8_t action, std::uint64_t epoch,
+                                 std::uint16_t target);
 
   void journal(WalTag tag, BytesView payload, std::uint16_t shard = 0);
   void restore_from_store();
@@ -535,6 +636,23 @@ class WakuRlnRelayNode {
   /// addresses the pipelines hold stable.
   std::map<shard::ShardId, PipelineMetrics> pipeline_metrics_;
   std::deque<std::string> health_log_;  ///< bounded JSON lines, oldest first
+
+  // -- Fleet plane / operator loop (src/obs fleet + recorder) ----------------
+  obs::FlightRecorder recorder_;
+  /// Single-node aggregator + SLO rules over this node's own epoch rows
+  /// (the fleet-wide instance lives in the sim/deployment layer).
+  obs::FleetAggregator self_fleet_;
+  obs::AnomalyEngine anomaly_;
+  std::string last_postmortem_;
+  /// Last executor rejected-counter value seen by upkeep; the delta per
+  /// epoch becomes a backpressure flight event.
+  std::uint64_t executor_rejected_seen_ = 0;
+  /// Operator bookkeeping — journaled (kOperatorDecision) and snapshot
+  /// (state v5), so a crash-restart resumes cooldown/dwell exactly.
+  std::uint64_t operator_last_action_epoch_ = 0;
+  std::uint64_t operator_phase_entered_epoch_ = 0;
+  std::uint64_t operator_consecutive_recommend_ = 0;
+  std::uint64_t operator_decisions_ = 0;
 };
 
 }  // namespace waku::rln

@@ -216,6 +216,13 @@ void ReshardCoordinator::restore(BytesView bytes) {
   }
 }
 
+std::vector<ShardId> refined_subscription(const ShardConfig& current,
+                                          std::uint16_t target_num_shards) {
+  (void)target_num_shards;  // every old home is already a valid new home
+  if (current.subscribe.empty()) return {};  // all shards -> all shards
+  return current.subscribe;
+}
+
 // -- Load-driven rebalancing --------------------------------------------------
 
 void ShardLoadTracker::record(ShardId shard, std::uint64_t accepted_total,

@@ -188,6 +188,17 @@ class ReshardCoordinator {
   std::uint64_t linger_until_epoch_ = 0;
 };
 
+/// The conservative default new-generation subscription for a node whose
+/// operator triggers a reshard without an installed chooser: each
+/// subscribed old home s keeps its lowest family member (new shard s —
+/// valid because s < old N <= target and s mod old N == s). Always
+/// passes begin()'s refinement check; an empty old subscription (= all
+/// shards) maps to an empty new one (= all). Deployments that want the
+/// family spread out across nodes install a per-node chooser instead
+/// (rln::OperatorConfig::subscribe_chooser).
+[[nodiscard]] std::vector<ShardId> refined_subscription(
+    const ShardConfig& current, std::uint16_t target_num_shards);
+
 // -- Load-driven rebalancing --------------------------------------------------
 
 struct RebalanceRecommendation {

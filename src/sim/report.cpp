@@ -71,8 +71,12 @@ std::string ScenarioVerdict::to_json() const {
     out += per_adversary[i].to_json();
   }
   out += "], ";
+  out += "\"fleet_timeline\": " +
+         (fleet_timeline_json.empty() ? std::string("[]")
+                                      : fleet_timeline_json) +
+         ", ";
   // Trailing sentinel keeps the field() helpers uniform.
-  out += "\"schema\": 2}";
+  out += "\"schema\": 3}";
   return out;
 }
 

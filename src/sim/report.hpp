@@ -62,6 +62,13 @@ struct ScenarioVerdict {
   /// each); empty for adversary-free scenarios.
   std::vector<AdversaryVerdict> per_adversary;
 
+  /// Per-epoch fleet-health rows (obs::FleetAggregator::timeline_json):
+  /// honest-delivery ratio, containment drift, p95 spread, quota
+  /// saturation, log growth — the whole campaign's trajectory, not just
+  /// the end-of-run numbers above. A JSON array; "[]" when the scenario
+  /// never sampled an epoch.
+  std::string fleet_timeline_json = "[]";
+
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -30,6 +30,31 @@ void Scenario::sample_if_epoch_turned() {
   if (epoch == last_sampled_epoch_) return;
   last_sampled_epoch_ = epoch;
   probe_.sample(epoch);
+  scrape_fleet(epoch);
+}
+
+void Scenario::scrape_fleet(std::uint64_t epoch) {
+  if (epoch == last_fleet_epoch_) return;
+  last_fleet_epoch_ = epoch;
+  std::uint64_t spam_total = 0;
+  for (const Adversary* adversary : all_adversaries_) {
+    spam_total += adversary->spam_sent();
+  }
+  for (std::size_t i = 0; i < harness_.size(); ++i) {
+    if (is_adversary_slot(i) || !harness_.alive(i)) continue;
+    obs::NodeHealthSample s = harness_.node(i).health_sample();
+    s.epoch = epoch;
+    // Ground truth only the harness knows. Ideal delivery is "every
+    // honest/spam message reaches every honest node", so each node's
+    // share of the fleet-wide ideal is the cumulative sent total — the
+    // aggregator's sums then reproduce the verdict's ratios.
+    s.honest_delivered = probe_.node_honest_delivered(i);
+    s.honest_ideal = honest_sent_;
+    s.spam_delivered = probe_.node_spam_delivered(i);
+    s.spam_sent = spam_total;
+    fleet_.ingest(std::move(s));
+  }
+  fleet_.close_epoch(epoch);
 }
 
 void Scenario::generate_honest_traffic() {
@@ -84,12 +109,11 @@ Report Scenario::run() {
   ran_ = true;
 
   // Who is honest is a property of the whole campaign, not of a phase.
-  std::vector<Adversary*> all_adversaries;
   for (const PhaseSpec& phase : phases_) {
     for (Adversary* adversary : phase.adversaries) {
-      if (std::find(all_adversaries.begin(), all_adversaries.end(),
-                    adversary) == all_adversaries.end()) {
-        all_adversaries.push_back(adversary);
+      if (std::find(all_adversaries_.begin(), all_adversaries_.end(),
+                    adversary) == all_adversaries_.end()) {
+        all_adversaries_.push_back(adversary);
       }
       for (const std::size_t slot : adversary->controlled_nodes()) {
         adversary_slots_.insert(slot);
@@ -106,9 +130,9 @@ Report Scenario::run() {
   // gets its own slash attribution.
   std::unordered_set<std::uint64_t> adversary_indices;
   std::vector<std::unordered_set<std::uint64_t>> indices_per_adversary(
-      all_adversaries.size());
-  for (std::size_t a = 0; a < all_adversaries.size(); ++a) {
-    for (const std::size_t slot : all_adversaries[a]->controlled_nodes()) {
+      all_adversaries_.size());
+  for (std::size_t a = 0; a < all_adversaries_.size(); ++a) {
+    for (const std::size_t slot : all_adversaries_[a]->controlled_nodes()) {
       if (const auto index = harness_.node(slot).group().own_index()) {
         adversary_indices.insert(*index);
         indices_per_adversary[a].insert(*index);
@@ -122,6 +146,7 @@ Report Scenario::run() {
   // settle before judging delivery ratios.
   harness_.run_ms(config_.drain_ms);
   probe_.sample(epoch_now());
+  scrape_fleet(epoch_now());  // final row: the post-drain steady state
 
   ScenarioVerdict verdict;
   verdict.scenario = config_.name;
@@ -130,7 +155,7 @@ Report Scenario::run() {
   verdict.adversary_nodes = adversary_slots_.size();
   verdict.honest_nodes = harness_.size() - adversary_slots_.size();
 
-  for (const Adversary* adversary : all_adversaries) {
+  for (const Adversary* adversary : all_adversaries_) {
     verdict.spam_sent += adversary->spam_sent();
   }
   for (std::size_t i = 0; i < harness_.size(); ++i) {
@@ -181,11 +206,11 @@ Report Scenario::run() {
   }
 
   // Coalition breakdown: one verdict per distinct adversary strategy.
-  for (std::size_t a = 0; a < all_adversaries.size(); ++a) {
+  for (std::size_t a = 0; a < all_adversaries_.size(); ++a) {
     AdversaryVerdict av;
-    av.name = all_adversaries[a]->name();
-    av.spam_sent = all_adversaries[a]->spam_sent();
-    av.controlled_nodes = all_adversaries[a]->controlled_nodes().size();
+    av.name = all_adversaries_[a]->name();
+    av.spam_sent = all_adversaries_[a]->spam_sent();
+    av.controlled_nodes = all_adversaries_[a]->controlled_nodes().size();
     std::optional<net::TimeMs> first;
     for (const HarnessProbe::SlashEvent& slash : probe_.slashes()) {
       if (!indices_per_adversary[a].contains(slash.index)) continue;
@@ -197,6 +222,8 @@ Report Scenario::run() {
     }
     verdict.per_adversary.push_back(std::move(av));
   }
+
+  verdict.fleet_timeline_json = fleet_.timeline_json();
 
   return Report{verdict, metrics_.to_json()};
 }
@@ -782,6 +809,386 @@ LiveReshardOutcome run_live_reshard_campaign(const LiveReshardConfig& config) {
       break;
     }
   }
+  h.chain().unsubscribe_events(chain_sub);
+  h.set_node_hook(nullptr);
+  return out;
+}
+
+// -- Operator hotspot campaign ------------------------------------------------
+
+std::string OperatorHotspotConfig::to_json() const {
+  char buf[448];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"nodes\": %llu, \"target_shards\": %u, \"max_epochs\": %llu, "
+      "\"honest_rate_per_epoch\": %.2f, \"flood_pairs_per_epoch\": %llu, "
+      "\"overload_msgs_per_sec\": %.2f, \"cooldown_epochs\": %llu, "
+      "\"trip_epochs\": %llu, \"phase_dwell_epochs\": %llu, \"seed\": %llu}",
+      static_cast<unsigned long long>(harness.num_nodes), target_shards,
+      static_cast<unsigned long long>(max_epochs), honest_rate_per_epoch,
+      static_cast<unsigned long long>(flood_pairs_per_epoch),
+      overload_msgs_per_sec, static_cast<unsigned long long>(cooldown_epochs),
+      static_cast<unsigned long long>(trip_epochs),
+      static_cast<unsigned long long>(phase_dwell_epochs),
+      static_cast<unsigned long long>(harness.seed));
+  return buf;
+}
+
+std::string OperatorHotspotOutcome::to_json() const {
+  std::string out = "{";
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "\"from_shards\": %u, \"to_shards\": %u, "
+                "\"operator_triggered\": %s, \"trigger_epoch\": %llu, "
+                "\"converged\": %s, \"converged_epoch\": %llu, "
+                "\"epochs_to_converge\": %llu, \"operator_decisions\": %llu, ",
+                from_shards, to_shards, operator_triggered ? "true" : "false",
+                static_cast<unsigned long long>(trigger_epoch),
+                converged ? "true" : "false",
+                static_cast<unsigned long long>(converged_epoch),
+                static_cast<unsigned long long>(epochs_to_converge),
+                static_cast<unsigned long long>(operator_decisions));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"honest_sent\": %llu, \"honest_delivered\": %llu, "
+                "\"honest_ideal\": %llu, \"honest_delivery\": %.4f, ",
+                static_cast<unsigned long long>(honest_sent),
+                static_cast<unsigned long long>(honest_delivered),
+                static_cast<unsigned long long>(honest_ideal),
+                honest_delivery);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"spam_pairs_sent\": %llu, \"spam_delivered\": %llu, "
+                "\"quota_double_deliveries\": %llu, "
+                "\"attacker_slashed\": %s, ",
+                static_cast<unsigned long long>(spam_pairs_sent),
+                static_cast<unsigned long long>(spam_delivered),
+                static_cast<unsigned long long>(quota_double_deliveries),
+                attacker_slashed ? "true" : "false");
+  out += buf;
+  if (time_to_slash_ms.has_value()) {
+    std::snprintf(buf, sizeof buf, "\"time_to_slash_ms\": %llu, ",
+                  static_cast<unsigned long long>(*time_to_slash_ms));
+  } else {
+    std::snprintf(buf, sizeof buf, "\"time_to_slash_ms\": null, ");
+  }
+  out += buf;
+  std::snprintf(buf, sizeof buf, "\"anomalies_fired\": %llu, ",
+                static_cast<unsigned long long>(anomalies_fired));
+  out += buf;
+  out += "\"fleet_timeline\": " +
+         (fleet_timeline_json.empty() ? std::string("[]")
+                                      : fleet_timeline_json) +
+         ", ";
+  out += "\"postmortem\": " +
+         (postmortem_json.empty() ? std::string("null") : postmortem_json) +
+         "}";
+  return out;
+}
+
+OperatorHotspotOutcome run_operator_hotspot_campaign(
+    const OperatorHotspotConfig& config) {
+  rln::HarnessConfig hcfg = config.harness;
+  const std::uint16_t from = hcfg.node.shards.num_shards;
+  const std::uint16_t to = config.target_shards;
+  WAKU_EXPECTS(from >= 1 && to > from && to % from == 0);
+  hcfg.shard_assignment = [from](std::size_t i) {
+    return std::vector<shard::ShardId>{
+        static_cast<shard::ShardId>(i % from)};
+  };
+  // The loop under test: every node watches its OWN tracker + anomaly
+  // engine in upkeep and acts alone — the campaign never calls
+  // begin_reshard/advance_reshard.
+  hcfg.node.operator_loop.enabled = true;
+  hcfg.node.operator_loop.cooldown_epochs = config.cooldown_epochs;
+  hcfg.node.operator_loop.trip_epochs = config.trip_epochs;
+  hcfg.node.operator_loop.phase_dwell_epochs = config.phase_dwell_epochs;
+  hcfg.node.load_tracker.overload_msgs_per_sec = config.overload_msgs_per_sec;
+  rln::RlnHarness h(hcfg);
+  const std::size_t n = h.size();
+  const std::size_t attack_slot = config.flood_pairs_per_epoch > 0 ? 1 : n;
+
+  // Intra-shard ring stitching for both layouts' host groups (the random
+  // graph does not know about shards; connect() is idempotent).
+  const auto stitch = [&h, n](std::uint16_t groups) {
+    for (std::uint16_t s = 0; s < groups; ++s) {
+      std::vector<std::size_t> hosts;
+      for (std::size_t i = s; i < n; i += groups) hosts.push_back(i);
+      for (std::size_t k = 0; k + 1 < hosts.size(); ++k) {
+        h.network().connect(h.node(hosts[k]).node_id(),
+                            h.node(hosts[k + 1]).node_id());
+      }
+      if (hosts.size() > 2) {
+        h.network().connect(h.node(hosts.back()).node_id(),
+                            h.node(hosts.front()).node_id());
+      }
+    }
+  };
+  stitch(from);
+  stitch(to);
+
+  OperatorHotspotOutcome out;
+  out.from_shards = from;
+
+  // -- Accounting (same shape as the live-reshard campaign).
+  std::vector<std::uint64_t> honest_delivered(n, 0);
+  std::vector<std::uint64_t> spam_delivered_at(n, 0);
+  std::uint64_t quota_double_deliveries = 0;
+  std::vector<std::map<std::uint64_t, std::uint8_t>> pair_seen(n);
+  h.set_node_hook([&](std::size_t i, rln::WakuRlnRelayNode& node) {
+    // Per-slot chooser: spread the new-generation family round-robin
+    // (slot i hosts new shard i mod target). Installed via the hook so a
+    // restarted node re-learns it before its operator resumes.
+    node.set_operator_subscribe_chooser([i](std::uint16_t target) {
+      return std::vector<shard::ShardId>{
+          static_cast<shard::ShardId>(i % target)};
+    });
+    node.set_message_handler([&, i](const WakuMessage& msg) {
+      if (i == attack_slot) return;  // honest-side accounting only
+      const std::string payload(msg.payload.begin(), msg.payload.end());
+      if (payload.starts_with(kHonestTag)) {
+        ++honest_delivered[i];
+        return;
+      }
+      if (!payload.starts_with(kSpamTag)) return;
+      ++spam_delivered_at[i];
+      const std::size_t epoch_at = kSpamTag.size() + 1;
+      std::uint64_t epoch = 0;
+      std::size_t pos = epoch_at;
+      while (pos < payload.size() && payload[pos] >= '0' &&
+             payload[pos] <= '9') {
+        epoch = epoch * 10 + static_cast<std::uint64_t>(payload[pos] - '0');
+        ++pos;
+      }
+      const bool old_half = payload.compare(pos, 5, "|old|") == 0;
+      const std::uint8_t bit = old_half ? 1 : 2;
+      std::uint8_t& mask = pair_seen[i][epoch];
+      if (mask != 0 && (mask & bit) == 0) ++quota_double_deliveries;
+      mask |= bit;
+    });
+  });
+
+  struct SlashEvent {
+    std::uint64_t index;
+    net::TimeMs at_ms;
+  };
+  std::vector<SlashEvent> slashes;
+  const std::uint64_t chain_sub =
+      h.chain().subscribe_events([&](const chain::Event& ev) {
+        if (ev.name == "MemberSlashed") {
+          slashes.push_back(SlashEvent{ev.topics[0].limb[0], h.sim().now()});
+        }
+      });
+
+  h.register_all();
+  const std::uint64_t attacker_index =
+      attack_slot < n ? h.node(attack_slot).group().own_index().value() : 0;
+
+  const shard::ShardMap old_map(hcfg.node.shards);
+  const std::uint32_t gen0 = old_map.generation();
+  const shard::ShardMap new_map =
+      old_map.split(static_cast<std::uint16_t>(to / from));
+
+  // Pre-picked per-slot topics: slot i's topic is homed on old shard
+  // i mod F and new shard i mod T, so it stays publishable by the same
+  // node through the whole cutover — only its mesh moves.
+  std::vector<std::string> topic_for(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto old_home = static_cast<shard::ShardId>(i % from);
+    const auto new_home = static_cast<shard::ShardId>(i % to);
+    for (std::uint64_t probe = 0;; ++probe) {
+      std::string t = "/waku/2/hotspot-" + std::to_string(i) + "-" +
+                      std::to_string(probe) + "/proto";
+      if (old_map.shard_of(t) == old_home && new_map.shard_of(t) == new_home) {
+        topic_for[i] = std::move(t);
+        break;
+      }
+    }
+  }
+
+  const auto honest_hosts = [&](std::uint16_t groups, shard::ShardId s) {
+    std::uint64_t hosts = 0;
+    for (std::size_t i = s; i < n; i += groups) {
+      if (i != attack_slot) ++hosts;
+    }
+    return hosts;
+  };
+
+  Rng traffic_rng(hcfg.seed ^ 0x0B5E7A70ULL);
+  const std::uint64_t epoch_ms = hcfg.node.validator.epoch.epoch_length_ms;
+  const double per_tick_p = config.honest_rate_per_epoch *
+                            static_cast<double>(config.tick_ms) /
+                            static_cast<double>(epoch_ms);
+  std::uint64_t honest_seq = 0;
+  const auto honest_tick = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == attack_slot || !h.alive(i)) continue;
+      if (!traffic_rng.chance(per_tick_p)) continue;
+      rln::WakuRlnRelayNode& node = h.node(i);
+      // The ideal receiver set follows the PUBLISHER's routing: old mesh
+      // (every host of old home) until this node's drain, new mesh (the
+      // new home's hosts) from drain on.
+      const bool new_routing =
+          node.shard_map().generation() != gen0 ||
+          node.reshard_phase() == shard::ReshardPhase::kDrain;
+      const auto status = node.try_publish(
+          to_bytes(std::string(kHonestTag) + "n" + std::to_string(i) + "#" +
+                   std::to_string(honest_seq)),
+          topic_for[i]);
+      if (status != rln::WakuRlnRelayNode::PublishStatus::kOk) continue;
+      ++honest_seq;
+      ++out.honest_sent;
+      out.honest_ideal +=
+          new_routing
+              ? honest_hosts(to, static_cast<shard::ShardId>(i % to))
+              : honest_hosts(from, static_cast<shard::ShardId>(i % from));
+    }
+  };
+
+  // The overlap attacker: cross-generation same-epoch pairs on its own
+  // topic, but ONLY while its own node is in the dual-generation window
+  // (overlap/drain) — which it reaches when ITS operator loop fires, not
+  // on any driver schedule.
+  std::uint64_t attack_epoch = ~std::uint64_t{0};
+  std::uint64_t pairs_this_epoch = 0;
+  std::optional<net::TimeMs> first_pair_ms;
+  const auto attacker_tick = [&] {
+    if (attack_slot >= n || !h.alive(attack_slot) ||
+        !h.node(attack_slot).is_registered()) {
+      return;  // disabled, or already slashed
+    }
+    const shard::ReshardPhase phase = h.node(attack_slot).reshard_phase();
+    if (phase != shard::ReshardPhase::kOverlap &&
+        phase != shard::ReshardPhase::kDrain) {
+      return;
+    }
+    const std::uint64_t epoch = h.node(attack_slot).current_epoch();
+    if (epoch != attack_epoch) {
+      attack_epoch = epoch;
+      pairs_this_epoch = 0;
+    }
+    if (pairs_this_epoch >= config.flood_pairs_per_epoch) return;
+    ++pairs_this_epoch;
+    ++out.spam_pairs_sent;
+    if (!first_pair_ms.has_value()) first_pair_ms = h.sim().now();
+    const std::string base =
+        std::string(kSpamTag) + "p" + std::to_string(epoch) + "|";
+    const std::string suffix = "|" + std::to_string(out.spam_pairs_sent);
+    h.node(attack_slot).force_publish_generation(
+        to_bytes(base + "old" + suffix), topic_for[attack_slot],
+        /*use_next_generation=*/false);
+    h.node(attack_slot).force_publish_generation(
+        to_bytes(base + "new" + suffix), topic_for[attack_slot],
+        /*use_next_generation=*/true);
+  };
+
+  // Fleet plane: scrape every honest node's health each epoch; a
+  // fleet-side anomaly engine watches the rows the same way an operator
+  // dashboard would.
+  obs::FleetAggregator fleet;
+  obs::AnomalyEngine fleet_anomaly;
+  std::uint64_t last_epoch = ~std::uint64_t{0};
+  const auto scrape = [&](std::uint64_t epoch) {
+    bool first_honest = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == attack_slot || !h.alive(i)) continue;
+      obs::NodeHealthSample s = h.node(i).health_sample();
+      s.epoch = epoch;
+      s.honest_delivered = honest_delivered[i];
+      s.spam_delivered = spam_delivered_at[i];
+      if (first_honest) {
+        // Campaign-wide totals ride on one sample so the aggregator's
+        // sums reproduce the outcome ratios. spam_delivered is summed
+        // per RECEIVER, so the sent side carries the same weight: both
+        // halves of every pair, fanned out to every honest node.
+        s.honest_ideal = out.honest_ideal;
+        s.spam_sent =
+            out.spam_pairs_sent * 2 * static_cast<std::uint64_t>(n - 1);
+        first_honest = false;
+      }
+      fleet.ingest(std::move(s));
+    }
+    if (const obs::FleetEpochSeries* row = fleet.close_epoch(epoch)) {
+      (void)fleet_anomaly.evaluate(*row);
+    }
+  };
+
+  const auto epoch_of = [&] {
+    return hcfg.node.validator.epoch.epoch_at(h.sim().now());
+  };
+  const net::TimeMs t_end =
+      h.sim().now() + config.max_epochs * epoch_ms;
+  while (h.sim().now() < t_end) {
+    h.run_ms(config.tick_ms);
+    honest_tick();
+    attacker_tick();
+    const std::uint64_t epoch = epoch_of();
+    if (epoch == last_epoch) continue;
+    last_epoch = epoch;
+    scrape(epoch);
+    if (!out.operator_triggered) {
+      std::uint64_t earliest = ~std::uint64_t{0};
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!h.alive(i) || h.node(i).operator_decisions() == 0) continue;
+        earliest = std::min(earliest, h.node(i).operator_last_action_epoch());
+      }
+      if (earliest != ~std::uint64_t{0}) {
+        out.operator_triggered = true;
+        out.trigger_epoch = earliest;
+      }
+    }
+    bool all_converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!h.alive(i)) continue;
+      const shard::ShardMap& map = h.node(i).shard_map();
+      if (map.num_shards() != to || map.generation() != gen0 + 1 ||
+          h.node(i).reshard_phase() != shard::ReshardPhase::kStable) {
+        all_converged = false;
+        break;
+      }
+    }
+    if (all_converged) {
+      out.converged = true;
+      out.converged_epoch = epoch;
+      break;
+    }
+  }
+
+  // Quiesce: in-flight traffic + the attacker's slash commit-reveal.
+  h.run_ms(config.quiesce_ms);
+  if (epoch_of() != last_epoch) {
+    last_epoch = epoch_of();
+    scrape(last_epoch);
+  }
+
+  out.to_shards = h.node(0).shard_map().num_shards();
+  out.epochs_to_converge =
+      out.converged ? out.converged_epoch - out.trigger_epoch : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!h.alive(i)) continue;
+    out.operator_decisions += h.node(i).operator_decisions();
+    if (i != attack_slot) out.honest_delivered += honest_delivered[i];
+    if (i != attack_slot) out.spam_delivered += spam_delivered_at[i];
+  }
+  out.honest_delivery =
+      out.honest_ideal == 0
+          ? 1.0
+          : static_cast<double>(out.honest_delivered) /
+                static_cast<double>(out.honest_ideal);
+  out.quota_double_deliveries = quota_double_deliveries;
+  for (const SlashEvent& slash : slashes) {
+    if (attack_slot < n && slash.index == attacker_index) {
+      out.attacker_slashed = true;
+      if (first_pair_ms.has_value()) {
+        out.time_to_slash_ms = slash.at_ms - *first_pair_ms;
+      }
+      break;
+    }
+  }
+  out.anomalies_fired = fleet_anomaly.fired_total();
+  out.fleet_timeline_json = fleet.timeline_json();
+  out.postmortem_json =
+      h.node(0).flight_recorder().postmortem_json("operator-hotspot-campaign");
   h.chain().unsubscribe_events(chain_sub);
   h.set_node_hook(nullptr);
   return out;

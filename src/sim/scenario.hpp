@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "obs/fleet.hpp"
 #include "sim/adversary.hpp"
 #include "sim/report.hpp"
 
@@ -55,12 +56,14 @@ class Scenario {
   [[nodiscard]] rln::RlnHarness& harness() { return harness_; }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] HarnessProbe& probe() { return probe_; }
+  [[nodiscard]] obs::FleetAggregator& fleet() { return fleet_; }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
  private:
   void run_phase(const PhaseSpec& phase);
   void generate_honest_traffic();
   void sample_if_epoch_turned();
+  void scrape_fleet(std::uint64_t epoch);
   [[nodiscard]] std::uint64_t epoch_now();
   [[nodiscard]] bool is_adversary_slot(std::size_t i) const {
     return adversary_slots_.contains(i);
@@ -70,11 +73,16 @@ class Scenario {
   rln::RlnHarness harness_;
   MetricsRegistry metrics_;
   HarnessProbe probe_;
+  /// Per-epoch cross-node health rows — the fleet-health timeline that
+  /// rides in the verdict JSON (see ScenarioVerdict::fleet_timeline_json).
+  obs::FleetAggregator fleet_;
   Rng traffic_rng_;
   std::vector<PhaseSpec> phases_;
+  std::vector<Adversary*> all_adversaries_;
   std::set<std::size_t> adversary_slots_;
   std::uint64_t honest_sent_ = 0;
   std::uint64_t last_sampled_epoch_ = ~std::uint64_t{0};
+  std::uint64_t last_fleet_epoch_ = ~std::uint64_t{0};
   bool ran_ = false;
 };
 
@@ -226,5 +234,84 @@ struct LiveReshardOutcome {
 };
 
 LiveReshardOutcome run_live_reshard_campaign(const LiveReshardConfig& config);
+
+// -- Operator hotspot campaign -----------------------------------------------
+// The autonomous-operator claim: under a sustained single-shard hotspot,
+// every node's own operator loop (ShardLoadTracker::recommend +
+// AnomalyEngine pressure, consumed in upkeep) triggers begin_reshard and
+// walks the staged cutover to completion WITHOUT any driver lockstep —
+// the campaign only generates traffic and watches. Honest slot i
+// publishes on a pre-picked topic homed on new shard i mod T, the
+// optional overlap attacker (slot 1) sends cross-generation same-epoch
+// pairs while its own node is in overlap/drain, and a fleet aggregator
+// scrapes every node's health each epoch into the timeline the verdict
+// carries.
+
+struct OperatorHotspotConfig {
+  /// Deployment template; node.shards.num_shards is the FROM count
+  /// (typically 1 — the hotspot). The runner installs the round-robin
+  /// assignment, enables the operator loop on every node, and gives slot
+  /// i the subscribe chooser {i mod target}.
+  rln::HarnessConfig harness;
+  std::uint16_t target_shards = 2;
+  net::TimeMs tick_ms = 1'000;
+  /// Epoch budget for the whole trigger + cutover; the campaign stops
+  /// early once every node converged.
+  std::uint64_t max_epochs = 30;
+  /// Post-convergence quiesce (in-flight traffic + the slash tx).
+  net::TimeMs quiesce_ms = 10'000;
+  double honest_rate_per_epoch = 0.8;
+  /// Cross-generation same-epoch pairs per epoch from the overlap
+  /// attacker (0 disables the attack).
+  std::uint64_t flood_pairs_per_epoch = 2;
+  /// Operator tuning installed on every node. The overload budget must
+  /// sit inside (realized_rate / split_factor, realized_rate) so the
+  /// tracker both trips AND sizes the split to `target_shards`.
+  double overload_msgs_per_sec = 1.8;
+  std::uint64_t cooldown_epochs = 1'000;  ///< one action per campaign
+  std::size_t trip_epochs = 2;
+  std::uint64_t phase_dwell_epochs = 2;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct OperatorHotspotOutcome {
+  std::uint16_t from_shards = 0;
+  std::uint16_t to_shards = 0;  ///< target the operators actually chose
+
+  bool operator_triggered = false;
+  std::uint64_t trigger_epoch = 0;  ///< earliest begin decision, fleet-wide
+  bool converged = false;  ///< every node on (target, gen+1, kStable)
+  std::uint64_t converged_epoch = 0;
+  std::uint64_t epochs_to_converge = 0;  ///< trigger -> converged
+  /// Sum of operator decisions across the fleet (begin + advances); with
+  /// one clean cutover this is exactly 4 x nodes.
+  std::uint64_t operator_decisions = 0;
+
+  std::uint64_t honest_sent = 0;
+  std::uint64_t honest_delivered = 0;
+  std::uint64_t honest_ideal = 0;
+  double honest_delivery = 1.0;
+
+  std::uint64_t spam_pairs_sent = 0;
+  std::uint64_t spam_delivered = 0;
+  std::uint64_t quota_double_deliveries = 0;
+  bool attacker_slashed = false;
+  std::optional<std::uint64_t> time_to_slash_ms;
+
+  /// Fleet-side anomaly fire transitions over the campaign (the p95 and
+  /// delivery rules; 0 on a healthy run).
+  std::uint64_t anomalies_fired = 0;
+  /// Per-epoch fleet rows (FleetAggregator::timeline_json).
+  std::string fleet_timeline_json = "[]";
+  /// Node 0's flight-recorder dump at campaign end — operator decisions,
+  /// reshard transitions, slashes, in order.
+  std::string postmortem_json;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+OperatorHotspotOutcome run_operator_hotspot_campaign(
+    const OperatorHotspotConfig& config);
 
 }  // namespace waku::sim

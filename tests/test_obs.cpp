@@ -9,15 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "obs/fleet.hpp"
+#include "obs/recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rln/harness.hpp"
 #include "rln/nullifier_log.hpp"
+#include "shard/reshard.hpp"
 
 namespace waku::obs {
 namespace {
@@ -254,6 +258,204 @@ TEST(Clock, FnClockReadsInjectedSource) {
   EXPECT_GT(steady_clock().now_ns(), 0u);
 }
 
+// -- FlightRecorder ----------------------------------------------------------
+
+TEST(FlightRecorder, RingIsBoundedAndCountsEvictions) {
+  FlightRecorderConfig cfg;
+  cfg.capacity = 4;
+  FlightRecorder rec(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record(/*at_ns=*/i * 100, /*epoch=*/i, "reshard",
+               "event " + std::to_string(i));
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.evicted(), 6u);
+
+  const std::vector<FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the oldest survivor is event 6 (0..5 evicted).
+  EXPECT_EQ(events.front().epoch, 6u);
+  EXPECT_EQ(events.back().epoch, 9u);
+  EXPECT_EQ(events.back().detail, "event 9");
+}
+
+TEST(FlightRecorder, PostmortemJsonEscapesAndStructures) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+
+  FlightRecorder rec;
+  rec.record(42, 7, "slash", "index=3 \"quoted\"");
+  const std::string dump = rec.postmortem_json("unit \"test\"");
+  EXPECT_NE(dump.find("\"reason\":\"unit \\\"test\\\"\""), std::string::npos);
+  EXPECT_NE(dump.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"evicted\":0"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"slash\""), std::string::npos);
+  EXPECT_NE(dump.find("index=3 \\\"quoted\\\""), std::string::npos);
+  // The event's own renderer emits the same escaped tuple.
+  const std::string ev = rec.events().front().to_json();
+  EXPECT_NE(ev.find("\"epoch\":7"), std::string::npos);
+  EXPECT_NE(ev.find("\"at_ns\":42"), std::string::npos);
+}
+
+// -- FleetAggregator ---------------------------------------------------------
+
+NodeHealthSample fleet_sample(std::uint64_t node, std::uint64_t honest_del,
+                              std::uint64_t honest_ideal,
+                              std::uint64_t spam_del, std::uint64_t spam_sent,
+                              double p95_ms, std::uint64_t log_entries) {
+  NodeHealthSample s;
+  s.node_id = node;
+  s.honest_delivered = honest_del;
+  s.honest_ideal = honest_ideal;
+  s.spam_delivered = spam_del;
+  s.spam_sent = spam_sent;
+  s.log_entries = log_entries;
+  s.quota_saturation = 0.5;
+  s.shards.push_back({/*shard=*/0, p95_ms});
+  return s;
+}
+
+TEST(FleetAggregator, FoldsSamplesIntoEpochRows) {
+  FleetAggregator agg;
+  EXPECT_EQ(agg.close_epoch(1), nullptr);  // nothing ingested yet
+
+  agg.ingest(fleet_sample(0, 90, 100, 1, 10, 12.0, 40));
+  agg.ingest(fleet_sample(1, 100, 100, 0, 10, 4.0, 60));
+  const FleetEpochSeries* row = agg.close_epoch(5);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->epoch, 5u);
+  EXPECT_EQ(row->nodes_reporting, 2u);
+  EXPECT_DOUBLE_EQ(row->honest_delivery_ratio, 190.0 / 200.0);
+  EXPECT_DOUBLE_EQ(row->containment_ratio, 1.0 - 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(row->p95_spread_ms, 8.0);
+  EXPECT_DOUBLE_EQ(row->max_p95_ms, 12.0);
+  EXPECT_DOUBLE_EQ(row->quota_saturation, 0.5);
+  EXPECT_EQ(row->total_log_entries, 100u);
+
+  // Second epoch: drift is prev-minus-current containment, log growth is
+  // the entry delta.
+  agg.ingest(fleet_sample(0, 50, 100, 5, 10, 12.0, 90));
+  agg.ingest(fleet_sample(1, 50, 100, 5, 10, 12.0, 110));
+  const FleetEpochSeries* next = agg.close_epoch(6);
+  ASSERT_NE(next, nullptr);
+  EXPECT_DOUBLE_EQ(next->containment_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(next->containment_drift, 0.95 - 0.5);
+  EXPECT_DOUBLE_EQ(next->log_growth_per_epoch, 100.0);
+  EXPECT_EQ(agg.latest(), next);
+}
+
+TEST(FleetAggregator, HistoryIsBoundedAndExpositionRenders) {
+  FleetAggregatorConfig cfg;
+  cfg.history = 3;
+  FleetAggregator agg(cfg);
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    agg.ingest(fleet_sample(0, 99, 100, 0, 1, 10.0, 10 * (e + 1)));
+    ASSERT_NE(agg.close_epoch(e), nullptr);
+  }
+  ASSERT_EQ(agg.history().size(), 3u);
+  EXPECT_EQ(agg.history().front().epoch, 2u);
+  EXPECT_EQ(agg.history().back().epoch, 4u);
+
+  const std::string prom = agg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE waku_fleet_epoch gauge"), std::string::npos);
+  EXPECT_NE(prom.find("waku_fleet_honest_delivery_ratio"), std::string::npos);
+  EXPECT_NE(prom.find("waku_fleet_p95_spread_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("waku_fleet_executor_rejected_total"),
+            std::string::npos);
+
+  const std::string timeline = agg.timeline_json();
+  EXPECT_EQ(timeline.front(), '[');
+  EXPECT_EQ(timeline.back(), ']');
+  EXPECT_NE(timeline.find("\"epoch\":2"), std::string::npos);
+  EXPECT_NE(timeline.find("\"honest_delivery_ratio\""), std::string::npos);
+  // Evicted rows are gone from the timeline too.
+  EXPECT_EQ(timeline.find("\"epoch\":0,"), std::string::npos);
+}
+
+// -- AnomalyEngine -----------------------------------------------------------
+
+FleetEpochSeries healthy_row(std::uint64_t epoch) {
+  FleetEpochSeries row;
+  row.epoch = epoch;
+  row.honest_delivery_ratio = 1.0;
+  row.containment_ratio = 1.0;
+  row.max_p95_ms = 1.0;
+  row.log_growth_per_epoch = 0.0;
+  return row;
+}
+
+TEST(AnomalyEngine, TripAndClearHysteresis) {
+  AnomalyEngineConfig cfg;
+  cfg.trip_epochs = 2;
+  cfg.clear_epochs = 2;
+  AnomalyEngine eng(cfg);
+
+  FleetEpochSeries bad = healthy_row(1);
+  bad.honest_delivery_ratio = 0.9;  // below the 0.99 SLO
+
+  // One bad epoch: armed but not firing (hysteresis).
+  std::vector<AnomalyVerdict> v = eng.evaluate(bad);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].rule, AnomalyRule::kDeliverySloBurn);
+  EXPECT_FALSE(v[0].firing);
+  EXPECT_EQ(eng.fired_total(), 0u);
+
+  // Second consecutive bad epoch: fires, exactly once.
+  bad.epoch = 2;
+  v = eng.evaluate(bad);
+  EXPECT_TRUE(v[0].firing);
+  EXPECT_TRUE(v[0].changed);
+  EXPECT_DOUBLE_EQ(v[0].observed, 0.9);
+  EXPECT_DOUBLE_EQ(v[0].threshold, cfg.delivery_slo);
+  EXPECT_TRUE(eng.any_firing());
+  EXPECT_TRUE(eng.firing(AnomalyRule::kDeliverySloBurn));
+  EXPECT_EQ(eng.fired_total(), 1u);
+  // The other rules stayed quiet.
+  EXPECT_FALSE(eng.firing(AnomalyRule::kP95BudgetBreach));
+  EXPECT_FALSE(v[1].firing);
+
+  // One good epoch does not clear it...
+  v = eng.evaluate(healthy_row(3));
+  EXPECT_TRUE(v[0].firing);
+  EXPECT_FALSE(v[0].changed);
+  // ...two do.
+  v = eng.evaluate(healthy_row(4));
+  EXPECT_FALSE(v[0].firing);
+  EXPECT_TRUE(v[0].changed);
+  EXPECT_FALSE(eng.any_firing());
+  EXPECT_EQ(eng.fired_total(), 1u);  // clears are not fire transitions
+
+  // An interrupted bad streak never fires: bad, good, bad, good.
+  for (std::uint64_t e = 5; e < 9; ++e) {
+    FleetEpochSeries row = healthy_row(e);
+    if (e % 2 == 1) row.max_p95_ms = 10'000.0;
+    eng.evaluate(row);
+  }
+  EXPECT_FALSE(eng.firing(AnomalyRule::kP95BudgetBreach));
+  EXPECT_EQ(eng.fired_total(), 1u);
+}
+
+TEST(AnomalyEngine, EveryRuleTripsOnItsOwnSignal) {
+  AnomalyEngineConfig cfg;
+  cfg.trip_epochs = 1;
+  AnomalyEngine eng(cfg);
+  FleetEpochSeries row = healthy_row(1);
+  row.honest_delivery_ratio = 0.5;
+  row.containment_ratio = 0.5;
+  row.max_p95_ms = 10'000.0;
+  row.log_growth_per_epoch = 1e9;
+  const std::vector<AnomalyVerdict> v = eng.evaluate(row);
+  ASSERT_EQ(v.size(), 4u);
+  for (const AnomalyVerdict& verdict : v) {
+    EXPECT_TRUE(verdict.firing)
+        << anomaly_rule_name(verdict.rule);
+    EXPECT_NE(verdict.to_json().find(anomaly_rule_name(verdict.rule)),
+              std::string::npos);
+  }
+  EXPECT_EQ(eng.fired_total(), 4u);
+}
+
 }  // namespace
 }  // namespace waku::obs
 
@@ -440,6 +642,152 @@ TEST(NodeObservability, DisabledTelemetryKeepsCountersButNoStageSeries) {
   EXPECT_EQ(text.find("waku_pipeline_stage_seconds_bucket"),
             std::string::npos);
   EXPECT_EQ(h.node(1).tracer().stats().sampled, 0u);
+}
+
+// -- Flight recorder + operator loop (node wiring) ---------------------------
+
+std::string fresh_obs_dir(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "waku_obs_tests" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Harness tuned so a driver- or operator-run cutover completes quickly:
+/// the load budget sits well under the ~0.2 msg/s a one-publish-per-epoch
+/// workload realizes, so recommend() trips deterministically.
+HarnessConfig operator_config() {
+  HarnessConfig cfg = obs_config(/*sample_every=*/0);
+  cfg.node.operator_loop.enabled = true;
+  cfg.node.operator_loop.trip_epochs = 2;
+  cfg.node.operator_loop.phase_dwell_epochs = 1;
+  cfg.node.operator_loop.cooldown_epochs = 1'000;  // one action per run
+  cfg.node.load_tracker.overload_msgs_per_sec = 0.05;
+  return cfg;
+}
+
+TEST(NodeFlightRecorder, CutoverLeavesContinuousEventTrail) {
+  RlnHarness h(obs_config(/*sample_every=*/0));
+  h.register_all();
+  h.run_ms(5'000);
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_TRUE(h.node(i).begin_reshard(2, {}));
+  }
+  h.run_ms(5'000);
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      ASSERT_TRUE(h.node(i).advance_reshard());
+    }
+    h.run_ms(5'000);
+  }
+  // Past linger (max_epoch_gap + 1 epochs) the coordinator folds back.
+  h.run_ms(25'000);
+  EXPECT_EQ(h.node(0).shard_map().num_shards(), 2u);
+
+  // Every phase of the lifecycle shows up in the ring, in order.
+  std::vector<std::string> reshard_details;
+  for (const obs::FlightEvent& ev : h.node(2).flight_recorder().events()) {
+    if (ev.kind == "reshard") reshard_details.push_back(ev.detail);
+  }
+  ASSERT_EQ(reshard_details.size(), 5u);
+  EXPECT_EQ(reshard_details[0], "phase=announce target=2");
+  EXPECT_EQ(reshard_details[1], "phase=overlap");
+  EXPECT_EQ(reshard_details[2], "phase=drain");
+  EXPECT_EQ(reshard_details[3], "phase=stable");
+  EXPECT_EQ(reshard_details[4], "linger_end");
+
+  // Ring accounting stays coherent and the families render.
+  const obs::FlightRecorder& rec = h.node(2).flight_recorder();
+  EXPECT_EQ(rec.recorded(), rec.events().size() + rec.evicted());
+  const std::string text = h.node(2).metrics_text();
+  EXPECT_NE(text.find("waku_flight_events_total"), std::string::npos);
+  EXPECT_NE(text.find("waku_operator_decisions_total 0"), std::string::npos);
+  EXPECT_NE(text.find("waku_anomaly_fired_total"), std::string::npos);
+  const std::string json = h.node(2).metrics_json();
+  EXPECT_NE(json.find("\"operator\""), std::string::npos);
+  EXPECT_NE(json.find("\"fleet\""), std::string::npos);
+}
+
+TEST(NodeFlightRecorder, OperatorDecisionsSurviveKillRestart) {
+  namespace fs = std::filesystem;
+  const std::string dir = fresh_obs_dir("operator_restart");
+  HarnessConfig cfg = operator_config();
+  cfg.persist_dir = dir;
+  // WAL-only durability: no automatic snapshots, so every operator
+  // decision must come back through kOperatorDecision replay.
+  cfg.node.persist.snapshot_every_records = 0;
+  RlnHarness h(cfg);
+  h.register_all();
+  h.run_ms(5'000);
+
+  // One publish per epoch keeps the hot shard over the tuned budget;
+  // the operator loop begins and walks the cutover on its own.
+  for (int e = 0; e < 14; ++e) {
+    (void)h.node(static_cast<std::size_t>(e) % h.size())
+        .try_publish(to_bytes("load " + std::to_string(e)));
+    h.run_ms(5'000);
+  }
+  const std::uint64_t decisions = h.node(1).operator_decisions();
+  ASSERT_GE(decisions, 4u);  // begin + 3 advances, at least
+  ASSERT_EQ(h.node(1).reshard_phase(), shard::ReshardPhase::kStable);
+  const std::uint16_t shards_after = h.node(1).shard_map().num_shards();
+  ASSERT_GT(shards_after, 1u);
+
+  h.kill_node(1);
+  h.restart_node(1);
+
+  // Bookkeeping replayed exactly: same decision count, same layout.
+  EXPECT_EQ(h.node(1).operator_decisions(), decisions);
+  EXPECT_EQ(h.node(1).shard_map().num_shards(), shards_after);
+  EXPECT_EQ(h.node(1).reshard_phase(), shard::ReshardPhase::kStable);
+
+  // The fresh ring was re-seeded from the WAL and stamped with the boot.
+  bool saw_restart = false;
+  bool saw_replayed_decision = false;
+  for (const obs::FlightEvent& ev : h.node(1).flight_recorder().events()) {
+    if (ev.kind == "restart") saw_restart = true;
+    if (ev.kind == "operator" &&
+        ev.detail.find("(wal replay)") != std::string::npos) {
+      saw_replayed_decision = true;
+    }
+  }
+  EXPECT_TRUE(saw_restart);
+  EXPECT_TRUE(saw_replayed_decision);
+
+  // The crash-restart postmortem was rendered and persisted.
+  EXPECT_NE(h.node(1).last_postmortem().find("\"reason\":\"crash-restart\""),
+            std::string::npos);
+  EXPECT_NE(h.node(1).last_postmortem().find("\"kind\":\"operator\""),
+            std::string::npos);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "node1" / "postmortem.json"));
+
+  // Cooldown came back with the snapshot-free replay: more quiet epochs
+  // must not re-trigger a begin.
+  h.run_ms(20'000);
+  EXPECT_EQ(h.node(1).operator_decisions(), decisions);
+}
+
+TEST(NodeFlightRecorder, OperatorAndRecorderRunsStayDeterministic) {
+  // The whole observe -> decide -> act loop rides the virtual clock, so
+  // two identical runs must agree byte-for-byte on exposition AND on the
+  // flight ring — the property that makes postmortems trustworthy.
+  auto run = [] {
+    RlnHarness h(operator_config());
+    h.register_all();
+    h.run_ms(5'000);
+    for (int e = 0; e < 12; ++e) {
+      (void)h.node(static_cast<std::size_t>(e) % h.size())
+          .try_publish(to_bytes("det " + std::to_string(e)));
+      h.run_ms(5'000);
+    }
+    EXPECT_GE(h.node(2).operator_decisions(), 4u);
+    std::string out = h.node(2).metrics_text() + h.node(2).metrics_json();
+    out += h.node(2).flight_recorder().postmortem_json("determinism-check");
+    return out;
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

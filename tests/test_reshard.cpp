@@ -526,5 +526,68 @@ TEST(LiveReshardCampaign, CutoverUnderLoadWithOverlapFlooder) {
   EXPECT_NE(json.find("\"attacker_slashed\": true"), std::string::npos);
 }
 
+// -- Autonomous operator loop ------------------------------------------------
+
+TEST(OperatorSubscription, RefinedSubscriptionIsValidSplitInput) {
+  ShardConfig current;
+  current.num_shards = 4;
+  current.subscribe = {1, 3};
+  // Each old home keeps its lowest family member — begin() accepts it.
+  EXPECT_EQ(refined_subscription(current, 8), (std::vector<ShardId>{1, 3}));
+  ReshardCoordinator coord(current);
+  EXPECT_TRUE(coord.begin(8, refined_subscription(current, 8)));
+
+  ShardConfig all;
+  all.num_shards = 2;  // empty subscribe = all shards
+  EXPECT_TRUE(refined_subscription(all, 4).empty());
+  ReshardCoordinator coord_all(all);
+  EXPECT_TRUE(coord_all.begin(4, refined_subscription(all, 4)));
+}
+
+TEST(OperatorLoopCampaign, HotspotSplitsAutonomously) {
+  // The acceptance demo: 24 nodes all homed on ONE shard under sustained
+  // honest load. Nobody calls begin_reshard — every node's own operator
+  // loop must trip on its load tracker, journal the decision, and walk
+  // announce/overlap/drain/drop-old to a converged 2-shard fleet, while
+  // an overlap attacker probes for quota doubling.
+  sim::OperatorHotspotConfig cfg;
+  cfg.harness.num_nodes = 24;
+  cfg.harness.degree = 5;
+  cfg.harness.block_interval_ms = 4'000;
+  cfg.harness.node.tree_depth = 10;
+  cfg.harness.node.validator.epoch.epoch_length_ms = 5'000;
+  cfg.harness.node.gossip.validation_batch_max = 8;
+  cfg.harness.node.shards.num_shards = 1;
+  cfg.harness.seed = 0x0F5E;
+  cfg.target_shards = 2;
+  cfg.max_epochs = 30;
+  cfg.flood_pairs_per_epoch = 2;
+
+  const sim::OperatorHotspotOutcome out =
+      sim::run_operator_hotspot_campaign(cfg);
+
+  EXPECT_TRUE(out.operator_triggered);
+  EXPECT_TRUE(out.converged);
+  EXPECT_EQ(out.to_shards, 2);
+  // One clean cutover fleet-wide: every node logged exactly one begin
+  // plus three advances — no re-triggers, no stragglers.
+  EXPECT_EQ(out.operator_decisions, 4u * 24u);
+  // Bounded convergence: trigger -> converged within the dwell budget
+  // (3 phases x 2 epochs) plus scheduling slack.
+  EXPECT_LE(out.epochs_to_converge, 10u);
+  EXPECT_GT(out.honest_sent, 0u);
+  EXPECT_EQ(out.honest_delivery, 1.0);
+  EXPECT_EQ(out.quota_double_deliveries, 0u);
+  EXPECT_GT(out.spam_pairs_sent, 0u);
+  EXPECT_TRUE(out.attacker_slashed);
+  // The fleet plane saw the campaign: per-epoch rows plus node 0's
+  // flight-recorder postmortem with its operator decisions.
+  EXPECT_NE(out.fleet_timeline_json, "[]");
+  EXPECT_NE(out.postmortem_json.find("\"kind\":\"operator\""),
+            std::string::npos);
+  EXPECT_NE(out.postmortem_json.find("\"kind\":\"reshard\""),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace waku::shard
