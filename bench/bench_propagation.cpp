@@ -1,0 +1,169 @@
+// Cross-node propagation tracing at full sampling: the shard-flood
+// campaign (src/sim) runs with node.obs.trace.sample_every = 1, every
+// node's trace rings are harvested each epoch, and the assembler must
+// reconstruct a COMPLETE hop tree (origin publish, per-hop rx
+// provenance, verdicts, full delivery set) for >= 99% of sampled honest
+// messages — the acceptance gate of the tracing plane. The JSON reports
+// the mesh-health rollups CI tracks release-over-release:
+//
+//   * propagation p50/p95/p99 (publish -> last honest delivery, virtual
+//     time, so machine-portable), hop-count histogram;
+//   * mesh redundancy ratio (duplicate rx / useful rx) and reachability
+//     (delivered / subscribed);
+//   * complete_tree_fraction — the reconstruction rate itself;
+//   * tracing overhead: the same campaign is run interleaved with
+//     tracing off/on and the wall-clock fraction (min-of-reps) feeds the
+//     3% HARD_CAPS gate in check_bench_regression.py.
+//
+// A Chrome trace-event export of the traced run is written next to the
+// JSON (<out>.trace.json, open in chrome://tracing or Perfetto); CI
+// uploads the smoke one as an artifact but baselines only the rollups.
+//
+// Standalone binary emitting machine-readable JSON (argv[1], default
+// BENCH_propagation.json); honors WAKU_BENCH_SMOKE / --smoke (32-node
+// fleet instead of 256).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace waku;  // NOLINT
+using benchutil::smoke_mode;
+using Clock = std::chrono::steady_clock;
+
+sim::ShardFloodConfig campaign_config(bool smoke, std::uint32_t sample_every) {
+  sim::ShardFloodConfig cfg;
+  cfg.harness.num_nodes = smoke ? 32 : 256;
+  cfg.harness.degree = 6;
+  cfg.harness.block_interval_ms = 4'000;
+  cfg.harness.node.tree_depth = 10;
+  cfg.harness.node.validator.epoch.epoch_length_ms = 5'000;
+  cfg.harness.node.gossip.validation_batch_max = 8;
+  cfg.harness.node.shards.num_shards = smoke ? 4 : 8;
+  cfg.harness.seed = 0x9A9;
+  cfg.attacked_shard = 1;
+  cfg.flood_burst_per_epoch = 6;
+  cfg.warmup_ms = 10'000;
+  cfg.attack_ms = smoke ? 15'000 : 20'000;
+  cfg.drain_ms = 6'000;
+  // Full sampling: every message network-wide opens a trace on every
+  // node that touches it. Rings are harvested each epoch by the runner,
+  // but size them so even one epoch's burst cannot evict a live tree.
+  cfg.harness.node.obs.trace.sample_every = sample_every;
+  cfg.harness.node.obs.trace.completed_ring = 1'024;
+  cfg.harness.node.obs.trace.max_open = 1'024;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_propagation.json";
+  const bool smoke = (argc > 2 && std::strcmp(argv[2], "--smoke") == 0) ||
+                     smoke_mode();
+  // Smoke runs are ~2s, so CI can afford more reps — the min-of-reps
+  // overhead estimate tightens against noisy shared runners.
+  const int reps = smoke ? 4 : 2;
+
+  const sim::ShardFloodConfig traced_cfg = campaign_config(smoke, 1);
+  std::printf(
+      "propagation campaign: %zu nodes, %u shards, sample_every=1, "
+      "flood %llu/epoch on shard %u, %d interleaved off/on reps...\n",
+      traced_cfg.harness.num_nodes, traced_cfg.harness.node.shards.num_shards,
+      static_cast<unsigned long long>(traced_cfg.flood_burst_per_epoch),
+      traced_cfg.attacked_shard, reps);
+
+  // Interleaved off/on pairs, min-of-reps on each side: the campaign is
+  // deterministic in virtual time, so wall-clock deltas isolate the
+  // in-band tracing cost (key hash + ring writes + per-epoch harvest).
+  double wall_off = 1e300;
+  double wall_on = 1e300;
+  sim::ShardFloodOutcome out;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    const sim::ShardFloodOutcome untraced =
+        sim::run_shard_flood_campaign(campaign_config(smoke, 0));
+    const auto t1 = Clock::now();
+    out = sim::run_shard_flood_campaign(traced_cfg);
+    const auto t2 = Clock::now();
+    if (untraced.propagation_trees != 0) {
+      std::fprintf(stderr, "untraced run assembled trees\n");
+      return 1;
+    }
+    wall_off = std::min(wall_off,
+                        std::chrono::duration<double>(t1 - t0).count());
+    wall_on = std::min(wall_on,
+                       std::chrono::duration<double>(t2 - t1).count());
+    std::printf("rep %d: untraced %.2fs, traced %.2fs\n", rep,
+                std::chrono::duration<double>(t1 - t0).count(),
+                std::chrono::duration<double>(t2 - t1).count());
+  }
+  const double tracing_fraction =
+      std::max(0.0, wall_on / wall_off - 1.0);
+
+  std::printf(
+      "trees %zu (complete %zu, incomplete %zu, rejected %zu), "
+      "complete fraction %.4f\n"
+      "p95 %.1f ms, redundancy %.3f, reachability %.4f, slashed %s, "
+      "tracing overhead %.2f%%\n",
+      out.propagation_trees, out.propagation_complete,
+      out.propagation_incomplete, out.propagation_rejected,
+      out.complete_tree_fraction, out.propagation_p95_ms,
+      out.propagation_redundancy, out.propagation_reachability,
+      out.attacker_slashed ? "yes" : "NO", tracing_fraction * 100.0);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n\"smoke\": %s,\n\"nodes\": %zu,\n\"shards\": %u,\n"
+               "\"sample_every\": 1,\n\"campaign\": ",
+               smoke ? "true" : "false", traced_cfg.harness.num_nodes,
+               traced_cfg.harness.node.shards.num_shards);
+  const std::string campaign_json = out.to_json();
+  std::fwrite(campaign_json.data(), 1, campaign_json.size(), f);
+  std::fprintf(f,
+               ",\n\"overhead\": {\"reps\": %d, \"untraced_wall_s\": %.3f, "
+               "\"traced_wall_s\": %.3f, \"tracing_fraction\": %.4f}\n}\n",
+               reps, wall_off, wall_on, tracing_fraction);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Chrome trace-event export of the traced run, next to the JSON.
+  std::string trace_path = out_path;
+  const std::string suffix = ".json";
+  if (trace_path.size() > suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    trace_path.resize(trace_path.size() - suffix.size());
+  }
+  trace_path += ".trace.json";
+  FILE* tf = std::fopen(trace_path.c_str(), "w");
+  if (tf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.chrome_trace_json.data(), 1, out.chrome_trace_json.size(),
+              tf);
+  std::fputc('\n', tf);
+  std::fclose(tf);
+  std::printf("wrote %s\n", trace_path.c_str());
+
+  // CI tripwires: a tracing plane that samples nothing, cannot
+  // reconstruct >= 99% of honest trees, or rides a campaign whose
+  // containment verdict broke is not observing the network it claims to.
+  if (out.propagation_trees == 0 || out.complete_tree_fraction < 0.99 ||
+      !out.attacker_slashed || out.spam_on_non_attacked_shards != 0) {
+    std::fprintf(stderr, "propagation verdict FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -23,8 +23,12 @@ runner. A >tolerance (default 25%) drop in
     (speedup normalized by available cores) and the shard-map memo
     speedup (capped, see the extractor),
 
+  * propagation-tracing reconstruction (complete-tree fraction and
+    reachability from BENCH_propagation.json),
+
 or a >tolerance INCREASE in the live-reshard cutover throughput dip,
-fails the build. Raw msgs/sec are additionally compared when
+fails the build. The tracing-overhead fractions are additionally
+hard-capped at 3% (HARD_CAPS below). Raw msgs/sec are compared when
 WAKU_BENCH_STRICT_ABSOLUTE=1 (same-machine perf tracking; meaningless
 across machine classes, so off in CI).
 
@@ -148,6 +152,32 @@ def operator_loop_metrics(doc):
     }
 
 
+def propagation_metrics(doc):
+    """BENCH_propagation.json: {campaign: {complete_tree_fraction,
+    propagation_reachability, ...}, overhead: {tracing_fraction}}."""
+    if not isinstance(doc, dict) or "campaign" not in doc:
+        return {}
+    campaign = doc["campaign"]
+    overhead = doc.get("overhead", {})
+    return {
+        # Virtual-time campaign rollups: deterministic on any machine.
+        # The bench binary itself enforces the >= 0.99 acceptance floor;
+        # this guard tracks drift against the committed baseline.
+        "propagation.complete_tree_fraction": campaign.get(
+            "complete_tree_fraction"
+        ),
+        "propagation.reachability": campaign.get("propagation_reachability"),
+        # The redundancy ratio is deliberately NOT guarded: it tracks
+        # per-shard mesh density, which differs between the smoke and
+        # full configs (8 vs 32 hosts per shard), so smoke-vs-baseline
+        # comparison would flag config, not regression.
+        # Hard-capped (see HARD_CAPS): full-sampling tracing may cost at
+        # most 3% campaign wall-clock — a same-run ratio, so it ports
+        # across machine classes.
+        "propagation.tracing_fraction": overhead.get("tracing_fraction"),
+    }
+
+
 def parallel_validation_metrics(doc):
     """BENCH_parallel_validation.json: {hardware_threads,
     baseline_msgs_per_sec, scaling: [{workers, msgs_per_sec, speedup,
@@ -195,6 +225,9 @@ HARD_CAPS = {
     "telemetry_overhead.tracing_fraction": 0.03,
     "telemetry_overhead.recorder_fraction": 0.03,
     "operator_loop.quota_double_deliveries": 0.0,
+    # Full-sampling propagation tracing rides the same 3% budget as the
+    # rest of the telemetry plane.
+    "propagation.tracing_fraction": 0.03,
 }
 
 EXTRACTORS = {
@@ -204,6 +237,7 @@ EXTRACTORS = {
     "BENCH_parallel_validation.json": parallel_validation_metrics,
     "BENCH_telemetry_overhead.json": telemetry_overhead_metrics,
     "BENCH_operator_loop.json": operator_loop_metrics,
+    "BENCH_propagation.json": propagation_metrics,
 }
 
 

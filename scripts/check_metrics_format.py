@@ -29,9 +29,11 @@ Validates the text format WakuRlnRelayNode::metrics_text() emits
 
 With --json the input is instead one of the structured dumps — a
 metrics_json() object, a fleet timeline array (FleetAggregator
-timeline_json / the verdict's fleet_timeline), or a flight-recorder
-postmortem — recognized by shape and checked structurally (required
-keys, ratio ranges, ring accounting).
+timeline_json / the verdict's fleet_timeline), a flight-recorder
+postmortem, a propagation summary (the verdict/campaign "propagation"
+embed), or a Chrome trace-event export — recognized by shape and
+checked structurally (required keys, ratio ranges, ring/tree
+accounting).
 
 Only the Python standard library is used (CI runs it with no venv).
 """
@@ -114,6 +116,70 @@ def check_postmortem(doc, errors):
                 errors.append("postmortem event %d: missing %s" % (i, key))
 
 
+def check_propagation_summary(doc, errors):
+    """PropagationSummary::to_json (the campaign/verdict "propagation"
+    embed): tree accounting must balance and ratios stay in range."""
+    required = (
+        "trees", "complete_trees", "incomplete_trees", "rejected_trees",
+        "adversary_trees", "propagation_p50_ns", "propagation_p95_ns",
+        "propagation_p99_ns", "redundancy_ratio", "reachability",
+        "hop_histogram",
+    )
+    for key in required:
+        if key not in doc:
+            errors.append("propagation summary: missing %s" % key)
+    parts = (
+        doc.get("complete_trees", 0) + doc.get("incomplete_trees", 0)
+        + doc.get("rejected_trees", 0) + doc.get("adversary_trees", 0)
+    )
+    if doc.get("trees") is not None and doc["trees"] != parts:
+        errors.append(
+            "propagation summary: trees %r != complete+incomplete+"
+            "rejected+adversary %d" % (doc["trees"], parts)
+        )
+    reach = doc.get("reachability")
+    if reach is not None and not 0.0 <= reach <= 1.0:
+        errors.append(
+            "propagation summary: reachability %r out of [0,1]" % reach
+        )
+    if not isinstance(doc.get("hop_histogram", []), list):
+        errors.append("propagation summary: hop_histogram is not an array")
+    p50, p95, p99 = (
+        doc.get("propagation_p50_ns"), doc.get("propagation_p95_ns"),
+        doc.get("propagation_p99_ns"),
+    )
+    if None not in (p50, p95, p99) and not p50 <= p95 <= p99:
+        errors.append("propagation summary: quantiles not monotone")
+
+
+def check_chrome_trace(doc, errors):
+    """PropagationAssembler::chrome_trace_json: loadable by
+    chrome://tracing / Perfetto — traceEvents with legal phases, spans
+    carrying ts/dur/pid."""
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("chrome trace: traceEvents is not an array")
+        return
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append("chrome trace event %d: not an object" % i)
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            errors.append("chrome trace event %d: unexpected ph %r" % (i, ph))
+            continue
+        required = ("name", "pid") if ph == "M" else (
+            "name", "pid", "tid", "ts", "dur"
+        )
+        for key in required:
+            if key not in ev:
+                errors.append(
+                    "chrome trace event %d (%s): missing %s" % (i, ph, key)
+                )
+        if ph == "X" and ev.get("dur", 0) < 0:
+            errors.append("chrome trace event %d: negative dur" % i)
+
+
 def check_metrics_json(doc, errors):
     """WakuRlnRelayNode::metrics_json: every section present, the embedded
     self-fleet timeline well-formed."""
@@ -153,9 +219,16 @@ def json_main(argv):
     elif isinstance(doc, dict) and "registry" in doc:
         shape = "metrics_json (%d sections)" % len(doc)
         check_metrics_json(doc, errors)
+    elif isinstance(doc, dict) and "traceEvents" in doc:
+        shape = "chrome trace (%d events)" % len(doc.get("traceEvents") or [])
+        check_chrome_trace(doc, errors)
+    elif isinstance(doc, dict) and "hop_histogram" in doc:
+        shape = "propagation summary (%d trees)" % doc.get("trees", 0)
+        check_propagation_summary(doc, errors)
     else:
         errors.append("unrecognized JSON shape (not a timeline, "
-                      "postmortem, or metrics_json dump)")
+                      "postmortem, metrics_json, chrome trace, or "
+                      "propagation summary dump)")
         shape = "?"
 
     if errors:

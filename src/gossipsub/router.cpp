@@ -134,18 +134,18 @@ MessageId GossipSubRouter::publish(const std::string& topic, Bytes data) {
   if (config_.flood_publish) {
     for (const NodeId peer : topic_peers(topic)) {
       if (scores_.below_publish(peer)) continue;
-      send_frame(peer, frame);
+      send_publish_frame(peer, frame);
     }
   } else {
     const auto it = mesh_.find(topic);
     if (it != mesh_.end()) {
-      for (const NodeId peer : it->second) send_frame(peer, frame);
+      for (const NodeId peer : it->second) send_publish_frame(peer, frame);
     } else {
       // Fanout: not in the mesh for this topic (e.g. publish-only peer).
       auto peers = topic_peers(topic);
       std::shuffle(peers.begin(), peers.end(), rng_);
       if (peers.size() > config_.mesh_n) peers.resize(config_.mesh_n);
-      for (const NodeId peer : peers) send_frame(peer, frame);
+      for (const NodeId peer : peers) send_publish_frame(peer, frame);
     }
   }
   return id;
@@ -171,12 +171,17 @@ MessageId GossipSubRouter::publish_to(const std::string& topic, Bytes data,
   frame.type = FrameType::kPublish;
   frame.topic = topic;
   frame.message = msg;
-  for (const NodeId peer : peers) send_frame(peer, frame);
+  for (const NodeId peer : peers) send_publish_frame(peer, frame);
   return id;
 }
 
 void GossipSubRouter::send_frame(NodeId to, const Frame& frame) {
   network_.send(id_, to, encode_frame(frame));
+}
+
+void GossipSubRouter::send_publish_frame(NodeId to, const Frame& frame) {
+  send_frame(to, frame);
+  if (trace_hook_) trace_hook_("fwd", to, *frame.message);
 }
 
 void GossipSubRouter::on_message(NodeId from, BytesView payload) {
@@ -228,6 +233,7 @@ void GossipSubRouter::handle_publish(NodeId from, const PubSubMessage& msg) {
   const MessageId id = msg.id();
   if (seen_.contains(id)) {
     ++stats_.duplicates;
+    if (trace_hook_) trace_hook_("dup", from, msg);
     return;
   }
   seen_.emplace(id, network_.sim().now());
@@ -349,7 +355,7 @@ void GossipSubRouter::relay(const PubSubMessage& msg, const MessageId&,
   frame.message = msg;
   for (const NodeId peer : it->second) {
     if (peer == except || peer == msg.origin) continue;
-    send_frame(peer, frame);
+    send_publish_frame(peer, frame);
     ++stats_.forwarded;
   }
 }
@@ -380,7 +386,7 @@ void GossipSubRouter::handle_iwant(NodeId from,
     frame.type = FrameType::kPublish;
     frame.topic = it->second.topic;
     frame.message = it->second;
-    send_frame(from, frame);
+    send_publish_frame(from, frame);
     ++stats_.iwant_served;
   }
 }

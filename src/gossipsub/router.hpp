@@ -63,6 +63,16 @@ class GossipSubRouter : public net::NetNode {
   /// Validates and dispatches any buffered publishes for all topics now.
   void flush_pending_validation();
 
+  /// Hop-direction observability hook (cross-node propagation tracing):
+  /// fires with kind "fwd" for every outbound publish frame (peer = the
+  /// target: eager push, fanout, relay, or IWANT serve) and kind "dup"
+  /// for every duplicate publish received (peer = the sender — the only
+  /// layer that sees duplicates; they are dropped before validation).
+  /// Near-free when unset: one branch per send.
+  using TraceHook =
+      std::function<void(const char* kind, NodeId peer, const PubSubMessage&)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
   /// Publishes data under `topic`; returns the message id.
   MessageId publish(const std::string& topic, Bytes data);
 
@@ -120,6 +130,8 @@ class GossipSubRouter : public net::NetNode {
   void handle_graft(NodeId from, const std::string& topic);
   void handle_prune(NodeId from, const std::string& topic);
   void send_frame(NodeId to, const Frame& frame);
+  /// send_frame for publish frames: also fires the trace hook ("fwd").
+  void send_publish_frame(NodeId to, const Frame& frame);
   void relay(const PubSubMessage& msg, const MessageId& id, NodeId except);
   std::vector<NodeId> topic_peers(const std::string& topic) const;
 
@@ -168,6 +180,7 @@ class GossipSubRouter : public net::NetNode {
 
   PeerScore scores_;
   RouterStats stats_;
+  TraceHook trace_hook_;
 };
 
 }  // namespace waku::gossipsub

@@ -42,13 +42,27 @@ std::string FleetEpochSeries::to_json() const {
   field_f(out, "quota_saturation", quota_saturation);
   field_u64(out, "total_log_entries", total_log_entries);
   field_f(out, "log_growth_per_epoch", log_growth_per_epoch);
-  field_u64(out, "executor_rejected", executor_rejected, /*last=*/true);
+  field_u64(out, "executor_rejected", executor_rejected);
+  field_f(out, "propagation_p95_ms", propagation_p95_ms);
+  field_f(out, "propagation_redundancy", propagation_redundancy);
+  field_f(out, "propagation_reachability", propagation_reachability);
+  field_u64(out, "propagation_incomplete", propagation_incomplete,
+            /*last=*/true);
   out += "}";
   return out;
 }
 
 void FleetAggregator::ingest(NodeHealthSample sample) {
   pending_.push_back(std::move(sample));
+}
+
+void FleetAggregator::set_propagation(double p95_ms, double redundancy,
+                                      double reachability,
+                                      std::uint64_t incomplete_trees) {
+  propagation_p95_ms_ = p95_ms;
+  propagation_redundancy_ = redundancy;
+  propagation_reachability_ = reachability;
+  propagation_incomplete_ = incomplete_trees;
 }
 
 const FleetEpochSeries* FleetAggregator::close_epoch(std::uint64_t epoch) {
@@ -99,6 +113,10 @@ const FleetEpochSeries* FleetAggregator::close_epoch(std::uint64_t epoch) {
   }
   row.quota_saturation =
       saturation_sum / static_cast<double>(row.nodes_reporting);
+  row.propagation_p95_ms = propagation_p95_ms_;
+  row.propagation_redundancy = propagation_redundancy_;
+  row.propagation_reachability = propagation_reachability_;
+  row.propagation_incomplete = propagation_incomplete_;
   if (!history_.empty()) {
     const FleetEpochSeries& prev = history_.back();
     row.containment_drift = prev.containment_ratio - row.containment_ratio;
@@ -152,6 +170,19 @@ std::string FleetAggregator::to_prometheus() const {
   w.help_type("waku_fleet_executor_rejected_total", "counter",
               "Backpressure-rejected windows across the fleet");
   w.counter("waku_fleet_executor_rejected_total", "", row.executor_rejected);
+  w.help_type("waku_propagation_p95_seconds", "gauge",
+              "Mesh publish->last-delivery p95 from assembled trace trees");
+  w.gauge("waku_propagation_p95_seconds", "", row.propagation_p95_ms * 1e-3);
+  w.help_type("waku_propagation_redundancy_ratio", "gauge",
+              "Duplicate rx / useful rx across assembled trees");
+  w.gauge("waku_propagation_redundancy_ratio", "", row.propagation_redundancy);
+  w.help_type("waku_propagation_reachability", "gauge",
+              "Delivered / subscribed across assembled trees");
+  w.gauge("waku_propagation_reachability", "", row.propagation_reachability);
+  w.help_type("waku_propagation_incomplete_trees", "gauge",
+              "Sampled trees the assembler could not fully reconstruct");
+  w.gauge("waku_propagation_incomplete_trees", "",
+          static_cast<double>(row.propagation_incomplete));
   return w.text();
 }
 
@@ -177,6 +208,8 @@ const char* anomaly_rule_name(AnomalyRule rule) {
       return "containment_regression";
     case AnomalyRule::kMemorySlope:
       return "memory_slope";
+    case AnomalyRule::kPropagationLatency:
+      return "propagation_latency";
   }
   return "unknown";
 }
@@ -240,6 +273,9 @@ std::vector<AnomalyVerdict> AnomalyEngine::evaluate(
   out.push_back(step(AnomalyRule::kMemorySlope, s.epoch,
                      s.log_growth_per_epoch > config_.log_growth_cap,
                      s.log_growth_per_epoch, config_.log_growth_cap));
+  out.push_back(step(AnomalyRule::kPropagationLatency, s.epoch,
+                     s.propagation_p95_ms > config_.propagation_p95_budget_ms,
+                     s.propagation_p95_ms, config_.propagation_p95_budget_ms));
   return out;
 }
 

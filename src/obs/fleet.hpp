@@ -74,6 +74,14 @@ struct FleetEpochSeries {
   /// Delta of total_log_entries vs the previous row (memory slope).
   double log_growth_per_epoch = 0.0;
   std::uint64_t executor_rejected = 0;
+  /// Mesh-level propagation health, fed by set_propagation() from a
+  /// PropagationAssembler rollup. All-defaults (p95 = 0) means no
+  /// tracing lane feeds this aggregator — a node self-monitoring without
+  /// cross-node traces stays healthy on the propagation SLO rule.
+  double propagation_p95_ms = 0.0;
+  double propagation_redundancy = 0.0;
+  double propagation_reachability = 1.0;
+  std::uint64_t propagation_incomplete = 0;
 
   [[nodiscard]] std::string to_json() const;
 };
@@ -90,6 +98,12 @@ class FleetAggregator {
 
   /// Buffers one node's scrape for the epoch being assembled.
   void ingest(NodeHealthSample sample);
+
+  /// Latest mesh-level propagation rollup (from a PropagationAssembler
+  /// summary); stamped onto every subsequently closed row until updated.
+  /// p95 is in milliseconds of virtual time.
+  void set_propagation(double p95_ms, double redundancy, double reachability,
+                       std::uint64_t incomplete_trees);
 
   /// Folds every buffered sample into one FleetEpochSeries row for
   /// `epoch`, appends it to history, and clears the buffer. Returns
@@ -114,6 +128,10 @@ class FleetAggregator {
   FleetAggregatorConfig config_;
   std::vector<NodeHealthSample> pending_;
   std::vector<FleetEpochSeries> history_;
+  double propagation_p95_ms_ = 0.0;
+  double propagation_redundancy_ = 0.0;
+  double propagation_reachability_ = 1.0;
+  std::uint64_t propagation_incomplete_ = 0;
 };
 
 // -- Declarative SLO rules ----------------------------------------------------
@@ -123,6 +141,7 @@ enum class AnomalyRule : std::uint8_t {
   kP95BudgetBreach = 1,        ///< worst shard p95 past the latency budget
   kContainmentRegression = 2,  ///< spam containment slipping
   kMemorySlope = 3,            ///< nullifier-log growth past the cap
+  kPropagationLatency = 4,     ///< mesh publish->delivery p95 past budget
 };
 
 [[nodiscard]] const char* anomaly_rule_name(AnomalyRule rule);
@@ -132,6 +151,10 @@ struct AnomalyEngineConfig {
   double p95_budget_ms = 250.0;        ///< matches ShardLoadTracker's budget
   double containment_floor = 0.99;
   double log_growth_cap = 4096.0;      ///< entries/epoch
+  /// Mesh-level publish->last-delivery p95 budget (virtual ms). Looser
+  /// than the per-shard validate budget: propagation spans hops. A row
+  /// with propagation_p95_ms == 0 (no tracing lane) is always healthy.
+  double propagation_p95_budget_ms = 750.0;
   /// Consecutive bad epochs before a rule fires / good epochs before it
   /// clears — the hysteresis that keeps one noisy epoch from flapping.
   std::size_t trip_epochs = 2;
@@ -172,7 +195,7 @@ class AnomalyEngine {
     std::size_t consecutive_good = 0;
     bool firing = false;
   };
-  static constexpr std::size_t kRules = 4;
+  static constexpr std::size_t kRules = 5;
 
   AnomalyVerdict step(AnomalyRule rule, std::uint64_t epoch, bool bad,
                       double observed, double threshold);

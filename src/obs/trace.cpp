@@ -4,16 +4,18 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/recorder.hpp"
+
 namespace waku::obs {
 
 namespace {
 
+// Shared with FlightRecorder: json_escape handles quotes, backslashes,
+// AND control characters (the hand-rolled escaper this replaced produced
+// invalid JSON for details containing newlines or other control bytes).
 void append_json_string(std::string& out, const std::string& s) {
   out += '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
+  out += json_escape(s);
   out += '"';
 }
 
@@ -89,6 +91,29 @@ void TraceCollector::finish(TraceKey key, std::uint64_t at_ns,
   // stale entries are skipped during eviction).
   ++stats_.finished;
   close_locked(std::move(t), at_ns, std::move(outcome));
+}
+
+void TraceCollector::annotate(TraceKey key, std::uint64_t at_ns,
+                              std::string stage, std::string detail) {
+  if (!sampled(key)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = open_.find(key); it != open_.end()) {
+    if (it->second.events.size() < config_.max_events_per_trace) {
+      it->second.events.push_back(
+          TraceEvent{at_ns, std::move(stage), std::move(detail)});
+    }
+    return;
+  }
+  // Newest completed entry wins: a key reused across ring generations
+  // annotates the span it actually belongs to.
+  for (auto it = completed_.rbegin(); it != completed_.rend(); ++it) {
+    if (it->key != key) continue;
+    if (it->events.size() < config_.max_events_per_trace) {
+      it->events.push_back(
+          TraceEvent{at_ns, std::move(stage), std::move(detail)});
+    }
+    return;
+  }
 }
 
 void TraceCollector::close_locked(Trace trace, std::uint64_t at_ns,

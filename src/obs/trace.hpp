@@ -84,6 +84,15 @@ class TraceCollector {
   // Close the trace for `key` (no-op unless sampled and open).
   void finish(TraceKey key, std::uint64_t at_ns, std::string outcome);
 
+  // Append a hop event to the trace for `key` WITHOUT opening one: hop
+  // events legitimately arrive after the local span closed (gossipsub
+  // delivers locally before relaying, so "fwd" sends follow the deliver
+  // finish; a "dup" receipt by definition follows the first rx).
+  // Attaches to the open trace if any, else to the newest completed-ring
+  // entry for the key; dropped once the ring has evicted it.
+  void annotate(TraceKey key, std::uint64_t at_ns, std::string stage,
+                std::string detail = "");
+
   [[nodiscard]] TraceCollectorStats stats() const;
   [[nodiscard]] std::size_t open_count() const;
 

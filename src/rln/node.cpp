@@ -162,7 +162,7 @@ void WakuRlnRelayNode::wire_shard(shard::ShardedValidator& validator,
   // reference would dangle.
   relay_.set_batch_validator_topic(
       topic,
-      [this, shard, generation](const std::vector<net::NodeId>&,
+      [this, shard, generation](const std::vector<net::NodeId>& froms,
                                 const std::vector<net::TimeMs>& received_at,
                                 const std::vector<WakuMessage>& messages) {
         shard::ShardedValidator* validator =
@@ -179,14 +179,17 @@ void WakuRlnRelayNode::wire_shard(shard::ShardedValidator& validator,
         const bool tracing =
             obs_clock_ != nullptr && tracer_.config().sample_every != 0;
         if (tracing) {
-          for (const WakuMessage& msg : messages) {
+          for (std::size_t i = 0; i < messages.size(); ++i) {
             // traced() first: unsampled messages pay only the key hash,
             // never the detail-string build or the clock read.
-            if (!traced(msg)) continue;
-            trace_event(msg, "rx",
+            if (!traced(messages[i])) continue;
+            // The hop-provenance edge (`from=`) is what lets the
+            // cross-node PropagationAssembler rebuild the hop graph.
+            trace_event(messages[i], "rx",
                         "node=" + std::to_string(node_id()) +
                             ",shard=" + std::to_string(shard) +
-                            ",gen=" + std::to_string(generation));
+                            ",gen=" + std::to_string(generation) +
+                            ",from=" + std::to_string(froms[i]));
           }
         }
         // Route through the container's executor: deterministic mode is
@@ -282,6 +285,32 @@ void WakuRlnRelayNode::start() {
   }
   chain_subscription_ = chain_.subscribe_events(
       [this](const chain::Event& ev) { handle_chain_event(ev); });
+
+  // Hop-direction hook: the router is the only layer that sees which
+  // peer an outbound publish frame targets ("fwd") or which peer a
+  // duplicate receipt came from ("dup"). Both fire after the local span
+  // closed (gossipsub delivers locally before relaying; a duplicate by
+  // definition follows the first rx), so they annotate the
+  // open-or-completed trace rather than opening a junk second span.
+  if (obs_clock_ != nullptr && tracer_.config().sample_every != 0) {
+    relay_.router().set_trace_hook(
+        [this](const char* kind, net::NodeId peer,
+               const gossipsub::PubSubMessage& m) {
+          WakuMessage msg;
+          try {
+            msg = WakuMessage::deserialize(m.data);
+          } catch (...) {
+            return;  // non-Waku frame: never traced
+          }
+          const obs::TraceKey key = waku::trace_key(msg);
+          if (!tracer_.sampled(key)) return;
+          const bool fwd = kind[0] == 'f';
+          tracer_.annotate(key, obs_clock_->now_ns(), kind,
+                           "node=" + std::to_string(node_id()) +
+                               (fwd ? ",to=" : ",from=") +
+                               std::to_string(peer));
+        });
+  }
 
   // Periodic upkeep: per-shard nullifier-log GC (both generations and the
   // cutover domain logs), load-tracker sampling, and pending-slash
@@ -740,9 +769,13 @@ void WakuRlnRelayNode::operator_tick() {
   // upkeep ticks and the cooldown since the last begin has passed.
   const shard::RebalanceRecommendation rec =
       load_tracker_.recommend(shards_.map());
+  // Mesh-level propagation-latency SLO joins the pressure signal: a
+  // fleet whose publish->delivery p95 blows the budget needs capacity
+  // even when every individual shard's validate p95 still looks fine.
   const bool pressure =
       rec.reshard_recommended ||
-      anomaly_.firing(obs::AnomalyRule::kP95BudgetBreach);
+      anomaly_.firing(obs::AnomalyRule::kP95BudgetBreach) ||
+      anomaly_.firing(obs::AnomalyRule::kPropagationLatency);
   if (!pressure) {
     operator_consecutive_recommend_ = 0;
     return;
@@ -957,6 +990,13 @@ void WakuRlnRelayNode::trace_finish(const WakuMessage& msg,
   const obs::TraceKey key = waku::trace_key(msg);
   if (!tracer_.sampled(key)) return;
   tracer_.finish(key, obs_clock_->now_ns(), std::move(outcome));
+}
+
+std::vector<obs::Trace> WakuRlnRelayNode::trace_dump() const {
+  std::vector<obs::Trace> out = tracer_.completed();
+  const std::vector<obs::Trace> slow = tracer_.slowest();
+  out.insert(out.end(), slow.begin(), slow.end());
+  return out;
 }
 
 double WakuRlnRelayNode::shard_p95_validate_ms(shard::ShardId shard) const {

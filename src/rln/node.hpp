@@ -419,6 +419,21 @@ class WakuRlnRelayNode {
   [[nodiscard]] const obs::AnomalyEngine& anomaly_engine() const {
     return anomaly_;
   }
+  /// Every retained sampled trace (completed ring then slow ring) — the
+  /// per-node dump a cross-node obs::PropagationAssembler ingests tagged
+  /// with node_id(). Ring overlap is fine: assembler ingestion is
+  /// idempotent per (node, key) and keeps the richest version.
+  [[nodiscard]] std::vector<obs::Trace> trace_dump() const;
+  /// Feeds the latest mesh-level propagation rollup (from an assembler
+  /// summary) into the self-monitor fleet aggregator, arming the
+  /// propagation-latency SLO rule for the operator loop. Harness-fed; a
+  /// standalone node leaves it unset and the rule stays healthy.
+  void set_propagation_health(double p95_ms, double redundancy,
+                              double reachability,
+                              std::uint64_t incomplete_trees) {
+    self_fleet_.set_propagation(p95_ms, redundancy, reachability,
+                                incomplete_trees);
+  }
   /// This node's health scrape for the current epoch — the generic
   /// NodeHealthSample a FleetAggregator ingests. The harness-only ground
   /// truth (honest/spam deliveries) is left 0 for the caller to fill.

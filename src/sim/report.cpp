@@ -75,8 +75,11 @@ std::string ScenarioVerdict::to_json() const {
          (fleet_timeline_json.empty() ? std::string("[]")
                                       : fleet_timeline_json) +
          ", ";
+  out += "\"propagation\": " +
+         (propagation_json.empty() ? std::string("{}") : propagation_json) +
+         ", ";
   // Trailing sentinel keeps the field() helpers uniform.
-  out += "\"schema\": 3}";
+  out += "\"schema\": 4}";
   return out;
 }
 

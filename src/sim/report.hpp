@@ -69,6 +69,12 @@ struct ScenarioVerdict {
   /// never sampled an epoch.
   std::string fleet_timeline_json = "[]";
 
+  /// Cross-node propagation rollup (obs::PropagationAssembler
+  /// summary_json): tree counts, publish->delivery quantiles, hop
+  /// histogram, redundancy, reachability, plus per-tree detail. "{}"
+  /// when the scenario ran without tracing (sample_every == 0).
+  std::string propagation_json = "{}";
+
   [[nodiscard]] std::string to_json() const;
 };
 

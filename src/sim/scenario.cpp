@@ -33,6 +33,30 @@ void Scenario::sample_if_epoch_turned() {
   scrape_fleet(epoch);
 }
 
+void Scenario::collect_propagation() {
+  if (config_.harness.node.obs.trace.sample_every == 0) return;
+  std::map<shard::ShardId, std::size_t> subscribers;
+  for (std::size_t i = 0; i < harness_.size(); ++i) {
+    if (!harness_.alive(i)) continue;
+    rln::WakuRlnRelayNode& node = harness_.node(i);
+    // Adversary publishes bypass the traced publish path; anchoring
+    // their node ids routes those trees to forensics instead of the
+    // honest-reconstruction count.
+    if (is_adversary_slot(i)) propagation_.mark_adversary(node.node_id());
+    propagation_.ingest(node.node_id(), node.trace_dump());
+    propagation_.ingest_flight(node.node_id(),
+                               node.flight_recorder().events());
+    for (const shard::ShardId s : node.validator().subscribed()) {
+      ++subscribers[s];
+    }
+  }
+  // Reachability denominators follow the CURRENT subscription map, so a
+  // kill mid-campaign shrinks the ideal receiver set with it.
+  for (const auto& [s, count] : subscribers) {
+    propagation_.set_subscribers(s, count);
+  }
+}
+
 void Scenario::scrape_fleet(std::uint64_t epoch) {
   if (epoch == last_fleet_epoch_) return;
   last_fleet_epoch_ = epoch;
@@ -53,6 +77,23 @@ void Scenario::scrape_fleet(std::uint64_t epoch) {
     s.spam_delivered = probe_.node_spam_delivered(i);
     s.spam_sent = spam_total;
     fleet_.ingest(std::move(s));
+  }
+  // Harvest every node's trace rings BEFORE closing the row so the
+  // epoch's fleet entry carries the propagation rollup it produced, and
+  // feed the same numbers back to each node's self-monitor — that is
+  // what arms the propagation-latency SLO rule for the operator loop.
+  if (config_.harness.node.obs.trace.sample_every != 0) {
+    collect_propagation();
+    const obs::PropagationSummary ps = propagation_.summary();
+    const double p95_ms = static_cast<double>(ps.p95_ns) / 1e6;
+    fleet_.set_propagation(p95_ms, ps.redundancy_ratio, ps.reachability,
+                           ps.incomplete_trees);
+    for (std::size_t i = 0; i < harness_.size(); ++i) {
+      if (is_adversary_slot(i) || !harness_.alive(i)) continue;
+      harness_.node(i).set_propagation_health(p95_ms, ps.redundancy_ratio,
+                                              ps.reachability,
+                                              ps.incomplete_trees);
+    }
   }
   fleet_.close_epoch(epoch);
 }
@@ -224,6 +265,9 @@ Report Scenario::run() {
   }
 
   verdict.fleet_timeline_json = fleet_.timeline_json();
+  if (config_.harness.node.obs.trace.sample_every != 0) {
+    verdict.propagation_json = propagation_.summary_json();
+  }
 
   return Report{verdict, metrics_.to_json()};
 }
@@ -293,11 +337,31 @@ std::string ShardFloodOutcome::to_json() const {
   }
   std::snprintf(buf, sizeof buf,
                 "], \"min_non_attacked_delivery\": %.4f, "
-                "\"spam_on_non_attacked_shards\": %llu}",
+                "\"spam_on_non_attacked_shards\": %llu, ",
                 min_non_attacked_delivery,
                 static_cast<unsigned long long>(
                     spam_on_non_attacked_shards));
   out += buf;
+  char pbuf[512];
+  std::snprintf(pbuf, sizeof pbuf,
+                "\"propagation_trees\": %zu, "
+                "\"propagation_complete\": %zu, "
+                "\"propagation_incomplete\": %zu, "
+                "\"propagation_rejected\": %zu, "
+                "\"propagation_adversary\": %zu, "
+                "\"complete_tree_fraction\": %.4f, "
+                "\"propagation_p95_ms\": %.4f, "
+                "\"propagation_redundancy\": %.4f, "
+                "\"propagation_reachability\": %.4f, ",
+                propagation_trees, propagation_complete,
+                propagation_incomplete, propagation_rejected,
+                propagation_adversary, complete_tree_fraction,
+                propagation_p95_ms, propagation_redundancy,
+                propagation_reachability);
+  out += pbuf;
+  out += "\"propagation\": " +
+         (propagation_json.empty() ? std::string("{}") : propagation_json) +
+         "}";
   return out;
 }
 
@@ -358,6 +422,33 @@ ShardFloodOutcome run_shard_flood_campaign(const ShardFloodConfig& config) {
                            shard_topic[attacked]);
   AdversaryContext ctx{h, metrics, traffic_rng, config.tick_ms};
 
+  // Cross-node propagation assembly: harvest every node's trace rings at
+  // each epoch turn (idempotent ingest — a ring re-collected later only
+  // enriches its trees) and once more after the drain.
+  const bool tracing = hcfg.node.obs.trace.sample_every != 0;
+  obs::PropagationAssembler assembler;
+  if (tracing) {
+    // The flooder injects spam below the traced publish path (no honest
+    // telemetry from an attacker); anchor its trees as attack evidence
+    // so they feed forensics instead of the honest-reconstruction rate.
+    assembler.mark_adversary(h.node(flooder_slot).node_id());
+    for (std::uint16_t s = 0; s < num_shards; ++s) {
+      std::size_t hosts = 0;
+      for (std::size_t i = s; i < h.size(); i += num_shards) ++hosts;
+      assembler.set_subscribers(s, hosts);
+    }
+  }
+  const auto collect_rings = [&] {
+    if (!tracing) return;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (!h.alive(i)) continue;
+      assembler.ingest(h.node(i).node_id(), h.node(i).trace_dump());
+      assembler.ingest_flight(h.node(i).node_id(),
+                              h.node(i).flight_recorder().events());
+    }
+  };
+  std::uint64_t last_collect_epoch = ~std::uint64_t{0};
+
   const double per_tick_p =
       config.honest_rate_per_epoch * static_cast<double>(config.tick_ms) /
       static_cast<double>(hcfg.node.validator.epoch.epoch_length_ms);
@@ -386,6 +477,12 @@ ShardFloodOutcome run_shard_flood_campaign(const ShardFloodConfig& config) {
       h.run_ms(step);
       honest_tick();
       if (attack) flooder.on_tick(ctx);
+      const std::uint64_t epoch =
+          hcfg.node.validator.epoch.epoch_at(h.sim().now());
+      if (tracing && epoch != last_collect_epoch) {
+        last_collect_epoch = epoch;
+        collect_rings();
+      }
     }
   };
 
@@ -434,6 +531,33 @@ ShardFloodOutcome run_shard_flood_campaign(const ShardFloodConfig& config) {
           out.min_non_attacked_delivery, out.honest_delivery_by_shard[s]);
       out.spam_on_non_attacked_shards += out.spam_delivered_by_shard[s];
     }
+  }
+
+  if (tracing) {
+    collect_rings();  // post-drain: traces finished during the drain
+    const obs::PropagationSummary ps = assembler.summary();
+    out.propagation_trees = ps.trees;
+    out.propagation_complete = ps.complete_trees;
+    out.propagation_incomplete = ps.incomplete_trees;
+    out.propagation_rejected = ps.rejected_trees;
+    out.propagation_adversary = ps.adversary_trees;
+    const std::size_t honest_trees =
+        ps.trees - ps.rejected_trees - ps.adversary_trees;
+    out.complete_tree_fraction =
+        honest_trees == 0 ? 1.0
+                          : static_cast<double>(ps.complete_trees) /
+                                static_cast<double>(honest_trees);
+    out.propagation_p95_ms = static_cast<double>(ps.p95_ns) / 1e6;
+    out.propagation_redundancy = ps.redundancy_ratio;
+    out.propagation_reachability = ps.reachability;
+    // Compact rollup only (no per-tree detail): campaign outcomes are
+    // committed as bench baselines, where a 256-node trees_detail array
+    // would be megabytes of noise.
+    // Compact rollup only (no per-tree detail): campaign outcomes are
+    // committed as bench baselines, where a 256-node trees_detail array
+    // would be megabytes of noise.
+    out.propagation_json = ps.to_json();
+    out.chrome_trace_json = assembler.chrome_trace_json();
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include <set>
 
 #include "obs/fleet.hpp"
+#include "obs/propagation.hpp"
 #include "sim/adversary.hpp"
 #include "sim/report.hpp"
 
@@ -57,6 +58,12 @@ class Scenario {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] HarnessProbe& probe() { return probe_; }
   [[nodiscard]] obs::FleetAggregator& fleet() { return fleet_; }
+  /// Cross-node propagation assembler, fed from every node's trace rings
+  /// each epoch while tracing is enabled (harness.node.obs.trace
+  /// .sample_every != 0); empty otherwise.
+  [[nodiscard]] obs::PropagationAssembler& propagation() {
+    return propagation_;
+  }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
  private:
@@ -64,6 +71,7 @@ class Scenario {
   void generate_honest_traffic();
   void sample_if_epoch_turned();
   void scrape_fleet(std::uint64_t epoch);
+  void collect_propagation();
   [[nodiscard]] std::uint64_t epoch_now();
   [[nodiscard]] bool is_adversary_slot(std::size_t i) const {
     return adversary_slots_.contains(i);
@@ -76,6 +84,9 @@ class Scenario {
   /// Per-epoch cross-node health rows — the fleet-health timeline that
   /// rides in the verdict JSON (see ScenarioVerdict::fleet_timeline_json).
   obs::FleetAggregator fleet_;
+  /// Per-epoch trace-ring harvest (ingestion is idempotent, so rings
+  /// collected every epoch survive later kills/restarts of their node).
+  obs::PropagationAssembler propagation_;
   Rng traffic_rng_;
   std::vector<PhaseSpec> phases_;
   std::vector<Adversary*> all_adversaries_;
@@ -156,6 +167,29 @@ struct ShardFloodOutcome {
   /// Spam deliveries observed on any non-attacked shard (must be 0: shard
   /// meshes are disjoint).
   std::uint64_t spam_on_non_attacked_shards = 0;
+
+  /// Cross-node propagation rollup, assembled from every node's trace
+  /// rings each epoch. Populated only when the harness config enables
+  /// tracing (node.obs.trace.sample_every != 0); zeros/"{}" otherwise.
+  std::size_t propagation_trees = 0;
+  std::size_t propagation_complete = 0;
+  std::size_t propagation_incomplete = 0;
+  std::size_t propagation_rejected = 0;
+  /// Trees anchored at the flooder (within-quota spam accepted
+  /// fleet-wide plus rootless attack fragments) — forensics material.
+  std::size_t propagation_adversary = 0;
+  /// complete / (trees - rejected - adversary): the honest-tree
+  /// reconstruction rate the acceptance gate judges (1.0 when nothing
+  /// was sampled).
+  double complete_tree_fraction = 1.0;
+  double propagation_p95_ms = 0.0;  ///< publish -> last delivery, virtual
+  double propagation_redundancy = 0.0;
+  double propagation_reachability = 1.0;
+  /// obs::PropagationSummary::to_json() — compact rollup without the
+  /// per-tree detail array ("{}" without tracing).
+  std::string propagation_json = "{}";
+  /// Chrome trace-event export for chrome://tracing / Perfetto.
+  std::string chrome_trace_json = "{}";
 
   [[nodiscard]] std::string to_json() const;
 };
