@@ -143,11 +143,11 @@ int main(int argc, char** argv) {
         {members, "checkpoint_bootstrap", checkpoint_ms, wire.size()});
 
     const double speedup = cold_ms / checkpoint_ms;
-    char line[160];
+    char line[200];
     std::snprintf(line, sizeof(line),
                   "  {\"members\": %zu, \"checkpoint_speedup_vs_cold\": "
-                  "%.1f}",
-                  members, speedup);
+                  "%.1f, \"full_tree_storage_bytes\": %zu}",
+                  members, speedup, full.storage_bytes());
     summary_lines.push_back(line);
     std::printf(
         "cold %9.2f ms (%8zu B)  snapshot %7.2f ms (%8zu B)  "

@@ -1,0 +1,300 @@
+// Million-member group mechanics (ISSUE 10 acceptance measurements):
+//
+//   registration      single-insert vs insert_batch throughput on the
+//                     paged-arena tree — the batch path rehashes each
+//                     level once (~2n + depth hashes) instead of n·depth,
+//                     so it must land >= 5x the single-insert rate;
+//   witness           auth-path service cost on the populated tree (the
+//                     §IV-A hybrid-architecture serving cost per request);
+//   bootstrap         signed-checkpoint bytes + adopt latency for a
+//                     joining light client at each group size, plus the
+//                     full snapshot / paged-arena storage footprints;
+//   delta_checkpoint  poll-mode delta vs full checkpoint size for a
+//                     1k-member churn window (acceptance: >= 10x smaller).
+//
+// Standalone binary emitting machine-readable JSON (argv[1], default
+// BENCH_membership_scale.json). WAKU_BENCH_SMOKE=1 caps the group at 100k
+// members; the full run includes the 1M point.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chain/types.hpp"
+#include "common/serde.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "rln/checkpoint.hpp"
+#include "rln/group_manager.hpp"
+
+namespace {
+
+using namespace waku;       // NOLINT
+using namespace waku::rln;  // NOLINT
+using benchutil::smoke_mode;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kDepth = 20;
+// A churn-tolerant serving node keeps a much wider root window than the
+// default 10: under batched churn every block rotates a root, and a proof
+// generated seconds before arrival must still land inside the window, so
+// high-churn deployments size it in the tens. The full checkpoint ships
+// that whole window; the delta ships only the transitions since the
+// client's binding.
+constexpr std::size_t kServingRootWindow = 64;
+constexpr std::size_t kChurn = 1'000;
+// Churn arrives as gas-bounded register_batch calls (~500 members per
+// transaction), so a 1k churn window folds into 2 root transitions.
+constexpr std::size_t kChurnBatches = 2;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::vector<Fr> random_pks(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Fr> pks;
+  pks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pks.push_back(Fr::random(rng));
+  return pks;
+}
+
+/// One folded MembersRegistered event (the register_batch emission shape).
+chain::Event batch_event(std::uint64_t base, std::span<const Fr> pks) {
+  chain::Event ev;
+  ev.name = "MembersRegistered";
+  ev.topics = {ff::U256{base}, ff::U256{pks.size()}};
+  ByteWriter w;
+  for (const Fr& pk : pks) w.write_raw(pk.to_bytes_be());
+  ev.data = std::move(w).take();
+  return ev;
+}
+
+struct RegistrationRow {
+  std::size_t members;
+  double batch_ms;
+  double batch_per_s;
+  double single_per_s;
+  double batch_speedup;
+};
+
+struct WitnessRow {
+  std::size_t members;
+  double avg_us_per_path;
+};
+
+struct BootstrapRow {
+  std::size_t members;
+  std::size_t checkpoint_bytes;
+  double checkpoint_ms;
+  std::size_t snapshot_bytes;
+  std::size_t tree_storage_bytes;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_membership_scale.json";
+
+  const std::vector<std::size_t> sizes =
+      smoke_mode() ? std::vector<std::size_t>{10'000, 100'000}
+                   : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+
+  std::vector<RegistrationRow> registration;
+  std::vector<WitnessRow> witness;
+  std::vector<BootstrapRow> bootstrap;
+
+  const hash::schnorr::KeyPair key = hash::schnorr::keygen_from_seed(0x5CA1E);
+
+  for (const std::size_t members : sizes) {
+    std::printf("== %zu members (depth %zu)\n", members, kDepth);
+    const std::vector<Fr> pks = random_pks(members, 0x5CA1E + members);
+
+    // -- registration: batch vs single ---------------------------------------
+    merkle::IncrementalMerkleTree batch_tree(kDepth);
+    const auto batch_start = Clock::now();
+    batch_tree.insert_batch(pks);
+    const double batch_ms = ms_since(batch_start);
+    const double batch_per_s = 1000.0 * static_cast<double>(members) / batch_ms;
+
+    // Single-insert cost is ~depth hashes per member regardless of tree
+    // size; a sample at the populated tree's tail prices the whole run.
+    const std::size_t sample =
+        std::min<std::size_t>(2'000, members / 2);
+    merkle::IncrementalMerkleTree single_tree(kDepth);
+    single_tree.insert_batch(
+        std::span<const Fr>(pks).first(members - sample));
+    const auto single_start = Clock::now();
+    for (std::size_t i = members - sample; i < members; ++i) {
+      single_tree.insert(pks[i]);
+    }
+    const double single_ms = ms_since(single_start);
+    const double single_per_s =
+        1000.0 * static_cast<double>(sample) / single_ms;
+    if (single_tree.root() != batch_tree.root()) {
+      std::fprintf(stderr, "batch/single trees diverged\n");
+      return 1;
+    }
+    const double speedup = batch_per_s / single_per_s;
+    registration.push_back(
+        {members, batch_ms, batch_per_s, single_per_s, speedup});
+    std::printf(
+        "  register: batch %10.0f members/s  single %9.0f members/s  "
+        "speedup %.1fx\n",
+        batch_per_s, single_per_s, speedup);
+
+    // -- witness service -----------------------------------------------------
+    const std::size_t witness_sample = 1'000;
+    const auto witness_start = Clock::now();
+    for (std::size_t i = 0; i < witness_sample; ++i) {
+      // Stride the whole index range so paths cross many arena pages.
+      const std::uint64_t index = (i * members) / witness_sample;
+      const merkle::MerklePath path = batch_tree.auth_path(index);
+      if (path.siblings.size() != kDepth) return 1;
+    }
+    const double witness_us =
+        1000.0 * ms_since(witness_start) / witness_sample;
+    witness.push_back({members, witness_us});
+    std::printf("  witness:  %.2f us/path\n", witness_us);
+
+    // -- bootstrap: checkpoint bytes + adopt latency -------------------------
+    GroupManager full(kDepth, TreeMode::kFullTree, kServingRootWindow);
+    full.on_event(batch_event(0, pks));
+    Checkpoint checkpoint =
+        make_group_checkpoint(full, 1, {shard::ShardWatermark{0, 0}});
+    checkpoint.sign(key);
+    const Bytes wire = checkpoint.serialize();
+    const auto adopt_start = Clock::now();
+    const Checkpoint received = Checkpoint::deserialize(wire);
+    if (!received.verify(key.pk)) return 1;
+    GroupManager light = GroupManager::from_checkpoint(
+        received.group_checkpoint(), kServingRootWindow);
+    const double adopt_ms = ms_since(adopt_start);
+    if (light.root() != full.root()) {
+      std::fprintf(stderr, "checkpoint bootstrap diverged\n");
+      return 1;
+    }
+    bootstrap.push_back({members, wire.size(), adopt_ms,
+                         full.serialize().size(), full.storage_bytes()});
+    std::printf(
+        "  bootstrap: checkpoint %zu B in %.3f ms  (snapshot %zu B, "
+        "arena %zu B)\n",
+        wire.size(), adopt_ms, bootstrap.back().snapshot_bytes,
+        bootstrap.back().tree_storage_bytes);
+  }
+
+  // -- delta vs full checkpoint for a kChurn-member churn window -------------
+  // The serving node folds the churn as batched registrations (one root
+  // transition per batch); a poll-mode client then needs only the delta.
+  const std::size_t delta_base_members = sizes.back();
+  GroupManager serving(kDepth, TreeMode::kFullTree, kServingRootWindow);
+  std::uint64_t cursor = 0;
+  std::uint64_t next_member = 0;
+  {
+    const std::vector<Fr> base_pks =
+        random_pks(delta_base_members, 0xD317A);
+    serving.on_event(batch_event(0, base_pks));
+    ++cursor;
+    next_member = delta_base_members;
+  }
+  // Steady state for a churning group: the serving node has been folding
+  // batched registrations for a while, so its root window is saturated —
+  // that full window is what a full checkpoint must ship.
+  {
+    const std::vector<Fr> warmup_pks =
+        random_pks(kServingRootWindow * 16, 0xD317A1);
+    for (std::size_t b = 0; b < kServingRootWindow; ++b) {
+      serving.on_event(batch_event(
+          next_member,
+          std::span<const Fr>(warmup_pks).subspan(b * 16, 16)));
+      ++cursor;
+      next_member += 16;
+    }
+  }
+  const std::uint64_t from_cursor = cursor;
+  const Fr from_root = serving.root();
+
+  const std::size_t churn_batches = kChurnBatches;
+  const std::vector<Fr> churn_pks = random_pks(kChurn, 0xD317A2);
+  std::vector<Fr> root_tail;
+  for (std::size_t b = 0; b < churn_batches; ++b) {
+    const std::size_t lo = b * kChurn / churn_batches;
+    const std::size_t hi = (b + 1) * kChurn / churn_batches;
+    serving.on_event(batch_event(
+        next_member + lo,
+        std::span<const Fr>(churn_pks).subspan(lo, hi - lo)));
+    root_tail.push_back(serving.root());
+  }
+
+  DeltaCheckpoint delta;
+  delta.from_cursor = from_cursor;
+  delta.from_root = from_root;
+  delta.to_cursor = from_cursor + churn_batches;
+  delta.member_count = serving.member_count();
+  delta.removed_count = serving.removed_count();
+  delta.nullifier_watermarks = {shard::ShardWatermark{0, 0}};
+  delta.root_tail = root_tail;
+  delta.sign(key);
+  const std::size_t delta_bytes = delta.serialize().size();
+
+  Checkpoint full_after_churn = make_group_checkpoint(
+      serving, delta.to_cursor, {shard::ShardWatermark{0, 0}});
+  full_after_churn.sign(key);
+  const std::size_t full_bytes = full_after_churn.serialize().size();
+  const double size_ratio =
+      static_cast<double>(full_bytes) / static_cast<double>(delta_bytes);
+  std::printf(
+      "== delta: %zu-member churn over %zu batches  full %zu B  delta %zu B  "
+      "ratio %.1fx\n",
+      kChurn, churn_batches, full_bytes, delta_bytes, size_ratio);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n\"config\": {\"depth\": %zu, \"root_window\": %zu, "
+                  "\"smoke\": %d},\n",
+               kDepth, kServingRootWindow, smoke_mode() ? 1 : 0);
+  std::fprintf(f, "\"registration\": [\n");
+  for (std::size_t i = 0; i < registration.size(); ++i) {
+    const RegistrationRow& r = registration[i];
+    std::fprintf(f,
+                 "  {\"members\": %zu, \"batch_ms\": %.3f, "
+                 "\"batch_members_per_sec\": %.0f, "
+                 "\"single_members_per_sec\": %.0f, "
+                 "\"batch_speedup\": %.2f}%s\n",
+                 r.members, r.batch_ms, r.batch_per_s, r.single_per_s,
+                 r.batch_speedup, i + 1 < registration.size() ? "," : "");
+  }
+  std::fprintf(f, "],\n\"witness\": [\n");
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"members\": %zu, \"avg_us_per_path\": %.3f}%s\n",
+                 witness[i].members, witness[i].avg_us_per_path,
+                 i + 1 < witness.size() ? "," : "");
+  }
+  std::fprintf(f, "],\n\"bootstrap\": [\n");
+  for (std::size_t i = 0; i < bootstrap.size(); ++i) {
+    const BootstrapRow& b = bootstrap[i];
+    std::fprintf(f,
+                 "  {\"members\": %zu, \"checkpoint_bytes\": %zu, "
+                 "\"checkpoint_ms\": %.3f, \"snapshot_bytes\": %zu, "
+                 "\"tree_storage_bytes\": %zu}%s\n",
+                 b.members, b.checkpoint_bytes, b.checkpoint_ms,
+                 b.snapshot_bytes, b.tree_storage_bytes,
+                 i + 1 < bootstrap.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "],\n\"delta_checkpoint\": {\"base_members\": %zu, "
+               "\"churn_members\": %zu, \"churn_batches\": %zu, "
+               "\"full_bytes\": %zu, \"delta_bytes\": %zu, "
+               "\"size_ratio\": %.2f}\n}\n",
+               delta_base_members, kChurn, churn_batches, full_bytes,
+               delta_bytes, size_ratio);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

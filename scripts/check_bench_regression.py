@@ -152,6 +152,33 @@ def operator_loop_metrics(doc):
     }
 
 
+def membership_scale_metrics(doc):
+    """BENCH_membership_scale.json: {registration: [{members,
+    batch_speedup, ...}], delta_checkpoint: {size_ratio, ...}, ...}."""
+    if not isinstance(doc, dict) or "registration" not in doc:
+        return {}
+    metrics = {}
+    rows = doc.get("registration", [])
+    if rows:
+        # Guard the smallest member count: present in both smoke and full
+        # runs (the full run adds the 1M point on top), so baseline and CI
+        # compare the same measurement. The speedup is a same-run ratio —
+        # machine-portable like the other speedup metrics.
+        smallest = min(rows, key=lambda rec: rec["members"])
+        metrics["membership_scale.batch_speedup.min_members"] = smallest.get(
+            "batch_speedup"
+        )
+        metrics["membership_scale.batch_members_per_sec"] = smallest.get(
+            "batch_members_per_sec"
+        )
+    delta = doc.get("delta_checkpoint")
+    if isinstance(delta, dict):
+        # Pure size ratio of two serialized artifacts: identical on every
+        # machine, so a drop means the wire format itself regressed.
+        metrics["membership_scale.delta_size_ratio"] = delta.get("size_ratio")
+    return metrics
+
+
 def propagation_metrics(doc):
     """BENCH_propagation.json: {campaign: {complete_tree_fraction,
     propagation_reachability, ...}, overhead: {tracing_fraction}}."""
@@ -215,7 +242,7 @@ def parallel_validation_metrics(doc):
 # regression (dips), everything else regresses when it drops.
 LOWER_IS_BETTER = ("reshard.throughput_dip",)
 # Raw-rate metrics compared only under WAKU_BENCH_STRICT_ABSOLUTE=1.
-ABSOLUTE_ONLY = (".msgs_per_sec",)
+ABSOLUTE_ONLY = (".msgs_per_sec", "members_per_sec")
 # Absolute ceilings checked against the FRESH value alone — not against
 # the baseline, and not widened by the tolerance. The telemetry-overhead
 # fractions carry the ISSUE 7 acceptance bound: instrumentation may cost
@@ -238,6 +265,7 @@ EXTRACTORS = {
     "BENCH_telemetry_overhead.json": telemetry_overhead_metrics,
     "BENCH_operator_loop.json": operator_loop_metrics,
     "BENCH_propagation.json": propagation_metrics,
+    "BENCH_membership_scale.json": membership_scale_metrics,
 }
 
 
@@ -255,6 +283,14 @@ def main():
         default=float(os.environ.get("WAKU_BENCH_TOLERANCE", "0.25")),
         help="allowed fractional regression (default 0.25)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="BENCH_x.json",
+        help="guard only these bench files (repeatable) — for CI lanes "
+        "that run a single bench instead of the full smoke sweep",
+    )
     args = parser.parse_args()
 
     if os.environ.get("WAKU_BENCH_GUARD", "").lower() in ("off", "0", "skip"):
@@ -265,6 +301,8 @@ def main():
     failures = []
     compared = 0
     for name, extract in sorted(EXTRACTORS.items()):
+        if args.only and name not in args.only:
+            continue
         baseline_doc = load(os.path.join(args.baseline_dir, name))
         fresh_doc = load(os.path.join(args.fresh_dir, name))
         if baseline_doc is None:

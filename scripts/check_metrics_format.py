@@ -180,6 +180,60 @@ def check_chrome_trace(doc, errors):
             errors.append("chrome trace event %d: negative dur" % i)
 
 
+def check_membership_scale(doc, errors):
+    """BENCH_membership_scale.json (bench/bench_membership_scale.cpp):
+    sections present, member counts ascending, ratios coherent."""
+    for key in ("config", "registration", "witness", "bootstrap",
+                "delta_checkpoint"):
+        if key not in doc:
+            errors.append("membership scale: missing section %s" % key)
+    for section in ("registration", "witness", "bootstrap"):
+        rows = doc.get(section, [])
+        if not isinstance(rows, list) or not rows:
+            errors.append(
+                "membership scale: %s is not a non-empty array" % section
+            )
+            continue
+        prev = None
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or "members" not in row:
+                errors.append(
+                    "membership scale: %s row %d missing members"
+                    % (section, i)
+                )
+                continue
+            if prev is not None and row["members"] <= prev:
+                errors.append(
+                    "membership scale: %s member counts not ascending"
+                    % section
+                )
+            prev = row["members"]
+    for i, row in enumerate(doc.get("registration", [])):
+        speedup = row.get("batch_speedup") if isinstance(row, dict) else None
+        if speedup is None or speedup <= 0:
+            errors.append(
+                "membership scale: registration row %d has no positive "
+                "batch_speedup" % i
+            )
+    delta = doc.get("delta_checkpoint", {})
+    if isinstance(delta, dict):
+        for key in ("full_bytes", "delta_bytes", "size_ratio"):
+            if key not in delta:
+                errors.append("membership scale: delta_checkpoint missing %s"
+                              % key)
+        full = delta.get("full_bytes")
+        small = delta.get("delta_bytes")
+        ratio = delta.get("size_ratio")
+        if None not in (full, small, ratio) and small:
+            if abs(ratio - full / small) > 0.05 * ratio:
+                errors.append(
+                    "membership scale: size_ratio %r inconsistent with "
+                    "full_bytes/delta_bytes %r/%r" % (ratio, full, small)
+                )
+    else:
+        errors.append("membership scale: delta_checkpoint is not an object")
+
+
 def check_metrics_json(doc, errors):
     """WakuRlnRelayNode::metrics_json: every section present, the embedded
     self-fleet timeline well-formed."""
@@ -225,10 +279,15 @@ def json_main(argv):
     elif isinstance(doc, dict) and "hop_histogram" in doc:
         shape = "propagation summary (%d trees)" % doc.get("trees", 0)
         check_propagation_summary(doc, errors)
+    elif isinstance(doc, dict) and "delta_checkpoint" in doc:
+        shape = "membership scale bench (%d sizes)" % len(
+            doc.get("registration") or []
+        )
+        check_membership_scale(doc, errors)
     else:
         errors.append("unrecognized JSON shape (not a timeline, "
-                      "postmortem, metrics_json, chrome trace, or "
-                      "propagation summary dump)")
+                      "postmortem, metrics_json, chrome trace, "
+                      "propagation summary, or membership scale dump)")
         shape = "?"
 
     if errors:

@@ -49,7 +49,7 @@ for bin in "$BUILD"/bench_*; do
   want "$name" || continue
   echo "== $name"
   case "$name" in
-    bench_batch_validation|bench_bootstrap|bench_adversarial|bench_sharding|bench_reshard|bench_parallel_validation|bench_telemetry_overhead|bench_operator_loop|bench_propagation)
+    bench_batch_validation|bench_bootstrap|bench_adversarial|bench_sharding|bench_reshard|bench_parallel_validation|bench_telemetry_overhead|bench_operator_loop|bench_propagation|bench_membership_scale)
       # Standalone benches: each writes its own JSON schema and honors
       # WAKU_BENCH_SMOKE.
       "$bin" "$OUT/BENCH_${name#bench_}.json"

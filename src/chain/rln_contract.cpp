@@ -40,6 +40,7 @@ Bytes RlnMembershipContract::call(CallContext& ctx, const std::string& method,
                                   BytesView calldata) {
   if (method == "register") return do_register(ctx, calldata);
   if (method == "register_batch") return do_register_batch(ctx, calldata);
+  if (method == "withdraw_batch") return do_withdraw_batch(ctx, calldata);
   if (method == "commit_slash") return do_commit_slash(ctx, calldata);
   if (method == "reveal_slash") return do_reveal_slash(ctx, calldata);
   if (method == "slash_direct") return do_slash_direct(ctx, calldata);
@@ -79,16 +80,53 @@ Bytes RlnMembershipContract::do_register_batch(CallContext& ctx,
   const std::uint32_t n = r.read_u32();
   ctx.require(n > 0, "register_batch: empty batch");
   ctx.require(ctx.value() == deposit_ * n, "register_batch: wrong deposit");
-  // One count read/write for the whole batch — the amortization the paper
-  // credits with halving per-member registration gas.
+  // One count read/write and ONE event for the whole batch — the
+  // amortization the paper credits with halving per-member registration
+  // gas. Peers fold the batched event into a single root transition, so
+  // intermediate roots never exist on- or off-chain.
   const std::uint64_t base = ctx.sload(count_key()).limb[0];
+  Bytes packed_pks;
+  packed_pks.reserve(std::size_t{n} * 32);
   for (std::uint32_t i = 0; i < n; ++i) {
     const U256 pk = read_u256(r);
     ctx.require(!pk.is_zero(), "zero identity commitment");
     ctx.sstore(member_key(base + i), pk);
-    ctx.emit("MemberRegistered", {U256{base + i}, pk});
+    const Bytes pk_be = u256_to_bytes_be(pk);
+    packed_pks.insert(packed_pks.end(), pk_be.begin(), pk_be.end());
   }
   ctx.sstore(count_key(), U256{base + n});
+  ctx.emit("MembersRegistered", {U256{base}, U256{n}},
+           std::move(packed_pks));
+  return {};
+}
+
+Bytes RlnMembershipContract::do_withdraw_batch(CallContext& ctx,
+                                               BytesView calldata) {
+  ByteReader r(calldata);
+  const std::uint32_t n = r.read_u32();
+  ctx.require(n > 0, "withdraw_batch: empty batch");
+  // Records are applied in calldata order; each auth path must be valid
+  // against the tree state after the preceding removals in the batch, so
+  // partial-view peers can replay them sequentially from the one event.
+  ByteWriter event_data;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Fr sk = read_fr(r);
+    const std::uint64_t index = r.read_u64();
+    const Bytes path = r.read_bytes();
+    ctx.charge_poseidon();
+    const U256 pk = hash::poseidon1(sk).to_u256();
+    const U256 stored = ctx.sload(member_key(index));
+    ctx.require(!stored.is_zero(), "withdraw_batch: member slot empty");
+    ctx.require(stored == pk, "withdraw_batch: identity key mismatch");
+    ctx.sstore(member_key(index), U256{});
+    event_data.write_u64(index);
+    event_data.write_raw(u256_to_bytes_be(pk));
+    event_data.write_bytes(path);
+  }
+  // One payout transfer and one event amortize the per-removal overhead.
+  ctx.transfer_out(ctx.sender(), deposit_ * n);
+  ctx.emit("MembersWithdrawn", {U256{n}, ctx.sender().to_u256()},
+           std::move(event_data).take());
   return {};
 }
 

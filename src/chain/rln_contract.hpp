@@ -12,6 +12,7 @@
 //   reveal_slash    sk(32B) salt(32B) index(u64) path  commit-reveal step 2
 //   slash_direct    sk(32B) index(u64) path          race-prone variant
 //   withdraw        sk(32B) index(u64) path          exit with deposit
+//   withdraw_batch  u32 n, n * (sk(32B) index(u64) u32-prefixed path)
 //   member_count    -> u64
 //   member_at       index(u64) -> pk(32B)
 //
@@ -19,6 +20,14 @@
 // interpret it (no gas beyond calldata + log) but echoes it in the removal
 // event so peers holding only the O(log N) partial view [18] can apply the
 // deletion — the availability assumption of paper §IV-A.
+//
+// Batch methods emit ONE event per call, which peers fold into a single
+// root transition:
+//   MembersRegistered  topics {base, n},     data = n * pk(32B)
+//   MembersWithdrawn   topics {n, payee},    data = n * (index(u64) pk(32B)
+//                                                        u32-prefixed path)
+// withdraw_batch paths must be sequentially valid: record i's path is
+// checked by partial views against the tree after records 0..i-1 applied.
 #pragma once
 
 #include "chain/contract.hpp"
@@ -59,6 +68,7 @@ class RlnMembershipContract : public Contract {
   Bytes do_reveal_slash(CallContext& ctx, BytesView calldata);
   Bytes do_slash_direct(CallContext& ctx, BytesView calldata);
   Bytes do_withdraw(CallContext& ctx, BytesView calldata);
+  Bytes do_withdraw_batch(CallContext& ctx, BytesView calldata);
 
   void register_one(CallContext& ctx, const ff::U256& pk);
   /// Shared by reveal/direct slash and withdraw: verify pk at index matches

@@ -65,32 +65,22 @@ bool verify_path(const Fr& root, const Fr& leaf, const MerklePath& path) {
 }
 
 IncrementalMerkleTree::IncrementalMerkleTree(std::size_t depth)
-    : depth_(depth), levels_(depth + 1) {
+    : depth_(depth), arena_(depth) {
   WAKU_EXPECTS(depth >= 1 && depth <= kMaxDepth);
-}
-
-void IncrementalMerkleTree::store(std::size_t level, std::uint64_t idx,
-                                  const Fr& value) {
-  auto& lvl = levels_[level];
-  if (idx >= lvl.size()) {
-    lvl.resize(idx + 1, zero_at(level));
-  }
-  lvl[idx] = value;
 }
 
 Fr IncrementalMerkleTree::node_at(std::size_t level, std::uint64_t idx) const {
   WAKU_EXPECTS(level <= depth_);
-  const auto& lvl = levels_[level];
-  return idx < lvl.size() ? lvl[idx] : zero_at(level);
+  return arena_.get(level, idx);
 }
 
 void IncrementalMerkleTree::recompute_path(std::uint64_t leaf_index) {
   std::uint64_t idx = leaf_index;
   for (std::size_t l = 0; l < depth_; ++l) {
     const std::uint64_t parent = idx >> 1;
-    const Fr left = node_at(l, parent * 2);
-    const Fr right = node_at(l, parent * 2 + 1);
-    store(l + 1, parent, hash_pair(left, right));
+    const Fr& left = arena_.get(l, parent * 2);
+    const Fr& right = arena_.get(l, parent * 2 + 1);
+    arena_.set(l + 1, parent, hash_pair(left, right));
     idx = parent;
   }
 }
@@ -98,14 +88,38 @@ void IncrementalMerkleTree::recompute_path(std::uint64_t leaf_index) {
 std::uint64_t IncrementalMerkleTree::insert(const Fr& leaf) {
   WAKU_EXPECTS(leaf_count_ < capacity());
   const std::uint64_t index = leaf_count_++;
-  store(0, index, leaf);
+  arena_.set(0, index, leaf);
   recompute_path(index);
   return index;
 }
 
+std::uint64_t IncrementalMerkleTree::insert_batch(std::span<const Fr> leaves) {
+  if (leaves.empty()) return leaf_count_;
+  WAKU_EXPECTS(leaves.size() <= capacity() &&
+               leaf_count_ <= capacity() - leaves.size());
+  const std::uint64_t base = leaf_count_;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    arena_.set(0, base + i, leaves[i]);
+  }
+  leaf_count_ += leaves.size();
+  // Rehash each level once over the parents of the touched range; the
+  // range halves per level, so the whole batch costs ~2n + depth hashes.
+  std::uint64_t lo = base;
+  std::uint64_t hi = leaf_count_ - 1;
+  for (std::size_t l = 0; l < depth_; ++l) {
+    lo >>= 1;
+    hi >>= 1;
+    for (std::uint64_t p = lo; p <= hi; ++p) {
+      arena_.set(l + 1, p,
+                 hash_pair(arena_.get(l, p * 2), arena_.get(l, p * 2 + 1)));
+    }
+  }
+  return base;
+}
+
 void IncrementalMerkleTree::update(std::uint64_t index, const Fr& leaf) {
   WAKU_EXPECTS(index < leaf_count_);
-  store(0, index, leaf);
+  arena_.set(0, index, leaf);
   recompute_path(index);
 }
 
@@ -125,17 +139,25 @@ MerklePath IncrementalMerkleTree::auth_path(std::uint64_t index) const {
 }
 
 const Fr& IncrementalMerkleTree::leaf(std::uint64_t index) const {
-  WAKU_EXPECTS(index < leaf_count_ && index < levels_[0].size());
-  return levels_[0][index];
+  WAKU_EXPECTS(index < leaf_count_);
+  return arena_.get(0, index);
 }
 
+// Wire format (unchanged from the pre-arena implementation, so snapshots
+// restore across the backend swap): u32 depth | u64 leaf_count | per level
+// (u64 dense-prefix length, then that many 32-byte big-endian nodes). The
+// dense prefix is the arena's high-water mark; gaps inside it are the
+// zero-subtree hash and round-trip exactly.
 Bytes IncrementalMerkleTree::serialize() const {
   ByteWriter w;
   w.write_u32(static_cast<std::uint32_t>(depth_));
   w.write_u64(leaf_count_);
-  for (const auto& lvl : levels_) {
-    w.write_u64(lvl.size());
-    for (const Fr& node : lvl) w.write_raw(node.to_bytes_be());
+  for (std::size_t l = 0; l <= depth_; ++l) {
+    const std::uint64_t n = arena_.used(l);
+    w.write_u64(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      w.write_raw(arena_.get(l, i).to_bytes_be());
+    }
   }
   return std::move(w).take();
 }
@@ -150,19 +172,17 @@ IncrementalMerkleTree IncrementalMerkleTree::deserialize(BytesView bytes) {
   for (std::size_t l = 0; l <= depth; ++l) {
     const std::uint64_t n = r.read_u64();
     WAKU_EXPECTS(n <= (std::uint64_t{1} << (depth - l)));
-    auto& lvl = tree.levels_[l];
-    lvl.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
-      lvl.push_back(Fr::from_bytes_reduce(r.read_raw(32)));
+      // set() skips materializing pages for zero-ladder values, so a
+      // restored tree is as lazily paged as the one that was serialized.
+      tree.arena_.set(l, i, Fr::from_bytes_reduce(r.read_raw(32)));
     }
   }
   return tree;
 }
 
 std::size_t IncrementalMerkleTree::storage_bytes() const {
-  std::size_t nodes = 0;
-  for (const auto& lvl : levels_) nodes += lvl.size();
-  return nodes * 32;  // canonical Fr serialization is 32 bytes
+  return arena_.storage_bytes();
 }
 
 }  // namespace waku::merkle

@@ -6,14 +6,19 @@
 // the contract's "delete" semantics in the paper.
 //
 // IncrementalMerkleTree stores every computed node — O(N) per peer, the
-// configuration whose cost §IV quotes as 67 MB at depth 20. The O(log N)
-// alternative lives in partial_view.hpp.
+// configuration whose cost §IV quotes as 67 MB at depth 20. Nodes live in a
+// PagedNodeArena (node_arena.hpp): level-major fixed-size pages of
+// contiguous Fr, materialized lazily against the empty-subtree ladder, so a
+// 2^20-leaf tree is ~2k dense pages and appends never pay vector
+// reallocation copies. The O(log N) alternative lives in partial_view.hpp.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ff/fr.hpp"
+#include "merkle/node_arena.hpp"
 
 namespace waku::merkle {
 
@@ -53,6 +58,13 @@ class IncrementalMerkleTree {
   /// Appends a leaf; returns its index. Throws if the tree is full.
   std::uint64_t insert(const Fr& leaf);
 
+  /// Appends `leaves` as one transition and returns the index of the first.
+  /// Instead of recomputing a root-to-leaf path per append (n·depth
+  /// hashes), each level is rehashed once over the affected index range —
+  /// ~2n + depth hashes total, which is what makes batched registration
+  /// amortize. Equivalent to insert() in a loop, observed at the end.
+  std::uint64_t insert_batch(std::span<const Fr> leaves);
+
   /// Overwrites the leaf at `index` (must be < size()).
   void update(std::uint64_t index, const Fr& leaf);
 
@@ -75,7 +87,14 @@ class IncrementalMerkleTree {
   }
 
   /// Bytes of node storage currently held — the quantity E4 measures.
+  /// Counts materialized arena pages, so it includes page-rounding slack
+  /// (bounded by ~one page per level) but not lazily-zero regions.
   [[nodiscard]] std::size_t storage_bytes() const;
+
+  /// Materialized arena pages (diagnostic; see PagedNodeArena).
+  [[nodiscard]] std::size_t arena_pages() const {
+    return arena_.materialized_pages();
+  }
 
   /// Full-state serialization (every stored node), so a restart restores
   /// the tree by memcpy-speed deserialization instead of re-hashing the
@@ -85,13 +104,12 @@ class IncrementalMerkleTree {
 
  private:
   void recompute_path(std::uint64_t leaf_index);
-  void store(std::size_t level, std::uint64_t idx, const Fr& value);
 
   std::size_t depth_;
   std::uint64_t leaf_count_ = 0;
-  // levels_[l][i] = node i at level l; levels_[0] are leaves. Vectors only
-  // grow as leaves are appended, so storage is O(inserted leaves).
-  std::vector<std::vector<Fr>> levels_;
+  // Level-major paged node storage; pages materialize as leaves are
+  // appended, so allocation is O(inserted leaves) + one page per level.
+  PagedNodeArena arena_;
 };
 
 }  // namespace waku::merkle

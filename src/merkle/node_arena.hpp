@@ -1,0 +1,85 @@
+// Paged node arena: the dense storage backend for IncrementalMerkleTree.
+//
+// A depth-20 tree has ~2^21 nodes; held as per-level std::vectors the
+// append path pays reallocation copies (a 1M-leaf level-0 vector is 32 MB
+// moved several times over) and a sparse tree still materializes every
+// prefix slot. The arena instead slices each level into fixed-size pages of
+// contiguous Fr slabs, level-major, allocated only when a node inside them
+// is first written. Unmaterialized pages read back as the precomputed
+// empty-subtree ladder (zero_at), so empty regions cost nothing: a full
+// 2^20-leaf tree is ~2k dense 32 KB pages (~67 MB, the figure §IV quotes),
+// while a 1k-leaf tree in the same depth-20 geometry stays under a MB.
+//
+// Pages near the root are clamped to the level's capacity (level d-1 has
+// two nodes; a 32 KB page there would be pure waste), so per-tree overhead
+// from page rounding is bounded by ~one page per level.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ff/fr.hpp"
+
+namespace waku::merkle {
+
+using ff::Fr;
+
+/// Hash of an empty subtree whose root sits at `level` (level 0 = leaf).
+/// Defined in merkle_tree.cpp; the arena uses it as the backing value for
+/// unmaterialized pages.
+const Fr& zero_at(std::size_t level);
+
+class PagedNodeArena {
+ public:
+  /// Nodes per page at full-width levels (32 KB of Fr per page).
+  static constexpr std::size_t kPageNodes = 1024;
+
+  /// `depth` in [1, 40]; the arena stores levels 0..depth inclusive.
+  explicit PagedNodeArena(std::size_t depth);
+
+  /// Page width at `level`: kPageNodes clamped to the level's capacity.
+  [[nodiscard]] std::uint64_t page_nodes(std::size_t level) const {
+    const std::uint64_t cap = level_capacity(level);
+    return cap < kPageNodes ? cap : kPageNodes;
+  }
+
+  /// Node value at (level, idx); the zero-subtree hash when the page
+  /// holding it was never materialized.
+  [[nodiscard]] const Fr& get(std::size_t level, std::uint64_t idx) const;
+
+  /// Stores a node, materializing its page on first touch. Writing the
+  /// level's zero value into an unmaterialized page only advances the
+  /// high-water mark — the page stays lazy, so deletions and restores of
+  /// mostly-empty regions allocate nothing.
+  void set(std::size_t level, std::uint64_t idx, const Fr& value);
+
+  /// High-water mark: one past the highest index ever set() at `level`.
+  /// Matches the dense prefix length the serialized form carries.
+  [[nodiscard]] std::uint64_t used(std::size_t level) const {
+    return levels_[level].used;
+  }
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t materialized_pages() const;
+
+  /// Bytes of node storage actually allocated (materialized pages only).
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ private:
+  struct Level {
+    // pages[p] covers node indices [p*page_nodes, (p+1)*page_nodes);
+    // nullptr means every node in the range is the zero-subtree hash.
+    std::vector<std::unique_ptr<Fr[]>> pages;
+    std::uint64_t used = 0;
+  };
+
+  [[nodiscard]] std::uint64_t level_capacity(std::size_t level) const {
+    return std::uint64_t{1} << (depth_ - level);
+  }
+
+  std::size_t depth_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace waku::merkle

@@ -39,8 +39,12 @@ std::uint64_t StateStore::append(std::uint8_t type, BytesView payload,
                                  std::uint16_t shard) {
   const std::uint64_t lsn = wal_.append(type, payload, shard);
   ++appends_since_snapshot_;
-  if (provider_ && config_.snapshot_every_records > 0 &&
-      appends_since_snapshot_ >= config_.snapshot_every_records) {
+  const bool record_policy =
+      config_.snapshot_every_records > 0 &&
+      appends_since_snapshot_ >= config_.snapshot_every_records;
+  const bool byte_policy = config_.snapshot_every_bytes > 0 &&
+                           wal_.size_bytes() >= config_.snapshot_every_bytes;
+  if (provider_ && (record_policy || byte_policy)) {
     force_snapshot();
   }
   return lsn;

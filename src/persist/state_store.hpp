@@ -30,6 +30,13 @@ struct StateStoreConfig {
   /// WAL appends between automatic snapshots (0 disables the automatic
   /// policy; force_snapshot() still works).
   std::size_t snapshot_every_records = 512;
+  /// WAL size (bytes) that triggers a snapshot regardless of record count
+  /// (0 disables). The record-count policy alone mis-sizes compaction when
+  /// record payloads vary by orders of magnitude — a million-leaf group
+  /// whose churn arrives as batched events writes few but huge records, so
+  /// the WAL balloons long before `snapshot_every_records` fires. Either
+  /// threshold crossing compacts; both counters reset on snapshot.
+  std::size_t snapshot_every_bytes = 0;
   /// Snapshot generations retained on disk.
   std::size_t keep_snapshots = 2;
   /// WAL flush cadence: flush to the OS after every N appends. 1 (the

@@ -80,6 +80,86 @@ std::optional<std::uint64_t> Checkpoint::watermark_for(
   return std::nullopt;
 }
 
+namespace {
+
+constexpr std::uint8_t kDeltaVersion = 1;
+
+Bytes delta_payload_bytes(const DeltaCheckpoint& d) {
+  ByteWriter w;
+  w.write_u8(kDeltaVersion);
+  w.write_u64(d.from_cursor);
+  w.write_raw(d.from_root.to_bytes_be());
+  w.write_u64(d.to_cursor);
+  w.write_u64(d.member_count);
+  w.write_u64(d.removed_count);
+  w.write_u16(static_cast<std::uint16_t>(d.nullifier_watermarks.size()));
+  for (const shard::ShardWatermark& wm : d.nullifier_watermarks) {
+    w.write_u16(wm.shard);
+    w.write_u64(wm.min_epoch);
+  }
+  w.write_u8(static_cast<std::uint8_t>(d.root_tail.size()));
+  for (const Fr& root : d.root_tail) w.write_raw(root.to_bytes_be());
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Bytes DeltaCheckpoint::serialize() const {
+  Bytes out = delta_payload_bytes(*this);
+  const Bytes sig = signature.serialize();
+  out.insert(out.end(), sig.begin(), sig.end());
+  return out;
+}
+
+DeltaCheckpoint DeltaCheckpoint::deserialize(BytesView bytes) {
+  ByteReader r(bytes);
+  DeltaCheckpoint d;
+  if (r.read_u8() != kDeltaVersion) {
+    throw std::out_of_range("DeltaCheckpoint: unknown version");
+  }
+  d.from_cursor = r.read_u64();
+  d.from_root = Fr::from_bytes_reduce(r.read_raw(32));
+  d.to_cursor = r.read_u64();
+  d.member_count = r.read_u64();
+  d.removed_count = r.read_u64();
+  const std::uint16_t watermark_count = r.read_u16();
+  d.nullifier_watermarks.reserve(watermark_count);
+  for (std::uint16_t i = 0; i < watermark_count; ++i) {
+    shard::ShardWatermark wm;
+    wm.shard = r.read_u16();
+    wm.min_epoch = r.read_u64();
+    d.nullifier_watermarks.push_back(wm);
+  }
+  const std::uint8_t tail = r.read_u8();
+  if (tail > kDeltaRootTailMax) {
+    throw std::out_of_range("DeltaCheckpoint: root tail over cap");
+  }
+  d.root_tail.reserve(tail);
+  for (std::uint8_t i = 0; i < tail; ++i) {
+    d.root_tail.push_back(Fr::from_bytes_reduce(r.read_raw(32)));
+  }
+  d.signature = hash::schnorr::Signature::deserialize(
+      r.read_raw(hash::schnorr::Signature::kSerializedSize));
+  return d;
+}
+
+void DeltaCheckpoint::sign(const hash::schnorr::KeyPair& key) {
+  signature = hash::schnorr::sign(key, delta_payload_bytes(*this));
+}
+
+bool DeltaCheckpoint::verify(const Fr& service_pk) const {
+  return hash::schnorr::verify(service_pk, delta_payload_bytes(*this),
+                               signature);
+}
+
+std::optional<std::uint64_t> DeltaCheckpoint::watermark_for(
+    shard::ShardId shard) const {
+  for (const shard::ShardWatermark& wm : nullifier_watermarks) {
+    if (wm.shard == shard) return wm.min_epoch;
+  }
+  return std::nullopt;
+}
+
 Checkpoint make_group_checkpoint(
     const GroupManager& group, std::uint64_t event_cursor,
     std::vector<shard::ShardWatermark> watermarks) {

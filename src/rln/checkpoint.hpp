@@ -66,4 +66,56 @@ Checkpoint make_group_checkpoint(
     const GroupManager& group, std::uint64_t event_cursor,
     std::vector<shard::ShardWatermark> watermarks);
 
+// -- Delta checkpoints -------------------------------------------------------
+//
+// A light client that already holds a verified checkpoint does not need the
+// O(log N) view and the full root window again to stay current — for a
+// churning group it only needs the window to keep advancing. The delta
+// checkpoint is the poll-mode artifact: bound to the client's (cursor,
+// newest-root) state, it carries the *absolute* destination (cursor, member
+// counters, watermarks) plus the tail of root transitions since the
+// binding, all Schnorr-signed. A 1k-member churn window syncs in ~200
+// bytes where a full checkpoint re-ships kilobytes of window + view.
+//
+// Fail-closed by construction: the serving node only builds a delta when
+// its retained root-transition history still covers the client's cursor,
+// the client's claimed root matches the history at that cursor, and the
+// number of transitions since fits the tail cap. Any gap, mismatch, or
+// restart-evicted history makes the server fall back to a full checkpoint
+// (and the client adopts it through the normal full-verification path).
+
+/// Upper bound on the served root tail. Transitions beyond this mean the
+/// client's window would silently miss intermediate roots — the server
+/// falls back to a full checkpoint instead of serving a lossy delta.
+inline constexpr std::size_t kDeltaRootTailMax = 8;
+
+struct DeltaCheckpoint {
+  /// Binding to the client's prior state: apply only if the client sits
+  /// exactly at `from_cursor` with `from_root` as its newest window root.
+  std::uint64_t from_cursor = 0;
+  Fr from_root;
+
+  /// Absolute destination state (not increments): the chain cursor the
+  /// delta fast-forwards to and the member counters there.
+  std::uint64_t to_cursor = 0;
+  std::uint64_t member_count = 0;
+  std::uint64_t removed_count = 0;
+  /// Per-shard watermark values at to_cursor (absolute, same shape as the
+  /// full checkpoint's).
+  std::vector<shard::ShardWatermark> nullifier_watermarks;
+  /// Every root transition in (from_cursor, to_cursor], oldest → newest;
+  /// size <= kDeltaRootTailMax. The client unions these into its window.
+  std::vector<Fr> root_tail;
+  hash::schnorr::Signature signature;
+
+  [[nodiscard]] Bytes serialize() const;
+  static DeltaCheckpoint deserialize(BytesView bytes);
+
+  void sign(const hash::schnorr::KeyPair& key);
+  [[nodiscard]] bool verify(const Fr& service_pk) const;
+
+  [[nodiscard]] std::optional<std::uint64_t> watermark_for(
+      shard::ShardId shard) const;
+};
+
 }  // namespace waku::rln

@@ -111,6 +111,19 @@ void GroupManager::on_event(const chain::Event& event) {
     WAKU_EXPECTS(event.topics.size() >= 2);
     handle_registered(event.topics[0].limb[0],
                       Fr::from_u256_reduce(event.topics[1]));
+  } else if (event.name == "MembersRegistered") {
+    // Batched registration: topics {base, n}, data = n packed 32-byte pks.
+    WAKU_EXPECTS(event.topics.size() >= 2);
+    const std::uint64_t base = event.topics[0].limb[0];
+    const std::uint64_t n = event.topics[1].limb[0];
+    WAKU_EXPECTS(n > 0 && event.data.size() == n * 32);
+    std::vector<Fr> pks;
+    pks.reserve(n);
+    ByteReader r(event.data);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      pks.push_back(Fr::from_bytes_reduce(r.read_raw(32)));
+    }
+    handle_registered_batch(base, pks);
   } else if (event.name == "MemberSlashed" ||
              event.name == "MemberWithdrawn") {
     WAKU_EXPECTS(event.topics.size() >= 2);
@@ -122,11 +135,30 @@ void GroupManager::on_event(const chain::Event& event) {
     }
     handle_removed(event.topics[0].limb[0],
                    Fr::from_u256_reduce(event.topics[1]), path);
+  } else if (event.name == "MembersWithdrawn") {
+    // Batched withdraw: topics {n, payee}, data = n records of
+    // (index u64, pk 32B, u32-prefixed path). Paths are sequentially
+    // valid, so partial views apply records in order; the root window
+    // advances once for the whole batch.
+    WAKU_EXPECTS(!event.topics.empty());
+    const std::uint64_t n = event.topics[0].limb[0];
+    ByteReader r(event.data);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t index = r.read_u64();
+      const Fr pk = Fr::from_bytes_reduce(r.read_raw(32));
+      const Bytes path_bytes = r.read_bytes();
+      MerklePath path;
+      if (view_.has_value()) {
+        path = merkle::deserialize_path(path_bytes);
+      }
+      apply_removed(index, pk, path);
+    }
+    push_root();
   }
   // Other events (SlashCommitted, ...) do not affect the tree.
 }
 
-void GroupManager::handle_registered(std::uint64_t index, const Fr& pk) {
+void GroupManager::apply_registered(std::uint64_t index, const Fr& pk) {
   WAKU_EXPECTS(index == member_count_);
   ++member_count_;
 
@@ -148,11 +180,35 @@ void GroupManager::handle_registered(std::uint64_t index, const Fr& pk) {
       tree_.reset();
     }
   }
+}
+
+void GroupManager::handle_registered(std::uint64_t index, const Fr& pk) {
+  apply_registered(index, pk);
   push_root();
 }
 
-void GroupManager::handle_removed(std::uint64_t index, const Fr& pk,
-                                  const MerklePath& path) {
+void GroupManager::handle_registered_batch(std::uint64_t base,
+                                           std::span<const Fr> pks) {
+  WAKU_EXPECTS(base == member_count_);
+  if (!view_.has_value() && mode_ == TreeMode::kFullTree &&
+      !own_identity_.has_value()) {
+    // Fast path: no own-identity scan or mid-batch view conversion can
+    // trigger, so the whole batch goes through the level-once rehash.
+    tree_->insert_batch(pks);
+    member_count_ += pks.size();
+    for (std::size_t i = 0; i < pks.size(); ++i) {
+      pk_index_[pks[i].to_u256()] = base + i;
+    }
+  } else {
+    for (std::size_t i = 0; i < pks.size(); ++i) {
+      apply_registered(base + i, pks[i]);
+    }
+  }
+  push_root();
+}
+
+void GroupManager::apply_removed(std::uint64_t index, const Fr& pk,
+                                 const MerklePath& path) {
   ++removed_count_;
   if (view_.has_value()) {
     view_->on_update(index, pk, Fr::zero(), path);
@@ -167,7 +223,22 @@ void GroupManager::handle_removed(std::uint64_t index, const Fr& pk,
   if (own_index_.has_value() && *own_index_ == index) {
     own_index_.reset();  // we were slashed/withdrawn; publishing must stop
   }
+}
+
+void GroupManager::handle_removed(std::uint64_t index, const Fr& pk,
+                                  const MerklePath& path) {
+  apply_removed(index, pk, path);
   push_root();
+}
+
+void GroupManager::advance_window(std::span<const Fr> roots,
+                                  std::uint64_t member_count,
+                                  std::uint64_t removed_count) {
+  WAKU_EXPECTS(member_count >= member_count_ &&
+               removed_count >= removed_count_);
+  member_count_ = member_count;
+  removed_count_ = removed_count;
+  for (const Fr& r : roots) ring_push(r);
 }
 
 Fr GroupManager::root() const {

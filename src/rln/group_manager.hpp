@@ -15,6 +15,7 @@
 #include <atomic>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <variant>
 #include <vector>
@@ -127,6 +128,26 @@ class GroupManager {
   void handle_registered(std::uint64_t index, const Fr& pk);
   void handle_removed(std::uint64_t index, const Fr& pk,
                       const merkle::MerklePath& path);
+  /// Folds one batched MembersRegistered event into a single root
+  /// transition: all leaves appended (tree_->insert_batch on the full
+  /// tree), then one push_root — intermediate roots never enter the window.
+  void handle_registered_batch(std::uint64_t base, std::span<const Fr> pks);
+ public:
+  /// Poll-mode window advance (delta checkpoints, rln/checkpoint.hpp):
+  /// unions served root transitions into the recent-root window and
+  /// fast-forwards the member counters, without replaying the underlying
+  /// events. Only meaningful for a root-tracking manager that syncs by
+  /// polling instead of following the event stream; counters must be
+  /// monotone (a delta never rewinds).
+  void advance_window(std::span<const Fr> roots, std::uint64_t member_count,
+                      std::uint64_t removed_count);
+
+ private:
+  /// apply_* are handle_* minus the push_root, so batch handlers can apply
+  /// many mutations and publish one transition.
+  void apply_registered(std::uint64_t index, const Fr& pk);
+  void apply_removed(std::uint64_t index, const Fr& pk,
+                     const merkle::MerklePath& path);
   void push_root();
   /// Appends one root to the ring + index (push_root minus the dedup
   /// check; also used when rebuilding the window on restore).

@@ -65,6 +65,53 @@ void RlnFullServiceNode::on_message(net::NodeId from, BytesView payload) {
       network_.send(id_, from, std::move(w).take());
       break;
     }
+    case LightFrame::kDeltaReq: {
+      ++delta_requests_;
+      std::uint64_t from_cursor = 0;
+      Fr from_root;
+      std::vector<shard::ShardId> requested;
+      bool parsed = false;
+      try {
+        from_cursor = r.read_u64();
+        from_root = Fr::from_bytes_reduce(r.read_raw(32));
+        parsed = true;
+        const std::uint16_t count = r.read_u16();
+        for (std::uint16_t i = 0; i < count; ++i) {
+          requested.push_back(r.read_u16());
+        }
+      } catch (const std::exception&) {
+        if (!parsed) return;  // no binding at all: nothing to answer
+        requested.clear();    // malformed shard list degrades to "all"
+      }
+      ByteWriter w;
+      w.write_u8(static_cast<std::uint8_t>(LightFrame::kDeltaResp));
+      std::optional<DeltaCheckpoint> delta;
+      if (node_.group().mode() == TreeMode::kFullTree) {
+        delta = node_.make_delta_checkpoint(from_cursor, from_root,
+                                            requested);
+      }
+      if (delta.has_value()) {
+        delta->sign(checkpoint_key_);
+        ++deltas_served_;
+        w.write_u8(0);  // lossless delta
+        w.write_bytes(delta->serialize());
+      } else {
+        // Fail-closed fallback: gap, root mismatch, or restarted history —
+        // serve the full checkpoint (empty body if we cannot even do
+        // that), never a lossy delta.
+        ++delta_fallbacks_served_;
+        w.write_u8(1);  // full-checkpoint fallback
+        if (node_.group().mode() == TreeMode::kFullTree) {
+          Checkpoint checkpoint = node_.make_checkpoint(requested);
+          checkpoint.sign(checkpoint_key_);
+          w.write_bytes(checkpoint.serialize());
+        } else {
+          w.write_bytes({});
+        }
+      }
+      network_.send(id_, from, std::move(w).take());
+      break;
+    }
     case LightFrame::kPushReq: {
       WakuMessage msg;
       bool accepted = false;
@@ -217,6 +264,75 @@ bool RlnLightClient::adopt_checkpoint(const Checkpoint& checkpoint) {
   }
 }
 
+void RlnLightClient::go_offline() {
+  if (chain_ != nullptr && chain_subscription_.has_value()) {
+    chain_->unsubscribe_events(*chain_subscription_);
+    chain_subscription_.reset();
+  }
+}
+
+void RlnLightClient::delta_sync(net::NodeId service, DeltaSyncResult done) {
+  WAKU_EXPECTS(bootstrapped());  // delta needs a state to be bound to
+  pending_delta_syncs_.push_back(std::move(done));
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(LightFrame::kDeltaReq));
+  w.write_u64(sync_cursor());
+  w.write_raw(group_->recent_roots().back().to_bytes_be());
+  const std::vector<shard::ShardId> subscribed =
+      shards_config_.subscribed_shards();
+  w.write_u16(static_cast<std::uint16_t>(subscribed.size()));
+  for (const shard::ShardId shard : subscribed) w.write_u16(shard);
+  network_.send(id_, service, std::move(w).take());
+}
+
+bool RlnLightClient::adopt_delta(const DeltaCheckpoint& delta) {
+  if (chain_ == nullptr || !bootstrapped()) return false;
+  // 1. Attestation, same scheme as the full checkpoint's.
+  if (!delta.verify(service_pk_)) return false;
+  // 2. Binding: the delta must fast-forward from exactly our state —
+  //    a delta built against any other (cursor, root) base is meaningless
+  //    to apply here.
+  if (delta.from_cursor != sync_cursor()) return false;
+  const std::vector<Fr> roots = group_->recent_roots();
+  if (roots.empty() || roots.back() != delta.from_root) return false;
+  // 3. Monotonicity + shard coverage, as in the full adoption path.
+  if (delta.to_cursor < delta.from_cursor) return false;
+  if (delta.member_count < group_->member_count() ||
+      delta.removed_count < group_->removed_count()) {
+    return false;
+  }
+  std::vector<shard::ShardWatermark> watermarks;
+  for (const shard::ShardId shard : shards_config_.subscribed_shards()) {
+    const std::optional<std::uint64_t> wm = delta.watermark_for(shard);
+    if (!wm.has_value()) return false;
+    watermarks.push_back(shard::ShardWatermark{shard, *wm});
+  }
+  // 4. Contract cross-check: the claimed destination may not be ahead of
+  //    the chain (forged future) nor further behind it than the lag
+  //    tolerance (replayed stale delta).
+  try {
+    const Bytes count_bytes =
+        chain_->static_call(contract_, "member_count", {});
+    ByteReader count(count_bytes);
+    const std::uint64_t contract_members = count.read_u64();
+    if (delta.member_count > contract_members) return false;
+    if (delta.member_count + max_bootstrap_lag_ < contract_members) {
+      ++stale_checkpoints_rejected_;
+      return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+
+  group_->advance_window(delta.root_tail, delta.member_count,
+                         delta.removed_count);
+  validator_->seed_nullifier_watermarks(watermarks);
+  bootstrap_cursor_ = delta.to_cursor;
+  events_applied_ = 0;
+  ++delta_syncs_applied_;
+  return true;
+}
+
 ValidationOutcome RlnLightClient::validate(const WakuMessage& message,
                                            std::uint64_t local_now_ms) {
   WAKU_EXPECTS(validator_.has_value());
@@ -305,6 +421,30 @@ void RlnLightClient::on_message(net::NodeId from, BytesView payload) {
       if (!pending_bootstraps_.empty()) {
         auto cb = std::move(pending_bootstraps_.front());
         pending_bootstraps_.erase(pending_bootstraps_.begin());
+        if (cb) cb(ok);
+      }
+      break;
+    }
+    case LightFrame::kDeltaResp: {
+      bool ok = false;
+      try {
+        const std::uint8_t kind = r.read_u8();
+        if (kind == 0) {
+          ok = adopt_delta(DeltaCheckpoint::deserialize(r.read_bytes()));
+        } else {
+          // Fail-closed fallback: the server could not prove a lossless
+          // delta, so a full checkpoint arrives and goes through the
+          // complete bootstrap verification (and re-subscribes; poll-mode
+          // clients call go_offline() again).
+          ok = adopt_checkpoint(Checkpoint::deserialize(r.read_bytes()));
+          if (ok) ++delta_full_fallbacks_;
+        }
+      } catch (const std::exception&) {
+        ok = false;  // malformed response: keep the current state
+      }
+      if (!pending_delta_syncs_.empty()) {
+        auto cb = std::move(pending_delta_syncs_.front());
+        pending_delta_syncs_.erase(pending_delta_syncs_.begin());
         if (cb) cb(ok);
       }
       break;

@@ -43,6 +43,8 @@ enum class LightFrame : std::uint8_t {
   kPushResp = 4,       // u8 accepted
   kCheckpointReq = 5,  // u16 shard count, u16 shard ids (empty = all)
   kCheckpointResp = 6, // serialized signed Checkpoint
+  kDeltaReq = 7,       // u64 from_cursor, from_root(32), u16 shard count+ids
+  kDeltaResp = 8,      // u8 kind (0 = delta, 1 = full fallback), payload
 };
 
 /// Service half: answers tree-sync queries from the node's full
@@ -70,6 +72,15 @@ class RlnFullServiceNode : public net::NetNode {
   [[nodiscard]] std::uint64_t checkpoint_requests() const {
     return checkpoint_requests_;
   }
+  [[nodiscard]] std::uint64_t delta_requests() const {
+    return delta_requests_;
+  }
+  [[nodiscard]] std::uint64_t deltas_served() const { return deltas_served_; }
+  /// Delta requests answered with a full checkpoint because the node's
+  /// root-transition history could not prove the delta lossless.
+  [[nodiscard]] std::uint64_t delta_fallbacks_served() const {
+    return delta_fallbacks_served_;
+  }
   [[nodiscard]] std::uint64_t pushes_accepted() const {
     return pushes_accepted_;
   }
@@ -84,6 +95,9 @@ class RlnFullServiceNode : public net::NetNode {
   hash::schnorr::KeyPair checkpoint_key_;
   std::uint64_t tree_requests_ = 0;
   std::uint64_t checkpoint_requests_ = 0;
+  std::uint64_t delta_requests_ = 0;
+  std::uint64_t deltas_served_ = 0;
+  std::uint64_t delta_fallbacks_served_ = 0;
   std::uint64_t pushes_accepted_ = 0;
   std::uint64_t pushes_rejected_ = 0;
 };
@@ -127,6 +141,41 @@ class RlnLightClient : public net::NetNode {
   void bootstrap(net::NodeId service, BootstrapResult done = nullptr);
 
   [[nodiscard]] bool bootstrapped() const { return validator_.has_value(); }
+
+  // -- Delta sync (poll-mode window tracking) --------------------------------
+
+  using DeltaSyncResult = std::function<void(bool ok)>;
+
+  /// Detaches from the live contract event stream: the client stops
+  /// folding per-event root transitions and instead advances its window
+  /// by periodic delta_sync() polls — the cheap way to track a churning
+  /// million-member window. Idempotent; bootstrap()/full fallback
+  /// re-attach.
+  void go_offline();
+
+  /// Requests a delta checkpoint bound to this client's current (cursor,
+  /// newest-root) state. A verified delta fast-forwards the root window,
+  /// member counters, nullifier watermarks, and cursor in one ~200-byte
+  /// exchange. A server that cannot prove a lossless delta (gap, root
+  /// mismatch, restarted history) answers with a full checkpoint, adopted
+  /// through the normal full-verification bootstrap path — the fail-closed
+  /// fallback; that path re-subscribes to the event stream, so a client
+  /// staying in poll mode calls go_offline() again. Requires
+  /// bootstrapped().
+  void delta_sync(net::NodeId service, DeltaSyncResult done = nullptr);
+
+  /// Chain cursor the client's group state currently reflects.
+  [[nodiscard]] std::uint64_t sync_cursor() const {
+    return bootstrap_cursor_ + events_applied_;
+  }
+  [[nodiscard]] std::uint64_t delta_syncs_applied() const {
+    return delta_syncs_applied_;
+  }
+  /// Delta requests that came back as (and were adopted via) full
+  /// checkpoints.
+  [[nodiscard]] std::uint64_t delta_full_fallbacks() const {
+    return delta_full_fallbacks_;
+  }
 
   /// Freshness tolerance for served checkpoints: a checkpoint whose member
   /// count lags the contract's by more than this many registrations is
@@ -177,6 +226,8 @@ class RlnLightClient : public net::NetNode {
 
   /// Verifies and installs a served checkpoint; false leaves state as-is.
   bool adopt_checkpoint(const Checkpoint& checkpoint);
+  /// Verifies and applies a served delta; false leaves state as-is.
+  bool adopt_delta(const DeltaCheckpoint& delta);
 
   net::Network& network_;
   Identity identity_;
@@ -203,6 +254,9 @@ class RlnLightClient : public net::NetNode {
   std::uint64_t events_applied_ = 0;
   std::uint64_t max_bootstrap_lag_ = 2;
   std::uint64_t stale_checkpoints_rejected_ = 0;
+  std::vector<DeltaSyncResult> pending_delta_syncs_;
+  std::uint64_t delta_syncs_applied_ = 0;
+  std::uint64_t delta_full_fallbacks_ = 0;
 };
 
 }  // namespace waku::rln

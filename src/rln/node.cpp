@@ -274,6 +274,12 @@ void WakuRlnRelayNode::start() {
     }
   }
 
+  // Root-transition history starts at the current (possibly restored)
+  // cursor; transitions applied below during replay accrue into it.
+  root_history_floor_ = event_cursor_;
+  root_at_floor_ = group_.root();
+  root_history_.clear();
+
   // Durable nodes resume the contract event stream from their replay
   // cursor (everything older is already folded into the restored state);
   // ephemeral nodes keep the historical live-only behaviour.
@@ -880,6 +886,20 @@ void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
   ++event_cursor_;
   group_.on_event(event);
 
+  // Record the root transition (if any) for delta-checkpoint serving. A
+  // batched event folds into one transition, so one entry per event max.
+  const Fr now_root = group_.root();
+  const Fr& prev_root =
+      root_history_.empty() ? root_at_floor_ : root_history_.back().root;
+  if (now_root != prev_root) {
+    root_history_.push_back(RootTransition{event_cursor_, now_root});
+    if (root_history_.size() > kRootHistoryCap) {
+      root_history_floor_ = root_history_.front().cursor;
+      root_at_floor_ = root_history_.front().root;
+      root_history_.pop_front();
+    }
+  }
+
   if (event.name == "SlashCommitted") {
     // Our commitment is mined: submit the reveal (it lands in a later
     // block, satisfying the contract's maturity check). During restart
@@ -928,6 +948,16 @@ void WakuRlnRelayNode::handle_chain_event(const chain::Event& event) {
     // A withdraw that races our commit-reveal would otherwise leave the
     // index blocked in slashes_in_flight_ forever.
     resolve_slash(event.topics[0].limb[0]);
+  } else if (event.name == "MembersWithdrawn") {
+    // Batched exit: resolve every index in the record list, same race as
+    // the single-withdraw case above.
+    const std::uint64_t n = event.topics[0].limb[0];
+    ByteReader r(event.data);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      resolve_slash(r.read_u64());
+      r.read_raw(32);  // pk
+      r.read_bytes();  // echoed auth path
+    }
   }
 }
 
@@ -1831,6 +1861,48 @@ Checkpoint WakuRlnRelayNode::make_checkpoint(
     });
   }
   return make_group_checkpoint(group_, event_cursor_, std::move(watermarks));
+}
+
+std::optional<DeltaCheckpoint> WakuRlnRelayNode::make_delta_checkpoint(
+    std::uint64_t from_cursor, const Fr& from_root,
+    std::span<const shard::ShardId> shards) const {
+  // The history must still cover the client's cursor and the future
+  // cursor must not be ahead of us — otherwise we cannot prove the delta
+  // lossless and the caller falls back to a full checkpoint.
+  if (from_cursor < root_history_floor_ || from_cursor > event_cursor_) {
+    return std::nullopt;
+  }
+  // The recorded root at from_cursor: the last transition at or before it.
+  Fr root_at_from = root_at_floor_;
+  std::size_t tail_begin = 0;
+  for (std::size_t i = 0; i < root_history_.size(); ++i) {
+    if (root_history_[i].cursor > from_cursor) break;
+    root_at_from = root_history_[i].root;
+    tail_begin = i + 1;
+  }
+  if (root_at_from != from_root) return std::nullopt;  // forked/forged base
+  const std::size_t transitions = root_history_.size() - tail_begin;
+  if (transitions > kDeltaRootTailMax) return std::nullopt;  // lossy tail
+
+  DeltaCheckpoint delta;
+  delta.from_cursor = from_cursor;
+  delta.from_root = from_root;
+  delta.to_cursor = event_cursor_;
+  delta.member_count = group_.member_count();
+  delta.removed_count = group_.removed_count();
+  delta.nullifier_watermarks = shards_.nullifier_watermarks();
+  if (!shards.empty()) {
+    std::erase_if(delta.nullifier_watermarks,
+                  [&shards](const shard::ShardWatermark& wm) {
+                    return std::find(shards.begin(), shards.end(),
+                                     wm.shard) == shards.end();
+                  });
+  }
+  delta.root_tail.reserve(transitions);
+  for (std::size_t i = tail_begin; i < root_history_.size(); ++i) {
+    delta.root_tail.push_back(root_history_[i].root);
+  }
+  return delta;
 }
 
 }  // namespace waku::rln

@@ -123,7 +123,12 @@ struct NodeConfig {
   /// tampered blob aborts node construction rather than booting with a
   /// guessed identity.
   std::string keystore_password;
-  persist::StateStoreConfig persist;
+  /// Compaction sized for million-leaf groups: besides the record-count
+  /// policy, compact whenever the WAL outgrows 64 MiB. A 1M-leaf full
+  /// tree snapshots at ~67 MB, and batched registration events make WAL
+  /// records arbitrarily large — a byte cap keeps restart replay bounded
+  /// by roughly one snapshot's worth of bytes no matter the event mix.
+  persist::StateStoreConfig persist{.snapshot_every_bytes = 64ull << 20};
   /// A journaled commit-reveal slash whose reveal never lands (lost tx,
   /// front-run loss, withdraw race) is dropped after this many epochs so
   /// the index can be re-slashed.
@@ -347,6 +352,16 @@ class WakuRlnRelayNode {
   /// filters the per-shard nullifier watermarks to the requesting client's
   /// subscription subset; empty keeps every hosted shard's watermark.
   [[nodiscard]] Checkpoint make_checkpoint(
+      std::span<const shard::ShardId> shards = {}) const;
+
+  /// Builds a delta checkpoint fast-forwarding a client from (from_cursor,
+  /// from_root) to this node's current state, or nullopt when the retained
+  /// root-transition history cannot prove the delta lossless — cursor
+  /// older than the history floor, claimed root not matching the recorded
+  /// root at that cursor, or more transitions since than kDeltaRootTailMax
+  /// — in which case the caller serves a full checkpoint (fail-closed).
+  [[nodiscard]] std::optional<DeltaCheckpoint> make_delta_checkpoint(
+      std::uint64_t from_cursor, const Fr& from_root,
       std::span<const shard::ShardId> shards = {}) const;
 
   [[nodiscard]] net::NodeId node_id() const { return relay_.node_id(); }
@@ -635,6 +650,22 @@ class WakuRlnRelayNode {
 
   std::optional<persist::StateStore> state_store_;
   std::uint64_t event_cursor_ = 0;  ///< contract events applied
+
+  /// One recorded root transition: after applying the event at `cursor`
+  /// the group root became `root`.
+  struct RootTransition {
+    std::uint64_t cursor = 0;
+    Fr root;
+  };
+  /// Bounded root-transition history backing make_delta_checkpoint():
+  /// covers cursors in [root_history_floor_, event_cursor_], where the
+  /// root at the floor itself is root_at_floor_. Deliberately not
+  /// persisted — a restart resets it in start(), so delta requests fall
+  /// back to full checkpoints until fresh transitions accrue.
+  static constexpr std::size_t kRootHistoryCap = 64;
+  std::uint64_t root_history_floor_ = 0;
+  Fr root_at_floor_;
+  std::deque<RootTransition> root_history_;
   std::uint64_t chain_subscription_ = 0;
   net::Simulator::TaskId upkeep_task_ = 0;
   bool started_ = false;

@@ -11,6 +11,7 @@
 #include "common/serde.hpp"
 #include "hash/poseidon.hpp"
 #include "merkle/merkle_tree.hpp"
+#include "rln/group_manager.hpp"
 
 namespace waku::chain {
 namespace {
@@ -153,6 +154,77 @@ TEST_F(ChainFixture, BatchRegistrationAmortizesGas) {
   EXPECT_LT(per_member, single.gas_used * 6 / 10);  // >=40% saving
 }
 
+TEST_F(ChainFixture, BatchRegistrationEmitsOneFoldedEvent) {
+  // One MembersRegistered event for the whole batch; GroupManager folds it
+  // into a single root transition (no intermediate roots in the window).
+  constexpr std::uint32_t kBatch = 8;
+  ByteWriter w;
+  w.write_u32(kBatch);
+  std::vector<Fr> pks;
+  for (std::uint32_t i = 0; i < kBatch; ++i) {
+    pks.push_back(hash::poseidon1(Fr::from_u64(500 + i)));
+    w.write_raw(pks.back().to_bytes_be());
+  }
+  Transaction tx;
+  tx.from = alice;
+  tx.to = rln_addr;
+  tx.method = "register_batch";
+  tx.calldata = std::move(w).take();
+  tx.value = kDeposit * kBatch;
+  const TxReceipt r = run(std::move(tx));
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].name, "MembersRegistered");
+  EXPECT_EQ(r.events[0].topics[0], U256{0});       // base index
+  EXPECT_EQ(r.events[0].topics[1], U256{kBatch});  // count
+  EXPECT_EQ(r.events[0].data.size(), std::size_t{kBatch} * 32);
+
+  rln::GroupManager folded(20, rln::TreeMode::kFullTree, 10);
+  const std::size_t roots_before = folded.recent_root_count();
+  folded.on_event(r.events[0]);
+  EXPECT_EQ(folded.member_count(), kBatch);
+  EXPECT_EQ(folded.recent_root_count(), roots_before + 1);
+
+  // Folded root == the root after the same leaves inserted one at a time.
+  merkle::IncrementalMerkleTree reference(20);
+  for (const Fr& pk : pks) reference.insert(pk);
+  EXPECT_EQ(folded.root(), reference.root());
+}
+
+TEST_F(ChainFixture, ReplayCursorCrossesBatchAtomically) {
+  // A batch is ONE event in the global log: a restarting follower whose
+  // cursor sits just before it replays the whole batch in one on_event and
+  // lands on the same state as a follower that never crashed.
+  ASSERT_TRUE(
+      run(register_tx(alice, hash::poseidon1(Fr::from_u64(1)))).success);
+
+  rln::GroupManager live(20, rln::TreeMode::kFullTree, 10);
+  chain.replay_events(0, [&](const Event& ev) { live.on_event(ev); });
+  const std::uint64_t cursor = chain.event_count();  // pre-batch cursor
+
+  constexpr std::uint32_t kBatch = 5;
+  ByteWriter w;
+  w.write_u32(kBatch);
+  for (std::uint32_t i = 0; i < kBatch; ++i) {
+    w.write_raw(hash::poseidon1(Fr::from_u64(600 + i)).to_bytes_be());
+  }
+  Transaction tx;
+  tx.from = bob;
+  tx.to = rln_addr;
+  tx.method = "register_batch";
+  tx.calldata = std::move(w).take();
+  tx.value = kDeposit * kBatch;
+  ASSERT_TRUE(run(std::move(tx)).success);
+  ASSERT_EQ(chain.event_count(), cursor + 1);  // the batch is one record
+
+  // "Crash-restart": resume a second follower from the saved cursor.
+  chain.replay_events(cursor, [&](const Event& ev) { live.on_event(ev); });
+  rln::GroupManager restarted(20, rln::TreeMode::kFullTree, 10);
+  chain.replay_events(0, [&](const Event& ev) { restarted.on_event(ev); });
+  EXPECT_EQ(restarted.member_count(), live.member_count());
+  EXPECT_EQ(restarted.root(), live.root());
+}
+
 TEST_F(ChainFixture, BatchWithWrongValueReverts) {
   ByteWriter w;
   w.write_u32(2);
@@ -165,6 +237,60 @@ TEST_F(ChainFixture, BatchWithWrongValueReverts) {
   tx.calldata = std::move(w).take();
   tx.value = kDeposit;  // should be 2x
   EXPECT_FALSE(run(std::move(tx)).success);
+}
+
+TEST_F(ChainFixture, WithdrawBatchRefundsAndFoldsRemovals) {
+  // Six members, then one withdraw_batch removing #1 and #4: one payout,
+  // one event, and both a full-tree follower and a checkpoint-bootstrapped
+  // root tracker fold it into a single root transition.
+  std::vector<Fr> sks;
+  std::vector<Fr> pks;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    sks.push_back(Fr::from_u64(900 + i));
+    pks.push_back(hash::poseidon1(sks.back()));
+    ASSERT_TRUE(run(register_tx(alice, pks.back())).success);
+  }
+
+  rln::GroupManager full(20, rln::TreeMode::kFullTree, 10);
+  chain.replay_events(0, [&](const Event& ev) { full.on_event(ev); });
+  rln::GroupManager tracker =
+      rln::GroupManager::from_checkpoint(full.export_checkpoint(), 10);
+
+  // Paths must be sequentially valid: record i is checked against the
+  // tree after records 0..i-1, so compute them against a mutating mirror.
+  merkle::IncrementalMerkleTree mirror(20);
+  for (const Fr& pk : pks) mirror.insert(pk);
+  ByteWriter w;
+  w.write_u32(2);
+  for (std::uint64_t index : {std::uint64_t{1}, std::uint64_t{4}}) {
+    w.write_raw(sks[index].to_bytes_be());
+    w.write_u64(index);
+    w.write_bytes(merkle::serialize_path(mirror.auth_path(index)));
+    mirror.remove(index);
+  }
+  Transaction tx;
+  tx.from = bob;
+  tx.to = rln_addr;
+  tx.method = "withdraw_batch";
+  tx.calldata = std::move(w).take();
+  const Gwei before = chain.balance(bob);
+  const TxReceipt r = run(std::move(tx));
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  EXPECT_EQ(chain.balance(bob), before + 2 * kDeposit - r.fee_paid);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].name, "MembersWithdrawn");
+  EXPECT_EQ(r.events[0].topics[0], U256{2});
+  EXPECT_TRUE(rln().member_at_view(1).is_zero());
+  EXPECT_TRUE(rln().member_at_view(4).is_zero());
+
+  const std::size_t full_roots = full.recent_root_count();
+  const std::size_t tracker_roots = tracker.recent_root_count();
+  full.on_event(r.events[0]);
+  tracker.on_event(r.events[0]);
+  EXPECT_EQ(full.root(), mirror.root());
+  EXPECT_EQ(tracker.root(), mirror.root());
+  EXPECT_EQ(full.recent_root_count(), full_roots + 1);
+  EXPECT_EQ(tracker.recent_root_count(), tracker_roots + 1);
 }
 
 struct SlashFixture : ChainFixture {

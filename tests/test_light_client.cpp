@@ -2,6 +2,8 @@
 // service node (§IV-A hybrid architecture + 19/WAKU2-LIGHTPUSH).
 #include <gtest/gtest.h>
 
+#include "common/serde.hpp"
+#include "hash/poseidon.hpp"
 #include "rln/harness.hpp"
 #include "rln/light_client.hpp"
 
@@ -159,6 +161,170 @@ TEST_F(LightFixture, BootstrappedClientFollowsMembershipChurn) {
   EXPECT_EQ(client->light_group().member_count(),
             h->node(0).group().member_count());
   EXPECT_EQ(client->light_group().root(), h->node(0).group().root());
+}
+
+// -- Delta checkpoints (poll-mode window tracking) ---------------------------
+
+struct DeltaFixture : LightFixture {
+  hash::schnorr::KeyPair key = hash::schnorr::keygen_from_seed(0xDE17A);
+  chain::Address whale = chain::Address::from_u64(0xFFF777);
+  std::uint64_t next_pk_seed = 40'000;
+
+  void SetUp() override {
+    LightFixture::SetUp();
+    h->chain().create_account(whale, 50 * chain::kGweiPerEth);
+    service->set_checkpoint_signer(key);
+    client->attach_chain(h->chain(), h->contract(), key.pk);
+    bool ok = false;
+    client->bootstrap(service->node_id(),
+                      [&](bool accepted) { ok = accepted; });
+    h->run_ms(2'000);
+    ASSERT_TRUE(ok);
+  }
+
+  chain::Gwei deposit() {
+    return h->chain()
+        .contract_at<chain::RlnMembershipContract>(h->contract())
+        .deposit();
+  }
+
+  /// One register_batch transaction: n new members, ONE chain event.
+  void churn_batch(std::uint32_t n) {
+    ByteWriter w;
+    w.write_u32(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      w.write_raw(hash::poseidon1(Fr::from_u64(next_pk_seed++)).to_bytes_be());
+    }
+    chain::Transaction tx;
+    tx.from = whale;
+    tx.to = h->contract();
+    tx.method = "register_batch";
+    tx.calldata = std::move(w).take();
+    tx.value = deposit() * n;
+    h->chain().submit(std::move(tx));
+    h->run_ms(2 * cfg.block_interval_ms + 500);
+  }
+
+  /// n separate register transactions: n events, n root transitions.
+  void churn_singles(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      chain::Transaction tx;
+      tx.from = whale;
+      tx.to = h->contract();
+      tx.method = "register";
+      tx.calldata =
+          hash::poseidon1(Fr::from_u64(next_pk_seed++)).to_bytes_be();
+      tx.value = deposit();
+      h->chain().submit(std::move(tx));
+    }
+    h->run_ms(2 * cfg.block_interval_ms + 500);
+  }
+};
+
+TEST_F(DeltaFixture, DeltaSyncAdvancesOfflineClientWindow) {
+  client->go_offline();
+  const std::uint64_t offline_cursor = client->sync_cursor();
+  const Fr offline_root = client->light_group().recent_roots().back();
+
+  churn_batch(5);  // one event the client missed
+  ASSERT_NE(h->node(0).group().root(), offline_root);
+  EXPECT_FALSE(client->light_group().is_recent_root(h->node(0).group().root()));
+
+  bool ok = false;
+  client->delta_sync(service->node_id(), [&](bool r) { ok = r; });
+  h->run_ms(1'000);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(service->deltas_served(), 1u);
+  EXPECT_EQ(service->delta_fallbacks_served(), 0u);
+  EXPECT_EQ(client->delta_syncs_applied(), 1u);
+  EXPECT_EQ(client->sync_cursor(), h->node(0).event_cursor());
+  EXPECT_EQ(client->light_group().member_count(),
+            h->node(0).group().member_count());
+  EXPECT_TRUE(client->light_group().is_recent_root(h->node(0).group().root()));
+
+  // The delta is a fraction of the full checkpoint it replaces.
+  const auto delta =
+      h->node(0).make_delta_checkpoint(offline_cursor, offline_root);
+  ASSERT_TRUE(delta.has_value());
+  const std::size_t full_size = h->node(0).make_checkpoint().serialize().size();
+  EXPECT_LT(delta->serialize().size() * 3, full_size);
+}
+
+TEST_F(DeltaFixture, RepeatedDeltaSyncsTrackContinuousChurn) {
+  client->go_offline();
+  for (int round = 0; round < 3; ++round) {
+    churn_batch(3);
+    bool ok = false;
+    client->delta_sync(service->node_id(), [&](bool r) { ok = r; });
+    h->run_ms(1'000);
+    ASSERT_TRUE(ok) << "round " << round;
+    EXPECT_TRUE(
+        client->light_group().is_recent_root(h->node(0).group().root()));
+  }
+  EXPECT_EQ(client->delta_syncs_applied(), 3u);
+  EXPECT_EQ(client->delta_full_fallbacks(), 0u);
+}
+
+TEST_F(DeltaFixture, DeltaGapFallsBackToFullCheckpoint) {
+  client->go_offline();
+  // More root transitions than kDeltaRootTailMax: a delta would silently
+  // drop intermediate roots from the client's window, so the server must
+  // refuse it and serve a full checkpoint instead.
+  churn_singles(static_cast<std::uint32_t>(kDeltaRootTailMax) + 4);
+
+  bool ok = false;
+  client->delta_sync(service->node_id(), [&](bool r) { ok = r; });
+  h->run_ms(1'000);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(service->deltas_served(), 0u);
+  EXPECT_EQ(service->delta_fallbacks_served(), 1u);
+  EXPECT_EQ(client->delta_syncs_applied(), 0u);
+  EXPECT_EQ(client->delta_full_fallbacks(), 1u);
+  // The fallback is a complete re-bootstrap: state is current again.
+  EXPECT_EQ(client->light_group().member_count(),
+            h->node(0).group().member_count());
+  EXPECT_TRUE(client->light_group().is_recent_root(h->node(0).group().root()));
+}
+
+TEST_F(DeltaFixture, DeltaRefusedForUnknownOrForkedBase) {
+  // Cursor ahead of the server: nothing to prove, no delta.
+  EXPECT_FALSE(h->node(0)
+                   .make_delta_checkpoint(h->node(0).event_cursor() + 100,
+                                          h->node(0).group().root())
+                   .has_value());
+  // Claimed root does not match the recorded root at that cursor: a
+  // forked/forged base must not receive a delta bound to it.
+  EXPECT_FALSE(h->node(0)
+                   .make_delta_checkpoint(h->node(0).event_cursor(),
+                                          Fr::from_u64(0xBAD))
+                   .has_value());
+  // The honest base gets one (empty tail: no transitions since).
+  const auto delta = h->node(0).make_delta_checkpoint(
+      h->node(0).event_cursor(), h->node(0).group().root());
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_TRUE(delta->root_tail.empty());
+  EXPECT_EQ(delta->to_cursor, h->node(0).event_cursor());
+}
+
+TEST_F(DeltaFixture, TamperedDeltaPayloadFailsSchnorrVerification) {
+  churn_batch(2);
+  auto delta = h->node(0).make_delta_checkpoint(
+      h->node(0).event_cursor(), h->node(0).group().root());
+  ASSERT_TRUE(delta.has_value());
+  delta->sign(key);
+  ASSERT_TRUE(delta->verify(key.pk));
+
+  DeltaCheckpoint tampered = *delta;
+  tampered.member_count += 1;
+  EXPECT_FALSE(tampered.verify(key.pk));
+  tampered = *delta;
+  tampered.root_tail.push_back(Fr::from_u64(7));
+  EXPECT_FALSE(tampered.verify(key.pk));
+  // Serialization round-trips the signature.
+  const DeltaCheckpoint back =
+      DeltaCheckpoint::deserialize(delta->serialize());
+  EXPECT_TRUE(back.verify(key.pk));
+  EXPECT_EQ(back.serialize(), delta->serialize());
 }
 
 TEST_F(LightFixture, TamperedOrMiskeyedCheckpointRejected) {

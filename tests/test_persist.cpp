@@ -363,6 +363,36 @@ TEST(StateStore, PolicySnapshotsAndWalCompaction) {
   EXPECT_EQ(stats.wal_records, 2u);  // records 9 and 10 outlive compaction
 }
 
+TEST(StateStore, ByteSizedPolicyCompactsFatRecordsEarly) {
+  // The record-count policy alone would let a WAL of huge batched-event
+  // records balloon; the byte threshold must fire first.
+  const fs::path dir = fresh_dir("store_byte_policy");
+  StateStoreConfig cfg;
+  cfg.snapshot_every_records = 1'000;  // far away — bytes must trigger
+  cfg.snapshot_every_bytes = 4 * 1024;
+  StateStore store(dir.string(), cfg);
+  int snapshots_taken = 0;
+  store.set_snapshot_provider([&] {
+    ++snapshots_taken;
+    return bytes_of("state");
+  });
+  const Bytes fat(2 * 1024, 0xAB);  // 2 KiB payload per record
+  store.append(1, fat);
+  EXPECT_EQ(snapshots_taken, 0);  // ~2 KiB WAL, under the 4 KiB cap
+  store.append(1, fat);
+  EXPECT_EQ(snapshots_taken, 1);  // cap crossed -> compacted
+  EXPECT_EQ(store.stats().wal_records, 0u);
+  // Both counters reset: the next fat record starts a fresh window.
+  store.append(1, fat);
+  EXPECT_EQ(snapshots_taken, 1);
+  store.append(1, fat);
+  EXPECT_EQ(snapshots_taken, 2);
+  // Skinny records never reach the byte cap and the far-off record cap
+  // leaves them alone.
+  for (int i = 0; i < 16; ++i) store.append(2, bytes_of("s"));
+  EXPECT_EQ(snapshots_taken, 2);
+}
+
 TEST(StateStore, RestartRestoresSnapshotPlusTail) {
   const fs::path dir = fresh_dir("store_restart");
   StateStoreConfig cfg;
